@@ -1,0 +1,45 @@
+//! Plug-and-play augmentation latency: the runtime cost PAS adds per query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+use pas_core::{PasSystem, PromptOptimizer, SystemConfig};
+use pas_data::CorpusConfig;
+use pas_llm::{ChatModel, SimLlm};
+
+fn system() -> &'static PasSystem {
+    static SYS: OnceLock<PasSystem> = OnceLock::new();
+    SYS.get_or_init(|| {
+        PasSystem::build(&SystemConfig {
+            corpus: CorpusConfig { size: 1200, seed: 13, ..CorpusConfig::default() },
+            ..SystemConfig::default()
+        })
+    })
+}
+
+fn bench_augment(c: &mut Criterion) {
+    let sys = system();
+    let prompt = "How should I implement a rate limiter for a multi-tenant api gateway?";
+    c.bench_function("pas_augment", |b| {
+        b.iter(|| black_box(sys.pas.augment(black_box(prompt))));
+    });
+    c.bench_function("pas_optimize", |b| {
+        b.iter(|| black_box(sys.pas.optimize(black_box(prompt))));
+    });
+}
+
+fn bench_enhance(c: &mut Criterion) {
+    let sys = system();
+    let model = SimLlm::named("gpt-4-0613", sys.world.clone());
+    let prompt = "How should I implement a rate limiter for a multi-tenant api gateway?";
+    c.bench_function("chat_without_pas", |b| {
+        b.iter(|| black_box(model.chat(black_box(prompt))));
+    });
+    c.bench_function("enhance_with_pas", |b| {
+        b.iter(|| black_box(sys.pas.enhance(&model, black_box(prompt))));
+    });
+}
+
+criterion_group!(benches, bench_augment, bench_enhance);
+criterion_main!(benches);

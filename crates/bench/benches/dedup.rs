@@ -1,0 +1,69 @@
+//! Dedup-backend comparison: embedding+HNSW vs MinHash+LSH on the same
+//! corpus — the two routes the selection pipeline can take.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pas_ann::{DedupConfig, Deduplicator, MinHashConfig, MinHashDeduplicator};
+use pas_data::{Corpus, CorpusConfig};
+use pas_embed::{Embedder, NgramEmbedder};
+use pas_text::ngram::word_shingle_hashes;
+
+fn bench_backends(c: &mut Criterion) {
+    let corpus = Corpus::generate(&CorpusConfig { size: 1500, seed: 29, ..CorpusConfig::default() });
+    let texts: Vec<&str> = corpus.records.iter().map(|r| r.text.as_str()).collect();
+
+    let embedder = NgramEmbedder::new(64, 3);
+    let embeddings: Vec<Vec<f32>> = texts.iter().map(|t| embedder.embed(t)).collect();
+    let shingles: Vec<Vec<u64>> = texts
+        .iter()
+        .map(|t| {
+            let mut s = word_shingle_hashes(t, 3);
+            s.sort_unstable();
+            s.dedup();
+            s
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("dedup_1500_prompts");
+    group.sample_size(10);
+    group.bench_function("embedding_hnsw", |b| {
+        b.iter(|| {
+            let out = Deduplicator::run(DedupConfig::default(), embeddings.clone());
+            black_box(out.kept.len())
+        });
+    });
+    group.bench_function("minhash_lsh", |b| {
+        b.iter(|| {
+            let out = MinHashDeduplicator::run(MinHashConfig::default(), &shingles, 0.7);
+            black_box(out.kept.len())
+        });
+    });
+    // Include featurization cost for a fair end-to-end comparison.
+    group.bench_function("embedding_hnsw_incl_embed", |b| {
+        b.iter(|| {
+            let em: Vec<Vec<f32>> = texts.iter().map(|t| embedder.embed(t)).collect();
+            let out = Deduplicator::run(DedupConfig::default(), em);
+            black_box(out.kept.len())
+        });
+    });
+    group.bench_function("minhash_lsh_incl_shingle", |b| {
+        b.iter(|| {
+            let sh: Vec<Vec<u64>> = texts
+                .iter()
+                .map(|t| {
+                    let mut s = word_shingle_hashes(t, 3);
+                    s.sort_unstable();
+                    s.dedup();
+                    s
+                })
+                .collect();
+            let out = MinHashDeduplicator::run(MinHashConfig::default(), &sh, 0.7);
+            black_box(out.kept.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

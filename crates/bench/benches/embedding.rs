@@ -1,0 +1,45 @@
+//! Sentence-embedding throughput: the dedup front-end of §3.1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use pas_data::{Corpus, CorpusConfig};
+use pas_embed::{Embedder, NgramEmbedder};
+
+fn bench_embed(c: &mut Criterion) {
+    let texts: Vec<String> =
+        Corpus::generate(&CorpusConfig { size: 1000, seed: 8, ..CorpusConfig::default() })
+            .records
+            .into_iter()
+            .map(|r| r.text)
+            .collect();
+    let bytes: usize = texts.iter().map(String::len).sum();
+
+    let mut group = c.benchmark_group("embed_1000_prompts");
+    group.throughput(Throughput::Bytes(bytes as u64));
+    for &dim in &[32usize, 64, 128] {
+        let embedder = NgramEmbedder::new(dim, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &embedder, |b, e| {
+            b.iter(|| {
+                let mut acc = 0.0f32;
+                for t in &texts {
+                    acc += e.embed(t)[0];
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cosine(c: &mut Criterion) {
+    let e = NgramEmbedder::new(64, 7);
+    let a = e.embed("how do I sort a list of a million integers efficiently");
+    let b_vec = e.embed("how to sort one million integers fast");
+    c.bench_function("cosine_64d", |b| {
+        b.iter(|| black_box(pas_embed::cosine(&a, &b_vec)));
+    });
+}
+
+criterion_group!(benches, bench_embed, bench_cosine);
+criterion_main!(benches);

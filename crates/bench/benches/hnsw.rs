@@ -1,0 +1,69 @@
+//! HNSW vs exact-scan performance: the dedup substrate of §3.1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pas_ann::{CosineDistance, ExactIndex, Hnsw, HnswConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn random_unit_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut v: Vec<f32> = (0..dim).map(|_| rng.random::<f32>() * 2.0 - 1.0).collect();
+            pas_embed::normalize_in_place(&mut v);
+            v
+        })
+        .collect()
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hnsw_insert");
+    group.sample_size(10);
+    for &n in &[500usize, 2000] {
+        let vectors = random_unit_vectors(n, 64, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &vectors, |b, vecs| {
+            b.iter(|| {
+                let mut idx = Hnsw::new(HnswConfig::default(), CosineDistance);
+                for v in vecs {
+                    idx.insert(v.clone());
+                }
+                black_box(idx.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let vectors = random_unit_vectors(5000, 64, 2);
+    let queries = random_unit_vectors(64, 64, 3);
+    let mut hnsw = Hnsw::new(HnswConfig::default(), CosineDistance);
+    let mut exact = ExactIndex::new(CosineDistance);
+    for v in &vectors {
+        hnsw.insert(v.clone());
+        exact.insert(v.clone());
+    }
+
+    let mut group = c.benchmark_group("knn_search_5000x64");
+    group.sample_size(20);
+    group.bench_function("hnsw_ef48", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(hnsw.search(q, 10, 48));
+            }
+        });
+    });
+    group.bench_function("exact_scan", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(exact.search(q, 10));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Data-pipeline throughput: §3.1 selection and Algorithm 1 generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use pas_data::{
+    Corpus, CorpusConfig, GenConfig, Generator, SelectionConfig, SelectionPipeline,
+};
+
+fn bench_selection(c: &mut Criterion) {
+    let corpus = Corpus::generate(&CorpusConfig { size: 1000, seed: 17, ..CorpusConfig::default() });
+    let mut g = c.benchmark_group("pipeline"); g.sample_size(10);
+    g.bench_function("selection_pipeline_1000", |b| {
+        b.iter(|| {
+            let (selected, report) = SelectionPipeline::new(SelectionConfig {
+                labeled_size: 500,
+                ..SelectionConfig::default()
+            })
+            .run(black_box(&corpus.records));
+            black_box((selected.len(), report.after_dedup))
+        });
+    });
+    g.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let corpus = Corpus::generate(&CorpusConfig { size: 800, seed: 19, ..CorpusConfig::default() });
+    let world = Arc::new(corpus.world.clone());
+    let (selected, _) = SelectionPipeline::new(SelectionConfig {
+        labeled_size: 500,
+        ..SelectionConfig::default()
+    })
+    .run(&corpus.records);
+    let mut g = c.benchmark_group("generation"); g.sample_size(10);
+    g.bench_function("algorithm1_generation", |b| {
+        b.iter(|| {
+            let (dataset, _) =
+                Generator::new(GenConfig::default(), Arc::clone(&world)).run(black_box(&selected));
+            black_box(dataset.len())
+        });
+    });
+    g.finish();
+}
+
+fn bench_corpus(c: &mut Criterion) {
+    let mut g = c.benchmark_group("corpus"); g.sample_size(10);
+    g.bench_function("corpus_generate_2000", |b| {
+        b.iter(|| {
+            let corpus =
+                Corpus::generate(&CorpusConfig { size: 2000, seed: 23, ..CorpusConfig::default() });
+            black_box(corpus.len())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_corpus, bench_selection, bench_generation);
+criterion_main!(benches);

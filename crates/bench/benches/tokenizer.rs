@@ -1,0 +1,51 @@
+//! BPE tokenizer training and encoding throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use pas_data::{Corpus, CorpusConfig};
+use pas_tokenizer::{BpeTrainer, TrainConfig};
+
+fn corpus_lines(n: usize) -> Vec<String> {
+    Corpus::generate(&CorpusConfig { size: n, seed: 5, ..CorpusConfig::default() })
+        .records
+        .into_iter()
+        .map(|r| r.text)
+        .collect()
+}
+
+fn bench_train(c: &mut Criterion) {
+    let lines = corpus_lines(600);
+    let mut g = c.benchmark_group("bpe_train"); g.sample_size(10);
+    g.bench_function("bpe_train_600_prompts_400_merges", |b| {
+        b.iter(|| {
+            let tok = BpeTrainer::new(TrainConfig { merges: 400, min_pair_count: 2 })
+                .train(lines.iter().map(String::as_str));
+            black_box(tok.merge_count())
+        });
+    });
+    g.finish();
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let lines = corpus_lines(600);
+    let tok = BpeTrainer::new(TrainConfig { merges: 400, min_pair_count: 2 })
+        .train(lines.iter().map(String::as_str));
+    let bytes: usize = lines.iter().map(String::len).sum();
+
+    let mut group = c.benchmark_group("bpe_encode");
+    group.throughput(Throughput::Bytes(bytes as u64));
+    group.bench_function("encode_600_prompts", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for line in &lines {
+                total += tok.encode(line).len();
+            }
+            black_box(total)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_train, bench_encode);
+criterion_main!(benches);

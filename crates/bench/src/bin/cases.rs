@@ -1,0 +1,15 @@
+//! Regenerates the three case studies (Figures 2, 8 and 9).
+
+use pas_eval::cases::run_case_studies;
+
+fn main() {
+    let opts = bench::Options::from_env();
+    let ctx = opts.build_context();
+    for case in run_case_studies(&ctx.pas_qwen, "gpt-4-0613") {
+        println!("{}", case.render());
+        println!(
+            "improved: {}\n",
+            if case.improved() { "yes" } else { "no" }
+        );
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 1b: per-category GSB win bars from the human panel.
+
+use pas_eval::experiments::{fig1b, table4};
+use pas_eval::human::HumanEvalConfig;
+
+fn main() {
+    let opts = bench::Options::from_env();
+    let ctx = opts.build_context();
+    let t4 = table4(&ctx, &HumanEvalConfig::default());
+    let f = fig1b(&t4);
+    println!("{}", f.render());
+    println!("net-positive scenarios: {}/8", f.net_positive());
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 6: category distribution of the generated dataset.
+
+use pas_eval::experiments::fig6;
+
+fn main() {
+    let opts = bench::Options::from_env();
+    let ctx = opts.build_context();
+    let stats = fig6(&ctx.dataset);
+    println!("{}", stats.render_distribution());
+    println!(
+        "mean prompt words: {:.1}; mean complement words: {:.1}",
+        stats.mean_prompt_words, stats.mean_complement_words
+    );
+}

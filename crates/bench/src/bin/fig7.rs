@@ -1,0 +1,9 @@
+//! Regenerates Figure 7: data consumption and efficiency comparison.
+
+use pas_eval::experiments::fig7;
+
+fn main() {
+    let opts = bench::Options::from_env();
+    let ctx = opts.build_context();
+    println!("{}", fig7(&ctx).render());
+}

@@ -1,0 +1,16 @@
+//! Extension experiment: measured PAS learning curve (score vs pairs),
+//! validating the "only 9000 data points" data-efficiency claim.
+
+use pas_eval::experiments::figures::learning_curve;
+
+fn main() {
+    let opts = bench::Options::from_env();
+    let ctx = opts.build_context();
+    let full = ctx.dataset.len();
+    let sizes = [0, full / 16, full / 8, full / 4, full / 2, full];
+    let curve = learning_curve(&ctx, &sizes);
+    println!("{}", curve.render());
+    if let Some(n) = curve.pairs_to_reach(0.95) {
+        println!("pairs to reach 95% of final score: {n}");
+    }
+}

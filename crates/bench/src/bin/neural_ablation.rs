@@ -1,0 +1,11 @@
+//! Extension experiment: factored PAS vs the end-to-end neural PAS.
+
+use pas_eval::experiments::neural_vs_factored;
+
+fn main() {
+    let opts = bench::Options::from_env();
+    let ctx = opts.build_context();
+    let cmp = neural_vs_factored(&ctx);
+    println!("{}", cmp.render());
+    println!("neural PAS held-in token NLL: {:.3}", cmp.neural_nll);
+}

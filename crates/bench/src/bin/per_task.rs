@@ -1,0 +1,11 @@
+//! Extension experiment: per-task prompt optimizers (OPRO, ProTeGi) vs PAS.
+
+use pas_eval::experiments::per_task;
+use pas_llm::Category;
+
+fn main() {
+    let opts = bench::Options::from_env();
+    let ctx = opts.build_context();
+    let result = per_task(&ctx, Category::Analysis);
+    println!("{}", result.render());
+}

@@ -1,0 +1,20 @@
+//! Seed-sweep robustness of the headline deltas.
+//!
+//! Rebuilds the entire pipeline under several seeds and reports the mean ±
+//! std of the PAS-vs-baseline, PAS-vs-BPO, and ablation deltas. Default
+//! sweep is three seeds at the chosen scale; each seed rebuilds everything,
+//! so paper scale takes a few minutes.
+
+use pas_eval::experiments::robustness;
+
+fn main() {
+    let opts = bench::Options::from_env();
+    let seeds = [opts.seed, opts.seed + 1, opts.seed + 2];
+    eprintln!("sweeping seeds {seeds:?} at {:?} scale…", opts.scale);
+    let result = robustness(opts.scale, &seeds);
+    println!("{}", result.render());
+    println!(
+        "all seeds preserve orderings (PAS > baseline, PAS > BPO): {}",
+        result.all_seeds_preserve_orderings()
+    );
+}

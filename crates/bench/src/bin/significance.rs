@@ -1,0 +1,38 @@
+//! Paired-bootstrap significance of the headline comparisons: for each
+//! main model and suite, is PAS's win-rate gain over the baseline and over
+//! BPO statistically solid across items?
+
+use pas_core::NoOptimizer;
+use pas_eval::{paired_bootstrap, per_item_credits};
+use pas_llm::ModelProfile;
+
+fn main() {
+    let opts = bench::Options::from_env();
+    let ctx = opts.build_context();
+    println!("Paired bootstrap (1000 resamples, 95% CI), per main model:\n");
+    println!(
+        "{:<24} {:<22} {:>10} {:>18} {:>8}",
+        "model", "comparison (arena)", "Δ mean", "95% CI", "p(≤0)"
+    );
+    for name in ModelProfile::main_model_names() {
+        let model = ctx.model(name);
+        let reference = ctx.reference(&ctx.env.arena);
+        let base = per_item_credits(&model, &NoOptimizer, &ctx.env.arena, &reference, &ctx.judge);
+        let pas = per_item_credits(&model, &ctx.pas_qwen, &ctx.env.arena, &reference, &ctx.judge);
+        let bpo = per_item_credits(&model, &ctx.bpo, &ctx.env.arena, &reference, &ctx.judge);
+        for (label, other) in [("PAS - None", &base), ("PAS - BPO", &bpo)] {
+            let b = paired_bootstrap(&pas, other, 1000, opts.seed);
+            println!(
+                "{:<24} {:<22} {:>+9.2} [{:>+7.2}, {:>+7.2}] {:>8.3}{}",
+                name,
+                label,
+                b.mean_diff,
+                b.ci_low,
+                b.ci_high,
+                b.p_not_better,
+                if b.significant() { "  *" } else { "" },
+            );
+        }
+    }
+    println!("\n* = 95% CI excludes zero in PAS's favour");
+}

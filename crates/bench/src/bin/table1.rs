@@ -1,0 +1,12 @@
+//! Regenerates Table 1: PAS vs BPO vs no APE across six main models.
+
+use pas_eval::experiments::table1;
+
+fn main() {
+    let opts = bench::Options::from_env();
+    let ctx = opts.build_context();
+    let t1 = table1(&ctx);
+    println!("{}", t1.render());
+    println!("PAS vs baseline (paper: +8.00): {:+.2}", t1.pas_vs_baseline());
+    println!("PAS vs BPO      (paper: +6.09): {:+.2}", t1.pas_vs_bpo());
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table 2: PAS vs BPO with the same LLaMA-2-7B base model.
+
+use pas_eval::experiments::table2;
+
+fn main() {
+    let opts = bench::Options::from_env();
+    let ctx = opts.build_context();
+    let t2 = table2(&ctx);
+    println!("{}", t2.render());
+    println!("PAS vs BPO, same base (paper: +3.41): {:+.2}", t2.pas_vs_bpo());
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table 3: human-labor and flexibility matrix.
+
+use pas_eval::experiments::table3;
+
+fn main() {
+    let opts = bench::Options::from_env();
+    let ctx = opts.build_context();
+    let t3 = table3(&ctx);
+    println!("{}", t3.render());
+    println!("fully flexible methods: {:?}", t3.fully_flexible());
+}

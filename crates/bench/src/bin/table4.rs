@@ -1,0 +1,12 @@
+//! Regenerates Table 4: human-evaluation metrics with and without PAS.
+
+use pas_eval::experiments::table4;
+use pas_eval::human::HumanEvalConfig;
+
+fn main() {
+    let opts = bench::Options::from_env();
+    let ctx = opts.build_context();
+    let t4 = table4(&ctx, &HumanEvalConfig::default());
+    println!("{}", t4.render());
+    println!("average grade gain (paper: +0.41): {:+.2}", t4.average_gain());
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table 5: ablation of the data selection/regeneration module.
+
+use pas_eval::experiments::table5;
+
+fn main() {
+    let opts = bench::Options::from_env();
+    let ctx = opts.build_context();
+    let t5 = table5(&ctx);
+    println!("{}", t5.render());
+    println!("ablation drop (paper: -3.80): {:+.2}", -t5.ablation_drop());
+}

@@ -1,0 +1,84 @@
+//! Shared plumbing for the table/figure regenerator binaries.
+//!
+//! Every binary accepts:
+//!
+//! - `--seed <n>` — experiment seed (default 42);
+//! - `--quick` — run at test scale instead of paper scale.
+//!
+//! The heavy [`ExperimentContext`] is built once per process.
+
+use pas_eval::experiments::{ExperimentContext, Scale};
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Experiment seed.
+    pub seed: u64,
+    /// Scale to build at.
+    pub scale: Scale,
+}
+
+impl Options {
+    /// Parses `--seed <n>` and `--quick` from an argument iterator.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Options {
+        let mut seed = 42u64;
+        let mut scale = Scale::Paper;
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--seed" => {
+                    seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed requires an integer");
+                }
+                "--quick" => scale = Scale::Quick,
+                _ => {}
+            }
+        }
+        Options { seed, scale }
+    }
+
+    /// Parses from the process arguments.
+    pub fn from_env() -> Options {
+        Options::parse(std::env::args().skip(1))
+    }
+
+    /// Builds the shared experiment context, reporting progress on stderr.
+    pub fn build_context(&self) -> ExperimentContext {
+        eprintln!(
+            "building experiment context (scale: {:?}, seed: {}) — this trains PAS, the ablation, and BPO…",
+            self.scale, self.seed
+        );
+        let start = std::time::Instant::now();
+        let ctx = ExperimentContext::build(self.scale, self.seed);
+        eprintln!(
+            "context ready in {:.1}s: PAS dataset {} pairs, BPO dataset {} pairs",
+            start.elapsed().as_secs_f64(),
+            ctx.dataset.len(),
+            ctx.bpo_dataset.len()
+        );
+        ctx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_defaults_and_flags() {
+        let d = Options::parse(Vec::<String>::new());
+        assert_eq!(d.seed, 42);
+        assert_eq!(d.scale, Scale::Paper);
+        let q = Options::parse(vec!["--quick".into(), "--seed".into(), "7".into()]);
+        assert_eq!(q.seed, 7);
+        assert_eq!(q.scale, Scale::Quick);
+    }
+
+    #[test]
+    #[should_panic(expected = "--seed requires an integer")]
+    fn bad_seed_panics() {
+        Options::parse(vec!["--seed".into(), "abc".into()]);
+    }
+}

@@ -1,0 +1,191 @@
+//! Near-duplicate grouping over embedded items.
+//!
+//! Implements the first stage of the paper's data-selection pipeline (§3.1):
+//! "deduplication using the SimCSE bge model to embed the prompts, followed
+//! by the HNSW clustering algorithm to group these embeddings; from each
+//! cluster we extract a small amount of data to reduce redundancy."
+//!
+//! The engine inserts embeddings into an HNSW index incrementally; an item
+//! whose nearest already-kept neighbour is within the distance threshold
+//! joins that neighbour's group, otherwise it founds a new group. One
+//! representative per group survives (the first seen — the paper keeps "a
+//! small amount" per cluster; `keep_per_group` generalizes that).
+
+use crate::hnsw::{Hnsw, HnswConfig};
+use crate::metric::CosineDistance;
+
+/// Deduplication parameters.
+#[derive(Debug, Clone)]
+pub struct DedupConfig {
+    /// Cosine-distance threshold under which two items are duplicates.
+    /// 0.05 ≈ cosine similarity 0.95.
+    pub distance_threshold: f32,
+    /// How many members of each duplicate group to keep.
+    pub keep_per_group: usize,
+    /// Beam width for the HNSW queries.
+    pub ef_search: usize,
+    /// HNSW construction parameters.
+    pub hnsw: HnswConfig,
+}
+
+impl Default for DedupConfig {
+    fn default() -> Self {
+        DedupConfig {
+            distance_threshold: 0.05,
+            keep_per_group: 1,
+            ef_search: 48,
+            hnsw: HnswConfig::default(),
+        }
+    }
+}
+
+/// Outcome of deduplicating a collection.
+#[derive(Debug, Clone)]
+pub struct DedupOutcome {
+    /// Indices of the kept items, in input order.
+    pub kept: Vec<usize>,
+    /// `group_of[i]` = group id of input item `i`.
+    pub group_of: Vec<usize>,
+    /// Number of distinct groups found.
+    pub group_count: usize,
+}
+
+impl DedupOutcome {
+    /// Fraction of the input removed as duplicates.
+    pub fn removal_rate(&self) -> f64 {
+        if self.group_of.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.kept.len() as f64 / self.group_of.len() as f64
+    }
+}
+
+/// Incremental near-duplicate grouper over cosine embeddings.
+pub struct Deduplicator {
+    config: DedupConfig,
+    index: Hnsw<CosineDistance>,
+    /// Group id per inserted item.
+    groups: Vec<usize>,
+    /// Members kept so far per group.
+    kept_in_group: Vec<usize>,
+    group_count: usize,
+}
+
+impl Deduplicator {
+    /// Creates an empty deduplicator.
+    pub fn new(config: DedupConfig) -> Self {
+        let index = Hnsw::new(config.hnsw.clone(), CosineDistance);
+        Deduplicator { config, index, groups: Vec::new(), kept_in_group: Vec::new(), group_count: 0 }
+    }
+
+    /// Offers one embedding. Returns `(group_id, kept)`: the group the item
+    /// was assigned to, and whether the caller should keep it.
+    pub fn offer(&mut self, embedding: Vec<f32>) -> (usize, bool) {
+        let nearest = if self.index.is_empty() {
+            None
+        } else {
+            self.index
+                .search(&embedding, 1, self.config.ef_search)
+                .into_iter()
+                .next()
+                .filter(|n| n.distance <= self.config.distance_threshold)
+        };
+        let group = match nearest {
+            Some(n) => self.groups[n.id],
+            None => {
+                let g = self.group_count;
+                self.group_count += 1;
+                self.kept_in_group.push(0);
+                g
+            }
+        };
+        self.index.insert(embedding);
+        self.groups.push(group);
+        let keep = self.kept_in_group[group] < self.config.keep_per_group;
+        if keep {
+            self.kept_in_group[group] += 1;
+        }
+        (group, keep)
+    }
+
+    /// Deduplicates a whole collection at once.
+    pub fn run(config: DedupConfig, embeddings: Vec<Vec<f32>>) -> DedupOutcome {
+        let n = embeddings.len();
+        let mut dedup = Deduplicator::new(config);
+        let mut kept = Vec::new();
+        let mut group_of = Vec::with_capacity(n);
+        for (i, e) in embeddings.into_iter().enumerate() {
+            let (g, keep) = dedup.offer(e);
+            group_of.push(g);
+            if keep {
+                kept.push(i);
+            }
+        }
+        DedupOutcome { kept, group_of, group_count: dedup.group_count }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(v: &[f32]) -> Vec<f32> {
+        let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        v.iter().map(|x| x / n).collect()
+    }
+
+    #[test]
+    fn exact_duplicates_collapse() {
+        let e = unit(&[1.0, 2.0, 3.0]);
+        let out = Deduplicator::run(DedupConfig::default(), vec![e.clone(), e.clone(), e]);
+        assert_eq!(out.kept, vec![0]);
+        assert_eq!(out.group_count, 1);
+        assert!((out.removal_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distinct_items_all_kept() {
+        let embeddings = vec![unit(&[1.0, 0.0]), unit(&[0.0, 1.0]), unit(&[-1.0, 0.0])];
+        let out = Deduplicator::run(DedupConfig::default(), embeddings);
+        assert_eq!(out.kept, vec![0, 1, 2]);
+        assert_eq!(out.group_count, 3);
+    }
+
+    #[test]
+    fn near_duplicates_grouped_by_threshold() {
+        let a = unit(&[1.0, 0.0, 0.0]);
+        let b = unit(&[1.0, 0.02, 0.0]); // tiny angle from a
+        let c = unit(&[0.0, 1.0, 0.0]);
+        let out = Deduplicator::run(DedupConfig::default(), vec![a, b, c]);
+        assert_eq!(out.group_of[0], out.group_of[1]);
+        assert_ne!(out.group_of[0], out.group_of[2]);
+        assert_eq!(out.kept, vec![0, 2]);
+    }
+
+    #[test]
+    fn keep_per_group_retains_extras() {
+        let e = unit(&[1.0, 1.0]);
+        let cfg = DedupConfig { keep_per_group: 2, ..DedupConfig::default() };
+        let out = Deduplicator::run(cfg, vec![e.clone(), e.clone(), e]);
+        assert_eq!(out.kept, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out = Deduplicator::run(DedupConfig::default(), Vec::new());
+        assert!(out.kept.is_empty());
+        assert_eq!(out.group_count, 0);
+        assert_eq!(out.removal_rate(), 0.0);
+    }
+
+    #[test]
+    fn dedup_is_idempotent_on_kept_set() {
+        // Running dedup over already-deduplicated items keeps everything.
+        let embeddings = vec![unit(&[1.0, 0.0]), unit(&[0.0, 1.0]), unit(&[1.0, 1.0])];
+        let first = Deduplicator::run(DedupConfig::default(), embeddings.clone());
+        let kept_embeddings: Vec<Vec<f32>> =
+            first.kept.iter().map(|&i| embeddings[i].clone()).collect();
+        let second = Deduplicator::run(DedupConfig::default(), kept_embeddings.clone());
+        assert_eq!(second.kept.len(), kept_embeddings.len());
+    }
+}

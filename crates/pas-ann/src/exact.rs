@@ -1,0 +1,133 @@
+//! Brute-force exact nearest-neighbour index.
+//!
+//! Shares the query interface of [`crate::Hnsw`]; used as ground truth in
+//! recall tests, as the small-collection fast path in the deduplicator, and
+//! as the baseline in the ANN benchmarks.
+
+use crate::metric::Metric;
+use crate::Neighbor;
+
+/// Exhaustive-scan index over the inserted vectors.
+pub struct ExactIndex<M: Metric> {
+    metric: M,
+    vectors: Vec<Vec<f32>>,
+}
+
+impl<M: Metric> ExactIndex<M> {
+    /// Creates an empty index with the given metric.
+    pub fn new(metric: M) -> Self {
+        ExactIndex { metric, vectors: Vec::new() }
+    }
+
+    /// Inserts a vector, returning its id (insertion order).
+    pub fn insert(&mut self, vector: Vec<f32>) -> usize {
+        let id = self.vectors.len();
+        self.vectors.push(vector);
+        id
+    }
+
+    /// Number of stored vectors.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// True when no vectors are stored.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Returns the stored vector for `id`.
+    pub fn vector(&self, id: usize) -> &[f32] {
+        &self.vectors[id]
+    }
+
+    /// Exact `k` nearest neighbours of `query`, closest first; ties broken
+    /// by id for determinism.
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        let mut hits: Vec<Neighbor> = self
+            .vectors
+            .iter()
+            .enumerate()
+            .map(|(id, v)| Neighbor { id, distance: self.metric.distance(query, v) })
+            .collect();
+        hits.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        hits.truncate(k);
+        hits
+    }
+
+    /// All ids whose distance to `query` is at most `radius`.
+    pub fn search_radius(&self, query: &[f32], radius: f32) -> Vec<Neighbor> {
+        let mut hits: Vec<Neighbor> = self
+            .vectors
+            .iter()
+            .enumerate()
+            .filter_map(|(id, v)| {
+                let distance = self.metric.distance(query, v);
+                (distance <= radius).then_some(Neighbor { id, distance })
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::EuclideanDistance;
+
+    fn index_with_points() -> ExactIndex<EuclideanDistance> {
+        let mut idx = ExactIndex::new(EuclideanDistance);
+        for p in [[0.0, 0.0], [1.0, 0.0], [0.0, 2.0], [3.0, 3.0]] {
+            idx.insert(p.to_vec());
+        }
+        idx
+    }
+
+    #[test]
+    fn finds_nearest_in_order() {
+        let idx = index_with_points();
+        let hits = idx.search(&[0.1, 0.0], 3);
+        assert_eq!(hits.iter().map(|h| h.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn k_larger_than_len_returns_all() {
+        let idx = index_with_points();
+        assert_eq!(idx.search(&[0.0, 0.0], 10).len(), 4);
+    }
+
+    #[test]
+    fn radius_search_filters() {
+        let idx = index_with_points();
+        let hits = idx.search_radius(&[0.0, 0.0], 1.5);
+        assert_eq!(hits.iter().map(|h| h.id).collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let idx: ExactIndex<EuclideanDistance> = ExactIndex::new(EuclideanDistance);
+        assert!(idx.search(&[1.0], 5).is_empty());
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn tie_break_by_id() {
+        let mut idx = ExactIndex::new(EuclideanDistance);
+        idx.insert(vec![1.0, 0.0]);
+        idx.insert(vec![1.0, 0.0]);
+        let hits = idx.search(&[1.0, 0.0], 2);
+        assert_eq!(hits[0].id, 0);
+        assert_eq!(hits[1].id, 1);
+    }
+}

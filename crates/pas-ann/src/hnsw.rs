@@ -1,0 +1,492 @@
+//! Hierarchical Navigable Small World (HNSW) index.
+//!
+//! Implements the construction and search procedures of Malkov & Yashunin
+//! (2016): every inserted vector gets a geometrically distributed level; each
+//! level holds a proximity graph; queries descend greedily from the top
+//! layer and run an `ef`-bounded best-first search at layer 0.
+//!
+//! The implementation favours clarity and determinism (seeded level
+//! assignment, id-ordered tie-breaks) over micro-optimization; the exact
+//! scanner in [`crate::exact`] provides the correctness oracle in tests and
+//! the speed baseline in benches.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::metric::Metric;
+use crate::Neighbor;
+
+/// HNSW construction parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HnswConfig {
+    /// Max bidirectional links per node per layer (layer 0 uses `2 * m`).
+    pub m: usize,
+    /// Beam width during construction.
+    pub ef_construction: usize,
+    /// Seed for the level-assignment RNG.
+    pub seed: u64,
+}
+
+impl Default for HnswConfig {
+    fn default() -> Self {
+        HnswConfig { m: 16, ef_construction: 100, seed: 0x9a5 }
+    }
+}
+
+/// Distance-ordered candidate for the heaps. `Reverse`-style ordering is
+/// obtained by negating through the wrapper types below.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Candidate {
+    distance: f32,
+    id: usize,
+}
+
+impl Eq for Candidate {}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap by distance, ties by id (deterministic).
+        self.distance
+            .total_cmp(&other.distance)
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Node {
+    /// `neighbors[l]` = adjacency at layer `l`; length = node level + 1.
+    neighbors: Vec<Vec<usize>>,
+}
+
+impl Node {
+    fn level(&self) -> usize {
+        self.neighbors.len() - 1
+    }
+}
+
+/// The HNSW index. Generic over the distance [`Metric`].
+pub struct Hnsw<M: Metric> {
+    config: HnswConfig,
+    metric: M,
+    vectors: Vec<Vec<f32>>,
+    nodes: Vec<Node>,
+    entry: Option<usize>,
+    rng: StdRng,
+    level_norm: f64,
+}
+
+impl<M: Metric> Hnsw<M> {
+    /// Creates an empty index.
+    ///
+    /// # Panics
+    /// Panics when `m < 2` or `ef_construction == 0`.
+    pub fn new(config: HnswConfig, metric: M) -> Self {
+        assert!(config.m >= 2, "m must be at least 2");
+        assert!(config.ef_construction > 0, "ef_construction must be positive");
+        let level_norm = 1.0 / (config.m as f64).ln();
+        let rng = StdRng::seed_from_u64(config.seed);
+        Hnsw { config, metric, vectors: Vec::new(), nodes: Vec::new(), entry: None, rng, level_norm }
+    }
+
+    /// Number of stored vectors.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// True when no vectors are stored.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// The stored vector for `id`.
+    pub fn vector(&self, id: usize) -> &[f32] {
+        &self.vectors[id]
+    }
+
+    fn random_level(&mut self) -> usize {
+        let u: f64 = self.rng.random::<f64>().max(f64::MIN_POSITIVE);
+        ((-u.ln()) * self.level_norm).floor() as usize
+    }
+
+    #[inline]
+    fn dist(&self, a: usize, query: &[f32]) -> f32 {
+        self.metric.distance(&self.vectors[a], query)
+    }
+
+    /// Best-first search at one layer. Returns up to `ef` closest candidates
+    /// to `query`, unsorted.
+    fn search_layer(&self, query: &[f32], entry: usize, ef: usize, layer: usize) -> Vec<Candidate> {
+        let mut visited = vec![false; self.nodes.len()];
+        visited[entry] = true;
+        let entry_cand = Candidate { distance: self.dist(entry, query), id: entry };
+
+        // `candidates`: min-heap (via Reverse) of nodes to expand.
+        let mut candidates: BinaryHeap<std::cmp::Reverse<Candidate>> = BinaryHeap::new();
+        candidates.push(std::cmp::Reverse(entry_cand));
+        // `results`: max-heap keeping the `ef` best found so far.
+        let mut results: BinaryHeap<Candidate> = BinaryHeap::new();
+        results.push(entry_cand);
+
+        while let Some(std::cmp::Reverse(current)) = candidates.pop() {
+            let worst = results.peek().expect("results never empty").distance;
+            if current.distance > worst && results.len() >= ef {
+                break;
+            }
+            for &next in &self.nodes[current.id].neighbors[layer] {
+                if visited[next] {
+                    continue;
+                }
+                visited[next] = true;
+                let d = self.dist(next, query);
+                let worst = results.peek().expect("non-empty").distance;
+                if results.len() < ef || d < worst {
+                    let cand = Candidate { distance: d, id: next };
+                    candidates.push(std::cmp::Reverse(cand));
+                    results.push(cand);
+                    if results.len() > ef {
+                        results.pop();
+                    }
+                }
+            }
+        }
+        results.into_vec()
+    }
+
+    /// Greedy descent to the closest node at `layer`, starting from `entry`.
+    fn greedy_step(&self, query: &[f32], mut entry: usize, layer: usize) -> usize {
+        let mut best = self.dist(entry, query);
+        loop {
+            let mut improved = false;
+            for &next in &self.nodes[entry].neighbors[layer] {
+                let d = self.dist(next, query);
+                if d < best {
+                    best = d;
+                    entry = next;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return entry;
+            }
+        }
+    }
+
+    fn max_links(&self, layer: usize) -> usize {
+        if layer == 0 {
+            self.config.m * 2
+        } else {
+            self.config.m
+        }
+    }
+
+    /// Inserts a vector, returning its id (insertion order).
+    pub fn insert(&mut self, vector: Vec<f32>) -> usize {
+        let id = self.vectors.len();
+        let level = self.random_level();
+        self.vectors.push(vector);
+        self.nodes.push(Node { neighbors: vec![Vec::new(); level + 1] });
+
+        let Some(mut entry) = self.entry else {
+            self.entry = Some(id);
+            return id;
+        };
+        let top_level = self.nodes[entry].level();
+        let query = self.vectors[id].clone();
+
+        // Phase 1: descend through layers above the new node's level.
+        for layer in ((level + 1)..=top_level).rev() {
+            entry = self.greedy_step(&query, entry, layer);
+        }
+
+        // Phase 2: connect on each layer from min(level, top) down to 0.
+        for layer in (0..=level.min(top_level)).rev() {
+            let found = self.search_layer(&query, entry, self.config.ef_construction, layer);
+            let mut sorted = found.clone();
+            sorted.sort();
+            let m = self.max_links(layer);
+            let selected: Vec<usize> = sorted.iter().take(m).map(|c| c.id).collect();
+            for &peer in &selected {
+                self.nodes[id].neighbors[layer].push(peer);
+                self.nodes[peer].neighbors[layer].push(id);
+                self.shrink_links(peer, layer);
+            }
+            // Continue descent from the closest node found on this layer.
+            if let Some(best) = sorted.first() {
+                entry = best.id;
+            }
+        }
+
+        if level > top_level {
+            self.entry = Some(id);
+        }
+        id
+    }
+
+    /// Trims a node's adjacency at `layer` to at most `max_links` using the
+    /// diversity heuristic of Malkov & Yashunin's Algorithm 4: walk the
+    /// candidates closest-first and keep one only when it is closer to the
+    /// base than to every neighbour already kept; then backfill remaining
+    /// slots with the closest pruned candidates ("keep pruned connections").
+    /// Plain closest-`M` truncation severs every inbound link of an outlier
+    /// (it is everyone's farthest neighbour), disconnecting it from the
+    /// graph; the heuristic preserves such bridges.
+    fn shrink_links(&mut self, node: usize, layer: usize) {
+        let m = self.max_links(layer);
+        if self.nodes[node].neighbors[layer].len() <= m {
+            return;
+        }
+        let base = self.vectors[node].clone();
+        let mut links: Vec<Candidate> = self.nodes[node].neighbors[layer]
+            .iter()
+            .map(|&peer| Candidate { distance: self.metric.distance(&base, &self.vectors[peer]), id: peer })
+            .collect();
+        links.sort();
+        let mut selected: Vec<Candidate> = Vec::with_capacity(m);
+        let mut pruned: Vec<Candidate> = Vec::new();
+        for cand in links {
+            if selected.len() >= m {
+                break;
+            }
+            let diverse = selected.iter().all(|s| {
+                cand.distance < self.metric.distance(&self.vectors[cand.id], &self.vectors[s.id])
+            });
+            if diverse {
+                selected.push(cand);
+            } else {
+                pruned.push(cand);
+            }
+        }
+        for cand in pruned {
+            if selected.len() >= m {
+                break;
+            }
+            selected.push(cand);
+        }
+        self.nodes[node].neighbors[layer] = selected.into_iter().map(|c| c.id).collect();
+    }
+
+    /// Searches the `k` nearest neighbours of `query` with beam width `ef`
+    /// (clamped up to `k`). Closest first; ties by id.
+    pub fn search(&self, query: &[f32], k: usize, ef: usize) -> Vec<Neighbor> {
+        let Some(mut entry) = self.entry else {
+            return Vec::new();
+        };
+        let top_level = self.nodes[entry].level();
+        for layer in (1..=top_level).rev() {
+            entry = self.greedy_step(query, entry, layer);
+        }
+        let mut found = self.search_layer(query, entry, ef.max(k).max(1), 0);
+        found.sort();
+        found
+            .into_iter()
+            .take(k)
+            .map(|c| Neighbor { id: c.id, distance: c.distance })
+            .collect()
+    }
+
+    /// All neighbours within `radius` of `query`, found by running an
+    /// `ef`-bounded search and filtering. With `ef` well above the expected
+    /// group size this matches exact radius search with high probability.
+    pub fn search_radius(&self, query: &[f32], radius: f32, ef: usize) -> Vec<Neighbor> {
+        self.search(query, ef, ef)
+            .into_iter()
+            .filter(|n| n.distance <= radius)
+            .collect()
+    }
+
+    /// Captures the index state for persistence. The metric is not part of
+    /// the snapshot — supply the same one to [`Hnsw::from_snapshot`].
+    pub fn snapshot(&self) -> HnswSnapshot {
+        HnswSnapshot {
+            config: self.config.clone(),
+            vectors: self.vectors.clone(),
+            nodes: self.nodes.clone(),
+            entry: self.entry,
+        }
+    }
+
+    /// Restores an index from a snapshot. Searches reproduce exactly;
+    /// *future inserts* draw levels from a reseeded RNG (seed ⊕ node count),
+    /// so an index that keeps growing after a reload follows a different —
+    /// but equally valid — level sequence than one that never stopped.
+    pub fn from_snapshot(snapshot: HnswSnapshot, metric: M) -> Self {
+        let level_norm = 1.0 / (snapshot.config.m as f64).ln();
+        let rng =
+            StdRng::seed_from_u64(snapshot.config.seed ^ (snapshot.nodes.len() as u64).rotate_left(21));
+        Hnsw {
+            config: snapshot.config,
+            metric,
+            vectors: snapshot.vectors,
+            nodes: snapshot.nodes,
+            entry: snapshot.entry,
+            rng,
+            level_norm,
+        }
+    }
+}
+
+/// Serializable state of an [`Hnsw`] index (graph, vectors, entry point).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HnswSnapshot {
+    config: HnswConfig,
+    vectors: Vec<Vec<f32>>,
+    nodes: Vec<Node>,
+    entry: Option<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactIndex;
+    use crate::metric::EuclideanDistance;
+    use rand::RngExt;
+
+    fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.random::<f32>() * 2.0 - 1.0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn empty_index_searches_empty() {
+        let idx = Hnsw::new(HnswConfig::default(), EuclideanDistance);
+        assert!(idx.search(&[1.0, 2.0], 3, 16).is_empty());
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn single_element() {
+        let mut idx = Hnsw::new(HnswConfig::default(), EuclideanDistance);
+        idx.insert(vec![1.0, 1.0]);
+        let hits = idx.search(&[0.0, 0.0], 5, 16);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 0);
+    }
+
+    #[test]
+    fn exact_match_is_found_first() {
+        let mut idx = Hnsw::new(HnswConfig::default(), EuclideanDistance);
+        let vecs = random_vectors(100, 8, 1);
+        for v in &vecs {
+            idx.insert(v.clone());
+        }
+        let hits = idx.search(&vecs[37], 1, 50);
+        assert_eq!(hits[0].id, 37);
+        assert!(hits[0].distance < 1e-6);
+    }
+
+    #[test]
+    fn recall_at_10_vs_exact() {
+        let vecs = random_vectors(500, 16, 7);
+        let mut hnsw = Hnsw::new(
+            HnswConfig { m: 12, ef_construction: 80, seed: 3 },
+            EuclideanDistance,
+        );
+        let mut exact = ExactIndex::new(EuclideanDistance);
+        for v in &vecs {
+            hnsw.insert(v.clone());
+            exact.insert(v.clone());
+        }
+        let queries = random_vectors(20, 16, 99);
+        let mut hits_total = 0usize;
+        for q in &queries {
+            let truth: std::collections::HashSet<usize> =
+                exact.search(q, 10).into_iter().map(|n| n.id).collect();
+            let approx = hnsw.search(q, 10, 80);
+            hits_total += approx.iter().filter(|n| truth.contains(&n.id)).count();
+        }
+        let recall = hits_total as f64 / (10 * queries.len()) as f64;
+        assert!(recall >= 0.9, "recall@10 = {recall}");
+    }
+
+    #[test]
+    fn results_sorted_by_distance() {
+        let vecs = random_vectors(100, 4, 11);
+        let mut idx = Hnsw::new(HnswConfig::default(), EuclideanDistance);
+        for v in &vecs {
+            idx.insert(v.clone());
+        }
+        let hits = idx.search(&vecs[0], 10, 64);
+        for w in hits.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn radius_search_only_returns_within_radius() {
+        let mut idx = Hnsw::new(HnswConfig::default(), EuclideanDistance);
+        idx.insert(vec![0.0, 0.0]);
+        idx.insert(vec![0.1, 0.0]);
+        idx.insert(vec![5.0, 5.0]);
+        let hits = idx.search_radius(&[0.0, 0.0], 0.5, 16);
+        let ids: Vec<usize> = hits.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let vecs = random_vectors(80, 8, 5);
+        let build = |seed| {
+            let mut idx = Hnsw::new(HnswConfig { seed, ..HnswConfig::default() }, EuclideanDistance);
+            for v in &vecs {
+                idx.insert(v.clone());
+            }
+            idx.search(&vecs[3], 5, 32)
+                .into_iter()
+                .map(|n| n.id)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(build(42), build(42));
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_searches() {
+        let vecs = random_vectors(120, 8, 17);
+        let mut idx = Hnsw::new(HnswConfig::default(), EuclideanDistance);
+        for v in &vecs {
+            idx.insert(v.clone());
+        }
+        let json = serde_json::to_string(&idx.snapshot()).unwrap();
+        let snapshot: HnswSnapshot = serde_json::from_str(&json).unwrap();
+        let restored = Hnsw::from_snapshot(snapshot, EuclideanDistance);
+        for q in vecs.iter().step_by(13) {
+            let a: Vec<usize> = idx.search(q, 5, 32).into_iter().map(|n| n.id).collect();
+            let b: Vec<usize> = restored.search(q, 5, 32).into_iter().map(|n| n.id).collect();
+            assert_eq!(a, b);
+        }
+        assert_eq!(restored.len(), idx.len());
+    }
+
+    #[test]
+    fn restored_index_accepts_new_inserts() {
+        let vecs = random_vectors(60, 4, 19);
+        let mut idx = Hnsw::new(HnswConfig::default(), EuclideanDistance);
+        for v in &vecs {
+            idx.insert(v.clone());
+        }
+        let mut restored = Hnsw::from_snapshot(idx.snapshot(), EuclideanDistance);
+        let new_point = vec![9.0, 9.0, 9.0, 9.0];
+        let id = restored.insert(new_point.clone());
+        assert_eq!(id, 60);
+        let hit = &restored.search(&new_point, 1, 32)[0];
+        assert_eq!(hit.id, 60);
+        assert!(hit.distance < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_m_rejected() {
+        let _ = Hnsw::new(HnswConfig { m: 1, ..HnswConfig::default() }, EuclideanDistance);
+    }
+}

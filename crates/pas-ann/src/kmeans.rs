@@ -1,0 +1,230 @@
+//! Seeded k-means clustering with k-means++ initialization.
+//!
+//! Used by the data-selection pipeline to group deduplicated prompts before
+//! per-cluster sampling (the paper extracts "a small amount of data from each
+//! cluster to reduce redundancy", §3.1).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// k-means hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Number of clusters. Clamped to the number of points.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on total centroid movement.
+    pub tolerance: f32,
+    /// RNG seed for initialization.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig { k: 8, max_iters: 50, tolerance: 1e-4, seed: 0x6b }
+    }
+}
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Final centroids, `k` rows.
+    pub centroids: Vec<Vec<f32>>,
+    /// Cluster assignment per input point.
+    pub assignments: Vec<usize>,
+    /// Iterations actually executed.
+    pub iterations: usize,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f32,
+}
+
+impl KMeansResult {
+    /// Ids of the points in cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| (a == c).then_some(i))
+            .collect()
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+}
+
+fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+/// Runs k-means++ initialization followed by Lloyd iterations.
+///
+/// # Panics
+/// Panics when `points` is empty or dimensions are inconsistent.
+pub fn kmeans(points: &[Vec<f32>], config: &KMeansConfig) -> KMeansResult {
+    assert!(!points.is_empty(), "kmeans requires at least one point");
+    let dim = points[0].len();
+    assert!(points.iter().all(|p| p.len() == dim), "inconsistent dimensions");
+    let k = config.k.clamp(1, points.len());
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // k-means++ seeding: first centroid uniform, the rest D²-weighted.
+    let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(k);
+    centroids.push(points[rng.random_range(0..points.len())].clone());
+    let mut d2: Vec<f32> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f32 = d2.iter().sum();
+        let next = if total <= f32::EPSILON {
+            // All points coincide with existing centroids; pick uniformly.
+            rng.random_range(0..points.len())
+        } else {
+            let mut target = rng.random::<f32>() * total;
+            let mut chosen = points.len() - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if target < w {
+                    chosen = i;
+                    break;
+                }
+                target -= w;
+            }
+            chosen
+        };
+        centroids.push(points[next].clone());
+        for (i, p) in points.iter().enumerate() {
+            d2[i] = d2[i].min(sq_dist(p, centroids.last().expect("just pushed")));
+        }
+    }
+
+    let mut assignments = vec![0usize; points.len()];
+    let mut iterations = 0;
+    for iter in 0..config.max_iters {
+        iterations = iter + 1;
+        // Assignment step.
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = sq_dist(p, centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            assignments[i] = best;
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0f32; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in points.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, &x) in sums[a].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        let mut movement = 0.0f32;
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed empty cluster at the point farthest from its centroid.
+                let far = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| {
+                        sq_dist(a.1, &centroids[assignments[a.0]])
+                            .total_cmp(&sq_dist(b.1, &centroids[assignments[b.0]]))
+                    })
+                    .map(|(i, _)| i)
+                    .expect("points non-empty");
+                centroids[c] = points[far].clone();
+                continue;
+            }
+            let inv = 1.0 / counts[c] as f32;
+            let new: Vec<f32> = sums[c].iter().map(|&s| s * inv).collect();
+            movement += sq_dist(&new, &centroids[c]);
+            centroids[c] = new;
+        }
+        if movement <= config.tolerance {
+            break;
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &a)| sq_dist(p, &centroids[a]))
+        .sum();
+    KMeansResult { centroids, assignments, iterations, inertia }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f32>> {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            let j = (i % 5) as f32 * 0.01;
+            pts.push(vec![0.0 + j, 0.0 + j]);
+            pts.push(vec![10.0 + j, 10.0 + j]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let pts = two_blobs();
+        let res = kmeans(&pts, &KMeansConfig { k: 2, ..KMeansConfig::default() });
+        // All even indices (blob A) share one label; odd indices the other.
+        let a = res.assignments[0];
+        let b = res.assignments[1];
+        assert_ne!(a, b);
+        assert!(res.assignments.iter().step_by(2).all(|&x| x == a));
+        assert!(res.assignments.iter().skip(1).step_by(2).all(|&x| x == b));
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let pts = vec![vec![1.0], vec![2.0]];
+        let res = kmeans(&pts, &KMeansConfig { k: 10, ..KMeansConfig::default() });
+        assert_eq!(res.k(), 2);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let pts = two_blobs();
+        let cfg = KMeansConfig { k: 3, seed: 9, ..KMeansConfig::default() };
+        let a = kmeans(&pts, &cfg);
+        let b = kmeans(&pts, &cfg);
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn identical_points_dont_crash() {
+        let pts = vec![vec![1.0, 1.0]; 10];
+        let res = kmeans(&pts, &KMeansConfig { k: 3, ..KMeansConfig::default() });
+        assert!(res.inertia < 1e-6);
+    }
+
+    #[test]
+    fn members_partition_points() {
+        let pts = two_blobs();
+        let res = kmeans(&pts, &KMeansConfig { k: 4, ..KMeansConfig::default() });
+        let total: usize = (0..res.k()).map(|c| res.members(c).len()).sum();
+        assert_eq!(total, pts.len());
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let pts = two_blobs();
+        let i1 = kmeans(&pts, &KMeansConfig { k: 1, ..KMeansConfig::default() }).inertia;
+        let i2 = kmeans(&pts, &KMeansConfig { k: 2, ..KMeansConfig::default() }).inertia;
+        assert!(i2 < i1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_points_rejected() {
+        kmeans(&[], &KMeansConfig::default());
+    }
+}

@@ -1,0 +1,88 @@
+//! Distance metrics for the vector indexes.
+
+/// A distance function: smaller means more similar. Implementations must be
+/// symmetric and return 0 for identical inputs.
+pub trait Metric: Send + Sync {
+    /// Distance between two equal-length vectors.
+    fn distance(&self, a: &[f32], b: &[f32]) -> f32;
+}
+
+/// Cosine distance `1 − cos(a, b)`, in `[0, 2]`. Zero vectors are treated as
+/// maximally distant from everything (distance 1), matching
+/// `pas_embed::cosine`'s zero-vector convention.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CosineDistance;
+
+impl Metric for CosineDistance {
+    #[inline]
+    fn distance(&self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+        let mut dot = 0.0f32;
+        let mut na = 0.0f32;
+        let mut nb = 0.0f32;
+        for (&x, &y) in a.iter().zip(b) {
+            dot += x * y;
+            na += x * x;
+            nb += y * y;
+        }
+        if na == 0.0 || nb == 0.0 {
+            return 1.0;
+        }
+        (1.0 - dot / (na.sqrt() * nb.sqrt())).max(0.0)
+    }
+}
+
+/// Euclidean (L2) distance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EuclideanDistance;
+
+impl Metric for EuclideanDistance {
+    #[inline]
+    fn distance(&self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| (x - y) * (x - y))
+            .sum::<f32>()
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_identical_is_zero() {
+        let d = CosineDistance.distance(&[1.0, 2.0], &[1.0, 2.0]);
+        assert!(d.abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_orthogonal_is_one() {
+        let d = CosineDistance.distance(&[1.0, 0.0], &[0.0, 1.0]);
+        assert!((d - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_unit_distance() {
+        assert_eq!(CosineDistance.distance(&[0.0, 0.0], &[1.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn euclidean_known_value() {
+        let d = EuclideanDistance.distance(&[0.0, 0.0], &[3.0, 4.0]);
+        assert!((d - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn metrics_are_symmetric() {
+        let a = [0.2, -0.5, 0.7];
+        let b = [0.9, 0.1, -0.3];
+        assert_eq!(CosineDistance.distance(&a, &b), CosineDistance.distance(&b, &a));
+        assert_eq!(
+            EuclideanDistance.distance(&a, &b),
+            EuclideanDistance.distance(&b, &a)
+        );
+    }
+}

@@ -1,0 +1,402 @@
+//! MinHash signatures and LSH banding — the classical near-duplicate
+//! detector, provided as an alternative backend to the embedding+HNSW
+//! pipeline and as its correctness cross-check.
+//!
+//! A document is a set of shingle hashes; its MinHash signature stores, for
+//! each of `num_hashes` seeded permutations, the minimum permuted value.
+//! The fraction of agreeing signature positions is an unbiased estimator of
+//! the Jaccard similarity of the shingle sets. LSH banding groups
+//! signatures into `bands` bands of `rows` rows; documents sharing any
+//! band bucket become candidate duplicates, which are then verified against
+//! the signature estimate.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// MinHash parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MinHashConfig {
+    /// Number of hash permutations (= signature length). Must be
+    /// `bands * rows`.
+    pub num_hashes: usize,
+    /// LSH bands.
+    pub bands: usize,
+    /// Rows per band.
+    pub rows: usize,
+    /// Permutation seed.
+    pub seed: u64,
+}
+
+impl Default for MinHashConfig {
+    fn default() -> Self {
+        MinHashConfig { num_hashes: 64, bands: 16, rows: 4, seed: 0x314a5 }
+    }
+}
+
+impl MinHashConfig {
+    fn validate(&self) {
+        assert!(self.num_hashes > 0, "need at least one hash");
+        assert_eq!(
+            self.bands * self.rows,
+            self.num_hashes,
+            "bands*rows must equal num_hashes"
+        );
+    }
+}
+
+/// A MinHash signature.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Signature(Vec<u64>);
+
+impl Signature {
+    /// Signature length.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the signature is empty (empty input set).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// Computes MinHash signatures.
+///
+/// ```
+/// use pas_ann::{MinHashConfig, MinHasher};
+///
+/// let h = MinHasher::new(MinHashConfig::default());
+/// let a = h.signature(&[1, 2, 3, 4, 5, 6, 7, 8]);
+/// let b = h.signature(&[1, 2, 3, 4, 5, 6, 7, 9]);
+/// let est = h.estimate_jaccard(&a, &b);
+/// assert!(est > 0.5, "seven of nine elements shared: {est}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct MinHasher {
+    config: MinHashConfig,
+    /// Per-permutation `(multiplier, addend)` for the universal hash family
+    /// `h_i(x) = (a_i·x + b_i) mixed`.
+    params: Vec<(u64, u64)>,
+}
+
+#[inline]
+fn mix(x: u64) -> u64 {
+    // splitmix64 finalizer: full-avalanche permutation of u64.
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl MinHasher {
+    /// Creates a hasher.
+    pub fn new(config: MinHashConfig) -> Self {
+        config.validate();
+        let mut state = config.seed | 1;
+        let params = (0..config.num_hashes)
+            .map(|_| {
+                state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let a = mix(state) | 1; // odd multiplier
+                let b = mix(state ^ 0xabcd);
+                (a, b)
+            })
+            .collect();
+        MinHasher { config, params }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MinHashConfig {
+        &self.config
+    }
+
+    /// Signature of a set of element hashes. An empty set yields an empty
+    /// signature (no bucket membership, similar to nothing).
+    pub fn signature(&self, elements: &[u64]) -> Signature {
+        if elements.is_empty() {
+            return Signature(Vec::new());
+        }
+        let sig = self
+            .params
+            .iter()
+            .map(|&(a, b)| {
+                elements
+                    .iter()
+                    .map(|&x| mix(x.wrapping_mul(a).wrapping_add(b)))
+                    .min()
+                    .expect("non-empty")
+            })
+            .collect();
+        Signature(sig)
+    }
+
+    /// Unbiased Jaccard estimate from two signatures (0.0 when either is
+    /// empty and the other is not; 1.0 when both are empty).
+    pub fn estimate_jaccard(&self, a: &Signature, b: &Signature) -> f64 {
+        match (a.is_empty(), b.is_empty()) {
+            (true, true) => 1.0,
+            (true, false) | (false, true) => 0.0,
+            _ => {
+                let agree = a.0.iter().zip(&b.0).filter(|(x, y)| x == y).count();
+                agree as f64 / a.0.len() as f64
+            }
+        }
+    }
+}
+
+/// LSH index over signatures, with banding.
+pub struct LshIndex {
+    hasher: MinHasher,
+    /// `buckets[band][band_key]` → document ids.
+    buckets: Vec<HashMap<u64, Vec<usize>>>,
+    signatures: Vec<Signature>,
+}
+
+impl LshIndex {
+    /// Creates an empty index.
+    pub fn new(config: MinHashConfig) -> Self {
+        config.validate();
+        let bands = config.bands;
+        LshIndex {
+            hasher: MinHasher::new(config),
+            buckets: vec![HashMap::new(); bands],
+            signatures: Vec::new(),
+        }
+    }
+
+    /// The underlying hasher.
+    pub fn hasher(&self) -> &MinHasher {
+        &self.hasher
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.signatures.is_empty()
+    }
+
+    fn band_key(sig: &Signature, band: usize, rows: usize) -> u64 {
+        let slice = &sig.0[band * rows..(band + 1) * rows];
+        let mut acc = band as u64 ^ 0x5bd1_e995;
+        for &v in slice {
+            acc = mix(acc ^ v);
+        }
+        acc
+    }
+
+    /// Candidate duplicates of `elements` among the already-indexed
+    /// documents (deduplicated ids, unordered).
+    pub fn candidates(&self, sig: &Signature) -> Vec<usize> {
+        if sig.is_empty() {
+            return Vec::new();
+        }
+        let rows = self.hasher.config.rows;
+        let mut out: Vec<usize> = Vec::new();
+        for (band, buckets) in self.buckets.iter().enumerate() {
+            if let Some(ids) = buckets.get(&Self::band_key(sig, band, rows)) {
+                out.extend_from_slice(ids);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Indexes a document's element hashes; returns `(id, signature)`.
+    pub fn insert(&mut self, elements: &[u64]) -> (usize, Signature) {
+        let sig = self.hasher.signature(elements);
+        let id = self.signatures.len();
+        if !sig.is_empty() {
+            let rows = self.hasher.config.rows;
+            for (band, buckets) in self.buckets.iter_mut().enumerate() {
+                buckets
+                    .entry(Self::band_key(&sig, band, rows))
+                    .or_default()
+                    .push(id);
+            }
+        }
+        self.signatures.push(sig.clone());
+        (id, sig)
+    }
+
+    /// Signature of a previously inserted document.
+    pub fn signature_of(&self, id: usize) -> &Signature {
+        &self.signatures[id]
+    }
+}
+
+/// MinHash-based near-duplicate grouping over texts, mirroring
+/// [`crate::Deduplicator`]'s outcome shape.
+pub struct MinHashDeduplicator;
+
+impl MinHashDeduplicator {
+    /// Groups texts whose estimated shingle-Jaccard is at least
+    /// `threshold`; keeps the first member of each group.
+    pub fn run(
+        config: MinHashConfig,
+        shingle_sets: &[Vec<u64>],
+        threshold: f64,
+    ) -> crate::dedup::DedupOutcome {
+        let mut index = LshIndex::new(config);
+        let mut group_of: Vec<usize> = Vec::with_capacity(shingle_sets.len());
+        let mut kept: Vec<usize> = Vec::new();
+        let mut group_count = 0usize;
+
+        for (i, elements) in shingle_sets.iter().enumerate() {
+            let sig = index.hasher().signature(elements);
+            let mut assigned: Option<usize> = None;
+            for cand in index.candidates(&sig) {
+                let est = index.hasher().estimate_jaccard(&sig, index.signature_of(cand));
+                if est >= threshold {
+                    assigned = Some(group_of[cand]);
+                    break;
+                }
+            }
+            let group = assigned.unwrap_or_else(|| {
+                let g = group_count;
+                group_count += 1;
+                kept.push(i);
+                g
+            });
+            index.insert(elements);
+            group_of.push(group);
+        }
+        crate::dedup::DedupOutcome { kept, group_of, group_count }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shingles(text: &str) -> Vec<u64> {
+        let mut v = pas_text_shingles(text);
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    // Local shingle helper to avoid a dependency edge from pas-ann to
+    // pas-text in the library itself; tests approximate 3-word shingles
+    // with rolling sums of word hashes.
+    fn pas_text_shingles(text: &str) -> Vec<u64> {
+        let words: Vec<u64> = text
+            .split_whitespace()
+            .map(|w| {
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                for b in w.to_lowercase().bytes() {
+                    h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+                }
+                h
+            })
+            .collect();
+        if words.len() < 3 {
+            return words;
+        }
+        words.windows(3).map(|w| mix(w[0] ^ mix(w[1] ^ mix(w[2])))).collect()
+    }
+
+    fn true_jaccard(a: &[u64], b: &[u64]) -> f64 {
+        let sa: std::collections::HashSet<u64> = a.iter().copied().collect();
+        let sb: std::collections::HashSet<u64> = b.iter().copied().collect();
+        if sa.is_empty() && sb.is_empty() {
+            return 1.0;
+        }
+        let inter = sa.intersection(&sb).count();
+        inter as f64 / (sa.len() + sb.len() - inter) as f64
+    }
+
+    #[test]
+    fn identical_sets_estimate_one() {
+        let h = MinHasher::new(MinHashConfig::default());
+        let s = shingles("the quick brown fox jumps over the lazy dog again and again");
+        let sig = h.signature(&s);
+        assert!((h.estimate_jaccard(&sig, &sig) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_sets_estimate_near_zero() {
+        let h = MinHasher::new(MinHashConfig::default());
+        let a = h.signature(&shingles("alpha beta gamma delta epsilon zeta eta theta"));
+        let b = h.signature(&shingles("one two three four five six seven eight"));
+        assert!(h.estimate_jaccard(&a, &b) < 0.15);
+    }
+
+    #[test]
+    fn estimate_tracks_true_jaccard() {
+        let h = MinHasher::new(MinHashConfig {
+            num_hashes: 256,
+            bands: 32,
+            rows: 8,
+            ..MinHashConfig::default()
+        });
+        let base = "a b c d e f g h i j k l m n o p q r s t";
+        let variant = "a b c d e f g h i j k l m n o p q r s CHANGED";
+        let sa = shingles(base);
+        let sb = shingles(variant);
+        let truth = true_jaccard(&sa, &sb);
+        let est = h.estimate_jaccard(&h.signature(&sa), &h.signature(&sb));
+        assert!(
+            (truth - est).abs() < 0.15,
+            "true {truth} vs estimated {est}"
+        );
+    }
+
+    #[test]
+    fn empty_sets_behave() {
+        let h = MinHasher::new(MinHashConfig::default());
+        let empty = h.signature(&[]);
+        let full = h.signature(&shingles("some actual words here for once"));
+        assert!(empty.is_empty());
+        assert_eq!(h.estimate_jaccard(&empty, &empty), 1.0);
+        assert_eq!(h.estimate_jaccard(&empty, &full), 0.0);
+    }
+
+    #[test]
+    fn lsh_surfaces_near_duplicates_as_candidates() {
+        let mut index = LshIndex::new(MinHashConfig::default());
+        let a = shingles("how do i sort a list of a million integers efficiently in rust");
+        let b = shingles("how do i sort a list of a million integers efficiently in rust please");
+        let c = shingles("write a poem about the moon in autumn for my grandmother tonight");
+        index.insert(&a);
+        index.insert(&c);
+        let sig_b = index.hasher().signature(&b);
+        let cands = index.candidates(&sig_b);
+        assert!(cands.contains(&0), "near-duplicate must be a candidate");
+        assert!(!cands.contains(&1), "unrelated doc should not collide");
+    }
+
+    #[test]
+    fn dedup_groups_exact_duplicates() {
+        let texts = [
+            "the selection pipeline removes duplicated prompts from the corpus",
+            "the selection pipeline removes duplicated prompts from the corpus",
+            "an entirely different sentence about barbecue recipes and charcoal",
+        ];
+        let sets: Vec<Vec<u64>> = texts.iter().map(|t| shingles(t)).collect();
+        let out = MinHashDeduplicator::run(MinHashConfig::default(), &sets, 0.8);
+        assert_eq!(out.kept, vec![0, 2]);
+        assert_eq!(out.group_of[0], out.group_of[1]);
+        assert_ne!(out.group_of[0], out.group_of[2]);
+    }
+
+    #[test]
+    fn dedup_outcome_shape_is_consistent() {
+        let sets: Vec<Vec<u64>> = (0..10)
+            .map(|i| shingles(&format!("document number {i} with its own words entirely {i}")))
+            .collect();
+        let out = MinHashDeduplicator::run(MinHashConfig::default(), &sets, 0.9);
+        assert_eq!(out.group_of.len(), 10);
+        assert_eq!(out.kept.len(), out.group_count);
+    }
+
+    #[test]
+    #[should_panic(expected = "bands*rows")]
+    fn invalid_banding_rejected() {
+        MinHasher::new(MinHashConfig { num_hashes: 10, bands: 3, rows: 4, seed: 0 });
+    }
+}

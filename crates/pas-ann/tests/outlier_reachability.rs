@@ -1,0 +1,29 @@
+//! Regression: an inserted outlier must stay reachable.
+//!
+//! With naive closest-M pruning, a far outlier is every peer's farthest
+//! neighbour, so all inbound links get severed and the node becomes
+//! unreachable. The Algorithm 4 diversity heuristic in `shrink_links`
+//! keeps such bridges alive.
+
+use pas_ann::{EuclideanDistance, Hnsw, HnswConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+#[test]
+fn outliers_remain_searchable() {
+    let mut rng = StdRng::seed_from_u64(19);
+    let mut idx = Hnsw::new(HnswConfig::default(), EuclideanDistance);
+    for _ in 0..60 {
+        let v: Vec<f32> = (0..4).map(|_| rng.random::<f32>() * 2.0 - 1.0).collect();
+        idx.insert(v);
+    }
+    // Insert several progressively farther outliers; each must be the
+    // top-1 result for a query at its own position.
+    for scale in [3.0f32, 9.0, 40.0, -25.0] {
+        let point = vec![scale; 4];
+        let id = idx.insert(point.clone());
+        let hit = &idx.search(&point, 1, 32)[0];
+        assert_eq!(hit.id, id, "outlier at {scale} unreachable (distance {})", hit.distance);
+        assert!(hit.distance < 1e-4);
+    }
+}

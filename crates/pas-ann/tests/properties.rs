@@ -1,0 +1,117 @@
+//! Property-based tests for the ANN substrate: HNSW against the exact
+//! oracle, k-means invariants, dedup invariants.
+
+use proptest::prelude::*;
+
+use pas_ann::{
+    kmeans, CosineDistance, DedupConfig, Deduplicator, EuclideanDistance, ExactIndex, Hnsw,
+    HnswConfig, KMeansConfig,
+};
+
+fn vectors(n: std::ops::Range<usize>, dim: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    prop::collection::vec(
+        prop::collection::vec(-1.0f32..1.0, dim..=dim),
+        n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn hnsw_top1_matches_exact_for_existing_points(vs in vectors(5..80, 6)) {
+        let mut hnsw = Hnsw::new(HnswConfig { ef_construction: 64, ..HnswConfig::default() }, EuclideanDistance);
+        let mut exact = ExactIndex::new(EuclideanDistance);
+        for v in &vs {
+            hnsw.insert(v.clone());
+            exact.insert(v.clone());
+        }
+        // Querying an inserted point must return distance ~0 at rank 1.
+        for (i, v) in vs.iter().enumerate().step_by(7) {
+            let hit = &hnsw.search(v, 1, 48)[0];
+            prop_assert!(hit.distance < 1e-5, "query {i}: distance {}", hit.distance);
+        }
+    }
+
+    #[test]
+    fn hnsw_recall_at_5_is_high(vs in vectors(60..150, 8)) {
+        let mut hnsw = Hnsw::new(HnswConfig { ef_construction: 80, ..HnswConfig::default() }, EuclideanDistance);
+        let mut exact = ExactIndex::new(EuclideanDistance);
+        for v in &vs {
+            hnsw.insert(v.clone());
+            exact.insert(v.clone());
+        }
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for v in vs.iter().step_by(11) {
+            let truth: std::collections::HashSet<usize> =
+                exact.search(v, 5).into_iter().map(|n| n.id).collect();
+            for n in hnsw.search(v, 5, 64) {
+                total += 1;
+                if truth.contains(&n.id) {
+                    hits += 1;
+                }
+            }
+        }
+        prop_assert!(total == 0 || hits * 10 >= total * 8, "recall {hits}/{total}");
+    }
+
+    #[test]
+    fn hnsw_results_are_sorted_and_unique(vs in vectors(10..60, 4)) {
+        let mut hnsw = Hnsw::new(HnswConfig::default(), EuclideanDistance);
+        for v in &vs {
+            hnsw.insert(v.clone());
+        }
+        let res = hnsw.search(&vs[0], 8, 32);
+        for w in res.windows(2) {
+            prop_assert!(w[0].distance <= w[1].distance);
+        }
+        let ids: std::collections::HashSet<usize> = res.iter().map(|n| n.id).collect();
+        prop_assert_eq!(ids.len(), res.len(), "duplicate ids in results");
+    }
+
+    #[test]
+    fn kmeans_assignments_are_nearest_centroid(vs in vectors(8..60, 3)) {
+        let res = kmeans(&vs, &KMeansConfig { k: 3, ..KMeansConfig::default() });
+        for (p, &a) in vs.iter().zip(&res.assignments) {
+            let d_assigned: f32 = p.iter().zip(&res.centroids[a]).map(|(x, y)| (x - y).powi(2)).sum();
+            for c in &res.centroids {
+                let d: f32 = p.iter().zip(c).map(|(x, y)| (x - y).powi(2)).sum();
+                prop_assert!(d_assigned <= d + 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_partitions_the_input(vs in vectors(5..60, 5)) {
+        let out = Deduplicator::run(DedupConfig::default(), vs.clone());
+        prop_assert_eq!(out.group_of.len(), vs.len());
+        prop_assert!(out.kept.len() <= vs.len());
+        prop_assert!(!out.kept.is_empty());
+        // Every group id referenced is in range.
+        for &g in &out.group_of {
+            prop_assert!(g < out.group_count);
+        }
+        // Kept items are in strictly increasing input order.
+        for w in out.kept.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn dedup_is_idempotent(vs in vectors(5..50, 5)) {
+        let first = Deduplicator::run(DedupConfig::default(), vs.clone());
+        let kept: Vec<Vec<f32>> = first.kept.iter().map(|&i| vs[i].clone()).collect();
+        let second = Deduplicator::run(DedupConfig::default(), kept.clone());
+        prop_assert_eq!(second.kept.len(), kept.len(), "dedup of deduped must keep all");
+    }
+
+    #[test]
+    fn cosine_distance_triangle_ish(a in prop::collection::vec(-1.0f32..1.0, 4),
+                                    b in prop::collection::vec(-1.0f32..1.0, 4)) {
+        use pas_ann::Metric;
+        let d = CosineDistance.distance(&a, &b);
+        prop_assert!((0.0..=2.0 + 1e-5).contains(&d));
+        prop_assert!((CosineDistance.distance(&b, &a) - d).abs() < 1e-6);
+    }
+}

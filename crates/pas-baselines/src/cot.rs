@@ -1,0 +1,54 @@
+//! Zero-shot chain-of-thought (Kojima et al., 2022).
+//!
+//! The simplest manual prompt-engineering baseline: append "Let's think
+//! step by step." Untrained, free, and useful mainly on reasoning-heavy
+//! prompts — the extension bench compares it against PAS per category.
+
+use pas_core::PromptOptimizer;
+
+/// The zero-shot CoT appender.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZeroShotCot;
+
+impl PromptOptimizer for ZeroShotCot {
+    fn name(&self) -> &str {
+        "Zero-shot CoT"
+    }
+
+    fn optimize(&self, prompt: &str) -> String {
+        format!("{prompt} Let's think step by step.")
+    }
+
+    fn requires_human_labels(&self) -> bool {
+        false
+    }
+
+    fn llm_agnostic(&self) -> bool {
+        true
+    }
+
+    fn task_agnostic(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_llm::world::{detect_aspects, Aspect};
+
+    #[test]
+    fn appends_the_magic_phrase() {
+        let out = ZeroShotCot.optimize("Solve this riddle.");
+        assert!(out.starts_with("Solve this riddle."));
+        assert!(detect_aspects(&out).contains(Aspect::StepByStep));
+    }
+
+    #[test]
+    fn flexibility_metadata() {
+        assert!(!ZeroShotCot.requires_human_labels());
+        assert!(ZeroShotCot.llm_agnostic());
+        assert!(ZeroShotCot.task_agnostic());
+        assert!(ZeroShotCot.training_pairs().is_none());
+    }
+}

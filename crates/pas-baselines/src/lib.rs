@@ -1,0 +1,30 @@
+//! Baseline automatic-prompt-engineering methods.
+//!
+//! Every method the paper compares against (Tables 1–3, Figure 7),
+//! implemented against the common [`pas_core::PromptOptimizer`] trait:
+//!
+//! - [`bpo`] — Black-box Prompt Optimization (Cheng et al., 2023): the
+//!   previous SoTA. A really-trained rewrite model whose training labels
+//!   carry human-preference noise and whose rewrites occasionally drift
+//!   from the original intent — the instability the paper observes.
+//! - [`preference`] — PPO / DPO surrogates: they tune the *model*, not the
+//!   prompt, so they are LLM-specific; used for the flexibility matrix and
+//!   the data-consumption comparison.
+//! - [`opro`] — OPRO (Yang et al., 2023): LLM-as-optimizer over candidate
+//!   instructions, scored on a labeled train split of one task.
+//! - [`protegi`] — ProTeGi/APO (Pryzant et al., 2023): textual-gradient
+//!   beam search over instruction edits.
+//! - [`cot`] — zero-shot chain-of-thought ("Let's think step by step").
+
+pub mod bpo;
+pub mod cot;
+pub mod opro;
+pub mod preference;
+pub mod protegi;
+pub mod score;
+
+pub use bpo::{Bpo, BpoConfig};
+pub use cot::ZeroShotCot;
+pub use opro::{Opro, OproConfig};
+pub use preference::{PreferenceKind, PreferenceTuned};
+pub use protegi::{ProTeGi, ProTeGiConfig};

@@ -1,0 +1,243 @@
+//! OPRO — large language models as optimizers (Yang et al., 2023).
+//!
+//! OPRO treats instruction text as the optimization variable and the
+//! accuracy on a *labeled training split* as the objective — data that, as
+//! the paper notes, is "unavailable in real-world scenarios". The search
+//! here is the same loop at workspace scale: candidate instructions are
+//! aspect-request combinations, the objective is the labeled score of the
+//! target model's responses on the train split, and each iteration proposes
+//! mutations of the best instruction so far.
+//!
+//! The result is inherently **task-specific** (optimized for one category's
+//! train split) and **model-specific** (optimized against one target
+//! model) — the two ✗ columns OPRO gets in Table 3.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use pas_core::PromptOptimizer;
+use pas_llm::teacher::realize_complement;
+use pas_llm::world::{Aspect, AspectSet, Category, PromptMeta};
+use pas_llm::{ChatModel, SimLlm};
+
+use crate::score::labeled_score;
+
+/// OPRO search parameters.
+#[derive(Debug, Clone)]
+pub struct OproConfig {
+    /// Optimization iterations.
+    pub iterations: usize,
+    /// Candidate mutations proposed per iteration.
+    pub pool_per_iter: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for OproConfig {
+    fn default() -> Self {
+        OproConfig { iterations: 6, pool_per_iter: 4, seed: 0x0960 }
+    }
+}
+
+/// A per-task instruction found by OPRO.
+#[derive(Debug, Clone)]
+pub struct Opro {
+    name: String,
+    instruction: String,
+    category: Category,
+    target_model: String,
+    train_score: f32,
+}
+
+impl Opro {
+    /// Runs the optimization loop for one `category` against one target
+    /// `model`, scoring candidates on the labeled `train` split.
+    pub fn optimize_for_task(
+        config: &OproConfig,
+        category: Category,
+        model: &SimLlm,
+        train: &[(String, PromptMeta)],
+    ) -> Opro {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut best_set: AspectSet = [Aspect::Depth].into_iter().collect();
+        let mut best_score = evaluate(model, train, best_set);
+
+        for _ in 0..config.iterations {
+            for _ in 0..config.pool_per_iter {
+                let candidate = mutate(best_set, &mut rng);
+                let score = evaluate(model, train, candidate);
+                if score > best_score {
+                    best_score = score;
+                    best_set = candidate;
+                }
+            }
+        }
+
+        Opro {
+            name: "OPRO".to_string(),
+            instruction: instruction_text(best_set),
+            category,
+            target_model: model.name().to_string(),
+            train_score: best_score,
+        }
+    }
+
+    /// The optimized instruction suffix.
+    pub fn instruction(&self) -> &str {
+        &self.instruction
+    }
+
+    /// Train-split score achieved.
+    pub fn train_score(&self) -> f32 {
+        self.train_score
+    }
+
+    /// The category this instruction was optimized for.
+    pub fn category(&self) -> Category {
+        self.category
+    }
+
+    /// The model this instruction was optimized against.
+    pub fn target_model(&self) -> &str {
+        &self.target_model
+    }
+}
+
+fn instruction_text(aspects: AspectSet) -> String {
+    realize_complement("the task at hand", aspects)
+}
+
+fn evaluate(model: &SimLlm, train: &[(String, PromptMeta)], aspects: AspectSet) -> f32 {
+    if train.is_empty() {
+        return 0.0;
+    }
+    let instr = instruction_text(aspects);
+    let total: f32 = train
+        .iter()
+        .map(|(prompt, meta)| labeled_score(meta, &model.chat(&format!("{prompt} {instr}"))))
+        .sum();
+    total / train.len() as f32
+}
+
+fn mutate(set: AspectSet, rng: &mut StdRng) -> AspectSet {
+    let mut out = set;
+    let a = Aspect::ALL[rng.random_range(0..Aspect::ALL.len())];
+    if out.contains(a) && out.len() > 1 {
+        out.remove(a);
+    } else {
+        out.insert(a);
+    }
+    // Keep instructions short, like real OPRO prompts.
+    while out.len() > 3 {
+        let drop = out.iter().next().expect("non-empty");
+        out.remove(drop);
+    }
+    out
+}
+
+impl PromptOptimizer for Opro {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn optimize(&self, prompt: &str) -> String {
+        format!("{prompt} {}", self.instruction)
+    }
+
+    fn requires_human_labels(&self) -> bool {
+        true // objective = accuracy on a labeled train split
+    }
+
+    fn llm_agnostic(&self) -> bool {
+        false // optimized against one target model
+    }
+
+    fn task_agnostic(&self) -> bool {
+        false // optimized for one category's train split
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_llm::world::World;
+    use pas_text::lang::Language;
+    use std::sync::Arc;
+
+    fn train_split(n: usize) -> (Vec<(String, PromptMeta)>, Arc<World>) {
+        let mut world = World::new();
+        let mut items = Vec::new();
+        for i in 0..n {
+            let prompt = format!("Walk me through compound interest scenario number {i}");
+            let meta = PromptMeta {
+                category: Category::Math,
+                required: [Aspect::StepByStep, Aspect::Completeness].into_iter().collect(),
+                explicit: AspectSet::EMPTY,
+                ambiguity: 0.3,
+                trap: false,
+                language: Language::English,
+                topic: "compound interest".into(),
+            };
+            world.register(&prompt, meta.clone());
+            items.push((prompt, meta));
+        }
+        (items, Arc::new(world))
+    }
+
+    #[test]
+    fn optimization_finds_a_useful_instruction() {
+        let (train, world) = train_split(30);
+        let model = SimLlm::named("gpt-4-0613", world);
+        let opro = Opro::optimize_for_task(&OproConfig::default(), Category::Math, &model, &train);
+        // The instruction should request at least one genuinely needed aspect.
+        let requested = pas_llm::world::detect_aspects(opro.instruction());
+        let needed: AspectSet = [Aspect::StepByStep, Aspect::Completeness].into_iter().collect();
+        assert!(
+            !requested.intersection(needed).is_empty(),
+            "instruction {:?} misses the needed aspects",
+            opro.instruction()
+        );
+        // And it must beat the no-instruction baseline on the train split.
+        let baseline = {
+            let total: f32 = train
+                .iter()
+                .map(|(p, m)| labeled_score(m, &model.chat(p)))
+                .sum::<f32>()
+                / train.len() as f32;
+            total
+        };
+        assert!(opro.train_score() > baseline, "{} vs {baseline}", opro.train_score());
+    }
+
+    #[test]
+    fn optimize_appends_instruction() {
+        let (train, world) = train_split(10);
+        let model = SimLlm::named("gpt-4-0613", world);
+        let opro = Opro::optimize_for_task(&OproConfig::default(), Category::Math, &model, &train);
+        let out = opro.optimize("a new math question");
+        assert!(out.starts_with("a new math question"));
+        assert!(out.contains(opro.instruction()));
+    }
+
+    #[test]
+    fn flexibility_metadata_matches_table3() {
+        let (train, world) = train_split(5);
+        let model = SimLlm::named("gpt-4-0613", world);
+        let opro = Opro::optimize_for_task(&OproConfig::default(), Category::Math, &model, &train);
+        assert!(opro.requires_human_labels());
+        assert!(!opro.llm_agnostic());
+        assert!(!opro.task_agnostic());
+        assert!(opro.training_pairs().is_none());
+        assert_eq!(opro.target_model(), "gpt-4-0613");
+        assert_eq!(opro.category(), Category::Math);
+    }
+
+    #[test]
+    fn empty_train_split_is_safe() {
+        let (_, world) = train_split(1);
+        let model = SimLlm::named("gpt-4-0613", world);
+        let opro = Opro::optimize_for_task(&OproConfig::default(), Category::Math, &model, &[]);
+        assert_eq!(opro.train_score(), 0.0);
+        assert!(!opro.instruction().is_empty());
+    }
+}

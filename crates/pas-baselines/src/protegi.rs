@@ -1,0 +1,234 @@
+//! ProTeGi / APO — prompt optimization with "textual gradients" and beam
+//! search (Pryzant et al., 2023).
+//!
+//! The original computes a natural-language "gradient" — a critique of the
+//! current prompt based on where it fails on labeled data — and expands a
+//! beam with edits that address the critique. The workspace version keeps
+//! that exact structure: the gradient is the multiset of *required aspects
+//! missing from failing responses*, and an edit adds the most-missed aspect
+//! to the instruction. Like OPRO, the result is task- and model-specific
+//! and needs labeled data (Table 3's three ✗s).
+
+use pas_core::PromptOptimizer;
+use pas_llm::teacher::realize_complement;
+use pas_llm::world::{detect_aspects, Aspect, AspectSet, Category, PromptMeta};
+use pas_llm::{ChatModel, SimLlm};
+
+use crate::score::labeled_score;
+
+/// ProTeGi search parameters.
+#[derive(Debug, Clone)]
+pub struct ProTeGiConfig {
+    /// Gradient/expansion rounds.
+    pub rounds: usize,
+    /// Beam width.
+    pub beam_width: usize,
+}
+
+impl Default for ProTeGiConfig {
+    fn default() -> Self {
+        ProTeGiConfig { rounds: 4, beam_width: 3 }
+    }
+}
+
+/// A per-task instruction found by ProTeGi.
+#[derive(Debug, Clone)]
+pub struct ProTeGi {
+    instruction: String,
+    category: Category,
+    target_model: String,
+    train_score: f32,
+}
+
+impl ProTeGi {
+    /// Runs gradient-guided beam search for one `category` against one
+    /// target `model` on the labeled `train` split.
+    pub fn optimize_for_task(
+        config: &ProTeGiConfig,
+        category: Category,
+        model: &SimLlm,
+        train: &[(String, PromptMeta)],
+    ) -> ProTeGi {
+        let mut beam: Vec<(AspectSet, f32)> = vec![(AspectSet::EMPTY, score_set(model, train, AspectSet::EMPTY))];
+
+        for _ in 0..config.rounds {
+            let mut expanded = beam.clone();
+            for &(set, _) in &beam {
+                // "Textual gradient": which required aspects are missing
+                // from this candidate's failing responses?
+                let mut missing_counts = [0usize; 10];
+                let instr = instruction_text(set);
+                for (prompt, meta) in train {
+                    let response = model.chat(&format!("{prompt} {instr}"));
+                    let covered = detect_aspects(&response);
+                    for a in meta.required.minus(covered).iter() {
+                        missing_counts[a.index()] += 1;
+                    }
+                }
+                // Edit: add the most-missed aspect not already requested.
+                let mut order: Vec<usize> = (0..missing_counts.len()).collect();
+                order.sort_by(|&x, &y| missing_counts[y].cmp(&missing_counts[x]));
+                for idx in order.into_iter().take(2) {
+                    if missing_counts[idx] == 0 {
+                        break;
+                    }
+                    let aspect = Aspect::from_index(idx).expect("index in range");
+                    if set.contains(aspect) || set.len() >= 3 {
+                        continue;
+                    }
+                    let mut next = set;
+                    next.insert(aspect);
+                    expanded.push((next, score_set(model, train, next)));
+                }
+            }
+            expanded.sort_by(|a, b| b.1.total_cmp(&a.1));
+            expanded.dedup_by_key(|e| e.0);
+            expanded.truncate(config.beam_width);
+            beam = expanded;
+        }
+
+        let (best, train_score) = beam.into_iter().next().expect("beam non-empty");
+        ProTeGi {
+            instruction: instruction_text(best),
+            category,
+            target_model: model.name().to_string(),
+            train_score,
+        }
+    }
+
+    /// The optimized instruction suffix.
+    pub fn instruction(&self) -> &str {
+        &self.instruction
+    }
+
+    /// Train-split score achieved.
+    pub fn train_score(&self) -> f32 {
+        self.train_score
+    }
+
+    /// The category the instruction was optimized for.
+    pub fn category(&self) -> Category {
+        self.category
+    }
+
+    /// The model the instruction was optimized against.
+    pub fn target_model(&self) -> &str {
+        &self.target_model
+    }
+}
+
+fn instruction_text(aspects: AspectSet) -> String {
+    if aspects.is_empty() {
+        String::new()
+    } else {
+        realize_complement("the task at hand", aspects)
+    }
+}
+
+fn score_set(model: &SimLlm, train: &[(String, PromptMeta)], set: AspectSet) -> f32 {
+    if train.is_empty() {
+        return 0.0;
+    }
+    let instr = instruction_text(set);
+    let total: f32 = train
+        .iter()
+        .map(|(prompt, meta)| {
+            let input = if instr.is_empty() { prompt.clone() } else { format!("{prompt} {instr}") };
+            labeled_score(meta, &model.chat(&input))
+        })
+        .sum();
+    total / train.len() as f32
+}
+
+impl PromptOptimizer for ProTeGi {
+    fn name(&self) -> &str {
+        "ProTeGi"
+    }
+
+    fn optimize(&self, prompt: &str) -> String {
+        if self.instruction.is_empty() {
+            prompt.to_string()
+        } else {
+            format!("{prompt} {}", self.instruction)
+        }
+    }
+
+    fn requires_human_labels(&self) -> bool {
+        true
+    }
+
+    fn llm_agnostic(&self) -> bool {
+        false
+    }
+
+    fn task_agnostic(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_llm::world::World;
+    use pas_text::lang::Language;
+    use std::sync::Arc;
+
+    fn train_split(n: usize) -> (Vec<(String, PromptMeta)>, Arc<World>) {
+        let mut world = World::new();
+        let mut items = Vec::new();
+        for i in 0..n {
+            let prompt = format!("Evaluate the adoption barriers scenario number {i}");
+            let meta = PromptMeta {
+                category: Category::Analysis,
+                required: [Aspect::Depth, Aspect::Completeness].into_iter().collect(),
+                explicit: AspectSet::EMPTY,
+                ambiguity: 0.3,
+                trap: false,
+                language: Language::English,
+                topic: "adoption barriers".into(),
+            };
+            world.register(&prompt, meta.clone());
+            items.push((prompt, meta));
+        }
+        (items, Arc::new(world))
+    }
+
+    #[test]
+    fn gradient_search_improves_over_empty_instruction() {
+        let (train, world) = train_split(25);
+        let model = SimLlm::named("gpt-4-0613", world);
+        let baseline = score_set(&model, &train, AspectSet::EMPTY);
+        let pt = ProTeGi::optimize_for_task(&ProTeGiConfig::default(), Category::Analysis, &model, &train);
+        assert!(pt.train_score() > baseline, "{} vs {baseline}", pt.train_score());
+        assert!(!pt.instruction().is_empty());
+    }
+
+    #[test]
+    fn instruction_addresses_missing_aspects() {
+        let (train, world) = train_split(25);
+        let model = SimLlm::named("gpt-3.5-turbo-1106", world);
+        let pt = ProTeGi::optimize_for_task(&ProTeGiConfig::default(), Category::Analysis, &model, &train);
+        let requested = detect_aspects(pt.instruction());
+        let needed: AspectSet = [Aspect::Depth, Aspect::Completeness].into_iter().collect();
+        assert!(!requested.intersection(needed).is_empty(), "{:?}", pt.instruction());
+    }
+
+    #[test]
+    fn flexibility_metadata_matches_table3() {
+        let (train, world) = train_split(5);
+        let model = SimLlm::named("gpt-4-0613", world);
+        let pt = ProTeGi::optimize_for_task(&ProTeGiConfig::default(), Category::Analysis, &model, &train);
+        assert!(pt.requires_human_labels());
+        assert!(!pt.llm_agnostic());
+        assert!(!pt.task_agnostic());
+        assert_eq!(pt.target_model(), "gpt-4-0613");
+    }
+
+    #[test]
+    fn empty_train_split_is_safe() {
+        let (_, world) = train_split(1);
+        let model = SimLlm::named("gpt-4-0613", world);
+        let pt = ProTeGi::optimize_for_task(&ProTeGiConfig::default(), Category::Analysis, &model, &[]);
+        assert_eq!(pt.optimize("plain prompt"), "plain prompt");
+    }
+}

@@ -1,0 +1,64 @@
+//! Labeled-split scoring shared by the iterative optimizers.
+//!
+//! OPRO and ProTeGi both optimize against ground-truth labels on a training
+//! split — the human-labeled dependence Table 3 charges them with. The
+//! score reads only the response *text*: required-aspect coverage plus the
+//! correctness marker.
+
+use pas_llm::simllm::CORRECT_MARKER;
+use pas_llm::world::{detect_aspects, PromptMeta};
+
+/// Score of `response` against the labeled `meta`, in `[0, 1]`.
+pub fn labeled_score(meta: &PromptMeta, response: &str) -> f32 {
+    let required = meta.required;
+    let coverage = if required.is_empty() {
+        1.0
+    } else {
+        detect_aspects(response).intersection(required).len() as f32 / required.len() as f32
+    };
+    let correct = if response.contains(CORRECT_MARKER) { 1.0 } else { 0.0 };
+    0.6 * coverage + 0.4 * correct
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_llm::world::{Aspect, AspectSet, Category};
+    use pas_text::lang::Language;
+
+    fn meta() -> PromptMeta {
+        PromptMeta {
+            category: Category::Math,
+            required: [Aspect::StepByStep].into_iter().collect(),
+            explicit: AspectSet::EMPTY,
+            ambiguity: 0.2,
+            trap: false,
+            language: Language::English,
+            topic: "test".into(),
+        }
+    }
+
+    #[test]
+    fn full_marks_for_covered_and_correct() {
+        let resp = format!("Let us work step by step. {CORRECT_MARKER}.");
+        assert!((labeled_score(&meta(), &resp) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_for_empty_response() {
+        assert_eq!(labeled_score(&meta(), "irrelevant words only"), 0.0);
+    }
+
+    #[test]
+    fn partial_credit_for_coverage_without_correctness() {
+        let resp = "Let us work step by step through it.";
+        assert!((labeled_score(&meta(), resp) - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_required_set_gives_coverage_credit() {
+        let mut m = meta();
+        m.required = AspectSet::EMPTY;
+        assert!((labeled_score(&m, "anything") - 0.6).abs() < 1e-6);
+    }
+}

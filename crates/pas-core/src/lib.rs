@@ -1,0 +1,28 @@
+//! The PAS system: fine-tuning and the plug-and-play augmentation API.
+//!
+//! This crate implements §3.4 of the paper:
+//!
+//! - [`optimizer`] — the [`PromptOptimizer`] trait every automatic-prompt-
+//!   engineering method implements, carrying the flexibility metadata that
+//!   Table 3 compares (human labor, LLM-agnostic, task-agnostic).
+//! - [`pas`] — the [`Pas`] model: `M_p ← SFT(M; D_generated)`. Fine-tuning
+//!   really trains a multi-label aspect model (and optionally a neural
+//!   complement LM) on the generated pairs; augmentation is
+//!   `p_c = M_p(p)` and enhancement `r_e = LLM(cat(p, p_c))`.
+//! - [`neural`] — the fully neural complement generator variant
+//!   ([`NeuralPas`]): a BPE tokenizer + feed-forward LM fine-tuned on
+//!   `prompt <sep> complement` sequences, provided as the paper's
+//!   "train one LLM" reading and used in an ablation bench.
+//! - [`system`] — [`PasSystem`]: one-call pipeline from raw corpus to a
+//!   trained PAS (corpus → selection → Algorithm 1 → SFT), with the stage
+//!   reports the experiments print.
+
+pub mod neural;
+pub mod optimizer;
+pub mod pas;
+pub mod system;
+
+pub use neural::{NeuralPas, NeuralPasConfig};
+pub use optimizer::{NoOptimizer, PromptOptimizer};
+pub use pas::{Pas, PasConfig};
+pub use system::{PasSystem, SystemConfig};

@@ -1,0 +1,244 @@
+//! The fully neural PAS variant.
+//!
+//! [`crate::Pas`] factors the complement model into a trained aspect
+//! predictor plus a template realizer. `NeuralPas` is the end-to-end
+//! reading of §3.4: a BPE tokenizer and a feed-forward causal LM are
+//! fine-tuned directly on `prompt <sep> complement <eos>` token sequences,
+//! and augmentation is autoregressive generation after the separator. It is
+//! weaker than the factored model (the ablation bench quantifies the gap)
+//! but demonstrates that the workspace's training substrate carries a real
+//! text-to-text fine-tune.
+
+use pas_data::PairDataset;
+use pas_nn::{Adam, AdamConfig, FfnLm, GenerateConfig, LmConfig};
+use pas_tokenizer::{BpeTokenizer, BpeTrainer, SpecialToken, TrainConfig};
+
+use crate::optimizer::PromptOptimizer;
+
+/// Neural PAS hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct NeuralPasConfig {
+    /// BPE merge budget.
+    pub merges: usize,
+    /// LM context window.
+    pub context: usize,
+    /// LM embedding width.
+    pub embed_dim: usize,
+    /// LM hidden width.
+    pub hidden_dim: usize,
+    /// Fine-tuning epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Max complement tokens at generation time.
+    pub max_tokens: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for NeuralPasConfig {
+    fn default() -> Self {
+        NeuralPasConfig {
+            merges: 600,
+            context: 6,
+            embed_dim: 24,
+            hidden_dim: 64,
+            epochs: 8,
+            lr: 0.02,
+            max_tokens: 40,
+            seed: 0xe2e,
+        }
+    }
+}
+
+/// The end-to-end neural complement model.
+#[derive(Debug, Clone)]
+pub struct NeuralPas {
+    tokenizer: BpeTokenizer,
+    lm: FfnLm,
+    max_tokens: usize,
+    trained_pairs: usize,
+}
+
+impl NeuralPas {
+    /// Fine-tunes the tokenizer + LM on the generated dataset. Returns the
+    /// model and the final-epoch mean token loss.
+    pub fn sft(config: &NeuralPasConfig, dataset: &PairDataset) -> (NeuralPas, f32) {
+        // 1. Train the tokenizer over both sides of every pair.
+        let mut corpus: Vec<String> = Vec::with_capacity(dataset.len() * 2);
+        for p in &dataset.pairs {
+            corpus.push(p.prompt.clone());
+            corpus.push(p.complement.clone());
+        }
+        let tokenizer = BpeTrainer::new(TrainConfig { merges: config.merges, min_pair_count: 2 })
+            .train(corpus.iter().map(String::as_str));
+
+        // 2. Build training sequences `bos prompt sep complement eos`.
+        let sequences: Vec<Vec<u32>> = dataset
+            .pairs
+            .iter()
+            .map(|p| {
+                let mut seq = vec![SpecialToken::Bos.id()];
+                seq.extend(tokenizer.encode(&p.prompt));
+                seq.push(SpecialToken::Sep.id());
+                seq.extend(tokenizer.encode(&p.complement));
+                seq.push(SpecialToken::Eos.id());
+                seq
+            })
+            .collect();
+
+        // 3. Fine-tune the LM.
+        let mut lm = FfnLm::new(LmConfig {
+            vocab_size: tokenizer.vocab().len(),
+            context: config.context,
+            embed_dim: config.embed_dim,
+            hidden_dim: config.hidden_dim,
+            seed: config.seed,
+        });
+        let mut adam = Adam::new(AdamConfig { lr: config.lr, ..AdamConfig::default() });
+        let mut loss = f32::INFINITY;
+        for _ in 0..config.epochs {
+            loss = lm.train_epoch(&sequences, &mut adam);
+        }
+        (
+            NeuralPas {
+                tokenizer,
+                lm,
+                max_tokens: config.max_tokens,
+                trained_pairs: dataset.len(),
+            },
+            loss,
+        )
+    }
+
+    /// Generates a complement for `prompt` by continuing after `<sep>`.
+    pub fn augment(&self, prompt: &str) -> String {
+        let mut prefix = vec![SpecialToken::Bos.id()];
+        prefix.extend(self.tokenizer.encode(prompt));
+        prefix.push(SpecialToken::Sep.id());
+        let cfg = GenerateConfig {
+            max_tokens: self.max_tokens,
+            temperature: 0.0,
+            top_k: 0,
+            stop_token: Some(SpecialToken::Eos.id()),
+            seed: 0,
+        };
+        let tokens = self.lm.generate(&prefix, &cfg);
+        self.tokenizer.decode(&tokens)
+    }
+
+    /// Mean token negative log-likelihood of a held-out pair set.
+    pub fn eval_nll(&self, dataset: &PairDataset) -> f32 {
+        if dataset.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for p in &dataset.pairs {
+            let mut seq = vec![SpecialToken::Bos.id()];
+            seq.extend(self.tokenizer.encode(&p.prompt));
+            seq.push(SpecialToken::Sep.id());
+            seq.extend(self.tokenizer.encode(&p.complement));
+            seq.push(SpecialToken::Eos.id());
+            total += self.lm.nll(&seq);
+        }
+        total / dataset.len() as f32
+    }
+
+    /// Number of fine-tuning pairs.
+    pub fn trained_pairs(&self) -> usize {
+        self.trained_pairs
+    }
+}
+
+impl PromptOptimizer for NeuralPas {
+    fn name(&self) -> &str {
+        "PAS-neural"
+    }
+
+    fn optimize(&self, prompt: &str) -> String {
+        let complement = self.augment(prompt);
+        if complement.trim().is_empty() {
+            prompt.to_string()
+        } else {
+            format!("{prompt} {complement}")
+        }
+    }
+
+    fn requires_human_labels(&self) -> bool {
+        false
+    }
+
+    fn llm_agnostic(&self) -> bool {
+        true
+    }
+
+    fn task_agnostic(&self) -> bool {
+        true
+    }
+
+    fn training_pairs(&self) -> Option<usize> {
+        Some(self.trained_pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_data::PairRecord;
+    use pas_llm::Category;
+
+    /// A highly regular dataset the small LM can actually learn.
+    fn regular_dataset(n: usize) -> PairDataset {
+        let mut ds = PairDataset::new();
+        for i in 0..n {
+            ds.pairs.push(PairRecord {
+                prompt: format!("explain topic {}", i % 5),
+                complement: "please reason step by step".to_string(),
+                category: Category::Knowledge,
+            });
+        }
+        ds
+    }
+
+    fn quick_config() -> NeuralPasConfig {
+        NeuralPasConfig { merges: 80, epochs: 20, ..NeuralPasConfig::default() }
+    }
+
+    #[test]
+    fn sft_converges_on_regular_data() {
+        let (model, loss) = NeuralPas::sft(&quick_config(), &regular_dataset(40));
+        assert!(loss < 1.0, "loss {loss}");
+        let out = model.augment("explain topic 2");
+        assert!(out.contains("step"), "learned complement: {out:?}");
+    }
+
+    #[test]
+    fn augment_is_deterministic() {
+        let (model, _) = NeuralPas::sft(&quick_config(), &regular_dataset(30));
+        assert_eq!(model.augment("explain topic 1"), model.augment("explain topic 1"));
+    }
+
+    #[test]
+    fn optimize_keeps_prompt_prefix() {
+        let (model, _) = NeuralPas::sft(&quick_config(), &regular_dataset(30));
+        let out = model.optimize("explain topic 3");
+        assert!(out.starts_with("explain topic 3"));
+    }
+
+    #[test]
+    fn eval_nll_decreases_with_training() {
+        let ds = regular_dataset(40);
+        let (short, _) = NeuralPas::sft(&NeuralPasConfig { epochs: 1, merges: 80, ..NeuralPasConfig::default() }, &ds);
+        let (long, _) = NeuralPas::sft(&quick_config(), &ds);
+        assert!(long.eval_nll(&ds) < short.eval_nll(&ds));
+    }
+
+    #[test]
+    fn flexibility_metadata() {
+        let (model, _) = NeuralPas::sft(&quick_config(), &regular_dataset(10));
+        assert!(!model.requires_human_labels());
+        assert!(model.llm_agnostic());
+        assert!(model.task_agnostic());
+        assert_eq!(model.training_pairs(), Some(10));
+    }
+}

@@ -1,0 +1,134 @@
+//! The automatic-prompt-engineering interface.
+//!
+//! Every APE method — PAS, BPO, OPRO, ProTeGi, the preference baselines —
+//! implements [`PromptOptimizer`]. The trait carries two things:
+//!
+//! 1. the transformation itself ([`PromptOptimizer::optimize`]), and
+//! 2. the *flexibility metadata* the paper compares in Table 3: whether the
+//!    method needs human-labeled data, whether it works with any downstream
+//!    LLM, and whether it works on any task. The Table 3 regenerator reads
+//!    these straight off the implementations, so the table is a property of
+//!    the code rather than a hand-written matrix.
+
+/// An automatic prompt-engineering method.
+pub trait PromptOptimizer: Send + Sync {
+    /// Method name as it appears in the paper's tables.
+    fn name(&self) -> &str;
+
+    /// Transforms a user prompt into the text submitted to the main model.
+    /// The identity transformation is the "None" baseline.
+    fn optimize(&self, prompt: &str) -> String;
+
+    /// Whether building this method required human-labeled data (Table 3,
+    /// "No Human Labor" column is the negation).
+    fn requires_human_labels(&self) -> bool;
+
+    /// Whether one trained instance works with any downstream LLM.
+    fn llm_agnostic(&self) -> bool;
+
+    /// Whether one trained instance works on any task/category.
+    fn task_agnostic(&self) -> bool;
+
+    /// Training-data consumption in pairs, for the data-efficiency
+    /// comparison (Figure 7). `None` for untrained methods.
+    fn training_pairs(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// The no-APE baseline: passes prompts through unchanged.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoOptimizer;
+
+impl PromptOptimizer for NoOptimizer {
+    fn name(&self) -> &str {
+        "None"
+    }
+
+    fn optimize(&self, prompt: &str) -> String {
+        prompt.to_string()
+    }
+
+    fn requires_human_labels(&self) -> bool {
+        false
+    }
+
+    fn llm_agnostic(&self) -> bool {
+        true
+    }
+
+    fn task_agnostic(&self) -> bool {
+        true
+    }
+}
+
+impl<T: PromptOptimizer + ?Sized> PromptOptimizer for &T {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn optimize(&self, prompt: &str) -> String {
+        (**self).optimize(prompt)
+    }
+    fn requires_human_labels(&self) -> bool {
+        (**self).requires_human_labels()
+    }
+    fn llm_agnostic(&self) -> bool {
+        (**self).llm_agnostic()
+    }
+    fn task_agnostic(&self) -> bool {
+        (**self).task_agnostic()
+    }
+    fn training_pairs(&self) -> Option<usize> {
+        (**self).training_pairs()
+    }
+}
+
+impl PromptOptimizer for Box<dyn PromptOptimizer> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn optimize(&self, prompt: &str) -> String {
+        (**self).optimize(prompt)
+    }
+    fn requires_human_labels(&self) -> bool {
+        (**self).requires_human_labels()
+    }
+    fn llm_agnostic(&self) -> bool {
+        (**self).llm_agnostic()
+    }
+    fn task_agnostic(&self) -> bool {
+        (**self).task_agnostic()
+    }
+    fn training_pairs(&self) -> Option<usize> {
+        (**self).training_pairs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_optimizer_is_identity() {
+        let p = "leave me alone";
+        assert_eq!(NoOptimizer.optimize(p), p);
+        assert_eq!(NoOptimizer.name(), "None");
+    }
+
+    #[test]
+    fn no_optimizer_is_fully_flexible() {
+        assert!(!NoOptimizer.requires_human_labels());
+        assert!(NoOptimizer.llm_agnostic());
+        assert!(NoOptimizer.task_agnostic());
+        assert!(NoOptimizer.training_pairs().is_none());
+    }
+
+    #[test]
+    fn trait_objects_delegate() {
+        let boxed: Box<dyn PromptOptimizer> = Box::new(NoOptimizer);
+        assert_eq!(boxed.optimize("x"), "x");
+        assert_eq!(boxed.name(), "None");
+        let by_ref: &dyn PromptOptimizer = &NoOptimizer;
+        assert!(by_ref.task_agnostic());
+    }
+}

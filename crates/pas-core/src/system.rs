@@ -1,0 +1,116 @@
+//! One-call construction of a trained PAS from raw data.
+//!
+//! `PasSystem::build` chains the whole paper pipeline — synthetic corpus →
+//! §3.1 selection → Algorithm 1 generation (with or without the
+//! selection/regeneration phase) → §3.4 SFT — and keeps every stage report
+//! so experiments and examples can print what happened.
+
+use std::sync::Arc;
+
+use pas_data::{
+    Corpus, CorpusConfig, GenConfig, GenReport, Generator, PairDataset, SelectionConfig,
+    SelectionPipeline, SelectionReport,
+};
+use pas_llm::World;
+
+use crate::pas::{Pas, PasConfig};
+
+/// End-to-end system configuration.
+#[derive(Debug, Clone, Default)]
+pub struct SystemConfig {
+    /// Raw-corpus generation parameters.
+    pub corpus: CorpusConfig,
+    /// §3.1 selection parameters.
+    pub selection: SelectionConfig,
+    /// Algorithm 1 parameters (set `selection_enabled: false` for the
+    /// Table 5 ablation).
+    pub generation: GenConfig,
+    /// SFT parameters.
+    pub pas: PasConfig,
+}
+
+/// A fully built PAS system with its stage artifacts.
+pub struct PasSystem {
+    /// The trained plug-and-play model.
+    pub pas: Pas,
+    /// The generated fine-tuning dataset.
+    pub dataset: PairDataset,
+    /// Selection-stage report.
+    pub selection_report: SelectionReport,
+    /// Generation-stage report.
+    pub generation_report: GenReport,
+    /// Final SFT loss.
+    pub sft_loss: f32,
+    /// The latent world built by the corpus (needed to run simulated
+    /// downstream models over the same prompts).
+    pub world: Arc<World>,
+}
+
+impl PasSystem {
+    /// Runs corpus → selection → generation → SFT.
+    pub fn build(config: &SystemConfig) -> PasSystem {
+        let corpus = Corpus::generate(&config.corpus);
+        let world = Arc::new(corpus.world.clone());
+        let (selected, selection_report) =
+            SelectionPipeline::new(config.selection.clone()).run(&corpus.records);
+        let (dataset, generation_report) =
+            Generator::new(config.generation.clone(), Arc::clone(&world)).run(&selected);
+        let (pas, sft_loss) = Pas::sft(&config.pas, &dataset);
+        PasSystem { pas, dataset, selection_report, generation_report, sft_loss, world }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::PromptOptimizer;
+    use pas_core_test_support::small_system_config;
+
+    /// Shared tiny configuration for fast tests.
+    mod pas_core_test_support {
+        use super::*;
+
+        pub fn small_system_config(seed: u64) -> SystemConfig {
+            SystemConfig {
+                corpus: CorpusConfig { size: 350, seed, ..CorpusConfig::default() },
+                selection: SelectionConfig { labeled_size: 500, ..SelectionConfig::default() },
+                generation: GenConfig::default(),
+                pas: PasConfig::default(),
+            }
+        }
+    }
+
+    #[test]
+    fn build_produces_consistent_artifacts() {
+        let sys = PasSystem::build(&small_system_config(3));
+        assert_eq!(sys.dataset.len(), sys.selection_report.after_quality);
+        assert_eq!(sys.dataset.len(), sys.generation_report.generated);
+        assert!(sys.dataset.len() > 100, "dataset size {}", sys.dataset.len());
+        assert!(sys.sft_loss.is_finite());
+        assert!(!sys.world.is_empty());
+        assert_eq!(sys.pas.trained_pairs(), sys.dataset.len());
+    }
+
+    #[test]
+    fn ablation_flag_propagates() {
+        let mut cfg = small_system_config(4);
+        cfg.generation.selection_enabled = false;
+        let ablated = PasSystem::build(&cfg);
+        let full = PasSystem::build(&small_system_config(4));
+        assert!(
+            ablated.generation_report.residual_flaw_rate()
+                > full.generation_report.residual_flaw_rate(),
+            "ablation must leave more flaws: {} vs {}",
+            ablated.generation_report.residual_flaw_rate(),
+            full.generation_report.residual_flaw_rate()
+        );
+    }
+
+    #[test]
+    fn built_pas_augments_corpus_like_prompts() {
+        let sys = PasSystem::build(&small_system_config(5));
+        let out = sys.pas.optimize("How should I implement a rate limiter in a production system?");
+        assert!(out.starts_with("How should I implement"));
+        assert!(out.len() > 60, "augmented: {out}");
+    }
+}

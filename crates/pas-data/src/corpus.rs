@@ -1,0 +1,605 @@
+//! The synthetic prompt corpus — the workspace's LMSYS-Chat-1M / WildChat.
+//!
+//! A seeded generator emits prompts with the statistical structure the
+//! selection pipeline must cope with: a 14-category mix skewed toward Q&A
+//! and Coding (matching Figure 6), near-duplicates, junk entries, explicit
+//! constraint phrases, and occasional logic-trap questions. Every generated
+//! prompt's latent [`PromptMeta`] is registered in a [`World`] so simulated
+//! models can later "understand" it.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use pas_llm::world::{detect_aspects, Aspect, AspectSet, Category, PromptMeta, World};
+use pas_text::lang::Language;
+use pas_text::top_keywords;
+
+use crate::schema::{PromptRecord, Source};
+
+/// Corpus generation parameters.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Number of records to emit (including duplicates and junk).
+    pub size: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Fraction of records that re-emit an earlier prompt with surface noise.
+    pub dup_rate: f64,
+    /// Fraction of records that are junk (low-quality noise).
+    pub junk_rate: f64,
+    /// Fraction of fresh records written in Chinese (LMSYS-Chat-1M is
+    /// heavily bilingual; the critic's language-consistency rule needs
+    /// cross-language traffic to matter).
+    pub zh_rate: f64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig { size: 2000, seed: 42, dup_rate: 0.18, junk_rate: 0.12, zh_rate: 0.10 }
+    }
+}
+
+/// A generated corpus: records plus the world holding their latent metadata.
+pub struct Corpus {
+    /// The generated prompt records.
+    pub records: Vec<PromptRecord>,
+    /// Latent metadata registry for simulated models.
+    pub world: World,
+}
+
+impl Corpus {
+    /// Generates a corpus.
+    pub fn generate(config: &CorpusConfig) -> Corpus {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut records: Vec<PromptRecord> = Vec::with_capacity(config.size);
+        let mut world = World::new();
+        let mut originals: Vec<usize> = Vec::new();
+
+        for id in 0..config.size as u64 {
+            let roll: f64 = rng.random();
+            if roll < config.junk_rate {
+                records.push(junk_record(id, &mut rng));
+                continue;
+            }
+            if roll < config.junk_rate + config.dup_rate && !originals.is_empty() {
+                let src = originals[rng.random_range(0..originals.len())];
+                let base = &records[src];
+                let text = surface_variant(&base.text, &mut rng);
+                let meta = base.meta.clone();
+                // A near-duplicate is the same request; register its prefix
+                // too in case the variant changed the leading words.
+                world.register(&text, meta.clone());
+                records.push(PromptRecord {
+                    id,
+                    text,
+                    meta,
+                    source: pick_source(&mut rng),
+                    latent_quality: base.latent_quality,
+                });
+                continue;
+            }
+            let rec = if rng.random::<f64>() < config.zh_rate {
+                fresh_record_zh(id, &mut rng)
+            } else {
+                fresh_record(id, &mut rng)
+            };
+            world.register(&rec.text, rec.meta.clone());
+            originals.push(records.len());
+            records.push(rec);
+        }
+        Corpus { records, world }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// Category sampling weights (out of their sum), Q&A and Coding heaviest to
+/// match Figure 6's distribution.
+const CATEGORY_WEIGHTS: [(Category, u32); 14] = [
+    (Category::QuestionAnswering, 16),
+    (Category::Coding, 15),
+    (Category::Writing, 8),
+    (Category::Math, 7),
+    (Category::Reasoning, 7),
+    (Category::Translation, 6),
+    (Category::Summarization, 6),
+    (Category::Roleplay, 5),
+    (Category::Recommendation, 6),
+    (Category::Knowledge, 7),
+    (Category::Analysis, 6),
+    (Category::Creative, 5),
+    (Category::Brainstorming, 4),
+    (Category::Chitchat, 2),
+];
+
+fn pick_category(rng: &mut StdRng) -> Category {
+    let total: u32 = CATEGORY_WEIGHTS.iter().map(|&(_, w)| w).sum();
+    let mut target = rng.random_range(0..total);
+    for &(c, w) in &CATEGORY_WEIGHTS {
+        if target < w {
+            return c;
+        }
+        target -= w;
+    }
+    Category::QuestionAnswering
+}
+
+fn pick_source(rng: &mut StdRng) -> Source {
+    if rng.random::<f32>() < 0.6 {
+        Source::LmsysChat
+    } else {
+        Source::WildChat
+    }
+}
+
+/// Topics per category; each is a phrase whose content words become the
+/// prompt's topic key.
+fn topics(category: Category) -> &'static [&'static str] {
+    match category {
+        Category::QuestionAnswering => &[
+            "blood pressure during blood loss", "photosynthesis in desert plants",
+            "monetary policy and inflation", "volcanic eruption warning signs",
+            "antibiotic resistance mechanisms", "glacier formation timescales",
+            "satellite orbital decay", "caffeine metabolism in humans",
+        ],
+        Category::Coding => &[
+            "cache eviction policy for a buffer pool", "parsing csv files with quoted fields",
+            "async task scheduling in a web server", "binary search tree rebalancing",
+            "memory leak in a long running daemon", "database index selection strategy",
+            "rate limiter implementation", "lock free queue design",
+        ],
+        Category::Writing => &[
+            "resignation letter to a difficult manager", "grant proposal for river cleanup",
+            "product launch announcement", "wedding speech for an old friend",
+            "cover letter for a data engineering role", "apology email to a client",
+        ],
+        Category::Math => &[
+            "compound interest over decades", "probability of shared birthdays",
+            "area under a parabola", "train speed and meeting time puzzles",
+            "prime factorization shortcuts", "expected value of dice games",
+        ],
+        Category::Reasoning => &[
+            "birds on a tree after a gunshot", "candles burning at different rates",
+            "siblings ages riddle", "rivers crossing with limited boat seats",
+            "coins weighing with a balance scale", "light switches and bulbs upstairs",
+        ],
+        Category::Translation => &[
+            "business contract clauses", "restaurant menu descriptions",
+            "medical consent forms", "poetry preserving meter",
+            "software error messages", "historical speech excerpts",
+        ],
+        Category::Summarization => &[
+            "quarterly earnings call transcript", "climate panel assessment report",
+            "novel chapter with three subplots", "city council meeting minutes",
+            "clinical trial results paper", "podcast interview about startups",
+        ],
+        Category::Roleplay => &[
+            "a ship captain in a storm", "a medieval blacksmith teaching an apprentice",
+            "a detective interviewing a witness", "a museum guide for dinosaurs",
+            "a starship engineer during an emergency", "a chess grandmaster coaching",
+        ],
+        Category::Recommendation => &[
+            "science fiction novels for teenagers", "budget laptops for programming",
+            "hiking trails near mountain lakes", "board games for large families",
+            "documentaries about deep oceans", "podcasts on behavioural economics",
+        ],
+        Category::Knowledge => &[
+            "the silk road trade routes", "the printing press and literacy",
+            "the human immune response", "plate tectonics evidence",
+            "the french revolution causes", "the development of calculus",
+            "boiling water quickly in ancient times", "food preservation before refrigeration",
+        ],
+        Category::Analysis => &[
+            "remote work effects on productivity", "electric vehicle adoption barriers",
+            "social media and attention spans", "urban housing price drivers",
+            "renewable energy grid stability", "streaming services market saturation",
+        ],
+        Category::Creative => &[
+            "a poem about the autumn moon", "a short story set in a lighthouse",
+            "song lyrics about leaving home", "a fable with a clever fox",
+            "a haiku sequence about rain", "an opening scene on a night train",
+        ],
+        Category::Brainstorming => &[
+            "fundraiser ideas for a school library", "names for a coffee subscription",
+            "icebreakers for remote teams", "uses for empty glass jars",
+            "features for a habit tracking app", "themes for a science festival",
+        ],
+        Category::Chitchat => &[
+            "how the weekend went", "favourite comfort food",
+            "weather this week", "plans for the holidays",
+        ],
+    }
+}
+
+/// Prompt templates per category; `{t}` is the topic slot.
+fn templates(category: Category) -> &'static [&'static str] {
+    match category {
+        Category::QuestionAnswering => &[
+            "Does {t} work the way most people assume?",
+            "What actually happens with {t}?",
+            "Can you explain {t} to me?",
+        ],
+        Category::Coding => &[
+            "How should I implement {t}?",
+            "My code for {t} keeps failing, what should I check?",
+            "What is the best approach to {t} in a production system?",
+        ],
+        Category::Writing => &[
+            "Help me write {t}.",
+            "Draft {t} for me.",
+            "I need to write {t}, where do I start?",
+        ],
+        Category::Math => &[
+            "How do I solve problems about {t}?",
+            "Walk me through {t}.",
+            "What is the trick to {t}?",
+        ],
+        Category::Reasoning => &[
+            "Here is a puzzle about {t}. What is the answer?",
+            "Can you solve this riddle about {t}?",
+            "Think about {t} and tell me the outcome.",
+            "If you consider {t}, how many are left in the end?",
+            "Quick riddle about {t}. What is the correct answer?",
+        ],
+        Category::Translation => &[
+            "Translate {t} into French.",
+            "How would you translate {t} accurately?",
+            "Please translate {t} keeping the meaning.",
+        ],
+        Category::Summarization => &[
+            "Summarize {t} for me.",
+            "Give me the key points of {t}.",
+            "Condense {t} into a short brief.",
+        ],
+        Category::Roleplay => &[
+            "Pretend you are {t} and speak to me.",
+            "Act as {t} for this conversation.",
+            "You are {t}. Stay in character.",
+        ],
+        Category::Recommendation => &[
+            "Recommend {t}.",
+            "What are the best options for {t}?",
+            "I am looking for {t}, any suggestions?",
+        ],
+        Category::Knowledge => &[
+            "Tell me about {t}.",
+            "What should I know about {t}?",
+            "Give me an overview of {t}.",
+            "How to deal with {t}?",
+            "How did people manage {t}?",
+        ],
+        Category::Analysis => &[
+            "Analyze {t}.",
+            "What are the main factors behind {t}?",
+            "Evaluate the arguments around {t}.",
+        ],
+        Category::Creative => &[
+            "Write {t}.",
+            "Compose {t} for me.",
+            "Create {t} with vivid imagery.",
+        ],
+        Category::Brainstorming => &[
+            "Brainstorm {t}.",
+            "Give me ideas for {t}.",
+            "List creative options for {t}.",
+        ],
+        Category::Chitchat => &[
+            "Let's chat about {t}.",
+            "Tell me something fun about {t}.",
+        ],
+    }
+}
+
+/// Per-category base probabilities that an ideal answer requires each aspect.
+fn required_aspects(category: Category, trap: bool, rng: &mut StdRng) -> AspectSet {
+    use Aspect::*;
+    let table: &[(Aspect, f32)] = match category {
+        Category::QuestionAnswering => &[(Depth, 0.7), (Context, 0.5), (Completeness, 0.4), (Examples, 0.2)],
+        Category::Coding => &[(StepByStep, 0.6), (Examples, 0.6), (Completeness, 0.5), (FormatSpec, 0.3)],
+        Category::Writing => &[(StyleConstraint, 0.8), (Audience, 0.5), (FormatSpec, 0.3), (Depth, 0.2)],
+        Category::Math => &[(StepByStep, 0.9), (Completeness, 0.4), (Examples, 0.2)],
+        Category::Reasoning => &[(StepByStep, 0.8), (Completeness, 0.3), (Context, 0.2)],
+        Category::Translation => &[(StyleConstraint, 0.6), (Context, 0.5), (Completeness, 0.3)],
+        Category::Summarization => &[(Conciseness, 0.8), (Completeness, 0.5), (FormatSpec, 0.3)],
+        Category::Roleplay => &[(StyleConstraint, 0.8), (Context, 0.4), (Audience, 0.3)],
+        Category::Recommendation => &[(Audience, 0.6), (Examples, 0.5), (Depth, 0.4), (Completeness, 0.3)],
+        Category::Knowledge => &[(Depth, 0.7), (Context, 0.6), (Examples, 0.3)],
+        Category::Analysis => &[(Depth, 0.8), (Completeness, 0.6), (StepByStep, 0.3), (Examples, 0.3)],
+        Category::Creative => &[(StyleConstraint, 0.7), (Audience, 0.3), (FormatSpec, 0.2)],
+        Category::Brainstorming => &[(Completeness, 0.6), (Examples, 0.5), (FormatSpec, 0.3)],
+        Category::Chitchat => &[(Conciseness, 0.5), (Context, 0.2)],
+    };
+    let mut set = AspectSet::EMPTY;
+    for &(a, p) in table {
+        if rng.random::<f32>() < p {
+            set.insert(a);
+        }
+    }
+    if trap {
+        set.insert(Aspect::TrapWarning);
+        set.insert(Aspect::StepByStep);
+    }
+    if set.is_empty() {
+        set.insert(Depth);
+    }
+    set
+}
+
+fn fresh_record(id: u64, rng: &mut StdRng) -> PromptRecord {
+    let category = pick_category(rng);
+    let topic_list = topics(category);
+    let topic_phrase = topic_list[rng.random_range(0..topic_list.len())];
+    let template_list = templates(category);
+    let template = template_list[rng.random_range(0..template_list.len())];
+    let mut text = template.replace("{t}", topic_phrase);
+    // Variant marker keeps same-topic prompts from colliding as duplicates.
+    if rng.random::<f32>() < 0.5 {
+        text = format!("{text} (case {id})");
+    }
+
+    let trap = category == Category::Reasoning && rng.random::<f32>() < 0.45;
+    let required_base = required_aspects(category, trap, rng);
+
+    // Make some required aspects explicit in the prompt text.
+    let mut stated = Vec::new();
+    for a in required_base.iter() {
+        if a != Aspect::TrapWarning && rng.random::<f32>() < 0.35 {
+            stated.push(a.request_phrase());
+        }
+    }
+    if !stated.is_empty() {
+        text = format!("{text} Please also {}.", stated.join(", and "));
+    }
+
+    // Ground the sets in the realized text: whatever the text mentions is
+    // explicit, and everything explicit is also required.
+    let explicit = detect_aspects(&text);
+    let required = required_base.union(explicit);
+
+    let topic = top_keywords(topic_phrase, 3).join(" ");
+    let meta = PromptMeta {
+        category,
+        required,
+        explicit,
+        ambiguity: 0.2 + 0.6 * rng.random::<f32>(),
+        trap,
+        language: Language::English,
+        topic,
+    };
+    PromptRecord {
+        id,
+        text,
+        meta,
+        source: pick_source(rng),
+        latent_quality: 0.6 + 0.4 * rng.random::<f32>(),
+    }
+}
+
+/// Chinese topics per category (tokens space-separated so the whole
+/// keyword/overlap machinery works unchanged).
+fn topics_zh(category: Category) -> &'static [&'static str] {
+    match category {
+        Category::QuestionAnswering => &[
+            "失血 时 血压 的 变化", "沙漠 植物 的 光合作用",
+            "咖啡因 在 人体 的 代谢", "抗生素 耐药 机制",
+        ],
+        Category::Knowledge => &[
+            "丝绸之路 的 贸易 路线", "印刷术 与 识字率",
+            "免疫 系统 的 应答", "微积分 的 发展",
+        ],
+        Category::Translation => &[
+            "商务 合同 条款", "餐厅 菜单 描述", "医疗 知情 同意书", "软件 错误 信息",
+        ],
+        Category::Math => &[
+            "复利 的 长期 计算", "生日 相同 的 概率", "骰子 游戏 的 期望值",
+        ],
+        _ => &["日常 生活 的 小事", "本周 的 天气"],
+    }
+}
+
+fn templates_zh(category: Category) -> &'static [&'static str] {
+    match category {
+        Category::QuestionAnswering => &["{t} 到底 是 怎样 的 ？", "请 解释 {t} 。"],
+        Category::Knowledge => &["请 介绍 {t} 。", "我 想 了解 {t} 。"],
+        Category::Translation => &["请 把 {t} 翻译 成 英文 。", "如何 准确 翻译 {t} ？"],
+        Category::Math => &["{t} 应该 怎么 算 ？", "请 带 我 算一算 {t} 。"],
+        _ => &["聊聊 {t} 吧 。"],
+    }
+}
+
+/// Categories that have a Chinese template set.
+const ZH_CATEGORIES: [Category; 4] = [
+    Category::QuestionAnswering,
+    Category::Knowledge,
+    Category::Translation,
+    Category::Math,
+];
+
+fn fresh_record_zh(id: u64, rng: &mut StdRng) -> PromptRecord {
+    let category = ZH_CATEGORIES[rng.random_range(0..ZH_CATEGORIES.len())];
+    let topic_list = topics_zh(category);
+    let topic_phrase = topic_list[rng.random_range(0..topic_list.len())];
+    let template_list = templates_zh(category);
+    let template = template_list[rng.random_range(0..template_list.len())];
+    let mut text = template.replace("{t}", topic_phrase);
+    if rng.random::<f32>() < 0.5 {
+        text = format!("{text}（第 {id} 例）");
+    }
+
+    let required_base = required_aspects(category, false, rng);
+    let mut stated = Vec::new();
+    for a in required_base.iter() {
+        if a != Aspect::TrapWarning && rng.random::<f32>() < 0.35 {
+            stated.push(a.request_phrase_zh());
+        }
+    }
+    if !stated.is_empty() {
+        text = format!("{text} 另外，{}。", stated.join("，"));
+    }
+
+    let explicit = detect_aspects(&text);
+    let required = required_base.union(explicit);
+    let topic = top_keywords(topic_phrase, 3).join(" ");
+    let meta = PromptMeta {
+        category,
+        required,
+        explicit,
+        ambiguity: 0.2 + 0.6 * rng.random::<f32>(),
+        trap: false,
+        language: Language::Chinese,
+        topic,
+    };
+    PromptRecord {
+        id,
+        text,
+        meta,
+        source: pick_source(rng),
+        latent_quality: 0.6 + 0.4 * rng.random::<f32>(),
+    }
+}
+
+fn junk_record(id: u64, rng: &mut StdRng) -> PromptRecord {
+    const JUNK: &[&str] = &[
+        "asdf asdf asdf",
+        "??",
+        "hello",
+        "test test test test",
+        "aaaaaa bbbb",
+        "ok",
+        ".",
+        "qwerty uiop",
+    ];
+    let text = JUNK[rng.random_range(0..JUNK.len())].to_string();
+    let meta = PromptMeta {
+        category: Category::Chitchat,
+        required: AspectSet::EMPTY,
+        explicit: AspectSet::EMPTY,
+        ambiguity: 1.0,
+        trap: false,
+        language: Language::English,
+        topic: "noise".into(),
+    };
+    PromptRecord { id, text, meta, source: pick_source(rng), latent_quality: 0.05 }
+}
+
+/// Emits a surface variant of `text`: same request, different bytes.
+fn surface_variant(text: &str, rng: &mut StdRng) -> String {
+    match rng.random_range(0..4) {
+        0 => format!("{text}!!"),
+        1 => format!("please, {}", text.to_lowercase()),
+        2 => text.to_uppercase(),
+        _ => format!("{text} thanks"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus(size: usize, seed: u64) -> Corpus {
+        Corpus::generate(&CorpusConfig { size, seed, ..CorpusConfig::default() })
+    }
+
+    #[test]
+    fn generates_requested_size() {
+        let c = corpus(500, 1);
+        assert_eq!(c.len(), 500);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = corpus(200, 9);
+        let b = corpus(200, 9);
+        assert_eq!(a.records.len(), b.records.len());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.text, y.text);
+        }
+    }
+
+    #[test]
+    fn qa_and_coding_dominate() {
+        let c = corpus(3000, 3);
+        let mut counts = [0usize; 14];
+        for r in &c.records {
+            counts[r.meta.category.index()] += 1;
+        }
+        let qa = counts[Category::QuestionAnswering.index()];
+        let coding = counts[Category::Coding.index()];
+        let chitchat = counts[Category::Chitchat.index()];
+        assert!(qa > chitchat, "{qa} vs {chitchat}");
+        assert!(coding > counts[Category::Brainstorming.index()]);
+    }
+
+    #[test]
+    fn contains_junk_and_duplicates() {
+        let c = corpus(1000, 5);
+        let junk = c.records.iter().filter(|r| r.latent_quality < 0.2).count();
+        assert!(junk > 50, "junk count {junk}");
+        // Duplicates: normalized texts colliding.
+        let mut seen = std::collections::HashSet::new();
+        let mut dups = 0;
+        for r in &c.records {
+            if !seen.insert(pas_text::normalize_for_dedup(&r.text)) {
+                dups += 1;
+            }
+        }
+        assert!(dups > 30, "duplicate count {dups}");
+    }
+
+    #[test]
+    fn explicit_subset_of_required_and_grounded_in_text() {
+        let c = corpus(400, 7);
+        for r in &c.records {
+            assert!(
+                r.meta.explicit.minus(r.meta.required).is_empty(),
+                "explicit ⊆ required violated for {:?}",
+                r.text
+            );
+            assert_eq!(
+                detect_aspects(&r.text),
+                r.meta.explicit,
+                "explicit must equal detected for {:?}",
+                r.text
+            );
+        }
+    }
+
+    #[test]
+    fn world_resolves_generated_prompts() {
+        let c = corpus(300, 11);
+        let mut resolved = 0;
+        for r in &c.records {
+            if r.latent_quality < 0.2 {
+                continue; // junk is unregistered noise
+            }
+            if c.world.lookup(&r.text).is_some() {
+                resolved += 1;
+            }
+        }
+        let quality = c.records.iter().filter(|r| r.latent_quality >= 0.2).count();
+        assert!(
+            resolved as f64 / quality as f64 > 0.95,
+            "{resolved}/{quality} resolved"
+        );
+    }
+
+    #[test]
+    fn traps_only_in_reasoning() {
+        let c = corpus(2000, 13);
+        for r in &c.records {
+            if r.meta.trap {
+                assert_eq!(r.meta.category, Category::Reasoning);
+                assert!(r.meta.required.contains(Aspect::TrapWarning));
+            }
+        }
+        assert!(c.records.iter().any(|r| r.meta.trap), "some traps exist");
+    }
+}

@@ -1,0 +1,112 @@
+//! Hashed text featurization for the trainable classifiers.
+//!
+//! The category classifier and the PAS aspect model both consume a fixed
+//! dense vector per prompt: hashed unigram/bigram counts (L2-normalized)
+//! concatenated with the ten aspect-detection indicator features. The
+//! indicators matter: whether a prompt already *states* an aspect is
+//! precisely the signal the PAS aspect model must not have to relearn from
+//! scratch through word hashes.
+
+use pas_text::hash::{fx_combine, fx_hash_str};
+use pas_text::words;
+
+use pas_llm::world::{detect_aspects, Aspect};
+
+/// Dimension of the hashed word-feature block.
+pub const HASHED_DIM: usize = 512;
+/// Total feature dimension: hashed block + one indicator per aspect.
+pub const FEATURE_DIM: usize = HASHED_DIM + Aspect::ALL.len();
+
+const NS_UNIGRAM: u64 = 0x756e_6931;
+const NS_BIGRAM: u64 = 0x6269_6732;
+
+/// Hashed unigram+bigram counts of `text`, L2-normalized, length `dim`.
+pub fn hashed_features(text: &str, dim: usize) -> Vec<f32> {
+    assert!(dim > 0, "feature dimension must be positive");
+    let ws = words(text);
+    let mut v = vec![0.0f32; dim];
+    for w in &ws {
+        let h = fx_combine(NS_UNIGRAM, fx_hash_str(w));
+        v[(h % dim as u64) as usize] += 1.0;
+    }
+    for pair in ws.windows(2) {
+        let h = fx_combine(NS_BIGRAM, fx_combine(fx_hash_str(&pair[0]), fx_hash_str(&pair[1])));
+        v[(h % dim as u64) as usize] += 1.0;
+    }
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in &mut v {
+            *x /= norm;
+        }
+    }
+    v
+}
+
+/// One 0/1 indicator per aspect mentioned in `text`, index-aligned with
+/// [`Aspect::ALL`].
+pub fn aspect_features(text: &str) -> Vec<f32> {
+    let detected = detect_aspects(text);
+    Aspect::ALL
+        .iter()
+        .map(|&a| if detected.contains(a) { 1.0 } else { 0.0 })
+        .collect()
+}
+
+/// The full feature vector used by the workspace classifiers
+/// (length [`FEATURE_DIM`]).
+pub fn prompt_features(text: &str) -> Vec<f32> {
+    let mut v = hashed_features(text, HASHED_DIM);
+    v.extend(aspect_features(text));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions_are_consistent() {
+        assert_eq!(prompt_features("hello world").len(), FEATURE_DIM);
+        assert_eq!(hashed_features("x", 64).len(), 64);
+        assert_eq!(aspect_features("x").len(), Aspect::ALL.len());
+    }
+
+    #[test]
+    fn featurization_is_deterministic() {
+        assert_eq!(prompt_features("sort a list"), prompt_features("sort a list"));
+    }
+
+    #[test]
+    fn hashed_block_is_unit_norm() {
+        let v = hashed_features("some plain text with several words", HASHED_DIM);
+        let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((n - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_text_is_zero_vector() {
+        assert!(prompt_features("").iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn aspect_indicator_fires() {
+        let v = aspect_features("please reason step by step");
+        assert_eq!(v[Aspect::StepByStep.index()], 1.0);
+        assert_eq!(v.iter().sum::<f32>(), 1.0);
+    }
+
+    #[test]
+    fn different_texts_usually_differ() {
+        assert_ne!(
+            prompt_features("write a poem about autumn"),
+            prompt_features("debug my python web scraper")
+        );
+    }
+
+    #[test]
+    fn bigrams_distinguish_word_order() {
+        let a = hashed_features("dog bites man", HASHED_DIM);
+        let b = hashed_features("man bites dog", HASHED_DIM);
+        assert_ne!(a, b, "bigram features must be order-sensitive");
+    }
+}

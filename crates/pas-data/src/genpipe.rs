@@ -1,0 +1,244 @@
+//! Algorithm 1: prompt-augmentation dataset generation.
+//!
+//! For every selected prompt, the few-shot [`Teacher`] generates a
+//! complementary prompt conditioned on the category's golden examples; the
+//! [`Critic`] then diagnoses each pair (`IsCorrectPair`), and rejected pairs
+//! are **regenerated until they pass** — the data selection and regeneration
+//! phase the paper's ablation (Table 5) removes. The `selection_enabled`
+//! switch implements exactly that ablation: when off, first-draw generations
+//! enter the dataset unchecked.
+
+use std::sync::Arc;
+
+use pas_llm::{Critic, Teacher, TeacherConfig, World};
+
+use crate::golden::golden_for;
+use crate::schema::{PairDataset, PairRecord};
+use crate::select::SelectedPrompt;
+
+/// Generation-pipeline parameters.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Teacher behaviour (flaw rate, inference accuracy, seed).
+    pub teacher: TeacherConfig,
+    /// Whether the critic-selection + regeneration phase runs (`false`
+    /// reproduces the "w/o selection" ablation of Table 5).
+    pub selection_enabled: bool,
+    /// Regeneration attempts before falling back to the critic's repair.
+    pub max_attempts: u64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig { teacher: TeacherConfig::default(), selection_enabled: true, max_attempts: 16 }
+    }
+}
+
+/// What happened during generation.
+#[derive(Debug, Clone, Default)]
+pub struct GenReport {
+    /// Pairs produced.
+    pub generated: usize,
+    /// Pairs the critic rejected on first draw.
+    pub rejected_first_draw: usize,
+    /// Total regeneration attempts consumed.
+    pub regenerations: u64,
+    /// Pairs that exhausted `max_attempts` and used the critic's repair.
+    pub repairs: usize,
+    /// Ground-truth flawed pairs remaining in the final dataset (knowable
+    /// only because the teacher is simulated; reported for analysis, never
+    /// used by the pipeline).
+    pub residual_flaws: usize,
+    /// Whitespace tokens pushed through the teacher (prompt + golden
+    /// few-shots + generations) — the generation-time API budget.
+    pub teacher_tokens: usize,
+    /// Whitespace tokens pushed through the critic (pair + verdict).
+    pub critic_tokens: usize,
+}
+
+impl GenReport {
+    /// Fraction of the final dataset that is ground-truth flawed.
+    pub fn residual_flaw_rate(&self) -> f64 {
+        if self.generated == 0 {
+            0.0
+        } else {
+            self.residual_flaws as f64 / self.generated as f64
+        }
+    }
+
+    /// Total generation-time token budget (teacher + critic).
+    pub fn total_tokens(&self) -> usize {
+        self.teacher_tokens + self.critic_tokens
+    }
+}
+
+fn tokens(text: &str) -> usize {
+    text.split_whitespace().count()
+}
+
+/// The Algorithm 1 generator.
+pub struct Generator {
+    config: GenConfig,
+    teacher: Teacher,
+    critic: Critic,
+}
+
+impl Generator {
+    /// Creates a generator over `world`.
+    pub fn new(config: GenConfig, world: Arc<World>) -> Self {
+        let teacher = Teacher::new(config.teacher.clone(), world);
+        Generator { config, teacher, critic: Critic::default() }
+    }
+
+    /// Runs Algorithm 1 over the selected prompts.
+    pub fn run(&self, selected: &[SelectedPrompt]) -> (PairDataset, GenReport) {
+        let mut dataset = PairDataset::new();
+        let mut report = GenReport::default();
+
+        for sp in selected {
+            let golden = golden_for(sp.predicted);
+            let golden_tokens: usize =
+                golden.iter().map(|(p, c)| tokens(p) + tokens(c)).sum();
+            // Data generation phase (Algorithm 1 lines 2–4).
+            let mut gen = self.teacher.generate(&sp.record.text, &golden, 0);
+            report.teacher_tokens += tokens(&sp.record.text) + golden_tokens + tokens(&gen.text);
+
+            // Data selection and regeneration phase (lines 5–10).
+            if self.config.selection_enabled {
+                report.critic_tokens += tokens(&sp.record.text) + tokens(&gen.text);
+            }
+            if self.config.selection_enabled
+                && !self.critic.is_correct_pair(&sp.record.text, &gen.text)
+            {
+                report.rejected_first_draw += 1;
+                let mut attempt = 1;
+                loop {
+                    if attempt > self.config.max_attempts {
+                        // Fall back to the critic's own repaired APE.
+                        let verdict = self.critic.judge(&sp.record.text, &gen.text);
+                        gen.text = verdict.final_ape;
+                        gen.injected_flaw = None;
+                        report.repairs += 1;
+                        break;
+                    }
+                    report.regenerations += 1;
+                    gen = self.teacher.generate(&sp.record.text, &golden, attempt);
+                    report.teacher_tokens +=
+                        tokens(&sp.record.text) + golden_tokens + tokens(&gen.text);
+                    report.critic_tokens += tokens(&sp.record.text) + tokens(&gen.text);
+                    if self.critic.is_correct_pair(&sp.record.text, &gen.text) {
+                        break;
+                    }
+                    attempt += 1;
+                }
+            }
+
+            if gen.injected_flaw.is_some() {
+                report.residual_flaws += 1;
+            }
+            report.generated += 1;
+            dataset.pairs.push(PairRecord {
+                prompt: sp.record.text.clone(),
+                complement: gen.text,
+                category: sp.predicted,
+            });
+        }
+        (dataset, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{Corpus, CorpusConfig};
+    use crate::select::{SelectionConfig, SelectionPipeline};
+
+    fn selected(n: usize, seed: u64) -> (Vec<SelectedPrompt>, Arc<World>) {
+        let corpus = Corpus::generate(&CorpusConfig { size: n, seed, ..CorpusConfig::default() });
+        let world = Arc::new(corpus.world.clone());
+        let (sel, _) = SelectionPipeline::new(SelectionConfig {
+            labeled_size: 600,
+            ..SelectionConfig::default()
+        })
+        .run(&corpus.records);
+        (sel, world)
+    }
+
+    #[test]
+    fn with_selection_every_pair_passes_the_critic() {
+        let (sel, world) = selected(300, 2);
+        let (ds, report) = Generator::new(GenConfig::default(), world).run(&sel);
+        assert_eq!(ds.len(), sel.len());
+        assert_eq!(report.generated, ds.len());
+        let critic = Critic::default();
+        for pair in &ds.pairs {
+            assert!(
+                critic.is_correct_pair(&pair.prompt, &pair.complement),
+                "pair failed critic: {:?}",
+                pair.complement
+            );
+        }
+    }
+
+    #[test]
+    fn selection_reduces_residual_flaws() {
+        let (sel, world) = selected(400, 8);
+        let with = Generator::new(GenConfig::default(), Arc::clone(&world)).run(&sel).1;
+        let without = Generator::new(
+            GenConfig { selection_enabled: false, ..GenConfig::default() },
+            world,
+        )
+        .run(&sel)
+        .1;
+        assert!(without.residual_flaws > 0, "ablation must leave flaws in");
+        assert!(
+            with.residual_flaw_rate() < without.residual_flaw_rate() / 2.0,
+            "selection {} vs ablation {}",
+            with.residual_flaw_rate(),
+            without.residual_flaw_rate()
+        );
+    }
+
+    #[test]
+    fn token_accounting_tracks_the_loop() {
+        let (sel, world) = selected(300, 9);
+        let (_, with) = Generator::new(GenConfig::default(), Arc::clone(&world)).run(&sel);
+        let (_, without) = Generator::new(
+            GenConfig { selection_enabled: false, ..GenConfig::default() },
+            world,
+        )
+        .run(&sel);
+        assert!(with.teacher_tokens > 0 && with.critic_tokens > 0);
+        // The ablation skips the critic entirely and never regenerates.
+        assert_eq!(without.critic_tokens, 0);
+        assert!(with.teacher_tokens > without.teacher_tokens);
+        assert_eq!(with.total_tokens(), with.teacher_tokens + with.critic_tokens);
+    }
+
+    #[test]
+    fn regenerations_happen_and_terminate() {
+        let (sel, world) = selected(300, 5);
+        let (_, report) = Generator::new(GenConfig::default(), world).run(&sel);
+        assert!(report.rejected_first_draw > 0, "some first draws must fail");
+        assert!(report.regenerations >= report.rejected_first_draw as u64);
+        // With a well-behaved teacher, repairs should be rare to none.
+        assert!(report.repairs <= report.rejected_first_draw / 4 + 1);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (sel, world) = selected(150, 10);
+        let a = Generator::new(GenConfig::default(), Arc::clone(&world)).run(&sel).0;
+        let b = Generator::new(GenConfig::default(), world).run(&sel).0;
+        assert_eq!(a.pairs, b.pairs);
+    }
+
+    #[test]
+    fn empty_selection_is_fine() {
+        let (_, world) = selected(50, 11);
+        let (ds, report) = Generator::new(GenConfig::default(), world).run(&[]);
+        assert!(ds.is_empty());
+        assert_eq!(report.generated, 0);
+        assert_eq!(report.residual_flaw_rate(), 0.0);
+    }
+}

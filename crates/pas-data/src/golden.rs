@@ -1,0 +1,154 @@
+//! The curated golden few-shot examples (`D_golden` of Algorithm 1).
+//!
+//! The paper keeps "4 to 5 pairs of few-shot examples for each category from
+//! BaiChuan". These are the workspace equivalents: hand-written (prompt,
+//! complementary prompt) pairs per category, in the Figure 4 style —
+//! supplement only, methodology-focused, under 30 words.
+
+use pas_llm::world::{Aspect, AspectSet, Category};
+use pas_llm::teacher::realize_complement;
+
+/// Returns the golden examples for `category` (always 4 pairs).
+pub fn golden_for(category: Category) -> Vec<(String, String)> {
+    let rows: [(&str, &[Aspect]); 4] = match category {
+        Category::QuestionAnswering => [
+            ("Does blood pressure increase or decrease when the body loses blood?",
+             &[Aspect::Depth, Aspect::Context]),
+            ("Why does bread rise in the oven?", &[Aspect::Depth, Aspect::Examples]),
+            ("Is it dangerous to wake a sleepwalker?", &[Aspect::Context, Aspect::Completeness]),
+            ("What causes northern lights?", &[Aspect::Depth, Aspect::Context]),
+        ],
+        Category::Coding => [
+            ("How do I deduplicate a large csv file?", &[Aspect::StepByStep, Aspect::Examples]),
+            ("My web server leaks memory overnight.", &[Aspect::StepByStep, Aspect::Completeness]),
+            ("Implement an LRU cache.", &[Aspect::Examples, Aspect::FormatSpec]),
+            ("How should I shard a user table?", &[Aspect::Depth, Aspect::Completeness]),
+        ],
+        Category::Writing => [
+            ("Help me write a resignation letter.", &[Aspect::StyleConstraint, Aspect::Audience]),
+            ("Draft a press release for our product.", &[Aspect::StyleConstraint, Aspect::FormatSpec]),
+            ("Write a thank-you note to a mentor.", &[Aspect::StyleConstraint, Aspect::Conciseness]),
+            ("Compose a complaint to my landlord.", &[Aspect::StyleConstraint, Aspect::Audience]),
+        ],
+        Category::Math => [
+            ("What is 17 percent of 3400?", &[Aspect::StepByStep]),
+            ("Two trains leave stations 300 km apart.", &[Aspect::StepByStep, Aspect::Completeness]),
+            ("How many ways to arrange 5 books?", &[Aspect::StepByStep, Aspect::Examples]),
+            ("Solve x squared minus 5x plus 6 equals zero.", &[Aspect::StepByStep]),
+        ],
+        Category::Reasoning => [
+            ("If there are 10 birds on a tree and one is shot dead, how many birds are on the ground?",
+             &[Aspect::TrapWarning, Aspect::StepByStep]),
+            ("A bat and a ball cost 1.10 together.", &[Aspect::TrapWarning, Aspect::StepByStep]),
+            ("Three switches control three bulbs upstairs.", &[Aspect::StepByStep, Aspect::Completeness]),
+            ("Which weighs more, a kilo of feathers or of steel?", &[Aspect::TrapWarning]),
+        ],
+        Category::Translation => [
+            ("Translate this contract clause into German.", &[Aspect::StyleConstraint, Aspect::Context]),
+            ("Translate the menu for tourists.", &[Aspect::Audience, Aspect::StyleConstraint]),
+            ("Render this poem in English.", &[Aspect::StyleConstraint]),
+            ("Translate the error message for users.", &[Aspect::Audience, Aspect::Conciseness]),
+        ],
+        Category::Summarization => [
+            ("Summarize this earnings call transcript.", &[Aspect::Conciseness, Aspect::Completeness]),
+            ("Give me the gist of this report.", &[Aspect::Conciseness, Aspect::FormatSpec]),
+            ("Condense this meeting recording.", &[Aspect::Conciseness, Aspect::Completeness]),
+            ("Summarize the chapter for revision.", &[Aspect::Conciseness, Aspect::Audience]),
+        ],
+        Category::Roleplay => [
+            ("Pretend you are a ship captain in a storm.", &[Aspect::StyleConstraint, Aspect::Context]),
+            ("Act as a job interviewer for a nursing role.", &[Aspect::StyleConstraint, Aspect::Audience]),
+            ("You are a medieval blacksmith.", &[Aspect::StyleConstraint, Aspect::Context]),
+            ("Play a detective interviewing me.", &[Aspect::StyleConstraint]),
+        ],
+        Category::Recommendation => [
+            ("Recommend science fiction novels.", &[Aspect::Audience, Aspect::Examples]),
+            ("Which laptop should I buy for coding?", &[Aspect::Depth, Aspect::Completeness]),
+            ("Suggest hiking trails near the lakes.", &[Aspect::Audience, Aspect::Examples]),
+            ("Pick board games for a family night.", &[Aspect::Audience, Aspect::Completeness]),
+        ],
+        Category::Knowledge => [
+            ("Tell me about the silk road.", &[Aspect::Depth, Aspect::Context]),
+            ("What should I know about plate tectonics?", &[Aspect::Depth, Aspect::Examples]),
+            ("Give me an overview of the french revolution.", &[Aspect::Context, Aspect::Completeness]),
+            ("Explain how vaccines train immunity.", &[Aspect::Depth, Aspect::Audience]),
+        ],
+        Category::Analysis => [
+            ("Analyze remote work effects on productivity.", &[Aspect::Depth, Aspect::Completeness]),
+            ("Evaluate electric vehicle adoption barriers.", &[Aspect::Depth, Aspect::StepByStep]),
+            ("What drives urban housing prices?", &[Aspect::Depth, Aspect::Examples]),
+            ("Assess streaming market saturation.", &[Aspect::Completeness, Aspect::Context]),
+        ],
+        Category::Creative => [
+            ("Write a poem about the autumn moon.", &[Aspect::StyleConstraint]),
+            ("Compose song lyrics about leaving home.", &[Aspect::StyleConstraint, Aspect::Audience]),
+            ("Create a fable with a clever fox.", &[Aspect::StyleConstraint, Aspect::FormatSpec]),
+            ("Write an opening scene on a night train.", &[Aspect::StyleConstraint, Aspect::Context]),
+        ],
+        Category::Brainstorming => [
+            ("Brainstorm fundraiser ideas for the library.", &[Aspect::Completeness, Aspect::Examples]),
+            ("Give me names for a coffee subscription.", &[Aspect::Completeness, Aspect::FormatSpec]),
+            ("List icebreakers for remote teams.", &[Aspect::Examples, Aspect::Audience]),
+            ("Ideas for reusing empty glass jars.", &[Aspect::Completeness, Aspect::Examples]),
+        ],
+        Category::Chitchat => [
+            ("How was your weekend?", &[Aspect::Conciseness]),
+            ("Tell me something fun about the weather.", &[Aspect::Conciseness, Aspect::Examples]),
+            ("What's your favourite comfort food?", &[Aspect::Conciseness]),
+            ("Any plans for the holidays?", &[Aspect::Conciseness, Aspect::Context]),
+        ],
+    };
+
+    rows.into_iter()
+        .map(|(prompt, aspects)| {
+            let topic = pas_text::top_keywords(prompt, 3).join(" ");
+            let set: AspectSet = aspects.iter().copied().collect();
+            (prompt.to_string(), realize_complement(&topic, set))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_llm::world::detect_aspects;
+    use pas_llm::Critic;
+
+    #[test]
+    fn every_category_has_four_examples() {
+        for c in Category::ALL {
+            assert_eq!(golden_for(c).len(), 4, "{c}");
+        }
+    }
+
+    #[test]
+    fn golden_complements_pass_the_critic() {
+        let critic = Critic::default();
+        for c in Category::ALL {
+            for (prompt, complement) in golden_for(c) {
+                assert!(
+                    critic.is_correct_pair(&prompt, &complement),
+                    "{c}: {prompt:?} / {complement:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn golden_complements_request_aspects() {
+        for c in Category::ALL {
+            for (_, complement) in golden_for(c) {
+                assert!(!detect_aspects(&complement).is_empty(), "{complement:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn golden_complements_stay_short() {
+        for c in Category::ALL {
+            for (_, complement) in golden_for(c) {
+                assert!(complement.split_whitespace().count() <= 35, "{complement:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Record and dataset types.
+
+use serde::{Deserialize, Serialize};
+
+use pas_llm::{Category, PromptMeta};
+
+/// Origin corpus of a raw prompt (the paper's two sources).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Source {
+    /// Synthetic stand-in for LMSYS-Chat-1M.
+    LmsysChat,
+    /// Synthetic stand-in for WildChat.
+    WildChat,
+}
+
+/// One raw prompt drawn from a source corpus.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PromptRecord {
+    /// Unique id within its corpus.
+    pub id: u64,
+    /// The prompt text a user would have typed.
+    pub text: String,
+    /// Latent ground truth (never shown to trained models).
+    pub meta: PromptMeta,
+    /// Which corpus it came from.
+    pub source: Source,
+    /// Latent writing quality in `[0, 1]`; junk prompts score low. The
+    /// quality *filter* judges text, not this field — it exists for
+    /// measuring filter precision/recall.
+    pub latent_quality: f32,
+}
+
+/// One (prompt, complementary prompt) training pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairRecord {
+    /// The user prompt.
+    pub prompt: String,
+    /// The complementary prompt (the paper's "APE").
+    pub complement: String,
+    /// Category assigned by the classifier during selection.
+    pub category: Category,
+}
+
+/// The prompt-complementary dataset `D_generated` of §3.3.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PairDataset {
+    /// The pairs, generation order.
+    pub pairs: Vec<PairRecord>,
+}
+
+impl PairDataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        PairDataset::default()
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when no pairs are present.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Pairs in one category.
+    pub fn in_category(&self, category: Category) -> impl Iterator<Item = &PairRecord> {
+        self.pairs.iter().filter(move |p| p.category == category)
+    }
+
+    /// Counts per category, index-aligned with [`Category::ALL`].
+    pub fn category_counts(&self) -> [usize; 14] {
+        let mut counts = [0usize; 14];
+        for p in &self.pairs {
+            counts[p.category.index()] += 1;
+        }
+        counts
+    }
+
+    /// A deterministic subset of the first `n` pairs (for learning-curve
+    /// sweeps); clamps to the dataset size.
+    pub fn take(&self, n: usize) -> PairDataset {
+        PairDataset { pairs: self.pairs.iter().take(n).cloned().collect() }
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("dataset serializes")
+    }
+
+    /// Restores from [`Self::to_json`] output.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Writes the dataset as JSON Lines (one pair per line), the
+    /// interchange format fine-tuning stacks expect.
+    pub fn save_jsonl<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        for pair in &self.pairs {
+            serde_json::to_writer(&mut w, pair)?;
+            w.write_all(b"\n")?;
+        }
+        Ok(())
+    }
+
+    /// Reads a dataset from JSON Lines produced by [`Self::save_jsonl`].
+    /// Blank lines are skipped; a malformed line is an error.
+    pub fn load_jsonl<R: std::io::BufRead>(r: R) -> std::io::Result<PairDataset> {
+        let mut pairs = Vec::new();
+        for line in r.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let pair: PairRecord = serde_json::from_str(&line)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            pairs.push(pair);
+        }
+        Ok(PairDataset { pairs })
+    }
+
+    /// Convenience wrapper: saves to a filesystem path.
+    pub fn save_jsonl_path<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
+        self.save_jsonl(std::io::BufWriter::new(std::fs::File::create(path)?))
+    }
+
+    /// Convenience wrapper: loads from a filesystem path.
+    pub fn load_jsonl_path<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<PairDataset> {
+        Self::load_jsonl(std::io::BufReader::new(std::fs::File::open(path)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(cat: Category, i: usize) -> PairRecord {
+        PairRecord {
+            prompt: format!("prompt {i}"),
+            complement: format!("complement {i}"),
+            category: cat,
+        }
+    }
+
+    #[test]
+    fn category_counts_align_with_all() {
+        let mut ds = PairDataset::new();
+        ds.pairs.push(pair(Category::Coding, 0));
+        ds.pairs.push(pair(Category::Coding, 1));
+        ds.pairs.push(pair(Category::Math, 2));
+        let counts = ds.category_counts();
+        assert_eq!(counts[Category::Coding.index()], 2);
+        assert_eq!(counts[Category::Math.index()], 1);
+        assert_eq!(counts.iter().sum::<usize>(), ds.len());
+    }
+
+    #[test]
+    fn in_category_filters() {
+        let mut ds = PairDataset::new();
+        ds.pairs.push(pair(Category::Coding, 0));
+        ds.pairs.push(pair(Category::Math, 1));
+        assert_eq!(ds.in_category(Category::Math).count(), 1);
+        assert_eq!(ds.in_category(Category::Chitchat).count(), 0);
+    }
+
+    #[test]
+    fn take_clamps() {
+        let mut ds = PairDataset::new();
+        ds.pairs.push(pair(Category::Coding, 0));
+        assert_eq!(ds.take(10).len(), 1);
+        assert_eq!(ds.take(0).len(), 0);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut ds = PairDataset::new();
+        ds.pairs.push(pair(Category::Writing, 7));
+        let back = PairDataset::from_json(&ds.to_json()).unwrap();
+        assert_eq!(back.pairs, ds.pairs);
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let mut ds = PairDataset::new();
+        for i in 0..5 {
+            ds.pairs.push(pair(Category::Coding, i));
+        }
+        let mut buf = Vec::new();
+        ds.save_jsonl(&mut buf).unwrap();
+        assert_eq!(buf.iter().filter(|&&b| b == b'\n').count(), 5);
+        let back = PairDataset::load_jsonl(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back.pairs, ds.pairs);
+    }
+
+    #[test]
+    fn jsonl_skips_blank_lines_rejects_garbage() {
+        let text = "\n\n";
+        let ds = PairDataset::load_jsonl(std::io::Cursor::new(text)).unwrap();
+        assert!(ds.is_empty());
+        let bad = "not json at all\n";
+        assert!(PairDataset::load_jsonl(std::io::Cursor::new(bad)).is_err());
+    }
+}

@@ -1,0 +1,299 @@
+//! The three-step data-selection pipeline of §3.1 (Figure 3a).
+//!
+//! 1. **Deduplication** — embed every prompt with the `pas-embed` model and
+//!    group near-duplicates with the HNSW-based [`Deduplicator`], keeping
+//!    one representative per group.
+//! 2. **Quality filtering** — a text-heuristic scorer standing in for the
+//!    BaiChuan-13B quality model: junk prompts (too short, repetitive,
+//!    contentless) are dropped.
+//! 3. **Classification** — a really-trained 14-way [`SoftmaxClassifier`]
+//!    (the substitute for the SFT'd BaiChuan classifier trained on 60k
+//!    labeled examples) assigns each surviving prompt a category.
+
+use pas_ann::{DedupConfig, DedupOutcome, Deduplicator, MinHashConfig, MinHashDeduplicator};
+use pas_embed::{Embedder, NgramEmbedder};
+use pas_nn::{SoftmaxClassifier, TrainParams};
+use pas_text::ngram::word_shingle_hashes;
+
+use pas_llm::Category;
+
+use crate::corpus::{Corpus, CorpusConfig};
+use crate::features::prompt_features;
+use crate::schema::PromptRecord;
+
+/// Which engine performs the near-duplicate grouping.
+#[derive(Debug, Clone)]
+pub enum DedupBackend {
+    /// Embed with `pas-embed`, group with the HNSW [`Deduplicator`] — the
+    /// paper's SimCSE+HNSW route.
+    EmbeddingHnsw,
+    /// MinHash signatures over word shingles with LSH banding — the
+    /// classical alternative, kept as a cross-check and speed baseline.
+    MinHashLsh {
+        /// Minimum estimated shingle-Jaccard to count as a duplicate.
+        threshold: f64,
+        /// Signature/banding parameters.
+        config: MinHashConfig,
+    },
+}
+
+/// Selection-pipeline parameters.
+#[derive(Debug, Clone)]
+pub struct SelectionConfig {
+    /// Dedup engine selection.
+    pub backend: DedupBackend,
+    /// Embedding dimensionality for dedup.
+    pub embed_dim: usize,
+    /// Near-duplicate grouping parameters.
+    pub dedup: DedupConfig,
+    /// Minimum heuristic quality score to survive filtering.
+    pub quality_threshold: f32,
+    /// Size of the internally generated labeled set used to train the
+    /// classifier (the stand-in for the paper's 60k labeled examples).
+    pub labeled_size: usize,
+    /// Classifier training parameters.
+    pub classifier: TrainParams,
+    /// Pipeline seed.
+    pub seed: u64,
+}
+
+impl Default for SelectionConfig {
+    fn default() -> Self {
+        SelectionConfig {
+            backend: DedupBackend::EmbeddingHnsw,
+            embed_dim: 64,
+            dedup: DedupConfig::default(),
+            quality_threshold: 0.5,
+            labeled_size: 1500,
+            classifier: TrainParams { epochs: 10, ..TrainParams::default() },
+            seed: 0x5e1ec7,
+        }
+    }
+}
+
+/// A prompt that survived selection, with its predicted category.
+#[derive(Debug, Clone)]
+pub struct SelectedPrompt {
+    /// The surviving record.
+    pub record: PromptRecord,
+    /// Category assigned by the trained classifier.
+    pub predicted: Category,
+}
+
+/// What happened at each pipeline stage.
+#[derive(Debug, Clone)]
+pub struct SelectionReport {
+    /// Records offered to the pipeline.
+    pub input: usize,
+    /// Survivors of deduplication.
+    pub after_dedup: usize,
+    /// Survivors of quality filtering.
+    pub after_quality: usize,
+    /// Classifier accuracy measured against the latent categories.
+    pub classifier_accuracy: f64,
+    /// Selected count per category (predicted), aligned with [`Category::ALL`].
+    pub per_category: [usize; 14],
+}
+
+/// The §3.1 selection pipeline.
+pub struct SelectionPipeline {
+    config: SelectionConfig,
+}
+
+impl SelectionPipeline {
+    /// Creates a pipeline.
+    pub fn new(config: SelectionConfig) -> Self {
+        SelectionPipeline { config }
+    }
+
+    /// Runs all three stages over `records`.
+    pub fn run(&self, records: &[PromptRecord]) -> (Vec<SelectedPrompt>, SelectionReport) {
+        // Stage 1: near-duplicate grouping with the configured backend.
+        let outcome = self.dedup(records);
+        let deduped: Vec<&PromptRecord> =
+            outcome.kept.iter().map(|&i| &records[i]).collect();
+
+        // Stage 2: quality filtering.
+        let filtered: Vec<&PromptRecord> = deduped
+            .iter()
+            .copied()
+            .filter(|r| quality_score(&r.text) >= self.config.quality_threshold)
+            .collect();
+
+        // Stage 3: train the category classifier on a fresh labeled corpus
+        // and classify the survivors.
+        let classifier = self.train_classifier();
+        let eval_features: Vec<Vec<f32>> =
+            filtered.iter().map(|r| prompt_features(&r.text)).collect();
+        let mut selected = Vec::with_capacity(filtered.len());
+        let mut hits = 0usize;
+        let mut per_category = [0usize; 14];
+        for (r, f) in filtered.iter().zip(&eval_features) {
+            let predicted = Category::from_index(classifier.predict(f) as usize)
+                .expect("class index in range");
+            if predicted == r.meta.category {
+                hits += 1;
+            }
+            per_category[predicted.index()] += 1;
+            selected.push(SelectedPrompt { record: (*r).clone(), predicted });
+        }
+        let classifier_accuracy = if filtered.is_empty() {
+            0.0
+        } else {
+            hits as f64 / filtered.len() as f64
+        };
+
+        let report = SelectionReport {
+            input: records.len(),
+            after_dedup: deduped.len(),
+            after_quality: filtered.len(),
+            classifier_accuracy,
+            per_category,
+        };
+        (selected, report)
+    }
+
+    /// Runs the configured dedup backend over the records.
+    fn dedup(&self, records: &[PromptRecord]) -> DedupOutcome {
+        match &self.config.backend {
+            DedupBackend::EmbeddingHnsw => {
+                let embedder = NgramEmbedder::new(self.config.embed_dim, self.config.seed);
+                let embeddings: Vec<Vec<f32>> =
+                    records.iter().map(|r| embedder.embed(&r.text)).collect();
+                Deduplicator::run(self.config.dedup.clone(), embeddings)
+            }
+            DedupBackend::MinHashLsh { threshold, config } => {
+                let shingle_sets: Vec<Vec<u64>> = records
+                    .iter()
+                    .map(|r| {
+                        let mut s = word_shingle_hashes(&r.text, 3);
+                        s.sort_unstable();
+                        s.dedup();
+                        s
+                    })
+                    .collect();
+                MinHashDeduplicator::run(config.clone(), &shingle_sets, *threshold)
+            }
+        }
+    }
+
+    /// Trains the 14-way category classifier on an internally generated
+    /// labeled corpus (clean: no junk, no duplicates).
+    pub fn train_classifier(&self) -> SoftmaxClassifier {
+        let labeled = Corpus::generate(&CorpusConfig {
+            size: self.config.labeled_size,
+            seed: self.config.seed ^ 0xba1c_0a2e,
+            dup_rate: 0.0,
+            junk_rate: 0.0,
+            ..CorpusConfig::default()
+        });
+        let features: Vec<Vec<f32>> =
+            labeled.records.iter().map(|r| prompt_features(&r.text)).collect();
+        let labels: Vec<u32> =
+            labeled.records.iter().map(|r| r.meta.category.index() as u32).collect();
+        let mut clf = SoftmaxClassifier::new(
+            crate::features::FEATURE_DIM,
+            Category::ALL.len(),
+            self.config.seed,
+        );
+        clf.train(&features, &labels, &self.config.classifier);
+        clf
+    }
+}
+
+/// Heuristic prompt-quality score in `[0, 1]` — the stand-in for the paper's
+/// BaiChuan-13B quality scorer. Rewards enough words, lexical diversity, and
+/// non-trivial length; junk ("asdf asdf", "ok", "??") scores low.
+pub fn quality_score(text: &str) -> f32 {
+    let ws = pas_text::words(text);
+    if ws.is_empty() {
+        return 0.0;
+    }
+    let length_component = (ws.len() as f32 / 8.0).min(1.0) * 0.5;
+    let distinct: std::collections::HashSet<&String> = ws.iter().collect();
+    let diversity_component = (distinct.len() as f32 / ws.len() as f32) * 0.3;
+    let char_component = if text.chars().count() > 25 { 0.2 } else { 0.0 };
+    length_component + diversity_component + char_component
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_score_separates_junk_from_real() {
+        for junk in ["asdf asdf asdf", "??", "ok", "test test test test", "qwerty uiop"] {
+            assert!(quality_score(junk) < 0.5, "{junk:?} scored {}", quality_score(junk));
+        }
+        for real in [
+            "How should I implement a cache eviction policy for a buffer pool?",
+            "Recommend science fiction novels for teenagers please.",
+        ] {
+            assert!(quality_score(real) >= 0.5, "{real:?} scored {}", quality_score(real));
+        }
+    }
+
+    #[test]
+    fn pipeline_shrinks_and_classifies() {
+        let corpus = Corpus::generate(&CorpusConfig { size: 600, seed: 4, ..CorpusConfig::default() });
+        let (selected, report) = SelectionPipeline::new(SelectionConfig {
+            labeled_size: 800,
+            ..SelectionConfig::default()
+        })
+        .run(&corpus.records);
+
+        assert_eq!(report.input, 600);
+        assert!(report.after_dedup < report.input, "dedup must remove something");
+        assert!(report.after_quality < report.after_dedup, "junk must be filtered");
+        assert_eq!(selected.len(), report.after_quality);
+        assert!(
+            report.classifier_accuracy > 0.7,
+            "classifier accuracy {}",
+            report.classifier_accuracy
+        );
+        assert_eq!(report.per_category.iter().sum::<usize>(), selected.len());
+    }
+
+    #[test]
+    fn minhash_backend_agrees_with_embedding_backend_on_the_big_picture() {
+        let corpus = Corpus::generate(&CorpusConfig { size: 500, seed: 12, ..CorpusConfig::default() });
+        let hnsw_cfg = SelectionConfig { labeled_size: 400, ..SelectionConfig::default() };
+        let mh_cfg = SelectionConfig {
+            backend: DedupBackend::MinHashLsh {
+                threshold: 0.7,
+                config: pas_ann::MinHashConfig::default(),
+            },
+            labeled_size: 400,
+            ..SelectionConfig::default()
+        };
+        let (_, hnsw_report) = SelectionPipeline::new(hnsw_cfg).run(&corpus.records);
+        let (_, mh_report) = SelectionPipeline::new(mh_cfg).run(&corpus.records);
+        // Both must remove a comparable volume of duplicates.
+        assert!(mh_report.after_dedup < mh_report.input);
+        let diff = (hnsw_report.after_dedup as i64 - mh_report.after_dedup as i64).abs();
+        assert!(
+            diff < (hnsw_report.input / 10) as i64,
+            "backends disagree: hnsw {} vs minhash {}",
+            hnsw_report.after_dedup,
+            mh_report.after_dedup
+        );
+    }
+
+    #[test]
+    fn surviving_prompts_are_unique_requests() {
+        let corpus = Corpus::generate(&CorpusConfig { size: 400, seed: 6, ..CorpusConfig::default() });
+        let (selected, _) = SelectionPipeline::new(SelectionConfig {
+            labeled_size: 400,
+            ..SelectionConfig::default()
+        })
+        .run(&corpus.records);
+        let mut seen = std::collections::HashSet::new();
+        for s in &selected {
+            assert!(
+                seen.insert(pas_text::normalize_for_dedup(&s.record.text)),
+                "duplicate survived: {:?}",
+                s.record.text
+            );
+        }
+    }
+}

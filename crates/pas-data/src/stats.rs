@@ -1,0 +1,117 @@
+//! Dataset distribution reporting (Figure 6 of the paper).
+
+use pas_llm::Category;
+
+use crate::schema::PairDataset;
+
+/// Summary statistics of a pair dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetStats {
+    /// Total pairs.
+    pub total: usize,
+    /// Pairs per category, aligned with [`Category::ALL`].
+    pub per_category: [usize; 14],
+    /// Mean complement length in words.
+    pub mean_complement_words: f64,
+    /// Mean prompt length in words.
+    pub mean_prompt_words: f64,
+}
+
+impl DatasetStats {
+    /// Computes statistics for `dataset`.
+    pub fn compute(dataset: &PairDataset) -> DatasetStats {
+        let per_category = dataset.category_counts();
+        let total = dataset.len();
+        let (mut cw, mut pw) = (0usize, 0usize);
+        for p in &dataset.pairs {
+            cw += p.complement.split_whitespace().count();
+            pw += p.prompt.split_whitespace().count();
+        }
+        let denom = total.max(1) as f64;
+        DatasetStats {
+            total,
+            per_category,
+            mean_complement_words: cw as f64 / denom,
+            mean_prompt_words: pw as f64 / denom,
+        }
+    }
+
+    /// Share of the dataset in `category`, in `[0, 1]`.
+    pub fn share(&self, category: Category) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.per_category[category.index()] as f64 / self.total as f64
+    }
+
+    /// Renders the Figure 6 distribution as an ASCII bar chart.
+    pub fn render_distribution(&self) -> String {
+        let max = self.per_category.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Prompt Complementary Dataset Distribution ({} pairs)\n",
+            self.total
+        ));
+        for c in Category::ALL {
+            let n = self.per_category[c.index()];
+            let bar_len = (n * 40) / max;
+            out.push_str(&format!(
+                "{:<16} {:>5}  {}\n",
+                c.name(),
+                n,
+                "█".repeat(bar_len)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::PairRecord;
+
+    fn dataset() -> PairDataset {
+        let mut ds = PairDataset::new();
+        for i in 0..6 {
+            ds.pairs.push(PairRecord {
+                prompt: format!("prompt number {i} with words"),
+                complement: "please provide a detailed analysis in depth".into(),
+                category: if i % 2 == 0 { Category::Coding } else { Category::Math },
+            });
+        }
+        ds
+    }
+
+    #[test]
+    fn counts_and_shares() {
+        let stats = DatasetStats::compute(&dataset());
+        assert_eq!(stats.total, 6);
+        assert_eq!(stats.per_category[Category::Coding.index()], 3);
+        assert!((stats.share(Category::Math) - 0.5).abs() < 1e-12);
+        assert_eq!(stats.share(Category::Chitchat), 0.0);
+    }
+
+    #[test]
+    fn mean_lengths() {
+        let stats = DatasetStats::compute(&dataset());
+        assert!((stats.mean_prompt_words - 5.0).abs() < 1e-9);
+        assert!((stats.mean_complement_words - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_dataset_is_well_defined() {
+        let stats = DatasetStats::compute(&PairDataset::new());
+        assert_eq!(stats.total, 0);
+        assert_eq!(stats.mean_prompt_words, 0.0);
+        assert_eq!(stats.share(Category::Coding), 0.0);
+    }
+
+    #[test]
+    fn render_includes_every_category() {
+        let text = DatasetStats::compute(&dataset()).render_distribution();
+        for c in Category::ALL {
+            assert!(text.contains(c.name()), "missing {c}");
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Inverse-document-frequency weighting over hashed features.
+//!
+//! The quality filter and the classifier both benefit from down-weighting
+//! boilerplate features ("please", template glue) that appear in most
+//! prompts. [`IdfModel`] is fitted once over a corpus of [`FeatureBag`]s and
+//! then reweights bags on demand.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::features::FeatureBag;
+
+/// Smoothed IDF statistics: `idf(f) = ln((N + 1) / (df(f) + 1)) + 1`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IdfModel {
+    doc_count: u64,
+    doc_freq: HashMap<u64, u64>,
+}
+
+impl IdfModel {
+    /// Fits document frequencies over a corpus of feature bags.
+    pub fn fit<'a, I>(bags: I) -> Self
+    where
+        I: IntoIterator<Item = &'a FeatureBag>,
+    {
+        let mut doc_freq: HashMap<u64, u64> = HashMap::new();
+        let mut doc_count = 0u64;
+        for bag in bags {
+            doc_count += 1;
+            for &(h, _) in bag.entries() {
+                *doc_freq.entry(h).or_insert(0) += 1;
+            }
+        }
+        IdfModel { doc_count, doc_freq }
+    }
+
+    /// Number of documents the model was fitted on.
+    pub fn doc_count(&self) -> u64 {
+        self.doc_count
+    }
+
+    /// Smoothed IDF of a feature hash. Unseen features get the maximum IDF.
+    pub fn idf(&self, feature: u64) -> f32 {
+        let df = self.doc_freq.get(&feature).copied().unwrap_or(0);
+        (((self.doc_count + 1) as f32) / ((df + 1) as f32)).ln() + 1.0
+    }
+
+    /// Returns a new bag with each weight multiplied by its feature's IDF.
+    pub fn reweight(&self, bag: &FeatureBag) -> Vec<(u64, f32)> {
+        bag.entries()
+            .iter()
+            .map(|&(h, w)| (h, w * self.idf(h)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::feature_bag;
+
+    #[test]
+    fn common_features_get_lower_idf() {
+        let corpus = [
+            feature_bag("please sort my list"),
+            feature_bag("please write a poem"),
+            feature_bag("please explain recursion"),
+            feature_bag("quantum entanglement basics"),
+        ];
+        let idf = IdfModel::fit(corpus.iter());
+        // "please" appears in 3/4 docs, "quantum" in 1/4.
+        let please = feature_bag("please").entries()[0].0;
+        let quantum_bag = feature_bag("quantum");
+        // word feature of "quantum": find any entry that exists in the corpus
+        let quantum = quantum_bag.entries().last().unwrap().0;
+        assert!(idf.idf(please) < idf.idf(quantum));
+    }
+
+    #[test]
+    fn unseen_feature_gets_max_idf() {
+        let corpus = [feature_bag("a b c")];
+        let idf = IdfModel::fit(corpus.iter());
+        let expected = ((2.0f32) / 1.0).ln() + 1.0;
+        assert!((idf.idf(0xdead_beef) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_corpus_is_well_defined() {
+        let idf = IdfModel::fit(std::iter::empty());
+        assert_eq!(idf.doc_count(), 0);
+        assert!((idf.idf(1) - 1.0).abs() < 1e-6); // ln(1/1)+1
+    }
+
+    #[test]
+    fn reweight_preserves_feature_set() {
+        let corpus = [feature_bag("x y z"), feature_bag("x y"), feature_bag("x")];
+        let idf = IdfModel::fit(corpus.iter());
+        let bag = feature_bag("x y z");
+        let rw = idf.reweight(&bag);
+        assert_eq!(rw.len(), bag.len());
+        assert!(rw.iter().all(|&(_, w)| w > 0.0));
+    }
+}

@@ -1,0 +1,119 @@
+//! Dense `f32` vector arithmetic used by embeddings and the ANN index.
+
+/// Dot product of two equal-length vectors.
+///
+/// # Panics
+/// Panics when the lengths differ — mixing dimensions is always a bug.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch: {} vs {}", a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn l2_norm(v: &[f32]) -> f32 {
+    v.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+/// Squared Euclidean distance between two equal-length vectors.
+#[inline]
+pub fn l2_distance_sq(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch: {} vs {}", a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Cosine similarity in `[-1, 1]`. Returns 0.0 when either vector is zero so
+/// degenerate inputs compare as "unrelated" rather than poisoning downstream
+/// thresholds with NaN.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let na = l2_norm(a);
+    let nb = l2_norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Scales `v` to unit L2 norm in place; leaves the zero vector untouched.
+pub fn normalize_in_place(v: &mut [f32]) {
+    let n = l2_norm(v);
+    if n > 0.0 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+/// Adds `src` into `dst` element-wise.
+pub fn add_in_place(dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "dimension mismatch");
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+/// Mean of a set of equal-length vectors; `None` for an empty set.
+pub fn mean(vectors: &[Vec<f32>]) -> Option<Vec<f32>> {
+    let first = vectors.first()?;
+    let mut acc = vec![0.0f32; first.len()];
+    for v in vectors {
+        add_in_place(&mut acc, v);
+    }
+    let n = vectors.len() as f32;
+    for x in &mut acc {
+        *x /= n;
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(l2_norm(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn cosine_parallel_orthogonal_opposite() {
+        assert!((cosine(&[1.0, 0.0], &[2.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn normalize_makes_unit_norm() {
+        let mut v = vec![3.0, 4.0];
+        normalize_in_place(&mut v);
+        assert!((l2_norm(&v) - 1.0).abs() < 1e-6);
+        let mut z = vec![0.0, 0.0];
+        normalize_in_place(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn l2_distance_matches_hand_computation() {
+        assert_eq!(l2_distance_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn mean_of_vectors() {
+        let m = mean(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m, vec![2.0, 3.0]);
+        assert!(mean(&[]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dot_rejects_mismatched_dims() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,66 @@
+//! Property-based tests for the embedding layer.
+
+use proptest::prelude::*;
+
+use pas_embed::{cosine, feature_bag, l2_norm, Embedder, IdfModel, NgramEmbedder};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn embeddings_are_unit_or_zero(s in ".{0,120}") {
+        let e = NgramEmbedder::default();
+        let v = e.embed(&s);
+        let n = l2_norm(&v);
+        prop_assert!(n.abs() < 1e-5 || (n - 1.0).abs() < 1e-4, "norm {n}");
+    }
+
+    #[test]
+    fn cosine_is_symmetric_and_bounded(a in ".{0,80}", b in ".{0,80}") {
+        let e = NgramEmbedder::default();
+        let va = e.embed(&a);
+        let vb = e.embed(&b);
+        let ab = cosine(&va, &vb);
+        prop_assert!((-1.0001..=1.0001).contains(&ab));
+        prop_assert!((ab - cosine(&vb, &va)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn self_similarity_is_one_for_nonempty(s in "[a-z]{3,20}( [a-z]{3,20}){1,5}") {
+        let e = NgramEmbedder::default();
+        let v = e.embed(&s);
+        prop_assert!((cosine(&v, &v) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn surface_variants_stay_close(s in "[a-z]{3,12}( [a-z]{3,12}){2,6}") {
+        let e = NgramEmbedder::default();
+        let variant = format!("{}!!", s.to_uppercase());
+        let sim = cosine(&e.embed(&s), &e.embed(&variant));
+        prop_assert!(sim > 0.99, "case/punct variant similarity {sim}");
+    }
+
+    #[test]
+    fn feature_bags_are_canonical(s in ".{0,120}") {
+        let bag = feature_bag(&s);
+        let hashes: Vec<u64> = bag.entries().iter().map(|e| e.0).collect();
+        let mut sorted = hashes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(hashes, sorted);
+        prop_assert!(bag.entries().iter().all(|&(_, w)| w > 0.0));
+    }
+
+    #[test]
+    fn idf_is_positive_and_monotone(docs in prop::collection::vec("[a-z]{2,8}( [a-z]{2,8}){0,5}", 1..10)) {
+        let bags: Vec<_> = docs.iter().map(|d| feature_bag(d)).collect();
+        let idf = IdfModel::fit(bags.iter());
+        for bag in &bags {
+            for &(h, _) in bag.entries() {
+                prop_assert!(idf.idf(h) > 0.0);
+                // A seen feature is never rarer than an unseen one.
+                prop_assert!(idf.idf(h) <= idf.idf(0xdead_beef_dead_beef) + 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! The paper's three case studies (Figures 2, 8 and 9).
+//!
+//! Each case registers the paper's actual question, runs a mid-tier main
+//! model with and without the supplied optimizer, and reports both
+//! responses plus the judge's quality delta.
+
+use std::sync::Arc;
+
+use pas_core::PromptOptimizer;
+use pas_llm::world::{Aspect, AspectSet, Category, PromptMeta, World};
+use pas_llm::{ChatModel, SimLlm};
+use pas_text::lang::Language;
+
+use crate::judge::assess;
+
+/// One executed case study.
+#[derive(Debug, Clone)]
+pub struct CaseStudy {
+    /// Display title.
+    pub title: String,
+    /// The user prompt (from the paper).
+    pub prompt: String,
+    /// The complement the optimizer produced.
+    pub complement: String,
+    /// Response without augmentation.
+    pub without: String,
+    /// Response with augmentation.
+    pub with: String,
+    /// Judge quality without augmentation.
+    pub quality_without: f32,
+    /// Judge quality with augmentation.
+    pub quality_with: f32,
+}
+
+impl CaseStudy {
+    /// Whether augmentation improved the judged quality.
+    pub fn improved(&self) -> bool {
+        self.quality_with > self.quality_without
+    }
+
+    /// Renders the case in the paper's before/after format.
+    pub fn render(&self) -> String {
+        format!(
+            "== {} ==\nUser: {}\nPAS complement: {}\n\n-- Response without PAS (quality {:.2}) --\n{}\n\n-- Response with PAS (quality {:.2}) --\n{}\n",
+            self.title,
+            self.prompt,
+            self.complement,
+            self.quality_without,
+            self.without,
+            self.quality_with,
+            self.with
+        )
+    }
+}
+
+fn case_defs() -> Vec<(&'static str, &'static str, PromptMeta)> {
+    vec![
+        (
+            "Case Study 1: logic trap (Figure 2)",
+            "If there are 10 birds on a tree and one is shot dead, how many birds are on the ground?",
+            PromptMeta {
+                category: Category::Reasoning,
+                required: [Aspect::TrapWarning, Aspect::StepByStep].into_iter().collect(),
+                explicit: AspectSet::EMPTY,
+                ambiguity: 0.3,
+                trap: true,
+                language: Language::English,
+                topic: "birds tree ground".into(),
+            },
+        ),
+        (
+            "Case Study 2: boiling water quickly in ancient times (Figure 8)",
+            "How to boil water quickly in ancient times?",
+            PromptMeta {
+                category: Category::Knowledge,
+                required: [Aspect::Depth, Aspect::Completeness, Aspect::Context].into_iter().collect(),
+                explicit: AspectSet::EMPTY,
+                ambiguity: 0.6,
+                trap: false,
+                language: Language::English,
+                topic: "boil water ancient".into(),
+            },
+        ),
+        (
+            "Case Study 3: blood pressure during blood loss (Figure 9)",
+            "Does blood pressure increase or decrease when the body loses blood?",
+            PromptMeta {
+                category: Category::QuestionAnswering,
+                required: [Aspect::Depth, Aspect::Context, Aspect::Completeness].into_iter().collect(),
+                explicit: AspectSet::EMPTY,
+                ambiguity: 0.5,
+                trap: false,
+                language: Language::English,
+                topic: "blood pressure loss".into(),
+            },
+        ),
+    ]
+}
+
+/// Number of surface variants each case is averaged over: one response is
+/// a single stochastic draw, so the reported qualities are Monte-Carlo
+/// means across re-phrasings that share the same latent rubric.
+pub const CASE_VARIANTS: usize = 64;
+
+/// Runs the three case studies with `optimizer` in front of `model_name`.
+pub fn run_case_studies<O: PromptOptimizer>(optimizer: &O, model_name: &str) -> Vec<CaseStudy> {
+    let defs = case_defs();
+    let mut world = World::new();
+    for (_, prompt, meta) in &defs {
+        world.register(prompt, meta.clone());
+        for k in 1..CASE_VARIANTS {
+            world.register(&format!("{prompt} (reading {k})"), meta.clone());
+        }
+    }
+    let model = SimLlm::named(model_name, Arc::new(world));
+
+    defs.into_iter()
+        .map(|(title, prompt, meta)| {
+            // Shown transcript: the canonical phrasing.
+            let augmented = optimizer.optimize(prompt);
+            let complement = augmented
+                .strip_prefix(prompt)
+                .unwrap_or(&augmented)
+                .trim()
+                .to_string();
+            let without = model.chat(prompt);
+            let with = model.chat(&augmented);
+
+            // Reported qualities: mean over the variant set.
+            let mut q_without = 0.0f32;
+            let mut q_with = 0.0f32;
+            for k in 0..CASE_VARIANTS {
+                let variant = if k == 0 {
+                    prompt.to_string()
+                } else {
+                    format!("{prompt} (reading {k})")
+                };
+                q_without += assess(&meta, &model.chat(&variant)).score();
+                q_with += assess(&meta, &model.chat(&optimizer.optimize(&variant))).score();
+            }
+            let quality_without = q_without / CASE_VARIANTS as f32;
+            let quality_with = q_with / CASE_VARIANTS as f32;
+            CaseStudy {
+                title: title.to_string(),
+                prompt: prompt.to_string(),
+                complement,
+                without,
+                with,
+                quality_without,
+                quality_with,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_llm::teacher::realize_complement;
+
+    /// A hand-built oracle optimizer that supplies exactly the deficient
+    /// aspects — the upper bound a trained PAS approaches.
+    struct Oracle;
+
+    impl PromptOptimizer for Oracle {
+        fn name(&self) -> &str {
+            "oracle"
+        }
+        fn optimize(&self, prompt: &str) -> String {
+            let aspects: AspectSet = if prompt.contains("birds") {
+                [Aspect::TrapWarning, Aspect::StepByStep].into_iter().collect()
+            } else {
+                [Aspect::Depth, Aspect::Completeness, Aspect::Context].into_iter().collect()
+            };
+            let topic = pas_text::top_keywords(prompt, 3).join(" ");
+            format!("{prompt} {}", realize_complement(&topic, aspects))
+        }
+        fn requires_human_labels(&self) -> bool {
+            false
+        }
+        fn llm_agnostic(&self) -> bool {
+            true
+        }
+        fn task_agnostic(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn three_cases_run_end_to_end() {
+        let cases = run_case_studies(&Oracle, "gpt-4-0613");
+        assert_eq!(cases.len(), 3);
+        for c in &cases {
+            assert!(!c.without.is_empty() && !c.with.is_empty());
+            assert!(!c.complement.is_empty());
+            assert!(c.render().contains(&c.title));
+        }
+    }
+
+    #[test]
+    fn oracle_augmentation_improves_most_cases() {
+        let cases = run_case_studies(&Oracle, "gpt-4-0613");
+        let improved = cases.iter().filter(|c| c.improved()).count();
+        assert!(improved >= 2, "only {improved}/3 improved");
+    }
+
+    #[test]
+    fn case_studies_are_deterministic() {
+        let a = run_case_studies(&Oracle, "gpt-4-0613");
+        let b = run_case_studies(&Oracle, "gpt-4-0613");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.with, y.with);
+            assert_eq!(x.without, y.without);
+        }
+    }
+}

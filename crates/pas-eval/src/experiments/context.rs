@@ -1,0 +1,179 @@
+//! Shared experiment state: trained models, datasets, and suites.
+
+use pas_baselines::{Bpo, BpoConfig};
+use pas_core::{Pas, PasConfig, PasSystem, SystemConfig};
+use pas_data::{CorpusConfig, GenConfig, PairDataset, SelectionConfig};
+use pas_llm::SimLlm;
+
+use crate::judge::Judge;
+use crate::suite::{EvalEnv, EvalEnvConfig};
+
+/// How big to build everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper scale: ~9k PAS pairs, ~14k BPO pairs, full suites. Minutes.
+    Paper,
+    /// Quick scale for tests and smoke runs. Seconds.
+    Quick,
+}
+
+impl Scale {
+    fn pas_corpus(self) -> usize {
+        match self {
+            Scale::Paper => 28_500,
+            Scale::Quick => 1_600,
+        }
+    }
+
+    fn bpo_corpus(self) -> usize {
+        match self {
+            Scale::Paper => 48_500,
+            Scale::Quick => 2_400,
+        }
+    }
+
+    fn labeled(self) -> usize {
+        match self {
+            Scale::Paper => 4_000,
+            Scale::Quick => 900,
+        }
+    }
+
+    fn arena_items(self) -> usize {
+        match self {
+            Scale::Paper => 250,
+            Scale::Quick => 120,
+        }
+    }
+
+    fn alpaca_items(self) -> usize {
+        match self {
+            Scale::Paper => 300,
+            Scale::Quick => 150,
+        }
+    }
+}
+
+/// Everything the table/figure runners need, built once.
+pub struct ExperimentContext {
+    /// Benchmark suites and the evaluation world.
+    pub env: EvalEnv,
+    /// The judge.
+    pub judge: Judge,
+    /// PAS fine-tuned from Qwen2-7B on the curated dataset (the paper's
+    /// main configuration).
+    pub pas_qwen: Pas,
+    /// PAS fine-tuned from LLaMA-2-7B (Table 2's same-base comparison).
+    pub pas_llama: Pas,
+    /// PAS trained on the dataset generated *without* the selection and
+    /// regeneration phase (Table 5's ablation).
+    pub pas_wo_selection: Pas,
+    /// BPO trained on the larger, noisier preference-derived dataset.
+    pub bpo: Bpo,
+    /// The curated PAS fine-tuning dataset (~9k pairs at paper scale).
+    pub dataset: PairDataset,
+    /// The BPO training dataset (~14k pairs at paper scale).
+    pub bpo_dataset: PairDataset,
+    /// Residual ground-truth flaw rate of the curated dataset.
+    pub curated_flaw_rate: f64,
+    /// Residual flaw rate of the ablated (w/o selection) dataset.
+    pub ablated_flaw_rate: f64,
+}
+
+impl ExperimentContext {
+    /// Builds all shared state deterministically from `seed`.
+    pub fn build(scale: Scale, seed: u64) -> ExperimentContext {
+        // The curated PAS pipeline (corpus → §3.1 → Algorithm 1 → SFT).
+        let base_cfg = SystemConfig {
+            corpus: CorpusConfig { size: scale.pas_corpus(), seed, ..CorpusConfig::default() },
+            selection: SelectionConfig { labeled_size: scale.labeled(), ..SelectionConfig::default() },
+            generation: GenConfig::default(),
+            pas: PasConfig::default(),
+        };
+        let system = PasSystem::build(&base_cfg);
+
+        // Table 2 variant: same curated dataset, weaker base model.
+        let (pas_llama, _) = Pas::sft(
+            &PasConfig { base_model: "llama-2-7b-instruct".into(), ..PasConfig::default() },
+            &system.dataset,
+        );
+
+        // Table 5 ablation: regenerate without selection, retrain.
+        let ablated_cfg = SystemConfig {
+            generation: GenConfig { selection_enabled: false, ..GenConfig::default() },
+            ..base_cfg.clone()
+        };
+        let ablated = PasSystem::build(&ablated_cfg);
+
+        // BPO: bigger corpus, no critic curation, preference label noise.
+        let bpo_cfg = SystemConfig {
+            corpus: CorpusConfig {
+                size: scale.bpo_corpus(),
+                seed: seed ^ 0xb90,
+                ..CorpusConfig::default()
+            },
+            selection: SelectionConfig { labeled_size: scale.labeled(), ..SelectionConfig::default() },
+            generation: GenConfig { selection_enabled: false, ..GenConfig::default() },
+            pas: PasConfig::default(),
+        };
+        let bpo_system = PasSystem::build(&bpo_cfg);
+        let bpo = Bpo::train(&BpoConfig::default(), &bpo_system.dataset);
+
+        let env = EvalEnv::build(&EvalEnvConfig {
+            arena_items: scale.arena_items(),
+            alpaca_items: scale.alpaca_items(),
+            seed: seed ^ 0xe0a1,
+        });
+
+        ExperimentContext {
+            env,
+            judge: Judge::default(),
+            pas_qwen: system.pas,
+            pas_llama,
+            pas_wo_selection: ablated.pas,
+            bpo,
+            dataset: system.dataset,
+            bpo_dataset: bpo_system.dataset,
+            curated_flaw_rate: system.generation_report.residual_flaw_rate(),
+            ablated_flaw_rate: ablated.generation_report.residual_flaw_rate(),
+        }
+    }
+
+    /// Instantiates a main model over the evaluation world.
+    pub fn model(&self, name: &str) -> SimLlm {
+        SimLlm::named(name, self.env.world.clone())
+    }
+
+    /// Instantiates a suite's reference model.
+    pub fn reference(&self, suite: &crate::suite::BenchSuite) -> SimLlm {
+        SimLlm::named(&suite.reference_model, self.env.world.clone())
+    }
+}
+
+/// Shared Quick-scale context for the experiment tests: building one takes
+/// tens of seconds, so every test reuses a single instance.
+#[cfg(test)]
+pub(crate) fn shared_quick() -> &'static ExperimentContext {
+    use std::sync::OnceLock;
+    static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(|| ExperimentContext::build(Scale::Quick, 7))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_context_builds_consistently() {
+        let ctx = ExperimentContext::build(Scale::Quick, 1);
+        assert!(ctx.dataset.len() > 200, "PAS dataset {}", ctx.dataset.len());
+        assert!(
+            ctx.bpo_dataset.len() > ctx.dataset.len(),
+            "BPO must consume more data: {} vs {}",
+            ctx.bpo_dataset.len(),
+            ctx.dataset.len()
+        );
+        assert!(ctx.ablated_flaw_rate > ctx.curated_flaw_rate);
+        assert_eq!(ctx.env.arena.len(), 120);
+    }
+}

@@ -1,0 +1,204 @@
+//! Extension experiments beyond the paper's tables.
+//!
+//! 1. **Per-task optimizers vs PAS** — OPRO and ProTeGi optimize one
+//!    instruction per (category, model) on a labeled train split; this
+//!    experiment measures what that buys on the task they trained for and
+//!    what it costs everywhere else, quantifying the task-agnosticity gap
+//!    Table 3 only marks with ✗.
+//! 2. **Factored vs neural PAS** — the default PAS factors into a trained
+//!    aspect model plus a template realizer; [`pas_core::NeuralPas`] is the
+//!    end-to-end tokenizer+LM fine-tune. The comparison quantifies the
+//!    trade-off: the factored model is far more data-efficient (it wins in
+//!    the low-pair regime), while the neural model catches up once it has
+//!    enough pairs to imitate the complement distribution.
+
+use pas_baselines::{Opro, OproConfig, ProTeGi, ProTeGiConfig, ZeroShotCot};
+use pas_core::{NeuralPas, NeuralPasConfig, NoOptimizer, PromptOptimizer};
+use pas_llm::{Category, PromptMeta};
+
+use crate::harness::evaluate_suite;
+use crate::report::{pct, Table};
+use crate::suite::BenchSuite;
+
+use super::context::ExperimentContext;
+
+/// One method's in-task vs out-of-task scores.
+#[derive(Debug, Clone)]
+pub struct PerTaskRow {
+    /// Method name.
+    pub method: String,
+    /// Win rate on items of the category it optimized for.
+    pub in_task: f64,
+    /// Win rate on all other categories.
+    pub out_of_task: f64,
+}
+
+/// Result of the per-task comparison.
+#[derive(Debug, Clone)]
+pub struct PerTaskResult {
+    /// The category the per-task optimizers trained on.
+    pub category: Category,
+    /// Rows: None, CoT, OPRO, ProTeGi, PAS.
+    pub rows: Vec<PerTaskRow>,
+}
+
+impl PerTaskResult {
+    /// Renders the comparison table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            &format!(
+                "Extension: per-task optimizers vs PAS (optimized for {})",
+                self.category.name()
+            ),
+            &["Method", "In-task win rate", "Out-of-task win rate"],
+        );
+        for r in &self.rows {
+            t.row(&[r.method.clone(), pct(r.in_task), pct(r.out_of_task)]);
+        }
+        t.render()
+    }
+}
+
+fn split_suite(suite: &BenchSuite, category: Category) -> (BenchSuite, BenchSuite) {
+    let (in_items, out_items): (Vec<_>, Vec<_>) = suite
+        .items
+        .iter()
+        .cloned()
+        .partition(|i| i.meta.category == category);
+    (
+        BenchSuite { items: in_items, ..suite.clone() },
+        BenchSuite { items: out_items, ..suite.clone() },
+    )
+}
+
+/// Runs the per-task comparison on the Alpaca suite against one mid-tier
+/// model.
+pub fn per_task(ctx: &ExperimentContext, category: Category) -> PerTaskResult {
+    let model = ctx.model("gpt-4-0613");
+    let reference = ctx.reference(&ctx.env.alpaca);
+    let (in_suite, out_suite) = split_suite(&ctx.env.alpaca, category);
+
+    // Train split for the iterative optimizers: arena items of the target
+    // category (disjoint from the alpaca eval items).
+    let train: Vec<(String, PromptMeta)> = ctx
+        .env
+        .arena
+        .items
+        .iter()
+        .filter(|i| i.meta.category == category)
+        .take(20)
+        .map(|i| (i.prompt.clone(), i.meta.clone()))
+        .collect();
+
+    let opro = Opro::optimize_for_task(&OproConfig::default(), category, &model, &train);
+    let protegi =
+        ProTeGi::optimize_for_task(&ProTeGiConfig::default(), category, &model, &train);
+
+    let mut rows = Vec::new();
+    let mut eval = |label: &str, opt: &dyn PromptOptimizer| {
+        let in_task = evaluate_suite(&model, &opt, &in_suite, &reference, &ctx.judge).win_rate;
+        let out_of_task =
+            evaluate_suite(&model, &opt, &out_suite, &reference, &ctx.judge).win_rate;
+        rows.push(PerTaskRow { method: label.to_string(), in_task, out_of_task });
+    };
+    eval("None", &NoOptimizer);
+    eval("Zero-shot CoT", &ZeroShotCot);
+    eval("OPRO", &opro);
+    eval("ProTeGi", &protegi);
+    eval("PAS", &ctx.pas_qwen);
+
+    PerTaskResult { category, rows }
+}
+
+/// Result of the factored-vs-neural PAS comparison.
+#[derive(Debug, Clone)]
+pub struct NeuralVsFactored {
+    /// Factored PAS Arena win rate.
+    pub factored: f64,
+    /// Neural PAS Arena win rate.
+    pub neural: f64,
+    /// Baseline Arena win rate.
+    pub baseline: f64,
+    /// Held-in token NLL of the neural model.
+    pub neural_nll: f32,
+}
+
+impl NeuralVsFactored {
+    /// Renders the ablation table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "Extension: factored PAS vs end-to-end neural PAS (Arena-Hard, gpt-4-0613)",
+            &["Variant", "Win rate"],
+        );
+        t.row(&["None", &pct(self.baseline)]);
+        t.row(&["PAS (factored)", &pct(self.factored)]);
+        t.row(&["PAS-neural (BPE+LM)", &pct(self.neural)]);
+        t.render()
+    }
+}
+
+/// Trains a [`NeuralPas`] on `pairs` pairs of the context's dataset and
+/// compares it with the factored model on the Arena suite.
+pub fn neural_vs_factored_with(ctx: &ExperimentContext, pairs: usize) -> NeuralVsFactored {
+    let model = ctx.model("gpt-4-0613");
+    let reference = ctx.reference(&ctx.env.arena);
+    // The neural model fine-tunes on a subset for tractability.
+    let subset = ctx.dataset.take(pairs);
+    let (neural, _) = NeuralPas::sft(&NeuralPasConfig::default(), &subset);
+    let neural_nll = neural.eval_nll(&subset.take(100));
+
+    NeuralVsFactored {
+        factored: evaluate_suite(&model, &ctx.pas_qwen, &ctx.env.arena, &reference, &ctx.judge)
+            .win_rate,
+        neural: evaluate_suite(&model, &neural, &ctx.env.arena, &reference, &ctx.judge).win_rate,
+        baseline: evaluate_suite(&model, &NoOptimizer, &ctx.env.arena, &reference, &ctx.judge)
+            .win_rate,
+        neural_nll,
+    }
+}
+
+/// [`neural_vs_factored_with`] at the default 600-pair budget.
+pub fn neural_vs_factored(ctx: &ExperimentContext) -> NeuralVsFactored {
+    neural_vs_factored_with(ctx, 600)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_task_optimizers_win_in_task_but_pas_generalizes() {
+        let ctx = super::super::context::shared_quick();
+        let result = per_task(ctx, Category::Analysis);
+        assert_eq!(result.rows.len(), 5);
+        let get = |n: &str| result.rows.iter().find(|r| r.method == n).unwrap();
+        let baseline = get("None");
+        let pas = get("PAS");
+        // PAS must beat the baseline out of task; the per-task optimizers
+        // need not (that is the point of the comparison).
+        assert!(
+            pas.out_of_task > baseline.out_of_task,
+            "PAS out-of-task {} vs baseline {}",
+            pas.out_of_task,
+            baseline.out_of_task
+        );
+        assert!(result.render().contains("OPRO"));
+    }
+
+    #[test]
+    fn factored_pas_beats_neural_pas_in_the_low_data_regime() {
+        // At 150 pairs the neural model underfits; the factored model's
+        // data efficiency shows. (At full scale the gap closes — see the
+        // neural_ablation binary.)
+        let ctx = super::super::context::shared_quick();
+        let cmp = neural_vs_factored_with(ctx, 150);
+        assert!(
+            cmp.factored >= cmp.neural,
+            "factored {} vs neural {}",
+            cmp.factored,
+            cmp.neural
+        );
+        assert!(cmp.neural_nll.is_finite());
+        assert!(cmp.render().contains("factored"));
+    }
+}

@@ -1,0 +1,24 @@
+//! One runner per paper table/figure.
+//!
+//! Every runner takes the shared [`ExperimentContext`] (built once — it
+//! holds the trained models and suites) and returns a typed result with a
+//! `render()` that prints the same rows the paper reports. The `bench`
+//! crate's binaries are thin wrappers over these.
+
+pub mod context;
+pub mod extension;
+pub mod robustness;
+pub mod figures;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table45;
+
+pub use context::{ExperimentContext, Scale};
+pub use extension::{neural_vs_factored, per_task, NeuralVsFactored, PerTaskResult};
+pub use robustness::{robustness, RobustnessResult, Spread};
+pub use figures::{fig6, fig7, Fig7Result, LearningCurve};
+pub use table1::{table1, Table1Result};
+pub use table2::{table2, Table2Result};
+pub use table3::{table3, Table3Result};
+pub use table45::{fig1b, table4, table5, Fig1bResult, Table4Result, Table5Result};

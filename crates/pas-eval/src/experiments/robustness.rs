@@ -1,0 +1,151 @@
+//! Seed-sweep robustness: are the headline deltas stable across seeds?
+//!
+//! The paper reports single numbers; a reproduction should show that its
+//! shapes are not one lucky seed. This experiment rebuilds the whole world
+//! (corpus, training, suites) under several seeds and reports the mean and
+//! spread of the two headline deltas (PAS−baseline and PAS−BPO) plus the
+//! ablation drop.
+
+use crate::report::Table;
+
+use super::context::{ExperimentContext, Scale};
+use super::table1::table1;
+use super::table45::table5;
+
+/// Summary statistics over a sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct Spread {
+    /// Mean of the samples.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Spread {
+    /// Computes statistics; panics on an empty slice.
+    pub fn of(samples: &[f64]) -> Spread {
+        assert!(!samples.is_empty(), "spread of empty sample set");
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        Spread {
+            mean,
+            std: var.sqrt(),
+            min: samples.iter().copied().fold(f64::INFINITY, f64::min),
+            max: samples.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+/// Result of the robustness sweep.
+#[derive(Debug, Clone)]
+pub struct RobustnessResult {
+    /// Seeds exercised.
+    pub seeds: Vec<u64>,
+    /// PAS − baseline per seed.
+    pub pas_vs_baseline: Vec<f64>,
+    /// PAS − BPO per seed.
+    pub pas_vs_bpo: Vec<f64>,
+    /// Ablation drop per seed (positive = selection helps).
+    pub ablation_drop: Vec<f64>,
+}
+
+impl RobustnessResult {
+    /// Renders the mean ± std table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            &format!("Robustness over {} seeds {:?}", self.seeds.len(), self.seeds),
+            &["Quantity", "Paper", "Mean", "Std", "Min", "Max"],
+        );
+        let mut row = |label: &str, paper: &str, xs: &[f64]| {
+            let s = Spread::of(xs);
+            t.row(&[
+                label.to_string(),
+                paper.to_string(),
+                format!("{:+.2}", s.mean),
+                format!("{:.2}", s.std),
+                format!("{:+.2}", s.min),
+                format!("{:+.2}", s.max),
+            ]);
+        };
+        row("PAS vs baseline", "+8.00", &self.pas_vs_baseline);
+        row("PAS vs BPO", "+6.09", &self.pas_vs_bpo);
+        row("Ablation drop", "+3.80", &self.ablation_drop);
+        t.render()
+    }
+
+    /// True when every seed preserved the headline orderings.
+    pub fn all_seeds_preserve_orderings(&self) -> bool {
+        self.pas_vs_baseline.iter().all(|&x| x > 0.0)
+            && self.pas_vs_bpo.iter().all(|&x| x > 0.0)
+    }
+}
+
+/// Runs the sweep. Each seed rebuilds the full context, so cost scales
+/// linearly with `seeds.len()`.
+pub fn robustness(scale: Scale, seeds: &[u64]) -> RobustnessResult {
+    let mut result = RobustnessResult {
+        seeds: seeds.to_vec(),
+        pas_vs_baseline: Vec::new(),
+        pas_vs_bpo: Vec::new(),
+        ablation_drop: Vec::new(),
+    };
+    for &seed in seeds {
+        let ctx = ExperimentContext::build(scale, seed);
+        let t1 = table1(&ctx);
+        let t5 = table5(&ctx);
+        result.pas_vs_baseline.push(t1.pas_vs_baseline());
+        result.pas_vs_bpo.push(t1.pas_vs_bpo());
+        result.ablation_drop.push(t5.ablation_drop());
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread_statistics_are_correct() {
+        let s = Spread::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn spread_rejects_empty() {
+        let _ = Spread::of(&[]);
+    }
+
+    #[test]
+    fn render_contains_all_quantities() {
+        let r = RobustnessResult {
+            seeds: vec![1, 2],
+            pas_vs_baseline: vec![8.0, 9.0],
+            pas_vs_bpo: vec![6.0, 7.0],
+            ablation_drop: vec![2.0, 3.0],
+        };
+        let out = r.render();
+        assert!(out.contains("PAS vs baseline"));
+        assert!(out.contains("Ablation drop"));
+        assert!(r.all_seeds_preserve_orderings());
+    }
+
+    #[test]
+    fn negative_delta_breaks_ordering_flag() {
+        let r = RobustnessResult {
+            seeds: vec![1],
+            pas_vs_baseline: vec![8.0],
+            pas_vs_bpo: vec![-0.5],
+            ablation_drop: vec![2.0],
+        };
+        assert!(!r.all_seeds_preserve_orderings());
+    }
+}

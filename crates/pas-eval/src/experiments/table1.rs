@@ -1,0 +1,173 @@
+//! Table 1: PAS vs BPO vs no APE across the six main models and the three
+//! benchmarks.
+
+use pas_core::{NoOptimizer, PromptOptimizer};
+use pas_llm::ModelProfile;
+
+use crate::harness::evaluate_suite;
+use crate::report::{delta, pct, Table};
+
+use super::context::ExperimentContext;
+
+/// One Table 1 row: a (main model, APE) combination's three scores.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Main model name.
+    pub model: String,
+    /// Arena-Hard win rate.
+    pub arena: f64,
+    /// AlpacaEval 2.0 win rate.
+    pub alpaca: f64,
+    /// AlpacaEval 2.0 (LC) win rate.
+    pub alpaca_lc: f64,
+}
+
+impl Row {
+    /// Row average, as in the paper's last column.
+    pub fn average(&self) -> f64 {
+        (self.arena + self.alpaca + self.alpaca_lc) / 3.0
+    }
+}
+
+/// The complete Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Result {
+    /// No-APE baseline block.
+    pub baseline: Vec<Row>,
+    /// BPO block.
+    pub bpo: Vec<Row>,
+    /// PAS block.
+    pub pas: Vec<Row>,
+}
+
+fn block_average(rows: &[Row]) -> Row {
+    let n = rows.len().max(1) as f64;
+    Row {
+        model: "Average".into(),
+        arena: rows.iter().map(|r| r.arena).sum::<f64>() / n,
+        alpaca: rows.iter().map(|r| r.alpaca).sum::<f64>() / n,
+        alpaca_lc: rows.iter().map(|r| r.alpaca_lc).sum::<f64>() / n,
+    }
+}
+
+impl Table1Result {
+    /// Mean improvement of PAS over the baseline (paper: ≈ +8).
+    pub fn pas_vs_baseline(&self) -> f64 {
+        mean_avg(&self.pas) - mean_avg(&self.baseline)
+    }
+
+    /// Mean improvement of PAS over BPO (paper: ≈ +6).
+    pub fn pas_vs_bpo(&self) -> f64 {
+        mean_avg(&self.pas) - mean_avg(&self.bpo)
+    }
+
+    /// Renders the three blocks in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "Table 1: Comparison of PAS, BPO and not using APE (baseline)",
+            &["Main Model", "APE-model", "Arena-hard", "Alpaca-Eval 2.0", "Alpaca-Eval 2.0 (LC)", "Average"],
+        );
+        let mut block = |rows: &[Row], label: &str, against: Option<&[Row]>| {
+            for (i, r) in rows.iter().enumerate() {
+                let avg = match against {
+                    Some(other) => format!(
+                        "{} ({})",
+                        pct(r.average()),
+                        delta(r.average() - other[i].average())
+                    ),
+                    None => pct(r.average()),
+                };
+                t.row(&[
+                    r.model.clone(),
+                    label.to_string(),
+                    pct(r.arena),
+                    pct(r.alpaca),
+                    pct(r.alpaca_lc),
+                    avg,
+                ]);
+            }
+            let a = block_average(rows);
+            let avg = match against {
+                Some(other) => {
+                    let oa = block_average(other);
+                    format!("{} ({})", pct(a.average()), delta(a.average() - oa.average()))
+                }
+                None => pct(a.average()),
+            };
+            t.row(&[
+                "Average".to_string(),
+                label.to_string(),
+                pct(a.arena),
+                pct(a.alpaca),
+                pct(a.alpaca_lc),
+                avg,
+            ]);
+        };
+        block(&self.baseline, "None", None);
+        block(&self.bpo, "BPO", None);
+        block(&self.pas, "PAS (PAS-None)", Some(&self.baseline));
+        block(&self.pas, "PAS (PAS-BPO)", Some(&self.bpo));
+        t.render()
+    }
+}
+
+fn mean_avg(rows: &[Row]) -> f64 {
+    rows.iter().map(Row::average).sum::<f64>() / rows.len().max(1) as f64
+}
+
+/// Evaluates one optimizer across the six main models and three suites.
+pub fn evaluate_block<O: PromptOptimizer>(ctx: &ExperimentContext, optimizer: &O) -> Vec<Row> {
+    ModelProfile::main_model_names()
+        .into_iter()
+        .map(|name| {
+            let model = ctx.model(name);
+            let score = |suite: &crate::suite::BenchSuite| {
+                let reference = ctx.reference(suite);
+                evaluate_suite(&model, optimizer, suite, &reference, &ctx.judge).win_rate
+            };
+            Row {
+                model: name.to_string(),
+                arena: score(&ctx.env.arena),
+                alpaca: score(&ctx.env.alpaca),
+                alpaca_lc: score(&ctx.env.alpaca_lc),
+            }
+        })
+        .collect()
+}
+
+/// Runs the full Table 1 experiment.
+pub fn table1(ctx: &ExperimentContext) -> Table1Result {
+    Table1Result {
+        baseline: evaluate_block(ctx, &NoOptimizer),
+        bpo: evaluate_block(ctx, &ctx.bpo),
+        pas: evaluate_block(ctx, &ctx.pas_qwen),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shapes_match_the_paper() {
+        let ctx = super::super::context::shared_quick();
+        let t1 = table1(ctx);
+        assert_eq!(t1.baseline.len(), 6);
+        // Headline shape: PAS beats the baseline and BPO on average.
+        assert!(t1.pas_vs_baseline() > 2.0, "PAS-None {}", t1.pas_vs_baseline());
+        assert!(t1.pas_vs_bpo() > 0.0, "PAS-BPO {}", t1.pas_vs_bpo());
+        // PAS improves every main model on average.
+        for (p, b) in t1.pas.iter().zip(&t1.baseline) {
+            assert!(
+                p.average() > b.average() - 1.0,
+                "{}: PAS {} vs baseline {}",
+                p.model,
+                p.average(),
+                b.average()
+            );
+        }
+        let rendered = t1.render();
+        assert!(rendered.contains("gpt-4-turbo-2024-04-09"));
+        assert!(rendered.contains("PAS (PAS-BPO)"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Table 2: PAS vs BPO with the same base model (LLaMA-2-7B-Instruct).
+
+use crate::report::{delta, pct, Table};
+
+use super::context::ExperimentContext;
+use super::table1::{evaluate_block, Row};
+
+/// The complete Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2Result {
+    /// BPO block (its released model is LLaMA-2-7B-based).
+    pub bpo: Vec<Row>,
+    /// PAS fine-tuned from the same LLaMA-2-7B base.
+    pub pas: Vec<Row>,
+}
+
+impl Table2Result {
+    /// Mean improvement of same-base PAS over BPO (paper: ≈ +3.4).
+    pub fn pas_vs_bpo(&self) -> f64 {
+        mean(&self.pas) - mean(&self.bpo)
+    }
+
+    /// Renders the paper's layout.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "Table 2: PAS vs BPO with the same base model (LLaMA-2-7b-instruct)",
+            &["Main Model", "Method", "Arena-hard", "Alpaca-Eval 2.0", "Alpaca-Eval 2.0 (LC)", "Average"],
+        );
+        for r in &self.bpo {
+            t.row(&[
+                r.model.clone(),
+                "BPO".into(),
+                pct(r.arena),
+                pct(r.alpaca),
+                pct(r.alpaca_lc),
+                pct(r.average()),
+            ]);
+        }
+        for (r, b) in self.pas.iter().zip(&self.bpo) {
+            t.row(&[
+                r.model.clone(),
+                "PAS".into(),
+                pct(r.arena),
+                pct(r.alpaca),
+                pct(r.alpaca_lc),
+                format!("{} ({})", pct(r.average()), delta(r.average() - b.average())),
+            ]);
+        }
+        t.row(&[
+            "Average".into(),
+            "PAS-BPO".into(),
+            String::new(),
+            String::new(),
+            String::new(),
+            delta(self.pas_vs_bpo()),
+        ]);
+        t.render()
+    }
+}
+
+fn mean(rows: &[Row]) -> f64 {
+    rows.iter().map(Row::average).sum::<f64>() / rows.len().max(1) as f64
+}
+
+/// Runs the Table 2 experiment.
+pub fn table2(ctx: &ExperimentContext) -> Table2Result {
+    Table2Result {
+        bpo: evaluate_block(ctx, &ctx.bpo),
+        pas: evaluate_block(ctx, &ctx.pas_llama),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use super::super::table1::table1;
+
+    #[test]
+    fn same_base_pas_still_beats_bpo_but_by_less() {
+        let ctx = super::super::context::shared_quick();
+        let t2 = table2(ctx);
+        assert!(t2.pas_vs_bpo() > 0.0, "PAS(llama)-BPO {}", t2.pas_vs_bpo());
+        // The LLaMA-2-based PAS must trail the Qwen2-based PAS (Table 1 vs
+        // Table 2 in the paper).
+        let t1 = table1(ctx);
+        let qwen_gain = t1.pas_vs_bpo();
+        assert!(
+            t2.pas_vs_bpo() < qwen_gain + 1.0,
+            "llama gain {} should not exceed qwen gain {}",
+            t2.pas_vs_bpo(),
+            qwen_gain
+        );
+        assert!(t2.render().contains("PAS-BPO"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Table 3: human labor and flexibility comparison.
+//!
+//! The rows are read directly off each method's [`PromptOptimizer`]
+//! implementation — the table is a property of the code, not a hand-written
+//! matrix.
+
+use pas_baselines::{Opro, OproConfig, PreferenceKind, PreferenceTuned, ProTeGi, ProTeGiConfig};
+use pas_core::PromptOptimizer;
+use pas_llm::{Category, SimLlm};
+
+use crate::report::Table;
+
+use super::context::ExperimentContext;
+
+/// One flexibility row.
+#[derive(Debug, Clone)]
+pub struct FlexRow {
+    /// Method name.
+    pub method: String,
+    /// "No Human Labor" column.
+    pub no_human_labor: bool,
+    /// "LLM-Agnostic" column.
+    pub llm_agnostic: bool,
+    /// "Task-Agnostic" column.
+    pub task_agnostic: bool,
+}
+
+/// The complete Table 3.
+#[derive(Debug, Clone)]
+pub struct Table3Result {
+    /// Rows in the paper's order: PPO, DPO, OPRO, ProTeGi, BPO, PAS.
+    pub rows: Vec<FlexRow>,
+}
+
+impl Table3Result {
+    /// Renders the check/cross matrix.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "Table 3: Need for human labor and flexibility of PAS as a plug-and-play system",
+            &["Method", "No Human Labor", "LLM-Agnostic", "Task-Agnostic"],
+        );
+        let mark = |b: bool| if b { "✓" } else { "✗" };
+        for r in &self.rows {
+            t.row(&[
+                r.method.as_str(),
+                mark(r.no_human_labor),
+                mark(r.llm_agnostic),
+                mark(r.task_agnostic),
+            ]);
+        }
+        t.render()
+    }
+
+    /// The methods satisfying all three criteria (the paper: only PAS).
+    pub fn fully_flexible(&self) -> Vec<&str> {
+        self.rows
+            .iter()
+            .filter(|r| r.no_human_labor && r.llm_agnostic && r.task_agnostic)
+            .map(|r| r.method.as_str())
+            .collect()
+    }
+}
+
+fn row_of<O: PromptOptimizer>(label: &str, method: &O) -> FlexRow {
+    FlexRow {
+        method: label.to_string(),
+        no_human_labor: !method.requires_human_labels(),
+        llm_agnostic: method.llm_agnostic(),
+        task_agnostic: method.task_agnostic(),
+    }
+}
+
+/// Runs the Table 3 experiment: instantiate each method and read its
+/// metadata.
+pub fn table3(ctx: &ExperimentContext) -> Table3Result {
+    // Tiny task splits for the per-task optimizers; their metadata is
+    // structural, but the instances are built for real like everything else.
+    let train: Vec<(String, pas_llm::PromptMeta)> = ctx
+        .env
+        .alpaca
+        .items
+        .iter()
+        .filter(|i| i.meta.category == Category::Analysis)
+        .take(8)
+        .map(|i| (i.prompt.clone(), i.meta.clone()))
+        .collect();
+    let target: SimLlm = ctx.model("gpt-3.5-turbo-1106");
+
+    let ppo = PreferenceTuned::tune(PreferenceKind::Ppo, "gpt-3.5-turbo-1106", 77_000);
+    let dpo = PreferenceTuned::tune(PreferenceKind::Dpo, "gpt-3.5-turbo-1106", 170_000);
+    let opro = Opro::optimize_for_task(
+        &OproConfig { iterations: 2, pool_per_iter: 2, ..OproConfig::default() },
+        Category::Analysis,
+        &target,
+        &train,
+    );
+    let protegi = ProTeGi::optimize_for_task(
+        &ProTeGiConfig { rounds: 2, beam_width: 2 },
+        Category::Analysis,
+        &target,
+        &train,
+    );
+
+    Table3Result {
+        rows: vec![
+            row_of("PPO", &ppo),
+            row_of("DPO", &dpo),
+            row_of("OPRO", &opro),
+            row_of("ProTeGi", &protegi),
+            row_of("BPO", &ctx.bpo),
+            row_of("PAS", &ctx.pas_qwen),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_pas_satisfies_all_three_criteria() {
+        let ctx = super::super::context::shared_quick();
+        let t3 = table3(ctx);
+        assert_eq!(t3.rows.len(), 6);
+        assert_eq!(t3.fully_flexible(), vec!["PAS"]);
+        // Spot-check against the paper's matrix.
+        let by_name = |n: &str| t3.rows.iter().find(|r| r.method == n).unwrap();
+        assert!(!by_name("PPO").no_human_labor);
+        assert!(!by_name("PPO").llm_agnostic);
+        assert!(by_name("PPO").task_agnostic);
+        assert!(!by_name("OPRO").task_agnostic);
+        assert!(by_name("BPO").llm_agnostic && by_name("BPO").task_agnostic);
+        assert!(!by_name("BPO").no_human_labor);
+        let rendered = t3.render();
+        assert!(rendered.contains("✓") && rendered.contains("✗"));
+    }
+}

@@ -1,0 +1,203 @@
+//! Table 4 (human evaluation), Figure 1b (GSB bars) and Table 5 (ablation).
+
+use crate::human::{run_human_eval, GsbResult, HumanEvalConfig, HumanEvalOutcome};
+use crate::report::{delta, pct, Table};
+
+use super::context::ExperimentContext;
+use super::table1::{evaluate_block, Row};
+
+/// Table 4: human-evaluation metrics with and without PAS.
+#[derive(Debug, Clone)]
+pub struct Table4Result {
+    /// The full outcome (baseline, with-PAS, GSB).
+    pub outcome: HumanEvalOutcome,
+}
+
+impl Table4Result {
+    /// Mean grade improvement across scenarios.
+    pub fn average_gain(&self) -> f64 {
+        let base: f64 = self.outcome.baseline.iter().map(|m| m.average).sum();
+        let pas: f64 = self.outcome.with_pas.iter().map(|m| m.average).sum();
+        (pas - base) / self.outcome.baseline.len().max(1) as f64
+    }
+
+    /// Renders the paper's Table 4 layout.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "Table 4: PAS vs non-PAS on human evaluation benchmarks",
+            &[
+                "Benchmark",
+                "Full Mark",
+                "Avg Score",
+                "Availability",
+                "Full Mark (PAS)",
+                "Avg Score (PAS)",
+                "Availability (PAS)",
+            ],
+        );
+        for (b, p) in self.outcome.baseline.iter().zip(&self.outcome.with_pas) {
+            t.row(&[
+                b.scenario.name().to_string(),
+                format!("{}%", pct(100.0 * b.full_mark)),
+                format!("{:.2}", b.average),
+                format!("{}%", pct(100.0 * b.availability)),
+                format!(
+                    "{}% ({})",
+                    pct(100.0 * p.full_mark),
+                    delta(100.0 * (p.full_mark - b.full_mark))
+                ),
+                format!("{:.2} ({})", p.average, delta(p.average - b.average)),
+                format!(
+                    "{}% ({})",
+                    pct(100.0 * p.availability),
+                    delta(100.0 * (p.availability - b.availability))
+                ),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Runs Table 4: human evaluation of PAS plugged into Qwen2-72B.
+pub fn table4(ctx: &ExperimentContext, config: &HumanEvalConfig) -> Table4Result {
+    Table4Result { outcome: run_human_eval(config, &ctx.pas_qwen, "qwen2-72b-chat") }
+}
+
+/// Figure 1b: per-category GSB win bars.
+#[derive(Debug, Clone)]
+pub struct Fig1bResult {
+    /// Per-scenario good/same/bad fractions.
+    pub gsb: Vec<GsbResult>,
+}
+
+impl Fig1bResult {
+    /// Renders ASCII GSB bars.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Figure 1b: human-evaluation GSB (PAS vs baseline)\n");
+        for g in &self.gsb {
+            let win = (g.good * 30.0).round() as usize;
+            let same = (g.same * 30.0).round() as usize;
+            let loss = (g.bad * 30.0).round() as usize;
+            out.push_str(&format!(
+                "{:<26} {:>5.1}% win  [{}{}{}]\n",
+                g.scenario.name(),
+                100.0 * g.good,
+                "█".repeat(win),
+                "▒".repeat(same),
+                "░".repeat(loss),
+            ));
+        }
+        out
+    }
+
+    /// Scenarios where PAS wins more than it loses.
+    pub fn net_positive(&self) -> usize {
+        self.gsb.iter().filter(|g| g.good > g.bad).count()
+    }
+}
+
+/// Runs Figure 1b from the same human-evaluation pass as Table 4.
+pub fn fig1b(t4: &Table4Result) -> Fig1bResult {
+    Fig1bResult { gsb: t4.outcome.gsb.clone() }
+}
+
+/// Table 5: ablation of the data-selection/regeneration module.
+#[derive(Debug, Clone)]
+pub struct Table5Result {
+    /// PAS trained on the curated dataset.
+    pub pas: Vec<Row>,
+    /// PAS trained without selection/regeneration.
+    pub wo_selection: Vec<Row>,
+    /// Residual flaw rates of the two training datasets.
+    pub curated_flaw_rate: f64,
+    /// Residual flaw rate without selection.
+    pub ablated_flaw_rate: f64,
+}
+
+impl Table5Result {
+    /// Mean drop from removing selection (paper: ≈ −3.8).
+    pub fn ablation_drop(&self) -> f64 {
+        let pas: f64 = self.pas.iter().map(Row::average).sum::<f64>() / self.pas.len().max(1) as f64;
+        let wo: f64 = self.wo_selection.iter().map(Row::average).sum::<f64>()
+            / self.wo_selection.len().max(1) as f64;
+        pas - wo
+    }
+
+    /// Renders the paper's Table 5 layout.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "Table 5: PAS trained on curated data vs without data selection",
+            &["Main Model", "PAS-model", "Arena-hard", "Alpaca-Eval 2.0", "Alpaca-Eval 2.0 (LC)", "Average"],
+        );
+        for r in &self.pas {
+            t.row(&[
+                r.model.clone(),
+                "PAS".into(),
+                pct(r.arena),
+                pct(r.alpaca),
+                pct(r.alpaca_lc),
+                pct(r.average()),
+            ]);
+        }
+        for (r, p) in self.wo_selection.iter().zip(&self.pas) {
+            t.row(&[
+                r.model.clone(),
+                "wo selection".into(),
+                pct(r.arena),
+                pct(r.alpaca),
+                pct(r.alpaca_lc),
+                format!("{} ({})", pct(r.average()), delta(r.average() - p.average())),
+            ]);
+        }
+        t.row(&[
+            "Residual flaw rate".into(),
+            String::new(),
+            String::new(),
+            String::new(),
+            format!("curated {:.1}%", 100.0 * self.curated_flaw_rate),
+            format!("wo selection {:.1}%", 100.0 * self.ablated_flaw_rate),
+        ]);
+        t.render()
+    }
+}
+
+/// Runs the Table 5 ablation.
+pub fn table5(ctx: &ExperimentContext) -> Table5Result {
+    Table5Result {
+        pas: evaluate_block(ctx, &ctx.pas_qwen),
+        wo_selection: evaluate_block(ctx, &ctx.pas_wo_selection),
+        curated_flaw_rate: ctx.curated_flaw_rate,
+        ablated_flaw_rate: ctx.ablated_flaw_rate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::human::Scenario;
+
+    #[test]
+    fn human_eval_shows_pas_gains() {
+        let ctx = super::super::context::shared_quick();
+        let t4 = table4(ctx, &HumanEvalConfig { items_per_scenario: 25, ..HumanEvalConfig::default() });
+        assert_eq!(t4.outcome.baseline.len(), Scenario::ALL.len());
+        assert!(t4.average_gain() > 0.0, "gain {}", t4.average_gain());
+        let f1b = fig1b(&t4);
+        assert!(
+            f1b.net_positive() >= 5,
+            "PAS should net-win most scenarios, got {}",
+            f1b.net_positive()
+        );
+        assert!(t4.render().contains("Common Sense"));
+        assert!(f1b.render().contains("win"));
+    }
+
+    #[test]
+    fn ablation_drop_is_negative_for_wo_selection() {
+        let ctx = super::super::context::shared_quick();
+        let t5 = table5(ctx);
+        assert!(t5.ablation_drop() > 0.0, "drop {}", t5.ablation_drop());
+        assert!(t5.ablated_flaw_rate > t5.curated_flaw_rate);
+        assert!(t5.render().contains("wo selection"));
+    }
+}

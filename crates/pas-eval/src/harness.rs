@@ -1,0 +1,229 @@
+//! End-to-end benchmark execution.
+//!
+//! One run answers: *with this optimizer in front of this main model, what
+//! is the win rate against the suite's reference model?* Reference
+//! responses always come from the raw prompt (the reference never gets the
+//! APE). Items are judged independently, so the loop parallelizes across a
+//! crossbeam scope.
+
+use crossbeam::thread;
+
+use pas_core::PromptOptimizer;
+use pas_llm::{ChatModel, SimLlm};
+
+use crate::judge::Judge;
+use crate::suite::BenchSuite;
+
+/// A benchmark score: win rate in percent, as the paper reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchScore {
+    /// Win rate against the reference, 0–100.
+    pub win_rate: f64,
+    /// Items evaluated.
+    pub items: usize,
+}
+
+/// Runs `suite` for `model` with `optimizer` in front, judged by `judge`
+/// against the suite's reference model.
+pub fn evaluate_suite<O: PromptOptimizer>(
+    model: &SimLlm,
+    optimizer: &O,
+    suite: &BenchSuite,
+    reference: &SimLlm,
+    judge: &Judge,
+) -> BenchScore {
+    let credits = per_item_credits(model, optimizer, suite, reference, judge);
+    if credits.is_empty() {
+        return BenchScore { win_rate: 0.0, items: 0 };
+    }
+    BenchScore {
+        win_rate: 100.0 * credits.iter().sum::<f64>() / credits.len() as f64,
+        items: credits.len(),
+    }
+}
+
+/// Per-item win credits (1.0 / 0.5 / 0.0) in suite item order — the raw
+/// material for bootstrap significance testing.
+pub fn per_item_credits<O: PromptOptimizer>(
+    model: &SimLlm,
+    optimizer: &O,
+    suite: &BenchSuite,
+    reference: &SimLlm,
+    judge: &Judge,
+) -> Vec<f64> {
+    if suite.is_empty() {
+        return Vec::new();
+    }
+    let lc = suite.length_controlled;
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get()).min(8);
+    let chunk = suite.items.len().div_ceil(workers);
+    let chunks: Vec<Vec<f64>> = thread::scope(|s| {
+        let mut handles = Vec::new();
+        for chunk_items in suite.items.chunks(chunk) {
+            handles.push(s.spawn(move |_| {
+                chunk_items
+                    .iter()
+                    .map(|item| {
+                        let candidate = model.chat(&optimizer.optimize(&item.prompt));
+                        let ref_response = reference.chat(&item.prompt);
+                        judge.pairwise(&item.meta, &candidate, &ref_response, lc).credit()
+                    })
+                    .collect::<Vec<f64>>()
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("scope");
+    chunks.into_iter().flatten().collect()
+}
+
+/// Paired-bootstrap comparison of two optimizers on the same suite items.
+#[derive(Debug, Clone, Copy)]
+pub struct PairedBootstrap {
+    /// Mean win-rate difference (A − B), in percentage points.
+    pub mean_diff: f64,
+    /// 2.5th percentile of the bootstrap distribution.
+    pub ci_low: f64,
+    /// 97.5th percentile.
+    pub ci_high: f64,
+    /// Fraction of bootstrap resamples where A ≤ B (a one-sided p-value
+    /// against "A beats B").
+    pub p_not_better: f64,
+}
+
+impl PairedBootstrap {
+    /// True when the 95% interval excludes zero in A's favour.
+    pub fn significant(&self) -> bool {
+        self.ci_low > 0.0
+    }
+}
+
+/// Runs a paired bootstrap over per-item credit vectors (same items, two
+/// systems). `resamples` of `n` items drawn with replacement, seeded.
+pub fn paired_bootstrap(
+    credits_a: &[f64],
+    credits_b: &[f64],
+    resamples: usize,
+    seed: u64,
+) -> PairedBootstrap {
+    assert_eq!(credits_a.len(), credits_b.len(), "paired vectors must align");
+    assert!(!credits_a.is_empty(), "need at least one item");
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    let n = credits_a.len();
+    let diffs: Vec<f64> = credits_a.iter().zip(credits_b).map(|(a, b)| a - b).collect();
+    let mean_diff = 100.0 * diffs.iter().sum::<f64>() / n as f64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut means: Vec<f64> = (0..resamples.max(1))
+        .map(|_| {
+            let total: f64 = (0..n).map(|_| diffs[rng.random_range(0..n)]).sum();
+            100.0 * total / n as f64
+        })
+        .collect();
+    means.sort_by(f64::total_cmp);
+    let pct = |q: f64| means[((means.len() - 1) as f64 * q).round() as usize];
+    let p_not_better = means.iter().filter(|&&m| m <= 0.0).count() as f64 / means.len() as f64;
+    PairedBootstrap { mean_diff, ci_low: pct(0.025), ci_high: pct(0.975), p_not_better }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{EvalEnv, EvalEnvConfig};
+    use pas_core::NoOptimizer;
+
+    fn env() -> EvalEnv {
+        EvalEnv::build(&EvalEnvConfig { arena_items: 60, alpaca_items: 60, seed: 3 })
+    }
+
+    #[test]
+    fn stronger_model_scores_higher() {
+        let env = env();
+        let judge = Judge::default();
+        let reference = SimLlm::named(&env.arena.reference_model, env.world.clone());
+        let strong = SimLlm::named("gpt-4-turbo-2024-04-09", env.world.clone());
+        let weak = SimLlm::named("gpt-3.5-turbo-1106", env.world.clone());
+        let s = evaluate_suite(&strong, &NoOptimizer, &env.arena, &reference, &judge);
+        let w = evaluate_suite(&weak, &NoOptimizer, &env.arena, &reference, &judge);
+        assert!(s.win_rate > w.win_rate + 10.0, "strong {} vs weak {}", s.win_rate, w.win_rate);
+        assert_eq!(s.items, 60);
+    }
+
+    #[test]
+    fn scores_are_deterministic() {
+        let env = env();
+        let judge = Judge::default();
+        let reference = SimLlm::named(&env.alpaca.reference_model, env.world.clone());
+        let model = SimLlm::named("qwen2-72b-chat", env.world.clone());
+        let a = evaluate_suite(&model, &NoOptimizer, &env.alpaca, &reference, &judge);
+        let b = evaluate_suite(&model, &NoOptimizer, &env.alpaca, &reference, &judge);
+        assert_eq!(a.win_rate, b.win_rate);
+    }
+
+    #[test]
+    fn reference_against_itself_is_near_fifty() {
+        let env = env();
+        let judge = Judge::default();
+        let reference = SimLlm::named(&env.alpaca.reference_model, env.world.clone());
+        let score = evaluate_suite(&reference, &NoOptimizer, &env.alpaca, &reference, &judge);
+        assert!(
+            (35.0..=65.0).contains(&score.win_rate),
+            "self-play win rate {}",
+            score.win_rate
+        );
+    }
+
+    #[test]
+    fn per_item_credits_align_with_aggregate() {
+        let env = env();
+        let judge = Judge::default();
+        let reference = SimLlm::named(&env.arena.reference_model, env.world.clone());
+        let model = SimLlm::named("gpt-4-0613", env.world.clone());
+        let credits = per_item_credits(&model, &NoOptimizer, &env.arena, &reference, &judge);
+        let score = evaluate_suite(&model, &NoOptimizer, &env.arena, &reference, &judge);
+        assert_eq!(credits.len(), score.items);
+        let mean = 100.0 * credits.iter().sum::<f64>() / credits.len() as f64;
+        assert!((mean - score.win_rate).abs() < 1e-9);
+        assert!(credits.iter().all(|&c| c == 0.0 || c == 0.5 || c == 1.0));
+    }
+
+    #[test]
+    fn bootstrap_flags_a_clear_winner_and_not_a_tie() {
+        // A wins 80% of 200 items vs B's 20%: decisively significant.
+        let a: Vec<f64> = (0..200).map(|i| if i % 5 == 0 { 0.0 } else { 1.0 }).collect();
+        let b: Vec<f64> = (0..200).map(|i| if i % 5 == 0 { 1.0 } else { 0.0 }).collect();
+        let boot = paired_bootstrap(&a, &b, 500, 1);
+        assert!(boot.significant(), "{boot:?}");
+        assert!(boot.p_not_better < 0.01);
+        assert!(boot.mean_diff > 50.0);
+        // Identical systems: never significant.
+        let tie = paired_bootstrap(&a, &a, 500, 2);
+        assert!(!tie.significant());
+        assert_eq!(tie.mean_diff, 0.0);
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_per_seed() {
+        let a = vec![1.0, 0.5, 0.0, 1.0, 1.0, 0.0, 0.5, 1.0];
+        let b = vec![0.0, 0.5, 0.5, 1.0, 0.0, 0.0, 0.5, 0.5];
+        let x = paired_bootstrap(&a, &b, 300, 9);
+        let y = paired_bootstrap(&a, &b, 300, 9);
+        assert_eq!(x.ci_low, y.ci_low);
+        assert_eq!(x.ci_high, y.ci_high);
+    }
+
+    #[test]
+    fn empty_suite_is_zero() {
+        let env = env();
+        let judge = Judge::default();
+        let reference = SimLlm::named("reference-arena", env.world.clone());
+        let model = SimLlm::named("gpt-4-0613", env.world.clone());
+        let empty = BenchSuite { items: Vec::new(), ..env.arena.clone() };
+        let score = evaluate_suite(&model, &NoOptimizer, &empty, &reference, &judge);
+        assert_eq!(score.items, 0);
+        assert_eq!(score.win_rate, 0.0);
+    }
+}

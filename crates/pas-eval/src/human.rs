@@ -1,0 +1,340 @@
+//! The §4.5 human-evaluation panel.
+//!
+//! The paper grades responses with human evaluators over eight scenario
+//! categories, reporting the full-mark proportion, average score (1–5),
+//! availability proportion (Table 4) and per-category GSB (good/same/bad)
+//! win bars (Figure 1b). The workspace panel is a set of seeded evaluator
+//! personas: each maps measured response quality to a 1–5 grade through its
+//! own strictness offset and per-response noise, so the panel disagrees
+//! with itself about as much as human annotators do, while every number
+//! stays reproducible.
+
+use std::sync::Arc;
+
+use pas_core::PromptOptimizer;
+use pas_data::{Corpus, CorpusConfig};
+use pas_llm::{Category, ChatModel, SimLlm, World};
+use pas_text::hash::{fx_combine, fx_hash_str};
+
+use crate::judge::assess;
+use crate::suite::BenchItem;
+
+/// The eight human-evaluation scenarios of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// "Analysis and Judgment".
+    AnalysisJudgment,
+    /// "Subjective Advice".
+    SubjectiveAdvice,
+    /// "Subjective Recommendation".
+    SubjectiveRecommendation,
+    /// "Common Sense".
+    CommonSense,
+    /// "Event Query".
+    EventQuery,
+    /// "Entity Query".
+    EntityQuery,
+    /// "Industry Knowledge".
+    IndustryKnowledge,
+    /// "Academic Knowledge".
+    AcademicKnowledge,
+}
+
+impl Scenario {
+    /// All scenarios, Table 4 row order.
+    pub const ALL: [Scenario; 8] = [
+        Scenario::AnalysisJudgment,
+        Scenario::SubjectiveAdvice,
+        Scenario::SubjectiveRecommendation,
+        Scenario::CommonSense,
+        Scenario::EventQuery,
+        Scenario::EntityQuery,
+        Scenario::IndustryKnowledge,
+        Scenario::AcademicKnowledge,
+    ];
+
+    /// Display name, matching the paper's rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::AnalysisJudgment => "Analysis and Judgment",
+            Scenario::SubjectiveAdvice => "Subjective Advice",
+            Scenario::SubjectiveRecommendation => "Subjective Recommendation",
+            Scenario::CommonSense => "Common Sense",
+            Scenario::EventQuery => "Event Query",
+            Scenario::EntityQuery => "Entity Query",
+            Scenario::IndustryKnowledge => "Industry Knowledge",
+            Scenario::AcademicKnowledge => "Academic Knowledge",
+        }
+    }
+
+    /// The prompt category the scenario draws items from.
+    pub fn category(self) -> Category {
+        match self {
+            Scenario::AnalysisJudgment => Category::Analysis,
+            Scenario::SubjectiveAdvice => Category::Brainstorming,
+            Scenario::SubjectiveRecommendation => Category::Recommendation,
+            Scenario::CommonSense => Category::QuestionAnswering,
+            Scenario::EventQuery => Category::Summarization,
+            Scenario::EntityQuery => Category::QuestionAnswering,
+            Scenario::IndustryKnowledge => Category::Analysis,
+            Scenario::AcademicKnowledge => Category::Knowledge,
+        }
+    }
+
+    fn seed_salt(self) -> u64 {
+        self as u64 + 1
+    }
+}
+
+/// One evaluator persona.
+#[derive(Debug, Clone, Copy)]
+pub struct Evaluator {
+    /// Grade-point offset subtracted from everyone's work (a harsher
+    /// grader has a higher strictness).
+    pub strictness: f32,
+    /// Persona seed for per-response noise.
+    pub seed: u64,
+}
+
+impl Evaluator {
+    /// Grades a response 1–5 against its rubric.
+    pub fn grade(&self, item: &BenchItem, response: &str) -> u8 {
+        let q = assess(&item.meta, response).score();
+        // Persona noise: one deterministic uniform in [-0.35, 0.35] grades.
+        let h = fx_combine(fx_hash_str(response), self.seed);
+        let noise = ((h >> 11) as f32 / (1u64 << 53) as f32 - 0.5) * 1.2;
+        let continuous = 0.2 + 5.2 * q.clamp(0.0, 1.0) - self.strictness + noise;
+        (continuous.round().clamp(1.0, 5.0)) as u8
+    }
+}
+
+/// The full panel.
+#[derive(Debug, Clone)]
+pub struct Panel {
+    evaluators: Vec<Evaluator>,
+}
+
+impl Panel {
+    /// A panel of `n` personas with spread strictness.
+    pub fn new(n: usize, seed: u64) -> Panel {
+        let evaluators = (0..n)
+            .map(|i| Evaluator {
+                strictness: -0.4 + 1.1 * (i as f32) / (n.max(2) - 1) as f32,
+                seed: fx_combine(seed, i as u64 + 1),
+            })
+            .collect();
+        Panel { evaluators }
+    }
+
+    /// The item's grade: median of the panel's votes.
+    pub fn grade(&self, item: &BenchItem, response: &str) -> u8 {
+        let mut votes: Vec<u8> =
+            self.evaluators.iter().map(|e| e.grade(item, response)).collect();
+        votes.sort_unstable();
+        votes[votes.len() / 2]
+    }
+}
+
+/// Table 4 metrics for one scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioMetrics {
+    /// The scenario.
+    pub scenario: Scenario,
+    /// Fraction of items graded 5.
+    pub full_mark: f64,
+    /// Mean grade.
+    pub average: f64,
+    /// Fraction of items graded ≥ 3 ("available").
+    pub availability: f64,
+}
+
+/// Figure 1b GSB result for one scenario.
+#[derive(Debug, Clone)]
+pub struct GsbResult {
+    /// The scenario.
+    pub scenario: Scenario,
+    /// Fraction where PAS response out-graded the baseline.
+    pub good: f64,
+    /// Fraction of equal grades.
+    pub same: f64,
+    /// Fraction where the baseline won.
+    pub bad: f64,
+}
+
+/// Human-evaluation configuration.
+#[derive(Debug, Clone)]
+pub struct HumanEvalConfig {
+    /// Items per scenario.
+    pub items_per_scenario: usize,
+    /// Panel size.
+    pub panel_size: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for HumanEvalConfig {
+    fn default() -> Self {
+        HumanEvalConfig { items_per_scenario: 60, panel_size: 5, seed: 0x40a4 }
+    }
+}
+
+/// Complete human-evaluation outcome.
+#[derive(Debug, Clone)]
+pub struct HumanEvalOutcome {
+    /// Per-scenario metrics without PAS.
+    pub baseline: Vec<ScenarioMetrics>,
+    /// Per-scenario metrics with PAS.
+    pub with_pas: Vec<ScenarioMetrics>,
+    /// Per-scenario GSB comparison.
+    pub gsb: Vec<GsbResult>,
+}
+
+/// Builds the per-scenario item sets over one world.
+pub fn scenario_items(config: &HumanEvalConfig) -> (Vec<(Scenario, Vec<BenchItem>)>, Arc<World>) {
+    let mut world = World::new();
+    let mut out = Vec::new();
+    for scenario in Scenario::ALL {
+        let category = scenario.category();
+        let corpus = Corpus::generate(&CorpusConfig {
+            size: config.items_per_scenario * 24,
+            seed: config.seed ^ scenario.seed_salt().rotate_left(13),
+            dup_rate: 0.0,
+            junk_rate: 0.0,
+            ..CorpusConfig::default()
+        });
+        let mut items = Vec::with_capacity(config.items_per_scenario);
+        for rec in corpus.records {
+            if items.len() >= config.items_per_scenario {
+                break;
+            }
+            if rec.meta.category != category {
+                continue;
+            }
+            world.register(&rec.text, rec.meta.clone());
+            items.push(BenchItem { prompt: rec.text, meta: rec.meta });
+        }
+        out.push((scenario, items));
+    }
+    (out, Arc::new(world))
+}
+
+/// Runs the human evaluation of `optimizer` plugged into `model_name`.
+pub fn run_human_eval<O: PromptOptimizer>(
+    config: &HumanEvalConfig,
+    optimizer: &O,
+    model_name: &str,
+) -> HumanEvalOutcome {
+    let (scenarios, world) = scenario_items(config);
+    let model = SimLlm::named(model_name, world);
+    let panel = Panel::new(config.panel_size, config.seed);
+
+    let mut baseline = Vec::new();
+    let mut with_pas = Vec::new();
+    let mut gsb = Vec::new();
+    for (scenario, items) in &scenarios {
+        let mut base_grades = Vec::with_capacity(items.len());
+        let mut pas_grades = Vec::with_capacity(items.len());
+        for item in items {
+            let base_resp = model.chat(&item.prompt);
+            let pas_resp = model.chat(&optimizer.optimize(&item.prompt));
+            base_grades.push(panel.grade(item, &base_resp));
+            pas_grades.push(panel.grade(item, &pas_resp));
+        }
+        baseline.push(metrics(*scenario, &base_grades));
+        with_pas.push(metrics(*scenario, &pas_grades));
+        gsb.push(gsb_of(*scenario, &pas_grades, &base_grades));
+    }
+    HumanEvalOutcome { baseline, with_pas, gsb }
+}
+
+fn metrics(scenario: Scenario, grades: &[u8]) -> ScenarioMetrics {
+    let n = grades.len().max(1) as f64;
+    ScenarioMetrics {
+        scenario,
+        full_mark: grades.iter().filter(|&&g| g == 5).count() as f64 / n,
+        average: grades.iter().map(|&g| g as f64).sum::<f64>() / n,
+        availability: grades.iter().filter(|&&g| g >= 3).count() as f64 / n,
+    }
+}
+
+fn gsb_of(scenario: Scenario, pas: &[u8], base: &[u8]) -> GsbResult {
+    let n = pas.len().max(1) as f64;
+    let good = pas.iter().zip(base).filter(|(p, b)| p > b).count() as f64 / n;
+    let bad = pas.iter().zip(base).filter(|(p, b)| p < b).count() as f64 / n;
+    GsbResult { scenario, good, same: 1.0 - good - bad, bad }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_llm::world::{Aspect, AspectSet, PromptMeta};
+    use pas_text::lang::Language;
+
+    fn item() -> BenchItem {
+        BenchItem {
+            prompt: "Analyze remote work effects on productivity".into(),
+            meta: PromptMeta {
+                category: Category::Analysis,
+                required: [Aspect::Depth, Aspect::Completeness].into_iter().collect(),
+                explicit: AspectSet::EMPTY,
+                ambiguity: 0.4,
+                trap: false,
+                language: Language::English,
+                topic: "remote work productivity".into(),
+            },
+        }
+    }
+
+    #[test]
+    fn grades_are_bounded_and_ordered_by_quality() {
+        let panel = Panel::new(5, 1);
+        let good = format!(
+            "Regarding remote work productivity: here is a detailed analysis in depth. \
+             we cover all cases and consider edge cases. In conclusion, {}.",
+            pas_llm::simllm::CORRECT_MARKER
+        );
+        let bad = "no idea";
+        let g = panel.grade(&item(), &good);
+        let b = panel.grade(&item(), bad);
+        assert!((1..=5).contains(&g) && (1..=5).contains(&b));
+        assert!(g > b, "good {g} vs bad {b}");
+    }
+
+    #[test]
+    fn stricter_evaluators_grade_lower_or_equal() {
+        let lenient = Evaluator { strictness: -0.4, seed: 3 };
+        let harsh = Evaluator { strictness: 0.6, seed: 3 };
+        let resp = "Regarding remote work productivity: here is a detailed analysis in depth.";
+        assert!(lenient.grade(&item(), resp) >= harsh.grade(&item(), resp));
+    }
+
+    #[test]
+    fn scenario_items_respect_their_category() {
+        let cfg = HumanEvalConfig { items_per_scenario: 10, ..HumanEvalConfig::default() };
+        let (scenarios, world) = scenario_items(&cfg);
+        assert_eq!(scenarios.len(), 8);
+        for (scenario, items) in &scenarios {
+            assert!(!items.is_empty(), "{scenario:?} has no items");
+            for item in items {
+                assert_eq!(item.meta.category, scenario.category());
+                assert!(world.lookup(&item.prompt).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_math_checks_out() {
+        let m = metrics(Scenario::CommonSense, &[5, 5, 3, 2, 1]);
+        assert!((m.full_mark - 0.4).abs() < 1e-9);
+        assert!((m.availability - 0.6).abs() < 1e-9);
+        assert!((m.average - 3.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gsb_fractions_sum_to_one() {
+        let g = gsb_of(Scenario::EventQuery, &[5, 4, 3, 3], &[3, 4, 4, 3]);
+        assert!((g.good + g.same + g.bad - 1.0).abs() < 1e-9);
+        assert!((g.good - 0.25).abs() < 1e-9);
+        assert!((g.bad - 0.25).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,287 @@
+//! The GPT-4-judge substitute.
+//!
+//! The judge grades **response text** against an item's latent rubric: how
+//! many of the required aspects the response covers (trigger-phrase
+//! detection), whether its conclusion carries the correctness marker,
+//! topical relevance, and a penalty for extraneous material. Pairwise
+//! comparison adds deterministic pseudo-noise (a hash of both responses) —
+//! real GPT-4 judging is noisy but reproducible per transcript, and so is
+//! this.
+//!
+//! Two judging modes mirror the paper's two AlpacaEval columns: the raw
+//! judge has the documented verbosity bias (longer answers win slightly
+//! more); the **length-controlled** judge removes that term, exactly what
+//! AlpacaEval 2.0 (LC)'s logistic correction is for.
+
+use pas_llm::simllm::{CORRECT_MARKER, CORRECT_MARKER_ZH, POLISH_LEVELS, POLISH_MARKER, POLISH_MARKER_ZH};
+use pas_llm::world::{detect_aspects, PromptMeta};
+use pas_text::hash::{fx_combine, fx_hash_str};
+use pas_text::keyword_overlap;
+
+/// Judge parameters.
+#[derive(Debug, Clone)]
+pub struct JudgeConfig {
+    /// Standard deviation of per-comparison score noise.
+    pub noise: f32,
+    /// Score margin below which a comparison is a tie.
+    pub tie_margin: f32,
+    /// Verbosity-bias weight in raw (non-LC) mode.
+    pub length_bias: f32,
+    /// Seed folded into the noise hash.
+    pub seed: u64,
+}
+
+impl Default for JudgeConfig {
+    fn default() -> Self {
+        JudgeConfig { noise: 0.055, tie_margin: 0.01, length_bias: 0.05, seed: 0x10d6e }
+    }
+}
+
+/// Measured quality features of one response.
+#[derive(Debug, Clone, Copy)]
+pub struct ResponseQuality {
+    /// Fraction of required aspects the response text covers.
+    pub coverage: f32,
+    /// Covered aspects the rubric never asked for.
+    pub extraneous: usize,
+    /// Whether the conclusion carries the correctness marker.
+    pub correct: bool,
+    /// Topic-keyword overlap with the rubric.
+    pub relevance: f32,
+    /// Overall polish (fluency, grounding, coherence) in `[0, 1]`.
+    pub polish: f32,
+    /// Length in whitespace words.
+    pub words: usize,
+}
+
+impl ResponseQuality {
+    /// Scalar quality in roughly `[0, 1]`. Polish carries the stable
+    /// per-model component; coverage and correctness carry the per-item
+    /// rubric.
+    pub fn score(&self) -> f32 {
+        0.27 * self.coverage
+            + 0.25 * if self.correct { 1.0 } else { 0.0 }
+            + 0.33 * self.polish
+            + 0.15 * self.relevance
+            - 0.012 * (self.extraneous.min(4) as f32)
+    }
+}
+
+/// Grades `response` against `meta`'s rubric.
+pub fn assess(meta: &PromptMeta, response: &str) -> ResponseQuality {
+    let covered = detect_aspects(response);
+    let required = meta.required;
+    let coverage = if required.is_empty() {
+        1.0
+    } else {
+        covered.intersection(required).len() as f32 / required.len() as f32
+    };
+    let polish_units = (response.matches(POLISH_MARKER).count()
+        + response.matches(POLISH_MARKER_ZH).count())
+    .min(POLISH_LEVELS);
+    ResponseQuality {
+        coverage,
+        extraneous: covered.minus(required).len(),
+        correct: response.contains(CORRECT_MARKER) || response.contains(CORRECT_MARKER_ZH),
+        relevance: keyword_overlap(&meta.topic, response) as f32,
+        polish: polish_units as f32 / POLISH_LEVELS as f32,
+        words: response.split_whitespace().count(),
+    }
+}
+
+/// Outcome of one pairwise comparison, as win credit for the candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Verdict {
+    /// Candidate beat the reference (credit 1.0).
+    Win,
+    /// Too close to call (credit 0.5).
+    Tie,
+    /// Reference won (credit 0.0).
+    Loss,
+}
+
+impl Verdict {
+    /// Win-rate credit.
+    pub fn credit(self) -> f64 {
+        match self {
+            Verdict::Win => 1.0,
+            Verdict::Tie => 0.5,
+            Verdict::Loss => 0.0,
+        }
+    }
+}
+
+/// The pairwise judge.
+#[derive(Debug, Clone, Default)]
+pub struct Judge {
+    config: JudgeConfig,
+}
+
+impl Judge {
+    /// Creates a judge.
+    pub fn new(config: JudgeConfig) -> Self {
+        Judge { config }
+    }
+
+    /// Deterministic pseudo-Gaussian noise for one (response, salt) pair:
+    /// sum of three hash-derived uniforms, centred, scaled by `noise`.
+    fn noise_for(&self, response: &str, salt: u64) -> f32 {
+        let h0 = fx_combine(fx_hash_str(response), self.config.seed ^ salt);
+        let mut acc = 0.0f32;
+        let mut h = h0;
+        for _ in 0..3 {
+            h = fx_combine(h, 0x9e37_79b9);
+            acc += (h >> 11) as f32 / (1u64 << 53) as f32;
+        }
+        (acc - 1.5) * self.config.noise * 2.0
+    }
+
+    /// Judge-visible score of a response: quality, plus the verbosity bias
+    /// unless length-controlled, plus comparison noise.
+    fn judged_score(&self, meta: &PromptMeta, response: &str, lc: bool, salt: u64) -> f32 {
+        let q = assess(meta, response);
+        let mut s = q.score() + self.noise_for(response, salt);
+        if !lc {
+            // The documented GPT-4 judge verbosity bias: roughly linear in
+            // length over the range our responses occupy, capped so padding
+            // cannot win unboundedly.
+            s += self.config.length_bias * (q.words.min(300) as f32 / 100.0);
+        }
+        s
+    }
+
+    /// Compares candidate vs reference responses under `meta`'s rubric.
+    pub fn pairwise(
+        &self,
+        meta: &PromptMeta,
+        candidate: &str,
+        reference: &str,
+        length_controlled: bool,
+    ) -> Verdict {
+        // Salt both draws with both responses so swapping arguments flips
+        // the verdict rather than re-rolling it.
+        let salt = fx_combine(fx_hash_str(candidate), fx_hash_str(reference));
+        let sc = self.judged_score(meta, candidate, length_controlled, salt ^ 1);
+        let sr = self.judged_score(meta, reference, length_controlled, salt ^ 2);
+        if (sc - sr).abs() <= self.config.tie_margin {
+            Verdict::Tie
+        } else if sc > sr {
+            Verdict::Win
+        } else {
+            Verdict::Loss
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_llm::world::{Aspect, AspectSet, Category};
+    use pas_text::lang::Language;
+
+    fn meta(required: AspectSet) -> PromptMeta {
+        PromptMeta {
+            category: Category::Analysis,
+            required,
+            explicit: AspectSet::EMPTY,
+            ambiguity: 0.3,
+            trap: false,
+            language: Language::English,
+            topic: "solar panels".into(),
+        }
+    }
+
+    fn good_response() -> String {
+        format!(
+            "Regarding solar panels: here is a detailed analysis in depth. \
+             we cover all cases and consider edge cases. In conclusion, {CORRECT_MARKER}."
+        )
+    }
+
+    #[test]
+    fn assess_measures_coverage_and_correctness() {
+        let m = meta([Aspect::Depth, Aspect::Completeness].into_iter().collect());
+        let q = assess(&m, &good_response());
+        assert!((q.coverage - 1.0).abs() < 1e-6);
+        assert!(q.correct);
+        assert!(q.relevance > 0.9);
+        let bad = assess(&m, "something entirely unrelated and wrong");
+        assert_eq!(bad.coverage, 0.0);
+        assert!(!bad.correct);
+    }
+
+    #[test]
+    fn extraneous_material_is_penalized() {
+        let m = meta([Aspect::Depth].into_iter().collect());
+        let focused = assess(&m, "here is a detailed analysis in depth of solar panels");
+        let padded = assess(
+            &m,
+            "here is a detailed analysis in depth of solar panels, \
+             presented in a structured format, with concrete examples, keep it brief",
+        );
+        assert!(padded.extraneous > focused.extraneous);
+        assert!(padded.score() < focused.score());
+    }
+
+    #[test]
+    fn better_response_wins_in_aggregate() {
+        let judge = Judge::default();
+        let mut wins = 0.0;
+        for i in 0..200 {
+            let m = meta([Aspect::Depth, Aspect::Completeness].into_iter().collect());
+            let good = format!("{} case {i}", good_response());
+            let bad = format!("Regarding solar panels: brief note, case {i}.");
+            wins += judge.pairwise(&m, &good, &bad, true).credit();
+        }
+        assert!(wins / 200.0 > 0.9, "win rate {}", wins / 200.0);
+    }
+
+    #[test]
+    fn equal_responses_split_credit_symmetrically() {
+        let judge = Judge::default();
+        let m = meta([Aspect::Depth].into_iter().collect());
+        let mut credit = 0.0;
+        for i in 0..400 {
+            let a = format!("here is a detailed analysis in depth, variant a{i}");
+            let b = format!("here is a detailed analysis in depth, variant b{i}");
+            credit += judge.pairwise(&m, &a, &b, true).credit();
+        }
+        let rate = credit / 400.0;
+        assert!((0.4..=0.6).contains(&rate), "symmetric rate {rate}");
+    }
+
+    #[test]
+    fn pairwise_is_antisymmetric() {
+        let judge = Judge::default();
+        let m = meta([Aspect::Depth].into_iter().collect());
+        let a = "here is a detailed analysis in depth of solar panels";
+        let b = "a short irrelevant remark";
+        let ab = judge.pairwise(&m, a, b, true);
+        let ba = judge.pairwise(&m, b, a, true);
+        assert!((ab.credit() + ba.credit() - 1.0).abs() < 1e-9, "{ab:?} vs {ba:?}");
+    }
+
+    #[test]
+    fn verbosity_helps_only_without_length_control() {
+        let judge = Judge::new(JudgeConfig { noise: 0.0, ..JudgeConfig::default() });
+        let m = meta([Aspect::Depth].into_iter().collect());
+        let terse = "here is a detailed analysis in depth of solar panels.";
+        let padding = "Further supporting observations expand the treatment considerably. ".repeat(12);
+        let verbose = format!("{terse} {padding}");
+        // Raw mode: the verbose response wins on length bias.
+        assert_eq!(judge.pairwise(&m, &verbose, terse, false), Verdict::Win);
+        // LC mode: identical substance → tie or terse wins, never a
+        // length-driven verbose win by a margin.
+        let lc = judge.pairwise(&m, &verbose, terse, true);
+        assert_ne!(lc, Verdict::Win, "length alone must not win under LC");
+    }
+
+    #[test]
+    fn judging_is_deterministic() {
+        let judge = Judge::default();
+        let m = meta([Aspect::Depth].into_iter().collect());
+        let v1 = judge.pairwise(&m, "response alpha", "response beta", false);
+        let v2 = judge.pairwise(&m, "response alpha", "response beta", false);
+        assert_eq!(v1, v2);
+    }
+}

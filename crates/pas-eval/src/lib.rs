@@ -1,0 +1,29 @@
+//! Evaluation harnesses for the PAS paper's experiments.
+//!
+//! - [`suite`] — benchmark construction: Arena-Hard (hard, trap- and
+//!   reasoning-heavy) and AlpacaEval 2.0 (general) item sets, with the
+//!   shared [`pas_llm::World`] the simulated main models run against.
+//! - [`judge`] — the GPT-4-judge substitute: response quality scoring from
+//!   text, pairwise win/tie/loss against a reference model, and the
+//!   length-controlled (LC) correction of AlpacaEval 2.0 (LC).
+//! - [`harness`] — end-to-end benchmark runs: (main model × optimizer ×
+//!   suite) → win-rate score, with crossbeam-parallel item evaluation.
+//! - [`human`] — the §4.5 human-evaluation panel: seeded evaluator
+//!   personas producing GSB, full-mark, availability, and average-score
+//!   metrics over eight scenario categories.
+//! - [`report`] — plain-text table rendering shared by the regenerators.
+//! - [`cases`] — the three case studies (Figures 2, 8, 9).
+//! - [`experiments`] — one runner per paper table/figure; each returns a
+//!   typed result plus a rendered table.
+
+pub mod cases;
+pub mod experiments;
+pub mod harness;
+pub mod human;
+pub mod judge;
+pub mod report;
+pub mod suite;
+
+pub use harness::{evaluate_suite, paired_bootstrap, per_item_credits, BenchScore, PairedBootstrap};
+pub use judge::{Judge, JudgeConfig, ResponseQuality};
+pub use suite::{BenchItem, BenchSuite, EvalEnv, EvalEnvConfig};

@@ -1,0 +1,110 @@
+//! Plain-text table rendering shared by the experiment regenerators.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; must match the header count.
+    pub fn row<S: ToString>(&mut self, cells: &[S]) -> &mut Self {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("| ");
+            for (cell, w) in cells.iter().zip(widths) {
+                line.push_str(&format!("{cell:<w$} | ", w = w));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a win rate with two decimals, as in the paper's tables.
+pub fn pct(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a delta with an explicit sign, as in the paper's tables.
+pub fn delta(x: f64) -> String {
+    format!("{}{:.2}", if x >= 0.0 { "+" } else { "" }, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Demo", &["Model", "Score"]);
+        t.row(&["gpt-4", "76.60"]).row(&["short", "9"]);
+        let s = t.render();
+        assert!(s.starts_with("Demo\n"));
+        assert!(s.contains("| Model | Score |"));
+        assert!(s.contains("| gpt-4 | 76.60 |"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        Table::new("x", &["a", "b"]).row(&["only one"]);
+    }
+
+    #[test]
+    fn pct_and_delta_format() {
+        assert_eq!(pct(76.6), "76.60");
+        assert_eq!(delta(7.37), "+7.37");
+        assert_eq!(delta(-3.8), "-3.80");
+    }
+}

@@ -1,0 +1,216 @@
+//! Benchmark suites: Arena-Hard and AlpacaEval 2.0 item sets.
+//!
+//! Items are drawn from the same synthetic prompt distribution as the
+//! training corpus but with fresh seeds (no train/test leakage by
+//! construction: different seeds generate disjoint case ids). Arena-Hard
+//! keeps only *hard* prompts — several latent deficiencies, traps, high
+//! ambiguity — mirroring the real benchmark's "complex and challenging
+//! scenarios"; AlpacaEval keeps the general mix. Every item's metadata is
+//! registered into one shared [`World`] so the simulated main models can
+//! resolve the prompts.
+
+use std::sync::Arc;
+
+use pas_data::{Corpus, CorpusConfig};
+use pas_llm::{PromptMeta, World};
+
+/// One benchmark question with its latent grading rubric.
+#[derive(Debug, Clone)]
+pub struct BenchItem {
+    /// The user prompt.
+    pub prompt: String,
+    /// Latent ground truth the judge grades against.
+    pub meta: PromptMeta,
+}
+
+/// A named benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchSuite {
+    /// Display name (matches the paper's column headers).
+    pub name: String,
+    /// The questions.
+    pub items: Vec<BenchItem>,
+    /// Profile name of the reference model responses are compared against.
+    pub reference_model: String,
+    /// Whether the judge applies the length-controlled correction.
+    pub length_controlled: bool,
+}
+
+impl BenchSuite {
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the suite has no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Configuration for building the evaluation environment.
+#[derive(Debug, Clone)]
+pub struct EvalEnvConfig {
+    /// Items in the Arena-Hard suite.
+    pub arena_items: usize,
+    /// Items in each AlpacaEval suite (raw and LC share items).
+    pub alpaca_items: usize,
+    /// Seed for the evaluation corpora (keep disjoint from training seeds).
+    pub seed: u64,
+}
+
+impl Default for EvalEnvConfig {
+    fn default() -> Self {
+        EvalEnvConfig { arena_items: 250, alpaca_items: 300, seed: 0xe7a1 }
+    }
+}
+
+/// The full evaluation environment: three suites over one shared world.
+pub struct EvalEnv {
+    /// Shared latent-metadata registry for the simulated models.
+    pub world: Arc<World>,
+    /// Arena-Hard.
+    pub arena: BenchSuite,
+    /// AlpacaEval 2.0 (raw win rate).
+    pub alpaca: BenchSuite,
+    /// AlpacaEval 2.0 (LC) — same items, length-controlled judging.
+    pub alpaca_lc: BenchSuite,
+}
+
+impl EvalEnv {
+    /// Builds the three suites.
+    pub fn build(config: &EvalEnvConfig) -> EvalEnv {
+        let mut world = World::new();
+
+        let arena_items = harvest(
+            &CorpusConfig {
+                // Generate with headroom: hardness filtering is selective.
+                size: config.arena_items * 8,
+                seed: config.seed ^ 0xa0e,
+                dup_rate: 0.0,
+                junk_rate: 0.0,
+                ..CorpusConfig::default()
+            },
+            config.arena_items,
+            true,
+            &mut world,
+        );
+        let alpaca_items = harvest(
+            &CorpusConfig {
+                size: config.alpaca_items * 2,
+                seed: config.seed ^ 0xa19,
+                dup_rate: 0.0,
+                junk_rate: 0.0,
+                ..CorpusConfig::default()
+            },
+            config.alpaca_items,
+            false,
+            &mut world,
+        );
+
+        // Arena-Hard's judging rubric asks for correctness-first grading,
+        // so its judge runs style-neutral (no verbosity bonus); raw
+        // AlpacaEval 2.0 keeps the documented GPT-4 length bias, which its
+        // LC variant then removes.
+        let arena = BenchSuite {
+            name: "Arena-hard".into(),
+            items: arena_items,
+            reference_model: "reference-arena".into(),
+            length_controlled: true,
+        };
+        let alpaca = BenchSuite {
+            name: "Alpaca-Eval 2.0".into(),
+            items: alpaca_items.clone(),
+            reference_model: "reference-alpaca".into(),
+            length_controlled: false,
+        };
+        let alpaca_lc = BenchSuite {
+            name: "Alpaca-Eval 2.0 (LC)".into(),
+            items: alpaca_items,
+            reference_model: "reference-alpaca".into(),
+            length_controlled: true,
+        };
+        EvalEnv { world: Arc::new(world), arena, alpaca, alpaca_lc }
+    }
+}
+
+/// Draws up to `n` items from a fresh corpus, optionally keeping only hard
+/// prompts, and registers their metadata into `world`.
+fn harvest(corpus_config: &CorpusConfig, n: usize, hard_only: bool, world: &mut World) -> Vec<BenchItem> {
+    let corpus = Corpus::generate(corpus_config);
+    let mut items = Vec::with_capacity(n);
+    for rec in corpus.records {
+        if items.len() >= n {
+            break;
+        }
+        if rec.latent_quality < 0.3 {
+            continue;
+        }
+        if hard_only {
+            let hard = rec.meta.trap
+                || rec.meta.deficiencies().len() >= 2
+                || (rec.meta.ambiguity > 0.6 && !rec.meta.deficiencies().is_empty());
+            if !hard {
+                continue;
+            }
+        }
+        world.register(&rec.text, rec.meta.clone());
+        items.push(BenchItem { prompt: rec.text, meta: rec.meta });
+    }
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_three_suites_with_shared_world() {
+        let env = EvalEnv::build(&EvalEnvConfig { arena_items: 40, alpaca_items: 50, seed: 1 });
+        assert_eq!(env.arena.len(), 40);
+        assert_eq!(env.alpaca.len(), 50);
+        assert_eq!(env.alpaca_lc.len(), 50);
+        assert!(env.alpaca_lc.length_controlled);
+        assert!(!env.alpaca.length_controlled);
+        // Every item resolves through the shared world.
+        for item in env.arena.items.iter().chain(&env.alpaca.items) {
+            assert!(env.world.lookup(&item.prompt).is_some(), "unresolved: {:?}", item.prompt);
+        }
+    }
+
+    #[test]
+    fn arena_items_are_hard() {
+        let env = EvalEnv::build(&EvalEnvConfig { arena_items: 60, alpaca_items: 10, seed: 2 });
+        for item in &env.arena.items {
+            let hard = item.meta.trap
+                || item.meta.deficiencies().len() >= 2
+                || item.meta.ambiguity > 0.6;
+            assert!(hard, "easy item in arena: {:?}", item.prompt);
+        }
+        // Arena must include some traps.
+        assert!(env.arena.items.iter().any(|i| i.meta.trap));
+    }
+
+    #[test]
+    fn suites_are_deterministic_per_seed() {
+        let a = EvalEnv::build(&EvalEnvConfig { arena_items: 20, alpaca_items: 20, seed: 7 });
+        let b = EvalEnv::build(&EvalEnvConfig { arena_items: 20, alpaca_items: 20, seed: 7 });
+        for (x, y) in a.arena.items.iter().zip(&b.arena.items) {
+            assert_eq!(x.prompt, y.prompt);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = EvalEnv::build(&EvalEnvConfig { arena_items: 20, alpaca_items: 20, seed: 7 });
+        let b = EvalEnv::build(&EvalEnvConfig { arena_items: 20, alpaca_items: 20, seed: 8 });
+        let same = a
+            .arena
+            .items
+            .iter()
+            .zip(&b.arena.items)
+            .filter(|(x, y)| x.prompt == y.prompt)
+            .count();
+        assert!(same < a.arena.len(), "seeds produced identical suites");
+    }
+}

@@ -1,0 +1,97 @@
+//! The plug-and-play model boundary.
+//!
+//! Everything downstream of PAS — the main models it augments, the teacher,
+//! the judge targets — is reached through [`ChatModel`]: text in, text out.
+//! This is the property that makes PAS LLM-agnostic (Table 3): the
+//! augmentation layer composes with any implementation of this trait.
+
+/// Token accounting for a chat call, used by the data-efficiency experiment
+/// (Figure 7) to report consumption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TokenUsage {
+    /// Whitespace-token count of the input.
+    pub prompt_tokens: usize,
+    /// Whitespace-token count of the output.
+    pub completion_tokens: usize,
+}
+
+impl TokenUsage {
+    /// Total tokens moved.
+    pub fn total(&self) -> usize {
+        self.prompt_tokens + self.completion_tokens
+    }
+}
+
+/// A chat-completion model: the plug-and-play boundary of the whole system.
+pub trait ChatModel: Send + Sync {
+    /// Stable model identifier (e.g. `"gpt-4-0613"`).
+    fn name(&self) -> &str;
+
+    /// Produces a response to `input`.
+    fn chat(&self, input: &str) -> String;
+
+    /// Produces a response plus token accounting. Default wraps
+    /// [`Self::chat`] with whitespace token counts.
+    fn chat_with_usage(&self, input: &str) -> (String, TokenUsage) {
+        let out = self.chat(input);
+        let usage = TokenUsage {
+            prompt_tokens: input.split_whitespace().count(),
+            completion_tokens: out.split_whitespace().count(),
+        };
+        (out, usage)
+    }
+}
+
+/// Blanket implementation so `Box<dyn ChatModel>` and `&T` compose.
+impl<T: ChatModel + ?Sized> ChatModel for &T {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn chat(&self, input: &str) -> String {
+        (**self).chat(input)
+    }
+}
+
+impl ChatModel for Box<dyn ChatModel> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn chat(&self, input: &str) -> String {
+        (**self).chat(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+
+    impl ChatModel for Echo {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn chat(&self, input: &str) -> String {
+            format!("you said: {input}")
+        }
+    }
+
+    #[test]
+    fn default_usage_counts_whitespace_tokens() {
+        let (out, usage) = Echo.chat_with_usage("two words");
+        assert_eq!(out, "you said: two words");
+        assert_eq!(usage.prompt_tokens, 2);
+        assert_eq!(usage.completion_tokens, 4);
+        assert_eq!(usage.total(), 6);
+    }
+
+    #[test]
+    fn trait_objects_compose() {
+        let boxed: Box<dyn ChatModel> = Box::new(Echo);
+        assert_eq!(boxed.name(), "echo");
+        let by_ref: &dyn ChatModel = &Echo;
+        assert!(by_ref.chat("x").contains('x'));
+    }
+}

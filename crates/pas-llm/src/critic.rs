@@ -1,0 +1,309 @@
+//! The `IsCorrectPair` critic of Algorithm 1 (Figure 5's prompt).
+//!
+//! The paper asks GPT to diagnose whether a generated APE is a valid
+//! supplement to the user prompt, against five criteria, and to output
+//! `{ "Reason": …, "Is_correct": "Yes"/"No", "FinalAPE": … }`. The
+//! simulation is a rule-based diagnostician over the pair's *text* (it never
+//! reads the teacher's hidden flaw tag), applying the same five criteria:
+//!
+//! 1. deviates from / conflicts with the prompt's intention,
+//! 2. superfluous additions,
+//! 3. answers instead of supplementing,
+//! 4. excessive demands,
+//! 5. language mismatch.
+
+use serde::{Deserialize, Serialize};
+
+use pas_text::keywords::content_words;
+use pas_text::lang::detect_language;
+
+use crate::simllm::{CORRECT_MARKER, INCORRECT_MARKER};
+use crate::world::{detect_aspects, Aspect};
+
+/// Critic thresholds.
+#[derive(Debug, Clone)]
+pub struct CriticConfig {
+    /// Maximum words before a complement counts as over-extended
+    /// (Figure 4 instructs ≤ 30 words; we allow headroom).
+    pub max_words: usize,
+    /// Maximum distinct aspect requests before the complement counts as
+    /// making excessive demands.
+    pub max_aspects: usize,
+    /// Minimum shared content words with the prompt for a long complement
+    /// to count as on-topic.
+    pub min_topic_overlap: usize,
+}
+
+impl Default for CriticConfig {
+    fn default() -> Self {
+        CriticConfig { max_words: 45, max_aspects: 5, min_topic_overlap: 1 }
+    }
+}
+
+/// The critic's structured verdict, mirroring Figure 5's output format.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CriticVerdict {
+    /// Why the verdict was reached.
+    #[serde(rename = "Reason")]
+    pub reason: String,
+    /// `"Yes"` or `"No"` — kept as the paper's string form for fidelity.
+    #[serde(rename = "Is_correct")]
+    pub is_correct: String,
+    /// The APE to use: the original when correct, a best-effort repair
+    /// otherwise (Algorithm 1 regenerates instead of using the repair).
+    #[serde(rename = "FinalAPE")]
+    pub final_ape: String,
+}
+
+impl CriticVerdict {
+    /// Boolean view of `is_correct`.
+    pub fn accepted(&self) -> bool {
+        self.is_correct == "Yes"
+    }
+}
+
+/// The rule-based pair critic.
+#[derive(Debug, Clone, Default)]
+pub struct Critic {
+    config: CriticConfig,
+}
+
+impl Critic {
+    /// Creates a critic with the given thresholds.
+    pub fn new(config: CriticConfig) -> Self {
+        Critic { config }
+    }
+
+    /// Diagnoses `(prompt, ape)` against the five Figure 5 criteria.
+    pub fn judge(&self, prompt: &str, ape: &str) -> CriticVerdict {
+        if let Some(reason) = self.find_defect(prompt, ape) {
+            let repaired = self.repair(prompt, ape);
+            return CriticVerdict { reason, is_correct: "No".into(), final_ape: repaired };
+        }
+        CriticVerdict {
+            reason: "APE supplements the prompt without answering, extending, or conflicting.".into(),
+            is_correct: "Yes".into(),
+            final_ape: ape.to_string(),
+        }
+    }
+
+    /// Convenience boolean form (the `IsCorrectPair` of Algorithm 1).
+    pub fn is_correct_pair(&self, prompt: &str, ape: &str) -> bool {
+        self.judge(prompt, ape).accepted()
+    }
+
+    fn find_defect(&self, prompt: &str, ape: &str) -> Option<String> {
+        // Criterion 5: language consistency.
+        let pl = detect_language(prompt);
+        let al = detect_language(ape);
+        if pl != al {
+            return Some(format!("Language mismatch: prompt is {pl}, APE is {al}."));
+        }
+
+        // Criterion 3: the APE must not answer the prompt.
+        let canon = pas_text::normalize_for_dedup(ape);
+        if canon.contains("the answer is")
+            || canon.contains(CORRECT_MARKER)
+            || canon.contains(INCORRECT_MARKER)
+            || canon.contains("no further analysis is needed")
+        {
+            return Some("APE answers the prompt directly instead of supplementing it.".into());
+        }
+
+        // Figure 4 demands methodology-focused supplements: an APE that
+        // requests no recognizable answer aspect supplements nothing.
+        let words = ape.split_whitespace().count();
+        let aspects = detect_aspects(ape);
+        if aspects.is_empty() {
+            return Some("APE offers no methodological guidance.".into());
+        }
+
+        // Criteria 2/4: superfluous additions / excessive demands.
+        if words > self.config.max_words || aspects.len() > self.config.max_aspects {
+            return Some(format!(
+                "APE over-extends: {words} words requesting {} aspects.",
+                aspects.len()
+            ));
+        }
+
+        // Criterion 1: internal or prompt-facing contradiction.
+        if aspects.contains(Aspect::Conciseness) && aspects.contains(Aspect::Depth) {
+            return Some("APE demands brevity and in-depth treatment simultaneously.".into());
+        }
+        let prompt_aspects = detect_aspects(prompt);
+        if prompt_aspects.contains(Aspect::Conciseness) && aspects.contains(Aspect::Depth) {
+            return Some("APE demands depth although the prompt asks for brevity.".into());
+        }
+        if prompt_aspects.contains(Aspect::Depth) && aspects.contains(Aspect::Conciseness) {
+            return Some("APE demands brevity although the prompt asks for depth.".into());
+        }
+
+        // Criterion 1/4: topical drift. A complement with several content
+        // words sharing none with the prompt deviates from its intention.
+        let prompt_words: std::collections::HashSet<String> =
+            content_words(prompt).into_iter().collect();
+        let ape_content = content_words(ape);
+        let generic: std::collections::HashSet<&str> = GENERIC_COMPLEMENT_WORDS.iter().copied().collect();
+        let topical: Vec<&String> =
+            ape_content.iter().filter(|w| !generic.contains(w.as_str())).collect();
+        if topical.len() >= 3 {
+            let overlap = topical.iter().filter(|w| prompt_words.contains(**w)).count();
+            if overlap < self.config.min_topic_overlap {
+                return Some("APE drifts away from the prompt's topic.".into());
+            }
+        }
+        None
+    }
+
+    /// Best-effort repair: a minimal on-topic background-context request in
+    /// the prompt's language, which conflicts with no prompt constraint.
+    fn repair(&self, prompt: &str, _ape: &str) -> String {
+        let topic = pas_text::top_keywords(prompt, 3).join(" ");
+        crate::teacher::realize_complement_in(
+            detect_language(prompt),
+            &topic,
+            [Aspect::Context].into_iter().collect(),
+        )
+    }
+}
+
+/// Function words that appear in every aspect-request complement and carry
+/// no topical information; excluded from the drift check.
+const GENERIC_COMPLEMENT_WORDS: &[&str] = &[
+    "considering", "provide", "include", "present", "answer", "question", "supplement",
+    "respect", "keep", "cover", "watch", "supply", "reason", "mind", "first", "brief",
+    "detailed", "analysis", "depth", "structured", "format", "concrete", "examples",
+    "step", "cases", "edge", "including", "relevant", "background", "intended",
+    "audience", "stylistic", "constraints", "context", "logic", "trap", "hidden",
+    "assumptions", "methodology", "focus",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::teacher::realize_complement;
+    use crate::world::AspectSet;
+
+    const PROMPT: &str = "How do I design a cache eviction policy for a database buffer pool?";
+
+    fn good_ape() -> String {
+        realize_complement(
+            "cache eviction policy",
+            [Aspect::Depth, Aspect::Examples].into_iter().collect::<AspectSet>(),
+        )
+    }
+
+    #[test]
+    fn accepts_a_clean_complement() {
+        let v = Critic::default().judge(PROMPT, &good_ape());
+        assert!(v.accepted(), "reason: {}", v.reason);
+        assert_eq!(v.final_ape, good_ape());
+    }
+
+    #[test]
+    fn rejects_direct_answers() {
+        let v = Critic::default().judge(PROMPT, "The answer is to use LRU eviction.");
+        assert!(!v.accepted());
+        assert!(v.reason.contains("directly"));
+    }
+
+    #[test]
+    fn rejects_language_mismatch() {
+        let v = Critic::default().judge(PROMPT, "请补充该问题的深入分析。");
+        assert!(!v.accepted());
+        assert!(v.reason.contains("Language"));
+    }
+
+    #[test]
+    fn rejects_over_extension() {
+        let long = format!("{} {}", good_ape(), "and furthermore ".repeat(30));
+        let v = Critic::default().judge(PROMPT, &long);
+        assert!(!v.accepted());
+        assert!(v.reason.contains("over-extends"));
+    }
+
+    #[test]
+    fn rejects_internal_contradiction() {
+        let ape = format!(
+            "Considering cache eviction, {} and {}.",
+            Aspect::Conciseness.request_phrase(),
+            Aspect::Depth.request_phrase()
+        );
+        assert!(!Critic::default().is_correct_pair(PROMPT, &ape));
+    }
+
+    #[test]
+    fn rejects_conflict_with_prompt_constraint() {
+        let brief_prompt = format!("{PROMPT} Please keep it brief.");
+        let deep_ape = realize_complement(
+            "cache eviction policy",
+            [Aspect::Depth].into_iter().collect::<AspectSet>(),
+        );
+        assert!(!Critic::default().is_correct_pair(&brief_prompt, &deep_ape));
+        // The same APE is fine when the prompt has no brevity constraint.
+        assert!(Critic::default().is_correct_pair(PROMPT, &deep_ape));
+    }
+
+    #[test]
+    fn rejects_topical_drift() {
+        // An off-topic complement that *does* name an aspect, so only the
+        // drift rule can catch it.
+        let ape = format!(
+            "Considering quarterly maritime insurance actuarial tables, {}.",
+            Aspect::Examples.request_phrase()
+        );
+        let v = Critic::default().judge(PROMPT, &ape);
+        assert!(!v.accepted());
+        assert!(v.reason.contains("topic"), "reason: {}", v.reason);
+    }
+
+    #[test]
+    fn rejects_contentless_supplements() {
+        let v = Critic::default().judge(PROMPT, "Some vague words that ask for nothing.");
+        assert!(!v.accepted());
+        assert!(v.reason.contains("methodological"), "reason: {}", v.reason);
+    }
+
+    #[test]
+    fn repair_is_itself_acceptable() {
+        let critic = Critic::default();
+        let v = critic.judge(PROMPT, "The answer is forty-two.");
+        assert!(!v.accepted());
+        assert!(critic.is_correct_pair(PROMPT, &v.final_ape), "repair: {}", v.final_ape);
+    }
+
+    #[test]
+    fn verdict_serializes_in_paper_format() {
+        let v = Critic::default().judge(PROMPT, &good_ape());
+        let json = serde_json::to_string(&v).unwrap();
+        assert!(json.contains("\"Reason\""));
+        assert!(json.contains("\"Is_correct\":\"Yes\""));
+        assert!(json.contains("\"FinalAPE\""));
+    }
+
+    #[test]
+    fn catches_every_teacher_flaw_kind() {
+        use crate::teacher::{Teacher, TeacherConfig};
+        use crate::world::World;
+        use std::sync::Arc;
+        // Force flaws and verify the critic rejects each injected kind.
+        let teacher = Teacher::new(
+            TeacherConfig { flaw_rate: 10.0, ..TeacherConfig::default() },
+            Arc::new(World::new()),
+        );
+        let critic = Critic::default();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..200u64 {
+            let prompt = format!("Explain the merge strategy for log structured trees case {i}");
+            let g = teacher.generate(&prompt, &[], i);
+            let flaw = g.injected_flaw.expect("flaw forced");
+            seen.insert(flaw);
+            assert!(
+                !critic.is_correct_pair(&prompt, &g.text),
+                "critic missed {flaw:?}: {}",
+                g.text
+            );
+        }
+        assert_eq!(seen.len(), crate::teacher::FlawKind::ALL.len(), "all kinds exercised");
+    }
+}

@@ -1,0 +1,39 @@
+//! The simulated-LLM substrate.
+//!
+//! The paper plugs PAS into six proprietary/large chat models and uses GPT-4
+//! both as the few-shot complement *teacher* and as the pair *critic*
+//! (Figures 4 and 5). None of those can run inside this workspace, so this
+//! crate provides the closest synthetic equivalent that exercises the same
+//! code paths (see DESIGN.md §2):
+//!
+//! - [`world`] — the latent semantic model: 14 prompt [`Category`]s, the
+//!   [`Aspect`]s a good answer must cover, a textual lexicon that lets every
+//!   component communicate *through text only*, and the [`World`] registry
+//!   that lets simulated models "understand" registered prompts.
+//! - [`profile`] — calibrated capability profiles for the paper's main
+//!   models (GPT-4-turbo … LLaMA-3-70b) plus the small PAS base models.
+//! - [`chat`] — the [`ChatModel`] trait: the plug-and-play boundary.
+//! - [`simllm`] — [`SimLlm`], a deterministic simulated chat model whose
+//!   response quality depends on its profile and on how much of the prompt's
+//!   latent deficiency the (augmented) input text covers.
+//! - [`teacher`] — the few-shot complement generator of Algorithm 1, with a
+//!   calibrated flaw rate (Figure 4's prompt).
+//! - [`critic`] — the `IsCorrectPair` checker of Algorithm 1 (Figure 5's
+//!   prompt), a rule-based detector with imperfect recall.
+//! - [`registry`] — name → model construction for the experiment harnesses.
+
+pub mod chat;
+pub mod critic;
+pub mod profile;
+pub mod registry;
+pub mod simllm;
+pub mod teacher;
+pub mod world;
+
+pub use chat::{ChatModel, TokenUsage};
+pub use critic::{Critic, CriticConfig, CriticVerdict};
+pub use profile::ModelProfile;
+pub use registry::ModelRegistry;
+pub use simllm::SimLlm;
+pub use teacher::{FlawKind, Teacher, TeacherConfig};
+pub use world::{Aspect, AspectSet, Category, PromptMeta, World};

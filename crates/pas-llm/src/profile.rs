@@ -1,0 +1,132 @@
+//! Capability profiles for the simulated models.
+//!
+//! A profile is the substitute for a real model checkpoint: a handful of
+//! behavioural parameters calibrated so that the *baseline* (no-APE) win
+//! rates of the six paper main models land near Table 1's first block. The
+//! paper's deltas — how much PAS or BPO helps each model — are **not**
+//! encoded here; they emerge from how much latent deficiency the augmented
+//! input text covers (see `SimLlm`).
+
+use serde::{Deserialize, Serialize};
+
+/// Behavioural parameters of one simulated model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Stable identifier, matching the paper's model names where relevant.
+    pub name: String,
+    /// Overall answer quality in `[0, 1]`: correctness, coherence, knowledge.
+    pub capability: f32,
+    /// Probability of honouring an aspect that the input text explicitly
+    /// mentions.
+    pub instruction_following: f32,
+    /// Probability of spontaneously covering a *needed but unstated* aspect.
+    /// This is the headroom PAS exploits: the gap between required and
+    /// spontaneous coverage.
+    pub spontaneous_coverage: f32,
+    /// Probability of avoiding a logic trap with no warning in the input.
+    pub trap_resistance: f32,
+    /// Verbosity multiplier on response length (1.0 = nominal).
+    pub verbosity: f32,
+    /// Standard deviation of per-response quality jitter.
+    pub noise: f32,
+    /// Per-model salt folded into response seeds.
+    pub seed_salt: u64,
+}
+
+impl ModelProfile {
+    /// The six "main models" of the paper's evaluation plus the two PAS base
+    /// models and the judge references, by canonical name. Returns `None`
+    /// for unknown names.
+    pub fn named(name: &str) -> Option<ModelProfile> {
+        let p = |name: &str, capability, instruction_following, spontaneous_coverage,
+                 trap_resistance, verbosity, noise, seed_salt| ModelProfile {
+            name: name.to_string(),
+            capability,
+            instruction_following,
+            spontaneous_coverage,
+            trap_resistance,
+            verbosity,
+            noise,
+            seed_salt,
+        };
+        Some(match name {
+            "gpt-4-turbo-2024-04-09" => p(name, 0.90, 0.93, 0.42, 0.78, 1.00, 0.10, 11),
+            "gpt-4-1106-preview" => p(name, 0.88, 0.92, 0.40, 0.75, 1.15, 0.10, 12),
+            "gpt-4-0613" => p(name, 0.70, 0.82, 0.20, 0.50, 0.85, 0.11, 13),
+            "gpt-3.5-turbo-1106" => p(name, 0.58, 0.72, 0.10, 0.34, 0.75, 0.12, 14),
+            "qwen2-72b-chat" => p(name, 0.77, 0.86, 0.25, 0.58, 1.00, 0.11, 15),
+            "llama-3-70b-instruct" => p(name, 0.73, 0.84, 0.22, 0.55, 1.05, 0.11, 16),
+            // Judge references: Arena-Hard compares against GPT-4-0314-class
+            // output; AlpacaEval 2.0 compares against GPT-4-turbo-class.
+            "reference-arena" => p(name, 0.80, 0.88, 0.33, 0.66, 1.00, 0.10, 21),
+            "reference-alpaca" => p(name, 0.86, 0.91, 0.38, 0.73, 1.00, 0.10, 22),
+            // Small base models (what PAS / BPO are fine-tuned from).
+            "qwen2-7b-chat" => p(name, 0.55, 0.70, 0.10, 0.32, 0.90, 0.13, 31),
+            "llama-2-7b-instruct" => p(name, 0.40, 0.58, 0.06, 0.22, 0.95, 0.14, 32),
+            _ => return None,
+        })
+    }
+
+    /// The six main-model names in Table 1 row order.
+    pub fn main_model_names() -> [&'static str; 6] {
+        [
+            "gpt-4-turbo-2024-04-09",
+            "gpt-4-1106-preview",
+            "gpt-4-0613",
+            "gpt-3.5-turbo-1106",
+            "qwen2-72b-chat",
+            "llama-3-70b-instruct",
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_main_models_have_profiles() {
+        for name in ModelProfile::main_model_names() {
+            let p = ModelProfile::named(name).expect("profile exists");
+            assert_eq!(p.name, name);
+        }
+    }
+
+    #[test]
+    fn unknown_model_is_none() {
+        assert!(ModelProfile::named("gpt-17").is_none());
+    }
+
+    #[test]
+    fn probabilities_are_in_unit_interval() {
+        for name in ModelProfile::main_model_names()
+            .into_iter()
+            .chain(["reference-arena", "reference-alpaca", "qwen2-7b-chat", "llama-2-7b-instruct"])
+        {
+            let p = ModelProfile::named(name).unwrap();
+            for v in [p.capability, p.instruction_following, p.spontaneous_coverage, p.trap_resistance] {
+                assert!((0.0..=1.0).contains(&v), "{name}: {v}");
+            }
+            assert!(p.noise >= 0.0 && p.verbosity > 0.0);
+        }
+    }
+
+    #[test]
+    fn capability_ordering_matches_paper_baselines() {
+        let cap = |n| ModelProfile::named(n).unwrap().capability;
+        assert!(cap("gpt-4-turbo-2024-04-09") > cap("gpt-4-0613"));
+        assert!(cap("gpt-4-0613") > cap("gpt-3.5-turbo-1106"));
+        assert!(cap("qwen2-72b-chat") > cap("llama-3-70b-instruct"));
+        assert!(cap("qwen2-7b-chat") > cap("llama-2-7b-instruct"));
+    }
+
+    #[test]
+    fn spontaneous_coverage_below_instruction_following() {
+        // The PAS headroom: stated aspects are honoured far more often than
+        // unstated ones, for every model.
+        for name in ModelProfile::main_model_names() {
+            let p = ModelProfile::named(name).unwrap();
+            assert!(p.spontaneous_coverage < p.instruction_following - 0.2, "{name}");
+        }
+    }
+}

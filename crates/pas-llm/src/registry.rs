@@ -1,0 +1,72 @@
+//! Name → model construction for the experiment harnesses.
+
+use std::sync::Arc;
+
+use crate::chat::ChatModel;
+use crate::profile::ModelProfile;
+use crate::simllm::SimLlm;
+use crate::world::World;
+
+/// Builds [`SimLlm`] instances bound to one shared [`World`].
+#[derive(Clone)]
+pub struct ModelRegistry {
+    world: Arc<World>,
+}
+
+impl ModelRegistry {
+    /// Creates a registry over `world`.
+    pub fn new(world: Arc<World>) -> Self {
+        ModelRegistry { world }
+    }
+
+    /// The shared world.
+    pub fn world(&self) -> &Arc<World> {
+        &self.world
+    }
+
+    /// Instantiates the model with the given canonical name, or `None` when
+    /// no profile exists.
+    pub fn get(&self, name: &str) -> Option<SimLlm> {
+        ModelProfile::named(name).map(|p| SimLlm::new(p, Arc::clone(&self.world)))
+    }
+
+    /// Instantiates a boxed trait object, for heterogeneous collections.
+    pub fn get_boxed(&self, name: &str) -> Option<Box<dyn ChatModel>> {
+        self.get(name).map(|m| Box::new(m) as Box<dyn ChatModel>)
+    }
+
+    /// The six main models of the paper's Table 1, in row order.
+    pub fn main_models(&self) -> Vec<SimLlm> {
+        ModelProfile::main_model_names()
+            .into_iter()
+            .map(|n| self.get(n).expect("main profiles exist"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_builds_all_main_models() {
+        let reg = ModelRegistry::new(Arc::new(World::new()));
+        let models = reg.main_models();
+        assert_eq!(models.len(), 6);
+        assert_eq!(models[0].name(), "gpt-4-turbo-2024-04-09");
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        let reg = ModelRegistry::new(Arc::new(World::new()));
+        assert!(reg.get("made-up-model").is_none());
+        assert!(reg.get_boxed("made-up-model").is_none());
+    }
+
+    #[test]
+    fn boxed_models_chat() {
+        let reg = ModelRegistry::new(Arc::new(World::new()));
+        let m = reg.get_boxed("gpt-4-0613").unwrap();
+        assert!(!m.chat("say something about databases").is_empty());
+    }
+}

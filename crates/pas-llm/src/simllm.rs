@@ -1,0 +1,365 @@
+//! The deterministic simulated chat model.
+//!
+//! `SimLlm` is the workspace substitute for the paper's main models. Its
+//! response to an input is a pure function of `(profile, input text)`:
+//!
+//! 1. Recover the underlying prompt's latent [`PromptMeta`] through the
+//!    shared [`World`] (the analogue of comprehension).
+//! 2. Detect which [`Aspect`]s the input text mentions — the original
+//!    prompt's explicit constraints *plus whatever a complement appended*.
+//! 3. Decide coverage per required aspect: mentioned aspects are honoured
+//!    with probability `instruction_following`; unstated ones only with
+//!    `spontaneous_coverage`. This gap is the entire mechanism by which
+//!    prompt augmentation helps, mirroring the paper's claim.
+//! 4. Resolve logic traps: a trap is avoided reliably only when the input
+//!    warns about it (Case Study 1).
+//! 5. Realize the decision as text using the aspect lexicon, so downstream
+//!    judges can score the response from its text alone.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use pas_text::hash::fx_hash_str;
+use pas_text::top_keywords;
+
+use crate::chat::ChatModel;
+use crate::profile::ModelProfile;
+use crate::world::{detect_aspects, Aspect, AspectSet, World};
+
+/// Marker phrase a response contains when its final answer is sound.
+/// Judges detect correctness from this text, not from hidden state.
+pub const CORRECT_MARKER: &str = "after verifying each premise the conclusion stands";
+/// Marker phrase a response contains when it answered hastily/incorrectly.
+pub const INCORRECT_MARKER: &str = "on a surface reading one might conclude";
+/// One unit of answer polish: a grounded supporting sentence. A response
+/// carries between zero and [`POLISH_LEVELS`] of these; judges read the
+/// count as overall answer quality (fluency, grounding, coherence) — the
+/// stable per-model component a GPT-4 judge perceives beyond checklist
+/// coverage.
+pub const POLISH_MARKER: &str = "supported by established evidence";
+/// Maximum polish units a response carries.
+pub const POLISH_LEVELS: usize = 8;
+/// Chinese counterpart of [`CORRECT_MARKER`].
+pub const CORRECT_MARKER_ZH: &str = "经逐项核实结论成立";
+/// Chinese counterpart of [`INCORRECT_MARKER`].
+pub const INCORRECT_MARKER_ZH: &str = "表面上看似乎";
+/// Chinese counterpart of [`POLISH_MARKER`].
+pub const POLISH_MARKER_ZH: &str = "有充分证据支持";
+
+/// A simulated chat model bound to a capability profile and a world.
+#[derive(Clone)]
+pub struct SimLlm {
+    profile: ModelProfile,
+    world: Arc<World>,
+}
+
+impl SimLlm {
+    /// Creates a model from a profile and a shared world.
+    pub fn new(profile: ModelProfile, world: Arc<World>) -> Self {
+        SimLlm { profile, world }
+    }
+
+    /// Convenience constructor by canonical profile name.
+    ///
+    /// # Panics
+    /// Panics when the name has no profile; use
+    /// [`ModelProfile::named`] to probe first.
+    pub fn named(name: &str, world: Arc<World>) -> Self {
+        let profile = ModelProfile::named(name)
+            .unwrap_or_else(|| panic!("no profile named '{name}'"));
+        SimLlm::new(profile, world)
+    }
+
+    /// The model's profile.
+    pub fn profile(&self) -> &ModelProfile {
+        &self.profile
+    }
+
+    fn rng_for(&self, input: &str) -> StdRng {
+        StdRng::seed_from_u64(fx_hash_str(input) ^ self.profile.seed_salt.rotate_left(17))
+    }
+
+    /// Decides which aspects the response will cover.
+    fn plan_coverage(
+        &self,
+        required: AspectSet,
+        mentioned: AspectSet,
+        rng: &mut StdRng,
+    ) -> AspectSet {
+        // Instruction overload dilutes compliance: a prompt demanding many
+        // things at once gets each of them honoured less reliably (the
+        // failure mode over-extended APEs cause, per the paper's critic).
+        let dilution = if mentioned.len() > 4 {
+            4.0 / mentioned.len() as f32
+        } else {
+            1.0
+        };
+        let mut covered = AspectSet::EMPTY;
+        for a in required.iter() {
+            let p = if mentioned.contains(a) {
+                self.profile.instruction_following * dilution
+            } else {
+                self.profile.spontaneous_coverage
+            };
+            if rng.random::<f32>() < p {
+                covered.insert(a);
+            }
+        }
+        // Mentioned-but-unneeded aspects are also (usually) honoured; they
+        // lengthen the answer without improving it — the failure mode the
+        // critic calls "superfluous additions".
+        for a in mentioned.minus(required).iter() {
+            if a != Aspect::TrapWarning && rng.random::<f32>() < self.profile.instruction_following {
+                covered.insert(a);
+            }
+        }
+        covered
+    }
+
+    fn realize(
+        &self,
+        language: pas_text::lang::Language,
+        topic: &str,
+        covered: AspectSet,
+        correct: bool,
+        polish: usize,
+        rng: &mut StdRng,
+    ) -> String {
+        use pas_text::lang::Language;
+        let mut out = String::new();
+        let zh = language == Language::Chinese;
+        if zh {
+            out.push_str(&format!("关于 {topic} ："));
+        } else {
+            out.push_str(&format!("Regarding {topic}: "));
+        }
+        for a in covered.iter() {
+            if zh {
+                out.push_str(a.coverage_phrase_zh());
+                out.push_str(&format!("，围绕 {topic} 展开。"));
+            } else {
+                out.push_str(a.coverage_phrase());
+                out.push_str(&format!(" concerning {topic}. "));
+            }
+        }
+        for _ in 0..polish.min(POLISH_LEVELS) {
+            if zh {
+                out.push_str(&format!("对 {topic} 的论述{POLISH_MARKER_ZH}。"));
+            } else {
+                out.push_str(&format!("The treatment of {topic} is {POLISH_MARKER}. "));
+            }
+        }
+        // Filler proportional to verbosity models the model's natural length.
+        let filler_sentences =
+            ((covered.len().max(1) as f32) * self.profile.verbosity * (0.8 + 0.4 * rng.random::<f32>()))
+                .round() as usize;
+        for i in 0..filler_sentences {
+            if zh {
+                out.push_str(&format!("补充说明{}进一步展开 {topic} 的细节。", i + 1));
+            } else {
+                out.push_str(&format!(
+                    "Further observation {} expands on {topic} with supporting detail. ",
+                    i + 1
+                ));
+            }
+        }
+        match (zh, correct) {
+            (true, true) => out.push_str(&format!("总之，{CORRECT_MARKER_ZH}，{topic} 如上。")),
+            (true, false) => out.push_str(&format!("总之，{INCORRECT_MARKER_ZH}相反，{topic} 如上。")),
+            (false, true) => out.push_str(&format!("In conclusion, {CORRECT_MARKER} for {topic}.")),
+            (false, false) => {
+                out.push_str(&format!("In conclusion, {INCORRECT_MARKER} the opposite for {topic}."))
+            }
+        }
+        out
+    }
+}
+
+impl ChatModel for SimLlm {
+    fn name(&self) -> &str {
+        &self.profile.name
+    }
+
+    fn chat(&self, input: &str) -> String {
+        let mut rng = self.rng_for(input);
+        let mentioned = detect_aspects(input);
+        let meta = self.world.lookup(input);
+
+        let (required, trap, ambiguity, topic, understood, language) = match meta {
+            Some(m) => (m.required, m.trap, m.ambiguity, m.topic.clone(), true, m.language),
+            None => {
+                // Unregistered input — the model never saw this request and
+                // can only answer generically: treat the mentioned aspects
+                // as the requirement and derive a topic from the text.
+                let topic = top_keywords(input, 3).join(" ");
+                (
+                    mentioned,
+                    false,
+                    0.5,
+                    if topic.is_empty() { "the request".into() } else { topic },
+                    false,
+                    pas_text::lang::detect_language(input),
+                )
+            }
+        };
+
+        let covered = self.plan_coverage(required, mentioned, &mut rng);
+
+        // Trap resolution: warned models almost always slow down and check;
+        // unwarned models fall back on their intrinsic resistance.
+        let trap_avoided = !trap
+            || if mentioned.contains(Aspect::TrapWarning) {
+                rng.random::<f32>() < (self.profile.instruction_following + 0.05).min(0.97)
+            } else {
+                rng.random::<f32>() < self.profile.trap_resistance
+            };
+
+        // Correctness: capability, minus ambiguity that nobody resolved,
+        // plus a small bonus when the answer works step by step.
+        let ambiguity_penalty = if covered.contains(Aspect::Context) { 0.0 } else { 0.25 * ambiguity };
+        let step_bonus = if covered.contains(Aspect::StepByStep) { 0.07 } else { 0.0 };
+        let mut p_correct =
+            (self.profile.capability + step_bonus - ambiguity_penalty).clamp(0.02, 0.98);
+        if !understood {
+            // A generic answer to a misread request rarely nails the
+            // specific question the user actually asked.
+            p_correct *= 0.40;
+        }
+        // Anchoring: an input that already asserts "the answer is …" (a
+        // direct-answer APE) tempts the model to echo the supplied answer
+        // instead of solving — and such pre-baked answers are usually
+        // shallow or wrong for a non-trivial question.
+        let canon_input = pas_text::normalize_for_dedup(input);
+        if canon_input.contains("the answer is") || canon_input.contains("no further analysis is needed")
+        {
+            p_correct *= 0.45;
+        }
+        let correct = trap_avoided && rng.random::<f32>() < p_correct;
+
+        // Polish: the stable per-model quality component, lightly jittered.
+        let polish_latent =
+            (self.profile.capability + (rng.random::<f32>() - 0.5) * 0.10).clamp(0.0, 1.0);
+        let polish = (polish_latent * POLISH_LEVELS as f32).round() as usize;
+
+        self.realize(language, &topic, covered, correct, polish, &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{Category, PromptMeta};
+    use pas_text::lang::Language;
+
+    fn world_with(prompt: &str, required: AspectSet, trap: bool) -> Arc<World> {
+        let mut w = World::new();
+        w.register(
+            prompt,
+            PromptMeta {
+                category: Category::Reasoning,
+                required,
+                explicit: AspectSet::EMPTY,
+                ambiguity: 0.3,
+                trap,
+                language: Language::English,
+                topic: "birds on the tree".into(),
+            },
+        );
+        Arc::new(w)
+    }
+
+    const PROMPT: &str = "If there are ten birds on a tree and one is shot how many are on the ground";
+
+    #[test]
+    fn responses_are_deterministic() {
+        let w = world_with(PROMPT, AspectSet::EMPTY, false);
+        let m = SimLlm::named("gpt-4-0613", w);
+        assert_eq!(m.chat(PROMPT), m.chat(PROMPT));
+    }
+
+    #[test]
+    fn different_models_differ_on_same_input() {
+        let w = world_with(PROMPT, AspectSet::EMPTY, false);
+        let a = SimLlm::named("gpt-4-turbo-2024-04-09", Arc::clone(&w));
+        let b = SimLlm::named("gpt-3.5-turbo-1106", w);
+        assert_ne!(a.chat(PROMPT), b.chat(PROMPT));
+    }
+
+    #[test]
+    fn trap_warning_in_input_flips_outcomes_in_aggregate() {
+        // Across many trap prompts, the warned inputs must produce far more
+        // correct answers than unwarned ones for a weak model.
+        let mut warned_correct = 0;
+        let mut unwarned_correct = 0;
+        let n = 200;
+        for i in 0..n {
+            let prompt = format!("Trap question number {i} about birds on a tree, how many remain");
+            let w = world_with(&prompt, AspectSet::EMPTY, true);
+            let m = SimLlm::named("gpt-3.5-turbo-1106", w);
+            let warned = format!("{prompt}. Watch for the logic trap and hidden assumptions.");
+            if m.chat(&warned).contains(CORRECT_MARKER) {
+                warned_correct += 1;
+            }
+            if m.chat(&prompt).contains(CORRECT_MARKER) {
+                unwarned_correct += 1;
+            }
+        }
+        assert!(
+            warned_correct > unwarned_correct + n / 10,
+            "warned {warned_correct} vs unwarned {unwarned_correct}"
+        );
+    }
+
+    #[test]
+    fn mentioned_aspects_get_covered_more_often() {
+        let required: AspectSet = [Aspect::Depth, Aspect::Examples].into_iter().collect();
+        let mut plain_cov = 0;
+        let mut asked_cov = 0;
+        for i in 0..200 {
+            let prompt = format!("Question {i} about thermal conduction in ancient pottery");
+            let w = world_with(&prompt, required, false);
+            let m = SimLlm::named("gpt-4-0613", w);
+            let asked = format!("{prompt}. Provide a detailed analysis in depth and include concrete examples.");
+            plain_cov += detect_aspects(&m.chat(&prompt)).intersection(required).len();
+            asked_cov += detect_aspects(&m.chat(&asked)).intersection(required).len();
+        }
+        assert!(
+            asked_cov as f64 > plain_cov as f64 * 1.5,
+            "asked {asked_cov} vs plain {plain_cov}"
+        );
+    }
+
+    #[test]
+    fn unregistered_input_still_answers() {
+        let m = SimLlm::named("gpt-4-0613", Arc::new(World::new()));
+        let out = m.chat("Tell me about rust lifetimes please reason step by step");
+        assert!(!out.is_empty());
+        assert!(out.contains("rust") || out.contains("lifetimes"));
+    }
+
+    #[test]
+    fn response_mentions_topic() {
+        let w = world_with(PROMPT, AspectSet::EMPTY, false);
+        let m = SimLlm::named("qwen2-72b-chat", w);
+        assert!(m.chat(PROMPT).contains("birds on the tree"));
+    }
+
+    #[test]
+    fn verbosity_raises_length() {
+        // gpt-4-1106 (verbosity 1.15) vs gpt-3.5 (0.75) over many prompts.
+        let mut long_total = 0usize;
+        let mut short_total = 0usize;
+        for i in 0..100 {
+            let prompt = format!("Prompt {i} asking for a thorough treatment of soil chemistry");
+            let required: AspectSet = [Aspect::Depth, Aspect::Completeness, Aspect::Context].into_iter().collect();
+            let w = world_with(&prompt, required, false);
+            let verbose = SimLlm::named("gpt-4-1106-preview", Arc::clone(&w));
+            let terse = SimLlm::named("gpt-3.5-turbo-1106", w);
+            long_total += verbose.chat(&prompt).split_whitespace().count();
+            short_total += terse.chat(&prompt).split_whitespace().count();
+        }
+        assert!(long_total > short_total, "{long_total} vs {short_total}");
+    }
+}

@@ -1,0 +1,364 @@
+//! The few-shot complement *teacher* of Algorithm 1.
+//!
+//! In the paper a strong LLM receives Figure 4's instruction ("you are a
+//! master of complementary prompts… supplement, do not answer… within 30
+//! words") plus 4–5 golden examples for the category, and produces a
+//! complementary prompt. The simulation mirrors both the competence and the
+//! failure modes the paper's critic prompt (Figure 5) enumerates: the
+//! teacher usually infers the prompt's latent deficiencies, but with a
+//! calibrated probability emits a flawed complement — answering directly,
+//! over-extending, contradicting the prompt, switching language, or drifting
+//! off topic.
+//!
+//! Regeneration draws a fresh seed per attempt, so Algorithm 1's
+//! regenerate-until-correct loop terminates with probability 1.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use pas_text::hash::{fx_combine, fx_hash_str};
+use pas_text::top_keywords;
+
+use crate::world::{Aspect, AspectSet, World};
+
+/// The flaw classes of Figure 5's "criteria for incorrect APE".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlawKind {
+    /// The complement answers the prompt instead of supplementing it (criterion 3).
+    DirectAnswer,
+    /// Superfluous additions to an already complex prompt (criterion 2).
+    OverExtension,
+    /// Conflicts with the prompt's own constraints (criterion 1).
+    Contradiction,
+    /// Language differs from the prompt's (criterion 5).
+    WrongLanguage,
+    /// Deviates from the prompt's true intention (criterion 1/4).
+    OffTopic,
+}
+
+impl FlawKind {
+    /// All flaw kinds, used for seeded uniform draws.
+    pub const ALL: [FlawKind; 5] = [
+        FlawKind::DirectAnswer,
+        FlawKind::OverExtension,
+        FlawKind::Contradiction,
+        FlawKind::WrongLanguage,
+        FlawKind::OffTopic,
+    ];
+}
+
+/// Teacher behaviour parameters.
+#[derive(Debug, Clone)]
+pub struct TeacherConfig {
+    /// Probability that a generation is flawed (before golden-example help).
+    pub flaw_rate: f32,
+    /// Probability of correctly inferring each latent deficiency.
+    pub infer_accuracy: f32,
+    /// Probability of tacking on one unneeded extra aspect (benign noise).
+    pub extra_aspect_rate: f32,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for TeacherConfig {
+    fn default() -> Self {
+        TeacherConfig { flaw_rate: 0.38, infer_accuracy: 0.92, extra_aspect_rate: 0.12, seed: 0x7ea }
+    }
+}
+
+/// One teacher output. `injected_flaw` is ground truth for tests and
+/// metrics only — the production pipeline must judge the *text* via the
+/// critic, never this field.
+#[derive(Debug, Clone)]
+pub struct GeneratedComplement {
+    /// The complementary-prompt text.
+    pub text: String,
+    /// Aspects the teacher intended to request.
+    pub intended: AspectSet,
+    /// The flaw injected into this generation, if any.
+    pub injected_flaw: Option<FlawKind>,
+}
+
+/// The simulated few-shot teacher.
+pub struct Teacher {
+    config: TeacherConfig,
+    world: Arc<World>,
+}
+
+impl Teacher {
+    /// Creates a teacher over the given world.
+    pub fn new(config: TeacherConfig, world: Arc<World>) -> Self {
+        Teacher { config, world }
+    }
+
+    /// The teacher's configuration.
+    pub fn config(&self) -> &TeacherConfig {
+        &self.config
+    }
+
+    /// Generates a complementary prompt for `prompt`, conditioned on
+    /// `golden` few-shot examples. `attempt` must increase on regeneration
+    /// so each retry is an independent draw.
+    pub fn generate(
+        &self,
+        prompt: &str,
+        golden: &[(String, String)],
+        attempt: u64,
+    ) -> GeneratedComplement {
+        let seed = fx_combine(fx_hash_str(prompt), self.config.seed ^ attempt.wrapping_mul(0x9e37));
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Few-shot conditioning: each golden example modestly reduces the
+        // flaw probability, saturating around the paper's 4–5 examples.
+        let help = 0.85f32.powi(golden.len().min(5) as i32);
+        let flawed = rng.random::<f32>() < self.config.flaw_rate * help.max(0.4);
+
+        // Infer the latent deficiencies (the teacher is strong: it reads the
+        // prompt like the world does, with per-aspect slip probability).
+        let deficiencies = self
+            .world
+            .lookup(prompt)
+            .map(|m| m.deficiencies())
+            .unwrap_or(AspectSet::EMPTY);
+        let mut intended = AspectSet::EMPTY;
+        for a in deficiencies.iter() {
+            if rng.random::<f32>() < self.config.infer_accuracy {
+                intended.insert(a);
+            }
+        }
+        let prompt_aspects = crate::world::detect_aspects(prompt);
+        if intended.is_empty() {
+            // Always request *something* useful. Depth is the default the
+            // golden examples model — unless the prompt demands brevity, in
+            // which case background context is the safe supplement.
+            if prompt_aspects.contains(Aspect::Conciseness) {
+                intended.insert(Aspect::Context);
+            } else {
+                intended.insert(Aspect::Depth);
+            }
+        }
+        // A competent teacher never contradicts the prompt's own constraint.
+        if prompt_aspects.contains(Aspect::Conciseness) {
+            intended.remove(Aspect::Depth);
+        }
+        if prompt_aspects.contains(Aspect::Depth) {
+            intended.remove(Aspect::Conciseness);
+        }
+        if intended.is_empty() {
+            intended.insert(Aspect::Context);
+        }
+        if rng.random::<f32>() < self.config.extra_aspect_rate {
+            let extra = Aspect::ALL[rng.random_range(0..Aspect::ALL.len())];
+            intended.insert(extra);
+        }
+
+        let topic = top_keywords(prompt, 3).join(" ");
+        let language = pas_text::lang::detect_language(prompt);
+        if !flawed {
+            return GeneratedComplement {
+                text: realize_complement_in(language, &topic, intended),
+                intended,
+                injected_flaw: None,
+            };
+        }
+
+        let flaw = FlawKind::ALL[rng.random_range(0..FlawKind::ALL.len())];
+        let text = match flaw {
+            FlawKind::DirectAnswer => format!(
+                "The answer is that {topic} resolves exactly as asked; no further analysis is needed."
+            ),
+            FlawKind::OverExtension => {
+                let mut all = intended;
+                for a in [
+                    Aspect::FormatSpec,
+                    Aspect::Audience,
+                    Aspect::StyleConstraint,
+                    Aspect::Examples,
+                    Aspect::Context,
+                    Aspect::Completeness,
+                ] {
+                    all.insert(a);
+                }
+                format!(
+                    "{} Additionally compare seventeen unrelated frameworks, survey the full \
+                     historical literature, and reproduce every benchmark before responding.",
+                    realize_complement(&topic, all)
+                )
+            }
+            FlawKind::Contradiction => format!(
+                "Considering {topic}, {} and at the same time {}.",
+                Aspect::Conciseness.request_phrase(),
+                Aspect::Depth.request_phrase()
+            ),
+            FlawKind::WrongLanguage => match language {
+                pas_text::lang::Language::Chinese => {
+                    "Please supplement the question with a deeper methodological analysis."
+                        .to_string()
+                }
+                _ => "请从方法论角度补充该问题的深入分析与相关背景。".to_string(),
+            },
+            FlawKind::OffTopic => {
+                "Considering quarterly maritime insurance actuarial tables, \
+                 supplement premium amortization schedules accordingly."
+                    .to_string()
+            }
+        };
+        GeneratedComplement { text, intended, injected_flaw: Some(flaw) }
+    }
+}
+
+/// Renders an aspect-request complement in the Figure 4 style: supplement
+/// only, methodology-focused, ≤ 30 words. English surface form.
+pub fn realize_complement(topic: &str, aspects: AspectSet) -> String {
+    realize_complement_in(pas_text::lang::Language::English, topic, aspects)
+}
+
+/// Renders an aspect-request complement in the given language, so the
+/// critic's language-consistency rule (Figure 5, criterion 5) is satisfied
+/// for bilingual corpora.
+pub fn realize_complement_in(
+    language: pas_text::lang::Language,
+    topic: &str,
+    aspects: AspectSet,
+) -> String {
+    use pas_text::lang::Language;
+    match language {
+        Language::Chinese => {
+            let mut parts: Vec<&str> = aspects.iter().map(Aspect::request_phrase_zh).collect();
+            if parts.is_empty() {
+                parts.push(Aspect::Depth.request_phrase_zh());
+            }
+            let subject = if topic.is_empty() { "该问题" } else { topic };
+            format!("关于{subject}，{}。", parts.join("，"))
+        }
+        _ => {
+            let mut parts: Vec<&str> = aspects.iter().map(Aspect::request_phrase).collect();
+            if parts.is_empty() {
+                parts.push(Aspect::Depth.request_phrase());
+            }
+            let subject = if topic.is_empty() { "the question" } else { topic };
+            format!("Considering {subject}, {}.", parts.join(", and "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{detect_aspects, Category, PromptMeta};
+    use pas_text::lang::Language;
+
+    fn world() -> Arc<World> {
+        let mut w = World::new();
+        w.register(
+            "How should I design a cache eviction policy for a database buffer pool",
+            PromptMeta {
+                category: Category::Coding,
+                required: [Aspect::Depth, Aspect::Examples, Aspect::Completeness].into_iter().collect(),
+                explicit: AspectSet::EMPTY,
+                ambiguity: 0.4,
+                trap: false,
+                language: Language::English,
+                topic: "cache eviction".into(),
+            },
+        );
+        Arc::new(w)
+    }
+
+    const PROMPT: &str = "How should I design a cache eviction policy for a database buffer pool";
+
+    fn golden() -> Vec<(String, String)> {
+        (0..4)
+            .map(|i| (format!("golden prompt {i}"), format!("golden complement {i}")))
+            .collect()
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_attempt() {
+        let t = Teacher::new(TeacherConfig::default(), world());
+        let a = t.generate(PROMPT, &golden(), 0);
+        let b = t.generate(PROMPT, &golden(), 0);
+        assert_eq!(a.text, b.text);
+        assert_eq!(a.injected_flaw, b.injected_flaw);
+    }
+
+    #[test]
+    fn attempts_vary_the_draw() {
+        let t = Teacher::new(TeacherConfig { flaw_rate: 0.5, ..TeacherConfig::default() }, world());
+        let texts: std::collections::HashSet<String> =
+            (0..10).map(|i| t.generate(PROMPT, &golden(), i).text).collect();
+        assert!(texts.len() > 1, "attempts must be independent draws");
+    }
+
+    #[test]
+    fn clean_generation_requests_deficient_aspects() {
+        let t = Teacher::new(
+            TeacherConfig { flaw_rate: 0.0, extra_aspect_rate: 0.0, infer_accuracy: 1.0, ..TeacherConfig::default() },
+            world(),
+        );
+        let g = t.generate(PROMPT, &golden(), 0);
+        assert!(g.injected_flaw.is_none());
+        let detected = detect_aspects(&g.text);
+        assert!(detected.contains(Aspect::Depth));
+        assert!(detected.contains(Aspect::Examples));
+        assert!(detected.contains(Aspect::Completeness));
+        assert!(g.text.contains("cache") || g.text.contains("eviction"));
+    }
+
+    #[test]
+    fn flaw_rate_one_always_injects() {
+        let t = Teacher::new(TeacherConfig { flaw_rate: 10.0, ..TeacherConfig::default() }, world());
+        for i in 0..10 {
+            assert!(t.generate(PROMPT, &golden(), i).injected_flaw.is_some());
+        }
+    }
+
+    #[test]
+    fn flaw_rate_observed_near_configured() {
+        let t = Teacher::new(TeacherConfig { flaw_rate: 0.3, ..TeacherConfig::default() }, world());
+        let mut flawed = 0;
+        let n = 400;
+        for i in 0..n {
+            let prompt = format!("{PROMPT} variant {i}");
+            if t.generate(&prompt, &golden(), 0).injected_flaw.is_some() {
+                flawed += 1;
+            }
+        }
+        // golden() has 4 examples → effective rate ≈ 0.3 · 0.85⁴ ≈ 0.157.
+        let rate = flawed as f64 / n as f64;
+        assert!((0.08..=0.25).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn golden_examples_reduce_flaws() {
+        let t = Teacher::new(TeacherConfig { flaw_rate: 0.4, ..TeacherConfig::default() }, world());
+        let count = |g: &[(String, String)]| {
+            (0..300)
+                .filter(|&i| {
+                    let prompt = format!("{PROMPT} case {i}");
+                    t.generate(&prompt, g, 0).injected_flaw.is_some()
+                })
+                .count()
+        };
+        let with = count(&golden());
+        let without = count(&[]);
+        assert!(with < without, "few-shot must help: {with} vs {without}");
+    }
+
+    #[test]
+    fn unknown_prompt_still_produces_complement() {
+        let t = Teacher::new(TeacherConfig { flaw_rate: 0.0, ..TeacherConfig::default() }, Arc::new(World::new()));
+        let g = t.generate("completely novel prompt about gardening techniques", &golden(), 0);
+        assert!(!g.text.is_empty());
+        assert!(!detect_aspects(&g.text).is_empty());
+    }
+
+    #[test]
+    fn realize_complement_stays_short() {
+        let all: AspectSet = [Aspect::Depth, Aspect::Examples].into_iter().collect();
+        let text = realize_complement("topic words here", all);
+        assert!(text.split_whitespace().count() <= 30, "Figure 4 asks ≤30 words: {text}");
+    }
+}

@@ -1,0 +1,560 @@
+//! The latent semantic world behind the simulation.
+//!
+//! Every synthetic prompt has a hidden [`PromptMeta`]: its category, the
+//! [`Aspect`]s an ideal answer must cover, which of those the prompt already
+//! states explicitly, its ambiguity, and whether it hides a logic trap (the
+//! paper's Case Study 1). Components communicate **through text**: each
+//! aspect owns trigger phrases, and [`detect_aspects`] recovers aspect
+//! mentions from any text — prompts, complements, and responses alike. The
+//! judge therefore scores only what a response actually says, and a
+//! complement helps only if its text names the right aspects.
+//!
+//! [`World`] is the registry that lets a [`crate::SimLlm`] "understand" a
+//! registered prompt: given a (possibly augmented) input, it recovers the
+//! original prompt's metadata by normalized-prefix lookup — the analogue of
+//! a real LLM's comprehension of the user request.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use pas_text::hash::fx_hash_str;
+use pas_text::lang::Language;
+use pas_text::normalize::normalize_for_dedup;
+
+/// The 14 prompt categories of the paper's complement dataset (Figure 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Category {
+    /// Factual question answering.
+    QuestionAnswering,
+    /// Programming and code review.
+    Coding,
+    /// Long-form writing assistance.
+    Writing,
+    /// Mathematical problem solving.
+    Math,
+    /// Logical reasoning puzzles.
+    Reasoning,
+    /// Translation between languages.
+    Translation,
+    /// Summarizing provided text.
+    Summarization,
+    /// Persona-driven role play.
+    Roleplay,
+    /// Product/media recommendations.
+    Recommendation,
+    /// Encyclopedic knowledge lookups.
+    Knowledge,
+    /// Analysis and judgment of situations.
+    Analysis,
+    /// Creative generation (poems, stories).
+    Creative,
+    /// Open-ended idea generation.
+    Brainstorming,
+    /// Casual conversation.
+    Chitchat,
+}
+
+impl Category {
+    /// All categories, index order.
+    pub const ALL: [Category; 14] = [
+        Category::QuestionAnswering,
+        Category::Coding,
+        Category::Writing,
+        Category::Math,
+        Category::Reasoning,
+        Category::Translation,
+        Category::Summarization,
+        Category::Roleplay,
+        Category::Recommendation,
+        Category::Knowledge,
+        Category::Analysis,
+        Category::Creative,
+        Category::Brainstorming,
+        Category::Chitchat,
+    ];
+
+    /// Dense index of this category.
+    pub fn index(self) -> usize {
+        Category::ALL.iter().position(|&c| c == self).expect("category in ALL")
+    }
+
+    /// Category for a dense index.
+    pub fn from_index(i: usize) -> Option<Category> {
+        Category::ALL.get(i).copied()
+    }
+
+    /// Human-readable label (matches the dataset-distribution figure).
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::QuestionAnswering => "Q&A",
+            Category::Coding => "Coding",
+            Category::Writing => "Writing",
+            Category::Math => "Math",
+            Category::Reasoning => "Reasoning",
+            Category::Translation => "Translation",
+            Category::Summarization => "Summarization",
+            Category::Roleplay => "Roleplay",
+            Category::Recommendation => "Recommendation",
+            Category::Knowledge => "Knowledge",
+            Category::Analysis => "Analysis",
+            Category::Creative => "Creative",
+            Category::Brainstorming => "Brainstorming",
+            Category::Chitchat => "Chitchat",
+        }
+    }
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// The answer-quality aspects an ideal response may need to cover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Aspect {
+    /// Step-by-step reasoning.
+    StepByStep,
+    /// Stylistic constraints of the writing context.
+    StyleConstraint,
+    /// Output format requirements.
+    FormatSpec,
+    /// Depth / detailed analysis.
+    Depth,
+    /// Warning about a hidden logic trap.
+    TrapWarning,
+    /// Cover all cases / completeness.
+    Completeness,
+    /// Target-audience adaptation.
+    Audience,
+    /// Concrete examples.
+    Examples,
+    /// Necessary background context.
+    Context,
+    /// Brevity constraint.
+    Conciseness,
+}
+
+impl Aspect {
+    /// All aspects, index order.
+    pub const ALL: [Aspect; 10] = [
+        Aspect::StepByStep,
+        Aspect::StyleConstraint,
+        Aspect::FormatSpec,
+        Aspect::Depth,
+        Aspect::TrapWarning,
+        Aspect::Completeness,
+        Aspect::Audience,
+        Aspect::Examples,
+        Aspect::Context,
+        Aspect::Conciseness,
+    ];
+
+    /// Dense index.
+    pub fn index(self) -> usize {
+        Aspect::ALL.iter().position(|&a| a == self).expect("aspect in ALL")
+    }
+
+    /// Aspect for a dense index.
+    pub fn from_index(i: usize) -> Option<Aspect> {
+        Aspect::ALL.get(i).copied()
+    }
+
+    /// Phrases whose presence in a text signals that the text *mentions or
+    /// requests* this aspect. Detection is substring search over the
+    /// punctuation-normalized lowercase text, so phrases must stay
+    /// punctuation-free and mutually non-overlapping across aspects.
+    pub fn trigger_phrases(self) -> &'static [&'static str] {
+        match self {
+            Aspect::StepByStep => &["step by step", "show your reasoning", "walk through the logic"],
+            Aspect::StyleConstraint => &["formal tone", "stylistic constraints", "consistent style", "matching the register"],
+            Aspect::FormatSpec => &["structured format", "as a bulleted list", "in json format", "format the output"],
+            Aspect::Depth => &["in depth", "detailed analysis", "comprehensive explanation", "thorough treatment"],
+            Aspect::TrapWarning => &["hidden assumptions", "logic trap", "common pitfall", "trick in the question"],
+            Aspect::Completeness => &["cover all cases", "address every part", "consider edge cases", "complete coverage"],
+            Aspect::Audience => &["for a beginner", "intended audience", "suitable for newcomers", "reader background"],
+            Aspect::Examples => &["concrete examples", "worked example", "include examples"],
+            Aspect::Context => &["relevant background", "necessary context", "surrounding circumstances"],
+            Aspect::Conciseness => &["keep it brief", "concise answer", "within a few sentences"],
+        }
+    }
+
+    /// Chinese trigger phrases, same contract as
+    /// [`Self::trigger_phrases`]. The paper's system is bilingual and its
+    /// critic (Figure 5) demands language consistency, so the lexicon
+    /// carries both languages.
+    pub fn trigger_phrases_zh(self) -> &'static [&'static str] {
+        match self {
+            Aspect::StepByStep => &["一步一步", "逐步推理"],
+            Aspect::StyleConstraint => &["文体要求", "保持风格一致"],
+            Aspect::FormatSpec => &["结构化格式", "以列表形式"],
+            Aspect::Depth => &["深入分析", "详尽论述"],
+            Aspect::TrapWarning => &["逻辑陷阱", "隐含假设"],
+            Aspect::Completeness => &["涵盖所有情况", "考虑边界情况"],
+            Aspect::Audience => &["目标读者", "面向初学者"],
+            Aspect::Examples => &["具体例子", "举例说明"],
+            Aspect::Context => &["相关背景", "先交代背景"],
+            Aspect::Conciseness => &["简明扼要", "保持简短"],
+        }
+    }
+
+    /// Chinese request phrase, the analogue of [`Self::request_phrase`].
+    pub fn request_phrase_zh(self) -> &'static str {
+        match self {
+            Aspect::StepByStep => "请逐步推理",
+            Aspect::StyleConstraint => "请遵守语境的文体要求",
+            Aspect::FormatSpec => "请以结构化格式呈现",
+            Aspect::Depth => "请提供深入分析",
+            Aspect::TrapWarning => "请注意逻辑陷阱和隐含假设",
+            Aspect::Completeness => "请涵盖所有情况并考虑边界情况",
+            Aspect::Audience => "请照顾目标读者",
+            Aspect::Examples => "请举出具体例子",
+            Aspect::Context => "请先交代相关背景",
+            Aspect::Conciseness => "请保持简短",
+        }
+    }
+
+    /// Chinese coverage phrase, the analogue of [`Self::coverage_phrase`].
+    pub fn coverage_phrase_zh(self) -> &'static str {
+        match self {
+            Aspect::StepByStep => "我们一步一步来",
+            Aspect::StyleConstraint => "按照文体要求保持风格一致",
+            Aspect::FormatSpec => "以结构化格式呈现",
+            Aspect::Depth => "下面给出深入分析",
+            Aspect::TrapWarning => "首先指出逻辑陷阱和隐含假设",
+            Aspect::Completeness => "涵盖所有情况并考虑边界情况",
+            Aspect::Audience => "面向初学者照顾目标读者",
+            Aspect::Examples => "并举出具体例子",
+            Aspect::Context => "从相关背景说起",
+            Aspect::Conciseness => "保持简短",
+        }
+    }
+
+    /// Canonical phrase used when a complement *requests* this aspect.
+    pub fn request_phrase(self) -> &'static str {
+        match self {
+            Aspect::StepByStep => "please reason step by step",
+            Aspect::StyleConstraint => "respect the stylistic constraints of the context",
+            Aspect::FormatSpec => "present the answer in a structured format",
+            Aspect::Depth => "provide a detailed analysis in depth",
+            Aspect::TrapWarning => "watch for the logic trap and hidden assumptions",
+            Aspect::Completeness => "cover all cases including edge cases",
+            Aspect::Audience => "keep the intended audience in mind",
+            Aspect::Examples => "include concrete examples",
+            Aspect::Context => "supply the relevant background first",
+            Aspect::Conciseness => "keep it brief",
+        }
+    }
+
+    /// Canonical phrase a response uses when it *covers* this aspect.
+    pub fn coverage_phrase(self) -> &'static str {
+        match self {
+            Aspect::StepByStep => "Let us work step by step",
+            Aspect::StyleConstraint => "keeping a consistent style and formal tone",
+            Aspect::FormatSpec => "presented in a structured format",
+            Aspect::Depth => "here is a detailed analysis in depth",
+            Aspect::TrapWarning => "note the logic trap and hidden assumptions first",
+            Aspect::Completeness => "we cover all cases and consider edge cases",
+            Aspect::Audience => "explained for a beginner with the intended audience in mind",
+            Aspect::Examples => "with concrete examples",
+            Aspect::Context => "starting from the relevant background",
+            Aspect::Conciseness => "keep it brief",
+        }
+    }
+}
+
+impl std::fmt::Display for Aspect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A small set of aspects, stored as a bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AspectSet(u16);
+
+impl AspectSet {
+    /// The empty set.
+    pub const EMPTY: AspectSet = AspectSet(0);
+
+    /// Set containing every aspect.
+    pub fn all() -> AspectSet {
+        AspectSet((1u16 << Aspect::ALL.len()) - 1)
+    }
+
+    /// Inserts an aspect.
+    pub fn insert(&mut self, a: Aspect) {
+        self.0 |= 1 << a.index();
+    }
+
+    /// Removes an aspect.
+    pub fn remove(&mut self, a: Aspect) {
+        self.0 &= !(1 << a.index());
+    }
+
+    /// Membership test.
+    pub fn contains(self, a: Aspect) -> bool {
+        self.0 & (1 << a.index()) != 0
+    }
+
+    /// Set union.
+    pub fn union(self, other: AspectSet) -> AspectSet {
+        AspectSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn intersection(self, other: AspectSet) -> AspectSet {
+        AspectSet(self.0 & other.0)
+    }
+
+    /// Set difference `self − other`.
+    pub fn minus(self, other: AspectSet) -> AspectSet {
+        AspectSet(self.0 & !other.0)
+    }
+
+    /// Number of aspects in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True when empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates the members in index order.
+    pub fn iter(self) -> impl Iterator<Item = Aspect> {
+        Aspect::ALL.into_iter().filter(move |a| self.contains(*a))
+    }
+}
+
+impl FromIterator<Aspect> for AspectSet {
+    fn from_iter<T: IntoIterator<Item = Aspect>>(iter: T) -> Self {
+        let mut s = AspectSet::EMPTY;
+        for a in iter {
+            s.insert(a);
+        }
+        s
+    }
+}
+
+/// Detects which aspects `text` mentions, by trigger-phrase search over the
+/// punctuation-normalized lowercase text. Both the English and the Chinese
+/// lexicons are scanned, so detection is language-agnostic.
+pub fn detect_aspects(text: &str) -> AspectSet {
+    let canon = normalize_for_dedup(text);
+    let mut out = AspectSet::EMPTY;
+    for a in Aspect::ALL {
+        if a.trigger_phrases().iter().any(|p| canon.contains(p))
+            || a.trigger_phrases_zh().iter().any(|p| canon.contains(p))
+        {
+            out.insert(a);
+        }
+    }
+    out
+}
+
+/// The latent ground truth behind one prompt.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PromptMeta {
+    /// Task category.
+    pub category: Category,
+    /// Aspects an ideal answer must cover.
+    pub required: AspectSet,
+    /// Aspects the prompt text already states.
+    pub explicit: AspectSet,
+    /// How underspecified the prompt is, in `[0, 1]`.
+    pub ambiguity: f32,
+    /// Whether the question hides a logic trap (Case Study 1).
+    pub trap: bool,
+    /// Language of the prompt.
+    pub language: Language,
+    /// Topic key used for relevance checks (a few content words).
+    pub topic: String,
+}
+
+impl PromptMeta {
+    /// Aspects an ideal answer needs but the prompt does not state — exactly
+    /// what a good complementary prompt should supply.
+    pub fn deficiencies(&self) -> AspectSet {
+        self.required.minus(self.explicit)
+    }
+}
+
+/// Longest word prefix used as the lookup key.
+const KEY_WORDS: usize = 12;
+
+fn prefix_key(words: &[&str], k: usize) -> u64 {
+    fx_hash_str(&words[..k.min(words.len())].join(" "))
+}
+
+/// Registry mapping prompt text (by normalized word prefix) to its latent
+/// metadata. Simulated models consult the world to "understand" an input
+/// even after a complement has been appended to it.
+#[derive(Debug, Default, Clone)]
+pub struct World {
+    entries: HashMap<u64, PromptMeta>,
+}
+
+impl World {
+    /// Creates an empty world.
+    pub fn new() -> Self {
+        World::default()
+    }
+
+    /// Number of registered prompts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Registers a prompt's metadata. Re-registering the same prefix
+    /// overwrites (synthetic prompts are unique by construction).
+    pub fn register(&mut self, text: &str, meta: PromptMeta) {
+        let canon = normalize_for_dedup(text);
+        let words: Vec<&str> = canon.split(' ').filter(|w| !w.is_empty()).collect();
+        if words.is_empty() {
+            return;
+        }
+        let k = words.len().min(KEY_WORDS);
+        self.entries.insert(prefix_key(&words, k), meta);
+    }
+
+    /// Looks up the metadata of the prompt at the *start* of `text` (which
+    /// may have a complement appended). Tries the longest prefix first.
+    pub fn lookup(&self, text: &str) -> Option<&PromptMeta> {
+        let canon = normalize_for_dedup(text);
+        let words: Vec<&str> = canon.split(' ').filter(|w| !w.is_empty()).collect();
+        if words.is_empty() {
+            return None;
+        }
+        let max_k = words.len().min(KEY_WORDS);
+        for k in (1..=max_k).rev() {
+            if let Some(meta) = self.entries.get(&prefix_key(&words, k)) {
+                return Some(meta);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(cat: Category) -> PromptMeta {
+        PromptMeta {
+            category: cat,
+            required: [Aspect::Depth, Aspect::Examples].into_iter().collect(),
+            explicit: [Aspect::Examples].into_iter().collect(),
+            ambiguity: 0.4,
+            trap: false,
+            language: Language::English,
+            topic: "sorting algorithms".into(),
+        }
+    }
+
+    #[test]
+    fn category_indexing_round_trips() {
+        for (i, c) in Category::ALL.into_iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(Category::from_index(i), Some(c));
+        }
+        assert_eq!(Category::ALL.len(), 14);
+        assert!(Category::from_index(99).is_none());
+    }
+
+    #[test]
+    fn aspect_indexing_round_trips() {
+        for (i, a) in Aspect::ALL.into_iter().enumerate() {
+            assert_eq!(a.index(), i);
+            assert_eq!(Aspect::from_index(i), Some(a));
+        }
+    }
+
+    #[test]
+    fn aspect_set_operations() {
+        let mut s = AspectSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(Aspect::Depth);
+        s.insert(Aspect::Examples);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(Aspect::Depth));
+        s.remove(Aspect::Depth);
+        assert!(!s.contains(Aspect::Depth));
+        let t: AspectSet = [Aspect::Examples, Aspect::Context].into_iter().collect();
+        assert_eq!(s.union(t).len(), 2);
+        assert_eq!(s.intersection(t).len(), 1);
+        assert_eq!(t.minus(s).iter().next(), Some(Aspect::Context));
+        assert_eq!(AspectSet::all().len(), Aspect::ALL.len());
+    }
+
+    #[test]
+    fn trigger_phrases_do_not_collide_across_aspects() {
+        for a in Aspect::ALL {
+            for phrase in a.trigger_phrases().iter().chain(a.trigger_phrases_zh()) {
+                let detected = detect_aspects(phrase);
+                assert!(detected.contains(a), "{phrase:?} must trigger {a}");
+                assert_eq!(detected.len(), 1, "{phrase:?} triggers {detected:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn request_and_coverage_phrases_trigger_their_aspect() {
+        for a in Aspect::ALL {
+            assert!(detect_aspects(a.request_phrase()).contains(a), "request of {a}");
+            assert!(detect_aspects(a.coverage_phrase()).contains(a), "coverage of {a}");
+            assert!(detect_aspects(a.request_phrase_zh()).contains(a), "zh request of {a}");
+            assert!(detect_aspects(a.coverage_phrase_zh()).contains(a), "zh coverage of {a}");
+        }
+    }
+
+    #[test]
+    fn detect_aspects_in_sentence() {
+        let s = "Explain merge sort; please reason step by step and include concrete examples.";
+        let d = detect_aspects(s);
+        assert!(d.contains(Aspect::StepByStep));
+        assert!(d.contains(Aspect::Examples));
+        assert!(!d.contains(Aspect::TrapWarning));
+    }
+
+    #[test]
+    fn deficiencies_are_required_minus_explicit() {
+        let m = meta(Category::Coding);
+        let d = m.deficiencies();
+        assert!(d.contains(Aspect::Depth));
+        assert!(!d.contains(Aspect::Examples));
+    }
+
+    #[test]
+    fn world_lookup_survives_appended_complement() {
+        let mut w = World::new();
+        let prompt = "How do I sort a list of a million integers efficiently?";
+        w.register(prompt, meta(Category::Coding));
+        let augmented = format!("{prompt} Please reason step by step and cover all cases.");
+        let found = w.lookup(&augmented).expect("lookup must succeed");
+        assert_eq!(found.category, Category::Coding);
+    }
+
+    #[test]
+    fn world_lookup_short_prompt() {
+        let mut w = World::new();
+        w.register("hello there", meta(Category::Chitchat));
+        assert!(w.lookup("hello there, please keep it brief").is_some());
+        assert!(w.lookup("completely different text").is_none());
+    }
+
+    #[test]
+    fn world_empty_text() {
+        let mut w = World::new();
+        w.register("", meta(Category::Chitchat));
+        assert!(w.is_empty());
+        assert!(w.lookup("").is_none());
+    }
+}

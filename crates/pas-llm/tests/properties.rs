@@ -1,0 +1,123 @@
+//! Property-based tests for the simulation substrate: aspect detection,
+//! world lookup, Algorithm 1 loop invariants.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use pas_llm::world::{detect_aspects, Aspect, AspectSet, Category, PromptMeta, World};
+use pas_llm::{ChatModel, Critic, SimLlm, Teacher, TeacherConfig};
+use pas_text::lang::Language;
+
+fn arbitrary_aspect_set() -> impl Strategy<Value = AspectSet> {
+    prop::collection::vec(0usize..Aspect::ALL.len(), 0..4).prop_map(|idxs| {
+        idxs.into_iter()
+            .filter_map(Aspect::from_index)
+            .collect::<AspectSet>()
+    })
+}
+
+fn meta(required: AspectSet, topic: &str) -> PromptMeta {
+    PromptMeta {
+        category: Category::Knowledge,
+        required,
+        explicit: AspectSet::EMPTY,
+        ambiguity: 0.4,
+        trap: false,
+        language: Language::English,
+        topic: topic.to_string(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn request_phrases_round_trip_through_detection(set in arbitrary_aspect_set()) {
+        // A complement requesting exactly `set` is detected as ⊇ `set`.
+        let text = pas_llm::teacher::realize_complement("some topic", set);
+        let detected = detect_aspects(&text);
+        for a in set.iter() {
+            prop_assert!(detected.contains(a), "{a} lost in {text:?}");
+        }
+    }
+
+    #[test]
+    fn detection_is_monotone_under_concatenation(
+        a in "[a-z ]{0,60}", set in arbitrary_aspect_set()
+    ) {
+        let extra = pas_llm::teacher::realize_complement("thing", set);
+        let combined = format!("{a} {extra}");
+        let base = detect_aspects(&a);
+        let all = detect_aspects(&combined);
+        for asp in base.iter() {
+            prop_assert!(all.contains(asp), "concatenation lost {asp}");
+        }
+        for asp in set.iter() {
+            prop_assert!(all.contains(asp));
+        }
+    }
+
+    #[test]
+    fn world_lookup_is_prefix_stable(words in prop::collection::vec("[a-z]{2,9}", 4..14),
+                                     suffix in "[a-z ]{0,40}") {
+        let prompt = words.join(" ");
+        let mut world = World::new();
+        world.register(&prompt, meta(AspectSet::EMPTY, "topic"));
+        let augmented = format!("{prompt} {suffix}");
+        prop_assert!(world.lookup(&augmented).is_some(), "lost: {augmented:?}");
+    }
+
+    #[test]
+    fn sim_llm_is_a_pure_function_of_input(seedish in "[a-z]{3,10}") {
+        let prompt = format!("Tell me about {seedish} in detail");
+        let mut world = World::new();
+        world.register(&prompt, meta(AspectSet::EMPTY, &seedish));
+        let m = SimLlm::named("gpt-4-0613", Arc::new(world));
+        prop_assert_eq!(m.chat(&prompt), m.chat(&prompt));
+    }
+
+    #[test]
+    fn regeneration_loop_always_terminates_with_a_valid_pair(
+        topic in "[a-z]{4,10}", attempt_base in 0u64..50
+    ) {
+        // Even a very sloppy teacher converges under regeneration because
+        // attempts are independent draws.
+        let prompt = format!("Explain the mechanism of {topic} in modern systems");
+        let teacher = Teacher::new(
+            TeacherConfig { flaw_rate: 0.6, ..TeacherConfig::default() },
+            Arc::new(World::new()),
+        );
+        let critic = Critic::default();
+        let mut attempt = attempt_base;
+        let mut tries = 0;
+        loop {
+            let g = teacher.generate(&prompt, &[], attempt);
+            tries += 1;
+            if critic.is_correct_pair(&prompt, &g.text) {
+                break;
+            }
+            attempt += 1;
+            prop_assert!(tries < 200, "no valid pair after 200 draws");
+        }
+    }
+
+    #[test]
+    fn critic_never_rejects_clean_aspect_requests(
+        set in arbitrary_aspect_set(),
+        topic_words in prop::collection::vec("[a-z]{3,9}", 2..5),
+    ) {
+        // Clean complement: on-topic, bounded, non-contradictory.
+        let mut set = set;
+        set.remove(Aspect::Conciseness); // avoid the depth/brevity conflict rule
+        if set.is_empty() {
+            set.insert(Aspect::Context);
+        }
+        let topic = topic_words.join(" ");
+        let prompt = format!("Please explain {topic} for me");
+        let ape = pas_llm::teacher::realize_complement(&topic, set);
+        let critic = Critic::default();
+        let verdict = critic.judge(&prompt, &ape);
+        prop_assert!(verdict.accepted(), "rejected clean APE: {}", verdict.reason);
+    }
+}

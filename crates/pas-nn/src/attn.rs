@@ -1,0 +1,453 @@
+//! A single-head causal self-attention language model.
+//!
+//! The feed-forward LM in [`crate::lm`] conditions on a fixed window; this
+//! model attends over the whole (bounded) prefix:
+//!
+//! ```text
+//! x_t = tokenEmb[id_t] + posEmb[t]
+//! q = x·Wq,  k = x·Wk,  v = x·Wv
+//! a_t = softmax_{s ≤ t}( q_t·k_s / √d )
+//! c_t = Σ_s a_ts · v_s
+//! h_t = tanh(c_t·W1 + b1),  logits_t = h_t·W2 + b2
+//! ```
+//!
+//! Backpropagation through the masked-softmax attention is implemented by
+//! hand and verified against finite differences in the tests. The model is
+//! deliberately small (no residual stack, one head) — the point is a real
+//! attention fine-tune at workspace scale, not a GPT.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::layers::{tanh_backward, tanh_forward, Embedding, Linear};
+use crate::loss::{softmax, softmax_cross_entropy};
+use crate::matrix::Matrix;
+use crate::optim::Adam;
+
+/// Attention-LM hyper-parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttnLmConfig {
+    /// Vocabulary size.
+    pub vocab_size: usize,
+    /// Maximum attended context length.
+    pub context: usize,
+    /// Embedding / head dimension.
+    pub embed_dim: usize,
+    /// FFN hidden width.
+    pub hidden_dim: usize,
+    /// Initialization seed.
+    pub seed: u64,
+}
+
+impl Default for AttnLmConfig {
+    fn default() -> Self {
+        AttnLmConfig { vocab_size: 256, context: 16, embed_dim: 16, hidden_dim: 32, seed: 0xa77 }
+    }
+}
+
+/// The attention LM.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttnLm {
+    config: AttnLmConfig,
+    token_emb: Embedding,
+    pos_emb: Embedding,
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    ffn1: Linear,
+    ffn2: Linear,
+}
+
+/// Forward-pass cache for one sequence.
+struct Cache {
+    /// Input embeddings (T×E).
+    x: Matrix,
+    /// Queries, keys, values (T×E each).
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    /// Attention weights (T×T, causal lower-triangular rows).
+    attn: Matrix,
+    /// Context vectors (T×E).
+    ctx: Matrix,
+    /// FFN activations (T×H).
+    h: Matrix,
+}
+
+impl AttnLm {
+    /// Creates a freshly initialized model.
+    pub fn new(config: AttnLmConfig) -> Self {
+        assert!(config.vocab_size > 1, "vocab too small");
+        assert!(config.context > 0 && config.embed_dim > 0, "bad dimensions");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let e = config.embed_dim;
+        AttnLm {
+            token_emb: Embedding::new(config.vocab_size, e, &mut rng),
+            pos_emb: Embedding::new(config.context, e, &mut rng),
+            wq: Linear::new(e, e, &mut rng),
+            wk: Linear::new(e, e, &mut rng),
+            wv: Linear::new(e, e, &mut rng),
+            ffn1: Linear::new(e, config.hidden_dim, &mut rng),
+            ffn2: Linear::new(config.hidden_dim, config.vocab_size, &mut rng),
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AttnLmConfig {
+        &self.config
+    }
+
+    /// Total trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        let lin = |l: &Linear| l.weight.rows() * l.weight.cols() + l.bias.len();
+        self.token_emb.table.rows() * self.token_emb.table.cols()
+            + self.pos_emb.table.rows() * self.pos_emb.table.cols()
+            + lin(&self.wq)
+            + lin(&self.wk)
+            + lin(&self.wv)
+            + lin(&self.ffn1)
+            + lin(&self.ffn2)
+    }
+
+    /// Clips `ids` to the trailing `context` tokens.
+    fn clip<'a>(&self, ids: &'a [u32]) -> &'a [u32] {
+        let c = self.config.context;
+        if ids.len() > c {
+            &ids[ids.len() - c..]
+        } else {
+            ids
+        }
+    }
+
+    fn forward(&self, ids: &[u32]) -> (Matrix, Cache) {
+        let ids = self.clip(ids);
+        let t_len = ids.len();
+        let e = self.config.embed_dim;
+        let scale = 1.0 / (e as f32).sqrt();
+
+        let mut x = Matrix::zeros(t_len, e);
+        for (t, &id) in ids.iter().enumerate() {
+            let tok = self.token_emb.table.row(id as usize);
+            let pos = self.pos_emb.table.row(t);
+            for (o, (&a, &b)) in x.row_mut(t).iter_mut().zip(tok.iter().zip(pos)) {
+                *o = a + b;
+            }
+        }
+        let q = self.wq.forward(&x);
+        let k = self.wk.forward(&x);
+        let v = self.wv.forward(&x);
+
+        // Causal attention weights.
+        let mut attn = Matrix::zeros(t_len, t_len);
+        for t in 0..t_len {
+            let mut scores = Vec::with_capacity(t + 1);
+            for s in 0..=t {
+                let dot: f32 = q.row(t).iter().zip(k.row(s)).map(|(a, b)| a * b).sum();
+                scores.push(dot * scale);
+            }
+            let weights = softmax(&scores);
+            for (s, w) in weights.into_iter().enumerate() {
+                attn.set(t, s, w);
+            }
+        }
+
+        // Context vectors.
+        let ctx = attn.matmul(&v);
+        let mut h_pre = self.ffn1.forward(&ctx);
+        let h = tanh_forward(&mut h_pre);
+        let logits = self.ffn2.forward(&h);
+        (logits, Cache { x, q, k, v, attn, ctx, h })
+    }
+
+    /// Logits for the next token after `prefix` (uses the last position).
+    pub fn logits(&self, prefix: &[u32]) -> Vec<f32> {
+        if prefix.is_empty() {
+            // No context at all: score from a lone padding token.
+            let (logits, _) = self.forward(&[0]);
+            return logits.row(0).to_vec();
+        }
+        let (logits, _) = self.forward(prefix);
+        logits.row(logits.rows() - 1).to_vec()
+    }
+
+    /// Greedy next-token prediction.
+    pub fn predict_next(&self, prefix: &[u32]) -> u32 {
+        let l = self.logits(prefix);
+        l.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i as u32)
+            .unwrap_or(0)
+    }
+
+    /// One training pass over `sequences` (one Adam step per sequence).
+    /// Returns the mean next-token loss.
+    pub fn train_epoch(&mut self, sequences: &[Vec<u32>], adam: &mut Adam) -> f32 {
+        let mut total = 0.0f32;
+        let mut count = 0usize;
+        for seq in sequences {
+            if seq.len() < 2 {
+                continue;
+            }
+            let loss = self.train_sequence(seq, adam);
+            total += loss * (seq.len() - 1) as f32;
+            count += seq.len() - 1;
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f32
+        }
+    }
+
+    fn zero_grads(&mut self) {
+        self.token_emb.zero_grad();
+        self.pos_emb.zero_grad();
+        for l in [&mut self.wq, &mut self.wk, &mut self.wv, &mut self.ffn1, &mut self.ffn2] {
+            l.zero_grad();
+        }
+    }
+
+    /// Computes the loss and accumulates all parameter gradients for one
+    /// sequence (positions `0..T-1` predict `1..T`). Exposed at crate level
+    /// for the finite-difference tests.
+    pub(crate) fn loss_and_backward(&mut self, seq: &[u32]) -> f32 {
+        let seq = self.clip(seq);
+        let t_len = seq.len() - 1;
+        let inputs = &seq[..t_len];
+        let targets = &seq[1..];
+        let e = self.config.embed_dim;
+        let scale = 1.0 / (e as f32).sqrt();
+
+        let (logits, cache) = self.forward(inputs);
+        let (loss, grad_logits) = softmax_cross_entropy(&logits, targets);
+
+        self.zero_grads();
+        // FFN backward.
+        let grad_h = self.ffn2.backward(&cache.h, &grad_logits);
+        let grad_h_pre = tanh_backward(&grad_h, &cache.h);
+        let grad_ctx = self.ffn1.backward(&cache.ctx, &grad_h_pre);
+
+        // Attention backward.
+        // ctx = attn · v  ⇒  d_attn = d_ctx · vᵀ ; d_v = attnᵀ · d_ctx
+        let grad_attn_full = grad_ctx.matmul_t(&cache.v);
+        let grad_v = cache.attn.t_matmul(&grad_ctx);
+        // Softmax backward per causal row.
+        let mut grad_scores = Matrix::zeros(t_len, t_len);
+        for t in 0..t_len {
+            let mut dot = 0.0f32;
+            for s in 0..=t {
+                dot += cache.attn.get(t, s) * grad_attn_full.get(t, s);
+            }
+            for s in 0..=t {
+                let a = cache.attn.get(t, s);
+                grad_scores.set(t, s, a * (grad_attn_full.get(t, s) - dot) * scale);
+            }
+        }
+        // scores = q·kᵀ (scaled) ⇒ d_q = d_scores·k ; d_k = d_scoresᵀ·q
+        let grad_q = grad_scores.matmul(&cache.k);
+        let grad_k = grad_scores.t_matmul(&cache.q);
+
+        // Projection backward; input gradients accumulate across q/k/v.
+        let gx_q = self.wq.backward(&cache.x, &grad_q);
+        let gx_k = self.wk.backward(&cache.x, &grad_k);
+        let gx_v = self.wv.backward(&cache.x, &grad_v);
+
+        // Embedding scatter: x_t = tokEmb[id_t] + posEmb[t].
+        for (t, &id) in inputs.iter().enumerate() {
+            let mut grad_row = vec![0.0f32; e];
+            for (g, ((a, b), c)) in grad_row
+                .iter_mut()
+                .zip(gx_q.row(t).iter().zip(gx_k.row(t)).zip(gx_v.row(t)))
+            {
+                *g = a + b + c;
+            }
+            let gm = Matrix::from_vec(1, e, grad_row);
+            self.token_emb.backward_concat(&[id], &gm);
+            self.pos_emb.backward_concat(&[t as u32], &gm);
+        }
+        loss
+    }
+
+    fn train_sequence(&mut self, seq: &[u32], adam: &mut Adam) -> f32 {
+        let loss = self.loss_and_backward(seq);
+        adam.begin_step();
+        adam.update(self.token_emb.table.data_mut(), self.token_emb.grad.data());
+        adam.update(self.pos_emb.table.data_mut(), self.pos_emb.grad.data());
+        // Split borrows: take grads out as owned clones (small tensors).
+        macro_rules! step {
+            ($layer:expr) => {{
+                let gw = $layer.grad_weight.data().to_vec();
+                let gb = $layer.grad_bias.clone();
+                adam.update($layer.weight.data_mut(), &gw);
+                adam.update(&mut $layer.bias, &gb);
+            }};
+        }
+        step!(self.wq);
+        step!(self.wk);
+        step!(self.wv);
+        step!(self.ffn1);
+        step!(self.ffn2);
+        loss
+    }
+
+    /// Mean next-token NLL of `seq`.
+    pub fn nll(&self, seq: &[u32]) -> f32 {
+        let seq = self.clip(seq);
+        if seq.len() < 2 {
+            return 0.0;
+        }
+        let (logits, _) = self.forward(&seq[..seq.len() - 1]);
+        let mut total = 0.0f32;
+        for (t, &target) in seq[1..].iter().enumerate() {
+            let probs = softmax(logits.row(t));
+            total += -(probs[target as usize].max(1e-12)).ln();
+        }
+        total / (seq.len() - 1) as f32
+    }
+
+    /// Greedy autoregressive generation (no sampling — the attention model
+    /// is used for representation comparisons, not production decoding).
+    pub fn generate(&self, prefix: &[u32], max_tokens: usize, stop: Option<u32>) -> Vec<u32> {
+        let mut seq = prefix.to_vec();
+        let mut out = Vec::new();
+        for _ in 0..max_tokens {
+            let next = self.predict_next(&seq);
+            if Some(next) == stop {
+                break;
+            }
+            out.push(next);
+            seq.push(next);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::AdamConfig;
+
+    fn tiny() -> AttnLm {
+        AttnLm::new(AttnLmConfig {
+            vocab_size: 9,
+            context: 6,
+            embed_dim: 6,
+            hidden_dim: 10,
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn attention_rows_are_causal_distributions() {
+        let lm = tiny();
+        let (_, cache) = lm.forward(&[1, 2, 3, 4]);
+        for t in 0..4 {
+            let row_sum: f32 = (0..4).map(|s| cache.attn.get(t, s)).sum();
+            assert!((row_sum - 1.0).abs() < 1e-5, "row {t} sums to {row_sum}");
+            for s in (t + 1)..4 {
+                assert_eq!(cache.attn.get(t, s), 0.0, "future leak at ({t},{s})");
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_check_against_finite_differences() {
+        let mut lm = tiny();
+        let seq = vec![1u32, 3, 2, 5, 4];
+        let _ = lm.loss_and_backward(&seq);
+        let eps = 1e-2;
+
+        // Check a handful of parameters across every tensor family.
+        let check = |lm: &AttnLm, get: &dyn Fn(&AttnLm) -> f32, set: &dyn Fn(&mut AttnLm, f32), analytic: f32, label: &str| {
+            let base = get(lm);
+            let mut plus = lm.clone();
+            set(&mut plus, base + eps);
+            let mut minus = lm.clone();
+            set(&mut minus, base - eps);
+            let numeric = (plus.loss_and_backward(&seq) - minus.loss_and_backward(&seq)) / (2.0 * eps);
+            assert!(
+                (analytic - numeric).abs() < 2e-2,
+                "{label}: analytic {analytic} vs numeric {numeric}"
+            );
+        };
+
+        let g = lm.wq.grad_weight.get(1, 2);
+        check(&lm, &|m| m.wq.weight.get(1, 2), &|m, v| m.wq.weight.set(1, 2, v), g, "Wq[1,2]");
+        let g = lm.wk.grad_weight.get(0, 3);
+        check(&lm, &|m| m.wk.weight.get(0, 3), &|m, v| m.wk.weight.set(0, 3, v), g, "Wk[0,3]");
+        let g = lm.wv.grad_weight.get(2, 1);
+        check(&lm, &|m| m.wv.weight.get(2, 1), &|m, v| m.wv.weight.set(2, 1, v), g, "Wv[2,1]");
+        let g = lm.ffn1.grad_weight.get(4, 5);
+        check(&lm, &|m| m.ffn1.weight.get(4, 5), &|m, v| m.ffn1.weight.set(4, 5, v), g, "W1[4,5]");
+        let g = lm.token_emb.grad.get(3, 0);
+        check(
+            &lm,
+            &|m| m.token_emb.table.get(3, 0),
+            &|m, v| m.token_emb.table.set(3, 0, v),
+            g,
+            "tokEmb[3,0]",
+        );
+        let g = lm.pos_emb.grad.get(1, 2);
+        check(
+            &lm,
+            &|m| m.pos_emb.table.get(1, 2),
+            &|m, v| m.pos_emb.table.set(1, 2, v),
+            g,
+            "posEmb[1,2]",
+        );
+    }
+
+    #[test]
+    fn training_memorizes_a_short_sequence() {
+        let mut lm = tiny();
+        let mut adam = Adam::new(AdamConfig { lr: 0.03, ..AdamConfig::default() });
+        let seq = vec![1u32, 2, 3, 4, 5, 6, 7, 8];
+        let before = lm.nll(&seq);
+        for _ in 0..250 {
+            lm.train_epoch(std::slice::from_ref(&seq), &mut adam);
+        }
+        let after = lm.nll(&seq);
+        assert!(after < before * 0.3, "nll {before} → {after}");
+        assert_eq!(lm.predict_next(&[1, 2, 3]), 4);
+    }
+
+    #[test]
+    fn long_prefixes_are_clipped_to_context() {
+        let lm = tiny();
+        let long: Vec<u32> = (0..20).map(|i| (i % 9) as u32).collect();
+        let l = lm.logits(&long);
+        assert_eq!(l.len(), 9);
+        // Clipped prefix equals the trailing window's logits.
+        let window = &long[long.len() - 6..];
+        assert_eq!(lm.logits(window), l);
+    }
+
+    #[test]
+    fn generation_respects_stop_token() {
+        let mut lm = tiny();
+        let mut adam = Adam::new(AdamConfig { lr: 0.05, ..AdamConfig::default() });
+        for _ in 0..200 {
+            lm.train_epoch(&[vec![3, 7, 2]], &mut adam);
+        }
+        let out = lm.generate(&[3], 10, Some(2));
+        assert!(!out.contains(&2));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let lm = tiny();
+        let json = serde_json::to_string(&lm).unwrap();
+        let back: AttnLm = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.logits(&[1, 2]), lm.logits(&[1, 2]));
+        assert_eq!(back.parameter_count(), lm.parameter_count());
+    }
+
+    #[test]
+    fn empty_prefix_is_handled() {
+        let lm = tiny();
+        assert_eq!(lm.logits(&[]).len(), 9);
+    }
+}

@@ -1,0 +1,341 @@
+//! Trainable text classifiers over dense (hashed) feature vectors.
+//!
+//! Two models back the PAS pipeline:
+//!
+//! - [`SoftmaxClassifier`] — single-label, used for the 14-way prompt
+//!   category classifier of §3.1 (the paper fine-tunes BaiChuan-13B on 60k
+//!   labeled examples; we train this on the synthetic labeled set).
+//! - [`MultiLabelClassifier`] — independent sigmoid per label, used as the
+//!   PAS aspect model: given a prompt's features, which complement aspects
+//!   should the complementary prompt supply?
+//!
+//! Both are single linear layers trained with Adam; featurization lives in
+//! `pas-data` so this crate stays purely numeric.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::layers::Linear;
+use crate::loss::{bce_with_logits, sigmoid, softmax, softmax_cross_entropy};
+use crate::matrix::Matrix;
+use crate::optim::{Adam, AdamConfig};
+
+/// Shared training parameters.
+#[derive(Debug, Clone)]
+pub struct TrainParams {
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for TrainParams {
+    fn default() -> Self {
+        TrainParams { epochs: 12, batch_size: 32, lr: 0.05, seed: 0xc1a55 }
+    }
+}
+
+fn batches(n: usize, batch_size: usize, rng: &mut StdRng) -> Vec<Vec<usize>> {
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    order
+        .chunks(batch_size.max(1))
+        .map(|c| c.to_vec())
+        .collect()
+}
+
+fn stack_rows(features: &[Vec<f32>], idxs: &[usize], dim: usize) -> Matrix {
+    let mut x = Matrix::zeros(idxs.len(), dim);
+    for (r, &i) in idxs.iter().enumerate() {
+        x.row_mut(r).copy_from_slice(&features[i]);
+    }
+    x
+}
+
+/// Single-label linear classifier with softmax output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SoftmaxClassifier {
+    layer: Linear,
+    classes: usize,
+}
+
+impl SoftmaxClassifier {
+    /// Creates a classifier for `feature_dim`-dimensional inputs and
+    /// `classes` output classes.
+    pub fn new(feature_dim: usize, classes: usize, seed: u64) -> Self {
+        assert!(classes >= 2, "need at least two classes");
+        let mut rng = StdRng::seed_from_u64(seed);
+        SoftmaxClassifier { layer: Linear::new(feature_dim, classes, &mut rng), classes }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Input feature dimensionality.
+    pub fn feature_dim(&self) -> usize {
+        self.layer.in_dim()
+    }
+
+    /// Trains on `(features, label)` pairs; returns the final-epoch mean loss.
+    pub fn train(&mut self, features: &[Vec<f32>], labels: &[u32], params: &TrainParams) -> f32 {
+        assert_eq!(features.len(), labels.len(), "features/labels length mismatch");
+        if features.is_empty() {
+            return 0.0;
+        }
+        let dim = self.feature_dim();
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut adam = Adam::new(AdamConfig { lr: params.lr, ..AdamConfig::default() });
+        let mut epoch_loss = 0.0;
+        for _ in 0..params.epochs {
+            let mut total = 0.0f32;
+            let mut count = 0usize;
+            for batch in batches(features.len(), params.batch_size, &mut rng) {
+                let x = stack_rows(features, &batch, dim);
+                let y: Vec<u32> = batch.iter().map(|&i| labels[i]).collect();
+                let logits = self.layer.forward(&x);
+                let (loss, grad) = softmax_cross_entropy(&logits, &y);
+                self.layer.zero_grad();
+                let _ = self.layer.backward(&x, &grad);
+                adam.begin_step();
+                adam.update(self.layer.weight.data_mut(), self.layer.grad_weight.data());
+                adam.update(&mut self.layer.bias, &self.layer.grad_bias.clone());
+                total += loss * batch.len() as f32;
+                count += batch.len();
+            }
+            epoch_loss = total / count as f32;
+        }
+        epoch_loss
+    }
+
+    /// Class probabilities for one feature vector.
+    pub fn probabilities(&self, features: &[f32]) -> Vec<f32> {
+        let x = Matrix::from_vec(1, features.len(), features.to_vec());
+        softmax(self.layer.forward(&x).row(0))
+    }
+
+    /// Most likely class.
+    pub fn predict(&self, features: &[f32]) -> u32 {
+        let p = self.probabilities(features);
+        p.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i as u32)
+            .unwrap_or(0)
+    }
+
+    /// Accuracy over a labeled set.
+    pub fn accuracy(&self, features: &[Vec<f32>], labels: &[u32]) -> f64 {
+        if features.is_empty() {
+            return 0.0;
+        }
+        let hits = features
+            .iter()
+            .zip(labels)
+            .filter(|(f, &l)| self.predict(f) == l)
+            .count();
+        hits as f64 / features.len() as f64
+    }
+}
+
+/// Multi-label linear classifier with independent sigmoids.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiLabelClassifier {
+    layer: Linear,
+    labels: usize,
+}
+
+impl MultiLabelClassifier {
+    /// Creates a classifier for `feature_dim` inputs and `labels` outputs.
+    pub fn new(feature_dim: usize, labels: usize, seed: u64) -> Self {
+        assert!(labels >= 1, "need at least one label");
+        let mut rng = StdRng::seed_from_u64(seed);
+        MultiLabelClassifier { layer: Linear::new(feature_dim, labels, &mut rng), labels }
+    }
+
+    /// Number of labels.
+    pub fn label_count(&self) -> usize {
+        self.labels
+    }
+
+    /// Input feature dimensionality.
+    pub fn feature_dim(&self) -> usize {
+        self.layer.in_dim()
+    }
+
+    /// Trains on `(features, target-bitmask-rows)`; `targets[i]` has one 0/1
+    /// entry per label. Returns the final-epoch mean loss.
+    pub fn train(&mut self, features: &[Vec<f32>], targets: &[Vec<f32>], params: &TrainParams) -> f32 {
+        assert_eq!(features.len(), targets.len(), "features/targets length mismatch");
+        if features.is_empty() {
+            return 0.0;
+        }
+        let dim = self.feature_dim();
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut adam = Adam::new(AdamConfig { lr: params.lr, ..AdamConfig::default() });
+        let mut epoch_loss = 0.0;
+        for _ in 0..params.epochs {
+            let mut total = 0.0f32;
+            let mut count = 0usize;
+            for batch in batches(features.len(), params.batch_size, &mut rng) {
+                let x = stack_rows(features, &batch, dim);
+                let mut y = Matrix::zeros(batch.len(), self.labels);
+                for (r, &i) in batch.iter().enumerate() {
+                    y.row_mut(r).copy_from_slice(&targets[i]);
+                }
+                let logits = self.layer.forward(&x);
+                let (loss, grad) = bce_with_logits(&logits, &y);
+                self.layer.zero_grad();
+                let _ = self.layer.backward(&x, &grad);
+                adam.begin_step();
+                adam.update(self.layer.weight.data_mut(), self.layer.grad_weight.data());
+                adam.update(&mut self.layer.bias, &self.layer.grad_bias.clone());
+                total += loss * batch.len() as f32;
+                count += batch.len();
+            }
+            epoch_loss = total / count as f32;
+        }
+        epoch_loss
+    }
+
+    /// Per-label probabilities for one feature vector.
+    pub fn predict_probs(&self, features: &[f32]) -> Vec<f32> {
+        let x = Matrix::from_vec(1, features.len(), features.to_vec());
+        self.layer.forward(&x).row(0).iter().map(|&l| sigmoid(l)).collect()
+    }
+
+    /// Labels whose probability exceeds `threshold`.
+    pub fn predict_labels(&self, features: &[f32], threshold: f32) -> Vec<usize> {
+        self.predict_probs(features)
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, p)| (p >= threshold).then_some(i))
+            .collect()
+    }
+
+    /// Micro-averaged F1 over a labeled set at `threshold`.
+    pub fn micro_f1(&self, features: &[Vec<f32>], targets: &[Vec<f32>], threshold: f32) -> f64 {
+        let (mut tp, mut fp, mut fn_) = (0u64, 0u64, 0u64);
+        for (f, t) in features.iter().zip(targets) {
+            let probs = self.predict_probs(f);
+            for (&p, &truth) in probs.iter().zip(t) {
+                let pred = p >= threshold;
+                let actual = truth >= 0.5;
+                match (pred, actual) {
+                    (true, true) => tp += 1,
+                    (true, false) => fp += 1,
+                    (false, true) => fn_ += 1,
+                    (false, false) => {}
+                }
+            }
+        }
+        if tp == 0 {
+            return 0.0;
+        }
+        let precision = tp as f64 / (tp + fp) as f64;
+        let recall = tp as f64 / (tp + fn_) as f64;
+        2.0 * precision * recall / (precision + recall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    /// Linearly separable 3-class toy set: class = argmax coordinate.
+    fn toy_multiclass(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<u32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let v: Vec<f32> = (0..3).map(|_| rng.random::<f32>()).collect();
+            let label = v
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i as u32)
+                .unwrap();
+            xs.push(v);
+            ys.push(label);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn softmax_classifier_learns_separable_data() {
+        let (xs, ys) = toy_multiclass(300, 5);
+        let mut clf = SoftmaxClassifier::new(3, 3, 1);
+        clf.train(&xs, &ys, &TrainParams { epochs: 40, ..TrainParams::default() });
+        assert!(clf.accuracy(&xs, &ys) > 0.9, "accuracy {}", clf.accuracy(&xs, &ys));
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let clf = SoftmaxClassifier::new(4, 3, 2);
+        let p = clf.probabilities(&[0.1, 0.2, 0.3, 0.4]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn multilabel_learns_identity_mapping() {
+        // Each label fires iff the matching feature is high.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut xs = Vec::new();
+        let mut ts = Vec::new();
+        for _ in 0..400 {
+            let v: Vec<f32> = (0..4).map(|_| if rng.random::<f32>() > 0.5 { 1.0 } else { 0.0 }).collect();
+            ts.push(v.clone());
+            xs.push(v);
+        }
+        let mut clf = MultiLabelClassifier::new(4, 4, 3);
+        clf.train(&xs, &ts, &TrainParams { epochs: 30, ..TrainParams::default() });
+        let f1 = clf.micro_f1(&xs, &ts, 0.5);
+        assert!(f1 > 0.95, "micro-F1 {f1}");
+    }
+
+    #[test]
+    fn predict_labels_thresholds() {
+        let clf = MultiLabelClassifier::new(2, 3, 0);
+        let labels = clf.predict_labels(&[0.0, 0.0], 2.0); // impossible threshold
+        assert!(labels.is_empty());
+        let all = clf.predict_labels(&[0.0, 0.0], 0.0);
+        assert_eq!(all, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn training_on_empty_set_is_noop() {
+        let mut clf = SoftmaxClassifier::new(2, 2, 0);
+        let loss = clf.train(&[], &[], &TrainParams::default());
+        assert_eq!(loss, 0.0);
+    }
+
+    #[test]
+    fn noisier_labels_reduce_accuracy() {
+        // The property the PAS ablation rests on: label noise in training
+        // data degrades the learned model.
+        let (xs, ys) = toy_multiclass(300, 21);
+        let mut noisy = ys.clone();
+        let mut rng = StdRng::seed_from_u64(99);
+        for y in noisy.iter_mut() {
+            if rng.random::<f32>() < 0.35 {
+                *y = rng.random_range(0..3);
+            }
+        }
+        let params = TrainParams { epochs: 40, ..TrainParams::default() };
+        let mut clean_clf = SoftmaxClassifier::new(3, 3, 1);
+        clean_clf.train(&xs, &ys, &params);
+        let mut noisy_clf = SoftmaxClassifier::new(3, 3, 1);
+        noisy_clf.train(&xs, &noisy, &params);
+        let (vx, vy) = toy_multiclass(200, 77);
+        assert!(clean_clf.accuracy(&vx, &vy) > noisy_clf.accuracy(&vx, &vy));
+    }
+}

@@ -1,0 +1,261 @@
+//! Trainable layers with manual backward passes.
+//!
+//! Each layer owns its parameters and accumulates gradients; an optimizer
+//! from [`crate::optim`] later consumes `(param, grad)` pairs. Initialization
+//! is seeded Xavier-uniform so training runs are reproducible.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Matrix;
+
+fn xavier(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    let bound = (6.0f32 / (rows + cols) as f32).sqrt();
+    let data = (0..rows * cols)
+        .map(|_| rng.random::<f32>() * 2.0 * bound - bound)
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Fully connected layer `y = x·W + b` with `W: in×out`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    /// Weight matrix, `in_dim × out_dim`.
+    pub weight: Matrix,
+    /// Bias vector, length `out_dim`.
+    pub bias: Vec<f32>,
+    /// Accumulated weight gradient.
+    pub grad_weight: Matrix,
+    /// Accumulated bias gradient.
+    pub grad_bias: Vec<f32>,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-uniform weights from `rng`.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        Linear {
+            weight: xavier(in_dim, out_dim, rng),
+            bias: vec![0.0; out_dim],
+            grad_weight: Matrix::zeros(in_dim, out_dim),
+            grad_bias: vec![0.0; out_dim],
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// Forward pass over a batch (`batch × in_dim` → `batch × out_dim`).
+    pub fn forward(&self, input: &Matrix) -> Matrix {
+        let mut out = input.matmul(&self.weight);
+        out.add_row_in_place(&self.bias);
+        out
+    }
+
+    /// Backward pass: accumulates parameter gradients and returns the
+    /// gradient w.r.t. the input. `input` must be the forward-pass input.
+    pub fn backward(&mut self, input: &Matrix, grad_out: &Matrix) -> Matrix {
+        // dW = xᵀ · dy ; db = Σ rows dy ; dx = dy · Wᵀ
+        let gw = input.t_matmul(grad_out);
+        for (a, b) in self.grad_weight.data_mut().iter_mut().zip(gw.data()) {
+            *a += b;
+        }
+        for (a, b) in self.grad_bias.iter_mut().zip(grad_out.col_sums()) {
+            *a += b;
+        }
+        grad_out.matmul_t(&self.weight)
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_weight.data_mut().fill(0.0);
+        self.grad_bias.fill(0.0);
+    }
+}
+
+/// Token embedding table, `vocab × dim`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Embedding {
+    /// The table, one row per token id.
+    pub table: Matrix,
+    /// Accumulated gradient (dense; vocabularies here are small).
+    pub grad: Matrix,
+}
+
+impl Embedding {
+    /// Creates a table with Xavier-uniform rows from `rng`.
+    pub fn new(vocab: usize, dim: usize, rng: &mut StdRng) -> Self {
+        Embedding { table: xavier(vocab, dim, rng), grad: Matrix::zeros(vocab, dim) }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.table.cols()
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.table.rows()
+    }
+
+    /// Looks up and concatenates `ids` into one row vector
+    /// (`1 × ids.len()·dim`). Out-of-range ids panic.
+    pub fn lookup_concat(&self, ids: &[u32]) -> Matrix {
+        let dim = self.dim();
+        let mut data = Vec::with_capacity(ids.len() * dim);
+        for &id in ids {
+            data.extend_from_slice(self.table.row(id as usize));
+        }
+        Matrix::from_vec(1, ids.len() * dim, data)
+    }
+
+    /// Scatters the gradient of a concatenated lookup back into the table
+    /// gradient. `grad_out` must be `1 × ids.len()·dim`.
+    pub fn backward_concat(&mut self, ids: &[u32], grad_out: &Matrix) {
+        let dim = self.dim();
+        assert_eq!(grad_out.cols(), ids.len() * dim, "gradient width mismatch");
+        for (slot, &id) in ids.iter().enumerate() {
+            let src = &grad_out.data()[slot * dim..(slot + 1) * dim];
+            let dst = self.grad.row_mut(id as usize);
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.data_mut().fill(0.0);
+    }
+}
+
+/// In-place tanh; returns a copy of the activations for the backward pass.
+pub fn tanh_forward(m: &mut Matrix) -> Matrix {
+    for x in m.data_mut() {
+        *x = x.tanh();
+    }
+    m.clone()
+}
+
+/// Backward through tanh: `dx = dy ⊙ (1 − a²)` where `a` is the activation.
+pub fn tanh_backward(grad_out: &Matrix, activations: &Matrix) -> Matrix {
+    let mut g = grad_out.clone();
+    let deriv = activations.map(|a| 1.0 - a * a);
+    g.mul_in_place(&deriv);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn linear_forward_shape_and_bias() {
+        let mut r = rng();
+        let mut l = Linear::new(3, 2, &mut r);
+        l.bias = vec![1.0, -1.0];
+        let x = Matrix::zeros(4, 3);
+        let y = l.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (4, 2));
+        assert_eq!(y.row(0), &[1.0, -1.0]);
+    }
+
+    #[test]
+    fn linear_gradient_check_finite_difference() {
+        let mut r = rng();
+        let mut l = Linear::new(3, 2, &mut r);
+        let x = Matrix::from_vec(1, 3, vec![0.5, -0.3, 0.8]);
+        // Loss = sum of outputs; dL/dy = ones.
+        let ones = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        l.zero_grad();
+        let _ = l.backward(&x, &ones);
+        let analytic = l.grad_weight.get(1, 0);
+        // Finite difference on weight (1,0).
+        let eps = 1e-3;
+        let loss = |l: &Linear| l.forward(&x).data().iter().sum::<f32>();
+        let mut lp = l.clone();
+        lp.weight.set(1, 0, lp.weight.get(1, 0) + eps);
+        let mut lm = l.clone();
+        lm.weight.set(1, 0, lm.weight.get(1, 0) - eps);
+        let numeric = (loss(&lp) - loss(&lm)) / (2.0 * eps);
+        assert!((analytic - numeric).abs() < 1e-2, "analytic {analytic} vs numeric {numeric}");
+    }
+
+    #[test]
+    fn linear_input_gradient_check() {
+        let mut r = rng();
+        let mut l = Linear::new(2, 2, &mut r);
+        let x = Matrix::from_vec(1, 2, vec![0.4, -0.6]);
+        let ones = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let dx = l.backward(&x, &ones);
+        let eps = 1e-3;
+        let loss = |x: &Matrix| l.forward(x).data().iter().sum::<f32>();
+        let mut xp = x.clone();
+        xp.set(0, 1, xp.get(0, 1) + eps);
+        let mut xm = x.clone();
+        xm.set(0, 1, xm.get(0, 1) - eps);
+        let numeric = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+        assert!((dx.get(0, 1) - numeric).abs() < 1e-2);
+    }
+
+    #[test]
+    fn embedding_lookup_concat_shape() {
+        let mut r = rng();
+        let e = Embedding::new(10, 4, &mut r);
+        let m = e.lookup_concat(&[1, 5, 1]);
+        assert_eq!((m.rows(), m.cols()), (1, 12));
+        assert_eq!(&m.data()[0..4], &m.data()[8..12], "same id, same slice");
+    }
+
+    #[test]
+    fn embedding_backward_accumulates_per_id() {
+        let mut r = rng();
+        let mut e = Embedding::new(5, 2, &mut r);
+        let grad = Matrix::from_vec(1, 4, vec![1.0, 1.0, 2.0, 2.0]);
+        e.backward_concat(&[3, 3], &grad);
+        assert_eq!(e.grad.row(3), &[3.0, 3.0]);
+        assert_eq!(e.grad.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn tanh_round_trip_gradient() {
+        let mut m = Matrix::from_vec(1, 2, vec![0.3, -1.2]);
+        let act = tanh_forward(&mut m);
+        let g = tanh_backward(&Matrix::from_vec(1, 2, vec![1.0, 1.0]), &act);
+        // d tanh(0.3)/dx = 1 - tanh(0.3)^2
+        let expect = 1.0 - (0.3f32).tanh().powi(2);
+        assert!((g.get(0, 0) - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut r = rng();
+        let mut l = Linear::new(2, 2, &mut r);
+        let x = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let g = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let _ = l.backward(&x, &g);
+        assert!(l.grad_weight.frobenius_norm() > 0.0);
+        l.zero_grad();
+        assert_eq!(l.grad_weight.frobenius_norm(), 0.0);
+    }
+
+    #[test]
+    fn seeded_init_is_reproducible() {
+        let a = Linear::new(4, 3, &mut StdRng::seed_from_u64(9));
+        let b = Linear::new(4, 3, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.weight, b.weight);
+    }
+}

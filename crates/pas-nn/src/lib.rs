@@ -1,0 +1,60 @@
+//! Minimal neural-network library for the PAS fine-tuning substrate.
+//!
+//! The paper fine-tunes 7B-parameter chat models on 8×H100s; this workspace
+//! substitutes laptop-scale models that are nonetheless *really trained* by
+//! gradient descent, so that the quality of the generated dataset measurably
+//! changes model behaviour — the property every PAS experiment rests on.
+//!
+//! Contents:
+//! - [`matrix`] — row-major `f32` matrices with the handful of BLAS-ish ops
+//!   the models need.
+//! - [`layers`] — `Linear` and `Embedding` layers with manual backward
+//!   passes.
+//! - [`loss`] — softmax cross-entropy and multi-label binary cross-entropy.
+//! - [`optim`] — SGD and Adam.
+//! - [`lm`] — a feed-forward causal token LM (Bengio-style fixed-context
+//!   neural LM) with temperature/top-k sampling: the "fine-tunable LLM".
+//! - [`classifier`] — softmax and multi-label logistic classifiers over
+//!   hashed text features: the trainable selection/aspect models.
+//! - [`attn`] — a single-head causal self-attention LM with hand-written
+//!   backprop, gradient-checked against finite differences.
+
+pub mod attn;
+pub mod classifier;
+pub mod layers;
+pub mod lm;
+pub mod loss;
+pub mod matrix;
+pub mod optim;
+
+pub use attn::{AttnLm, AttnLmConfig};
+pub use classifier::{MultiLabelClassifier, SoftmaxClassifier, TrainParams};
+pub use layers::{Embedding, Linear};
+pub use lm::{FfnLm, GenerateConfig, LmConfig};
+pub use loss::{bce_with_logits, softmax_cross_entropy};
+pub use matrix::Matrix;
+pub use optim::{Adam, AdamConfig, Sgd};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lm_learns_a_tiny_sequence() {
+        // The LM must be able to memorize a short deterministic sequence —
+        // the smoke test that gradients flow end to end.
+        let vocab = 10u32;
+        let seq: Vec<u32> = vec![1, 2, 3, 4, 5, 6, 7, 8, 1, 2, 3, 4, 5, 6, 7, 8];
+        let cfg = LmConfig { vocab_size: vocab as usize, context: 3, embed_dim: 8, hidden_dim: 16, seed: 1 };
+        let mut lm = FfnLm::new(cfg);
+        let mut adam = Adam::new(AdamConfig { lr: 0.05, ..AdamConfig::default() });
+        let mut last = f32::INFINITY;
+        for _ in 0..150 {
+            last = lm.train_epoch(std::slice::from_ref(&seq), &mut adam);
+        }
+        assert!(last < 0.5, "loss did not converge: {last}");
+        // Greedy continuation of [1,2,3] must be 4.
+        let next = lm.predict_next(&[1, 2, 3]);
+        assert_eq!(next, 4);
+    }
+}

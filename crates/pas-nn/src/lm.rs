@@ -1,0 +1,364 @@
+//! A feed-forward causal token language model.
+//!
+//! Architecture (Bengio et al., 2003): the previous `context` token
+//! embeddings are concatenated, passed through one tanh hidden layer, and
+//! projected to vocabulary logits. Small enough to fine-tune on a laptop in
+//! seconds, expressive enough to memorize the phrase structure of the
+//! synthetic complement corpus — which is the job the PAS complement
+//! generator needs done.
+//!
+//! Token id 0 is reserved as left-padding for positions before the start of
+//! a sequence (matching `pas_tokenizer::SpecialToken::Pad`).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::layers::{tanh_backward, tanh_forward, Embedding, Linear};
+use crate::loss::{softmax, softmax_cross_entropy};
+use crate::matrix::Matrix;
+use crate::optim::Adam;
+
+/// Model hyper-parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LmConfig {
+    /// Vocabulary size (token ids `0..vocab_size`).
+    pub vocab_size: usize,
+    /// Context window: number of previous tokens conditioning the next.
+    pub context: usize,
+    /// Token embedding dimension.
+    pub embed_dim: usize,
+    /// Hidden layer width.
+    pub hidden_dim: usize,
+    /// Initialization seed.
+    pub seed: u64,
+}
+
+impl Default for LmConfig {
+    fn default() -> Self {
+        LmConfig { vocab_size: 256, context: 4, embed_dim: 16, hidden_dim: 32, seed: 0x11 }
+    }
+}
+
+/// Sampling parameters for [`FfnLm::generate`].
+#[derive(Debug, Clone)]
+pub struct GenerateConfig {
+    /// Maximum number of tokens to emit.
+    pub max_tokens: usize,
+    /// Softmax temperature; `0.0` means greedy decoding.
+    pub temperature: f32,
+    /// Sample only among the `top_k` most likely tokens (0 = full vocab).
+    pub top_k: usize,
+    /// Stop when this token is produced (it is not included in the output).
+    pub stop_token: Option<u32>,
+    /// Sampling seed.
+    pub seed: u64,
+}
+
+impl Default for GenerateConfig {
+    fn default() -> Self {
+        GenerateConfig { max_tokens: 64, temperature: 0.0, top_k: 0, stop_token: Some(2), seed: 0 }
+    }
+}
+
+/// The feed-forward causal LM.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FfnLm {
+    config: LmConfig,
+    embedding: Embedding,
+    hidden: Linear,
+    output: Linear,
+}
+
+impl FfnLm {
+    /// Creates a freshly initialized model.
+    pub fn new(config: LmConfig) -> Self {
+        assert!(config.vocab_size > 1, "vocab too small");
+        assert!(config.context > 0, "context must be positive");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let embedding = Embedding::new(config.vocab_size, config.embed_dim, &mut rng);
+        let hidden = Linear::new(config.context * config.embed_dim, config.hidden_dim, &mut rng);
+        let output = Linear::new(config.hidden_dim, config.vocab_size, &mut rng);
+        FfnLm { config, embedding, hidden, output }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &LmConfig {
+        &self.config
+    }
+
+    /// Total trainable parameter count.
+    pub fn parameter_count(&self) -> usize {
+        self.embedding.table.rows() * self.embedding.table.cols()
+            + self.hidden.weight.rows() * self.hidden.weight.cols()
+            + self.hidden.bias.len()
+            + self.output.weight.rows() * self.output.weight.cols()
+            + self.output.bias.len()
+    }
+
+    /// Left-pads/truncates `prefix` into a fixed-width context window.
+    fn window(&self, prefix: &[u32]) -> Vec<u32> {
+        let c = self.config.context;
+        let mut w = vec![0u32; c];
+        let take = prefix.len().min(c);
+        w[c - take..].copy_from_slice(&prefix[prefix.len() - take..]);
+        w
+    }
+
+    /// Logits for the next token after `prefix`.
+    pub fn logits(&self, prefix: &[u32]) -> Vec<f32> {
+        let ids = self.window(prefix);
+        let x = self.embedding.lookup_concat(&ids);
+        let mut h = self.hidden.forward(&x);
+        let _ = tanh_forward(&mut h);
+        self.output.forward(&h).data().to_vec()
+    }
+
+    /// Greedy next-token prediction.
+    pub fn predict_next(&self, prefix: &[u32]) -> u32 {
+        let logits = self.logits(prefix);
+        argmax(&logits) as u32
+    }
+
+    /// One training pass over `sequences`; one Adam step per sequence (all
+    /// next-token windows of a sequence form one batch). Returns the mean
+    /// window loss over the epoch.
+    pub fn train_epoch(&mut self, sequences: &[Vec<u32>], adam: &mut Adam) -> f32 {
+        let mut total = 0.0f32;
+        let mut windows = 0usize;
+        for seq in sequences {
+            if seq.len() < 2 {
+                continue;
+            }
+            let loss = self.train_sequence(seq, adam);
+            total += loss * (seq.len() - 1) as f32;
+            windows += seq.len() - 1;
+        }
+        if windows == 0 {
+            0.0
+        } else {
+            total / windows as f32
+        }
+    }
+
+    fn train_sequence(&mut self, seq: &[u32], adam: &mut Adam) -> f32 {
+        let c = self.config.context;
+        let batch = seq.len() - 1;
+        // Forward: build the batch of context windows.
+        let mut contexts: Vec<Vec<u32>> = Vec::with_capacity(batch);
+        let mut targets: Vec<u32> = Vec::with_capacity(batch);
+        for t in 1..seq.len() {
+            contexts.push(self.window(&seq[..t]));
+            targets.push(seq[t]);
+        }
+        let mut x = Matrix::zeros(batch, c * self.config.embed_dim);
+        for (r, ctx) in contexts.iter().enumerate() {
+            let row = self.embedding.lookup_concat(ctx);
+            x.row_mut(r).copy_from_slice(row.data());
+        }
+        let mut h_pre = self.hidden.forward(&x);
+        let h_act = tanh_forward(&mut h_pre);
+        let logits = self.output.forward(&h_act);
+        let (loss, grad_logits) = softmax_cross_entropy(&logits, &targets);
+
+        // Backward.
+        self.embedding.zero_grad();
+        self.hidden.zero_grad();
+        self.output.zero_grad();
+        let grad_h_act = self.output.backward(&h_act, &grad_logits);
+        let grad_h_pre = tanh_backward(&grad_h_act, &h_act);
+        let grad_x = self.hidden.backward(&x, &grad_h_pre);
+        for (r, ctx) in contexts.iter().enumerate() {
+            let row = Matrix::from_vec(1, grad_x.cols(), grad_x.row(r).to_vec());
+            self.embedding.backward_concat(ctx, &row);
+        }
+
+        // Update.
+        adam.begin_step();
+        adam.update(self.embedding.table.data_mut(), self.embedding.grad.data());
+        adam.update(self.hidden.weight.data_mut(), self.hidden.grad_weight.data());
+        adam.update(&mut self.hidden.bias, &self.hidden.grad_bias.clone());
+        adam.update(self.output.weight.data_mut(), self.output.grad_weight.data());
+        adam.update(&mut self.output.bias, &self.output.grad_bias.clone());
+        loss
+    }
+
+    /// Mean negative log-likelihood per token of `seq` (natural log).
+    pub fn nll(&self, seq: &[u32]) -> f32 {
+        if seq.len() < 2 {
+            return 0.0;
+        }
+        let mut total = 0.0f32;
+        for t in 1..seq.len() {
+            let probs = softmax(&self.logits(&seq[..t]));
+            total += -(probs[seq[t] as usize].max(1e-12)).ln();
+        }
+        total / (seq.len() - 1) as f32
+    }
+
+    /// Perplexity of `seq` under the model.
+    pub fn perplexity(&self, seq: &[u32]) -> f32 {
+        self.nll(seq).exp()
+    }
+
+    /// Autoregressive generation continuing `prefix`. The returned tokens do
+    /// not include the prefix or the stop token.
+    pub fn generate(&self, prefix: &[u32], cfg: &GenerateConfig) -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut seq: Vec<u32> = prefix.to_vec();
+        let mut out = Vec::new();
+        for _ in 0..cfg.max_tokens {
+            let logits = self.logits(&seq);
+            let next = if cfg.temperature <= 0.0 {
+                argmax(&logits) as u32
+            } else {
+                sample(&logits, cfg.temperature, cfg.top_k, &mut rng)
+            };
+            if Some(next) == cfg.stop_token {
+                break;
+            }
+            out.push(next);
+            seq.push(next);
+        }
+        out
+    }
+
+    /// Serializes the model to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("model is serializable")
+    }
+
+    /// Restores a model from [`Self::to_json`] output.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+fn argmax(xs: &[f32]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1).then_with(|| b.0.cmp(&a.0)))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+fn sample(logits: &[f32], temperature: f32, top_k: usize, rng: &mut StdRng) -> u32 {
+    let mut scaled: Vec<(usize, f32)> = logits
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i, x / temperature))
+        .collect();
+    if top_k > 0 && top_k < scaled.len() {
+        scaled.sort_by(|a, b| b.1.total_cmp(&a.1));
+        scaled.truncate(top_k);
+    }
+    let max = scaled.iter().map(|&(_, x)| x).fold(f32::NEG_INFINITY, f32::max);
+    let weights: Vec<f32> = scaled.iter().map(|&(_, x)| (x - max).exp()).collect();
+    let total: f32 = weights.iter().sum();
+    let mut target = rng.random::<f32>() * total;
+    for (&(i, _), &w) in scaled.iter().zip(&weights) {
+        if target < w {
+            return i as u32;
+        }
+        target -= w;
+    }
+    scaled.last().map(|&(i, _)| i as u32).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::AdamConfig;
+
+    fn tiny() -> FfnLm {
+        FfnLm::new(LmConfig { vocab_size: 8, context: 2, embed_dim: 4, hidden_dim: 8, seed: 3 })
+    }
+
+    #[test]
+    fn logits_have_vocab_width() {
+        let lm = tiny();
+        assert_eq!(lm.logits(&[1, 2]).len(), 8);
+        assert_eq!(lm.logits(&[]).len(), 8, "empty prefix uses pure padding");
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut lm = tiny();
+        let mut adam = Adam::new(AdamConfig { lr: 0.05, ..AdamConfig::default() });
+        let data = vec![vec![1, 2, 3, 4, 5], vec![1, 2, 3, 4, 5]];
+        let first = lm.train_epoch(&data, &mut adam);
+        let mut last = first;
+        for _ in 0..60 {
+            last = lm.train_epoch(&data, &mut adam);
+        }
+        assert!(last < first * 0.5, "loss {first} → {last}");
+    }
+
+    #[test]
+    fn perplexity_drops_after_training() {
+        let mut lm = tiny();
+        let mut adam = Adam::new(AdamConfig { lr: 0.05, ..AdamConfig::default() });
+        let seq = vec![1u32, 2, 3, 4, 5, 6];
+        let before = lm.perplexity(&seq);
+        for _ in 0..80 {
+            lm.train_epoch(std::slice::from_ref(&seq), &mut adam);
+        }
+        assert!(lm.perplexity(&seq) < before);
+    }
+
+    #[test]
+    fn greedy_generation_is_deterministic() {
+        let lm = tiny();
+        let cfg = GenerateConfig { max_tokens: 5, ..GenerateConfig::default() };
+        assert_eq!(lm.generate(&[1], &cfg), lm.generate(&[1], &cfg));
+    }
+
+    #[test]
+    fn sampling_respects_seed() {
+        let lm = tiny();
+        let cfg = GenerateConfig { max_tokens: 5, temperature: 1.0, top_k: 4, seed: 9, ..GenerateConfig::default() };
+        assert_eq!(lm.generate(&[1], &cfg), lm.generate(&[1], &cfg));
+        let other = GenerateConfig { seed: 10, ..cfg };
+        // Different seeds usually differ; don't assert inequality strictly,
+        // just that generation stays in-vocabulary.
+        for t in lm.generate(&[1], &other) {
+            assert!((t as usize) < 8);
+        }
+    }
+
+    #[test]
+    fn generation_stops_at_stop_token() {
+        let mut lm = tiny();
+        let mut adam = Adam::new(AdamConfig { lr: 0.1, ..AdamConfig::default() });
+        // Teach: 5 → 6 → 2(stop).
+        for _ in 0..120 {
+            lm.train_epoch(&[vec![5, 6, 2]], &mut adam);
+        }
+        let cfg = GenerateConfig { max_tokens: 10, stop_token: Some(2), ..GenerateConfig::default() };
+        let out = lm.generate(&[5], &cfg);
+        assert!(!out.contains(&2));
+        assert!(out.len() < 10, "should stop early, got {out:?}");
+    }
+
+    #[test]
+    fn json_round_trip_preserves_behaviour() {
+        let lm = tiny();
+        let back = FfnLm::from_json(&lm.to_json()).unwrap();
+        assert_eq!(lm.logits(&[3, 4]), back.logits(&[3, 4]));
+    }
+
+    #[test]
+    fn window_pads_left() {
+        let lm = tiny();
+        assert_eq!(lm.window(&[7]), vec![0, 7]);
+        assert_eq!(lm.window(&[1, 2, 3]), vec![2, 3]);
+        assert_eq!(lm.window(&[]), vec![0, 0]);
+    }
+
+    #[test]
+    fn parameter_count_matches_shapes() {
+        let lm = tiny();
+        // 8*4 (embed) + 8*8+8 (hidden) + 8*8+8 (output)
+        assert_eq!(lm.parameter_count(), 32 + 64 + 8 + 64 + 8);
+    }
+}

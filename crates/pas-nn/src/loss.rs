@@ -1,0 +1,148 @@
+//! Loss functions: forward value plus gradient w.r.t. logits.
+
+use crate::matrix::Matrix;
+
+/// Numerically stable softmax over a logit slice.
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Softmax cross-entropy for a batch of logit rows and integer targets.
+///
+/// Returns `(mean_loss, grad_logits)` where the gradient is already divided
+/// by the batch size.
+pub fn softmax_cross_entropy(logits: &Matrix, targets: &[u32]) -> (f32, Matrix) {
+    assert_eq!(logits.rows(), targets.len(), "batch size mismatch");
+    let classes = logits.cols();
+    let batch = logits.rows() as f32;
+    let mut grad = Matrix::zeros(logits.rows(), classes);
+    let mut total = 0.0f32;
+    for (r, &t) in targets.iter().enumerate() {
+        let t = t as usize;
+        assert!(t < classes, "target {t} out of range for {classes} classes");
+        let probs = softmax(logits.row(r));
+        total += -(probs[t].max(1e-12)).ln();
+        let grow = grad.row_mut(r);
+        for (c, &p) in probs.iter().enumerate() {
+            grow[c] = (p - if c == t { 1.0 } else { 0.0 }) / batch;
+        }
+    }
+    (total / batch, grad)
+}
+
+/// Sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Multi-label binary cross-entropy with logits.
+///
+/// `targets` is a `{0,1}` matrix the same shape as `logits`. Returns
+/// `(mean_loss_per_element, grad_logits)`.
+pub fn bce_with_logits(logits: &Matrix, targets: &Matrix) -> (f32, Matrix) {
+    assert_eq!(
+        (logits.rows(), logits.cols()),
+        (targets.rows(), targets.cols()),
+        "shape mismatch"
+    );
+    let n = (logits.rows() * logits.cols()) as f32;
+    let mut grad = Matrix::zeros(logits.rows(), logits.cols());
+    let mut total = 0.0f32;
+    for (i, (&x, &t)) in logits.data().iter().zip(targets.data()).enumerate() {
+        // Stable formulation: max(x,0) − x·t + ln(1 + e^{−|x|})
+        total += x.max(0.0) - x * t + (1.0 + (-x.abs()).exp()).ln();
+        grad.data_mut()[i] = (sigmoid(x) - t) / n;
+    }
+    (total / n, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&[1.0, 2.0]);
+        let b = softmax(&[101.0, 102.0]);
+        assert!((a[0] - b[0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_near_zero() {
+        let logits = Matrix::from_vec(1, 3, vec![100.0, 0.0, 0.0]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_ln_k() {
+        let logits = Matrix::zeros(1, 4);
+        let (loss, _) = softmax_cross_entropy(&logits, &[2]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_finite_difference() {
+        let logits = Matrix::from_vec(1, 3, vec![0.2, -0.4, 0.9]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[1]);
+        let eps = 1e-3;
+        for c in 0..3 {
+            let mut lp = logits.clone();
+            lp.set(0, c, lp.get(0, c) + eps);
+            let mut lm = logits.clone();
+            lm.set(0, c, lm.get(0, c) - eps);
+            let (loss_p, _) = softmax_cross_entropy(&lp, &[1]);
+            let (loss_m, _) = softmax_cross_entropy(&lm, &[1]);
+            let numeric = (loss_p - loss_m) / (2.0 * eps);
+            assert!(
+                (grad.get(0, c) - numeric).abs() < 1e-3,
+                "c={c}: analytic {} vs numeric {numeric}",
+                grad.get(0, c)
+            );
+        }
+    }
+
+    #[test]
+    fn bce_gradient_finite_difference() {
+        let logits = Matrix::from_vec(1, 2, vec![0.7, -1.1]);
+        let targets = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+        let (_, grad) = bce_with_logits(&logits, &targets);
+        let eps = 1e-3;
+        for c in 0..2 {
+            let mut lp = logits.clone();
+            lp.set(0, c, lp.get(0, c) + eps);
+            let mut lm = logits.clone();
+            lm.set(0, c, lm.get(0, c) - eps);
+            let (loss_p, _) = bce_with_logits(&lp, &targets);
+            let (loss_m, _) = bce_with_logits(&lm, &targets);
+            let numeric = (loss_p - loss_m) / (2.0 * eps);
+            assert!((grad.get(0, c) - numeric).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn bce_confident_correct_is_small() {
+        let logits = Matrix::from_vec(1, 2, vec![10.0, -10.0]);
+        let targets = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+        let (loss, _) = bce_with_logits(&logits, &targets);
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn target_range_checked() {
+        let logits = Matrix::zeros(1, 2);
+        let _ = softmax_cross_entropy(&logits, &[5]);
+    }
+}

@@ -1,0 +1,192 @@
+//! Optimizers: plain SGD and Adam.
+//!
+//! Optimizers are stateless w.r.t. the model structure: callers hand in
+//! `(param, grad)` slice pairs in a fixed registration order. Adam keeps its
+//! moment buffers keyed by that order, so the same optimizer instance must
+//! always see the same parameter sequence — which the model `step`
+//! implementations guarantee.
+
+/// Plain stochastic gradient descent with optional gradient clipping.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Per-parameter-tensor max L2 norm for the gradient; `None` disables.
+    pub clip_norm: Option<f32>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, clip_norm: None }
+    }
+
+    /// Applies one update to `param` from `grad`.
+    pub fn update(&mut self, param: &mut [f32], grad: &[f32]) {
+        assert_eq!(param.len(), grad.len(), "param/grad length mismatch");
+        let scale = clip_scale(grad, self.clip_norm);
+        for (p, &g) in param.iter_mut().zip(grad) {
+            *p -= self.lr * g * scale;
+        }
+    }
+}
+
+/// Adam hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct AdamConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// Per-tensor gradient-norm clip; `None` disables.
+    pub clip_norm: Option<f32>,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig { lr: 1e-2, beta1: 0.9, beta2: 0.999, eps: 1e-8, clip_norm: Some(5.0) }
+    }
+}
+
+/// Adam optimizer with per-tensor moment state.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    config: AdamConfig,
+    /// `(m, v)` buffers per registered tensor, in registration order.
+    moments: Vec<(Vec<f32>, Vec<f32>)>,
+    /// Global step count (for bias correction).
+    step: u64,
+    /// Cursor into `moments` within the current step.
+    cursor: usize,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer.
+    pub fn new(config: AdamConfig) -> Self {
+        Adam { config, moments: Vec::new(), step: 0, cursor: 0 }
+    }
+
+    /// Begins an optimization step; call before the per-tensor updates.
+    pub fn begin_step(&mut self) {
+        self.step += 1;
+        self.cursor = 0;
+    }
+
+    /// Updates one tensor. Must be called in the same tensor order every
+    /// step.
+    pub fn update(&mut self, param: &mut [f32], grad: &[f32]) {
+        assert_eq!(param.len(), grad.len(), "param/grad length mismatch");
+        if self.cursor == self.moments.len() {
+            self.moments.push((vec![0.0; param.len()], vec![0.0; param.len()]));
+        }
+        let (m, v) = &mut self.moments[self.cursor];
+        assert_eq!(m.len(), param.len(), "tensor order changed between steps");
+        self.cursor += 1;
+
+        let scale = clip_scale(grad, self.config.clip_norm);
+        let b1 = self.config.beta1;
+        let b2 = self.config.beta2;
+        let bc1 = 1.0 - b1.powi(self.step as i32);
+        let bc2 = 1.0 - b2.powi(self.step as i32);
+        for ((p, &g0), (mi, vi)) in param
+            .iter_mut()
+            .zip(grad)
+            .zip(m.iter_mut().zip(v.iter_mut()))
+        {
+            let g = g0 * scale;
+            *mi = b1 * *mi + (1.0 - b1) * g;
+            *vi = b2 * *vi + (1.0 - b2) * g * g;
+            let m_hat = *mi / bc1;
+            let v_hat = *vi / bc2;
+            *p -= self.config.lr * m_hat / (v_hat.sqrt() + self.config.eps);
+        }
+    }
+
+    /// Current global step.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+}
+
+fn clip_scale(grad: &[f32], clip: Option<f32>) -> f32 {
+    let Some(max_norm) = clip else { return 1.0 };
+    let norm = grad.iter().map(|g| g * g).sum::<f32>().sqrt();
+    if norm > max_norm {
+        max_norm / norm
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes f(x) = (x-3)² with an optimizer; returns final x.
+    fn minimize_quadratic<F: FnMut(&mut [f32], &[f32])>(mut update: F, iters: usize) -> f32 {
+        let mut x = [0.0f32];
+        for _ in 0..iters {
+            let grad = [2.0 * (x[0] - 3.0)];
+            update(&mut x, &grad);
+        }
+        x[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut sgd = Sgd::new(0.1);
+        let x = minimize_quadratic(|p, g| sgd.update(p, g), 100);
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut adam = Adam::new(AdamConfig { lr: 0.3, ..AdamConfig::default() });
+        let x = minimize_quadratic(
+            |p, g| {
+                adam.begin_step();
+                adam.update(p, g);
+            },
+            200,
+        );
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn clipping_limits_update_magnitude() {
+        let mut sgd = Sgd { lr: 1.0, clip_norm: Some(1.0) };
+        let mut x = [0.0f32];
+        sgd.update(&mut x, &[100.0]);
+        assert!((x[0] + 1.0).abs() < 1e-6, "clipped step should be -1, got {}", x[0]);
+    }
+
+    #[test]
+    fn adam_handles_multiple_tensors() {
+        let mut adam = Adam::new(AdamConfig::default());
+        let mut a = [0.0f32; 2];
+        let mut b = [0.0f32; 3];
+        for _ in 0..10 {
+            adam.begin_step();
+            adam.update(&mut a, &[1.0, 1.0]);
+            adam.update(&mut b, &[1.0, 1.0, 1.0]);
+        }
+        assert!(a[0] < 0.0 && b[0] < 0.0);
+        assert_eq!(adam.steps(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "tensor order changed")]
+    fn adam_detects_order_change() {
+        let mut adam = Adam::new(AdamConfig::default());
+        let mut a = [0.0f32; 2];
+        let mut b = [0.0f32; 3];
+        adam.begin_step();
+        adam.update(&mut a, &[1.0, 1.0]);
+        adam.begin_step();
+        adam.update(&mut b, &[1.0, 1.0, 1.0]); // wrong tensor first
+    }
+}

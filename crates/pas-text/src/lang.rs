@@ -1,0 +1,94 @@
+//! Coarse language identification.
+//!
+//! The critic prompt in the paper (Fig. 5) requires the complementary prompt
+//! to be in the same language as the user prompt; the critic model in
+//! `pas-llm` enforces that with this detector. We only need to distinguish
+//! the scripts that the synthetic corpus generates.
+
+use serde::{Deserialize, Serialize};
+
+/// Detected language of a text, by dominant script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Language {
+    /// Latin-script text (treated as English in the synthetic corpus).
+    English,
+    /// CJK-script text (treated as Chinese in the synthetic corpus).
+    Chinese,
+    /// No script-bearing characters at all.
+    Unknown,
+}
+
+impl std::fmt::Display for Language {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Language::English => write!(f, "en"),
+            Language::Chinese => write!(f, "zh"),
+            Language::Unknown => write!(f, "und"),
+        }
+    }
+}
+
+fn is_cjk(ch: char) -> bool {
+    matches!(ch as u32,
+        0x4E00..=0x9FFF      // CJK Unified Ideographs
+        | 0x3400..=0x4DBF    // Extension A
+        | 0x3040..=0x30FF    // Hiragana + Katakana
+        | 0xF900..=0xFAFF    // Compatibility Ideographs
+    )
+}
+
+/// Detects the dominant script of `text`.
+///
+/// A text counts as [`Language::Chinese`] when CJK characters outnumber
+/// ASCII letters; mixed text with more Latin letters stays
+/// [`Language::English`].
+pub fn detect_language(text: &str) -> Language {
+    let mut latin = 0usize;
+    let mut cjk = 0usize;
+    for ch in text.chars() {
+        if is_cjk(ch) {
+            cjk += 1;
+        } else if ch.is_ascii_alphabetic() {
+            latin += 1;
+        }
+    }
+    match (latin, cjk) {
+        (0, 0) => Language::Unknown,
+        (l, c) if c > l => Language::Chinese,
+        _ => Language::English,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_english() {
+        assert_eq!(detect_language("How do I boil water quickly?"), Language::English);
+    }
+
+    #[test]
+    fn detects_chinese() {
+        assert_eq!(detect_language("如何快速烧开水"), Language::Chinese);
+    }
+
+    #[test]
+    fn mixed_majority_wins() {
+        assert_eq!(detect_language("please translate 你好"), Language::English);
+        assert_eq!(detect_language("请翻译这句话 ok"), Language::Chinese);
+    }
+
+    #[test]
+    fn digits_only_is_unknown() {
+        assert_eq!(detect_language("12345 !!"), Language::Unknown);
+        assert_eq!(detect_language(""), Language::Unknown);
+    }
+
+    #[test]
+    fn display_codes() {
+        assert_eq!(Language::English.to_string(), "en");
+        assert_eq!(Language::Chinese.to_string(), "zh");
+        assert_eq!(Language::Unknown.to_string(), "und");
+    }
+}

@@ -1,0 +1,125 @@
+//! Lexical similarity measures.
+//!
+//! Near-duplicate detection in the data-selection pipeline (§3.1) uses
+//! Jaccard over word sets as a cheap pre-filter before embedding-space
+//! comparison, and Levenshtein for the final exact-ish confirmation on short
+//! texts.
+
+use std::collections::HashSet;
+
+use crate::words;
+
+/// Jaccard similarity of the word sets of two texts, in `[0, 1]`.
+/// Two empty texts are identical (1.0); one empty text is disjoint (0.0).
+pub fn jaccard_words(a: &str, b: &str) -> f64 {
+    let sa: HashSet<String> = words(a).into_iter().collect();
+    let sb: HashSet<String> = words(b).into_iter().collect();
+    match (sa.is_empty(), sb.is_empty()) {
+        (true, true) => 1.0,
+        (true, false) | (false, true) => 0.0,
+        _ => {
+            let inter = sa.intersection(&sb).count();
+            let union = sa.len() + sb.len() - inter;
+            inter as f64 / union as f64
+        }
+    }
+}
+
+/// Sørensen–Dice coefficient of the word sets of two texts, in `[0, 1]`.
+pub fn dice_coefficient(a: &str, b: &str) -> f64 {
+    let sa: HashSet<String> = words(a).into_iter().collect();
+    let sb: HashSet<String> = words(b).into_iter().collect();
+    match (sa.is_empty(), sb.is_empty()) {
+        (true, true) => 1.0,
+        (true, false) | (false, true) => 0.0,
+        _ => {
+            let inter = sa.intersection(&sb).count();
+            2.0 * inter as f64 / (sa.len() + sb.len()) as f64
+        }
+    }
+}
+
+/// Levenshtein edit distance between two strings, over chars.
+///
+/// Uses the classic two-row dynamic program: O(|a|·|b|) time, O(min) space.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    // Keep the shorter string in the inner dimension to minimize the rows.
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Levenshtein distance normalized to `[0, 1]` similarity
+/// (1.0 = identical, 0.0 = completely different).
+pub fn normalized_levenshtein(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaccard_identical() {
+        assert_eq!(jaccard_words("a b c", "c b a"), 1.0);
+    }
+
+    #[test]
+    fn jaccard_disjoint_and_empty() {
+        assert_eq!(jaccard_words("a b", "c d"), 0.0);
+        assert_eq!(jaccard_words("", ""), 1.0);
+        assert_eq!(jaccard_words("a", ""), 0.0);
+    }
+
+    #[test]
+    fn jaccard_partial() {
+        assert!((jaccard_words("a b c", "b c d") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dice_exceeds_jaccard_on_partial_overlap() {
+        let j = jaccard_words("a b c", "b c d");
+        let d = dice_coefficient("a b c", "b c d");
+        assert!(d > j);
+    }
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn levenshtein_is_symmetric() {
+        assert_eq!(levenshtein("abcde", "xbcdz"), levenshtein("xbcdz", "abcde"));
+    }
+
+    #[test]
+    fn normalized_levenshtein_bounds() {
+        assert_eq!(normalized_levenshtein("", ""), 1.0);
+        assert_eq!(normalized_levenshtein("abc", "abc"), 1.0);
+        assert_eq!(normalized_levenshtein("abc", "xyz"), 0.0);
+        let v = normalized_levenshtein("abcd", "abce");
+        assert!(v > 0.7 && v < 1.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! A tiny deterministic template language for text realization.
+//!
+//! The synthetic corpus generator and the simulated LLMs realize text from
+//! templates of the form:
+//!
+//! ```text
+//! "Explain {topic} to {audience}, focusing on {aspect|detail|depth}."
+//! ```
+//!
+//! `{name}` substitutes a bound slot value; `{a|b|c}` picks one alternative
+//! with a caller-supplied chooser (typically a seeded RNG), which keeps every
+//! realization reproducible.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error raised while parsing or rendering a [`Template`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemplateError {
+    /// A `{` without a matching `}`.
+    UnclosedBrace { position: usize },
+    /// A `{}` with no content.
+    EmptySlot { position: usize },
+    /// Rendering referenced a slot with no bound value.
+    MissingSlot { name: String },
+}
+
+impl fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemplateError::UnclosedBrace { position } => {
+                write!(f, "unclosed '{{' at byte {position}")
+            }
+            TemplateError::EmptySlot { position } => write!(f, "empty slot at byte {position}"),
+            TemplateError::MissingSlot { name } => write!(f, "no value bound for slot '{name}'"),
+        }
+    }
+}
+
+impl std::error::Error for TemplateError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Segment {
+    Literal(String),
+    Slot(String),
+    Choice(Vec<String>),
+}
+
+/// A parsed template. Parse once with [`Template::parse`], render many times.
+///
+/// ```
+/// use pas_text::template::{slots, Template};
+///
+/// let t = Template::parse("Explain {topic} {simply|in depth}.").unwrap();
+/// let out = t.render(&slots([("topic", "HNSW")])).unwrap();
+/// assert_eq!(out, "Explain HNSW simply.");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Template {
+    segments: Vec<Segment>,
+}
+
+impl Template {
+    /// Parses template `source`. Escape a literal brace by doubling it
+    /// (`{{` → `{`, `}}` → `}`).
+    pub fn parse(source: &str) -> Result<Self, TemplateError> {
+        let bytes = source.as_bytes();
+        let mut segments = Vec::new();
+        let mut literal = String::new();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'{' if bytes.get(i + 1) == Some(&b'{') => {
+                    literal.push('{');
+                    i += 2;
+                }
+                b'}' if bytes.get(i + 1) == Some(&b'}') => {
+                    literal.push('}');
+                    i += 2;
+                }
+                b'{' => {
+                    let close = source[i + 1..]
+                        .find('}')
+                        .map(|o| i + 1 + o)
+                        .ok_or(TemplateError::UnclosedBrace { position: i })?;
+                    let inner = &source[i + 1..close];
+                    if inner.is_empty() {
+                        return Err(TemplateError::EmptySlot { position: i });
+                    }
+                    if !literal.is_empty() {
+                        segments.push(Segment::Literal(std::mem::take(&mut literal)));
+                    }
+                    if inner.contains('|') {
+                        let opts = inner.split('|').map(str::to_string).collect();
+                        segments.push(Segment::Choice(opts));
+                    } else {
+                        segments.push(Segment::Slot(inner.to_string()));
+                    }
+                    i = close + 1;
+                }
+                _ => {
+                    // Advance one UTF-8 char.
+                    let ch_len = source[i..].chars().next().map_or(1, char::len_utf8);
+                    literal.push_str(&source[i..i + ch_len]);
+                    i += ch_len;
+                }
+            }
+        }
+        if !literal.is_empty() {
+            segments.push(Segment::Literal(literal));
+        }
+        Ok(Template { segments })
+    }
+
+    /// Names of all `{slot}` references, in first-appearance order without
+    /// duplicates.
+    pub fn slot_names(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for seg in &self.segments {
+            if let Segment::Slot(name) = seg {
+                if !seen.contains(&name.as_str()) {
+                    seen.push(name.as_str());
+                }
+            }
+        }
+        seen
+    }
+
+    /// Renders with `slots` bound and `choose(n)` selecting the index (must
+    /// return a value `< n`) for each `{a|b|c}` alternative encountered, in
+    /// order.
+    pub fn render_with<F>(
+        &self,
+        slots: &BTreeMap<String, String>,
+        mut choose: F,
+    ) -> Result<String, TemplateError>
+    where
+        F: FnMut(usize) -> usize,
+    {
+        let mut out = String::new();
+        for seg in &self.segments {
+            match seg {
+                Segment::Literal(s) => out.push_str(s),
+                Segment::Slot(name) => {
+                    let v = slots
+                        .get(name)
+                        .ok_or_else(|| TemplateError::MissingSlot { name: name.clone() })?;
+                    out.push_str(v);
+                }
+                Segment::Choice(opts) => {
+                    let idx = choose(opts.len()).min(opts.len() - 1);
+                    out.push_str(&opts[idx]);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Renders taking the first alternative of every choice. Convenient for
+    /// tests and for canonical ("greedy") realizations.
+    pub fn render(&self, slots: &BTreeMap<String, String>) -> Result<String, TemplateError> {
+        self.render_with(slots, |_| 0)
+    }
+}
+
+/// Builds a slot map from `(name, value)` pairs.
+pub fn slots<const N: usize>(pairs: [(&str, &str); N]) -> BTreeMap<String, String> {
+    pairs
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_slots() {
+        let t = Template::parse("Explain {topic} to {aud}.").unwrap();
+        let out = t.render(&slots([("topic", "HNSW"), ("aud", "beginners")])).unwrap();
+        assert_eq!(out, "Explain HNSW to beginners.");
+    }
+
+    #[test]
+    fn renders_choices_with_chooser() {
+        let t = Template::parse("a {x|y|z} b").unwrap();
+        assert_eq!(t.render_with(&BTreeMap::new(), |_| 2).unwrap(), "a z b");
+        assert_eq!(t.render(&BTreeMap::new()).unwrap(), "a x b");
+    }
+
+    #[test]
+    fn chooser_index_is_clamped() {
+        let t = Template::parse("{p|q}").unwrap();
+        assert_eq!(t.render_with(&BTreeMap::new(), |_| 99).unwrap(), "q");
+    }
+
+    #[test]
+    fn escaped_braces() {
+        let t = Template::parse("json: {{\"k\": {v}}}").unwrap();
+        assert_eq!(t.render(&slots([("v", "1")])).unwrap(), "json: {\"k\": 1}");
+    }
+
+    #[test]
+    fn missing_slot_is_error() {
+        let t = Template::parse("{name}").unwrap();
+        assert_eq!(
+            t.render(&BTreeMap::new()),
+            Err(TemplateError::MissingSlot { name: "name".into() })
+        );
+    }
+
+    #[test]
+    fn unclosed_and_empty_are_errors() {
+        assert!(matches!(
+            Template::parse("oops {slot"),
+            Err(TemplateError::UnclosedBrace { .. })
+        ));
+        assert!(matches!(Template::parse("bad {}"), Err(TemplateError::EmptySlot { .. })));
+    }
+
+    #[test]
+    fn slot_names_dedup_in_order() {
+        let t = Template::parse("{b} {a} {b}").unwrap();
+        assert_eq!(t.slot_names(), vec!["b", "a"]);
+    }
+
+    #[test]
+    fn unicode_literals_survive() {
+        let t = Template::parse("中文 {x} 文本").unwrap();
+        assert_eq!(t.render(&slots([("x", "测试")])).unwrap(), "中文 测试 文本");
+    }
+}

@@ -1,0 +1,337 @@
+//! Byte-pair-encoding trainer and tokenizer.
+//!
+//! Training follows the textbook algorithm: pre-tokenize the corpus into
+//! whitespace-separated words (each beginning with the [`WORD_BOUNDARY`]
+//! marker), split words into characters, then repeatedly merge the most
+//! frequent adjacent symbol pair until the merge budget is exhausted or no
+//! pair repeats. Encoding replays the merges in learned-rank order; decoding
+//! concatenates token strings and turns boundary markers back into spaces.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::vocab::{SpecialToken, Vocab};
+use crate::WORD_BOUNDARY;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Maximum number of merge rules to learn.
+    pub merges: usize,
+    /// A pair must occur at least this often to be merged.
+    pub min_pair_count: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { merges: 2000, min_pair_count: 2 }
+    }
+}
+
+/// Learns a [`BpeTokenizer`] from a corpus.
+#[derive(Debug, Clone, Default)]
+pub struct BpeTrainer {
+    config: TrainConfig,
+}
+
+impl BpeTrainer {
+    /// Creates a trainer with `config`.
+    pub fn new(config: TrainConfig) -> Self {
+        BpeTrainer { config }
+    }
+
+    /// Trains on the given corpus lines and returns the tokenizer.
+    pub fn train<'a, I>(&self, corpus: I) -> BpeTokenizer
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        // Word frequency table; each word is stored as its symbol sequence.
+        let mut word_freq: HashMap<Vec<String>, u64> = HashMap::new();
+        for line in corpus {
+            for word in line.split_whitespace() {
+                let symbols = word_to_symbols(word);
+                if !symbols.is_empty() {
+                    *word_freq.entry(symbols).or_insert(0) += 1;
+                }
+            }
+        }
+
+        let mut words: Vec<(Vec<String>, u64)> = word_freq.into_iter().collect();
+        // Deterministic order regardless of hash-map iteration.
+        words.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut merges: Vec<(String, String)> = Vec::new();
+        for _ in 0..self.config.merges {
+            let mut pair_counts: HashMap<(String, String), u64> = HashMap::new();
+            for (symbols, freq) in &words {
+                for win in symbols.windows(2) {
+                    *pair_counts
+                        .entry((win[0].clone(), win[1].clone()))
+                        .or_insert(0) += *freq;
+                }
+            }
+            let best = pair_counts
+                .into_iter()
+                .filter(|&(_, c)| c >= self.config.min_pair_count)
+                // Max by count; ties broken lexicographically for determinism.
+                .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)));
+            let Some(((left, right), _count)) = best else { break };
+            let merged = format!("{left}{right}");
+            for (symbols, _) in &mut words {
+                apply_merge(symbols, &left, &right, &merged);
+            }
+            merges.push((left, right));
+        }
+
+        // Build the vocabulary: specials, then every character symbol seen,
+        // then the merge products, in learned order.
+        let mut vocab = Vocab::new();
+        let mut char_symbols: Vec<String> = {
+            let mut set: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+            for (symbols, _) in &words {
+                for s in symbols {
+                    set.insert(s.clone());
+                }
+            }
+            // Merged symbols are already in `words`; singles come from the
+            // initial split too. Add base characters explicitly so encoding
+            // of unseen words still works character-by-character.
+            set.into_iter().collect()
+        };
+        char_symbols.sort();
+        // Base alphabet: every single character (with and without boundary)
+        // that ever appeared.
+        let mut alphabet: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        for (symbols, _) in &words {
+            for s in symbols {
+                for (i, ch) in s.trim_start_matches(WORD_BOUNDARY).chars().enumerate() {
+                    if i == 0 && s.starts_with(WORD_BOUNDARY) {
+                        alphabet.insert(format!("{WORD_BOUNDARY}{ch}"));
+                    } else {
+                        alphabet.insert(ch.to_string());
+                    }
+                }
+            }
+        }
+        for sym in alphabet {
+            vocab.add_or_get(&sym);
+        }
+        for sym in char_symbols {
+            vocab.add_or_get(&sym);
+        }
+        for (l, r) in &merges {
+            vocab.add_or_get(&format!("{l}{r}"));
+        }
+
+        let ranks = merges
+            .iter()
+            .enumerate()
+            .map(|(rank, pair)| (pair.clone(), rank as u32))
+            .collect();
+        BpeTokenizer { vocab, merges, ranks }
+    }
+}
+
+fn word_to_symbols(word: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for (i, ch) in word.chars().enumerate() {
+        if i == 0 {
+            out.push(format!("{WORD_BOUNDARY}{ch}"));
+        } else {
+            out.push(ch.to_string());
+        }
+    }
+    out
+}
+
+fn apply_merge(symbols: &mut Vec<String>, left: &str, right: &str, merged: &str) {
+    let mut i = 0;
+    while i + 1 < symbols.len() {
+        if symbols[i] == left && symbols[i + 1] == right {
+            symbols[i] = merged.to_string();
+            symbols.remove(i + 1);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// A trained BPE tokenizer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BpeTokenizer {
+    vocab: Vocab,
+    merges: Vec<(String, String)>,
+    #[serde(skip)]
+    ranks: HashMap<(String, String), u32>,
+}
+
+impl BpeTokenizer {
+    /// The tokenizer's vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Number of learned merge rules.
+    pub fn merge_count(&self) -> usize {
+        self.merges.len()
+    }
+
+    /// Restores derived state after deserialization.
+    pub fn rebuild(&mut self) {
+        self.vocab.rebuild_index();
+        self.ranks = self
+            .merges
+            .iter()
+            .enumerate()
+            .map(|(rank, pair)| (pair.clone(), rank as u32))
+            .collect();
+    }
+
+    /// Serializes the tokenizer to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("tokenizer is serializable")
+    }
+
+    /// Deserializes a tokenizer from JSON produced by [`Self::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        let mut t: BpeTokenizer = serde_json::from_str(json)?;
+        t.rebuild();
+        Ok(t)
+    }
+
+    /// Encodes `text` into token ids. Unknown characters map to `<unk>`.
+    pub fn encode(&self, text: &str) -> Vec<u32> {
+        let mut ids = Vec::new();
+        for word in text.split_whitespace() {
+            let mut symbols = word_to_symbols(word);
+            self.merge_word(&mut symbols);
+            for sym in &symbols {
+                ids.push(self.vocab.id_of(sym).unwrap_or(SpecialToken::Unk.id()));
+            }
+        }
+        ids
+    }
+
+    /// Encodes with `<bos>`/`<eos>` wrappers, as consumed by the LM trainer.
+    pub fn encode_with_specials(&self, text: &str) -> Vec<u32> {
+        let mut ids = vec![SpecialToken::Bos.id()];
+        ids.extend(self.encode(text));
+        ids.push(SpecialToken::Eos.id());
+        ids
+    }
+
+    fn merge_word(&self, symbols: &mut Vec<String>) {
+        loop {
+            let mut best: Option<(u32, usize)> = None;
+            for i in 0..symbols.len().saturating_sub(1) {
+                let key = (symbols[i].clone(), symbols[i + 1].clone());
+                if let Some(&rank) = self.ranks.get(&key) {
+                    if best.is_none_or(|(r, _)| rank < r) {
+                        best = Some((rank, i));
+                    }
+                }
+            }
+            let Some((_, i)) = best else { break };
+            let merged = format!("{}{}", symbols[i], symbols[i + 1]);
+            symbols[i] = merged;
+            symbols.remove(i + 1);
+        }
+    }
+
+    /// Decodes ids back to text. Special tokens are skipped; `<unk>` decodes
+    /// to the replacement character.
+    pub fn decode(&self, ids: &[u32]) -> String {
+        let mut out = String::new();
+        for &id in ids {
+            if id == SpecialToken::Unk.id() {
+                out.push('\u{FFFD}');
+                continue;
+            }
+            if self.vocab.is_special(id) {
+                continue;
+            }
+            if let Ok(tok) = self.vocab.token_of(id) {
+                out.push_str(tok);
+            }
+        }
+        out.replace(WORD_BOUNDARY, " ").trim_start().to_string()
+    }
+
+    /// Token count of `text` under this tokenizer; the unit in which the
+    /// data-efficiency experiment (Fig. 7) reports consumption.
+    pub fn count_tokens(&self, text: &str) -> usize {
+        self.encode(text).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn train(corpus: &[&str], merges: usize) -> BpeTokenizer {
+        BpeTrainer::new(TrainConfig { merges, min_pair_count: 2 })
+            .train(corpus.iter().copied())
+    }
+
+    #[test]
+    fn round_trip_on_training_text() {
+        let tok = train(&["hello world", "hello there world"], 50);
+        let ids = tok.encode_with_specials("hello world");
+        assert_eq!(tok.decode(&ids), "hello world");
+    }
+
+    #[test]
+    fn frequent_words_become_single_tokens() {
+        let corpus: Vec<String> = vec!["prompt augmentation system".to_string(); 10];
+        let refs: Vec<&str> = corpus.iter().map(String::as_str).collect();
+        let tok = train(&refs, 100);
+        assert_eq!(tok.encode("prompt").len(), 1, "'prompt' should be one token");
+    }
+
+    #[test]
+    fn unknown_chars_decode_to_replacement() {
+        let tok = train(&["abc def"], 10);
+        let ids = tok.encode("abc xyz");
+        let decoded = tok.decode(&ids);
+        assert!(decoded.starts_with("abc"));
+        assert!(decoded.contains('\u{FFFD}'));
+    }
+
+    #[test]
+    fn encode_is_deterministic() {
+        let tok = train(&["the cat sat on the mat", "the dog sat"], 40);
+        assert_eq!(tok.encode("the cat sat"), tok.encode("the cat sat"));
+    }
+
+    #[test]
+    fn whitespace_variants_encode_identically() {
+        let tok = train(&["a b c"], 5);
+        assert_eq!(tok.encode("a  b\tc"), tok.encode("a b c"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let tok = train(&["serialize me please", "serialize again"], 30);
+        let json = tok.to_json();
+        let back = BpeTokenizer::from_json(&json).unwrap();
+        let text = "serialize me";
+        assert_eq!(back.encode(text), tok.encode(text));
+        assert_eq!(back.decode(&back.encode(text)), text);
+    }
+
+    #[test]
+    fn zero_merges_yields_char_tokens() {
+        let tok = train(&["abc"], 0);
+        assert_eq!(tok.merge_count(), 0);
+        assert_eq!(tok.encode("abc").len(), 3);
+    }
+
+    #[test]
+    fn bos_eos_wrap() {
+        let tok = train(&["x y"], 0);
+        let ids = tok.encode_with_specials("x");
+        assert_eq!(*ids.first().unwrap(), SpecialToken::Bos.id());
+        assert_eq!(*ids.last().unwrap(), SpecialToken::Eos.id());
+    }
+}

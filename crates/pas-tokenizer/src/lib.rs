@@ -1,0 +1,60 @@
+//! Trainable byte-pair-encoding tokenizer.
+//!
+//! The fine-tunable language models in `pas-nn`/`pas-core` operate on token
+//! ids; this crate provides the tokenizer that maps prompt text to those ids
+//! and back. It is a conventional BPE stack:
+//!
+//! 1. [`Vocab`] — id ↔ token table with reserved special tokens.
+//! 2. [`BpeTrainer`] — learns merge rules from a corpus by iteratively
+//!    merging the most frequent adjacent symbol pair.
+//! 3. [`BpeTokenizer`] — applies the learned merges to encode text, and
+//!    concatenates tokens to decode.
+//!
+//! Word boundaries are encoded SentencePiece-style with a `▁` prefix on each
+//! word's first symbol, so decoding is a pure concatenation.
+
+pub mod bpe;
+pub mod vocab;
+
+pub use bpe::{BpeTokenizer, BpeTrainer, TrainConfig};
+pub use vocab::{SpecialToken, Vocab, VocabError};
+
+/// The word-boundary marker prepended to the first symbol of every word.
+pub const WORD_BOUNDARY: char = '\u{2581}'; // ▁
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_corpus() -> Vec<String> {
+        vec![
+            "the quick brown fox jumps over the lazy dog".to_string(),
+            "the quick brown cat sleeps".to_string(),
+            "how do i sort a list of numbers quickly".to_string(),
+            "explain how the quick sort algorithm works".to_string(),
+        ]
+    }
+
+    #[test]
+    fn end_to_end_train_encode_decode() {
+        let corpus = small_corpus();
+        let tok = BpeTrainer::new(TrainConfig { merges: 100, ..TrainConfig::default() })
+            .train(corpus.iter().map(String::as_str));
+        for text in &corpus {
+            let ids = tok.encode(text);
+            assert!(!ids.is_empty());
+            assert_eq!(tok.decode(&ids), *text);
+        }
+    }
+
+    #[test]
+    fn merges_reduce_token_count() {
+        let corpus = small_corpus();
+        let no_merges = BpeTrainer::new(TrainConfig { merges: 0, ..TrainConfig::default() })
+            .train(corpus.iter().map(String::as_str));
+        let merged = BpeTrainer::new(TrainConfig { merges: 150, ..TrainConfig::default() })
+            .train(corpus.iter().map(String::as_str));
+        let text = "the quick brown fox";
+        assert!(merged.encode(text).len() < no_merges.encode(text).len());
+    }
+}

@@ -1,0 +1,218 @@
+//! Token vocabulary: id ↔ string table with reserved special tokens.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Reserved control tokens, always occupying the first vocabulary slots in
+/// the order declared here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpecialToken {
+    /// Padding for fixed-width batches.
+    Pad,
+    /// Beginning of sequence.
+    Bos,
+    /// End of sequence.
+    Eos,
+    /// Separator between a prompt and its complement in SFT sequences.
+    Sep,
+    /// Out-of-vocabulary character fallback.
+    Unk,
+}
+
+impl SpecialToken {
+    /// All special tokens in id order.
+    pub const ALL: [SpecialToken; 5] = [
+        SpecialToken::Pad,
+        SpecialToken::Bos,
+        SpecialToken::Eos,
+        SpecialToken::Sep,
+        SpecialToken::Unk,
+    ];
+
+    /// Fixed token id of this special token.
+    #[inline]
+    pub fn id(self) -> u32 {
+        match self {
+            SpecialToken::Pad => 0,
+            SpecialToken::Bos => 1,
+            SpecialToken::Eos => 2,
+            SpecialToken::Sep => 3,
+            SpecialToken::Unk => 4,
+        }
+    }
+
+    /// Surface form stored in the vocabulary table.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpecialToken::Pad => "<pad>",
+            SpecialToken::Bos => "<bos>",
+            SpecialToken::Eos => "<eos>",
+            SpecialToken::Sep => "<sep>",
+            SpecialToken::Unk => "<unk>",
+        }
+    }
+}
+
+/// Errors from vocabulary construction and lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VocabError {
+    /// The token string is already present.
+    Duplicate(String),
+    /// An id was out of range during lookup.
+    UnknownId(u32),
+}
+
+impl fmt::Display for VocabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VocabError::Duplicate(t) => write!(f, "duplicate token '{t}'"),
+            VocabError::UnknownId(id) => write!(f, "unknown token id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for VocabError {}
+
+/// Bidirectional id ↔ token table. Ids are dense and start with the special
+/// tokens from [`SpecialToken::ALL`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Vocab {
+    tokens: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, u32>,
+}
+
+impl Default for Vocab {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Vocab {
+    /// Creates a vocabulary containing only the special tokens.
+    pub fn new() -> Self {
+        let mut v = Vocab { tokens: Vec::new(), index: HashMap::new() };
+        for sp in SpecialToken::ALL {
+            v.tokens.push(sp.as_str().to_string());
+            v.index.insert(sp.as_str().to_string(), sp.id());
+        }
+        v
+    }
+
+    /// Rebuilds the reverse index after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .tokens
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i as u32))
+            .collect();
+    }
+
+    /// Number of tokens, including specials.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True when only special tokens are present.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.len() == SpecialToken::ALL.len()
+    }
+
+    /// Adds `token` and returns its new id; errors when already present.
+    pub fn add(&mut self, token: &str) -> Result<u32, VocabError> {
+        if self.index.contains_key(token) {
+            return Err(VocabError::Duplicate(token.to_string()));
+        }
+        let id = self.tokens.len() as u32;
+        self.tokens.push(token.to_string());
+        self.index.insert(token.to_string(), id);
+        Ok(id)
+    }
+
+    /// Adds `token` if absent; returns its id either way.
+    pub fn add_or_get(&mut self, token: &str) -> u32 {
+        if let Some(&id) = self.index.get(token) {
+            return id;
+        }
+        self.add(token).expect("checked absent")
+    }
+
+    /// Looks up a token's id.
+    #[inline]
+    pub fn id_of(&self, token: &str) -> Option<u32> {
+        self.index.get(token).copied()
+    }
+
+    /// Looks up the token string for `id`.
+    #[inline]
+    pub fn token_of(&self, id: u32) -> Result<&str, VocabError> {
+        self.tokens
+            .get(id as usize)
+            .map(String::as_str)
+            .ok_or(VocabError::UnknownId(id))
+    }
+
+    /// True when `id` is one of the reserved specials.
+    #[inline]
+    pub fn is_special(&self, id: u32) -> bool {
+        (id as usize) < SpecialToken::ALL.len()
+    }
+
+    /// Iterates `(id, token)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.tokens.iter().enumerate().map(|(i, t)| (i as u32, t.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specials_occupy_first_slots() {
+        let v = Vocab::new();
+        assert_eq!(v.len(), 5);
+        assert_eq!(v.token_of(0).unwrap(), "<pad>");
+        assert_eq!(v.token_of(SpecialToken::Unk.id()).unwrap(), "<unk>");
+        assert!(v.is_special(3));
+        assert!(!v.is_special(5));
+    }
+
+    #[test]
+    fn add_assigns_dense_ids() {
+        let mut v = Vocab::new();
+        let a = v.add("▁the").unwrap();
+        let b = v.add("▁cat").unwrap();
+        assert_eq!(b, a + 1);
+        assert_eq!(v.id_of("▁cat"), Some(b));
+    }
+
+    #[test]
+    fn duplicate_add_errors() {
+        let mut v = Vocab::new();
+        v.add("x").unwrap();
+        assert_eq!(v.add("x"), Err(VocabError::Duplicate("x".into())));
+        assert_eq!(v.add_or_get("x"), v.id_of("x").unwrap());
+    }
+
+    #[test]
+    fn unknown_id_errors() {
+        let v = Vocab::new();
+        assert_eq!(v.token_of(99), Err(VocabError::UnknownId(99)));
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_index() {
+        let mut v = Vocab::new();
+        v.add("▁hello").unwrap();
+        let json = serde_json::to_string(&v).unwrap();
+        let mut back: Vocab = serde_json::from_str(&json).unwrap();
+        back.rebuild_index();
+        assert_eq!(back.id_of("▁hello"), v.id_of("▁hello"));
+        assert_eq!(back.len(), v.len());
+    }
+}

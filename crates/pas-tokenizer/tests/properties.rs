@@ -1,0 +1,69 @@
+//! Property-based tests for the BPE tokenizer.
+
+use proptest::prelude::*;
+
+use pas_tokenizer::{BpeTokenizer, BpeTrainer, TrainConfig};
+
+fn trained(corpus: &[String], merges: usize) -> BpeTokenizer {
+    BpeTrainer::new(TrainConfig { merges, min_pair_count: 2 })
+        .train(corpus.iter().map(String::as_str))
+}
+
+/// Text over a small alphabet so the training corpus covers every char.
+fn alpha_text() -> impl Strategy<Value = String> {
+    "[abcdef]{1,8}( [abcdef]{1,8}){0,6}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn round_trip_over_known_alphabet(texts in prop::collection::vec(alpha_text(), 2..8)) {
+        // Train on the texts themselves: every character is in-vocabulary,
+        // so encode→decode must reproduce the whitespace-normalized text.
+        let tok = trained(&texts, 60);
+        for t in &texts {
+            let normalized = t.split_whitespace().collect::<Vec<_>>().join(" ");
+            prop_assert_eq!(tok.decode(&tok.encode(t)), normalized);
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic(texts in prop::collection::vec(alpha_text(), 2..6)) {
+        let tok = trained(&texts, 40);
+        for t in &texts {
+            prop_assert_eq!(tok.encode(t), tok.encode(t));
+        }
+    }
+
+    #[test]
+    fn more_merges_never_lengthen_encodings(texts in prop::collection::vec(alpha_text(), 3..8)) {
+        let small = trained(&texts, 5);
+        let large = trained(&texts, 80);
+        for t in &texts {
+            prop_assert!(
+                large.encode(t).len() <= small.encode(t).len(),
+                "more merges must compress: {t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_encoding(texts in prop::collection::vec(alpha_text(), 2..6)) {
+        let tok = trained(&texts, 30);
+        let back = BpeTokenizer::from_json(&tok.to_json()).unwrap();
+        for t in &texts {
+            prop_assert_eq!(back.encode(t), tok.encode(t));
+        }
+    }
+
+    #[test]
+    fn token_count_bounded_by_char_count(texts in prop::collection::vec(alpha_text(), 2..6)) {
+        let tok = trained(&texts, 30);
+        for t in &texts {
+            let non_ws = t.chars().filter(|c| !c.is_whitespace()).count();
+            prop_assert!(tok.count_tokens(t) <= non_ws);
+            prop_assert!(tok.count_tokens(t) >= 1);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Domain-specific PAS: a coding-focused complement model.
+//!
+//! ```text
+//! cargo run --example coding_assistant
+//! ```
+//!
+//! §3.3 of the paper notes the generation pipeline "allows us to control
+//! the categories of the generated data … to generate specialized data to
+//! enhance prompt capabilities in specific domains". This example filters
+//! the generated dataset to the Coding category, fine-tunes a specialist
+//! PAS on it, and compares its augmentations against the generalist on
+//! coding prompts.
+
+use pas::core::{Pas, PasConfig, PasSystem, SystemConfig};
+use pas::data::{CorpusConfig, PairDataset};
+use pas::llm::Category;
+
+fn main() {
+    println!("building the generalist system…");
+    let system = PasSystem::build(&SystemConfig {
+        corpus: CorpusConfig { size: 2500, seed: 9, ..CorpusConfig::default() },
+        ..SystemConfig::default()
+    });
+
+    // Specialize: keep only the Coding pairs — the category-controlled
+    // generation the paper describes.
+    let coding_only = PairDataset {
+        pairs: system.dataset.in_category(Category::Coding).cloned().collect(),
+    };
+    println!(
+        "dataset: {} total pairs, {} coding pairs",
+        system.dataset.len(),
+        coding_only.len()
+    );
+    let (specialist, _) = Pas::sft(&PasConfig::default(), &coding_only);
+
+    let coding_prompts = [
+        "My code for parsing csv files with quoted fields keeps failing, what should I check?",
+        "What is the best approach to lock free queue design in a production system?",
+        "How should I implement binary search tree rebalancing?",
+    ];
+    for prompt in coding_prompts {
+        println!("\nprompt      : {prompt}");
+        println!("generalist  : {}", system.pas.augment(prompt));
+        println!("specialist  : {}", specialist.augment(prompt));
+    }
+
+    // The specialist concentrates its aspect predictions on what coding
+    // answers need (steps, examples, completeness).
+    let mut spec_hits = 0usize;
+    let mut gen_hits = 0usize;
+    for i in 0..50 {
+        let p = format!("How should I implement a cache eviction policy for shard {i}?");
+        use pas::llm::world::{detect_aspects, Aspect};
+        let wanted = [Aspect::StepByStep, Aspect::Examples, Aspect::Completeness];
+        let s = detect_aspects(&specialist.augment(&p));
+        let g = detect_aspects(&system.pas.augment(&p));
+        spec_hits += wanted.iter().filter(|a| s.contains(**a)).count();
+        gen_hits += wanted.iter().filter(|a| g.contains(**a)).count();
+    }
+    println!("\ncoding-aspect requests over 50 prompts: specialist {spec_hits}, generalist {gen_hits}");
+}

@@ -1,0 +1,47 @@
+//! The §4.5 human-evaluation panel at example scale.
+//!
+//! ```text
+//! cargo run --example human_eval_panel
+//! ```
+//!
+//! Trains a PAS, plugs it into Qwen2-72B, and lets the seeded evaluator
+//! panel grade responses across the eight Table 4 scenarios, printing the
+//! per-scenario metrics and the Figure 1b GSB bars.
+
+use pas::core::{PasSystem, SystemConfig};
+use pas::data::CorpusConfig;
+use pas::eval::human::{run_human_eval, HumanEvalConfig};
+
+fn main() {
+    println!("training PAS…");
+    let system = PasSystem::build(&SystemConfig {
+        corpus: CorpusConfig { size: 1500, seed: 5, ..CorpusConfig::default() },
+        ..SystemConfig::default()
+    });
+
+    let config = HumanEvalConfig { items_per_scenario: 40, panel_size: 5, seed: 77 };
+    let outcome = run_human_eval(&config, &system.pas, "qwen2-72b-chat");
+
+    println!("\n{:<26} {:>9} {:>9}  {:>9} {:>9}", "scenario", "avg", "avg+PAS", "avail", "avail+PAS");
+    for (b, p) in outcome.baseline.iter().zip(&outcome.with_pas) {
+        println!(
+            "{:<26} {:>9.2} {:>9.2}  {:>8.0}% {:>8.0}%",
+            b.scenario.name(),
+            b.average,
+            p.average,
+            100.0 * b.availability,
+            100.0 * p.availability,
+        );
+    }
+
+    println!("\nGSB (good/same/bad) per scenario:");
+    for g in &outcome.gsb {
+        println!(
+            "{:<26} good {:>4.0}%  same {:>4.0}%  bad {:>4.0}%",
+            g.scenario.name(),
+            100.0 * g.good,
+            100.0 * g.same,
+            100.0 * g.bad,
+        );
+    }
+}

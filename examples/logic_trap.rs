@@ -1,0 +1,31 @@
+//! Case Study 1 (paper Figure 2): the logic-trap question.
+//!
+//! ```text
+//! cargo run --example logic_trap
+//! ```
+//!
+//! "If there are 10 birds on a tree and one is shot dead, how many birds
+//! are on the ground?" — without help, models answer hastily; the PAS
+//! complement warns about the trap and asks for step-by-step reasoning.
+
+use pas::core::{PasSystem, SystemConfig};
+use pas::data::CorpusConfig;
+use pas::eval::cases::run_case_studies;
+
+fn main() {
+    println!("training PAS…");
+    let system = PasSystem::build(&SystemConfig {
+        corpus: CorpusConfig { size: 1500, seed: 42, ..CorpusConfig::default() },
+        ..SystemConfig::default()
+    });
+
+    for case in run_case_studies(&system.pas, "gpt-4-0613") {
+        println!("{}", case.render());
+        println!(
+            "quality {:.2} → {:.2} ({})\n",
+            case.quality_without,
+            case.quality_with,
+            if case.improved() { "improved" } else { "no change" }
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! `pas-cli` — build, inspect, and use a PAS model from the command line.
+//!
+//! ```text
+//! pas-cli build   [--corpus-size N] [--seed S] [--dataset out.jsonl] [--model out.json]
+//! pas-cli augment --model pas.json [--prompt "…"]          # or prompts on stdin
+//! pas-cli stats   --dataset data.jsonl                      # Figure 6 distribution
+//! pas-cli eval    --model pas.json [--items N] [--seed S]   # quick Arena-style check
+//! ```
+
+use std::collections::HashMap;
+use std::io::BufRead;
+use std::process::ExitCode;
+
+use pas::core::{NoOptimizer, Pas, PasSystem, PromptOptimizer, SystemConfig};
+use pas::data::{CorpusConfig, DatasetStats, PairDataset};
+use pas::eval::harness::evaluate_suite;
+use pas::eval::judge::Judge;
+use pas::eval::suite::{EvalEnv, EvalEnvConfig};
+use pas::llm::SimLlm;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = parse_flags(&args[1..]);
+    let result = match command.as_str() {
+        "build" => cmd_build(&flags),
+        "augment" => cmd_augment(&flags),
+        "stats" => cmd_stats(&flags),
+        "eval" => cmd_eval(&flags),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  pas-cli build   [--corpus-size N] [--seed S] [--dataset FILE] [--model FILE]
+  pas-cli augment --model FILE [--prompt TEXT]
+  pas-cli stats   --dataset FILE
+  pas-cli eval    --model FILE [--items N] [--seed S]";
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            let value = it.next().cloned().unwrap_or_default();
+            flags.insert(name.to_string(), value);
+        }
+    }
+    flags
+}
+
+fn usize_flag(flags: &HashMap<String, String>, name: &str, default: usize) -> Result<usize, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name} expects an integer, got {v:?}")),
+    }
+}
+
+fn u64_flag(flags: &HashMap<String, String>, name: &str, default: u64) -> Result<u64, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name} expects an integer, got {v:?}")),
+    }
+}
+
+fn cmd_build(flags: &HashMap<String, String>) -> Result<(), String> {
+    let size = usize_flag(flags, "corpus-size", 4000)?;
+    let seed = u64_flag(flags, "seed", 42)?;
+    eprintln!("building PAS from a {size}-prompt corpus (seed {seed})…");
+    let system = PasSystem::build(&SystemConfig {
+        corpus: CorpusConfig { size, seed, ..CorpusConfig::default() },
+        ..SystemConfig::default()
+    });
+    eprintln!(
+        "selection {} → {} → {}; generated {} pairs ({} regenerations); SFT loss {:.4}",
+        system.selection_report.input,
+        system.selection_report.after_dedup,
+        system.selection_report.after_quality,
+        system.generation_report.generated,
+        system.generation_report.regenerations,
+        system.sft_loss,
+    );
+    if let Some(path) = flags.get("dataset") {
+        system
+            .dataset
+            .save_jsonl_path(path)
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("dataset → {path}");
+    }
+    if let Some(path) = flags.get("model") {
+        let json = serde_json::to_string(&system.pas).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("model → {path}");
+    }
+    Ok(())
+}
+
+fn load_model(flags: &HashMap<String, String>) -> Result<Pas, String> {
+    let path = flags.get("model").ok_or("--model is required")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&json).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn cmd_augment(flags: &HashMap<String, String>) -> Result<(), String> {
+    let pas = load_model(flags)?;
+    if let Some(prompt) = flags.get("prompt") {
+        println!("{}", pas.optimize(prompt));
+        return Ok(());
+    }
+    // Stream: one prompt per stdin line → one augmented prompt per line.
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        println!("{}", pas.optimize(&line));
+    }
+    Ok(())
+}
+
+fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
+    let path = flags.get("dataset").ok_or("--dataset is required")?;
+    let dataset = PairDataset::load_jsonl_path(path).map_err(|e| format!("{path}: {e}"))?;
+    let stats = DatasetStats::compute(&dataset);
+    println!("{}", stats.render_distribution());
+    println!(
+        "mean prompt words {:.1}; mean complement words {:.1}",
+        stats.mean_prompt_words, stats.mean_complement_words
+    );
+    Ok(())
+}
+
+fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
+    let pas = load_model(flags)?;
+    let items = usize_flag(flags, "items", 150)?;
+    let seed = u64_flag(flags, "seed", 7)?;
+    let env = EvalEnv::build(&EvalEnvConfig { arena_items: items, alpaca_items: 10, seed });
+    let judge = Judge::default();
+    let model = SimLlm::named("gpt-4-0613", env.world.clone());
+    let reference = SimLlm::named(&env.arena.reference_model, env.world.clone());
+    let baseline = evaluate_suite(&model, &NoOptimizer, &env.arena, &reference, &judge);
+    let with_pas = evaluate_suite(&model, &pas, &env.arena, &reference, &judge);
+    println!(
+        "Arena-style check on {} items (gpt-4-0613): baseline {:.2} → with PAS {:.2} ({:+.2})",
+        items,
+        baseline.win_rate,
+        with_pas.win_rate,
+        with_pas.win_rate - baseline.win_rate
+    );
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! # PAS — Plug-and-Play Prompt Augmentation System
+//!
+//! Facade crate re-exporting the whole PAS workspace under one roof. See the
+//! individual crates for the full APIs:
+//!
+//! - [`core`] — the PAS system itself: SFT of the complement model and the
+//!   plug-and-play augmentation API.
+//! - [`data`] — prompt schema, synthetic corpora, the §3.1 selection pipeline
+//!   and the Algorithm 1 generation/selection/regeneration loop.
+//! - [`llm`] — the simulated-LLM substrate (capability profiles, teacher,
+//!   critic, response planner).
+//! - [`eval`] — Arena-Hard / AlpacaEval 2.0 / AlpacaEval 2.0 (LC) harnesses,
+//!   judge models, the human-evaluation panel and experiment runners.
+//! - [`baselines`] — BPO, PPO/DPO surrogates, OPRO, ProTeGi and zero-shot CoT.
+//! - substrates: [`text`], [`tokenizer`], [`embed`], [`ann`], [`nn`].
+
+pub use pas_ann as ann;
+pub use pas_baselines as baselines;
+pub use pas_core as core;
+pub use pas_data as data;
+pub use pas_embed as embed;
+pub use pas_eval as eval;
+pub use pas_llm as llm;
+pub use pas_nn as nn;
+pub use pas_text as text;
+pub use pas_tokenizer as tokenizer;

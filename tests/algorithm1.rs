@@ -1,0 +1,99 @@
+//! Invariants of the Algorithm 1 generation pipeline, exercised through the
+//! public facade (integration-level: corpus + world + teacher + critic).
+
+use std::sync::Arc;
+
+use pas::data::{
+    Corpus, CorpusConfig, GenConfig, Generator, SelectionConfig, SelectionPipeline,
+};
+use pas::llm::{Critic, TeacherConfig};
+
+fn selected(
+    size: usize,
+    seed: u64,
+) -> (Vec<pas::data::SelectedPrompt>, Arc<pas::llm::World>) {
+    let corpus = Corpus::generate(&CorpusConfig { size, seed, ..CorpusConfig::default() });
+    let world = Arc::new(corpus.world.clone());
+    let (sel, _) =
+        SelectionPipeline::new(SelectionConfig { labeled_size: 600, ..SelectionConfig::default() })
+            .run(&corpus.records);
+    (sel, world)
+}
+
+#[test]
+fn every_emitted_pair_passes_the_critic_when_selection_is_on() {
+    let (sel, world) = selected(700, 1);
+    let (dataset, report) = Generator::new(GenConfig::default(), world).run(&sel);
+    let critic = Critic::default();
+    for pair in &dataset.pairs {
+        assert!(
+            critic.is_correct_pair(&pair.prompt, &pair.complement),
+            "pair escaped the selection phase: {:?}",
+            pair.complement
+        );
+    }
+    // The loop terminated without exhausting retries on virtually all pairs.
+    assert!(report.repairs <= dataset.len() / 50);
+}
+
+#[test]
+fn selection_phase_is_what_removes_the_flaws() {
+    let (sel, world) = selected(700, 2);
+    let (_, with) = Generator::new(GenConfig::default(), Arc::clone(&world)).run(&sel);
+    let (_, without) = Generator::new(
+        GenConfig { selection_enabled: false, ..GenConfig::default() },
+        world,
+    )
+    .run(&sel);
+    assert!(with.residual_flaw_rate() < 0.02, "curated: {}", with.residual_flaw_rate());
+    assert!(
+        without.residual_flaw_rate() > 0.08,
+        "ablated: {}",
+        without.residual_flaw_rate()
+    );
+}
+
+#[test]
+fn a_sloppier_teacher_needs_more_regenerations() {
+    let (sel, world) = selected(500, 3);
+    let tidy = Generator::new(
+        GenConfig {
+            teacher: TeacherConfig { flaw_rate: 0.1, ..TeacherConfig::default() },
+            ..GenConfig::default()
+        },
+        Arc::clone(&world),
+    )
+    .run(&sel)
+    .1;
+    let sloppy = Generator::new(
+        GenConfig {
+            teacher: TeacherConfig { flaw_rate: 0.6, ..TeacherConfig::default() },
+            ..GenConfig::default()
+        },
+        world,
+    )
+    .run(&sel)
+    .1;
+    assert!(
+        sloppy.regenerations > tidy.regenerations * 2,
+        "sloppy {} vs tidy {}",
+        sloppy.regenerations,
+        tidy.regenerations
+    );
+}
+
+#[test]
+fn generated_complements_match_figure4_constraints() {
+    // Figure 4: supplement only, methodology-focused, short.
+    let (sel, world) = selected(500, 4);
+    let (dataset, _) = Generator::new(GenConfig::default(), world).run(&sel);
+    for pair in &dataset.pairs {
+        let words = pair.complement.split_whitespace().count();
+        assert!(words <= 45, "complement too long ({words} words): {:?}", pair.complement);
+        assert!(
+            !pas::llm::world::detect_aspects(&pair.complement).is_empty(),
+            "complement requests nothing: {:?}",
+            pair.complement
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Bilingual integration: the critic's language-consistency rule (Figure 5,
+//! criterion 5) must hold end to end — Chinese prompts get Chinese
+//! complements from the teacher and from the trained PAS, and Chinese
+//! responses are judged by the same machinery.
+
+use pas::core::{PasSystem, SystemConfig};
+use pas::data::CorpusConfig;
+use pas::eval::judge::assess;
+use pas::llm::world::detect_aspects;
+use pas::llm::{ChatModel, Critic, SimLlm};
+use pas::text::lang::{detect_language, Language};
+
+use std::sync::OnceLock;
+
+fn system() -> &'static PasSystem {
+    static SYS: OnceLock<PasSystem> = OnceLock::new();
+    SYS.get_or_init(|| {
+        PasSystem::build(&SystemConfig {
+            corpus: CorpusConfig {
+                size: 2000,
+                seed: 33,
+                zh_rate: 0.25, // over-sample Chinese for this test
+                ..CorpusConfig::default()
+            },
+            ..SystemConfig::default()
+        })
+    })
+}
+
+#[test]
+fn dataset_contains_language_consistent_chinese_pairs() {
+    let system = system();
+    let critic = Critic::default();
+    let zh_pairs: Vec<_> = system
+        .dataset
+        .pairs
+        .iter()
+        .filter(|p| detect_language(&p.prompt) == Language::Chinese)
+        .collect();
+    assert!(zh_pairs.len() > 50, "only {} Chinese pairs", zh_pairs.len());
+    for pair in &zh_pairs {
+        assert_eq!(
+            detect_language(&pair.complement),
+            Language::Chinese,
+            "complement switched language: {:?}",
+            pair.complement
+        );
+        assert!(critic.is_correct_pair(&pair.prompt, &pair.complement));
+        assert!(!detect_aspects(&pair.complement).is_empty());
+    }
+}
+
+#[test]
+fn trained_pas_augments_chinese_prompts_in_chinese() {
+    let system = system();
+    let mut zh_outputs = 0;
+    let mut zh_total = 0;
+    for pair in system.dataset.pairs.iter().filter(|p| detect_language(&p.prompt) == Language::Chinese).take(40)
+    {
+        zh_total += 1;
+        let complement = system.pas.augment(&pair.prompt);
+        if detect_language(&complement) == Language::Chinese {
+            zh_outputs += 1;
+        }
+    }
+    assert!(zh_total > 10, "not enough zh prompts sampled");
+    assert_eq!(zh_outputs, zh_total, "PAS must answer Chinese prompts in Chinese");
+}
+
+#[test]
+fn chinese_responses_are_judged_like_english_ones() {
+    let system = system();
+    let model = SimLlm::named("qwen2-72b-chat", system.world.clone());
+    let zh_record = system
+        .dataset
+        .pairs
+        .iter()
+        .find(|p| detect_language(&p.prompt) == Language::Chinese)
+        .expect("a Chinese pair exists");
+    let meta = system.world.lookup(&zh_record.prompt).expect("registered").clone();
+
+    let plain = model.chat(&zh_record.prompt);
+    assert_eq!(detect_language(&plain), Language::Chinese, "response: {plain}");
+    let q = assess(&meta, &plain);
+    assert!(q.polish > 0.0, "polish must be read from Chinese text");
+    assert!(q.relevance > 0.5, "topic must be read from Chinese text");
+
+    // Augmentation still moves coverage in aggregate for zh prompts.
+    let mut plain_cov = 0.0f32;
+    let mut aug_cov = 0.0f32;
+    let mut n = 0;
+    for pair in system
+        .dataset
+        .pairs
+        .iter()
+        .filter(|p| detect_language(&p.prompt) == Language::Chinese)
+        .take(60)
+    {
+        let Some(meta) = system.world.lookup(&pair.prompt) else { continue };
+        n += 1;
+        plain_cov += assess(meta, &model.chat(&pair.prompt)).coverage;
+        let augmented = format!("{} {}", pair.prompt, pair.complement);
+        aug_cov += assess(meta, &model.chat(&augmented)).coverage;
+    }
+    assert!(n > 10);
+    assert!(
+        aug_cov > plain_cov,
+        "zh augmentation must raise coverage: {aug_cov} vs {plain_cov} over {n}"
+    );
+}

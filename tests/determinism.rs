@@ -1,0 +1,43 @@
+//! Reproducibility: every pipeline stage and every reported number is a
+//! pure function of its seed.
+
+use pas::core::{PasSystem, SystemConfig};
+use pas::data::CorpusConfig;
+use pas::eval::experiments::{table1, ExperimentContext, Scale};
+
+fn config(seed: u64) -> SystemConfig {
+    SystemConfig {
+        corpus: CorpusConfig { size: 900, seed, ..CorpusConfig::default() },
+        ..SystemConfig::default()
+    }
+}
+
+#[test]
+fn same_seed_same_dataset_and_augmentations() {
+    let a = PasSystem::build(&config(5));
+    let b = PasSystem::build(&config(5));
+    assert_eq!(a.dataset.pairs, b.dataset.pairs);
+    for i in 0..10 {
+        let p = format!("Evaluate migration strategy number {i} for the data warehouse.");
+        assert_eq!(a.pas.augment(&p), b.pas.augment(&p));
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = PasSystem::build(&config(5));
+    let b = PasSystem::build(&config(6));
+    assert_ne!(a.dataset.pairs, b.dataset.pairs);
+}
+
+#[test]
+#[ignore = "slow: builds two full experiment contexts; run with --ignored"]
+fn table1_is_reproducible() {
+    let r1 = table1(&ExperimentContext::build(Scale::Quick, 11));
+    let r2 = table1(&ExperimentContext::build(Scale::Quick, 11));
+    for (a, b) in r1.pas.iter().zip(&r2.pas) {
+        assert_eq!(a.arena, b.arena);
+        assert_eq!(a.alpaca, b.alpaca);
+        assert_eq!(a.alpaca_lc, b.alpaca_lc);
+    }
+}

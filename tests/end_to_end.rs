@@ -1,0 +1,81 @@
+//! End-to-end integration: corpus → selection → Algorithm 1 → SFT → eval.
+//!
+//! These tests span every crate in the workspace through the public facade.
+
+use pas::core::{NoOptimizer, PasSystem, SystemConfig};
+use pas::data::CorpusConfig;
+use pas::eval::harness::evaluate_suite;
+use pas::eval::judge::Judge;
+use pas::eval::suite::{EvalEnv, EvalEnvConfig};
+use pas::llm::SimLlm;
+
+fn small_system(seed: u64) -> PasSystem {
+    PasSystem::build(&SystemConfig {
+        corpus: CorpusConfig { size: 1400, seed, ..CorpusConfig::default() },
+        ..SystemConfig::default()
+    })
+}
+
+#[test]
+fn trained_pas_improves_a_mid_tier_model() {
+    let system = small_system(42);
+    let env = EvalEnv::build(&EvalEnvConfig { arena_items: 120, alpaca_items: 40, seed: 0x77 });
+    let judge = Judge::default();
+    let model = SimLlm::named("gpt-4-0613", env.world.clone());
+    let reference = SimLlm::named("reference-arena", env.world.clone());
+
+    let baseline = evaluate_suite(&model, &NoOptimizer, &env.arena, &reference, &judge);
+    let with_pas = evaluate_suite(&model, &system.pas, &env.arena, &reference, &judge);
+    assert!(
+        with_pas.win_rate > baseline.win_rate + 2.0,
+        "PAS must clearly improve Arena-Hard: {} vs {}",
+        with_pas.win_rate,
+        baseline.win_rate
+    );
+}
+
+#[test]
+fn pipeline_stages_are_consistent() {
+    let system = small_system(7);
+    // Dataset size equals the count of prompts that survived selection.
+    assert_eq!(system.dataset.len(), system.selection_report.after_quality);
+    assert_eq!(system.dataset.len(), system.generation_report.generated);
+    // Selection must have removed duplicates and junk.
+    assert!(system.selection_report.after_dedup < system.selection_report.input);
+    assert!(system.selection_report.after_quality < system.selection_report.after_dedup);
+    // Curated data is essentially flaw-free.
+    assert!(system.generation_report.residual_flaw_rate() < 0.02);
+    // The trained model knows its dataset size.
+    assert_eq!(system.pas.trained_pairs(), system.dataset.len());
+}
+
+#[test]
+fn category_distribution_matches_figure6_shape() {
+    use pas::data::DatasetStats;
+    use pas::llm::Category;
+    let system = small_system(3);
+    let stats = DatasetStats::compute(&system.dataset);
+    // Q&A and Coding dominate, as in the paper's Figure 6.
+    assert!(stats.share(Category::QuestionAnswering) >= stats.share(Category::Chitchat));
+    assert!(stats.share(Category::Coding) >= stats.share(Category::Brainstorming));
+    // Broad coverage: at least 10 of 14 categories are populated.
+    let populated = stats.per_category.iter().filter(|&&n| n > 0).count();
+    assert!(populated >= 10, "only {populated} categories populated");
+}
+
+#[test]
+fn complements_never_rewrite_the_prompt() {
+    use pas::core::PromptOptimizer;
+    let system = small_system(9);
+    for prompt in [
+        "How do I sort a million integers with limited memory?",
+        "Write a poem about the autumn moon for my grandmother.",
+        "请翻译这句话",
+    ] {
+        let out = system.pas.optimize(prompt);
+        assert!(
+            out.starts_with(prompt),
+            "PAS complements, never rewrites: {out:?}"
+        );
+    }
+}

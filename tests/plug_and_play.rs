@@ -1,0 +1,82 @@
+//! Plug-and-play properties: one trained PAS composes with every model and
+//! survives serialization — the LLM-agnostic claim of Table 3.
+
+use pas::core::{Pas, PasConfig, PasSystem, PromptOptimizer, SystemConfig};
+use pas::data::CorpusConfig;
+use pas::llm::{ChatModel, ModelProfile, ModelRegistry};
+
+use std::sync::{Arc, OnceLock};
+
+fn shared_system() -> &'static PasSystem {
+    static SYS: OnceLock<PasSystem> = OnceLock::new();
+    SYS.get_or_init(|| {
+        PasSystem::build(&SystemConfig {
+            corpus: CorpusConfig { size: 1200, seed: 21, ..CorpusConfig::default() },
+            ..SystemConfig::default()
+        })
+    })
+}
+
+#[test]
+fn one_pas_plugs_into_every_main_model() {
+    let system = shared_system();
+    let registry = ModelRegistry::new(Arc::clone(&system.world));
+    let prompt = "Analyze renewable energy grid stability for a policy brief.";
+    let augmented = system.pas.optimize(prompt);
+    for model in registry.main_models() {
+        let response = model.chat(&augmented);
+        assert!(!response.is_empty(), "{} gave no response", model.name());
+    }
+}
+
+#[test]
+fn pas_composes_as_a_trait_object() {
+    let system = shared_system();
+    let optimizers: Vec<Box<dyn PromptOptimizer>> = vec![
+        Box::new(system.pas.clone()),
+        Box::new(pas::core::NoOptimizer),
+        Box::new(pas::baselines::ZeroShotCot),
+    ];
+    for opt in &optimizers {
+        let out = opt.optimize("a prompt");
+        assert!(out.starts_with("a prompt"), "{}: {out:?}", opt.name());
+    }
+    // PAS is the only one that is simultaneously label-free and agnostic
+    // on both axes.
+    let fully_flexible: Vec<&str> = optimizers
+        .iter()
+        .filter(|o| !o.requires_human_labels() && o.llm_agnostic() && o.task_agnostic())
+        .map(|o| o.name())
+        .collect();
+    assert!(fully_flexible.contains(&system.pas.name()));
+}
+
+#[test]
+fn serialized_pas_behaves_identically() {
+    let system = shared_system();
+    let json = serde_json::to_string(&system.pas).expect("PAS serializes");
+    let restored: Pas = serde_json::from_str(&json).expect("PAS deserializes");
+    for i in 0..10 {
+        let prompt = format!("How should I implement connection pooling variant {i}?");
+        assert_eq!(system.pas.augment(&prompt), restored.augment(&prompt));
+    }
+}
+
+#[test]
+fn base_model_capability_orders_fidelity() {
+    let system = shared_system();
+    let strong = Pas::sft(
+        &PasConfig { base_model: "qwen2-7b-chat".into(), ..PasConfig::default() },
+        &system.dataset,
+    )
+    .0;
+    let weak = Pas::sft(
+        &PasConfig { base_model: "llama-2-7b-instruct".into(), ..PasConfig::default() },
+        &system.dataset,
+    )
+    .0;
+    assert!(strong.fidelity() > weak.fidelity());
+    let strong_profile = ModelProfile::named("qwen2-7b-chat").unwrap();
+    let weak_profile = ModelProfile::named("llama-2-7b-instruct").unwrap();
+    assert!(strong_profile.capability > weak_profile.capability);
+}
