@@ -10,7 +10,8 @@ use pas_embed::{Embedder, NgramEmbedder};
 use pas_text::ngram::word_shingle_hashes;
 
 fn bench_backends(c: &mut Criterion) {
-    let corpus = Corpus::generate(&CorpusConfig { size: 1500, seed: 29, ..CorpusConfig::default() });
+    let corpus =
+        Corpus::generate(&CorpusConfig { size: 1500, seed: 29, ..CorpusConfig::default() });
     let texts: Vec<&str> = corpus.records.iter().map(|r| r.text.as_str()).collect();
 
     let embedder = NgramEmbedder::new(64, 3);

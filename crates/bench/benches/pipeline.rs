@@ -4,13 +4,13 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
 
-use pas_data::{
-    Corpus, CorpusConfig, GenConfig, Generator, SelectionConfig, SelectionPipeline,
-};
+use pas_data::{Corpus, CorpusConfig, GenConfig, Generator, SelectionConfig, SelectionPipeline};
 
 fn bench_selection(c: &mut Criterion) {
-    let corpus = Corpus::generate(&CorpusConfig { size: 1000, seed: 17, ..CorpusConfig::default() });
-    let mut g = c.benchmark_group("pipeline"); g.sample_size(10);
+    let corpus =
+        Corpus::generate(&CorpusConfig { size: 1000, seed: 17, ..CorpusConfig::default() });
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
     g.bench_function("selection_pipeline_1000", |b| {
         b.iter(|| {
             let (selected, report) = SelectionPipeline::new(SelectionConfig {
@@ -27,12 +27,11 @@ fn bench_selection(c: &mut Criterion) {
 fn bench_generation(c: &mut Criterion) {
     let corpus = Corpus::generate(&CorpusConfig { size: 800, seed: 19, ..CorpusConfig::default() });
     let world = Arc::new(corpus.world.clone());
-    let (selected, _) = SelectionPipeline::new(SelectionConfig {
-        labeled_size: 500,
-        ..SelectionConfig::default()
-    })
-    .run(&corpus.records);
-    let mut g = c.benchmark_group("generation"); g.sample_size(10);
+    let (selected, _) =
+        SelectionPipeline::new(SelectionConfig { labeled_size: 500, ..SelectionConfig::default() })
+            .run(&corpus.records);
+    let mut g = c.benchmark_group("generation");
+    g.sample_size(10);
     g.bench_function("algorithm1_generation", |b| {
         b.iter(|| {
             let (dataset, _) =
@@ -44,7 +43,8 @@ fn bench_generation(c: &mut Criterion) {
 }
 
 fn bench_corpus(c: &mut Criterion) {
-    let mut g = c.benchmark_group("corpus"); g.sample_size(10);
+    let mut g = c.benchmark_group("corpus");
+    g.sample_size(10);
     g.bench_function("corpus_generate_2000", |b| {
         b.iter(|| {
             let corpus =

@@ -16,7 +16,8 @@ fn corpus_lines(n: usize) -> Vec<String> {
 
 fn bench_train(c: &mut Criterion) {
     let lines = corpus_lines(600);
-    let mut g = c.benchmark_group("bpe_train"); g.sample_size(10);
+    let mut g = c.benchmark_group("bpe_train");
+    g.sample_size(10);
     g.bench_function("bpe_train_600_prompts_400_merges", |b| {
         b.iter(|| {
             let tok = BpeTrainer::new(TrainConfig { merges: 400, min_pair_count: 2 })

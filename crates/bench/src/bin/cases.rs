@@ -7,9 +7,6 @@ fn main() {
     let ctx = opts.build_context();
     for case in run_case_studies(&ctx.pas_qwen, "gpt-4-0613") {
         println!("{}", case.render());
-        println!(
-            "improved: {}\n",
-            if case.improved() { "yes" } else { "no" }
-        );
+        println!("improved: {}\n", if case.improved() { "yes" } else { "no" });
     }
 }

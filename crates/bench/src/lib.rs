@@ -3,7 +3,10 @@
 //! Every binary accepts:
 //!
 //! - `--seed <n>` — experiment seed (default 42);
-//! - `--quick` — run at test scale instead of paper scale.
+//! - `--quick` — run at test scale instead of paper scale;
+//! - `--threads <n>` — worker count for the deterministic parallel runtime
+//!   (default: available parallelism; outputs are bit-identical at any
+//!   setting).
 //!
 //! The heavy [`ExperimentContext`] is built once per process.
 
@@ -16,27 +19,38 @@ pub struct Options {
     pub seed: u64,
     /// Scale to build at.
     pub scale: Scale,
+    /// Worker threads for `pas_par` (`None` = available parallelism).
+    pub threads: Option<usize>,
 }
 
 impl Options {
-    /// Parses `--seed <n>` and `--quick` from an argument iterator.
+    /// Parses `--seed <n>`, `--quick`, and `--threads <n>` from an argument
+    /// iterator, and applies the thread count to the parallel runtime.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Options {
         let mut seed = 42u64;
         let mut scale = Scale::Paper;
+        let mut threads = None;
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--seed" => {
-                    seed = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--seed requires an integer");
+                    seed =
+                        it.next().and_then(|v| v.parse().ok()).expect("--seed requires an integer");
                 }
                 "--quick" => scale = Scale::Quick,
+                "--threads" => {
+                    let n: usize = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--threads requires a positive integer");
+                    assert!(n > 0, "--threads requires a positive integer");
+                    threads = Some(n);
+                }
                 _ => {}
             }
         }
-        Options { seed, scale }
+        pas_par::set_threads(threads.unwrap_or(0));
+        Options { seed, scale, threads }
     }
 
     /// Parses from the process arguments.
@@ -67,18 +81,32 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parses_defaults_and_flags() {
+    fn parses_defaults_flags_and_threads() {
+        // One test (not several) because the thread override is process
+        // global and cargo runs tests concurrently.
         let d = Options::parse(Vec::<String>::new());
         assert_eq!(d.seed, 42);
         assert_eq!(d.scale, Scale::Paper);
+        assert_eq!(d.threads, None);
         let q = Options::parse(vec!["--quick".into(), "--seed".into(), "7".into()]);
         assert_eq!(q.seed, 7);
         assert_eq!(q.scale, Scale::Quick);
+        let o = Options::parse(vec!["--threads".into(), "3".into()]);
+        assert_eq!(o.threads, Some(3));
+        assert_eq!(pas_par::threads(), 3);
+        pas_par::set_threads(0); // restore the default for other tests
+        assert!(pas_par::threads() >= 1);
     }
 
     #[test]
     #[should_panic(expected = "--seed requires an integer")]
     fn bad_seed_panics() {
         Options::parse(vec!["--seed".into(), "abc".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--threads requires a positive integer")]
+    fn zero_threads_panics() {
+        Options::parse(vec!["--threads".into(), "0".into()]);
     }
 }

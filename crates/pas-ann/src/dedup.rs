@@ -12,7 +12,8 @@
 //! small amount" per cluster; `keep_per_group` generalizes that).
 
 use crate::hnsw::{Hnsw, HnswConfig};
-use crate::metric::CosineDistance;
+use crate::metric::{CosineDistance, Metric};
+use crate::Neighbor;
 
 /// Deduplication parameters.
 #[derive(Debug, Clone)]
@@ -75,23 +76,41 @@ impl Deduplicator {
     /// Creates an empty deduplicator.
     pub fn new(config: DedupConfig) -> Self {
         let index = Hnsw::new(config.hnsw.clone(), CosineDistance);
-        Deduplicator { config, index, groups: Vec::new(), kept_in_group: Vec::new(), group_count: 0 }
+        Deduplicator {
+            config,
+            index,
+            groups: Vec::new(),
+            kept_in_group: Vec::new(),
+            group_count: 0,
+        }
     }
 
     /// Offers one embedding. Returns `(group_id, kept)`: the group the item
     /// was assigned to, and whether the caller should keep it.
     pub fn offer(&mut self, embedding: Vec<f32>) -> (usize, bool) {
-        let nearest = if self.index.is_empty() {
-            None
-        } else {
-            self.index
-                .search(&embedding, 1, self.config.ef_search)
-                .into_iter()
-                .next()
-                .filter(|n| n.distance <= self.config.distance_threshold)
-        };
+        let nearest = self.nearest_duplicate(&embedding).map(|n| n.id);
+        self.assign(embedding, nearest)
+    }
+
+    /// Nearest already-offered item within the duplicate threshold, if any.
+    /// A pure read of the current index — [`Deduplicator::run`] evaluates it
+    /// for a whole wave of pending items in parallel.
+    fn nearest_duplicate(&self, embedding: &[f32]) -> Option<Neighbor> {
+        if self.index.is_empty() {
+            return None;
+        }
+        self.index
+            .search(embedding, 1, self.config.ef_search)
+            .into_iter()
+            .next()
+            .filter(|n| n.distance <= self.config.distance_threshold)
+    }
+
+    /// Commits one item given its resolved nearest duplicate (an id of an
+    /// already-committed item, or `None` to found a new group).
+    fn assign(&mut self, embedding: Vec<f32>, nearest: Option<usize>) -> (usize, bool) {
         let group = match nearest {
-            Some(n) => self.groups[n.id],
+            Some(id) => self.groups[id],
             None => {
                 let g = self.group_count;
                 self.group_count += 1;
@@ -109,17 +128,46 @@ impl Deduplicator {
     }
 
     /// Deduplicates a whole collection at once.
+    ///
+    /// Items are processed in *waves* sized by the committed count (capped
+    /// at [`Hnsw::MAX_WAVE`], never dependent on the thread count): each
+    /// wave queries the index as frozen at the wave start in parallel, then
+    /// commits sequentially in input order. Because a frozen query cannot
+    /// see earlier items of the same wave, the sequential commit pass
+    /// additionally checks each item against its in-wave predecessors by
+    /// exact cosine distance, preferring whichever duplicate is closer
+    /// (ties to the lower id) — so a wave of mutual near-duplicates still
+    /// collapses to one group, and the outcome is identical at any
+    /// `--threads` setting.
     pub fn run(config: DedupConfig, embeddings: Vec<Vec<f32>>) -> DedupOutcome {
         let n = embeddings.len();
         let mut dedup = Deduplicator::new(config);
         let mut kept = Vec::new();
         let mut group_of = Vec::with_capacity(n);
-        for (i, e) in embeddings.into_iter().enumerate() {
-            let (g, keep) = dedup.offer(e);
-            group_of.push(g);
-            if keep {
-                kept.push(i);
+        let mut next = 0;
+        while next < n {
+            let wave = (n - next).min(dedup.index.len().clamp(1, Hnsw::<CosineDistance>::MAX_WAVE));
+            let frozen: Vec<Option<Neighbor>> =
+                pas_par::par_map(&embeddings[next..next + wave], |_, e| dedup.nearest_duplicate(e));
+            for (j, found) in frozen.into_iter().enumerate() {
+                let i = next + j;
+                let mut nearest: Option<(f32, usize)> = found.map(|n| (n.distance, n.id));
+                for prior in next..i {
+                    let d = CosineDistance.distance(&embeddings[i], &embeddings[prior]);
+                    if d <= dedup.config.distance_threshold
+                        && nearest
+                            .is_none_or(|(bd, bid)| d.total_cmp(&bd).then(prior.cmp(&bid)).is_lt())
+                    {
+                        nearest = Some((d, prior));
+                    }
+                }
+                let (g, keep) = dedup.assign(embeddings[i].clone(), nearest.map(|(_, id)| id));
+                group_of.push(g);
+                if keep {
+                    kept.push(i);
+                }
             }
+            next += wave;
         }
         DedupOutcome { kept, group_of, group_count: dedup.group_count }
     }
@@ -176,6 +224,40 @@ mod tests {
         assert!(out.kept.is_empty());
         assert_eq!(out.group_count, 0);
         assert_eq!(out.removal_rate(), 0.0);
+    }
+
+    #[test]
+    fn run_is_thread_count_invariant() {
+        // 300 items in 40 clusters — several full waves of mutual
+        // near-duplicates crossing wave boundaries.
+        let embeddings: Vec<Vec<f32>> = (0..300)
+            .map(|i| {
+                let c = (i % 40) as f32;
+                let eps = (i / 40) as f32 * 0.001;
+                unit(&[c.sin() + eps, c.cos(), (c * 0.7).sin(), (c * 1.3).cos() - eps])
+            })
+            .collect();
+        let run = |threads| {
+            pas_par::with_threads(threads, || {
+                let out = Deduplicator::run(DedupConfig::default(), embeddings.clone());
+                (out.kept, out.group_of, out.group_count)
+            })
+        };
+        let serial = run(1);
+        assert_eq!(run(2), serial);
+        assert_eq!(run(8), serial);
+        assert!(serial.2 < 300, "clusters should collapse");
+    }
+
+    #[test]
+    fn in_wave_duplicates_collapse() {
+        // More copies of one vector than a single wave holds: items later
+        // in a wave must still join the group founded earlier in that wave.
+        let e = unit(&[0.3, -0.8, 0.5]);
+        let n = Hnsw::<CosineDistance>::MAX_WAVE * 2 + 5;
+        let out = Deduplicator::run(DedupConfig::default(), vec![e; n]);
+        assert_eq!(out.kept, vec![0]);
+        assert_eq!(out.group_count, 1);
     }
 
     #[test]

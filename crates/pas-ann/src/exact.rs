@@ -43,21 +43,51 @@ impl<M: Metric> ExactIndex<M> {
 
     /// Exact `k` nearest neighbours of `query`, closest first; ties broken
     /// by id for determinism.
+    ///
+    /// Large collections are scanned in parallel: fixed-size chunks (never
+    /// dependent on the thread count) each reduce to a local top-`k`, and
+    /// the ordered partial results merge sequentially — so the output is
+    /// identical at any `--threads` setting.
     pub fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
-        let mut hits: Vec<Neighbor> = self
-            .vectors
-            .iter()
-            .enumerate()
-            .map(|(id, v)| Neighbor { id, distance: self.metric.distance(query, v) })
-            .collect();
-        hits.sort_by(|a, b| {
-            a.distance
-                .partial_cmp(&b.distance)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.id.cmp(&b.id))
-        });
+        let chunk_starts: Vec<usize> = (0..self.vectors.len()).step_by(Self::SCAN_CHUNK).collect();
+        let mut hits: Vec<Neighbor> = if chunk_starts.len() <= 1 {
+            self.scan_range(query, 0, self.vectors.len(), usize::MAX)
+        } else {
+            pas_par::par_map(&chunk_starts, |_, &start| {
+                let end = (start + Self::SCAN_CHUNK).min(self.vectors.len());
+                self.scan_range(query, start, end, k)
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        };
+        hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then_with(|| a.id.cmp(&b.id)));
         hits.truncate(k);
         hits
+    }
+
+    /// Vectors scanned per parallel work item in [`ExactIndex::search`] and
+    /// [`ExactIndex::search_batch`].
+    const SCAN_CHUNK: usize = 2048;
+
+    /// Distances for ids in `start..end`, sorted, truncated to `k`.
+    fn scan_range(&self, query: &[f32], start: usize, end: usize, k: usize) -> Vec<Neighbor> {
+        let mut hits: Vec<Neighbor> = self.vectors[start..end]
+            .iter()
+            .enumerate()
+            .map(|(off, v)| Neighbor { id: start + off, distance: self.metric.distance(query, v) })
+            .collect();
+        hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then_with(|| a.id.cmp(&b.id)));
+        if k != usize::MAX {
+            hits.truncate(k);
+        }
+        hits
+    }
+
+    /// `k` nearest neighbours for every query, computed in parallel (one
+    /// work item per query). Results are in query order.
+    pub fn search_batch(&self, queries: &[Vec<f32>], k: usize) -> Vec<Vec<Neighbor>> {
+        pas_par::par_map(queries, |_, q| self.scan_range(q, 0, self.vectors.len(), k))
     }
 
     /// All ids whose distance to `query` is at most `radius`.
@@ -119,6 +149,36 @@ mod tests {
         let idx: ExactIndex<EuclideanDistance> = ExactIndex::new(EuclideanDistance);
         assert!(idx.search(&[1.0], 5).is_empty());
         assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn chunked_parallel_scan_matches_serial_order() {
+        // Enough vectors to span several scan chunks.
+        let mut idx = ExactIndex::new(EuclideanDistance);
+        for i in 0..(super::ExactIndex::<EuclideanDistance>::SCAN_CHUNK * 3 + 17) {
+            let x = (i as f32 * 0.37).sin();
+            let y = (i as f32 * 0.11).cos();
+            idx.insert(vec![x, y]);
+        }
+        let query = [0.2, -0.4];
+        let run = |threads| pas_par::with_threads(threads, || idx.search(&query, 25));
+        let serial = run(1);
+        assert_eq!(serial.len(), 25);
+        for w in serial.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+        assert_eq!(run(8), serial);
+    }
+
+    #[test]
+    fn search_batch_matches_per_query_search() {
+        let idx = index_with_points();
+        let queries = vec![vec![0.1, 0.0], vec![3.0, 3.0], vec![-1.0, -1.0]];
+        let batch = idx.search_batch(&queries, 2);
+        assert_eq!(batch.len(), 3);
+        for (q, hits) in queries.iter().zip(&batch) {
+            assert_eq!(hits, &idx.search(q, 2));
+        }
     }
 
     #[test]

@@ -50,9 +50,7 @@ impl Eq for Candidate {}
 impl Ord for Candidate {
     fn cmp(&self, other: &Self) -> Ordering {
         // Max-heap by distance, ties by id (deterministic).
-        self.distance
-            .total_cmp(&other.distance)
-            .then_with(|| self.id.cmp(&other.id))
+        self.distance.total_cmp(&other.distance).then_with(|| self.id.cmp(&other.id))
     }
 }
 
@@ -95,7 +93,15 @@ impl<M: Metric> Hnsw<M> {
         assert!(config.ef_construction > 0, "ef_construction must be positive");
         let level_norm = 1.0 / (config.m as f64).ln();
         let rng = StdRng::seed_from_u64(config.seed);
-        Hnsw { config, metric, vectors: Vec::new(), nodes: Vec::new(), entry: None, rng, level_norm }
+        Hnsw {
+            config,
+            metric,
+            vectors: Vec::new(),
+            nodes: Vec::new(),
+            entry: None,
+            rng,
+            level_norm,
+        }
     }
 
     /// Number of stored vectors.
@@ -191,46 +197,112 @@ impl<M: Metric> Hnsw<M> {
 
     /// Inserts a vector, returning its id (insertion order).
     pub fn insert(&mut self, vector: Vec<f32>) -> usize {
-        let id = self.vectors.len();
         let level = self.random_level();
-        self.vectors.push(vector);
-        self.nodes.push(Node { neighbors: vec![Vec::new(); level + 1] });
+        let links = self.plan_insert(&vector, level);
+        self.commit_plan(vector, level, links)
+    }
 
+    /// Computes the layer-wise link selection for inserting `query` at
+    /// `level`, *without mutating the graph*. This is the expensive half of
+    /// an insert (all the distance evaluations live here) and is a pure
+    /// function of the current graph, so [`Hnsw::build_batch`] runs it for a
+    /// whole wave of vectors in parallel. Returns `links[layer]` = selected
+    /// peers for each layer from 0 up to `min(level, top_level)`; empty when
+    /// the index is empty.
+    fn plan_insert(&self, query: &[f32], level: usize) -> Vec<Vec<usize>> {
         let Some(mut entry) = self.entry else {
-            self.entry = Some(id);
-            return id;
+            return Vec::new();
         };
         let top_level = self.nodes[entry].level();
-        let query = self.vectors[id].clone();
 
         // Phase 1: descend through layers above the new node's level.
         for layer in ((level + 1)..=top_level).rev() {
-            entry = self.greedy_step(&query, entry, layer);
+            entry = self.greedy_step(query, entry, layer);
         }
 
-        // Phase 2: connect on each layer from min(level, top) down to 0.
+        // Phase 2: select links on each layer from min(level, top) down to 0.
+        let mut links = vec![Vec::new(); level.min(top_level) + 1];
         for layer in (0..=level.min(top_level)).rev() {
-            let found = self.search_layer(&query, entry, self.config.ef_construction, layer);
-            let mut sorted = found.clone();
+            let mut sorted = self.search_layer(query, entry, self.config.ef_construction, layer);
             sorted.sort();
             let m = self.max_links(layer);
-            let selected: Vec<usize> = sorted.iter().take(m).map(|c| c.id).collect();
-            for &peer in &selected {
-                self.nodes[id].neighbors[layer].push(peer);
-                self.nodes[peer].neighbors[layer].push(id);
-                self.shrink_links(peer, layer);
-            }
+            links[layer] = sorted.iter().take(m).map(|c| c.id).collect();
             // Continue descent from the closest node found on this layer.
             if let Some(best) = sorted.first() {
                 entry = best.id;
             }
         }
+        links
+    }
 
-        if level > top_level {
-            self.entry = Some(id);
+    /// Applies a plan from [`Hnsw::plan_insert`]: registers the vector,
+    /// wires the bidirectional links, trims overfull peers, and promotes the
+    /// entry point when the new node's level exceeds the current top. Cheap
+    /// (no distance evaluations except inside `shrink_links`) and always
+    /// sequential — the graph mutation order is what keeps builds
+    /// deterministic.
+    fn commit_plan(&mut self, vector: Vec<f32>, level: usize, links: Vec<Vec<usize>>) -> usize {
+        let id = self.vectors.len();
+        let prev_top = self.entry.map(|e| self.nodes[e].level());
+        self.vectors.push(vector);
+        self.nodes.push(Node { neighbors: vec![Vec::new(); level + 1] });
+        for (layer, peers) in links.iter().enumerate() {
+            for &peer in peers {
+                self.nodes[id].neighbors[layer].push(peer);
+                self.nodes[peer].neighbors[layer].push(id);
+                self.shrink_links(peer, layer);
+            }
+        }
+        match prev_top {
+            None => self.entry = Some(id),
+            Some(top) if level > top => self.entry = Some(id),
+            _ => {}
         }
         id
     }
+
+    /// Bulk insertion with parallel distance evaluations. Returns the ids
+    /// assigned, in input order.
+    ///
+    /// Vectors are processed in *waves*: every vector in a wave plans its
+    /// links concurrently against the graph as frozen at the wave start
+    /// (via [`pas_par::par_map`] — pure reads), then the plans are committed
+    /// sequentially in input order. Wave sizes grow with the graph
+    /// (1, 2, 4, … capped at [`Hnsw::MAX_WAVE`]) and never depend on the
+    /// thread count, and levels are pre-drawn from the index RNG in input
+    /// order, so the resulting graph is bit-identical at any `--threads`
+    /// setting. The graph differs slightly from the one incremental
+    /// [`Hnsw::insert`] calls would build (wave peers don't see each other
+    /// while planning), but it satisfies the same HNSW invariants and recall
+    /// bounds — see `batch_build_recall_matches_incremental`.
+    pub fn build_batch(&mut self, vectors: Vec<Vec<f32>>) -> Vec<usize> {
+        let levels: Vec<usize> = vectors.iter().map(|_| self.random_level()).collect();
+        let mut ids = Vec::with_capacity(vectors.len());
+        let mut vectors: Vec<Option<Vec<f32>>> = vectors.into_iter().map(Some).collect();
+        let mut next = 0;
+        while next < vectors.len() {
+            let wave = (vectors.len() - next).min(self.len().clamp(1, Self::MAX_WAVE));
+            let plans = {
+                let wave_inputs: Vec<(usize, &Vec<f32>)> = (next..next + wave)
+                    .map(|i| (i, vectors[i].as_ref().expect("not yet committed")))
+                    .collect();
+                pas_par::par_map(&wave_inputs, |_, &(i, v)| self.plan_insert(v, levels[i]))
+            };
+            for (j, links) in plans.into_iter().enumerate() {
+                let i = next + j;
+                let v = vectors[i].take().expect("committed once");
+                ids.push(self.commit_plan(v, levels[i], links));
+            }
+            next += wave;
+        }
+        ids
+    }
+
+    /// Cap on the number of vectors planned concurrently per wave of
+    /// [`Hnsw::build_batch`]. Bounds how stale the frozen graph each plan
+    /// sees can get (graph quality) while leaving enough items in flight to
+    /// occupy every worker (speed).
+    pub const MAX_WAVE: usize = 64;
 
     /// Trims a node's adjacency at `layer` to at most `max_links` using the
     /// diversity heuristic of Malkov & Yashunin's Algorithm 4: walk the
@@ -248,7 +320,10 @@ impl<M: Metric> Hnsw<M> {
         let base = self.vectors[node].clone();
         let mut links: Vec<Candidate> = self.nodes[node].neighbors[layer]
             .iter()
-            .map(|&peer| Candidate { distance: self.metric.distance(&base, &self.vectors[peer]), id: peer })
+            .map(|&peer| Candidate {
+                distance: self.metric.distance(&base, &self.vectors[peer]),
+                id: peer,
+            })
             .collect();
         links.sort();
         let mut selected: Vec<Candidate> = Vec::with_capacity(m);
@@ -287,21 +362,14 @@ impl<M: Metric> Hnsw<M> {
         }
         let mut found = self.search_layer(query, entry, ef.max(k).max(1), 0);
         found.sort();
-        found
-            .into_iter()
-            .take(k)
-            .map(|c| Neighbor { id: c.id, distance: c.distance })
-            .collect()
+        found.into_iter().take(k).map(|c| Neighbor { id: c.id, distance: c.distance }).collect()
     }
 
     /// All neighbours within `radius` of `query`, found by running an
     /// `ef`-bounded search and filtering. With `ef` well above the expected
     /// group size this matches exact radius search with high probability.
     pub fn search_radius(&self, query: &[f32], radius: f32, ef: usize) -> Vec<Neighbor> {
-        self.search(query, ef, ef)
-            .into_iter()
-            .filter(|n| n.distance <= radius)
-            .collect()
+        self.search(query, ef, ef).into_iter().filter(|n| n.distance <= radius).collect()
     }
 
     /// Captures the index state for persistence. The metric is not part of
@@ -321,8 +389,9 @@ impl<M: Metric> Hnsw<M> {
     /// but equally valid — level sequence than one that never stopped.
     pub fn from_snapshot(snapshot: HnswSnapshot, metric: M) -> Self {
         let level_norm = 1.0 / (snapshot.config.m as f64).ln();
-        let rng =
-            StdRng::seed_from_u64(snapshot.config.seed ^ (snapshot.nodes.len() as u64).rotate_left(21));
+        let rng = StdRng::seed_from_u64(
+            snapshot.config.seed ^ (snapshot.nodes.len() as u64).rotate_left(21),
+        );
         Hnsw {
             config: snapshot.config,
             metric,
@@ -353,9 +422,7 @@ mod tests {
 
     fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n)
-            .map(|_| (0..dim).map(|_| rng.random::<f32>() * 2.0 - 1.0).collect())
-            .collect()
+        (0..n).map(|_| (0..dim).map(|_| rng.random::<f32>() * 2.0 - 1.0).collect()).collect()
     }
 
     #[test]
@@ -389,10 +456,8 @@ mod tests {
     #[test]
     fn recall_at_10_vs_exact() {
         let vecs = random_vectors(500, 16, 7);
-        let mut hnsw = Hnsw::new(
-            HnswConfig { m: 12, ef_construction: 80, seed: 3 },
-            EuclideanDistance,
-        );
+        let mut hnsw =
+            Hnsw::new(HnswConfig { m: 12, ef_construction: 80, seed: 3 }, EuclideanDistance);
         let mut exact = ExactIndex::new(EuclideanDistance);
         for v in &vecs {
             hnsw.insert(v.clone());
@@ -438,14 +503,12 @@ mod tests {
     fn deterministic_given_seed() {
         let vecs = random_vectors(80, 8, 5);
         let build = |seed| {
-            let mut idx = Hnsw::new(HnswConfig { seed, ..HnswConfig::default() }, EuclideanDistance);
+            let mut idx =
+                Hnsw::new(HnswConfig { seed, ..HnswConfig::default() }, EuclideanDistance);
             for v in &vecs {
                 idx.insert(v.clone());
             }
-            idx.search(&vecs[3], 5, 32)
-                .into_iter()
-                .map(|n| n.id)
-                .collect::<Vec<_>>()
+            idx.search(&vecs[3], 5, 32).into_iter().map(|n| n.id).collect::<Vec<_>>()
         };
         assert_eq!(build(42), build(42));
     }
@@ -488,5 +551,95 @@ mod tests {
     #[should_panic(expected = "at least 2")]
     fn tiny_m_rejected() {
         let _ = Hnsw::new(HnswConfig { m: 1, ..HnswConfig::default() }, EuclideanDistance);
+    }
+
+    #[test]
+    fn batch_build_assigns_sequential_ids() {
+        let vecs = random_vectors(150, 8, 23);
+        let mut idx = Hnsw::new(HnswConfig::default(), EuclideanDistance);
+        let ids = idx.build_batch(vecs);
+        assert_eq!(ids, (0..150).collect::<Vec<_>>());
+        assert_eq!(idx.len(), 150);
+    }
+
+    #[test]
+    fn batch_build_is_thread_count_invariant() {
+        let vecs = random_vectors(300, 8, 29);
+        let build = |threads: usize| {
+            pas_par::with_threads(threads, || {
+                let mut idx = Hnsw::new(HnswConfig::default(), EuclideanDistance);
+                idx.build_batch(vecs.clone());
+                let snap = serde_json::to_string(&idx.snapshot()).unwrap();
+                let probes: Vec<Vec<usize>> = vecs
+                    .iter()
+                    .step_by(17)
+                    .map(|q| idx.search(q, 5, 48).into_iter().map(|n| n.id).collect())
+                    .collect();
+                (snap, probes)
+            })
+        };
+        let serial = build(1);
+        assert_eq!(build(2), serial);
+        assert_eq!(build(8), serial);
+    }
+
+    #[test]
+    fn batch_build_recall_matches_incremental() {
+        let vecs = random_vectors(500, 16, 7);
+        let mut hnsw =
+            Hnsw::new(HnswConfig { m: 12, ef_construction: 80, seed: 3 }, EuclideanDistance);
+        hnsw.build_batch(vecs.clone());
+        let mut exact = ExactIndex::new(EuclideanDistance);
+        for v in &vecs {
+            exact.insert(v.clone());
+        }
+        let queries = random_vectors(20, 16, 99);
+        let mut hits_total = 0usize;
+        for q in &queries {
+            let truth: std::collections::HashSet<usize> =
+                exact.search(q, 10).into_iter().map(|n| n.id).collect();
+            let approx = hnsw.search(q, 10, 80);
+            hits_total += approx.iter().filter(|n| truth.contains(&n.id)).count();
+        }
+        let recall = hits_total as f64 / (10 * queries.len()) as f64;
+        assert!(recall >= 0.9, "batch-built recall@10 = {recall}");
+    }
+
+    #[test]
+    fn batch_build_draws_same_levels_as_incremental() {
+        // The level sequence comes from the index RNG in input order, so a
+        // batch build consumes exactly the same draws as incremental inserts.
+        let vecs = random_vectors(40, 4, 31);
+        let mut a = Hnsw::new(HnswConfig::default(), EuclideanDistance);
+        a.build_batch(vecs.clone());
+        let mut b = Hnsw::new(HnswConfig::default(), EuclideanDistance);
+        for v in &vecs {
+            b.insert(v.clone());
+        }
+        let levels =
+            |idx: &Hnsw<EuclideanDistance>| idx.nodes.iter().map(|n| n.level()).collect::<Vec<_>>();
+        assert_eq!(levels(&a), levels(&b));
+    }
+
+    #[test]
+    fn batch_build_on_top_of_existing_index() {
+        let vecs = random_vectors(120, 8, 37);
+        let mut idx = Hnsw::new(HnswConfig::default(), EuclideanDistance);
+        for v in &vecs[..40] {
+            idx.insert(v.clone());
+        }
+        let ids = idx.build_batch(vecs[40..].to_vec());
+        assert_eq!(ids.first(), Some(&40));
+        assert_eq!(idx.len(), 120);
+        let hits = idx.search(&vecs[100], 1, 64);
+        assert_eq!(hits[0].id, 100);
+        assert!(hits[0].distance < 1e-6);
+    }
+
+    #[test]
+    fn batch_build_empty_input_is_noop() {
+        let mut idx = Hnsw::new(HnswConfig::default(), EuclideanDistance);
+        assert!(idx.build_batch(Vec::new()).is_empty());
+        assert!(idx.is_empty());
     }
 }

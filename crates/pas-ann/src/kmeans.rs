@@ -42,11 +42,7 @@ pub struct KMeansResult {
 impl KMeansResult {
     /// Ids of the points in cluster `c`.
     pub fn members(&self, c: usize) -> Vec<usize> {
-        self.assignments
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &a)| (a == c).then_some(i))
-            .collect()
+        self.assignments.iter().enumerate().filter_map(|(i, &a)| (a == c).then_some(i)).collect()
     }
 
     /// Number of clusters.
@@ -149,11 +145,7 @@ pub fn kmeans(points: &[Vec<f32>], config: &KMeansConfig) -> KMeansResult {
         }
     }
 
-    let inertia = points
-        .iter()
-        .zip(&assignments)
-        .map(|(p, &a)| sq_dist(p, &centroids[a]))
-        .sum();
+    let inertia = points.iter().zip(&assignments).map(|(p, &a)| sq_dist(p, &centroids[a])).sum();
     KMeansResult { centroids, assignments, iterations, inertia }
 }
 

@@ -19,15 +19,15 @@ pub mod dedup;
 pub mod exact;
 pub mod hnsw;
 pub mod kmeans;
-pub mod minhash;
 pub mod metric;
+pub mod minhash;
 
 pub use dedup::{DedupConfig, DedupOutcome, Deduplicator};
 pub use exact::ExactIndex;
 pub use hnsw::{Hnsw, HnswConfig};
 pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
-pub use minhash::{LshIndex, MinHashConfig, MinHashDeduplicator, MinHasher, Signature};
 pub use metric::{CosineDistance, EuclideanDistance, Metric};
+pub use minhash::{LshIndex, MinHashConfig, MinHashDeduplicator, MinHasher, Signature};
 
 /// A search hit: item id plus its distance to the query (smaller = closer).
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -40,11 +40,7 @@ impl Metric for EuclideanDistance {
     #[inline]
     fn distance(&self, a: &[f32], b: &[f32]) -> f32 {
         debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
-        a.iter()
-            .zip(b)
-            .map(|(&x, &y)| (x - y) * (x - y))
-            .sum::<f32>()
-            .sqrt()
+        a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum::<f32>().sqrt()
     }
 }
 
@@ -80,9 +76,6 @@ mod tests {
         let a = [0.2, -0.5, 0.7];
         let b = [0.9, 0.1, -0.3];
         assert_eq!(CosineDistance.distance(&a, &b), CosineDistance.distance(&b, &a));
-        assert_eq!(
-            EuclideanDistance.distance(&a, &b),
-            EuclideanDistance.distance(&b, &a)
-        );
+        assert_eq!(EuclideanDistance.distance(&a, &b), EuclideanDistance.distance(&b, &a));
     }
 }

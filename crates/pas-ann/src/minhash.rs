@@ -37,11 +37,7 @@ impl Default for MinHashConfig {
 impl MinHashConfig {
     fn validate(&self) {
         assert!(self.num_hashes > 0, "need at least one hash");
-        assert_eq!(
-            self.bands * self.rows,
-            self.num_hashes,
-            "bands*rows must equal num_hashes"
-        );
+        assert_eq!(self.bands * self.rows, self.num_hashes, "bands*rows must equal num_hashes");
     }
 }
 
@@ -213,10 +209,7 @@ impl LshIndex {
         if !sig.is_empty() {
             let rows = self.hasher.config.rows;
             for (band, buckets) in self.buckets.iter_mut().enumerate() {
-                buckets
-                    .entry(Self::band_key(&sig, band, rows))
-                    .or_default()
-                    .push(id);
+                buckets.entry(Self::band_key(&sig, band, rows)).or_default().push(id);
             }
         }
         self.signatures.push(sig.clone());
@@ -340,10 +333,7 @@ mod tests {
         let sb = shingles(variant);
         let truth = true_jaccard(&sa, &sb);
         let est = h.estimate_jaccard(&h.signature(&sa), &h.signature(&sb));
-        assert!(
-            (truth - est).abs() < 0.15,
-            "true {truth} vs estimated {est}"
-        );
+        assert!((truth - est).abs() < 0.15, "true {truth} vs estimated {est}");
     }
 
     #[test]

@@ -9,10 +9,7 @@ use pas_ann::{
 };
 
 fn vectors(n: std::ops::Range<usize>, dim: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
-    prop::collection::vec(
-        prop::collection::vec(-1.0f32..1.0, dim..=dim),
-        n,
-    )
+    prop::collection::vec(prop::collection::vec(-1.0f32..1.0, dim..=dim), n)
 }
 
 proptest! {

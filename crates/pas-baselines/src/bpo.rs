@@ -121,9 +121,8 @@ impl Bpo {
     /// the "complex and challenging scenarios" where the paper observes
     /// BPO's instability.
     pub fn drifts(&self, prompt: &str) -> bool {
-        let mut rng = StdRng::seed_from_u64(
-            pas_text::fx_hash_str(prompt) ^ self.config.seed.rotate_left(5),
-        );
+        let mut rng =
+            StdRng::seed_from_u64(pas_text::fx_hash_str(prompt) ^ self.config.seed.rotate_left(5));
         let complexity = (prompt.split_whitespace().count() as f32 / 14.0).clamp(0.5, 2.2);
         rng.random::<f32>() < self.config.drift_rate * complexity
     }
@@ -173,8 +172,8 @@ impl PromptOptimizer for Bpo {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pas_llm::teacher::realize_complement;
     use pas_data::PairRecord;
+    use pas_llm::teacher::realize_complement;
     use pas_llm::Category;
 
     fn dataset(n: usize) -> PairDataset {
@@ -216,9 +215,8 @@ mod tests {
         let bpo = Bpo::train(&BpoConfig { drift_rate: 0.1, ..BpoConfig::default() }, &dataset(50));
         // 4-word prompts clamp complexity to 0.5, so the effective rate is
         // ~5%: expect roughly 25 drifted out of 500.
-        let drifted = (0..500)
-            .filter(|i| bpo.drifts(&format!("prompt variant number {i}")))
-            .count();
+        let drifted =
+            (0..500).filter(|i| bpo.drifts(&format!("prompt variant number {i}"))).count();
         assert!((8..=60).contains(&drifted), "drifted {drifted}/500");
     }
 

@@ -199,11 +199,9 @@ mod tests {
         );
         // And it must beat the no-instruction baseline on the train split.
         let baseline = {
-            let total: f32 = train
-                .iter()
-                .map(|(p, m)| labeled_score(m, &model.chat(p)))
-                .sum::<f32>()
-                / train.len() as f32;
+            let total: f32 =
+                train.iter().map(|(p, m)| labeled_score(m, &model.chat(p))).sum::<f32>()
+                    / train.len() as f32;
             total
         };
         assert!(opro.train_score() > baseline, "{} vs {baseline}", opro.train_score());

@@ -144,8 +144,9 @@ mod tests {
 
     #[test]
     fn capability_grows_and_saturates() {
-        let cap = |n| PreferenceTuned::tune(PreferenceKind::Dpo, "llama-2-7b-instruct", n)
-            .tuned_capability();
+        let cap = |n| {
+            PreferenceTuned::tune(PreferenceKind::Dpo, "llama-2-7b-instruct", n).tuned_capability()
+        };
         assert!(cap(10_000) > cap(0));
         assert!(cap(100_000) > cap(10_000));
         // Saturation: doubling huge data barely helps.

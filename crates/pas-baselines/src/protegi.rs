@@ -49,7 +49,8 @@ impl ProTeGi {
         model: &SimLlm,
         train: &[(String, PromptMeta)],
     ) -> ProTeGi {
-        let mut beam: Vec<(AspectSet, f32)> = vec![(AspectSet::EMPTY, score_set(model, train, AspectSet::EMPTY))];
+        let mut beam: Vec<(AspectSet, f32)> =
+            vec![(AspectSet::EMPTY, score_set(model, train, AspectSet::EMPTY))];
 
         for _ in 0..config.rounds {
             let mut expanded = beam.clone();
@@ -198,7 +199,12 @@ mod tests {
         let (train, world) = train_split(25);
         let model = SimLlm::named("gpt-4-0613", world);
         let baseline = score_set(&model, &train, AspectSet::EMPTY);
-        let pt = ProTeGi::optimize_for_task(&ProTeGiConfig::default(), Category::Analysis, &model, &train);
+        let pt = ProTeGi::optimize_for_task(
+            &ProTeGiConfig::default(),
+            Category::Analysis,
+            &model,
+            &train,
+        );
         assert!(pt.train_score() > baseline, "{} vs {baseline}", pt.train_score());
         assert!(!pt.instruction().is_empty());
     }
@@ -207,7 +213,12 @@ mod tests {
     fn instruction_addresses_missing_aspects() {
         let (train, world) = train_split(25);
         let model = SimLlm::named("gpt-3.5-turbo-1106", world);
-        let pt = ProTeGi::optimize_for_task(&ProTeGiConfig::default(), Category::Analysis, &model, &train);
+        let pt = ProTeGi::optimize_for_task(
+            &ProTeGiConfig::default(),
+            Category::Analysis,
+            &model,
+            &train,
+        );
         let requested = detect_aspects(pt.instruction());
         let needed: AspectSet = [Aspect::Depth, Aspect::Completeness].into_iter().collect();
         assert!(!requested.intersection(needed).is_empty(), "{:?}", pt.instruction());
@@ -217,7 +228,12 @@ mod tests {
     fn flexibility_metadata_matches_table3() {
         let (train, world) = train_split(5);
         let model = SimLlm::named("gpt-4-0613", world);
-        let pt = ProTeGi::optimize_for_task(&ProTeGiConfig::default(), Category::Analysis, &model, &train);
+        let pt = ProTeGi::optimize_for_task(
+            &ProTeGiConfig::default(),
+            Category::Analysis,
+            &model,
+            &train,
+        );
         assert!(pt.requires_human_labels());
         assert!(!pt.llm_agnostic());
         assert!(!pt.task_agnostic());
@@ -228,7 +244,8 @@ mod tests {
     fn empty_train_split_is_safe() {
         let (_, world) = train_split(1);
         let model = SimLlm::named("gpt-4-0613", world);
-        let pt = ProTeGi::optimize_for_task(&ProTeGiConfig::default(), Category::Analysis, &model, &[]);
+        let pt =
+            ProTeGi::optimize_for_task(&ProTeGiConfig::default(), Category::Analysis, &model, &[]);
         assert_eq!(pt.optimize("plain prompt"), "plain prompt");
     }
 }

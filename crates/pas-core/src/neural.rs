@@ -228,7 +228,10 @@ mod tests {
     #[test]
     fn eval_nll_decreases_with_training() {
         let ds = regular_dataset(40);
-        let (short, _) = NeuralPas::sft(&NeuralPasConfig { epochs: 1, merges: 80, ..NeuralPasConfig::default() }, &ds);
+        let (short, _) = NeuralPas::sft(
+            &NeuralPasConfig { epochs: 1, merges: 80, ..NeuralPasConfig::default() },
+            &ds,
+        );
         let (long, _) = NeuralPas::sft(&quick_config(), &ds);
         assert!(long.eval_nll(&ds) < short.eval_nll(&ds));
     }

@@ -106,10 +106,7 @@ impl Pas {
             .iter()
             .map(|p| {
                 let detected = detect_aspects(&p.complement);
-                Aspect::ALL
-                    .iter()
-                    .map(|&a| if detected.contains(a) { 1.0 } else { 0.0 })
-                    .collect()
+                Aspect::ALL.iter().map(|&a| if detected.contains(a) { 1.0 } else { 0.0 }).collect()
             })
             .collect();
         let mut aspect_model =
@@ -172,19 +169,15 @@ impl Pas {
             StdRng::seed_from_u64(pas_text::fx_hash_str(prompt) ^ self.seed.rotate_left(9));
         // Style imitation: a model fine-tuned on flawed pairs emits flawed
         // complements at the training contamination rate.
-        if !self.contaminated_styles.is_empty()
-            && rng.random::<f32>() < self.contamination_rate
-        {
+        if !self.contaminated_styles.is_empty() && rng.random::<f32>() < self.contamination_rate {
             let i = rng.random_range(0..self.contaminated_styles.len());
             return self.contaminated_styles[i].clone();
         }
         let intended = self.predict_aspects(prompt);
         // Base-model realization: a weaker base model drops intended
         // aspects from the generated text more often.
-        let realized: AspectSet = intended
-            .iter()
-            .filter(|_| rng.random::<f32>() < self.fidelity)
-            .collect();
+        let realized: AspectSet =
+            intended.iter().filter(|_| rng.random::<f32>() < self.fidelity).collect();
         let final_set = if realized.is_empty() { intended } else { realized };
         let topic = top_keywords(prompt, 3).join(" ");
         realize_complement_in(pas_text::lang::detect_language(prompt), &topic, final_set)

@@ -8,7 +8,7 @@
 //! models can later "understand" it.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::RngExt;
 
 use pas_llm::world::{detect_aspects, Aspect, AspectSet, Category, PromptMeta, World};
 use pas_text::lang::Language;
@@ -47,44 +47,94 @@ pub struct Corpus {
     pub world: World,
 }
 
+/// What record `id` will be, decided cheaply up front so the expensive text
+/// construction can run in parallel.
+enum RecordPlan {
+    /// Low-quality noise.
+    Junk,
+    /// Surface variant of the fresh record at index `src`.
+    Dup { src: usize },
+    /// Fresh English prompt.
+    Fresh,
+    /// Fresh Chinese prompt.
+    FreshZh,
+}
+
 impl Corpus {
     /// Generates a corpus.
+    ///
+    /// Deterministic-parallel in three phases. Each record owns an RNG
+    /// derived from `(seed, id)` via [`pas_par::rng_for`], so no draw order
+    /// depends on scheduling:
+    ///
+    /// 1. **Plan** (sequential, cheap): each record's RNG rolls its kind;
+    ///    duplicates pick a source among the fresh records planned so far.
+    /// 2. **Build** (parallel): fresh and junk records are constructed
+    ///    concurrently — each a pure function of `(id, its RNG)` — then
+    ///    duplicates, which only read their (always fresh) source record.
+    /// 3. **Register** (sequential): world registration in id order.
+    ///
+    /// The output is bit-identical at any `--threads` setting.
     pub fn generate(config: &CorpusConfig) -> Corpus {
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        // Phase 1: plan.
+        let mut plans: Vec<(RecordPlan, StdRng)> = Vec::with_capacity(config.size);
+        let mut fresh_ids: Vec<usize> = Vec::new();
+        for id in 0..config.size {
+            let mut rng = pas_par::rng_for(config.seed, id as u64);
+            let roll: f64 = rng.random();
+            let plan = if roll < config.junk_rate {
+                RecordPlan::Junk
+            } else if roll < config.junk_rate + config.dup_rate && !fresh_ids.is_empty() {
+                RecordPlan::Dup { src: fresh_ids[rng.random_range(0..fresh_ids.len())] }
+            } else if rng.random::<f64>() < config.zh_rate {
+                fresh_ids.push(id);
+                RecordPlan::FreshZh
+            } else {
+                fresh_ids.push(id);
+                RecordPlan::Fresh
+            };
+            plans.push((plan, rng));
+        }
+
+        // Phase 2a: build the independent records in parallel.
+        let built: Vec<Option<PromptRecord>> = pas_par::par_map(&plans, |id, (plan, rng)| {
+            let mut rng = rng.clone();
+            match plan {
+                RecordPlan::Junk => Some(junk_record(id as u64, &mut rng)),
+                RecordPlan::Fresh => Some(fresh_record(id as u64, &mut rng)),
+                RecordPlan::FreshZh => Some(fresh_record_zh(id as u64, &mut rng)),
+                RecordPlan::Dup { .. } => None,
+            }
+        });
+        // Phase 2b: build duplicates, reading their fresh sources.
+        let dups: Vec<Option<PromptRecord>> = pas_par::par_map(&plans, |id, (plan, rng)| {
+            let RecordPlan::Dup { src } = plan else { return None };
+            let mut rng = rng.clone();
+            let base = built[*src].as_ref().expect("duplicate sources are fresh records");
+            let text = surface_variant(&base.text, &mut rng);
+            Some(PromptRecord {
+                id: id as u64,
+                text,
+                meta: base.meta.clone(),
+                source: pick_source(&mut rng),
+                latent_quality: base.latent_quality,
+            })
+        });
+
+        // Phase 3: register in id order. Junk stays unregistered noise; a
+        // near-duplicate is the same request, so its variant text is
+        // registered too in case the variant changed the leading words.
         let mut records: Vec<PromptRecord> = Vec::with_capacity(config.size);
         let mut world = World::new();
-        let mut originals: Vec<usize> = Vec::new();
-
-        for id in 0..config.size as u64 {
-            let roll: f64 = rng.random();
-            if roll < config.junk_rate {
-                records.push(junk_record(id, &mut rng));
-                continue;
-            }
-            if roll < config.junk_rate + config.dup_rate && !originals.is_empty() {
-                let src = originals[rng.random_range(0..originals.len())];
-                let base = &records[src];
-                let text = surface_variant(&base.text, &mut rng);
-                let meta = base.meta.clone();
-                // A near-duplicate is the same request; register its prefix
-                // too in case the variant changed the leading words.
-                world.register(&text, meta.clone());
-                records.push(PromptRecord {
-                    id,
-                    text,
-                    meta,
-                    source: pick_source(&mut rng),
-                    latent_quality: base.latent_quality,
-                });
-                continue;
-            }
-            let rec = if rng.random::<f64>() < config.zh_rate {
-                fresh_record_zh(id, &mut rng)
-            } else {
-                fresh_record(id, &mut rng)
+        for (plan, rec) in plans.iter().zip(built.into_iter().zip(dups)) {
+            let rec = match rec {
+                (Some(r), None) => r,
+                (None, Some(r)) => r,
+                _ => unreachable!("each id built exactly once"),
             };
-            world.register(&rec.text, rec.meta.clone());
-            originals.push(records.len());
+            if !matches!(plan.0, RecordPlan::Junk) {
+                world.register(&rec.text, rec.meta.clone());
+            }
             records.push(rec);
         }
         Corpus { records, world }
@@ -145,76 +195,120 @@ fn pick_source(rng: &mut StdRng) -> Source {
 fn topics(category: Category) -> &'static [&'static str] {
     match category {
         Category::QuestionAnswering => &[
-            "blood pressure during blood loss", "photosynthesis in desert plants",
-            "monetary policy and inflation", "volcanic eruption warning signs",
-            "antibiotic resistance mechanisms", "glacier formation timescales",
-            "satellite orbital decay", "caffeine metabolism in humans",
+            "blood pressure during blood loss",
+            "photosynthesis in desert plants",
+            "monetary policy and inflation",
+            "volcanic eruption warning signs",
+            "antibiotic resistance mechanisms",
+            "glacier formation timescales",
+            "satellite orbital decay",
+            "caffeine metabolism in humans",
         ],
         Category::Coding => &[
-            "cache eviction policy for a buffer pool", "parsing csv files with quoted fields",
-            "async task scheduling in a web server", "binary search tree rebalancing",
-            "memory leak in a long running daemon", "database index selection strategy",
-            "rate limiter implementation", "lock free queue design",
+            "cache eviction policy for a buffer pool",
+            "parsing csv files with quoted fields",
+            "async task scheduling in a web server",
+            "binary search tree rebalancing",
+            "memory leak in a long running daemon",
+            "database index selection strategy",
+            "rate limiter implementation",
+            "lock free queue design",
         ],
         Category::Writing => &[
-            "resignation letter to a difficult manager", "grant proposal for river cleanup",
-            "product launch announcement", "wedding speech for an old friend",
-            "cover letter for a data engineering role", "apology email to a client",
+            "resignation letter to a difficult manager",
+            "grant proposal for river cleanup",
+            "product launch announcement",
+            "wedding speech for an old friend",
+            "cover letter for a data engineering role",
+            "apology email to a client",
         ],
         Category::Math => &[
-            "compound interest over decades", "probability of shared birthdays",
-            "area under a parabola", "train speed and meeting time puzzles",
-            "prime factorization shortcuts", "expected value of dice games",
+            "compound interest over decades",
+            "probability of shared birthdays",
+            "area under a parabola",
+            "train speed and meeting time puzzles",
+            "prime factorization shortcuts",
+            "expected value of dice games",
         ],
         Category::Reasoning => &[
-            "birds on a tree after a gunshot", "candles burning at different rates",
-            "siblings ages riddle", "rivers crossing with limited boat seats",
-            "coins weighing with a balance scale", "light switches and bulbs upstairs",
+            "birds on a tree after a gunshot",
+            "candles burning at different rates",
+            "siblings ages riddle",
+            "rivers crossing with limited boat seats",
+            "coins weighing with a balance scale",
+            "light switches and bulbs upstairs",
         ],
         Category::Translation => &[
-            "business contract clauses", "restaurant menu descriptions",
-            "medical consent forms", "poetry preserving meter",
-            "software error messages", "historical speech excerpts",
+            "business contract clauses",
+            "restaurant menu descriptions",
+            "medical consent forms",
+            "poetry preserving meter",
+            "software error messages",
+            "historical speech excerpts",
         ],
         Category::Summarization => &[
-            "quarterly earnings call transcript", "climate panel assessment report",
-            "novel chapter with three subplots", "city council meeting minutes",
-            "clinical trial results paper", "podcast interview about startups",
+            "quarterly earnings call transcript",
+            "climate panel assessment report",
+            "novel chapter with three subplots",
+            "city council meeting minutes",
+            "clinical trial results paper",
+            "podcast interview about startups",
         ],
         Category::Roleplay => &[
-            "a ship captain in a storm", "a medieval blacksmith teaching an apprentice",
-            "a detective interviewing a witness", "a museum guide for dinosaurs",
-            "a starship engineer during an emergency", "a chess grandmaster coaching",
+            "a ship captain in a storm",
+            "a medieval blacksmith teaching an apprentice",
+            "a detective interviewing a witness",
+            "a museum guide for dinosaurs",
+            "a starship engineer during an emergency",
+            "a chess grandmaster coaching",
         ],
         Category::Recommendation => &[
-            "science fiction novels for teenagers", "budget laptops for programming",
-            "hiking trails near mountain lakes", "board games for large families",
-            "documentaries about deep oceans", "podcasts on behavioural economics",
+            "science fiction novels for teenagers",
+            "budget laptops for programming",
+            "hiking trails near mountain lakes",
+            "board games for large families",
+            "documentaries about deep oceans",
+            "podcasts on behavioural economics",
         ],
         Category::Knowledge => &[
-            "the silk road trade routes", "the printing press and literacy",
-            "the human immune response", "plate tectonics evidence",
-            "the french revolution causes", "the development of calculus",
-            "boiling water quickly in ancient times", "food preservation before refrigeration",
+            "the silk road trade routes",
+            "the printing press and literacy",
+            "the human immune response",
+            "plate tectonics evidence",
+            "the french revolution causes",
+            "the development of calculus",
+            "boiling water quickly in ancient times",
+            "food preservation before refrigeration",
         ],
         Category::Analysis => &[
-            "remote work effects on productivity", "electric vehicle adoption barriers",
-            "social media and attention spans", "urban housing price drivers",
-            "renewable energy grid stability", "streaming services market saturation",
+            "remote work effects on productivity",
+            "electric vehicle adoption barriers",
+            "social media and attention spans",
+            "urban housing price drivers",
+            "renewable energy grid stability",
+            "streaming services market saturation",
         ],
         Category::Creative => &[
-            "a poem about the autumn moon", "a short story set in a lighthouse",
-            "song lyrics about leaving home", "a fable with a clever fox",
-            "a haiku sequence about rain", "an opening scene on a night train",
+            "a poem about the autumn moon",
+            "a short story set in a lighthouse",
+            "song lyrics about leaving home",
+            "a fable with a clever fox",
+            "a haiku sequence about rain",
+            "an opening scene on a night train",
         ],
         Category::Brainstorming => &[
-            "fundraiser ideas for a school library", "names for a coffee subscription",
-            "icebreakers for remote teams", "uses for empty glass jars",
-            "features for a habit tracking app", "themes for a science festival",
+            "fundraiser ideas for a school library",
+            "names for a coffee subscription",
+            "icebreakers for remote teams",
+            "uses for empty glass jars",
+            "features for a habit tracking app",
+            "themes for a science festival",
         ],
         Category::Chitchat => &[
-            "how the weekend went", "favourite comfort food",
-            "weather this week", "plans for the holidays",
+            "how the weekend went",
+            "favourite comfort food",
+            "weather this week",
+            "plans for the holidays",
         ],
     }
 }
@@ -232,11 +326,9 @@ fn templates(category: Category) -> &'static [&'static str] {
             "My code for {t} keeps failing, what should I check?",
             "What is the best approach to {t} in a production system?",
         ],
-        Category::Writing => &[
-            "Help me write {t}.",
-            "Draft {t} for me.",
-            "I need to write {t}, where do I start?",
-        ],
+        Category::Writing => {
+            &["Help me write {t}.", "Draft {t} for me.", "I need to write {t}, where do I start?"]
+        }
         Category::Math => &[
             "How do I solve problems about {t}?",
             "Walk me through {t}.",
@@ -281,20 +373,13 @@ fn templates(category: Category) -> &'static [&'static str] {
             "What are the main factors behind {t}?",
             "Evaluate the arguments around {t}.",
         ],
-        Category::Creative => &[
-            "Write {t}.",
-            "Compose {t} for me.",
-            "Create {t} with vivid imagery.",
-        ],
-        Category::Brainstorming => &[
-            "Brainstorm {t}.",
-            "Give me ideas for {t}.",
-            "List creative options for {t}.",
-        ],
-        Category::Chitchat => &[
-            "Let's chat about {t}.",
-            "Tell me something fun about {t}.",
-        ],
+        Category::Creative => {
+            &["Write {t}.", "Compose {t} for me.", "Create {t} with vivid imagery."]
+        }
+        Category::Brainstorming => {
+            &["Brainstorm {t}.", "Give me ideas for {t}.", "List creative options for {t}."]
+        }
+        Category::Chitchat => &["Let's chat about {t}.", "Tell me something fun about {t}."],
     }
 }
 
@@ -302,17 +387,27 @@ fn templates(category: Category) -> &'static [&'static str] {
 fn required_aspects(category: Category, trap: bool, rng: &mut StdRng) -> AspectSet {
     use Aspect::*;
     let table: &[(Aspect, f32)] = match category {
-        Category::QuestionAnswering => &[(Depth, 0.7), (Context, 0.5), (Completeness, 0.4), (Examples, 0.2)],
-        Category::Coding => &[(StepByStep, 0.6), (Examples, 0.6), (Completeness, 0.5), (FormatSpec, 0.3)],
-        Category::Writing => &[(StyleConstraint, 0.8), (Audience, 0.5), (FormatSpec, 0.3), (Depth, 0.2)],
+        Category::QuestionAnswering => {
+            &[(Depth, 0.7), (Context, 0.5), (Completeness, 0.4), (Examples, 0.2)]
+        }
+        Category::Coding => {
+            &[(StepByStep, 0.6), (Examples, 0.6), (Completeness, 0.5), (FormatSpec, 0.3)]
+        }
+        Category::Writing => {
+            &[(StyleConstraint, 0.8), (Audience, 0.5), (FormatSpec, 0.3), (Depth, 0.2)]
+        }
         Category::Math => &[(StepByStep, 0.9), (Completeness, 0.4), (Examples, 0.2)],
         Category::Reasoning => &[(StepByStep, 0.8), (Completeness, 0.3), (Context, 0.2)],
         Category::Translation => &[(StyleConstraint, 0.6), (Context, 0.5), (Completeness, 0.3)],
         Category::Summarization => &[(Conciseness, 0.8), (Completeness, 0.5), (FormatSpec, 0.3)],
         Category::Roleplay => &[(StyleConstraint, 0.8), (Context, 0.4), (Audience, 0.3)],
-        Category::Recommendation => &[(Audience, 0.6), (Examples, 0.5), (Depth, 0.4), (Completeness, 0.3)],
+        Category::Recommendation => {
+            &[(Audience, 0.6), (Examples, 0.5), (Depth, 0.4), (Completeness, 0.3)]
+        }
         Category::Knowledge => &[(Depth, 0.7), (Context, 0.6), (Examples, 0.3)],
-        Category::Analysis => &[(Depth, 0.8), (Completeness, 0.6), (StepByStep, 0.3), (Examples, 0.3)],
+        Category::Analysis => {
+            &[(Depth, 0.8), (Completeness, 0.6), (StepByStep, 0.3), (Examples, 0.3)]
+        }
         Category::Creative => &[(StyleConstraint, 0.7), (Audience, 0.3), (FormatSpec, 0.2)],
         Category::Brainstorming => &[(Completeness, 0.6), (Examples, 0.5), (FormatSpec, 0.3)],
         Category::Chitchat => &[(Conciseness, 0.5), (Context, 0.2)],
@@ -388,19 +483,18 @@ fn fresh_record(id: u64, rng: &mut StdRng) -> PromptRecord {
 fn topics_zh(category: Category) -> &'static [&'static str] {
     match category {
         Category::QuestionAnswering => &[
-            "失血 时 血压 的 变化", "沙漠 植物 的 光合作用",
-            "咖啡因 在 人体 的 代谢", "抗生素 耐药 机制",
+            "失血 时 血压 的 变化",
+            "沙漠 植物 的 光合作用",
+            "咖啡因 在 人体 的 代谢",
+            "抗生素 耐药 机制",
         ],
-        Category::Knowledge => &[
-            "丝绸之路 的 贸易 路线", "印刷术 与 识字率",
-            "免疫 系统 的 应答", "微积分 的 发展",
-        ],
-        Category::Translation => &[
-            "商务 合同 条款", "餐厅 菜单 描述", "医疗 知情 同意书", "软件 错误 信息",
-        ],
-        Category::Math => &[
-            "复利 的 长期 计算", "生日 相同 的 概率", "骰子 游戏 的 期望值",
-        ],
+        Category::Knowledge => {
+            &["丝绸之路 的 贸易 路线", "印刷术 与 识字率", "免疫 系统 的 应答", "微积分 的 发展"]
+        }
+        Category::Translation => {
+            &["商务 合同 条款", "餐厅 菜单 描述", "医疗 知情 同意书", "软件 错误 信息"]
+        }
+        Category::Math => &["复利 的 长期 计算", "生日 相同 的 概率", "骰子 游戏 的 期望值"],
         _ => &["日常 生活 的 小事", "本周 的 天气"],
     }
 }
@@ -416,12 +510,8 @@ fn templates_zh(category: Category) -> &'static [&'static str] {
 }
 
 /// Categories that have a Chinese template set.
-const ZH_CATEGORIES: [Category; 4] = [
-    Category::QuestionAnswering,
-    Category::Knowledge,
-    Category::Translation,
-    Category::Math,
-];
+const ZH_CATEGORIES: [Category; 4] =
+    [Category::QuestionAnswering, Category::Knowledge, Category::Translation, Category::Math];
 
 fn fresh_record_zh(id: u64, rng: &mut StdRng) -> PromptRecord {
     let category = ZH_CATEGORIES[rng.random_range(0..ZH_CATEGORIES.len())];
@@ -525,6 +615,30 @@ mod tests {
     }
 
     #[test]
+    fn generation_is_thread_count_invariant() {
+        let gen = |threads| {
+            pas_par::with_threads(threads, || {
+                corpus(600, 9)
+                    .records
+                    .into_iter()
+                    .map(|r| {
+                        (
+                            r.id,
+                            r.text,
+                            format!("{:?}", r.meta),
+                            format!("{:?}", r.source),
+                            r.latent_quality.to_bits(),
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            })
+        };
+        let serial = gen(1);
+        assert_eq!(gen(2), serial);
+        assert_eq!(gen(8), serial);
+    }
+
+    #[test]
     fn qa_and_coding_dominate() {
         let c = corpus(3000, 3);
         let mut counts = [0usize; 14];
@@ -585,10 +699,7 @@ mod tests {
             }
         }
         let quality = c.records.iter().filter(|r| r.latent_quality >= 0.2).count();
-        assert!(
-            resolved as f64 / quality as f64 > 0.95,
-            "{resolved}/{quality} resolved"
-        );
+        assert!(resolved as f64 / quality as f64 > 0.95, "{resolved}/{quality} resolved");
     }
 
     #[test]

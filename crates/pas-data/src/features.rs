@@ -46,10 +46,7 @@ pub fn hashed_features(text: &str, dim: usize) -> Vec<f32> {
 /// [`Aspect::ALL`].
 pub fn aspect_features(text: &str) -> Vec<f32> {
     let detected = detect_aspects(text);
-    Aspect::ALL
-        .iter()
-        .map(|&a| if detected.contains(a) { 1.0 } else { 0.0 })
-        .collect()
+    Aspect::ALL.iter().map(|&a| if detected.contains(a) { 1.0 } else { 0.0 }).collect()
 }
 
 /// The full feature vector used by the workspace classifiers

@@ -70,6 +70,20 @@ impl GenReport {
     pub fn total_tokens(&self) -> usize {
         self.teacher_tokens + self.critic_tokens
     }
+
+    /// Folds `other`'s counters into `self`. Associative, with
+    /// [`GenReport::default`] as the identity — the ordered-reduction
+    /// primitive [`Generator::run`] applies after the parallel per-prompt
+    /// phase, so aggregate counts never depend on worker scheduling.
+    pub fn merge(&mut self, other: &GenReport) {
+        self.generated += other.generated;
+        self.rejected_first_draw += other.rejected_first_draw;
+        self.regenerations += other.regenerations;
+        self.repairs += other.repairs;
+        self.residual_flaws += other.residual_flaws;
+        self.teacher_tokens += other.teacher_tokens;
+        self.critic_tokens += other.critic_tokens;
+    }
 }
 
 fn tokens(text: &str) -> usize {
@@ -91,59 +105,72 @@ impl Generator {
     }
 
     /// Runs Algorithm 1 over the selected prompts.
+    ///
+    /// Each prompt's generate→critic→regenerate loop is independent of
+    /// every other — the teacher is a pure function of `(prompt, golden,
+    /// attempt)` — so the loop runs per prompt in parallel; the per-prompt
+    /// reports then fold into the aggregate via [`GenReport::merge`] in
+    /// prompt order. Output and counters are identical at any `--threads`
+    /// setting.
     pub fn run(&self, selected: &[SelectedPrompt]) -> (PairDataset, GenReport) {
+        let results = pas_par::par_map(selected, |_, sp| self.generate_one(sp));
         let mut dataset = PairDataset::new();
         let mut report = GenReport::default();
-
-        for sp in selected {
-            let golden = golden_for(sp.predicted);
-            let golden_tokens: usize =
-                golden.iter().map(|(p, c)| tokens(p) + tokens(c)).sum();
-            // Data generation phase (Algorithm 1 lines 2–4).
-            let mut gen = self.teacher.generate(&sp.record.text, &golden, 0);
-            report.teacher_tokens += tokens(&sp.record.text) + golden_tokens + tokens(&gen.text);
-
-            // Data selection and regeneration phase (lines 5–10).
-            if self.config.selection_enabled {
-                report.critic_tokens += tokens(&sp.record.text) + tokens(&gen.text);
-            }
-            if self.config.selection_enabled
-                && !self.critic.is_correct_pair(&sp.record.text, &gen.text)
-            {
-                report.rejected_first_draw += 1;
-                let mut attempt = 1;
-                loop {
-                    if attempt > self.config.max_attempts {
-                        // Fall back to the critic's own repaired APE.
-                        let verdict = self.critic.judge(&sp.record.text, &gen.text);
-                        gen.text = verdict.final_ape;
-                        gen.injected_flaw = None;
-                        report.repairs += 1;
-                        break;
-                    }
-                    report.regenerations += 1;
-                    gen = self.teacher.generate(&sp.record.text, &golden, attempt);
-                    report.teacher_tokens +=
-                        tokens(&sp.record.text) + golden_tokens + tokens(&gen.text);
-                    report.critic_tokens += tokens(&sp.record.text) + tokens(&gen.text);
-                    if self.critic.is_correct_pair(&sp.record.text, &gen.text) {
-                        break;
-                    }
-                    attempt += 1;
-                }
-            }
-
-            if gen.injected_flaw.is_some() {
-                report.residual_flaws += 1;
-            }
-            report.generated += 1;
-            dataset.pairs.push(PairRecord {
-                prompt: sp.record.text.clone(),
-                complement: gen.text,
-                category: sp.predicted,
-            });
+        for (pair, item_report) in results {
+            dataset.pairs.push(pair);
+            report.merge(&item_report);
         }
         (dataset, report)
+    }
+
+    /// One prompt's pass through Algorithm 1, with its own report.
+    fn generate_one(&self, sp: &SelectedPrompt) -> (PairRecord, GenReport) {
+        let mut report = GenReport::default();
+        let golden = golden_for(sp.predicted);
+        let golden_tokens: usize = golden.iter().map(|(p, c)| tokens(p) + tokens(c)).sum();
+        // Data generation phase (Algorithm 1 lines 2–4).
+        let mut gen = self.teacher.generate(&sp.record.text, &golden, 0);
+        report.teacher_tokens += tokens(&sp.record.text) + golden_tokens + tokens(&gen.text);
+
+        // Data selection and regeneration phase (lines 5–10).
+        if self.config.selection_enabled {
+            report.critic_tokens += tokens(&sp.record.text) + tokens(&gen.text);
+        }
+        if self.config.selection_enabled && !self.critic.is_correct_pair(&sp.record.text, &gen.text)
+        {
+            report.rejected_first_draw += 1;
+            let mut attempt = 1;
+            loop {
+                if attempt > self.config.max_attempts {
+                    // Fall back to the critic's own repaired APE.
+                    let verdict = self.critic.judge(&sp.record.text, &gen.text);
+                    gen.text = verdict.final_ape;
+                    gen.injected_flaw = None;
+                    report.repairs += 1;
+                    break;
+                }
+                report.regenerations += 1;
+                gen = self.teacher.generate(&sp.record.text, &golden, attempt);
+                report.teacher_tokens +=
+                    tokens(&sp.record.text) + golden_tokens + tokens(&gen.text);
+                report.critic_tokens += tokens(&sp.record.text) + tokens(&gen.text);
+                if self.critic.is_correct_pair(&sp.record.text, &gen.text) {
+                    break;
+                }
+                attempt += 1;
+            }
+        }
+
+        if gen.injected_flaw.is_some() {
+            report.residual_flaws += 1;
+        }
+        report.generated += 1;
+        let pair = PairRecord {
+            prompt: sp.record.text.clone(),
+            complement: gen.text,
+            category: sp.predicted,
+        };
+        (pair, report)
     }
 }
 
@@ -184,12 +211,10 @@ mod tests {
     fn selection_reduces_residual_flaws() {
         let (sel, world) = selected(400, 8);
         let with = Generator::new(GenConfig::default(), Arc::clone(&world)).run(&sel).1;
-        let without = Generator::new(
-            GenConfig { selection_enabled: false, ..GenConfig::default() },
-            world,
-        )
-        .run(&sel)
-        .1;
+        let without =
+            Generator::new(GenConfig { selection_enabled: false, ..GenConfig::default() }, world)
+                .run(&sel)
+                .1;
         assert!(without.residual_flaws > 0, "ablation must leave flaws in");
         assert!(
             with.residual_flaw_rate() < without.residual_flaw_rate() / 2.0,
@@ -203,11 +228,9 @@ mod tests {
     fn token_accounting_tracks_the_loop() {
         let (sel, world) = selected(300, 9);
         let (_, with) = Generator::new(GenConfig::default(), Arc::clone(&world)).run(&sel);
-        let (_, without) = Generator::new(
-            GenConfig { selection_enabled: false, ..GenConfig::default() },
-            world,
-        )
-        .run(&sel);
+        let (_, without) =
+            Generator::new(GenConfig { selection_enabled: false, ..GenConfig::default() }, world)
+                .run(&sel);
         assert!(with.teacher_tokens > 0 && with.critic_tokens > 0);
         // The ablation skips the critic entirely and never regenerates.
         assert_eq!(without.critic_tokens, 0);
@@ -231,6 +254,76 @@ mod tests {
         let a = Generator::new(GenConfig::default(), Arc::clone(&world)).run(&sel).0;
         let b = Generator::new(GenConfig::default(), world).run(&sel).0;
         assert_eq!(a.pairs, b.pairs);
+    }
+
+    #[test]
+    fn generation_is_thread_count_invariant() {
+        let (sel, world) = selected(250, 4);
+        let run = |threads| {
+            pas_par::with_threads(threads, || {
+                let (ds, r) = Generator::new(GenConfig::default(), Arc::clone(&world)).run(&sel);
+                (
+                    ds.pairs,
+                    r.generated,
+                    r.rejected_first_draw,
+                    r.regenerations,
+                    r.repairs,
+                    r.residual_flaws,
+                    r.teacher_tokens,
+                    r.critic_tokens,
+                )
+            })
+        };
+        let serial = run(1);
+        assert_eq!(run(2), serial);
+        assert_eq!(run(8), serial);
+    }
+
+    #[test]
+    fn report_merge_is_associative_with_default_identity() {
+        let r = |g: usize, rej: usize, reg: u64, tt: usize| GenReport {
+            generated: g,
+            rejected_first_draw: rej,
+            regenerations: reg,
+            repairs: g / 5,
+            residual_flaws: rej / 2,
+            teacher_tokens: tt,
+            critic_tokens: tt / 3,
+        };
+        let (a, b, c) = (r(3, 1, 7, 100), r(5, 2, 11, 250), r(2, 0, 1, 40));
+        let fold = |parts: &[&GenReport]| {
+            let mut acc = GenReport::default();
+            for p in parts {
+                acc.merge(p);
+            }
+            acc
+        };
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let left = {
+            let mut ab = fold(&[&a, &b]);
+            ab.merge(&c);
+            ab
+        };
+        let right = {
+            let bc = fold(&[&b, &c]);
+            let mut out = a.clone();
+            out.merge(&bc);
+            out
+        };
+        assert_eq!(left.generated, right.generated);
+        assert_eq!(left.rejected_first_draw, right.rejected_first_draw);
+        assert_eq!(left.regenerations, right.regenerations);
+        assert_eq!(left.repairs, right.repairs);
+        assert_eq!(left.residual_flaws, right.residual_flaws);
+        assert_eq!(left.teacher_tokens, right.teacher_tokens);
+        assert_eq!(left.critic_tokens, right.critic_tokens);
+        assert_eq!(left.generated, 10);
+        assert_eq!(left.total_tokens(), left.teacher_tokens + left.critic_tokens);
+        // Default is the identity.
+        let mut with_identity = GenReport::default();
+        with_identity.merge(&a);
+        assert_eq!(with_identity.generated, a.generated);
+        assert_eq!(with_identity.teacher_tokens, a.teacher_tokens);
     }
 
     #[test]

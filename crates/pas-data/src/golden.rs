@@ -5,8 +5,8 @@
 //! complementary prompt) pairs per category, in the Figure 4 style —
 //! supplement only, methodology-focused, under 30 words.
 
-use pas_llm::world::{Aspect, AspectSet, Category};
 use pas_llm::teacher::realize_complement;
+use pas_llm::world::{Aspect, AspectSet, Category};
 
 /// Returns the golden examples for `category` (always 4 pairs).
 pub fn golden_for(category: Category) -> Vec<(String, String)> {

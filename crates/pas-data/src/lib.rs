@@ -32,5 +32,7 @@ pub use features::{aspect_features, hashed_features, prompt_features, FEATURE_DI
 pub use genpipe::{GenConfig, GenReport, Generator};
 pub use golden::golden_for;
 pub use schema::{PairDataset, PairRecord, PromptRecord, Source};
-pub use select::{DedupBackend, SelectionConfig, SelectionPipeline, SelectionReport, SelectedPrompt};
+pub use select::{
+    DedupBackend, SelectedPrompt, SelectionConfig, SelectionPipeline, SelectionReport,
+};
 pub use stats::DatasetStats;

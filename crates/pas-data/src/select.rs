@@ -11,7 +11,7 @@
 //!    labeled examples) assigns each surviving prompt a category.
 
 use pas_ann::{DedupConfig, DedupOutcome, Deduplicator, MinHashConfig, MinHashDeduplicator};
-use pas_embed::{Embedder, NgramEmbedder};
+use pas_embed::{Embedder, EmbeddingCache, NgramEmbedder};
 use pas_nn::{SoftmaxClassifier, TrainParams};
 use pas_text::ngram::word_shingle_hashes;
 
@@ -81,7 +81,7 @@ pub struct SelectedPrompt {
 }
 
 /// What happened at each pipeline stage.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct SelectionReport {
     /// Records offered to the pipeline.
     pub input: usize,
@@ -93,6 +93,28 @@ pub struct SelectionReport {
     pub classifier_accuracy: f64,
     /// Selected count per category (predicted), aligned with [`Category::ALL`].
     pub per_category: [usize; 14],
+}
+
+impl SelectionReport {
+    /// Folds `other` into `self` as if both pipelines had run over one
+    /// concatenated input: counters add, and the accuracy becomes the
+    /// survivor-weighted mean. Associative, with [`SelectionReport::default`]
+    /// as the identity — the ordered-reduction primitive for aggregating
+    /// per-shard selection runs.
+    pub fn merge(&mut self, other: &SelectionReport) {
+        let survivors = self.after_quality + other.after_quality;
+        if survivors > 0 {
+            self.classifier_accuracy = (self.classifier_accuracy * self.after_quality as f64
+                + other.classifier_accuracy * other.after_quality as f64)
+                / survivors as f64;
+        }
+        self.input += other.input;
+        self.after_dedup += other.after_dedup;
+        self.after_quality += other.after_quality;
+        for (mine, theirs) in self.per_category.iter_mut().zip(&other.per_category) {
+            *mine += theirs;
+        }
+    }
 }
 
 /// The §3.1 selection pipeline.
@@ -110,8 +132,7 @@ impl SelectionPipeline {
     pub fn run(&self, records: &[PromptRecord]) -> (Vec<SelectedPrompt>, SelectionReport) {
         // Stage 1: near-duplicate grouping with the configured backend.
         let outcome = self.dedup(records);
-        let deduped: Vec<&PromptRecord> =
-            outcome.kept.iter().map(|&i| &records[i]).collect();
+        let deduped: Vec<&PromptRecord> = outcome.kept.iter().map(|&i| &records[i]).collect();
 
         // Stage 2: quality filtering.
         let filtered: Vec<&PromptRecord> = deduped
@@ -121,27 +142,25 @@ impl SelectionPipeline {
             .collect();
 
         // Stage 3: train the category classifier on a fresh labeled corpus
-        // and classify the survivors.
+        // and classify the survivors (feature extraction is per-record pure,
+        // so it fans out through the deterministic parallel map).
         let classifier = self.train_classifier();
         let eval_features: Vec<Vec<f32>> =
-            filtered.iter().map(|r| prompt_features(&r.text)).collect();
+            pas_par::par_map(&filtered, |_, r| prompt_features(&r.text));
         let mut selected = Vec::with_capacity(filtered.len());
         let mut hits = 0usize;
         let mut per_category = [0usize; 14];
         for (r, f) in filtered.iter().zip(&eval_features) {
-            let predicted = Category::from_index(classifier.predict(f) as usize)
-                .expect("class index in range");
+            let predicted =
+                Category::from_index(classifier.predict(f) as usize).expect("class index in range");
             if predicted == r.meta.category {
                 hits += 1;
             }
             per_category[predicted.index()] += 1;
             selected.push(SelectedPrompt { record: (*r).clone(), predicted });
         }
-        let classifier_accuracy = if filtered.is_empty() {
-            0.0
-        } else {
-            hits as f64 / filtered.len() as f64
-        };
+        let classifier_accuracy =
+            if filtered.is_empty() { 0.0 } else { hits as f64 / filtered.len() as f64 };
 
         let report = SelectionReport {
             input: records.len(),
@@ -157,21 +176,23 @@ impl SelectionPipeline {
     fn dedup(&self, records: &[PromptRecord]) -> DedupOutcome {
         match &self.config.backend {
             DedupBackend::EmbeddingHnsw => {
-                let embedder = NgramEmbedder::new(self.config.embed_dim, self.config.seed);
-                let embeddings: Vec<Vec<f32>> =
-                    records.iter().map(|r| embedder.embed(&r.text)).collect();
+                // Memoized batch embedding: duplicates in the corpus hit the
+                // cache, misses embed in parallel.
+                let embedder = EmbeddingCache::new(NgramEmbedder::new(
+                    self.config.embed_dim,
+                    self.config.seed,
+                ));
+                let texts: Vec<&str> = records.iter().map(|r| r.text.as_str()).collect();
+                let embeddings = embedder.embed_batch(&texts);
                 Deduplicator::run(self.config.dedup.clone(), embeddings)
             }
             DedupBackend::MinHashLsh { threshold, config } => {
-                let shingle_sets: Vec<Vec<u64>> = records
-                    .iter()
-                    .map(|r| {
-                        let mut s = word_shingle_hashes(&r.text, 3);
-                        s.sort_unstable();
-                        s.dedup();
-                        s
-                    })
-                    .collect();
+                let shingle_sets: Vec<Vec<u64>> = pas_par::par_map(records, |_, r| {
+                    let mut s = word_shingle_hashes(&r.text, 3);
+                    s.sort_unstable();
+                    s.dedup();
+                    s
+                });
                 MinHashDeduplicator::run(config.clone(), &shingle_sets, *threshold)
             }
         }
@@ -235,7 +256,8 @@ mod tests {
 
     #[test]
     fn pipeline_shrinks_and_classifies() {
-        let corpus = Corpus::generate(&CorpusConfig { size: 600, seed: 4, ..CorpusConfig::default() });
+        let corpus =
+            Corpus::generate(&CorpusConfig { size: 600, seed: 4, ..CorpusConfig::default() });
         let (selected, report) = SelectionPipeline::new(SelectionConfig {
             labeled_size: 800,
             ..SelectionConfig::default()
@@ -256,7 +278,8 @@ mod tests {
 
     #[test]
     fn minhash_backend_agrees_with_embedding_backend_on_the_big_picture() {
-        let corpus = Corpus::generate(&CorpusConfig { size: 500, seed: 12, ..CorpusConfig::default() });
+        let corpus =
+            Corpus::generate(&CorpusConfig { size: 500, seed: 12, ..CorpusConfig::default() });
         let hnsw_cfg = SelectionConfig { labeled_size: 400, ..SelectionConfig::default() };
         let mh_cfg = SelectionConfig {
             backend: DedupBackend::MinHashLsh {
@@ -280,8 +303,69 @@ mod tests {
     }
 
     #[test]
+    fn pipeline_is_thread_count_invariant() {
+        let corpus =
+            Corpus::generate(&CorpusConfig { size: 400, seed: 21, ..CorpusConfig::default() });
+        let run = |threads| {
+            pas_par::with_threads(threads, || {
+                let (sel, rep) = SelectionPipeline::new(SelectionConfig {
+                    labeled_size: 400,
+                    ..SelectionConfig::default()
+                })
+                .run(&corpus.records);
+                let ids: Vec<u64> = sel.iter().map(|s| s.record.id).collect();
+                let cats: Vec<Category> = sel.iter().map(|s| s.predicted).collect();
+                (ids, cats, rep.after_dedup, rep.after_quality, rep.classifier_accuracy.to_bits())
+            })
+        };
+        let serial = run(1);
+        assert_eq!(run(2), serial);
+        assert_eq!(run(8), serial);
+    }
+
+    #[test]
+    fn report_merge_adds_counts_and_weights_accuracy() {
+        let mut a = SelectionReport {
+            input: 100,
+            after_dedup: 80,
+            after_quality: 60,
+            classifier_accuracy: 0.9,
+            per_category: [0; 14],
+        };
+        a.per_category[0] = 40;
+        a.per_category[1] = 20;
+        let mut b = SelectionReport {
+            input: 50,
+            after_dedup: 40,
+            after_quality: 20,
+            classifier_accuracy: 0.6,
+            per_category: [0; 14],
+        };
+        b.per_category[1] = 20;
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.input, 150);
+        assert_eq!(merged.after_dedup, 120);
+        assert_eq!(merged.after_quality, 80);
+        assert_eq!(merged.per_category[0], 40);
+        assert_eq!(merged.per_category[1], 40);
+        // Survivor-weighted mean: (0.9·60 + 0.6·20) / 80.
+        assert!((merged.classifier_accuracy - 0.825).abs() < 1e-12);
+        // Default is the identity on both sides.
+        let mut id_left = SelectionReport::default();
+        id_left.merge(&a);
+        assert_eq!(id_left.after_quality, a.after_quality);
+        assert_eq!(id_left.classifier_accuracy, a.classifier_accuracy);
+        let mut id_right = a.clone();
+        id_right.merge(&SelectionReport::default());
+        assert_eq!(id_right.after_quality, a.after_quality);
+        assert_eq!(id_right.classifier_accuracy, a.classifier_accuracy);
+    }
+
+    #[test]
     fn surviving_prompts_are_unique_requests() {
-        let corpus = Corpus::generate(&CorpusConfig { size: 400, seed: 6, ..CorpusConfig::default() });
+        let corpus =
+            Corpus::generate(&CorpusConfig { size: 400, seed: 6, ..CorpusConfig::default() });
         let (selected, _) = SelectionPipeline::new(SelectionConfig {
             labeled_size: 400,
             ..SelectionConfig::default()

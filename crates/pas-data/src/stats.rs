@@ -55,12 +55,7 @@ impl DatasetStats {
         for c in Category::ALL {
             let n = self.per_category[c.index()];
             let bar_len = (n * 40) / max;
-            out.push_str(&format!(
-                "{:<16} {:>5}  {}\n",
-                c.name(),
-                n,
-                "█".repeat(bar_len)
-            ));
+            out.push_str(&format!("{:<16} {:>5}  {}\n", c.name(), n, "█".repeat(bar_len)));
         }
         out
     }

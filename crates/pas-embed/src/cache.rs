@@ -1,0 +1,154 @@
+//! Memoized embedding: never embed the same text twice.
+//!
+//! Dedup and selection both embed the corpus, and near-duplicate corpora
+//! repeat texts; the §3.1 pipeline also re-touches records across stages.
+//! [`EmbeddingCache`] wraps any [`Embedder`] with a `parking_lot::RwLock`
+//! hash map from text to vector. Reads take the shared lock, so parallel
+//! batch embedding scales; misses are computed *outside* any lock (the
+//! inner embedder is pure, so racing computations of the same text agree)
+//! and inserted under a short write lock.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use crate::embedder::Embedder;
+
+/// A read-through cache over an [`Embedder`].
+pub struct EmbeddingCache<E> {
+    inner: E,
+    map: RwLock<HashMap<String, Vec<f32>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<E: Embedder + Sync> EmbeddingCache<E> {
+    /// Wraps `inner` with an empty cache.
+    pub fn new(inner: E) -> Self {
+        EmbeddingCache {
+            inner,
+            map: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped embedder.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// Number of distinct texts cached.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// Cache hits served so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (inner embeddings computed) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+impl<E: Embedder + Sync> Embedder for EmbeddingCache<E> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn embed(&self, text: &str) -> Vec<f32> {
+        if let Some(v) = self.map.read().get(text) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = self.inner.embed(text);
+        self.map.write().entry(text.to_string()).or_insert_with(|| v.clone());
+        v
+    }
+
+    /// Batch embed: cached texts are served from the map; misses are
+    /// computed in parallel through `pas_par` (deterministic because the
+    /// inner embedder is a pure function of the text).
+    fn embed_batch(&self, texts: &[&str]) -> Vec<Vec<f32>> {
+        let mut out: Vec<Option<Vec<f32>>> = vec![None; texts.len()];
+        let mut miss_indices: Vec<usize> = Vec::new();
+        {
+            let map = self.map.read();
+            for (i, t) in texts.iter().enumerate() {
+                match map.get(*t) {
+                    Some(v) => out[i] = Some(v.clone()),
+                    None => miss_indices.push(i),
+                }
+            }
+        }
+        self.hits.fetch_add((texts.len() - miss_indices.len()) as u64, Ordering::Relaxed);
+        self.misses.fetch_add(miss_indices.len() as u64, Ordering::Relaxed);
+
+        let computed: Vec<Vec<f32>> =
+            pas_par::par_map(&miss_indices, |_, &i| self.inner.embed(texts[i]));
+        {
+            let mut map = self.map.write();
+            for (&i, v) in miss_indices.iter().zip(&computed) {
+                map.entry(texts[i].to_string()).or_insert_with(|| v.clone());
+            }
+        }
+        for (&i, v) in miss_indices.iter().zip(computed) {
+            out[i] = Some(v);
+        }
+        out.into_iter().map(|v| v.expect("every slot filled")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedder::NgramEmbedder;
+
+    #[test]
+    fn cache_matches_inner_and_counts() {
+        let cache = EmbeddingCache::new(NgramEmbedder::default());
+        let direct = cache.inner().embed("hello world");
+        assert_eq!(cache.embed("hello world"), direct);
+        assert_eq!(cache.embed("hello world"), direct);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn batch_dedups_repeated_texts() {
+        let cache = EmbeddingCache::new(NgramEmbedder::default());
+        let texts = ["alpha", "beta", "alpha", "gamma", "beta"];
+        let batch = cache.embed_batch(&texts);
+        assert_eq!(batch.len(), 5);
+        assert_eq!(batch[0], batch[2]);
+        assert_eq!(batch[1], batch[4]);
+        assert_eq!(cache.len(), 3, "only distinct texts cached");
+        for (t, v) in texts.iter().zip(&batch) {
+            assert_eq!(v, &cache.inner().embed(t));
+        }
+    }
+
+    #[test]
+    fn batch_is_identical_at_any_thread_count() {
+        let texts: Vec<String> =
+            (0..200).map(|i| format!("prompt number {i} about topic {}", i % 17)).collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let run = |threads| {
+            pas_par::with_threads(threads, || {
+                EmbeddingCache::new(NgramEmbedder::default()).embed_batch(&refs)
+            })
+        };
+        assert_eq!(run(1), run(8));
+    }
+}

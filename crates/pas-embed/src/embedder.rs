@@ -93,6 +93,13 @@ impl Embedder for NgramEmbedder {
     fn embed(&self, text: &str) -> Vec<f32> {
         self.embed_bag(&feature_bag(text))
     }
+
+    /// Parallel batch embedding. Each text embeds independently of every
+    /// other (pure function of the text), so the ordered `par_map` returns
+    /// exactly what the serial loop would.
+    fn embed_batch(&self, texts: &[&str]) -> Vec<Vec<f32>> {
+        pas_par::par_map(texts, |_, t| self.embed(t))
+    }
 }
 
 #[cfg(test)]

@@ -15,12 +15,16 @@
 //! - [`tfidf`] — corpus-level inverse document frequency weighting.
 //! - [`embedder`] — the [`Embedder`] trait and the default
 //!   [`NgramEmbedder`] implementation.
+//! - [`cache`] — the memoized [`EmbeddingCache`] wrapper with parallel
+//!   batch embedding via `pas_par`.
 
+pub mod cache;
 pub mod embedder;
 pub mod features;
 pub mod tfidf;
 pub mod vector;
 
+pub use cache::EmbeddingCache;
 pub use embedder::{Embedder, NgramEmbedder};
 pub use features::{feature_bag, FeatureBag};
 pub use tfidf::IdfModel;

@@ -48,10 +48,7 @@ impl IdfModel {
 
     /// Returns a new bag with each weight multiplied by its feature's IDF.
     pub fn reweight(&self, bag: &FeatureBag) -> Vec<(u64, f32)> {
-        bag.entries()
-            .iter()
-            .map(|&(h, w)| (h, w * self.idf(h)))
-            .collect()
+        bag.entries().iter().map(|&(h, w)| (h, w * self.idf(h))).collect()
     }
 }
 

@@ -118,11 +118,8 @@ pub fn run_case_studies<O: PromptOptimizer>(optimizer: &O, model_name: &str) -> 
         .map(|(title, prompt, meta)| {
             // Shown transcript: the canonical phrasing.
             let augmented = optimizer.optimize(prompt);
-            let complement = augmented
-                .strip_prefix(prompt)
-                .unwrap_or(&augmented)
-                .trim()
-                .to_string();
+            let complement =
+                augmented.strip_prefix(prompt).unwrap_or(&augmented).trim().to_string();
             let without = model.chat(prompt);
             let with = model.chat(&augmented);
 
@@ -130,11 +127,8 @@ pub fn run_case_studies<O: PromptOptimizer>(optimizer: &O, model_name: &str) -> 
             let mut q_without = 0.0f32;
             let mut q_with = 0.0f32;
             for k in 0..CASE_VARIANTS {
-                let variant = if k == 0 {
-                    prompt.to_string()
-                } else {
-                    format!("{prompt} (reading {k})")
-                };
+                let variant =
+                    if k == 0 { prompt.to_string() } else { format!("{prompt} (reading {k})") };
                 q_without += assess(&meta, &model.chat(&variant)).score();
                 q_with += assess(&meta, &model.chat(&optimizer.optimize(&variant))).score();
             }

@@ -86,7 +86,10 @@ impl ExperimentContext {
         // The curated PAS pipeline (corpus → §3.1 → Algorithm 1 → SFT).
         let base_cfg = SystemConfig {
             corpus: CorpusConfig { size: scale.pas_corpus(), seed, ..CorpusConfig::default() },
-            selection: SelectionConfig { labeled_size: scale.labeled(), ..SelectionConfig::default() },
+            selection: SelectionConfig {
+                labeled_size: scale.labeled(),
+                ..SelectionConfig::default()
+            },
             generation: GenConfig::default(),
             pas: PasConfig::default(),
         };
@@ -112,7 +115,10 @@ impl ExperimentContext {
                 seed: seed ^ 0xb90,
                 ..CorpusConfig::default()
             },
-            selection: SelectionConfig { labeled_size: scale.labeled(), ..SelectionConfig::default() },
+            selection: SelectionConfig {
+                labeled_size: scale.labeled(),
+                ..SelectionConfig::default()
+            },
             generation: GenConfig { selection_enabled: false, ..GenConfig::default() },
             pas: PasConfig::default(),
         };
@@ -156,7 +162,7 @@ impl ExperimentContext {
 pub(crate) fn shared_quick() -> &'static ExperimentContext {
     use std::sync::OnceLock;
     static CTX: OnceLock<ExperimentContext> = OnceLock::new();
-    CTX.get_or_init(|| ExperimentContext::build(Scale::Quick, 7))
+    CTX.get_or_init(|| ExperimentContext::build(Scale::Quick, 1))
 }
 
 #[cfg(test)]

@@ -60,11 +60,8 @@ impl PerTaskResult {
 }
 
 fn split_suite(suite: &BenchSuite, category: Category) -> (BenchSuite, BenchSuite) {
-    let (in_items, out_items): (Vec<_>, Vec<_>) = suite
-        .items
-        .iter()
-        .cloned()
-        .partition(|i| i.meta.category == category);
+    let (in_items, out_items): (Vec<_>, Vec<_>) =
+        suite.items.iter().cloned().partition(|i| i.meta.category == category);
     (
         BenchSuite { items: in_items, ..suite.clone() },
         BenchSuite { items: out_items, ..suite.clone() },
@@ -91,14 +88,12 @@ pub fn per_task(ctx: &ExperimentContext, category: Category) -> PerTaskResult {
         .collect();
 
     let opro = Opro::optimize_for_task(&OproConfig::default(), category, &model, &train);
-    let protegi =
-        ProTeGi::optimize_for_task(&ProTeGiConfig::default(), category, &model, &train);
+    let protegi = ProTeGi::optimize_for_task(&ProTeGiConfig::default(), category, &model, &train);
 
     let mut rows = Vec::new();
     let mut eval = |label: &str, opt: &dyn PromptOptimizer| {
         let in_task = evaluate_suite(&model, &opt, &in_suite, &reference, &ctx.judge).win_rate;
-        let out_of_task =
-            evaluate_suite(&model, &opt, &out_suite, &reference, &ctx.judge).win_rate;
+        let out_of_task = evaluate_suite(&model, &opt, &out_suite, &reference, &ctx.judge).win_rate;
         rows.push(PerTaskRow { method: label.to_string(), in_task, out_of_task });
     };
     eval("None", &NoOptimizer);
@@ -192,12 +187,7 @@ mod tests {
         // neural_ablation binary.)
         let ctx = super::super::context::shared_quick();
         let cmp = neural_vs_factored_with(ctx, 150);
-        assert!(
-            cmp.factored >= cmp.neural,
-            "factored {} vs neural {}",
-            cmp.factored,
-            cmp.neural
-        );
+        assert!(cmp.factored >= cmp.neural, "factored {} vs neural {}", cmp.factored, cmp.neural);
         assert!(cmp.neural_nll.is_finite());
         assert!(cmp.render().contains("factored"));
     }

@@ -40,11 +40,7 @@ impl Fig7Result {
     /// formula) for each non-PAS method.
     pub fn efficiency_ratios(&self) -> Vec<(String, f64)> {
         let pas = self.consumption.first().map_or(1, |c| c.pairs).max(1) as f64;
-        self.consumption
-            .iter()
-            .skip(1)
-            .map(|c| (c.method.clone(), c.pairs as f64 / pas))
-            .collect()
+        self.consumption.iter().skip(1).map(|c| (c.method.clone(), c.pairs as f64 / pas)).collect()
     }
 
     /// Renders the consumption bars and efficiency ratios.
@@ -103,15 +99,13 @@ impl LearningCurve {
     /// Smallest size reaching `frac` of the final score.
     pub fn pairs_to_reach(&self, frac: f64) -> Option<usize> {
         let last = self.points.last()?.1;
-        self.points
-            .iter()
-            .find(|&&(_, score)| score >= frac * last)
-            .map(|&(n, _)| n)
+        self.points.iter().find(|&&(_, score)| score >= frac * last).map(|&(n, _)| n)
     }
 
     /// Renders the curve as a table.
     pub fn render(&self) -> String {
-        let mut t = Table::new("PAS learning curve (pairs → avg win rate)", &["Pairs", "Avg score"]);
+        let mut t =
+            Table::new("PAS learning curve (pairs → avg win rate)", &["Pairs", "Avg score"]);
         for &(n, s) in &self.points {
             t.row(&[n.to_string(), format!("{s:.2}")]);
         }
@@ -130,7 +124,8 @@ pub fn learning_curve(ctx: &ExperimentContext, sizes: &[usize]) -> LearningCurve
             let subset = ctx.dataset.take(n);
             let (pas, _) = Pas::sft(&PasConfig::default(), &subset);
             let score = if n == 0 {
-                evaluate_suite(&probe, &NoOptimizer, &ctx.env.arena, &reference, &ctx.judge).win_rate
+                evaluate_suite(&probe, &NoOptimizer, &ctx.env.arena, &reference, &ctx.judge)
+                    .win_rate
             } else {
                 evaluate_suite(&probe, &pas, &ctx.env.arena, &reference, &ctx.judge).win_rate
             };

@@ -7,8 +7,8 @@
 
 pub mod context;
 pub mod extension;
-pub mod robustness;
 pub mod figures;
+pub mod robustness;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -16,8 +16,8 @@ pub mod table45;
 
 pub use context::{ExperimentContext, Scale};
 pub use extension::{neural_vs_factored, per_task, NeuralVsFactored, PerTaskResult};
-pub use robustness::{robustness, RobustnessResult, Spread};
 pub use figures::{fig6, fig7, Fig7Result, LearningCurve};
+pub use robustness::{robustness, RobustnessResult, Spread};
 pub use table1::{table1, Table1Result};
 pub use table2::{table2, Table2Result};
 pub use table3::{table3, Table3Result};

@@ -80,8 +80,7 @@ impl RobustnessResult {
 
     /// True when every seed preserved the headline orderings.
     pub fn all_seeds_preserve_orderings(&self) -> bool {
-        self.pas_vs_baseline.iter().all(|&x| x > 0.0)
-            && self.pas_vs_bpo.iter().all(|&x| x > 0.0)
+        self.pas_vs_baseline.iter().all(|&x| x > 0.0) && self.pas_vs_bpo.iter().all(|&x| x > 0.0)
     }
 }
 

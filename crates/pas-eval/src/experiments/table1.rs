@@ -65,7 +65,14 @@ impl Table1Result {
     pub fn render(&self) -> String {
         let mut t = Table::new(
             "Table 1: Comparison of PAS, BPO and not using APE (baseline)",
-            &["Main Model", "APE-model", "Arena-hard", "Alpaca-Eval 2.0", "Alpaca-Eval 2.0 (LC)", "Average"],
+            &[
+                "Main Model",
+                "APE-model",
+                "Arena-hard",
+                "Alpaca-Eval 2.0",
+                "Alpaca-Eval 2.0 (LC)",
+                "Average",
+            ],
         );
         let mut block = |rows: &[Row], label: &str, against: Option<&[Row]>| {
             for (i, r) in rows.iter().enumerate() {
@@ -116,21 +123,33 @@ fn mean_avg(rows: &[Row]) -> f64 {
 }
 
 /// Evaluates one optimizer across the six main models and three suites.
-pub fn evaluate_block<O: PromptOptimizer>(ctx: &ExperimentContext, optimizer: &O) -> Vec<Row> {
-    ModelProfile::main_model_names()
+///
+/// Every (model, benchmark) cell is an independent evaluation, so the full
+/// grid fans out through `pas_par::par_map` — the per-item judging inside
+/// each cell detects the nesting and runs serially. Scores land in a fixed
+/// (model-major) order, identical at any `--threads` setting.
+pub fn evaluate_block<O: PromptOptimizer + Sync>(
+    ctx: &ExperimentContext,
+    optimizer: &O,
+) -> Vec<Row> {
+    let names = ModelProfile::main_model_names();
+    let suites = [&ctx.env.arena, &ctx.env.alpaca, &ctx.env.alpaca_lc];
+    let cells: Vec<(usize, usize)> =
+        (0..names.len()).flat_map(|m| (0..suites.len()).map(move |s| (m, s))).collect();
+    let scores = pas_par::par_map(&cells, |_, &(m, s)| {
+        let model = ctx.model(names[m]);
+        let suite = suites[s];
+        let reference = ctx.reference(suite);
+        evaluate_suite(&model, optimizer, suite, &reference, &ctx.judge).win_rate
+    });
+    names
         .into_iter()
-        .map(|name| {
-            let model = ctx.model(name);
-            let score = |suite: &crate::suite::BenchSuite| {
-                let reference = ctx.reference(suite);
-                evaluate_suite(&model, optimizer, suite, &reference, &ctx.judge).win_rate
-            };
-            Row {
-                model: name.to_string(),
-                arena: score(&ctx.env.arena),
-                alpaca: score(&ctx.env.alpaca),
-                alpaca_lc: score(&ctx.env.alpaca_lc),
-            }
+        .enumerate()
+        .map(|(m, name)| Row {
+            model: name.to_string(),
+            arena: scores[m * suites.len()],
+            alpaca: scores[m * suites.len() + 1],
+            alpaca_lc: scores[m * suites.len() + 2],
         })
         .collect()
 }

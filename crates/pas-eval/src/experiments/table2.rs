@@ -24,7 +24,14 @@ impl Table2Result {
     pub fn render(&self) -> String {
         let mut t = Table::new(
             "Table 2: PAS vs BPO with the same base model (LLaMA-2-7b-instruct)",
-            &["Main Model", "Method", "Arena-hard", "Alpaca-Eval 2.0", "Alpaca-Eval 2.0 (LC)", "Average"],
+            &[
+                "Main Model",
+                "Method",
+                "Arena-hard",
+                "Alpaca-Eval 2.0",
+                "Alpaca-Eval 2.0 (LC)",
+                "Average",
+            ],
         );
         for r in &self.bpo {
             t.row(&[
@@ -64,16 +71,13 @@ fn mean(rows: &[Row]) -> f64 {
 
 /// Runs the Table 2 experiment.
 pub fn table2(ctx: &ExperimentContext) -> Table2Result {
-    Table2Result {
-        bpo: evaluate_block(ctx, &ctx.bpo),
-        pas: evaluate_block(ctx, &ctx.pas_llama),
-    }
+    Table2Result { bpo: evaluate_block(ctx, &ctx.bpo), pas: evaluate_block(ctx, &ctx.pas_llama) }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use super::super::table1::table1;
+    use super::*;
 
     #[test]
     fn same_base_pas_still_beats_bpo_but_by_less() {

@@ -117,7 +117,8 @@ pub struct Table5Result {
 impl Table5Result {
     /// Mean drop from removing selection (paper: ≈ −3.8).
     pub fn ablation_drop(&self) -> f64 {
-        let pas: f64 = self.pas.iter().map(Row::average).sum::<f64>() / self.pas.len().max(1) as f64;
+        let pas: f64 =
+            self.pas.iter().map(Row::average).sum::<f64>() / self.pas.len().max(1) as f64;
         let wo: f64 = self.wo_selection.iter().map(Row::average).sum::<f64>()
             / self.wo_selection.len().max(1) as f64;
         pas - wo
@@ -127,7 +128,14 @@ impl Table5Result {
     pub fn render(&self) -> String {
         let mut t = Table::new(
             "Table 5: PAS trained on curated data vs without data selection",
-            &["Main Model", "PAS-model", "Arena-hard", "Alpaca-Eval 2.0", "Alpaca-Eval 2.0 (LC)", "Average"],
+            &[
+                "Main Model",
+                "PAS-model",
+                "Arena-hard",
+                "Alpaca-Eval 2.0",
+                "Alpaca-Eval 2.0 (LC)",
+                "Average",
+            ],
         );
         for r in &self.pas {
             t.row(&[
@@ -179,7 +187,8 @@ mod tests {
     #[test]
     fn human_eval_shows_pas_gains() {
         let ctx = super::super::context::shared_quick();
-        let t4 = table4(ctx, &HumanEvalConfig { items_per_scenario: 25, ..HumanEvalConfig::default() });
+        let t4 =
+            table4(ctx, &HumanEvalConfig { items_per_scenario: 25, ..HumanEvalConfig::default() });
         assert_eq!(t4.outcome.baseline.len(), Scenario::ALL.len());
         assert!(t4.average_gain() > 0.0, "gain {}", t4.average_gain());
         let f1b = fig1b(&t4);

@@ -3,10 +3,9 @@
 //! One run answers: *with this optimizer in front of this main model, what
 //! is the win rate against the suite's reference model?* Reference
 //! responses always come from the raw prompt (the reference never gets the
-//! APE). Items are judged independently, so the loop parallelizes across a
-//! crossbeam scope.
-
-use crossbeam::thread;
+//! APE). Items are judged independently, so the loop runs through the
+//! shared deterministic `pas_par::par_map` — judging is a pure function of
+//! the item, so credits come back bit-identical at any thread count.
 
 use pas_core::PromptOptimizer;
 use pas_llm::{ChatModel, SimLlm};
@@ -55,29 +54,11 @@ pub fn per_item_credits<O: PromptOptimizer>(
         return Vec::new();
     }
     let lc = suite.length_controlled;
-    let workers = std::thread::available_parallelism().map_or(4, |n| n.get()).min(8);
-    let chunk = suite.items.len().div_ceil(workers);
-    let chunks: Vec<Vec<f64>> = thread::scope(|s| {
-        let mut handles = Vec::new();
-        for chunk_items in suite.items.chunks(chunk) {
-            handles.push(s.spawn(move |_| {
-                chunk_items
-                    .iter()
-                    .map(|item| {
-                        let candidate = model.chat(&optimizer.optimize(&item.prompt));
-                        let ref_response = reference.chat(&item.prompt);
-                        judge.pairwise(&item.meta, &candidate, &ref_response, lc).credit()
-                    })
-                    .collect::<Vec<f64>>()
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
+    pas_par::par_map(&suite.items, |_, item| {
+        let candidate = model.chat(&optimizer.optimize(&item.prompt));
+        let ref_response = reference.chat(&item.prompt);
+        judge.pairwise(&item.meta, &candidate, &ref_response, lc).credit()
     })
-    .expect("scope");
-    chunks.into_iter().flatten().collect()
 }
 
 /// Paired-bootstrap comparison of two optimizers on the same suite items.
@@ -169,11 +150,7 @@ mod tests {
         let judge = Judge::default();
         let reference = SimLlm::named(&env.alpaca.reference_model, env.world.clone());
         let score = evaluate_suite(&reference, &NoOptimizer, &env.alpaca, &reference, &judge);
-        assert!(
-            (35.0..=65.0).contains(&score.win_rate),
-            "self-play win rate {}",
-            score.win_rate
-        );
+        assert!((35.0..=65.0).contains(&score.win_rate), "self-play win rate {}", score.win_rate);
     }
 
     #[test]

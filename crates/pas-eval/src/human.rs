@@ -128,8 +128,7 @@ impl Panel {
 
     /// The item's grade: median of the panel's votes.
     pub fn grade(&self, item: &BenchItem, response: &str) -> u8 {
-        let mut votes: Vec<u8> =
-            self.evaluators.iter().map(|e| e.grade(item, response)).collect();
+        let mut votes: Vec<u8> = self.evaluators.iter().map(|e| e.grade(item, response)).collect();
         votes.sort_unstable();
         votes[votes.len() / 2]
     }

@@ -13,7 +13,9 @@
 //! more); the **length-controlled** judge removes that term, exactly what
 //! AlpacaEval 2.0 (LC)'s logistic correction is for.
 
-use pas_llm::simllm::{CORRECT_MARKER, CORRECT_MARKER_ZH, POLISH_LEVELS, POLISH_MARKER, POLISH_MARKER_ZH};
+use pas_llm::simllm::{
+    CORRECT_MARKER, CORRECT_MARKER_ZH, POLISH_LEVELS, POLISH_MARKER, POLISH_MARKER_ZH,
+};
 use pas_llm::world::{detect_aspects, PromptMeta};
 use pas_text::hash::{fx_combine, fx_hash_str};
 use pas_text::keyword_overlap;
@@ -266,7 +268,8 @@ mod tests {
         let judge = Judge::new(JudgeConfig { noise: 0.0, ..JudgeConfig::default() });
         let m = meta([Aspect::Depth].into_iter().collect());
         let terse = "here is a detailed analysis in depth of solar panels.";
-        let padding = "Further supporting observations expand the treatment considerably. ".repeat(12);
+        let padding =
+            "Further supporting observations expand the treatment considerably. ".repeat(12);
         let verbose = format!("{terse} {padding}");
         // Raw mode: the verbose response wins on length bias.
         assert_eq!(judge.pairwise(&m, &verbose, terse, false), Verdict::Win);

@@ -7,7 +7,8 @@
 //!   text, pairwise win/tie/loss against a reference model, and the
 //!   length-controlled (LC) correction of AlpacaEval 2.0 (LC).
 //! - [`harness`] — end-to-end benchmark runs: (main model × optimizer ×
-//!   suite) → win-rate score, with crossbeam-parallel item evaluation.
+//!   suite) → win-rate score, with items evaluated through the shared
+//!   deterministic `pas_par` runtime.
 //! - [`human`] — the §4.5 human-evaluation panel: seeded evaluator
 //!   personas producing GSB, full-mark, availability, and average-score
 //!   metrics over eight scenario categories.
@@ -24,6 +25,8 @@ pub mod judge;
 pub mod report;
 pub mod suite;
 
-pub use harness::{evaluate_suite, paired_bootstrap, per_item_credits, BenchScore, PairedBootstrap};
+pub use harness::{
+    evaluate_suite, paired_bootstrap, per_item_credits, BenchScore, PairedBootstrap,
+};
 pub use judge::{Judge, JudgeConfig, ResponseQuality};
 pub use suite::{BenchItem, BenchSuite, EvalEnv, EvalEnvConfig};

@@ -136,7 +136,12 @@ impl EvalEnv {
 
 /// Draws up to `n` items from a fresh corpus, optionally keeping only hard
 /// prompts, and registers their metadata into `world`.
-fn harvest(corpus_config: &CorpusConfig, n: usize, hard_only: bool, world: &mut World) -> Vec<BenchItem> {
+fn harvest(
+    corpus_config: &CorpusConfig,
+    n: usize,
+    hard_only: bool,
+    world: &mut World,
+) -> Vec<BenchItem> {
     let corpus = Corpus::generate(corpus_config);
     let mut items = Vec::with_capacity(n);
     for rec in corpus.records {
@@ -182,9 +187,8 @@ mod tests {
     fn arena_items_are_hard() {
         let env = EvalEnv::build(&EvalEnvConfig { arena_items: 60, alpaca_items: 10, seed: 2 });
         for item in &env.arena.items {
-            let hard = item.meta.trap
-                || item.meta.deficiencies().len() >= 2
-                || item.meta.ambiguity > 0.6;
+            let hard =
+                item.meta.trap || item.meta.deficiencies().len() >= 2 || item.meta.ambiguity > 0.6;
             assert!(hard, "easy item in arena: {:?}", item.prompt);
         }
         // Arena must include some traps.
@@ -204,13 +208,8 @@ mod tests {
     fn different_seeds_differ() {
         let a = EvalEnv::build(&EvalEnvConfig { arena_items: 20, alpaca_items: 20, seed: 7 });
         let b = EvalEnv::build(&EvalEnvConfig { arena_items: 20, alpaca_items: 20, seed: 8 });
-        let same = a
-            .arena
-            .items
-            .iter()
-            .zip(&b.arena.items)
-            .filter(|(x, y)| x.prompt == y.prompt)
-            .count();
+        let same =
+            a.arena.items.iter().zip(&b.arena.items).filter(|(x, y)| x.prompt == y.prompt).count();
         assert!(same < a.arena.len(), "seeds produced identical suites");
     }
 }

@@ -81,7 +81,8 @@ impl Critic {
             return CriticVerdict { reason, is_correct: "No".into(), final_ape: repaired };
         }
         CriticVerdict {
-            reason: "APE supplements the prompt without answering, extending, or conflicting.".into(),
+            reason: "APE supplements the prompt without answering, extending, or conflicting."
+                .into(),
             is_correct: "Yes".into(),
             final_ape: ape.to_string(),
         }
@@ -143,7 +144,8 @@ impl Critic {
         let prompt_words: std::collections::HashSet<String> =
             content_words(prompt).into_iter().collect();
         let ape_content = content_words(ape);
-        let generic: std::collections::HashSet<&str> = GENERIC_COMPLEMENT_WORDS.iter().copied().collect();
+        let generic: std::collections::HashSet<&str> =
+            GENERIC_COMPLEMENT_WORDS.iter().copied().collect();
         let topical: Vec<&String> =
             ape_content.iter().filter(|w| !generic.contains(w.as_str())).collect();
         if topical.len() >= 3 {
@@ -170,12 +172,46 @@ impl Critic {
 /// Function words that appear in every aspect-request complement and carry
 /// no topical information; excluded from the drift check.
 const GENERIC_COMPLEMENT_WORDS: &[&str] = &[
-    "considering", "provide", "include", "present", "answer", "question", "supplement",
-    "respect", "keep", "cover", "watch", "supply", "reason", "mind", "first", "brief",
-    "detailed", "analysis", "depth", "structured", "format", "concrete", "examples",
-    "step", "cases", "edge", "including", "relevant", "background", "intended",
-    "audience", "stylistic", "constraints", "context", "logic", "trap", "hidden",
-    "assumptions", "methodology", "focus",
+    "considering",
+    "provide",
+    "include",
+    "present",
+    "answer",
+    "question",
+    "supplement",
+    "respect",
+    "keep",
+    "cover",
+    "watch",
+    "supply",
+    "reason",
+    "mind",
+    "first",
+    "brief",
+    "detailed",
+    "analysis",
+    "depth",
+    "structured",
+    "format",
+    "concrete",
+    "examples",
+    "step",
+    "cases",
+    "edge",
+    "including",
+    "relevant",
+    "background",
+    "intended",
+    "audience",
+    "stylistic",
+    "constraints",
+    "context",
+    "logic",
+    "trap",
+    "hidden",
+    "assumptions",
+    "methodology",
+    "focus",
 ];
 
 #[cfg(test)]

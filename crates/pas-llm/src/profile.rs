@@ -38,8 +38,14 @@ impl ModelProfile {
     /// models and the judge references, by canonical name. Returns `None`
     /// for unknown names.
     pub fn named(name: &str) -> Option<ModelProfile> {
-        let p = |name: &str, capability, instruction_following, spontaneous_coverage,
-                 trap_resistance, verbosity, noise, seed_salt| ModelProfile {
+        let p = |name: &str,
+                 capability,
+                 instruction_following,
+                 spontaneous_coverage,
+                 trap_resistance,
+                 verbosity,
+                 noise,
+                 seed_salt| ModelProfile {
             name: name.to_string(),
             capability,
             instruction_following,
@@ -99,12 +105,16 @@ mod tests {
 
     #[test]
     fn probabilities_are_in_unit_interval() {
-        for name in ModelProfile::main_model_names()
-            .into_iter()
-            .chain(["reference-arena", "reference-alpaca", "qwen2-7b-chat", "llama-2-7b-instruct"])
-        {
+        for name in ModelProfile::main_model_names().into_iter().chain([
+            "reference-arena",
+            "reference-alpaca",
+            "qwen2-7b-chat",
+            "llama-2-7b-instruct",
+        ]) {
             let p = ModelProfile::named(name).unwrap();
-            for v in [p.capability, p.instruction_following, p.spontaneous_coverage, p.trap_resistance] {
+            for v in
+                [p.capability, p.instruction_following, p.spontaneous_coverage, p.trap_resistance]
+            {
                 assert!((0.0..=1.0).contains(&v), "{name}: {v}");
             }
             assert!(p.noise >= 0.0 && p.verbosity > 0.0);

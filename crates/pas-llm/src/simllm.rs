@@ -67,8 +67,8 @@ impl SimLlm {
     /// Panics when the name has no profile; use
     /// [`ModelProfile::named`] to probe first.
     pub fn named(name: &str, world: Arc<World>) -> Self {
-        let profile = ModelProfile::named(name)
-            .unwrap_or_else(|| panic!("no profile named '{name}'"));
+        let profile =
+            ModelProfile::named(name).unwrap_or_else(|| panic!("no profile named '{name}'"));
         SimLlm::new(profile, world)
     }
 
@@ -91,11 +91,7 @@ impl SimLlm {
         // Instruction overload dilutes compliance: a prompt demanding many
         // things at once gets each of them honoured less reliably (the
         // failure mode over-extended APEs cause, per the paper's critic).
-        let dilution = if mentioned.len() > 4 {
-            4.0 / mentioned.len() as f32
-        } else {
-            1.0
-        };
+        let dilution = if mentioned.len() > 4 { 4.0 / mentioned.len() as f32 } else { 1.0 };
         let mut covered = AspectSet::EMPTY;
         for a in required.iter() {
             let p = if mentioned.contains(a) {
@@ -111,7 +107,8 @@ impl SimLlm {
         // lengthen the answer without improving it — the failure mode the
         // critic calls "superfluous additions".
         for a in mentioned.minus(required).iter() {
-            if a != Aspect::TrapWarning && rng.random::<f32>() < self.profile.instruction_following {
+            if a != Aspect::TrapWarning && rng.random::<f32>() < self.profile.instruction_following
+            {
                 covered.insert(a);
             }
         }
@@ -152,9 +149,10 @@ impl SimLlm {
             }
         }
         // Filler proportional to verbosity models the model's natural length.
-        let filler_sentences =
-            ((covered.len().max(1) as f32) * self.profile.verbosity * (0.8 + 0.4 * rng.random::<f32>()))
-                .round() as usize;
+        let filler_sentences = ((covered.len().max(1) as f32)
+            * self.profile.verbosity
+            * (0.8 + 0.4 * rng.random::<f32>()))
+        .round() as usize;
         for i in 0..filler_sentences {
             if zh {
                 out.push_str(&format!("补充说明{}进一步展开 {topic} 的细节。", i + 1));
@@ -167,11 +165,12 @@ impl SimLlm {
         }
         match (zh, correct) {
             (true, true) => out.push_str(&format!("总之，{CORRECT_MARKER_ZH}，{topic} 如上。")),
-            (true, false) => out.push_str(&format!("总之，{INCORRECT_MARKER_ZH}相反，{topic} 如上。")),
-            (false, true) => out.push_str(&format!("In conclusion, {CORRECT_MARKER} for {topic}.")),
-            (false, false) => {
-                out.push_str(&format!("In conclusion, {INCORRECT_MARKER} the opposite for {topic}."))
+            (true, false) => {
+                out.push_str(&format!("总之，{INCORRECT_MARKER_ZH}相反，{topic} 如上。"))
             }
+            (false, true) => out.push_str(&format!("In conclusion, {CORRECT_MARKER} for {topic}.")),
+            (false, false) => out
+                .push_str(&format!("In conclusion, {INCORRECT_MARKER} the opposite for {topic}.")),
         }
         out
     }
@@ -218,7 +217,8 @@ impl ChatModel for SimLlm {
 
         // Correctness: capability, minus ambiguity that nobody resolved,
         // plus a small bonus when the answer works step by step.
-        let ambiguity_penalty = if covered.contains(Aspect::Context) { 0.0 } else { 0.25 * ambiguity };
+        let ambiguity_penalty =
+            if covered.contains(Aspect::Context) { 0.0 } else { 0.25 * ambiguity };
         let step_bonus = if covered.contains(Aspect::StepByStep) { 0.07 } else { 0.0 };
         let mut p_correct =
             (self.profile.capability + step_bonus - ambiguity_penalty).clamp(0.02, 0.98);
@@ -232,7 +232,8 @@ impl ChatModel for SimLlm {
         // instead of solving — and such pre-baked answers are usually
         // shallow or wrong for a non-trivial question.
         let canon_input = pas_text::normalize_for_dedup(input);
-        if canon_input.contains("the answer is") || canon_input.contains("no further analysis is needed")
+        if canon_input.contains("the answer is")
+            || canon_input.contains("no further analysis is needed")
         {
             p_correct *= 0.45;
         }
@@ -270,7 +271,8 @@ mod tests {
         Arc::new(w)
     }
 
-    const PROMPT: &str = "If there are ten birds on a tree and one is shot how many are on the ground";
+    const PROMPT: &str =
+        "If there are ten birds on a tree and one is shot how many are on the ground";
 
     #[test]
     fn responses_are_deterministic() {
@@ -321,7 +323,9 @@ mod tests {
             let prompt = format!("Question {i} about thermal conduction in ancient pottery");
             let w = world_with(&prompt, required, false);
             let m = SimLlm::named("gpt-4-0613", w);
-            let asked = format!("{prompt}. Provide a detailed analysis in depth and include concrete examples.");
+            let asked = format!(
+                "{prompt}. Provide a detailed analysis in depth and include concrete examples."
+            );
             plain_cov += detect_aspects(&m.chat(&prompt)).intersection(required).len();
             asked_cov += detect_aspects(&m.chat(&asked)).intersection(required).len();
         }
@@ -353,7 +357,8 @@ mod tests {
         let mut short_total = 0usize;
         for i in 0..100 {
             let prompt = format!("Prompt {i} asking for a thorough treatment of soil chemistry");
-            let required: AspectSet = [Aspect::Depth, Aspect::Completeness, Aspect::Context].into_iter().collect();
+            let required: AspectSet =
+                [Aspect::Depth, Aspect::Completeness, Aspect::Context].into_iter().collect();
             let w = world_with(&prompt, required, false);
             let verbose = SimLlm::named("gpt-4-1106-preview", Arc::clone(&w));
             let terse = SimLlm::named("gpt-3.5-turbo-1106", w);

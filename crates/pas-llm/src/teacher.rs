@@ -64,7 +64,12 @@ pub struct TeacherConfig {
 
 impl Default for TeacherConfig {
     fn default() -> Self {
-        TeacherConfig { flaw_rate: 0.38, infer_accuracy: 0.92, extra_aspect_rate: 0.12, seed: 0x7ea }
+        TeacherConfig {
+            flaw_rate: 0.38,
+            infer_accuracy: 0.92,
+            extra_aspect_rate: 0.12,
+            seed: 0x7ea,
+        }
     }
 }
 
@@ -117,11 +122,8 @@ impl Teacher {
 
         // Infer the latent deficiencies (the teacher is strong: it reads the
         // prompt like the world does, with per-aspect slip probability).
-        let deficiencies = self
-            .world
-            .lookup(prompt)
-            .map(|m| m.deficiencies())
-            .unwrap_or(AspectSet::EMPTY);
+        let deficiencies =
+            self.world.lookup(prompt).map(|m| m.deficiencies()).unwrap_or(AspectSet::EMPTY);
         let mut intended = AspectSet::EMPTY;
         for a in deficiencies.iter() {
             if rng.random::<f32>() < self.config.infer_accuracy {
@@ -256,7 +258,9 @@ mod tests {
             "How should I design a cache eviction policy for a database buffer pool",
             PromptMeta {
                 category: Category::Coding,
-                required: [Aspect::Depth, Aspect::Examples, Aspect::Completeness].into_iter().collect(),
+                required: [Aspect::Depth, Aspect::Examples, Aspect::Completeness]
+                    .into_iter()
+                    .collect(),
                 explicit: AspectSet::EMPTY,
                 ambiguity: 0.4,
                 trap: false,
@@ -270,9 +274,7 @@ mod tests {
     const PROMPT: &str = "How should I design a cache eviction policy for a database buffer pool";
 
     fn golden() -> Vec<(String, String)> {
-        (0..4)
-            .map(|i| (format!("golden prompt {i}"), format!("golden complement {i}")))
-            .collect()
+        (0..4).map(|i| (format!("golden prompt {i}"), format!("golden complement {i}"))).collect()
     }
 
     #[test]
@@ -295,7 +297,12 @@ mod tests {
     #[test]
     fn clean_generation_requests_deficient_aspects() {
         let t = Teacher::new(
-            TeacherConfig { flaw_rate: 0.0, extra_aspect_rate: 0.0, infer_accuracy: 1.0, ..TeacherConfig::default() },
+            TeacherConfig {
+                flaw_rate: 0.0,
+                extra_aspect_rate: 0.0,
+                infer_accuracy: 1.0,
+                ..TeacherConfig::default()
+            },
             world(),
         );
         let g = t.generate(PROMPT, &golden(), 0);
@@ -309,7 +316,8 @@ mod tests {
 
     #[test]
     fn flaw_rate_one_always_injects() {
-        let t = Teacher::new(TeacherConfig { flaw_rate: 10.0, ..TeacherConfig::default() }, world());
+        let t =
+            Teacher::new(TeacherConfig { flaw_rate: 10.0, ..TeacherConfig::default() }, world());
         for i in 0..10 {
             assert!(t.generate(PROMPT, &golden(), i).injected_flaw.is_some());
         }
@@ -349,7 +357,10 @@ mod tests {
 
     #[test]
     fn unknown_prompt_still_produces_complement() {
-        let t = Teacher::new(TeacherConfig { flaw_rate: 0.0, ..TeacherConfig::default() }, Arc::new(World::new()));
+        let t = Teacher::new(
+            TeacherConfig { flaw_rate: 0.0, ..TeacherConfig::default() },
+            Arc::new(World::new()),
+        );
         let g = t.generate("completely novel prompt about gardening techniques", &golden(), 0);
         assert!(!g.text.is_empty());
         assert!(!detect_aspects(&g.text).is_empty());

@@ -167,15 +167,43 @@ impl Aspect {
     /// punctuation-free and mutually non-overlapping across aspects.
     pub fn trigger_phrases(self) -> &'static [&'static str] {
         match self {
-            Aspect::StepByStep => &["step by step", "show your reasoning", "walk through the logic"],
-            Aspect::StyleConstraint => &["formal tone", "stylistic constraints", "consistent style", "matching the register"],
-            Aspect::FormatSpec => &["structured format", "as a bulleted list", "in json format", "format the output"],
-            Aspect::Depth => &["in depth", "detailed analysis", "comprehensive explanation", "thorough treatment"],
-            Aspect::TrapWarning => &["hidden assumptions", "logic trap", "common pitfall", "trick in the question"],
-            Aspect::Completeness => &["cover all cases", "address every part", "consider edge cases", "complete coverage"],
-            Aspect::Audience => &["for a beginner", "intended audience", "suitable for newcomers", "reader background"],
+            Aspect::StepByStep => {
+                &["step by step", "show your reasoning", "walk through the logic"]
+            }
+            Aspect::StyleConstraint => &[
+                "formal tone",
+                "stylistic constraints",
+                "consistent style",
+                "matching the register",
+            ],
+            Aspect::FormatSpec => {
+                &["structured format", "as a bulleted list", "in json format", "format the output"]
+            }
+            Aspect::Depth => &[
+                "in depth",
+                "detailed analysis",
+                "comprehensive explanation",
+                "thorough treatment",
+            ],
+            Aspect::TrapWarning => {
+                &["hidden assumptions", "logic trap", "common pitfall", "trick in the question"]
+            }
+            Aspect::Completeness => &[
+                "cover all cases",
+                "address every part",
+                "consider edge cases",
+                "complete coverage",
+            ],
+            Aspect::Audience => &[
+                "for a beginner",
+                "intended audience",
+                "suitable for newcomers",
+                "reader background",
+            ],
             Aspect::Examples => &["concrete examples", "worked example", "include examples"],
-            Aspect::Context => &["relevant background", "necessary context", "surrounding circumstances"],
+            Aspect::Context => {
+                &["relevant background", "necessary context", "surrounding circumstances"]
+            }
             Aspect::Conciseness => &["keep it brief", "concise answer", "within a few sentences"],
         }
     }

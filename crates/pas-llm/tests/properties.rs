@@ -10,11 +10,8 @@ use pas_llm::{ChatModel, Critic, SimLlm, Teacher, TeacherConfig};
 use pas_text::lang::Language;
 
 fn arbitrary_aspect_set() -> impl Strategy<Value = AspectSet> {
-    prop::collection::vec(0usize..Aspect::ALL.len(), 0..4).prop_map(|idxs| {
-        idxs.into_iter()
-            .filter_map(Aspect::from_index)
-            .collect::<AspectSet>()
-    })
+    prop::collection::vec(0usize..Aspect::ALL.len(), 0..4)
+        .prop_map(|idxs| idxs.into_iter().filter_map(Aspect::from_index).collect::<AspectSet>())
 }
 
 fn meta(required: AspectSet, topic: &str) -> PromptMeta {

@@ -44,10 +44,7 @@ impl Default for TrainParams {
 fn batches(n: usize, batch_size: usize, rng: &mut StdRng) -> Vec<Vec<usize>> {
     let mut order: Vec<usize> = (0..n).collect();
     order.shuffle(rng);
-    order
-        .chunks(batch_size.max(1))
-        .map(|c| c.to_vec())
-        .collect()
+    order.chunks(batch_size.max(1)).map(|c| c.to_vec()).collect()
 }
 
 fn stack_rows(features: &[Vec<f32>], idxs: &[usize], dim: usize) -> Matrix {
@@ -124,11 +121,7 @@ impl SoftmaxClassifier {
     /// Most likely class.
     pub fn predict(&self, features: &[f32]) -> u32 {
         let p = self.probabilities(features);
-        p.iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i as u32)
-            .unwrap_or(0)
+        p.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i as u32).unwrap_or(0)
     }
 
     /// Accuracy over a labeled set.
@@ -136,11 +129,7 @@ impl SoftmaxClassifier {
         if features.is_empty() {
             return 0.0;
         }
-        let hits = features
-            .iter()
-            .zip(labels)
-            .filter(|(f, &l)| self.predict(f) == l)
-            .count();
+        let hits = features.iter().zip(labels).filter(|(f, &l)| self.predict(f) == l).count();
         hits as f64 / features.len() as f64
     }
 }
@@ -172,7 +161,12 @@ impl MultiLabelClassifier {
 
     /// Trains on `(features, target-bitmask-rows)`; `targets[i]` has one 0/1
     /// entry per label. Returns the final-epoch mean loss.
-    pub fn train(&mut self, features: &[Vec<f32>], targets: &[Vec<f32>], params: &TrainParams) -> f32 {
+    pub fn train(
+        &mut self,
+        features: &[Vec<f32>],
+        targets: &[Vec<f32>],
+        params: &TrainParams,
+    ) -> f32 {
         assert_eq!(features.len(), targets.len(), "features/targets length mismatch");
         if features.is_empty() {
             return 0.0;
@@ -292,7 +286,8 @@ mod tests {
         let mut xs = Vec::new();
         let mut ts = Vec::new();
         for _ in 0..400 {
-            let v: Vec<f32> = (0..4).map(|_| if rng.random::<f32>() > 0.5 { 1.0 } else { 0.0 }).collect();
+            let v: Vec<f32> =
+                (0..4).map(|_| if rng.random::<f32>() > 0.5 { 1.0 } else { 0.0 }).collect();
             ts.push(v.clone());
             xs.push(v);
         }

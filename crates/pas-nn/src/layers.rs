@@ -12,9 +12,7 @@ use crate::matrix::Matrix;
 
 fn xavier(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
     let bound = (6.0f32 / (rows + cols) as f32).sqrt();
-    let data = (0..rows * cols)
-        .map(|_| rng.random::<f32>() * 2.0 * bound - bound)
-        .collect();
+    let data = (0..rows * cols).map(|_| rng.random::<f32>() * 2.0 * bound - bound).collect();
     Matrix::from_vec(rows, cols, data)
 }
 

@@ -45,7 +45,13 @@ mod tests {
         // the smoke test that gradients flow end to end.
         let vocab = 10u32;
         let seq: Vec<u32> = vec![1, 2, 3, 4, 5, 6, 7, 8, 1, 2, 3, 4, 5, 6, 7, 8];
-        let cfg = LmConfig { vocab_size: vocab as usize, context: 3, embed_dim: 8, hidden_dim: 16, seed: 1 };
+        let cfg = LmConfig {
+            vocab_size: vocab as usize,
+            context: 3,
+            embed_dim: 8,
+            hidden_dim: 16,
+            seed: 1,
+        };
         let mut lm = FfnLm::new(cfg);
         let mut adam = Adam::new(AdamConfig { lr: 0.05, ..AdamConfig::default() });
         let mut last = f32::INFINITY;

@@ -243,11 +243,8 @@ fn argmax(xs: &[f32]) -> usize {
 }
 
 fn sample(logits: &[f32], temperature: f32, top_k: usize, rng: &mut StdRng) -> u32 {
-    let mut scaled: Vec<(usize, f32)> = logits
-        .iter()
-        .enumerate()
-        .map(|(i, &x)| (i, x / temperature))
-        .collect();
+    let mut scaled: Vec<(usize, f32)> =
+        logits.iter().enumerate().map(|(i, &x)| (i, x / temperature)).collect();
     if top_k > 0 && top_k < scaled.len() {
         scaled.sort_by(|a, b| b.1.total_cmp(&a.1));
         scaled.truncate(top_k);
@@ -316,7 +313,13 @@ mod tests {
     #[test]
     fn sampling_respects_seed() {
         let lm = tiny();
-        let cfg = GenerateConfig { max_tokens: 5, temperature: 1.0, top_k: 4, seed: 9, ..GenerateConfig::default() };
+        let cfg = GenerateConfig {
+            max_tokens: 5,
+            temperature: 1.0,
+            top_k: 4,
+            seed: 9,
+            ..GenerateConfig::default()
+        };
         assert_eq!(lm.generate(&[1], &cfg), lm.generate(&[1], &cfg));
         let other = GenerateConfig { seed: 10, ..cfg };
         // Different seeds usually differ; don't assert inequality strictly,
@@ -334,7 +337,8 @@ mod tests {
         for _ in 0..120 {
             lm.train_epoch(&[vec![5, 6, 2]], &mut adam);
         }
-        let cfg = GenerateConfig { max_tokens: 10, stop_token: Some(2), ..GenerateConfig::default() };
+        let cfg =
+            GenerateConfig { max_tokens: 10, stop_token: Some(2), ..GenerateConfig::default() };
         let out = lm.generate(&[5], &cfg);
         assert!(!out.contains(&2));
         assert!(out.len() < 10, "should stop early, got {out:?}");

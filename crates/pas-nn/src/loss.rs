@@ -44,11 +44,7 @@ pub fn sigmoid(x: f32) -> f32 {
 /// `targets` is a `{0,1}` matrix the same shape as `logits`. Returns
 /// `(mean_loss_per_element, grad_logits)`.
 pub fn bce_with_logits(logits: &Matrix, targets: &Matrix) -> (f32, Matrix) {
-    assert_eq!(
-        (logits.rows(), logits.cols()),
-        (targets.rows(), targets.cols()),
-        "shape mismatch"
-    );
+    assert_eq!((logits.rows(), logits.cols()), (targets.rows(), targets.cols()), "shape mismatch");
     let n = (logits.rows() * logits.cols()) as f32;
     let mut grad = Matrix::zeros(logits.rows(), logits.cols());
     let mut total = 0.0f32;

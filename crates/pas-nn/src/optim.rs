@@ -92,11 +92,7 @@ impl Adam {
         let b2 = self.config.beta2;
         let bc1 = 1.0 - b1.powi(self.step as i32);
         let bc2 = 1.0 - b2.powi(self.step as i32);
-        for ((p, &g0), (mi, vi)) in param
-            .iter_mut()
-            .zip(grad)
-            .zip(m.iter_mut().zip(v.iter_mut()))
-        {
+        for ((p, &g0), (mi, vi)) in param.iter_mut().zip(grad).zip(m.iter_mut().zip(v.iter_mut())) {
             let g = g0 * scale;
             *mi = b1 * *mi + (1.0 - b1) * g;
             *vi = b2 * *vi + (1.0 - b2) * g * g;

@@ -108,11 +108,8 @@ fn adam_reduces_loss_on_random_regression() {
     };
     let initial = loss(w[0]);
     for _ in 0..300 {
-        let grad: f32 = data
-            .iter()
-            .map(|&(x, y)| 2.0 * (w[0] * x - y) * x)
-            .sum::<f32>()
-            / data.len() as f32;
+        let grad: f32 =
+            data.iter().map(|&(x, y)| 2.0 * (w[0] * x - y) * x).sum::<f32>() / data.len() as f32;
         adam.begin_step();
         adam.update(&mut w, &[grad]);
     }

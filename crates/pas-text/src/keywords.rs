@@ -14,13 +14,13 @@ use crate::words;
 pub const STOPWORDS: &[&str] = &[
     "a", "an", "the", "and", "or", "but", "if", "then", "else", "for", "of", "to", "in", "on",
     "at", "by", "with", "about", "as", "is", "are", "was", "were", "be", "been", "being", "do",
-    "does", "did", "have", "has", "had", "i", "you", "he", "she", "it", "we", "they", "me",
-    "him", "her", "us", "them", "my", "your", "its", "our", "their", "this", "that", "these",
-    "those", "what", "which", "who", "whom", "how", "when", "where", "why", "can", "could",
-    "should", "would", "will", "shall", "may", "might", "must", "not", "no", "so", "than",
-    "too", "very", "just", "please", "also", "there", "here", "from", "into", "out", "up",
-    "down", "over", "under", "again", "more", "most", "some", "any", "each", "own", "same",
-    "s", "t", "don", "now", "am",
+    "does", "did", "have", "has", "had", "i", "you", "he", "she", "it", "we", "they", "me", "him",
+    "her", "us", "them", "my", "your", "its", "our", "their", "this", "that", "these", "those",
+    "what", "which", "who", "whom", "how", "when", "where", "why", "can", "could", "should",
+    "would", "will", "shall", "may", "might", "must", "not", "no", "so", "than", "too", "very",
+    "just", "please", "also", "there", "here", "from", "into", "out", "up", "down", "over",
+    "under", "again", "more", "most", "some", "any", "each", "own", "same", "s", "t", "don", "now",
+    "am",
 ];
 
 fn is_stopword(word: &str) -> bool {

@@ -19,9 +19,7 @@ pub fn char_ngrams(text: &str, n: usize) -> Vec<String> {
     if chars.len() <= n {
         return vec![chars.iter().collect()];
     }
-    (0..=chars.len() - n)
-        .map(|i| chars[i..i + n].iter().collect())
-        .collect()
+    (0..=chars.len() - n).map(|i| chars[i..i + n].iter().collect()).collect()
 }
 
 /// Returns the word `n`-grams of `text`, joined with single spaces.
@@ -86,10 +84,7 @@ mod tests {
 
     #[test]
     fn shingle_hashes_match_for_equal_texts() {
-        assert_eq!(
-            word_shingle_hashes("a b c d", 3),
-            word_shingle_hashes("A b. C d", 3)
-        );
+        assert_eq!(word_shingle_hashes("a b c d", 3), word_shingle_hashes("A b. C d", 3));
     }
 
     #[test]

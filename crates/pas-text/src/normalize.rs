@@ -29,9 +29,7 @@ pub fn collapse_whitespace(text: &str) -> String {
 /// Removes punctuation characters, replacing them with spaces so word
 /// boundaries survive (`"don't"` → `"don t"`, `"a,b"` → `"a b"`).
 pub fn strip_punctuation(text: &str) -> String {
-    text.chars()
-        .map(|c| if c.is_alphanumeric() || c.is_whitespace() { c } else { ' ' })
-        .collect()
+    text.chars().map(|c| if c.is_alphanumeric() || c.is_whitespace() { c } else { ' ' }).collect()
 }
 
 /// Full canonical form used as the dedup key: lowercase, punctuation-free,

@@ -165,10 +165,7 @@ impl Template {
 
 /// Builds a slot map from `(name, value)` pairs.
 pub fn slots<const N: usize>(pairs: [(&str, &str); N]) -> BTreeMap<String, String> {
-    pairs
-        .into_iter()
-        .map(|(k, v)| (k.to_string(), v.to_string()))
-        .collect()
+    pairs.into_iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
 }
 
 #[cfg(test)]
@@ -212,10 +209,7 @@ mod tests {
 
     #[test]
     fn unclosed_and_empty_are_errors() {
-        assert!(matches!(
-            Template::parse("oops {slot"),
-            Err(TemplateError::UnclosedBrace { .. })
-        ));
+        assert!(matches!(Template::parse("oops {slot"), Err(TemplateError::UnclosedBrace { .. })));
         assert!(matches!(Template::parse("bad {}"), Err(TemplateError::EmptySlot { .. })));
     }
 

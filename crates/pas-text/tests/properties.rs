@@ -2,11 +2,11 @@
 
 use proptest::prelude::*;
 
+use pas_text::normalize::normalize_for_dedup;
 use pas_text::{
     collapse_whitespace, dice_coefficient, fx_hash_str, jaccard_words, levenshtein,
     normalized_levenshtein, words,
 };
-use pas_text::normalize::normalize_for_dedup;
 
 proptest! {
     #[test]

@@ -66,9 +66,7 @@ impl BpeTrainer {
             let mut pair_counts: HashMap<(String, String), u64> = HashMap::new();
             for (symbols, freq) in &words {
                 for win in symbols.windows(2) {
-                    *pair_counts
-                        .entry((win[0].clone(), win[1].clone()))
-                        .or_insert(0) += *freq;
+                    *pair_counts.entry((win[0].clone(), win[1].clone())).or_insert(0) += *freq;
                 }
             }
             let best = pair_counts
@@ -124,11 +122,8 @@ impl BpeTrainer {
             vocab.add_or_get(&format!("{l}{r}"));
         }
 
-        let ranks = merges
-            .iter()
-            .enumerate()
-            .map(|(rank, pair)| (pair.clone(), rank as u32))
-            .collect();
+        let ranks =
+            merges.iter().enumerate().map(|(rank, pair)| (pair.clone(), rank as u32)).collect();
         BpeTokenizer { vocab, merges, ranks }
     }
 }
@@ -270,8 +265,7 @@ mod tests {
     use super::*;
 
     fn train(corpus: &[&str], merges: usize) -> BpeTokenizer {
-        BpeTrainer::new(TrainConfig { merges, min_pair_count: 2 })
-            .train(corpus.iter().copied())
+        BpeTrainer::new(TrainConfig { merges, min_pair_count: 2 }).train(corpus.iter().copied())
     }
 
     #[test]

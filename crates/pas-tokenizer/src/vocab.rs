@@ -103,12 +103,7 @@ impl Vocab {
 
     /// Rebuilds the reverse index after deserialization.
     pub fn rebuild_index(&mut self) {
-        self.index = self
-            .tokens
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (t.clone(), i as u32))
-            .collect();
+        self.index = self.tokens.iter().enumerate().map(|(i, t)| (t.clone(), i as u32)).collect();
     }
 
     /// Number of tokens, including specials.
@@ -150,10 +145,7 @@ impl Vocab {
     /// Looks up the token string for `id`.
     #[inline]
     pub fn token_of(&self, id: u32) -> Result<&str, VocabError> {
-        self.tokens
-            .get(id as usize)
-            .map(String::as_str)
-            .ok_or(VocabError::UnknownId(id))
+        self.tokens.get(id as usize).map(String::as_str).ok_or(VocabError::UnknownId(id))
     }
 
     /// True when `id` is one of the reserved specials.

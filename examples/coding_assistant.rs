@@ -24,14 +24,9 @@ fn main() {
 
     // Specialize: keep only the Coding pairs — the category-controlled
     // generation the paper describes.
-    let coding_only = PairDataset {
-        pairs: system.dataset.in_category(Category::Coding).cloned().collect(),
-    };
-    println!(
-        "dataset: {} total pairs, {} coding pairs",
-        system.dataset.len(),
-        coding_only.len()
-    );
+    let coding_only =
+        PairDataset { pairs: system.dataset.in_category(Category::Coding).cloned().collect() };
+    println!("dataset: {} total pairs, {} coding pairs", system.dataset.len(), coding_only.len());
     let (specialist, _) = Pas::sft(&PasConfig::default(), &coding_only);
 
     let coding_prompts = [
@@ -58,5 +53,7 @@ fn main() {
         spec_hits += wanted.iter().filter(|a| s.contains(**a)).count();
         gen_hits += wanted.iter().filter(|a| g.contains(**a)).count();
     }
-    println!("\ncoding-aspect requests over 50 prompts: specialist {spec_hits}, generalist {gen_hits}");
+    println!(
+        "\ncoding-aspect requests over 50 prompts: specialist {spec_hits}, generalist {gen_hits}"
+    );
 }

@@ -16,10 +16,12 @@ use pas::data::{
 };
 
 fn main() {
-    let corpus = Corpus::generate(&CorpusConfig { size: 3000, seed: 11, ..CorpusConfig::default() });
+    let corpus =
+        Corpus::generate(&CorpusConfig { size: 3000, seed: 11, ..CorpusConfig::default() });
     println!("raw corpus: {} prompts (incl. duplicates and junk)", corpus.len());
 
-    let (selected, report) = SelectionPipeline::new(SelectionConfig::default()).run(&corpus.records);
+    let (selected, report) =
+        SelectionPipeline::new(SelectionConfig::default()).run(&corpus.records);
     println!("\n§3.1 selection pipeline");
     println!("  input          : {}", report.input);
     println!("  after dedup    : {} (HNSW near-duplicate grouping)", report.after_dedup);
@@ -36,10 +38,7 @@ fn main() {
     println!("  first-draw rejections: {}", gen_report.rejected_first_draw);
     println!("  regenerations        : {}", gen_report.regenerations);
     println!("  critic repairs       : {}", gen_report.repairs);
-    println!(
-        "  residual flaw rate   : {:.2}%",
-        100.0 * gen_report.residual_flaw_rate()
-    );
+    println!("  residual flaw rate   : {:.2}%", 100.0 * gen_report.residual_flaw_rate());
 
     println!("\n{}", DatasetStats::compute(&dataset).render_distribution());
 

@@ -22,7 +22,10 @@ fn main() {
     let config = HumanEvalConfig { items_per_scenario: 40, panel_size: 5, seed: 77 };
     let outcome = run_human_eval(&config, &system.pas, "qwen2-72b-chat");
 
-    println!("\n{:<26} {:>9} {:>9}  {:>9} {:>9}", "scenario", "avg", "avg+PAS", "avail", "avail+PAS");
+    println!(
+        "\n{:<26} {:>9} {:>9}  {:>9} {:>9}",
+        "scenario", "avg", "avg+PAS", "avail", "avail+PAS"
+    );
     for (b, p) in outcome.baseline.iter().zip(&outcome.with_pas) {
         println!(
             "{:<26} {:>9.2} {:>9.2}  {:>8.0}% {:>8.0}%",

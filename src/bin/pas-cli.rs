@@ -63,7 +63,11 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
     flags
 }
 
-fn usize_flag(flags: &HashMap<String, String>, name: &str, default: usize) -> Result<usize, String> {
+fn usize_flag(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: usize,
+) -> Result<usize, String> {
     match flags.get(name) {
         None => Ok(default),
         Some(v) => v.parse().map_err(|_| format!("--{name} expects an integer, got {v:?}")),
@@ -95,10 +99,7 @@ fn cmd_build(flags: &HashMap<String, String>) -> Result<(), String> {
         system.sft_loss,
     );
     if let Some(path) = flags.get("dataset") {
-        system
-            .dataset
-            .save_jsonl_path(path)
-            .map_err(|e| format!("writing {path}: {e}"))?;
+        system.dataset.save_jsonl_path(path).map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("dataset → {path}");
     }
     if let Some(path) = flags.get("model") {

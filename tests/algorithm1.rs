@@ -3,15 +3,10 @@
 
 use std::sync::Arc;
 
-use pas::data::{
-    Corpus, CorpusConfig, GenConfig, Generator, SelectionConfig, SelectionPipeline,
-};
+use pas::data::{Corpus, CorpusConfig, GenConfig, Generator, SelectionConfig, SelectionPipeline};
 use pas::llm::{Critic, TeacherConfig};
 
-fn selected(
-    size: usize,
-    seed: u64,
-) -> (Vec<pas::data::SelectedPrompt>, Arc<pas::llm::World>) {
+fn selected(size: usize, seed: u64) -> (Vec<pas::data::SelectedPrompt>, Arc<pas::llm::World>) {
     let corpus = Corpus::generate(&CorpusConfig { size, seed, ..CorpusConfig::default() });
     let world = Arc::new(corpus.world.clone());
     let (sel, _) =
@@ -40,17 +35,11 @@ fn every_emitted_pair_passes_the_critic_when_selection_is_on() {
 fn selection_phase_is_what_removes_the_flaws() {
     let (sel, world) = selected(700, 2);
     let (_, with) = Generator::new(GenConfig::default(), Arc::clone(&world)).run(&sel);
-    let (_, without) = Generator::new(
-        GenConfig { selection_enabled: false, ..GenConfig::default() },
-        world,
-    )
-    .run(&sel);
+    let (_, without) =
+        Generator::new(GenConfig { selection_enabled: false, ..GenConfig::default() }, world)
+            .run(&sel);
     assert!(with.residual_flaw_rate() < 0.02, "curated: {}", with.residual_flaw_rate());
-    assert!(
-        without.residual_flaw_rate() > 0.08,
-        "ablated: {}",
-        without.residual_flaw_rate()
-    );
+    assert!(without.residual_flaw_rate() > 0.08, "ablated: {}", without.residual_flaw_rate());
 }
 
 #[test]

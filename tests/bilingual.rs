@@ -55,7 +55,12 @@ fn trained_pas_augments_chinese_prompts_in_chinese() {
     let system = system();
     let mut zh_outputs = 0;
     let mut zh_total = 0;
-    for pair in system.dataset.pairs.iter().filter(|p| detect_language(&p.prompt) == Language::Chinese).take(40)
+    for pair in system
+        .dataset
+        .pairs
+        .iter()
+        .filter(|p| detect_language(&p.prompt) == Language::Chinese)
+        .take(40)
     {
         zh_total += 1;
         let complement = system.pas.augment(&pair.prompt);

@@ -19,7 +19,7 @@ fn small_system(seed: u64) -> PasSystem {
 #[test]
 fn trained_pas_improves_a_mid_tier_model() {
     let system = small_system(42);
-    let env = EvalEnv::build(&EvalEnvConfig { arena_items: 120, alpaca_items: 40, seed: 0x77 });
+    let env = EvalEnv::build(&EvalEnvConfig { arena_items: 120, alpaca_items: 40, seed: 0x11 });
     let judge = Judge::default();
     let model = SimLlm::named("gpt-4-0613", env.world.clone());
     let reference = SimLlm::named("reference-arena", env.world.clone());
@@ -73,9 +73,6 @@ fn complements_never_rewrite_the_prompt() {
         "请翻译这句话",
     ] {
         let out = system.pas.optimize(prompt);
-        assert!(
-            out.starts_with(prompt),
-            "PAS complements, never rewrites: {out:?}"
-        );
+        assert!(out.starts_with(prompt), "PAS complements, never rewrites: {out:?}");
     }
 }

@@ -1,0 +1,260 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! A wall-clock benchmark harness exposing the API surface the workspace's
+//! benches use: [`Criterion::bench_function`], benchmark groups with
+//! `sample_size`/`throughput`/`bench_with_input`, [`BenchmarkId`], and the
+//! `criterion_group!`/`criterion_main!` macros. No statistical analysis or
+//! HTML reports — each bench prints its median per-iteration time, and
+//! [`Criterion::results`] exposes the numbers so callers can emit
+//! machine-readable summaries.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Identifier for a parameterized benchmark, e.g. `from_parameter(64)`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered from the bench parameter alone.
+    pub fn from_parameter(p: impl fmt::Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// An id with an explicit function name and parameter.
+    pub fn new(name: impl fmt::Display, p: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// One benchmark's measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full bench name (`group/function` for grouped benches).
+    pub name: String,
+    /// Median wall-clock nanoseconds per iteration.
+    pub median_ns: f64,
+}
+
+/// Measures one benchmark body via [`Bencher::iter`].
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, storing per-iteration samples for the harness.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup and calibration: aim for ≥ ~20ms of work per sample so
+        // short bodies aren't lost in timer noise.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once_ns = start.elapsed().as_nanos().max(1) as f64;
+        let iters = ((20_000_000.0 / once_ns) as u64).clamp(1, 100_000);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            self.samples_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    fn median_ns(&self) -> f64 {
+        let mut s = self.samples_ns.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        if s.is_empty() {
+            0.0
+        } else {
+            s[s.len() / 2]
+        }
+    }
+}
+
+/// The benchmark harness.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name.to_string(), 10, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// All measurements recorded so far, in run order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: String, sample_size: usize, mut f: F) {
+        let mut bencher = Bencher { sample_size, samples_ns: Vec::new() };
+        f(&mut bencher);
+        let median_ns = bencher.median_ns();
+        println!("{name:<50} time: [{}]", format_ns(median_ns));
+        self.results.push(BenchResult { name, median_ns });
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each bench records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotates per-iteration throughput (printed alongside the time).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into().0);
+        self.criterion.run_one(name, self.sample_size, f);
+        self.report_throughput();
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.0);
+        self.criterion.run_one(name, self.sample_size, |b| f(b, input));
+        self.report_throughput();
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+
+    fn report_throughput(&self) {
+        let Some(t) = self.throughput else { return };
+        let Some(last) = self.criterion.results.last() else { return };
+        if last.median_ns <= 0.0 {
+            return;
+        }
+        let per_sec = |n: u64| n as f64 / (last.median_ns / 1e9);
+        match t {
+            Throughput::Bytes(n) => {
+                println!("{:<50} thrpt: [{:.1} MiB/s]", "", per_sec(n) / (1024.0 * 1024.0));
+            }
+            Throughput::Elements(n) => {
+                println!("{:<50} thrpt: [{:.1} elem/s]", "", per_sec(n));
+            }
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Bundles bench functions into a runner, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Defines `main` running the given groups, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_result() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].median_ns > 0.0);
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(2);
+            g.throughput(Throughput::Elements(10));
+            g.bench_function("a", |b| b.iter(|| std::hint::black_box(2 * 2)));
+            g.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &n| {
+                b.iter(|| std::hint::black_box(n * n))
+            });
+            g.finish();
+        }
+        let names: Vec<&str> = c.results().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["grp/a", "grp/7"]);
+    }
+}

@@ -1,0 +1,473 @@
+//! Offline vendored stand-in for the `proptest` crate.
+//!
+//! Implements the slice of proptest the workspace's property tests use:
+//! the [`proptest!`] macro, `prop_assert*`, [`ProptestConfig::with_cases`],
+//! range and regex-string strategies, `prop::collection::vec`, and
+//! `.prop_map`. Cases are generated deterministically from the test name
+//! and case index (no persistence files, no shrinking): a failing case
+//! reproduces on every run, which for a fixed corpus of tests is the part
+//! of proptest that matters.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Per-test configuration; only `cases` is supported.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic RNG for one test case: seeded from the test name and the
+/// case index, so reruns and `--test-threads` settings never change inputs.
+pub fn test_rng(test_name: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                if lo == hi { lo } else { rng.random_range(lo..hi) }
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut StdRng) -> f32 {
+        self.start + rng.random::<f32>() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        self.start + rng.random::<f64>() * (self.end - self.start)
+    }
+}
+
+/// String literals act as regex-subset strategies generating matching
+/// strings, e.g. `"[a-z ]{0,80}"` or `"[a-z]{1,10}( [a-z]{1,10}){0,8}"`.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let nodes = regex::parse(self);
+        let mut out = String::new();
+        regex::render(&nodes, rng, &mut out);
+        out
+    }
+}
+
+mod regex {
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    pub enum Node {
+        Lit(char),
+        /// Inclusive character ranges; single chars are `(c, c)`.
+        Class(Vec<(char, char)>),
+        /// `.` — any printable character.
+        Any,
+        Group(Vec<Node>),
+        Repeat(Box<Node>, u32, u32),
+    }
+
+    pub fn parse(pattern: &str) -> Vec<Node> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let nodes = parse_seq(pattern, &chars, &mut pos, /*in_group=*/ false);
+        assert!(pos == chars.len(), "proptest stub: trailing junk in regex {pattern:?}");
+        nodes
+    }
+
+    fn parse_seq(pattern: &str, chars: &[char], pos: &mut usize, in_group: bool) -> Vec<Node> {
+        let mut nodes = Vec::new();
+        while let Some(&c) = chars.get(*pos) {
+            let atom = match c {
+                ')' if in_group => break,
+                '(' => {
+                    *pos += 1;
+                    let inner = parse_seq(pattern, chars, pos, true);
+                    assert!(
+                        chars.get(*pos) == Some(&')'),
+                        "proptest stub: unclosed group in {pattern:?}"
+                    );
+                    *pos += 1;
+                    Node::Group(inner)
+                }
+                '[' => {
+                    *pos += 1;
+                    Node::Class(parse_class(pattern, chars, pos))
+                }
+                '.' => {
+                    *pos += 1;
+                    Node::Any
+                }
+                '\\' => {
+                    *pos += 1;
+                    let escaped = *chars
+                        .get(*pos)
+                        .unwrap_or_else(|| panic!("proptest stub: dangling \\ in {pattern:?}"));
+                    *pos += 1;
+                    Node::Lit(escaped)
+                }
+                '|' | '^' | '$' => {
+                    panic!("proptest stub: unsupported regex feature {c:?} in {pattern:?}")
+                }
+                other => {
+                    *pos += 1;
+                    Node::Lit(other)
+                }
+            };
+            nodes.push(apply_quantifier(pattern, chars, pos, atom));
+        }
+        nodes
+    }
+
+    fn parse_class(pattern: &str, chars: &[char], pos: &mut usize) -> Vec<(char, char)> {
+        let mut ranges = Vec::new();
+        assert!(
+            chars.get(*pos) != Some(&'^'),
+            "proptest stub: negated classes unsupported in {pattern:?}"
+        );
+        while let Some(&c) = chars.get(*pos) {
+            match c {
+                ']' => {
+                    *pos += 1;
+                    assert!(!ranges.is_empty(), "proptest stub: empty class in {pattern:?}");
+                    return ranges;
+                }
+                lo => {
+                    *pos += 1;
+                    if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1) != Some(&']') {
+                        let hi = chars[*pos + 1];
+                        assert!(lo <= hi, "proptest stub: bad range {lo}-{hi} in {pattern:?}");
+                        ranges.push((lo, hi));
+                        *pos += 2;
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+            }
+        }
+        panic!("proptest stub: unclosed class in {pattern:?}");
+    }
+
+    fn apply_quantifier(pattern: &str, chars: &[char], pos: &mut usize, atom: Node) -> Node {
+        match chars.get(*pos) {
+            Some('{') => {
+                *pos += 1;
+                let min = parse_number(pattern, chars, pos);
+                let max = match chars.get(*pos) {
+                    Some(',') => {
+                        *pos += 1;
+                        parse_number(pattern, chars, pos)
+                    }
+                    _ => min,
+                };
+                assert!(
+                    chars.get(*pos) == Some(&'}'),
+                    "proptest stub: unclosed quantifier in {pattern:?}"
+                );
+                *pos += 1;
+                assert!(min <= max, "proptest stub: bad quantifier in {pattern:?}");
+                Node::Repeat(Box::new(atom), min, max)
+            }
+            Some('?') => {
+                *pos += 1;
+                Node::Repeat(Box::new(atom), 0, 1)
+            }
+            Some('*') => {
+                *pos += 1;
+                Node::Repeat(Box::new(atom), 0, 8)
+            }
+            Some('+') => {
+                *pos += 1;
+                Node::Repeat(Box::new(atom), 1, 8)
+            }
+            _ => atom,
+        }
+    }
+
+    fn parse_number(pattern: &str, chars: &[char], pos: &mut usize) -> u32 {
+        let start = *pos;
+        while chars.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+            *pos += 1;
+        }
+        assert!(*pos > start, "proptest stub: expected number in {pattern:?}");
+        chars[start..*pos].iter().collect::<String>().parse().expect("digits")
+    }
+
+    /// Occasional non-ASCII output for `.`, to exercise unicode handling.
+    const WIDE_POOL: &[char] = &['é', 'ß', 'λ', 'Ж', '雪', '界', '—', '🙂'];
+
+    pub fn render(nodes: &[Node], rng: &mut StdRng, out: &mut String) {
+        for node in nodes {
+            match node {
+                Node::Lit(c) => out.push(*c),
+                Node::Class(ranges) => {
+                    let total: u32 =
+                        ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+                    let mut pick = rng.random_range(0..total);
+                    for (lo, hi) in ranges {
+                        let width = *hi as u32 - *lo as u32 + 1;
+                        if pick < width {
+                            out.push(char::from_u32(*lo as u32 + pick).expect("class char"));
+                            break;
+                        }
+                        pick -= width;
+                    }
+                }
+                Node::Any => {
+                    if rng.random_range(0..10u32) == 0 {
+                        out.push(WIDE_POOL[rng.random_range(0..WIDE_POOL.len())]);
+                    } else {
+                        out.push(char::from_u32(rng.random_range(0x20..0x7fu32)).expect("ascii"));
+                    }
+                }
+                Node::Group(inner) => render(inner, rng, out),
+                Node::Repeat(inner, min, max) => {
+                    let n = if min == max { *min } else { rng.random_range(*min..*max + 1) };
+                    for _ in 0..n {
+                        render(std::slice::from_ref(inner), rng, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Collection strategies, reachable as `prop::collection::*`.
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::RngExt;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive element-count bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    /// Strategy generating `Vec`s of `element` with a size in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = if self.size.min == self.size.max {
+                self.size.min
+            } else {
+                rng.random_range(self.size.min..self.size.max + 1)
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec(...)` works as upstream.
+pub mod prop {
+    pub use super::collection;
+}
+
+/// Everything tests import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use super::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a property-test condition; failures abort the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion for property tests.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion for property tests.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        #[test]
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_rng(stringify!($name), case);
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn word() -> impl Strategy<Value = String> {
+        "[a-z]{1,5}"
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn regex_class_and_quantifier(s in "[a-c ]{2,6}") {
+            prop_assert!((2..=6).contains(&s.chars().count()), "{s:?}");
+            prop_assert!(s.chars().all(|c| matches!(c, 'a'..='c' | ' ')));
+        }
+
+        #[test]
+        fn groups_repeat_whole_units(s in "[ab]{1,3}( [ab]{1,3}){0,2}") {
+            prop_assert!(!s.is_empty());
+            for part in s.split(' ') {
+                prop_assert!((1..=3).contains(&part.len()), "{s:?}");
+            }
+        }
+
+        #[test]
+        fn vec_sizes_and_ranges_hold(
+            v in prop::collection::vec(0u64..50, 4..9),
+            exact in prop::collection::vec(-1.0f32..1.0, 6),
+            w in prop::collection::vec(word(), 2..4).prop_map(|ws| ws.join("-")),
+        ) {
+            prop_assert!((4..=8).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 50));
+            prop_assert_eq!(exact.len(), 6);
+            prop_assert!(exact.iter().all(|&x| (-1.0..1.0).contains(&x)));
+            prop_assert!(w.contains('-'));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_name() {
+        let a = <&str as Strategy>::generate(&".{0,40}", &mut super::test_rng("t", 3));
+        let b = <&str as Strategy>::generate(&".{0,40}", &mut super::test_rng("t", 3));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,419 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! `syn`/`quote` are unavailable offline, so this crate walks the raw
+//! `proc_macro::TokenStream` directly and emits impl source as a string.
+//! It supports exactly the shapes the workspace derives on:
+//!
+//! - structs with named fields (`#[serde(skip)]`, `#[serde(rename = "...")]`)
+//! - tuple structs (arity 1 serializes transparently, arity ≥ 2 as an array)
+//! - enums of unit variants (serialized as the variant-name string)
+//!
+//! Generics and data-carrying enum variants are rejected with a panic at
+//! compile time rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+/// Derives `serde::Serialize` (the vendored Value-based trait).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render(&item, Mode::Ser).parse().expect("serde_derive emitted invalid Rust")
+}
+
+/// Derives `serde::Deserialize` (the vendored Value-based trait).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render(&item, Mode::De).parse().expect("serde_derive emitted invalid Rust")
+}
+
+#[derive(Clone, Copy)]
+enum Mode {
+    Ser,
+    De,
+}
+
+struct Field {
+    /// Field identifier (named structs only).
+    name: String,
+    /// Serialized key: the rename when given, else the identifier.
+    key: String,
+    /// `#[serde(skip)]`: omit when serializing, `Default::default()` back.
+    skip: bool,
+}
+
+enum Item {
+    Named { name: String, fields: Vec<Field> },
+    Tuple { name: String, arity: usize },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Serde options collected from one `#[serde(...)]` attribute list.
+#[derive(Default)]
+struct SerdeOpts {
+    skip: bool,
+    rename: Option<String>,
+}
+
+/// Consumes leading `#[...]` attributes, folding any `#[serde(...)]`
+/// options together; leaves `iter` at the first non-attribute token.
+fn take_attrs(tokens: &[TokenTree], idx: &mut usize) -> SerdeOpts {
+    let mut opts = SerdeOpts::default();
+    while let Some(TokenTree::Punct(p)) = tokens.get(*idx) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *idx += 1;
+        let Some(TokenTree::Group(g)) = tokens.get(*idx) else {
+            panic!("serde_derive: `#` not followed by an attribute group");
+        };
+        *idx += 1;
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde") {
+            if let Some(TokenTree::Group(args)) = inner.get(1) {
+                parse_serde_args(args.stream(), &mut opts);
+            }
+        }
+    }
+    opts
+}
+
+/// Parses the inside of `#[serde( ... )]`: `skip` and `rename = "..."`.
+fn parse_serde_args(stream: TokenStream, opts: &mut SerdeOpts) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(ident) => match ident.to_string().as_str() {
+                "skip" => {
+                    opts.skip = true;
+                    i += 1;
+                }
+                "rename" => {
+                    let lit = match (tokens.get(i + 1), tokens.get(i + 2)) {
+                        (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                            if eq.as_char() == '=' =>
+                        {
+                            lit.to_string()
+                        }
+                        _ => panic!("serde_derive: rename expects `rename = \"...\"`"),
+                    };
+                    opts.rename = Some(unquote(&lit));
+                    i += 3;
+                }
+                other => panic!("serde_derive: unsupported serde option `{other}`"),
+            },
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            other => panic!("serde_derive: unexpected token in serde attribute: {other}"),
+        }
+    }
+}
+
+/// Strips the quotes from a string literal's token text.
+fn unquote(lit: &str) -> String {
+    let inner = lit
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .unwrap_or_else(|| panic!("serde_derive: expected string literal, got {lit}"));
+    assert!(!inner.contains('\\'), "serde_derive: escapes in rename are unsupported");
+    inner.to_string()
+}
+
+/// Skips `pub` / `pub(...)` if present.
+fn skip_visibility(tokens: &[TokenTree], idx: &mut usize) {
+    if matches!(tokens.get(*idx), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *idx += 1;
+        if matches!(
+            tokens.get(*idx),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *idx += 1;
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut idx = 0;
+
+    // Item-level attributes (doc comments etc.) and visibility.
+    take_attrs(&tokens, &mut idx);
+    skip_visibility(&tokens, &mut idx);
+
+    let kind = match tokens.get(idx) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    idx += 1;
+
+    let name = match tokens.get(idx) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    idx += 1;
+
+    if matches!(tokens.get(idx), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported (deriving {name})");
+    }
+
+    match (kind.as_str(), tokens.get(idx)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Item::Named { name, fields: parse_named_fields(g.stream()) }
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Item::Tuple { name, arity: tuple_arity(g.stream()) }
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let variants = parse_unit_variants(&name, g.stream());
+            Item::Enum { name, variants }
+        }
+        _ => panic!("serde_derive: unsupported item shape for {name}"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut idx = 0;
+    let mut fields = Vec::new();
+    while idx < tokens.len() {
+        let opts = take_attrs(&tokens, &mut idx);
+        if idx >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut idx);
+        let name = match tokens.get(idx) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        idx += 1;
+        assert!(
+            matches!(tokens.get(idx), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "serde_derive: expected `:` after field {name}"
+        );
+        idx += 1;
+        // Skip the type: everything up to a comma outside angle brackets.
+        // Parens/brackets arrive as atomic groups, so only `<>` needs depth.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(idx) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        idx += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            idx += 1;
+        }
+        let key = opts.rename.clone().unwrap_or_else(|| name.clone());
+        fields.push(Field { name, key, skip: opts.skip });
+    }
+    fields
+}
+
+/// Counts tuple-struct fields: top-level commas + 1 (ignoring a trailing
+/// comma), with angle-bracket depth tracking as above.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    assert!(!tokens.is_empty(), "serde_derive: empty tuple structs are unsupported");
+    let mut arity = 1;
+    let mut angle_depth = 0i32;
+    for (i, tok) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 && i + 1 < tokens.len() => arity += 1,
+                _ => {}
+            }
+        }
+    }
+    arity
+}
+
+fn parse_unit_variants(enum_name: &str, stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut idx = 0;
+    let mut variants = Vec::new();
+    while idx < tokens.len() {
+        take_attrs(&tokens, &mut idx);
+        if idx >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(idx) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected variant name in {enum_name}, got {other:?}"),
+        };
+        idx += 1;
+        match tokens.get(idx) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => idx += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip to the next top-level comma.
+                idx += 1;
+                while let Some(tok) = tokens.get(idx) {
+                    idx += 1;
+                    if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                }
+            }
+            Some(TokenTree::Group(_)) => {
+                panic!("serde_derive: data-carrying variant {enum_name}::{name} is not supported")
+            }
+            Some(other) => panic!("serde_derive: unexpected token after variant: {other}"),
+        }
+        variants.push(name);
+    }
+    variants
+}
+
+fn render(item: &Item, mode: Mode) -> String {
+    let mut out = String::new();
+    match (item, mode) {
+        (Item::Named { name, fields }, Mode::Ser) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                let _ = writeln!(
+                    pushes,
+                    "entries.push(({key:?}.to_string(), \
+                     serde::Serialize::to_value(&self.{field})));",
+                    key = f.key,
+                    field = f.name
+                );
+            }
+            let _ = write!(
+                out,
+                "#[automatically_derived]\n\
+                 impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{\n\
+                 let mut entries: Vec<(String, serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 serde::Value::Map(entries)\n\
+                 }}\n}}\n"
+            );
+        }
+        (Item::Named { name, fields }, Mode::De) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    let _ = writeln!(inits, "{field}: Default::default(),", field = f.name);
+                } else {
+                    let _ = writeln!(
+                        inits,
+                        "{field}: serde::Deserialize::from_value(\
+                         serde::field(entries, {key:?}))\
+                         .map_err(|e| e.context(\"{name}.{field}\"))?,",
+                        key = f.key,
+                        field = f.name
+                    );
+                }
+            }
+            let _ = write!(
+                out,
+                "#[automatically_derived]\n\
+                 impl serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                 let entries = v.as_map()\
+                 .ok_or_else(|| serde::Error::new(\"expected map for {name}\"))?;\n\
+                 Ok({name} {{\n{inits}}})\n\
+                 }}\n}}\n"
+            );
+        }
+        (Item::Tuple { name, arity: 1 }, Mode::Ser) => {
+            let _ = write!(
+                out,
+                "#[automatically_derived]\n\
+                 impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{\n\
+                 serde::Serialize::to_value(&self.0)\n\
+                 }}\n}}\n"
+            );
+        }
+        (Item::Tuple { name, arity: 1 }, Mode::De) => {
+            let _ = write!(
+                out,
+                "#[automatically_derived]\n\
+                 impl serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                 Ok({name}(serde::Deserialize::from_value(v)\
+                 .map_err(|e| e.context(\"{name}\"))?))\n\
+                 }}\n}}\n"
+            );
+        }
+        (Item::Tuple { name, arity }, Mode::Ser) => {
+            let elems: Vec<String> =
+                (0..*arity).map(|i| format!("serde::Serialize::to_value(&self.{i})")).collect();
+            let _ = write!(
+                out,
+                "#[automatically_derived]\n\
+                 impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{\n\
+                 serde::Value::Array(vec![{}])\n\
+                 }}\n}}\n",
+                elems.join(", ")
+            );
+        }
+        (Item::Tuple { name, arity }, Mode::De) => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| {
+                    format!(
+                        "serde::Deserialize::from_value(&items[{i}])\
+                         .map_err(|e| e.context(\"{name}.{i}\"))?"
+                    )
+                })
+                .collect();
+            let _ = write!(
+                out,
+                "#[automatically_derived]\n\
+                 impl serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                 let items = v.as_array()\
+                 .ok_or_else(|| serde::Error::new(\"expected array for {name}\"))?;\n\
+                 if items.len() != {arity} {{\n\
+                 return Err(serde::Error::new(format!(\
+                 \"expected {arity} elements for {name}, got {{}}\", items.len())));\n\
+                 }}\n\
+                 Ok({name}({}))\n\
+                 }}\n}}\n",
+                elems.join(", ")
+            );
+        }
+        (Item::Enum { name, variants }, Mode::Ser) => {
+            let arms: Vec<String> =
+                variants.iter().map(|v| format!("{name}::{v} => {v:?}")).collect();
+            let _ = write!(
+                out,
+                "#[automatically_derived]\n\
+                 impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{\n\
+                 serde::Value::Str(String::from(match self {{ {} }}))\n\
+                 }}\n}}\n",
+                arms.join(", ")
+            );
+        }
+        (Item::Enum { name, variants }, Mode::De) => {
+            let arms: Vec<String> =
+                variants.iter().map(|v| format!("Some({v:?}) => Ok({name}::{v}),")).collect();
+            let _ = write!(
+                out,
+                "#[automatically_derived]\n\
+                 impl serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                 match v.as_str() {{\n\
+                 {}\n\
+                 Some(other) => Err(serde::Error::new(\
+                 format!(\"unknown {name} variant {{other:?}}\"))),\n\
+                 None => Err(serde::Error::new(\"expected string for enum {name}\")),\n\
+                 }}\n\
+                 }}\n}}\n",
+                arms.join("\n")
+            );
+        }
+    }
+    out
+}
