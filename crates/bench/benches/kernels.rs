@@ -1,0 +1,189 @@
+//! Scalar-reference vs kernel ns/op for the compute primitives the pipeline
+//! leans on: dot products and cosine probes at the embedding dimension the
+//! selection pipeline actually uses (64), and matmuls at the LM-inference
+//! shapes.
+//!
+//! "Scalar" is the pre-kernel implementation (sequential single-accumulator
+//! sums, per-probe norm recomputation, naive i-k-j matmul) — the code these
+//! kernels replaced, kept here as the baseline. After the Criterion runs a
+//! hand-written `main` computes per-workload speedups and writes a
+//! machine-readable summary to `BENCH_kernels.json` at the workspace root.
+
+use criterion::Criterion;
+use std::hint::black_box;
+
+use pas_nn::Matrix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The embedding dimension of the selection pipeline (`SelectionConfig`).
+const EMBED_DIM: usize = 64;
+/// Stored vectors probed per iteration in the dot/cosine workloads.
+const PROBES: usize = 256;
+
+/// Pre-kernel scalar implementations, verbatim from the replaced code.
+mod scalar {
+    /// Sequential single-accumulator dot product.
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    /// The old `CosineDistance::distance`: fused pass recomputing both
+    /// operand norms (two `sqrt`s) on every probe.
+    pub fn cosine_distance(a: &[f32], b: &[f32]) -> f32 {
+        let mut dot = 0.0f32;
+        let mut na = 0.0f32;
+        let mut nb = 0.0f32;
+        for (&x, &y) in a.iter().zip(b) {
+            dot += x * y;
+            na += x * x;
+            nb += y * y;
+        }
+        if na == 0.0 || nb == 0.0 {
+            return 1.0;
+        }
+        (1.0 - dot / (na.sqrt() * nb.sqrt())).max(0.0)
+    }
+
+    /// The old unblocked i-k-j `Matrix::matmul`.
+    pub fn matmul(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let av = a[i * k + p];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        out
+    }
+}
+
+fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| (0..dim).map(|_| rng.random::<f32>() * 2.0 - 1.0).collect()).collect()
+}
+
+/// Benches `scalar` and `kernel` bodies under `group/scalar` and
+/// `group/kernel`.
+fn bench_pair<R, F: Fn() -> R, G: Fn() -> R>(c: &mut Criterion, group: &str, scalar: F, kernel: G) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(20);
+    g.bench_function("scalar", |b| b.iter(|| black_box(scalar())));
+    g.bench_function("kernel", |b| b.iter(|| black_box(kernel())));
+    g.finish();
+}
+
+fn bench_dot(c: &mut Criterion) {
+    let stored = random_vectors(PROBES, EMBED_DIM, 101);
+    let query = &random_vectors(1, EMBED_DIM, 103)[0];
+    bench_pair(
+        c,
+        "kernels_dot_64",
+        || stored.iter().map(|v| scalar::dot(query, v)).sum::<f32>(),
+        || stored.iter().map(|v| pas_kernels::dot(query, v)).sum::<f32>(),
+    );
+}
+
+fn bench_cosine_probe(c: &mut Criterion) {
+    // Scalar side probes raw vectors, recomputing both norms each time (the
+    // old per-probe path). Kernel side probes the pre-normalized store:
+    // unit vectors prepared once at insert, each probe a single 1 − dot.
+    let raw = random_vectors(PROBES, EMBED_DIM, 107);
+    let raw_query = &random_vectors(1, EMBED_DIM, 109)[0];
+    let unit: Vec<Vec<f32>> = raw
+        .iter()
+        .map(|v| {
+            let mut u = v.clone();
+            let n = pas_kernels::sum_sq(&u).sqrt();
+            pas_kernels::scale(&mut u, 1.0 / n);
+            u
+        })
+        .collect();
+    let mut unit_query = raw_query.clone();
+    let query_norm = pas_kernels::sum_sq(&unit_query).sqrt();
+    pas_kernels::scale(&mut unit_query, 1.0 / query_norm);
+    bench_pair(
+        c,
+        "kernels_cosine_probe_64",
+        || raw.iter().map(|v| scalar::cosine_distance(raw_query, v)).sum::<f32>(),
+        || unit.iter().map(|v| (1.0 - pas_kernels::dot(&unit_query, v)).max(0.0)).sum::<f32>(),
+    );
+}
+
+fn bench_matmul(c: &mut Criterion, group: &'static str, m: usize, k: usize, n: usize) {
+    let a = random_vectors(1, m * k, 113 + (m * k) as u64)[0].clone();
+    let b = random_vectors(1, k * n, 127 + (k * n) as u64)[0].clone();
+    let ma = Matrix::from_vec(m, k, a.clone());
+    let mb = Matrix::from_vec(k, n, b.clone());
+    bench_pair(c, group, || scalar::matmul(m, k, n, &a, &b)[0], || ma.matmul(&mb).data()[0]);
+}
+
+/// One workload's summary line in `BENCH_kernels.json`.
+struct Workload {
+    name: &'static str,
+    group: &'static str,
+    elements: usize,
+}
+
+const WORKLOADS: [Workload; 5] = [
+    Workload { name: "dot_64", group: "kernels_dot_64", elements: PROBES },
+    Workload { name: "cosine_probe_64", group: "kernels_cosine_probe_64", elements: PROBES },
+    Workload { name: "matmul_lm_hidden_32x64x32", group: "kernels_matmul_32x64x32", elements: 1 },
+    Workload { name: "matmul_lm_logits_32x32x256", group: "kernels_matmul_32x32x256", elements: 1 },
+    Workload { name: "matmul_square_64", group: "kernels_matmul_64x64x64", elements: 1 },
+];
+
+fn median_ns(c: &Criterion, name: &str) -> f64 {
+    c.results()
+        .iter()
+        .find(|r| r.name == name)
+        .unwrap_or_else(|| panic!("no bench result named {name}"))
+        .median_ns
+}
+
+fn write_summary(c: &Criterion) {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut lines = Vec::new();
+    for w in &WORKLOADS {
+        let scalar_ns = median_ns(c, &format!("{}/scalar", w.group));
+        let kernel_ns = median_ns(c, &format!("{}/kernel", w.group));
+        lines.push(format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"elements\": {}, ",
+                "\"scalar_ns\": {:.0}, \"kernel_ns\": {:.0}, ",
+                "\"scalar_ns_per_element\": {:.1}, ",
+                "\"kernel_ns_per_element\": {:.1}, ",
+                "\"speedup\": {:.2}}}"
+            ),
+            w.name,
+            w.elements,
+            scalar_ns,
+            kernel_ns,
+            scalar_ns / w.elements as f64,
+            kernel_ns / w.elements as f64,
+            scalar_ns / kernel_ns,
+        ));
+    }
+    let json =
+        format!("{{\n  \"cores\": {cores},\n  \"kernels\": [\n{}\n  ]\n}}\n", lines.join(",\n"));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    std::fs::write(path, &json).expect("write BENCH_kernels.json");
+    println!("\nwrote {path}:\n{json}");
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_dot(&mut c);
+    bench_cosine_probe(&mut c);
+    bench_matmul(&mut c, "kernels_matmul_32x64x32", 32, 64, 32);
+    bench_matmul(&mut c, "kernels_matmul_32x32x256", 32, 32, 256);
+    bench_matmul(&mut c, "kernels_matmul_64x64x64", 64, 64, 64);
+    write_summary(&c);
+}

@@ -3,6 +3,11 @@
 //! Shares the query interface of [`crate::Hnsw`]; used as ground truth in
 //! recall tests, as the small-collection fast path in the deduplicator, and
 //! as the baseline in the ANN benchmarks.
+//!
+//! Like the HNSW index, vectors are stored in the metric's *prepared* form
+//! plus their original L2 norm ([`crate::Metric::prepare`]): under cosine
+//! the scan evaluates `1 − dot` per element instead of recomputing three
+//! norms per probe.
 
 use crate::metric::Metric;
 use crate::Neighbor;
@@ -10,18 +15,22 @@ use crate::Neighbor;
 /// Exhaustive-scan index over the inserted vectors.
 pub struct ExactIndex<M: Metric> {
     metric: M,
+    /// Prepared (e.g. unit-normalized) vectors.
     vectors: Vec<Vec<f32>>,
+    /// Original L2 norm of each vector, recorded at insert.
+    norms: Vec<f32>,
 }
 
 impl<M: Metric> ExactIndex<M> {
     /// Creates an empty index with the given metric.
     pub fn new(metric: M) -> Self {
-        ExactIndex { metric, vectors: Vec::new() }
+        ExactIndex { metric, vectors: Vec::new(), norms: Vec::new() }
     }
 
     /// Inserts a vector, returning its id (insertion order).
-    pub fn insert(&mut self, vector: Vec<f32>) -> usize {
+    pub fn insert(&mut self, mut vector: Vec<f32>) -> usize {
         let id = self.vectors.len();
+        self.norms.push(self.metric.prepare(&mut vector));
         self.vectors.push(vector);
         id
     }
@@ -36,9 +45,23 @@ impl<M: Metric> ExactIndex<M> {
         self.vectors.is_empty()
     }
 
-    /// Returns the stored vector for `id`.
+    /// Returns the stored vector for `id`, in the metric's prepared form
+    /// (under cosine: the unit vector — multiply by [`ExactIndex::norm`] to
+    /// recover the original magnitude).
     pub fn vector(&self, id: usize) -> &[f32] {
         &self.vectors[id]
+    }
+
+    /// Original L2 norm of the vector inserted as `id`.
+    pub fn norm(&self, id: usize) -> f32 {
+        self.norms[id]
+    }
+
+    /// Prepares a query once for the probes of a whole scan.
+    fn prepared_query(&self, query: &[f32]) -> Vec<f32> {
+        let mut q = query.to_vec();
+        self.metric.prepare(&mut q);
+        q
     }
 
     /// Exact `k` nearest neighbours of `query`, closest first; ties broken
@@ -49,13 +72,14 @@ impl<M: Metric> ExactIndex<M> {
     /// the ordered partial results merge sequentially — so the output is
     /// identical at any `--threads` setting.
     pub fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        let query = self.prepared_query(query);
         let chunk_starts: Vec<usize> = (0..self.vectors.len()).step_by(Self::SCAN_CHUNK).collect();
         let mut hits: Vec<Neighbor> = if chunk_starts.len() <= 1 {
-            self.scan_range(query, 0, self.vectors.len(), usize::MAX)
+            self.scan_range(&query, 0, self.vectors.len(), usize::MAX)
         } else {
             pas_par::par_map(&chunk_starts, |_, &start| {
                 let end = (start + Self::SCAN_CHUNK).min(self.vectors.len());
-                self.scan_range(query, start, end, k)
+                self.scan_range(&query, start, end, k)
             })
             .into_iter()
             .flatten()
@@ -70,12 +94,16 @@ impl<M: Metric> ExactIndex<M> {
     /// [`ExactIndex::search_batch`].
     const SCAN_CHUNK: usize = 2048;
 
-    /// Distances for ids in `start..end`, sorted, truncated to `k`.
+    /// Distances for ids in `start..end` against an already-prepared query,
+    /// sorted, truncated to `k`.
     fn scan_range(&self, query: &[f32], start: usize, end: usize, k: usize) -> Vec<Neighbor> {
         let mut hits: Vec<Neighbor> = self.vectors[start..end]
             .iter()
             .enumerate()
-            .map(|(off, v)| Neighbor { id: start + off, distance: self.metric.distance(query, v) })
+            .map(|(off, v)| Neighbor {
+                id: start + off,
+                distance: self.metric.prepared_distance(query, v),
+            })
             .collect();
         hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then_with(|| a.id.cmp(&b.id)));
         if k != usize::MAX {
@@ -87,17 +115,20 @@ impl<M: Metric> ExactIndex<M> {
     /// `k` nearest neighbours for every query, computed in parallel (one
     /// work item per query). Results are in query order.
     pub fn search_batch(&self, queries: &[Vec<f32>], k: usize) -> Vec<Vec<Neighbor>> {
-        pas_par::par_map(queries, |_, q| self.scan_range(q, 0, self.vectors.len(), k))
+        pas_par::par_map(queries, |_, q| {
+            self.scan_range(&self.prepared_query(q), 0, self.vectors.len(), k)
+        })
     }
 
     /// All ids whose distance to `query` is at most `radius`.
     pub fn search_radius(&self, query: &[f32], radius: f32) -> Vec<Neighbor> {
+        let query = self.prepared_query(query);
         let mut hits: Vec<Neighbor> = self
             .vectors
             .iter()
             .enumerate()
             .filter_map(|(id, v)| {
-                let distance = self.metric.distance(query, v);
+                let distance = self.metric.prepared_distance(&query, v);
                 (distance <= radius).then_some(Neighbor { id, distance })
             })
             .collect();
@@ -114,7 +145,7 @@ impl<M: Metric> ExactIndex<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metric::EuclideanDistance;
+    use crate::metric::{CosineDistance, EuclideanDistance};
 
     fn index_with_points() -> ExactIndex<EuclideanDistance> {
         let mut idx = ExactIndex::new(EuclideanDistance);
@@ -189,5 +220,19 @@ mod tests {
         let hits = idx.search(&[1.0, 0.0], 2);
         assert_eq!(hits[0].id, 0);
         assert_eq!(hits[1].id, 1);
+    }
+
+    #[test]
+    fn cosine_store_is_prenormalized_and_scale_invariant() {
+        let mut idx = ExactIndex::new(CosineDistance);
+        idx.insert(vec![3.0, 0.0, 4.0]);
+        idx.insert(vec![0.0, 1.0, 0.0]);
+        assert_eq!(idx.norm(0), 5.0);
+        assert!((pas_kernels::sum_sq(idx.vector(0)).sqrt() - 1.0).abs() < 1e-6);
+        // An unnormalized query parallel to vector 0 probes at distance ~0.
+        let hits = idx.search(&[0.3, 0.0, 0.4], 2);
+        assert_eq!(hits[0].id, 0);
+        assert!(hits[0].distance < 1e-6);
+        assert!((hits[1].distance - 1.0).abs() < 1e-6);
     }
 }

@@ -73,10 +73,19 @@ impl Node {
 }
 
 /// The HNSW index. Generic over the distance [`Metric`].
+///
+/// Vectors are stored in the metric's *prepared* form ([`Metric::prepare`])
+/// plus their original L2 norm: under [`crate::CosineDistance`] that is the
+/// unit vector, so every probe during construction and search is a single
+/// fused dot product (`1 − a·b`) instead of recomputing both operand norms.
+/// Queries are prepared once per call.
 pub struct Hnsw<M: Metric> {
     config: HnswConfig,
     metric: M,
+    /// Prepared (e.g. unit-normalized) vectors, one per node.
     vectors: Vec<Vec<f32>>,
+    /// Original L2 norm of each vector, recorded at insert.
+    norms: Vec<f32>,
     nodes: Vec<Node>,
     entry: Option<usize>,
     rng: StdRng,
@@ -97,6 +106,7 @@ impl<M: Metric> Hnsw<M> {
             config,
             metric,
             vectors: Vec::new(),
+            norms: Vec::new(),
             nodes: Vec::new(),
             entry: None,
             rng,
@@ -114,9 +124,16 @@ impl<M: Metric> Hnsw<M> {
         self.vectors.is_empty()
     }
 
-    /// The stored vector for `id`.
+    /// The stored vector for `id`, in the metric's prepared form (under
+    /// cosine: the unit vector — multiply by [`Hnsw::norm`] to recover the
+    /// original magnitude).
     pub fn vector(&self, id: usize) -> &[f32] {
         &self.vectors[id]
+    }
+
+    /// Original L2 norm of the vector inserted as `id`.
+    pub fn norm(&self, id: usize) -> f32 {
+        self.norms[id]
     }
 
     fn random_level(&mut self) -> usize {
@@ -126,11 +143,11 @@ impl<M: Metric> Hnsw<M> {
 
     #[inline]
     fn dist(&self, a: usize, query: &[f32]) -> f32 {
-        self.metric.distance(&self.vectors[a], query)
+        self.metric.prepared_distance(&self.vectors[a], query)
     }
 
-    /// Best-first search at one layer. Returns up to `ef` closest candidates
-    /// to `query`, unsorted.
+    /// Best-first search at one layer. `query` must already be in prepared
+    /// form. Returns up to `ef` closest candidates, unsorted.
     fn search_layer(&self, query: &[f32], entry: usize, ef: usize, layer: usize) -> Vec<Candidate> {
         let mut visited = vec![false; self.nodes.len()];
         visited[entry] = true;
@@ -196,19 +213,20 @@ impl<M: Metric> Hnsw<M> {
     }
 
     /// Inserts a vector, returning its id (insertion order).
-    pub fn insert(&mut self, vector: Vec<f32>) -> usize {
+    pub fn insert(&mut self, mut vector: Vec<f32>) -> usize {
+        let norm = self.metric.prepare(&mut vector);
         let level = self.random_level();
         let links = self.plan_insert(&vector, level);
-        self.commit_plan(vector, level, links)
+        self.commit_plan(vector, norm, level, links)
     }
 
-    /// Computes the layer-wise link selection for inserting `query` at
-    /// `level`, *without mutating the graph*. This is the expensive half of
-    /// an insert (all the distance evaluations live here) and is a pure
-    /// function of the current graph, so [`Hnsw::build_batch`] runs it for a
-    /// whole wave of vectors in parallel. Returns `links[layer]` = selected
-    /// peers for each layer from 0 up to `min(level, top_level)`; empty when
-    /// the index is empty.
+    /// Computes the layer-wise link selection for inserting `query` (already
+    /// in prepared form) at `level`, *without mutating the graph*. This is
+    /// the expensive half of an insert (all the distance evaluations live
+    /// here) and is a pure function of the current graph, so
+    /// [`Hnsw::build_batch`] runs it for a whole wave of vectors in
+    /// parallel. Returns `links[layer]` = selected peers for each layer from
+    /// 0 up to `min(level, top_level)`; empty when the index is empty.
     fn plan_insert(&self, query: &[f32], level: usize) -> Vec<Vec<usize>> {
         let Some(mut entry) = self.entry else {
             return Vec::new();
@@ -235,16 +253,23 @@ impl<M: Metric> Hnsw<M> {
         links
     }
 
-    /// Applies a plan from [`Hnsw::plan_insert`]: registers the vector,
-    /// wires the bidirectional links, trims overfull peers, and promotes the
-    /// entry point when the new node's level exceeds the current top. Cheap
-    /// (no distance evaluations except inside `shrink_links`) and always
-    /// sequential — the graph mutation order is what keeps builds
-    /// deterministic.
-    fn commit_plan(&mut self, vector: Vec<f32>, level: usize, links: Vec<Vec<usize>>) -> usize {
+    /// Applies a plan from [`Hnsw::plan_insert`]: registers the prepared
+    /// vector and its original norm, wires the bidirectional links, trims
+    /// overfull peers, and promotes the entry point when the new node's
+    /// level exceeds the current top. Cheap (no distance evaluations except
+    /// inside `shrink_links`) and always sequential — the graph mutation
+    /// order is what keeps builds deterministic.
+    fn commit_plan(
+        &mut self,
+        vector: Vec<f32>,
+        norm: f32,
+        level: usize,
+        links: Vec<Vec<usize>>,
+    ) -> usize {
         let id = self.vectors.len();
         let prev_top = self.entry.map(|e| self.nodes[e].level());
         self.vectors.push(vector);
+        self.norms.push(norm);
         self.nodes.push(Node { neighbors: vec![Vec::new(); level + 1] });
         for (layer, peers) in links.iter().enumerate() {
             for &peer in peers {
@@ -277,21 +302,29 @@ impl<M: Metric> Hnsw<M> {
     /// bounds — see `batch_build_recall_matches_incremental`.
     pub fn build_batch(&mut self, vectors: Vec<Vec<f32>>) -> Vec<usize> {
         let levels: Vec<usize> = vectors.iter().map(|_| self.random_level()).collect();
-        let mut ids = Vec::with_capacity(vectors.len());
-        let mut vectors: Vec<Option<Vec<f32>>> = vectors.into_iter().map(Some).collect();
+        // Prepare every vector once up front (unit-normalize under cosine) —
+        // element-wise work, safely parallel, order-independent.
+        let prepared = pas_par::par_map(&vectors, |_, v| {
+            let mut v = v.clone();
+            let norm = self.metric.prepare(&mut v);
+            (v, norm)
+        });
+        drop(vectors);
+        let mut ids = Vec::with_capacity(prepared.len());
+        let mut prepared: Vec<Option<(Vec<f32>, f32)>> = prepared.into_iter().map(Some).collect();
         let mut next = 0;
-        while next < vectors.len() {
-            let wave = (vectors.len() - next).min(self.len().clamp(1, Self::MAX_WAVE));
+        while next < prepared.len() {
+            let wave = (prepared.len() - next).min(self.len().clamp(1, Self::MAX_WAVE));
             let plans = {
-                let wave_inputs: Vec<(usize, &Vec<f32>)> = (next..next + wave)
-                    .map(|i| (i, vectors[i].as_ref().expect("not yet committed")))
+                let wave_inputs: Vec<(usize, &[f32])> = (next..next + wave)
+                    .map(|i| (i, prepared[i].as_ref().expect("not yet committed").0.as_slice()))
                     .collect();
                 pas_par::par_map(&wave_inputs, |_, &(i, v)| self.plan_insert(v, levels[i]))
             };
             for (j, links) in plans.into_iter().enumerate() {
                 let i = next + j;
-                let v = vectors[i].take().expect("committed once");
-                ids.push(self.commit_plan(v, levels[i], links));
+                let (v, norm) = prepared[i].take().expect("committed once");
+                ids.push(self.commit_plan(v, norm, levels[i], links));
             }
             next += wave;
         }
@@ -321,7 +354,7 @@ impl<M: Metric> Hnsw<M> {
         let mut links: Vec<Candidate> = self.nodes[node].neighbors[layer]
             .iter()
             .map(|&peer| Candidate {
-                distance: self.metric.distance(&base, &self.vectors[peer]),
+                distance: self.metric.prepared_distance(&base, &self.vectors[peer]),
                 id: peer,
             })
             .collect();
@@ -333,7 +366,8 @@ impl<M: Metric> Hnsw<M> {
                 break;
             }
             let diverse = selected.iter().all(|s| {
-                cand.distance < self.metric.distance(&self.vectors[cand.id], &self.vectors[s.id])
+                cand.distance
+                    < self.metric.prepared_distance(&self.vectors[cand.id], &self.vectors[s.id])
             });
             if diverse {
                 selected.push(cand);
@@ -351,11 +385,16 @@ impl<M: Metric> Hnsw<M> {
     }
 
     /// Searches the `k` nearest neighbours of `query` with beam width `ef`
-    /// (clamped up to `k`). Closest first; ties by id.
+    /// (clamped up to `k`). Closest first; ties by id. The query is prepared
+    /// once (one normalization under cosine); every probe after that is a
+    /// prepared-form distance.
     pub fn search(&self, query: &[f32], k: usize, ef: usize) -> Vec<Neighbor> {
         let Some(mut entry) = self.entry else {
             return Vec::new();
         };
+        let mut prepared = query.to_vec();
+        self.metric.prepare(&mut prepared);
+        let query = prepared.as_slice();
         let top_level = self.nodes[entry].level();
         for layer in (1..=top_level).rev() {
             entry = self.greedy_step(query, entry, layer);
@@ -378,6 +417,7 @@ impl<M: Metric> Hnsw<M> {
         HnswSnapshot {
             config: self.config.clone(),
             vectors: self.vectors.clone(),
+            norms: self.norms.clone(),
             nodes: self.nodes.clone(),
             entry: self.entry,
         }
@@ -396,6 +436,7 @@ impl<M: Metric> Hnsw<M> {
             config: snapshot.config,
             metric,
             vectors: snapshot.vectors,
+            norms: snapshot.norms,
             nodes: snapshot.nodes,
             entry: snapshot.entry,
             rng,
@@ -404,11 +445,13 @@ impl<M: Metric> Hnsw<M> {
     }
 }
 
-/// Serializable state of an [`Hnsw`] index (graph, vectors, entry point).
+/// Serializable state of an [`Hnsw`] index: graph, prepared vectors and
+/// their original norms, entry point.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HnswSnapshot {
     config: HnswConfig,
     vectors: Vec<Vec<f32>>,
+    norms: Vec<f32>,
     nodes: Vec<Node>,
     entry: Option<usize>,
 }
@@ -417,7 +460,7 @@ pub struct HnswSnapshot {
 mod tests {
     use super::*;
     use crate::exact::ExactIndex;
-    use crate::metric::EuclideanDistance;
+    use crate::metric::{CosineDistance, EuclideanDistance};
     use rand::RngExt;
 
     fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
@@ -634,6 +677,40 @@ mod tests {
         let hits = idx.search(&vecs[100], 1, 64);
         assert_eq!(hits[0].id, 100);
         assert!(hits[0].distance < 1e-6);
+    }
+
+    #[test]
+    fn cosine_store_is_prenormalized_and_keeps_norms() {
+        let mut idx = Hnsw::new(HnswConfig::default(), CosineDistance);
+        idx.insert(vec![3.0, 0.0, 4.0]);
+        idx.insert(vec![0.0, 0.0, 0.0]);
+        assert_eq!(idx.norm(0), 5.0);
+        assert!((pas_kernels::sum_sq(idx.vector(0)).sqrt() - 1.0).abs() < 1e-6);
+        assert_eq!(idx.norm(1), 0.0);
+        assert_eq!(idx.vector(1), &[0.0, 0.0, 0.0]);
+        // Scale-invariant probe: an unnormalized query parallel to vector 0
+        // still lands at distance ~0.
+        let hits = idx.search(&[30.0, 0.0, 40.0], 1, 16);
+        assert_eq!(hits[0].id, 0);
+        assert!(hits[0].distance < 1e-6);
+    }
+
+    #[test]
+    fn batch_build_prepares_like_incremental_inserts() {
+        let vecs: Vec<Vec<f32>> = random_vectors(90, 8, 41)
+            .into_iter()
+            .map(|v| v.into_iter().map(|x| x * 3.0).collect())
+            .collect();
+        let mut batch = Hnsw::new(HnswConfig::default(), CosineDistance);
+        batch.build_batch(vecs.clone());
+        let mut incremental = Hnsw::new(HnswConfig::default(), CosineDistance);
+        for v in &vecs {
+            incremental.insert(v.clone());
+        }
+        for id in 0..vecs.len() {
+            assert_eq!(batch.vector(id), incremental.vector(id), "stored vector {id}");
+            assert_eq!(batch.norm(id).to_bits(), incremental.norm(id).to_bits(), "norm {id}");
+        }
     }
 
     #[test]

@@ -52,7 +52,7 @@ impl KMeansResult {
 }
 
 fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+    pas_kernels::l2_sq(a, b)
 }
 
 /// Runs k-means++ initialization followed by Lloyd iterations.

@@ -1,4 +1,9 @@
 //! Dense `f32` vector arithmetic used by embeddings and the ANN index.
+//!
+//! Thin wrappers over the shared [`pas_kernels`] compute layer — the 8-lane
+//! striped kernels that make every reduction bit-identical on every machine.
+//! Keep the arithmetic there: this module only owns the conventions
+//! (zero-vector cosine, normalize-leaves-zero-alone), not the loops.
 
 /// Dot product of two equal-length vectors.
 ///
@@ -6,51 +11,42 @@
 /// Panics when the lengths differ — mixing dimensions is always a bug.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "dimension mismatch: {} vs {}", a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    pas_kernels::dot(a, b)
 }
 
 /// Euclidean (L2) norm.
 #[inline]
 pub fn l2_norm(v: &[f32]) -> f32 {
-    v.iter().map(|x| x * x).sum::<f32>().sqrt()
+    pas_kernels::sum_sq(v).sqrt()
 }
 
 /// Squared Euclidean distance between two equal-length vectors.
 #[inline]
 pub fn l2_distance_sq(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "dimension mismatch: {} vs {}", a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    pas_kernels::l2_sq(a, b)
 }
 
-/// Cosine similarity in `[-1, 1]`. Returns 0.0 when either vector is zero so
+/// Cosine similarity in `[-1, 1]`, computed in one fused pass
+/// ([`pas_kernels::dot_norms`]). Returns 0.0 when either vector is zero so
 /// degenerate inputs compare as "unrelated" rather than poisoning downstream
 /// thresholds with NaN.
+#[inline]
 pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
-    let na = l2_norm(a);
-    let nb = l2_norm(b);
-    if na == 0.0 || nb == 0.0 {
-        return 0.0;
-    }
-    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+    pas_kernels::cosine_sim(a, b)
 }
 
 /// Scales `v` to unit L2 norm in place; leaves the zero vector untouched.
 pub fn normalize_in_place(v: &mut [f32]) {
     let n = l2_norm(v);
     if n > 0.0 {
-        for x in v.iter_mut() {
-            *x /= n;
-        }
+        pas_kernels::scale(v, 1.0 / n);
     }
 }
 
 /// Adds `src` into `dst` element-wise.
+#[inline]
 pub fn add_in_place(dst: &mut [f32], src: &[f32]) {
-    assert_eq!(dst.len(), src.len(), "dimension mismatch");
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d += s;
-    }
+    pas_kernels::add(dst, src);
 }
 
 /// Mean of a set of equal-length vectors; `None` for an empty set.
@@ -60,10 +56,7 @@ pub fn mean(vectors: &[Vec<f32>]) -> Option<Vec<f32>> {
     for v in vectors {
         add_in_place(&mut acc, v);
     }
-    let n = vectors.len() as f32;
-    for x in &mut acc {
-        *x /= n;
-    }
+    pas_kernels::scale(&mut acc, 1.0 / vectors.len() as f32);
     Some(acc)
 }
 
@@ -115,5 +108,12 @@ mod tests {
     #[should_panic(expected = "dimension mismatch")]
     fn dot_rejects_mismatched_dims() {
         dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn dot_matches_striped_reference_bitwise() {
+        let a: Vec<f32> = (0..67).map(|i| (i as f32 * 0.3).sin()).collect();
+        let b: Vec<f32> = (0..67).map(|i| (i as f32 * 0.7).cos()).collect();
+        assert_eq!(dot(&a, &b).to_bits(), pas_kernels::reference::dot(&a, &b).to_bits());
     }
 }

@@ -1,0 +1,462 @@
+//! Deterministic SIMD-style compute kernels for the workspace hot paths.
+//!
+//! Every reduction kernel uses a **fixed 8-lane striped accumulator**:
+//! element `i` always lands in lane `i % 8`, and the eight partial sums
+//! collapse through one fixed pairwise tree ([`reduce8`]). The lane loop is
+//! shaped so LLVM autovectorizes it (8 × f32 = one AVX register, two SSE
+//! registers), but the *numeric* result is defined purely by IEEE-754
+//! single-precision adds and muls in a fixed order — never by what the
+//! hardware offers. Consequences:
+//!
+//! - the same input gives bit-identical output on every machine and at
+//!   every thread count (Rust never auto-contracts `a*b + c` into an FMA),
+//! - a straight-line scalar loop with the same striping ([`reference`])
+//!   reproduces every kernel bit-for-bit, which is what the property tests
+//!   pin,
+//! - results are *different bits* from a naive sequential sum — callers that
+//!   pin exact downstream numbers re-pin them when switching to the kernels.
+//!
+//! Element-wise kernels ([`axpy`], [`add`], [`scale`], [`mul`]) have no
+//! reduction and therefore no ordering question; they are unrolled the same
+//! way purely for speed.
+//!
+//! [`gemm`] is the blocked/packed matrix-multiply kernel. Its accumulation
+//! order per output element is *strictly increasing `p`* (the shared
+//! dimension), identical to the textbook i-k-j loop — blocking reorders the
+//! memory traffic, not the per-element float additions.
+
+/// Stripe width of every reduction kernel. Element `i` accumulates into
+/// lane `i % LANES`.
+pub const LANES: usize = 8;
+
+/// Collapses the 8 lane partials in a fixed pairwise tree. The order is part
+/// of the determinism contract — do not "simplify" to `iter().sum()`.
+#[inline(always)]
+fn reduce8(acc: [f32; LANES]) -> f32 {
+    let s04 = acc[0] + acc[4];
+    let s15 = acc[1] + acc[5];
+    let s26 = acc[2] + acc[6];
+    let s37 = acc[3] + acc[7];
+    (s04 + s26) + (s15 + s37)
+}
+
+#[inline(always)]
+fn assert_same_len(a: &[f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "dimension mismatch: {} vs {}", a.len(), b.len());
+}
+
+/// Dot product with 8-lane striped accumulation.
+///
+/// # Panics
+/// Panics when the lengths differ — mixing dimensions is always a bug.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_same_len(a, b);
+    let split = a.len() - a.len() % LANES;
+    let mut acc = [0.0f32; LANES];
+    for (ca, cb) in a[..split].chunks_exact(LANES).zip(b[..split].chunks_exact(LANES)) {
+        for j in 0..LANES {
+            acc[j] += ca[j] * cb[j];
+        }
+    }
+    for (j, (&x, &y)) in a[split..].iter().zip(&b[split..]).enumerate() {
+        acc[j] += x * y;
+    }
+    reduce8(acc)
+}
+
+/// Sum of squares (`‖v‖²`) with 8-lane striped accumulation.
+pub fn sum_sq(v: &[f32]) -> f32 {
+    let split = v.len() - v.len() % LANES;
+    let mut acc = [0.0f32; LANES];
+    for c in v[..split].chunks_exact(LANES) {
+        for j in 0..LANES {
+            acc[j] += c[j] * c[j];
+        }
+    }
+    for (j, &x) in v[split..].iter().enumerate() {
+        acc[j] += x * x;
+    }
+    reduce8(acc)
+}
+
+/// Squared Euclidean distance with 8-lane striped accumulation.
+///
+/// # Panics
+/// Panics when the lengths differ.
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    assert_same_len(a, b);
+    let split = a.len() - a.len() % LANES;
+    let mut acc = [0.0f32; LANES];
+    for (ca, cb) in a[..split].chunks_exact(LANES).zip(b[..split].chunks_exact(LANES)) {
+        for j in 0..LANES {
+            let d = ca[j] - cb[j];
+            acc[j] += d * d;
+        }
+    }
+    for (j, (&x, &y)) in a[split..].iter().zip(&b[split..]).enumerate() {
+        let d = x - y;
+        acc[j] += d * d;
+    }
+    reduce8(acc)
+}
+
+/// Fused single pass returning `(a·b, ‖a‖², ‖b‖²)` — one load of each
+/// operand instead of three. This is the raw-cosine primitive: callers take
+/// the square roots themselves (and the pre-normalized stores skip them
+/// entirely).
+///
+/// # Panics
+/// Panics when the lengths differ.
+pub fn dot_norms(a: &[f32], b: &[f32]) -> (f32, f32, f32) {
+    assert_same_len(a, b);
+    let split = a.len() - a.len() % LANES;
+    let mut acc_d = [0.0f32; LANES];
+    let mut acc_a = [0.0f32; LANES];
+    let mut acc_b = [0.0f32; LANES];
+    for (ca, cb) in a[..split].chunks_exact(LANES).zip(b[..split].chunks_exact(LANES)) {
+        for j in 0..LANES {
+            acc_d[j] += ca[j] * cb[j];
+            acc_a[j] += ca[j] * ca[j];
+            acc_b[j] += cb[j] * cb[j];
+        }
+    }
+    for (j, (&x, &y)) in a[split..].iter().zip(&b[split..]).enumerate() {
+        acc_d[j] += x * y;
+        acc_a[j] += x * x;
+        acc_b[j] += y * y;
+    }
+    (reduce8(acc_d), reduce8(acc_a), reduce8(acc_b))
+}
+
+/// Cosine similarity in `[-1, 1]`, built on [`dot_norms`]. Returns 0.0 when
+/// either vector is zero — the workspace-wide convention (degenerate inputs
+/// compare as "unrelated" rather than poisoning thresholds with NaN; the
+/// matching *distance* convention is `1 − 0 = 1`).
+///
+/// This is the single implementation of cosine in the workspace:
+/// `pas_embed::cosine` and `pas_ann`'s `CosineDistance` both delegate here.
+pub fn cosine_sim(a: &[f32], b: &[f32]) -> f32 {
+    let (d, na2, nb2) = dot_norms(a, b);
+    if na2 == 0.0 || nb2 == 0.0 {
+        return 0.0;
+    }
+    (d / (na2.sqrt() * nb2.sqrt())).clamp(-1.0, 1.0)
+}
+
+/// `y[i] += alpha * x[i]`. Element-wise — no reduction, so the unroll is
+/// purely a speed concern and the result matches the naive loop bit-for-bit.
+///
+/// # Panics
+/// Panics when the lengths differ.
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_same_len(x, y);
+    let split = x.len() - x.len() % LANES;
+    for (cx, cy) in x[..split].chunks_exact(LANES).zip(y[..split].chunks_exact_mut(LANES)) {
+        for j in 0..LANES {
+            cy[j] += alpha * cx[j];
+        }
+    }
+    for (xv, yv) in x[split..].iter().zip(&mut y[split..]) {
+        *yv += alpha * xv;
+    }
+}
+
+/// `y[i] += x[i]`.
+///
+/// # Panics
+/// Panics when the lengths differ.
+pub fn add(y: &mut [f32], x: &[f32]) {
+    assert_same_len(x, y);
+    let split = x.len() - x.len() % LANES;
+    for (cx, cy) in x[..split].chunks_exact(LANES).zip(y[..split].chunks_exact_mut(LANES)) {
+        for j in 0..LANES {
+            cy[j] += cx[j];
+        }
+    }
+    for (xv, yv) in x[split..].iter().zip(&mut y[split..]) {
+        *yv += xv;
+    }
+}
+
+/// `v[i] *= s`.
+pub fn scale(v: &mut [f32], s: f32) {
+    for x in v.iter_mut() {
+        *x *= s;
+    }
+}
+
+/// `y[i] *= x[i]` (Hadamard product in place).
+///
+/// # Panics
+/// Panics when the lengths differ.
+pub fn mul(y: &mut [f32], x: &[f32]) {
+    assert_same_len(x, y);
+    for (yv, xv) in y.iter_mut().zip(x) {
+        *yv *= xv;
+    }
+}
+
+/// Rows of `A` handled together by the [`gemm`] microkernel (register
+/// blocking: one pass over a B panel updates this many output rows).
+pub const GEMM_MR: usize = 4;
+/// k-extent of a packed B panel (tile height).
+const GEMM_KC: usize = 128;
+/// n-extent of a packed B panel (tile width).
+const GEMM_NC: usize = 256;
+
+/// Blocked matrix multiply: `out += A · B` with `A` m×k, `B` k×n, `out` m×n,
+/// all row-major. `out` is typically zeroed by the caller.
+///
+/// Loop structure: n is tiled by `GEMM_NC`, k by `GEMM_KC`; each k×n tile of
+/// `B` is packed into a contiguous panel (a no-op borrow when the tile spans
+/// the full width — rows are already contiguous), and an `MR`-row microkernel
+/// streams the panel once per `MR` output rows instead of once per row.
+/// Per output element the float additions still happen in strictly
+/// increasing `p` order — k-tiles are visited in order and every tile covers
+/// a contiguous `p` range — so the result is **bit-identical to the naive
+/// i-k-j loop** and machine-invariant.
+///
+/// # Panics
+/// Panics when a buffer length does not match its shape.
+pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "gemm: A buffer does not match {m}x{k}");
+    assert_eq!(b.len(), k * n, "gemm: B buffer does not match {k}x{n}");
+    assert_eq!(out.len(), m * n, "gemm: out buffer does not match {m}x{n}");
+    let mut packed = Vec::new();
+    for jb in (0..n).step_by(GEMM_NC) {
+        let nb = GEMM_NC.min(n - jb);
+        for pb in (0..k).step_by(GEMM_KC) {
+            let kb = GEMM_KC.min(k - pb);
+            // Pack B[pb.., jb..] into a contiguous kb×nb panel; when the
+            // tile spans the full row width the rows already are one.
+            let panel: &[f32] = if nb == n {
+                &b[pb * n..(pb + kb) * n]
+            } else {
+                packed.clear();
+                packed.reserve(kb * nb);
+                for p in 0..kb {
+                    let row = (pb + p) * n + jb;
+                    packed.extend_from_slice(&b[row..row + nb]);
+                }
+                &packed
+            };
+            let mut i = 0;
+            while i + GEMM_MR <= m {
+                gemm_micro4(i, k, n, pb, kb, jb, nb, a, panel, out);
+                i += GEMM_MR;
+            }
+            for i in i..m {
+                let arow = &a[i * k + pb..i * k + pb + kb];
+                let orow = &mut out[i * n + jb..i * n + jb + nb];
+                for (p, &av) in arow.iter().enumerate() {
+                    axpy(av, &panel[p * nb..(p + 1) * nb], orow);
+                }
+            }
+        }
+    }
+}
+
+/// Four-row microkernel of [`gemm`]: `out[i..i+4][jb..jb+nb] += A-block ·
+/// panel`. Each panel row is loaded once and fans out to four accumulating
+/// output rows (4× less B traffic than row-at-a-time).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn gemm_micro4(
+    i: usize,
+    k: usize,
+    n: usize,
+    pb: usize,
+    kb: usize,
+    jb: usize,
+    nb: usize,
+    a: &[f32],
+    panel: &[f32],
+    out: &mut [f32],
+) {
+    let arow = |r: usize| &a[(i + r) * k + pb..(i + r) * k + pb + kb];
+    let (a0, a1, a2, a3) = (arow(0), arow(1), arow(2), arow(3));
+    let (r0, rest) = out[i * n..(i + GEMM_MR) * n].split_at_mut(n);
+    let (r1, rest) = rest.split_at_mut(n);
+    let (r2, r3) = rest.split_at_mut(n);
+    let o0 = &mut r0[jb..jb + nb];
+    let o1 = &mut r1[jb..jb + nb];
+    let o2 = &mut r2[jb..jb + nb];
+    let o3 = &mut r3[jb..jb + nb];
+    for p in 0..kb {
+        let brow = &panel[p * nb..(p + 1) * nb];
+        let (x0, x1, x2, x3) = (a0[p], a1[p], a2[p], a3[p]);
+        for (j, &bv) in brow.iter().enumerate() {
+            o0[j] += x0 * bv;
+            o1[j] += x1 * bv;
+            o2[j] += x2 * bv;
+            o3[j] += x3 * bv;
+        }
+    }
+}
+
+pub mod reference {
+    //! Straight-line scalar references with the *same* summation order as
+    //! the kernels: element `i` into lane `i % 8`, same pairwise reduction.
+    //! The property tests pin each kernel bit-for-bit against these — any
+    //! divergence means the kernel changed the math, not just the speed.
+
+    use super::{reduce8, LANES};
+
+    /// Scalar-indexed striped dot product.
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len());
+        let mut acc = [0.0f32; LANES];
+        for i in 0..a.len() {
+            acc[i % LANES] += a[i] * b[i];
+        }
+        reduce8(acc)
+    }
+
+    /// Scalar-indexed striped sum of squares.
+    pub fn sum_sq(v: &[f32]) -> f32 {
+        let mut acc = [0.0f32; LANES];
+        for (i, &x) in v.iter().enumerate() {
+            acc[i % LANES] += x * x;
+        }
+        reduce8(acc)
+    }
+
+    /// Scalar-indexed striped squared L2 distance.
+    pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len());
+        let mut acc = [0.0f32; LANES];
+        for i in 0..a.len() {
+            let d = a[i] - b[i];
+            acc[i % LANES] += d * d;
+        }
+        reduce8(acc)
+    }
+
+    /// Scalar-indexed striped fused `(a·b, ‖a‖², ‖b‖²)`.
+    pub fn dot_norms(a: &[f32], b: &[f32]) -> (f32, f32, f32) {
+        assert_eq!(a.len(), b.len());
+        let mut acc_d = [0.0f32; LANES];
+        let mut acc_a = [0.0f32; LANES];
+        let mut acc_b = [0.0f32; LANES];
+        for i in 0..a.len() {
+            acc_d[i % LANES] += a[i] * b[i];
+            acc_a[i % LANES] += a[i] * a[i];
+            acc_b[i % LANES] += b[i] * b[i];
+        }
+        (reduce8(acc_d), reduce8(acc_a), reduce8(acc_b))
+    }
+
+    /// Naive `y += alpha * x`.
+    pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), y.len());
+        for i in 0..x.len() {
+            y[i] += alpha * x[i];
+        }
+    }
+
+    /// Naive i-k-j matrix multiply, `out += A · B` — the accumulation-order
+    /// reference [`super::gemm`] must match bit-for-bit.
+    pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        assert_eq!(a.len(), m * k);
+        assert_eq!(b.len(), k * n);
+        assert_eq!(out.len(), m * n);
+        for i in 0..m {
+            for p in 0..k {
+                let av = a[i * k + p];
+                for j in 0..n {
+                    out[i * n + j] += av * b[p * n + j];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic non-trivial fill (no RNG needed).
+    fn wave(len: usize, phase: f32) -> Vec<f32> {
+        (0..len).map(|i| (i as f32 * 0.37 + phase).sin() * 1.5).collect()
+    }
+
+    #[test]
+    fn dot_known_value() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn sum_sq_and_l2_known_values() {
+        assert_eq!(sum_sq(&[3.0, 4.0]), 25.0);
+        assert_eq!(l2_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn dot_norms_matches_parts() {
+        let a = wave(37, 0.1);
+        let b = wave(37, 2.2);
+        let (d, na2, nb2) = dot_norms(&a, &b);
+        assert_eq!(d.to_bits(), dot(&a, &b).to_bits());
+        assert_eq!(na2.to_bits(), sum_sq(&a).to_bits());
+        assert_eq!(nb2.to_bits(), sum_sq(&b).to_bits());
+    }
+
+    #[test]
+    fn cosine_sim_conventions() {
+        assert!((cosine_sim(&[1.0, 0.0], &[2.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine_sim(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert_eq!(cosine_sim(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(cosine_sim(&[0.0; 4], &[0.0; 4]), 0.0);
+    }
+
+    #[test]
+    fn axpy_add_scale_mul() {
+        let x = wave(19, 0.4);
+        let mut y = wave(19, 1.3);
+        let mut y2 = y.clone();
+        axpy(0.5, &x, &mut y);
+        reference::axpy(0.5, &x, &mut y2);
+        assert_eq!(y, y2);
+        let mut z = vec![1.0, 2.0];
+        add(&mut z, &[3.0, 4.0]);
+        assert_eq!(z, vec![4.0, 6.0]);
+        scale(&mut z, 0.5);
+        assert_eq!(z, vec![2.0, 3.0]);
+        mul(&mut z, &[2.0, -1.0]);
+        assert_eq!(z, vec![4.0, -3.0]);
+    }
+
+    #[test]
+    fn kernels_bit_match_reference_across_tail_lengths() {
+        for len in 0..=(3 * LANES + 1) {
+            let a = wave(len, 0.0);
+            let b = wave(len, 1.0);
+            assert_eq!(dot(&a, &b).to_bits(), reference::dot(&a, &b).to_bits(), "len {len}");
+            assert_eq!(sum_sq(&a).to_bits(), reference::sum_sq(&a).to_bits(), "len {len}");
+            assert_eq!(l2_sq(&a, &b).to_bits(), reference::l2_sq(&a, &b).to_bits(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn gemm_matches_reference_all_small_shapes() {
+        for &(m, k, n) in
+            &[(1, 1, 1), (3, 5, 7), (4, 8, 4), (5, 9, 3), (8, 300, 5), (9, 130, 260), (2, 0, 3)]
+        {
+            let a = wave(m * k, 0.3);
+            let b = wave(k * n, 0.7);
+            let mut out = vec![0.0f32; m * n];
+            let mut expect = vec![0.0f32; m * n];
+            gemm(m, k, n, &a, &b, &mut out);
+            reference::gemm(m, k, n, &a, &b, &mut expect);
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&out), bits(&expect), "shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dot_rejects_mismatched_dims() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

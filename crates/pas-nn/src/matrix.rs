@@ -1,8 +1,12 @@
 //! Row-major `f32` matrices.
 //!
-//! Only the operations the models need are implemented; matmul uses the
-//! cache-friendly i-k-j loop order. Shapes are asserted aggressively — a
-//! shape mismatch is always a bug.
+//! Only the operations the models need are implemented. The arithmetic
+//! lives in [`pas_kernels`]: `matmul` is the blocked/packed
+//! [`pas_kernels::gemm`] (bit-identical to the naive i-k-j loop — blocking
+//! reorders memory traffic, not the per-element additions), `t_matmul`
+//! accumulates through [`pas_kernels::axpy`] rows, and `matmul_t` reduces
+//! row pairs with the 8-lane striped [`pas_kernels::dot`]. Shapes are
+//! asserted aggressively — a shape mismatch is always a bug.
 
 use serde::{Deserialize, Serialize};
 
@@ -79,28 +83,20 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// `self · other` — (m×k)·(k×n) → m×n.
+    /// `self · other` — (m×k)·(k×n) → m×n, via the blocked/packed
+    /// [`pas_kernels::gemm`] (attention forward and the classifier/LM
+    /// forward passes run on cache-resident tiles).
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            for p in 0..k {
-                let a = self.data[i * k + p];
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &other.data[p * n..(p + 1) * n];
-                let orow = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
+        pas_kernels::gemm(m, k, n, &self.data, &other.data, &mut out.data);
         out
     }
 
     /// `selfᵀ · other` — (m×k)ᵀ·(m×n) → k×n. Used for weight gradients.
+    /// Row-accumulation via [`pas_kernels::axpy`]; per output element the
+    /// additions run in increasing-`i` order, as before.
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
         let (m, k, n) = (self.rows, self.cols, other.cols);
@@ -109,19 +105,15 @@ impl Matrix {
             let arow = &self.data[i * k..(i + 1) * k];
             let brow = &other.data[i * n..(i + 1) * n];
             for (p, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &mut out.data[p * n..(p + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
+                pas_kernels::axpy(a, brow, &mut out.data[p * n..(p + 1) * n]);
             }
         }
         out
     }
 
     /// `self · otherᵀ` — (m×k)·(n×k)ᵀ → m×n. Used for input gradients.
+    /// Each element is one 8-lane striped [`pas_kernels::dot`] of two
+    /// contiguous rows.
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
         let (m, k, n) = (self.rows, self.cols, other.rows);
@@ -129,12 +121,7 @@ impl Matrix {
         for i in 0..m {
             let arow = &self.data[i * k..(i + 1) * k];
             for j in 0..n {
-                let brow = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&a, &b) in arow.iter().zip(brow) {
-                    acc += a * b;
-                }
-                out.data[i * n + j] = acc;
+                out.data[i * n + j] = pas_kernels::dot(arow, &other.data[j * k..(j + 1) * k]);
             }
         }
         out
@@ -144,9 +131,7 @@ impl Matrix {
     pub fn add_row_in_place(&mut self, v: &[f32]) {
         assert_eq!(v.len(), self.cols, "bias length mismatch");
         for r in 0..self.rows {
-            for (x, &b) in self.row_mut(r).iter_mut().zip(v) {
-                *x += b;
-            }
+            pas_kernels::add(self.row_mut(r), v);
         }
     }
 
@@ -154,9 +139,7 @@ impl Matrix {
     pub fn col_sums(&self) -> Vec<f32> {
         let mut out = vec![0.0f32; self.cols];
         for r in 0..self.rows {
-            for (o, &x) in out.iter_mut().zip(self.row(r)) {
-                *o += x;
-            }
+            pas_kernels::add(&mut out, self.row(r));
         }
         out
     }
@@ -169,14 +152,13 @@ impl Matrix {
     /// Element-wise product in place: `self[i] *= other[i]`.
     pub fn mul_in_place(&mut self, other: &Matrix) {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols), "hadamard shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a *= b;
-        }
+        pas_kernels::mul(&mut self.data, &other.data);
     }
 
-    /// Frobenius norm (for gradient-clipping and tests).
+    /// Frobenius norm (for gradient-clipping and tests), via the striped
+    /// [`pas_kernels::sum_sq`].
     pub fn frobenius_norm(&self) -> f32 {
-        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+        pas_kernels::sum_sq(&self.data).sqrt()
     }
 }
 
@@ -239,6 +221,30 @@ mod tests {
     fn frobenius_norm_known() {
         let m = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
         assert!((m.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matmul_bit_matches_naive_ikj_at_model_shapes() {
+        // The blocked gemm must not change the math — per-element additions
+        // stay in increasing-p order, so results equal the naive loop
+        // bit-for-bit at the shapes the LM and classifier actually use.
+        for &(m, k, n) in &[(32, 64, 32), (32, 32, 256), (16, 16, 16), (5, 7, 3)] {
+            let a = Matrix::from_vec(
+                m,
+                k,
+                (0..m * k).map(|i| (i as f32 * 0.23).sin()).collect::<Vec<_>>(),
+            );
+            let b = Matrix::from_vec(
+                k,
+                n,
+                (0..k * n).map(|i| (i as f32 * 0.71).cos()).collect::<Vec<_>>(),
+            );
+            let fast = a.matmul(&b);
+            let mut slow = vec![0.0f32; m * n];
+            pas_kernels::reference::gemm(m, k, n, a.data(), b.data(), &mut slow);
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(fast.data()), bits(&slow), "shape {m}x{k}x{n}");
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! A single test function (not one per stage) because the thread count is
 //! process-global and the harness runs tests concurrently.
 
+use pas::ann::{CosineDistance, Hnsw, HnswConfig};
 use pas::core::{NoOptimizer, PasSystem, SystemConfig};
 use pas::data::CorpusConfig;
 use pas::eval::harness::evaluate_suite;
@@ -77,4 +78,36 @@ fn full_pipeline_is_identical_at_1_and_8_threads() {
     // Sanity: the run did real work, not a degenerate empty pipeline.
     assert!(serial.dataset.len() > 100, "dataset {}", serial.dataset.len());
     assert!(serial.pas_win_rate > serial.baseline_win_rate);
+
+    // The pre-normalized vector store keeps the contract too: a cosine HNSW
+    // batch build stores unit vectors + norms, and the entire store (graph,
+    // prepared vectors, norms) plus probe results are bit-identical at any
+    // thread count. (Same function, not a separate #[test]: the thread
+    // count is process-global and the harness runs tests concurrently.)
+    let vectors: Vec<Vec<f32>> = (0..300)
+        .map(|i| {
+            let x = i as f32 * 0.173;
+            // Deliberately unnormalized: lengths vary by ~6x, so the store
+            // must do real normalization work at insert.
+            vec![x.sin() * 3.0, x.cos(), (x * 0.7).sin() + 0.5, (x * 1.9).cos() * 2.0]
+        })
+        .collect();
+    let build = |threads: usize| {
+        pas_par::with_threads(threads, || {
+            let mut idx = Hnsw::new(HnswConfig::default(), CosineDistance);
+            idx.build_batch(vectors.clone());
+            let snapshot = serde_json::to_string(&idx.snapshot()).expect("snapshot json");
+            let norms: Vec<u32> = (0..idx.len()).map(|id| idx.norm(id).to_bits()).collect();
+            let probes: Vec<Vec<(usize, u32)>> = vectors
+                .iter()
+                .step_by(13)
+                .map(|q| {
+                    idx.search(q, 5, 48).into_iter().map(|n| (n.id, n.distance.to_bits())).collect()
+                })
+                .collect();
+            (snapshot, norms, probes)
+        })
+    };
+    let store_serial = build(1);
+    assert_eq!(build(8), store_serial, "normalized store diverged across thread counts");
 }
