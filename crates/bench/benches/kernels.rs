@@ -149,7 +149,6 @@ fn median_ns(c: &Criterion, name: &str) -> f64 {
 }
 
 fn write_summary(c: &Criterion) {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut lines = Vec::new();
     for w in &WORKLOADS {
         let scalar_ns = median_ns(c, &format!("{}/scalar", w.group));
@@ -171,8 +170,11 @@ fn write_summary(c: &Criterion) {
             scalar_ns / kernel_ns,
         ));
     }
-    let json =
-        format!("{{\n  \"cores\": {cores},\n  \"kernels\": [\n{}\n  ]\n}}\n", lines.join(",\n"));
+    let json = format!(
+        "{{\n  \"host\": {},\n  \"kernels\": [\n{}\n  ]\n}}\n",
+        bench::host_json(),
+        lines.join(",\n"),
+    );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
     std::fs::write(path, &json).expect("write BENCH_kernels.json");
     println!("\nwrote {path}:\n{json}");

@@ -6,8 +6,9 @@
 //! Criterion runs it computes elements/sec and serial-vs-parallel speedup
 //! per workload and writes a machine-readable summary to
 //! `BENCH_parallel.json` at the workspace root. Speedup is only expected
-//! on multi-core machines — the summary records the detected core count so
-//! single-core CI numbers aren't misread as a regression.
+//! on multi-core machines — the summary embeds the host metadata (`nproc`,
+//! arch, OS) and the worker-thread count actually used, so single-core CI
+//! numbers aren't misread as a regression.
 
 use criterion::Criterion;
 use std::hint::black_box;
@@ -111,7 +112,6 @@ fn median_ns(c: &Criterion, name: &str) -> f64 {
 }
 
 fn write_summary(c: &Criterion) {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut lines = Vec::new();
     for w in &WORKLOADS {
         let serial_ns = median_ns(c, &format!("{}/serial", w.group));
@@ -135,7 +135,8 @@ fn write_summary(c: &Criterion) {
         ));
     }
     let json = format!(
-        "{{\n  \"cores\": {cores},\n  \"threads\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"host\": {},\n  \"threads\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        bench::host_json(),
         pas_par::threads(),
         lines.join(",\n"),
     );

@@ -12,6 +12,19 @@
 
 use pas_eval::experiments::{ExperimentContext, Scale};
 
+/// Host metadata as a JSON object fragment, embedded in every `BENCH_*.json`
+/// summary so numbers from different machines are never compared blind —
+/// in particular, `nproc` records whether parallel speedups were even
+/// possible on the machine that produced the file.
+pub fn host_json() -> String {
+    let nproc = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    format!(
+        "{{\"nproc\": {nproc}, \"arch\": \"{}\", \"os\": \"{}\"}}",
+        std::env::consts::ARCH,
+        std::env::consts::OS,
+    )
+}
+
 /// Parsed command-line options.
 #[derive(Debug, Clone, Copy)]
 pub struct Options {

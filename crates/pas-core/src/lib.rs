@@ -15,14 +15,21 @@
 //!   "train one LLM" reading and used in an ablation bench.
 //! - [`system`] — [`PasSystem`]: one-call pipeline from raw corpus to a
 //!   trained PAS (corpus → selection → Algorithm 1 → SFT), with the stage
-//!   reports the experiments print.
+//!   reports the experiments print. [`PasSystem::try_build`] adds explicit
+//!   failure and checkpoint/resume via a `pas-fault` journal.
+//! - [`serve`] — [`DegradingServer`]: serve-time fault tolerance. When the
+//!   complement model `M_p` is unreachable the server degrades to
+//!   passthrough (the bare prompt) and counts it, instead of failing the
+//!   request — the operational reading of "plug-and-play".
 
 pub mod neural;
 pub mod optimizer;
 pub mod pas;
+pub mod serve;
 pub mod system;
 
 pub use neural::{NeuralPas, NeuralPasConfig};
 pub use optimizer::{NoOptimizer, PromptOptimizer};
 pub use pas::{Pas, PasConfig};
-pub use system::{PasSystem, SystemConfig};
+pub use serve::{DegradingServer, OptimizerService};
+pub use system::{BuildError, BuildOptions, PasSystem, SystemConfig};

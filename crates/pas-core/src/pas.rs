@@ -15,16 +15,19 @@
 //! (`fidelity`), which is what separates a Qwen2-7B-based PAS from a
 //! LLaMA-2-7B-based one (Table 2).
 
+use std::io;
+
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use pas_data::features::{prompt_features, FEATURE_DIM};
 use pas_data::PairDataset;
+use pas_fault::Journal;
 use pas_llm::teacher::realize_complement_in;
 use pas_llm::world::{detect_aspects, Aspect, AspectSet};
 use pas_llm::{ChatModel, Critic, ModelProfile};
-use pas_nn::{MultiLabelClassifier, TrainParams};
+use pas_nn::{MultiLabelClassifier, SftCheckpoint, TrainParams};
 use pas_text::top_keywords;
 
 use crate::optimizer::PromptOptimizer;
@@ -97,6 +100,22 @@ impl Pas {
     /// `M_p ← SFT(M; D_generated)`). Returns the trained model and the
     /// final training loss.
     pub fn sft(config: &PasConfig, dataset: &PairDataset) -> (Pas, f32) {
+        Self::sft_with_journal(config, dataset, None).expect("journal-free SFT is infallible")
+    }
+
+    /// [`Pas::sft`] with per-epoch checkpointing to a fault journal.
+    ///
+    /// After every completed epoch the full trainer state (weights, Adam
+    /// moments, shuffle-RNG state) is committed under `sft:{epoch}`, so a
+    /// killed run can be resumed by reopening the same journal: training
+    /// restarts after the highest committed epoch and the finished model is
+    /// bit-identical to an uninterrupted run. With `journal = None` this is
+    /// exactly [`Pas::sft`].
+    pub fn sft_with_journal(
+        config: &PasConfig,
+        dataset: &PairDataset,
+        journal: Option<&Journal>,
+    ) -> io::Result<(Pas, f32)> {
         let base = ModelProfile::named(&config.base_model)
             .unwrap_or_else(|| panic!("unknown base model '{}'", config.base_model));
         let features: Vec<Vec<f32>> =
@@ -111,7 +130,40 @@ impl Pas {
             .collect();
         let mut aspect_model =
             MultiLabelClassifier::new(FEATURE_DIM, Aspect::ALL.len(), config.seed);
-        let loss = aspect_model.train(&features, &targets, &config.trainer);
+        // Resume from the highest epoch the journal has a checkpoint for.
+        let resume: Option<SftCheckpoint> = match journal.and_then(|j| {
+            (0..=config.trainer.epochs).rev().find_map(|e| j.get(&format!("sft:{e}")))
+        }) {
+            None => None,
+            Some(payload) => Some(serde_json::from_str(&payload).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("corrupt SFT checkpoint: {e}"))
+            })?),
+        };
+        let mut io_err: Option<io::Error> = None;
+        let loss = match journal {
+            None => aspect_model.train(&features, &targets, &config.trainer),
+            Some(j) => {
+                let mut commit = |cp: &SftCheckpoint| {
+                    if io_err.is_some() {
+                        return; // already failing; don't mask the first error
+                    }
+                    let payload = serde_json::to_string(cp).expect("checkpoint serializes");
+                    if let Err(e) = j.commit(&format!("sft:{}", cp.epochs_done), &payload) {
+                        io_err = Some(e);
+                    }
+                };
+                aspect_model.train_resumable(
+                    &features,
+                    &targets,
+                    &config.trainer,
+                    resume,
+                    Some(&mut commit),
+                )
+            }
+        };
+        if let Some(e) = io_err {
+            return Err(e);
+        }
         let fidelity = (0.33 + 0.75 * base.capability).min(0.98);
         // An SFT model imitates its data: measure, with the same text rules
         // the pipeline critic applies, how much of the training set is
@@ -139,7 +191,7 @@ impl Pas {
             contamination_rate,
             seed: config.seed,
         };
-        (pas, loss)
+        Ok((pas, loss))
     }
 
     /// Aspects the model *intends* to request for `prompt` (before base-

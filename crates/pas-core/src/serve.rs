@@ -1,0 +1,209 @@
+//! Degraded-mode serving: the plug-and-play guarantee under failure.
+//!
+//! The paper's pitch is that PAS is a *plug-in*: it sits in front of any
+//! main model and only ever appends a complement to the user's prompt. The
+//! serve-time corollary, implemented here, is that when `M_p` (the
+//! complement model) is unreachable the system must answer with the bare
+//! prompt `p` — exactly what the user would have gotten without PAS — and
+//! never surface an error for a request the main model could have served.
+//!
+//! [`DegradingServer`] wraps any [`PromptOptimizer`] behind the full
+//! `pas-fault` stack (deterministic injector → retry engine with breaker).
+//! While the boundary is healthy, `optimize` returns the wrapped
+//! optimizer's output bit-identically; when the retry budget is exhausted
+//! it falls back to passthrough and counts the degradation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pas_fault::{streams, FaultConfig, FaultReport, FaultyModel, Resilient};
+use pas_llm::{ChatModel, TryChatModel};
+
+use crate::optimizer::PromptOptimizer;
+
+/// A [`PromptOptimizer`] viewed as a [`ChatModel`]: "chat" is the prompt
+/// transformation `p → cat(p, p_c)`. This is the adapter that lets the
+/// serve-time `M_p` boundary reuse the whole chat-level fault stack.
+pub struct OptimizerService<O: PromptOptimizer> {
+    inner: O,
+}
+
+impl<O: PromptOptimizer> OptimizerService<O> {
+    /// Wraps `optimizer` as a chat boundary.
+    pub fn new(optimizer: O) -> Self {
+        OptimizerService { inner: optimizer }
+    }
+
+    /// The wrapped optimizer.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+}
+
+impl<O: PromptOptimizer> ChatModel for OptimizerService<O> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn chat(&self, input: &str) -> String {
+        self.inner.optimize(input)
+    }
+}
+
+/// A serve-time optimizer boundary that degrades instead of failing.
+///
+/// `optimize` first drives the wrapped optimizer through the fault stack;
+/// on success the augmented prompt is bit-identical to calling the
+/// optimizer directly. If the boundary is exhausted (permanent outage,
+/// open breaker), the original prompt passes through unchanged and
+/// [`DegradingServer::degraded`] counts it — requests are *never* failed.
+pub struct DegradingServer<O: PromptOptimizer> {
+    boundary: Resilient<FaultyModel<OptimizerService<O>>>,
+    degraded: AtomicU64,
+}
+
+impl<O: PromptOptimizer> DegradingServer<O> {
+    /// Puts `optimizer` behind the fault stack described by `fault` (use a
+    /// clean profile in production; injecting profiles exist for chaos
+    /// testing).
+    pub fn new(optimizer: O, fault: &FaultConfig) -> Self {
+        let model =
+            FaultyModel::new(OptimizerService::new(optimizer), fault.injector(), streams::SERVE_MP);
+        let boundary = Resilient::new(model, fault.engine());
+        DegradingServer { boundary, degraded: AtomicU64::new(0) }
+    }
+
+    /// The wrapped optimizer.
+    pub fn optimizer(&self) -> &O {
+        self.boundary.inner().inner().inner()
+    }
+
+    /// Requests served with the passthrough prompt because the optimizer
+    /// boundary was exhausted.
+    pub fn degraded(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Fault-layer accounting, with the degradation count folded in.
+    pub fn fault_report(&self) -> FaultReport {
+        let mut report = self.boundary.report();
+        report.degraded = self.degraded();
+        report
+    }
+}
+
+impl<O: PromptOptimizer> PromptOptimizer for DegradingServer<O> {
+    fn name(&self) -> &str {
+        self.optimizer().name()
+    }
+
+    /// The plug-and-play guarantee: the optimizer's output when the
+    /// boundary holds, the bare prompt when it doesn't — never an error.
+    fn optimize(&self, prompt: &str) -> String {
+        match self.boundary.try_chat(prompt) {
+            Ok(augmented) => augmented,
+            Err(_) => {
+                self.degraded.fetch_add(1, Ordering::Relaxed);
+                prompt.to_string()
+            }
+        }
+    }
+
+    fn requires_human_labels(&self) -> bool {
+        self.optimizer().requires_human_labels()
+    }
+
+    fn llm_agnostic(&self) -> bool {
+        self.optimizer().llm_agnostic()
+    }
+
+    fn task_agnostic(&self) -> bool {
+        self.optimizer().task_agnostic()
+    }
+
+    fn training_pairs(&self) -> Option<usize> {
+        self.optimizer().training_pairs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::NoOptimizer;
+    use pas_fault::FaultProfile;
+
+    /// A toy optimizer with visible output.
+    struct Suffix;
+
+    impl PromptOptimizer for Suffix {
+        fn name(&self) -> &str {
+            "suffix"
+        }
+        fn optimize(&self, prompt: &str) -> String {
+            format!("{prompt} [augmented]")
+        }
+        fn requires_human_labels(&self) -> bool {
+            false
+        }
+        fn llm_agnostic(&self) -> bool {
+            true
+        }
+        fn task_agnostic(&self) -> bool {
+            true
+        }
+        fn training_pairs(&self) -> Option<usize> {
+            Some(7)
+        }
+    }
+
+    fn config(profile: FaultProfile) -> FaultConfig {
+        FaultConfig { profile, ..FaultConfig::default() }
+    }
+
+    #[test]
+    fn healthy_boundary_is_transparent() {
+        let server = DegradingServer::new(Suffix, &FaultConfig::default());
+        assert_eq!(server.optimize("hello"), "hello [augmented]");
+        assert_eq!(server.degraded(), 0);
+        assert!(server.fault_report().is_clean());
+        assert_eq!(server.name(), "suffix");
+        assert_eq!(server.training_pairs(), Some(7));
+    }
+
+    #[test]
+    fn chaos_boundary_still_returns_the_exact_augmentation() {
+        let server = DegradingServer::new(Suffix, &config(FaultProfile::chaos()));
+        for i in 0..50 {
+            let prompt = format!("request {i}");
+            assert_eq!(server.optimize(&prompt), format!("{prompt} [augmented]"));
+        }
+        assert_eq!(server.degraded(), 0, "eventual-success faults must never degrade");
+        let report = server.fault_report();
+        assert!(report.total_faults() > 0, "chaos must actually inject");
+        assert_eq!(report.failed, 0);
+    }
+
+    #[test]
+    fn outage_degrades_to_passthrough_and_counts() {
+        let server = DegradingServer::new(Suffix, &config(FaultProfile::outage()));
+        for i in 0..20 {
+            let prompt = format!("request {i}");
+            assert_eq!(server.optimize(&prompt), prompt, "degraded serve must be passthrough");
+        }
+        assert_eq!(server.degraded(), 20);
+        let report = server.fault_report();
+        assert_eq!(report.degraded, 20);
+        assert!(report.breaker_trips >= 1, "hard outage must trip the breaker");
+        assert!(
+            report.breaker_fast_fails > 0,
+            "open breaker must shed most attempts during an outage"
+        );
+    }
+
+    #[test]
+    fn passthrough_degradation_equals_no_optimizer() {
+        let down = DegradingServer::new(Suffix, &config(FaultProfile::outage()));
+        for prompt in ["alpha", "beta", "gamma delta"] {
+            assert_eq!(down.optimize(prompt), NoOptimizer.optimize(prompt));
+        }
+    }
+}

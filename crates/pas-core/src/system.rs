@@ -4,14 +4,27 @@
 //! §3.1 selection → Algorithm 1 generation (with or without the
 //! selection/regeneration phase) → §3.4 SFT — and keeps every stage report
 //! so experiments and examples can print what happened.
+//!
+//! [`PasSystem::try_build`] is the fault-aware entry point: it surfaces
+//! backend/journal failures as [`BuildError`] instead of panicking, and a
+//! [`BuildOptions::journal`] path makes the expensive stages (Algorithm 1
+//! generation, SFT epochs) resumable — a killed build reopened on the same
+//! journal finishes bit-identically to an uninterrupted one. The journal is
+//! fingerprinted with the full [`SystemConfig`] debug rendering so a
+//! checkpoint can never silently resume under a different configuration.
 
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use pas_data::{
-    Corpus, CorpusConfig, GenConfig, GenReport, Generator, PairDataset, SelectionConfig,
+    Corpus, CorpusConfig, GenConfig, GenError, GenReport, Generator, PairDataset, SelectionConfig,
     SelectionPipeline, SelectionReport,
 };
+use pas_fault::{FaultReport, Journal};
 use pas_llm::World;
+use pas_text::fx_hash_str;
 
 use crate::pas::{Pas, PasConfig};
 
@@ -29,6 +42,43 @@ pub struct SystemConfig {
     pub pas: PasConfig,
 }
 
+/// Options for a fault-aware [`PasSystem::try_build`].
+#[derive(Debug, Clone, Default)]
+pub struct BuildOptions {
+    /// Checkpoint-journal path. `Some` makes the build resumable: finished
+    /// generation pairs and SFT epochs are committed as they complete, and
+    /// reopening the same path skips them.
+    pub journal: Option<PathBuf>,
+}
+
+/// Why a fault-aware build stopped.
+#[derive(Debug)]
+pub enum BuildError {
+    /// The generation stage exhausted its retry budget on a backend call.
+    Generation(GenError),
+    /// The checkpoint journal could not be opened or written, or belongs to
+    /// a different configuration.
+    Journal(io::Error),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Generation(e) => write!(f, "generation stage failed: {e}"),
+            BuildError::Journal(e) => write!(f, "checkpoint journal error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Generation(e) => Some(e),
+            BuildError::Journal(e) => Some(e),
+        }
+    }
+}
+
 /// A fully built PAS system with its stage artifacts.
 pub struct PasSystem {
     /// The trained plug-and-play model.
@@ -39,6 +89,9 @@ pub struct PasSystem {
     pub selection_report: SelectionReport,
     /// Generation-stage report.
     pub generation_report: GenReport,
+    /// Fault-layer accounting for the generation stage (all zeros when the
+    /// configured fault profile is clean).
+    pub fault_report: FaultReport,
     /// Final SFT loss.
     pub sft_loss: f32,
     /// The latent world built by the corpus (needed to run simulated
@@ -47,16 +100,51 @@ pub struct PasSystem {
 }
 
 impl PasSystem {
-    /// Runs corpus → selection → generation → SFT.
+    /// Runs corpus → selection → generation → SFT. Panics on backend
+    /// failure; use [`PasSystem::try_build`] to handle failure explicitly.
     pub fn build(config: &SystemConfig) -> PasSystem {
+        Self::try_build(config, &BuildOptions::default())
+            .unwrap_or_else(|e| panic!("build failed: {e}"))
+    }
+
+    /// The journal fingerprint for `config`: any config change invalidates
+    /// existing checkpoints instead of resuming under wrong parameters.
+    pub fn config_fingerprint(config: &SystemConfig) -> u64 {
+        fx_hash_str(&format!("{config:?}"))
+    }
+
+    /// [`PasSystem::build`] with explicit failure and optional
+    /// checkpoint/resume via [`BuildOptions::journal`].
+    pub fn try_build(
+        config: &SystemConfig,
+        options: &BuildOptions,
+    ) -> Result<PasSystem, BuildError> {
+        let journal = match &options.journal {
+            None => None,
+            Some(path) => Some(
+                Journal::open(path, Self::config_fingerprint(config))
+                    .map_err(BuildError::Journal)?,
+            ),
+        };
         let corpus = Corpus::generate(&config.corpus);
         let world = Arc::new(corpus.world.clone());
         let (selected, selection_report) =
             SelectionPipeline::new(config.selection.clone()).run(&corpus.records);
-        let (dataset, generation_report) =
-            Generator::new(config.generation.clone(), Arc::clone(&world)).run(&selected);
-        let (pas, sft_loss) = Pas::sft(&config.pas, &dataset);
-        PasSystem { pas, dataset, selection_report, generation_report, sft_loss, world }
+        let (dataset, generation_report, fault_report) =
+            Generator::new(config.generation.clone(), Arc::clone(&world))
+                .try_run_journaled(&selected, journal.as_ref())
+                .map_err(BuildError::Generation)?;
+        let (pas, sft_loss) = Pas::sft_with_journal(&config.pas, &dataset, journal.as_ref())
+            .map_err(BuildError::Journal)?;
+        Ok(PasSystem {
+            pas,
+            dataset,
+            selection_report,
+            generation_report,
+            fault_report,
+            sft_loss,
+            world,
+        })
     }
 }
 
@@ -78,6 +166,36 @@ mod tests {
                 pas: PasConfig::default(),
             }
         }
+    }
+
+    #[test]
+    fn config_fingerprint_tracks_the_configuration() {
+        let a = PasSystem::config_fingerprint(&small_system_config(3));
+        let b = PasSystem::config_fingerprint(&small_system_config(4));
+        assert_eq!(a, PasSystem::config_fingerprint(&small_system_config(3)));
+        assert_ne!(a, b, "different configs must fingerprint differently");
+    }
+
+    #[test]
+    fn journal_from_another_configuration_is_rejected() {
+        let path = std::env::temp_dir()
+            .join(format!("pas-core-system-fpr-{}.journal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        // A journal stamped with some other configuration's fingerprint…
+        drop(pas_fault::Journal::open(&path, 0xdead_beef).unwrap());
+        // …must refuse to resume this build rather than mix checkpoints.
+        let result = PasSystem::try_build(
+            &small_system_config(3),
+            &BuildOptions { journal: Some(path.clone()) },
+        );
+        match result {
+            Err(BuildError::Journal(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::InvalidData, "got: {e}")
+            }
+            Err(other) => panic!("wrong error: {other}"),
+            Ok(_) => panic!("a mismatched journal must not open"),
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -7,10 +7,29 @@
 //! phase the paper's ablation (Table 5) removes. The `selection_enabled`
 //! switch implements exactly that ablation: when off, first-draw generations
 //! enter the dataset unchecked.
+//!
+//! # Fault tolerance
+//!
+//! Teacher and critic calls go through `pas-fault`'s retry engine, with a
+//! deterministic fault injector in front when [`GenConfig::fault`] names a
+//! non-clean profile. Call identity is content-derived — the hash of the
+//! prompt (and APE) being processed — so the fault schedule is a pure
+//! function of the work, independent of thread interleaving; under any
+//! schedule where every call eventually succeeds, the generated dataset is
+//! bit-identical to the fault-free run. [`Generator::try_run_journaled`]
+//! additionally commits each finished prompt to a crash-tolerant
+//! [`Journal`], letting a killed run resume exactly where it stopped.
 
 use std::sync::Arc;
 
-use pas_llm::{Critic, Teacher, TeacherConfig, World};
+use serde::{Deserialize, Serialize};
+
+use pas_fault::{streams, FaultConfig, FaultInjector, FaultReport, Journal, RetryEngine};
+use pas_llm::{
+    ChatError, Critic, CriticVerdict, GeneratedComplement, Teacher, TeacherConfig, World,
+};
+use pas_par::derive_seed;
+use pas_text::fx_hash_str;
 
 use crate::golden::golden_for;
 use crate::schema::{PairDataset, PairRecord};
@@ -26,16 +45,53 @@ pub struct GenConfig {
     pub selection_enabled: bool,
     /// Regeneration attempts before falling back to the critic's repair.
     pub max_attempts: u64,
+    /// Fault-tolerance layer: injected fault schedule (clean by default)
+    /// and retry/backoff policy for the teacher/critic boundaries.
+    pub fault: FaultConfig,
 }
 
 impl Default for GenConfig {
     fn default() -> Self {
-        GenConfig { teacher: TeacherConfig::default(), selection_enabled: true, max_attempts: 16 }
+        GenConfig {
+            teacher: TeacherConfig::default(),
+            selection_enabled: true,
+            max_attempts: 16,
+            fault: FaultConfig::default(),
+        }
     }
 }
 
+/// Why a generation run failed outright (clean-profile runs never do).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenError {
+    /// A model boundary exhausted its retry budget for one prompt.
+    Backend {
+        /// Index of the selected prompt whose call failed.
+        prompt_index: usize,
+        /// Which boundary failed (`"teacher"` / `"critic"`).
+        stage: &'static str,
+        /// The final error after retries.
+        error: ChatError,
+    },
+    /// The checkpoint journal could not be read or written.
+    Journal(String),
+}
+
+impl std::fmt::Display for GenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GenError::Backend { prompt_index, stage, error } => {
+                write!(f, "{stage} call for prompt {prompt_index} failed: {error}")
+            }
+            GenError::Journal(e) => write!(f, "checkpoint journal error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
 /// What happened during generation.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct GenReport {
     /// Pairs produced.
     pub generated: usize,
@@ -90,18 +146,31 @@ fn tokens(text: &str) -> usize {
     text.split_whitespace().count()
 }
 
+/// One finished prompt's full result — exactly what the journal commits, so
+/// a resumed run reproduces not just the pair but every counter.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PairEntry {
+    pair: PairRecord,
+    report: GenReport,
+    faults: FaultReport,
+}
+
 /// The Algorithm 1 generator.
 pub struct Generator {
     config: GenConfig,
     teacher: Teacher,
     critic: Critic,
+    injector: FaultInjector,
+    engine: RetryEngine,
 }
 
 impl Generator {
     /// Creates a generator over `world`.
     pub fn new(config: GenConfig, world: Arc<World>) -> Self {
         let teacher = Teacher::new(config.teacher.clone(), world);
-        Generator { config, teacher, critic: Critic::default() }
+        let injector = config.fault.injector();
+        let engine = config.fault.engine();
+        Generator { config, teacher, critic: Critic::default(), injector, engine }
     }
 
     /// Runs Algorithm 1 over the selected prompts.
@@ -112,52 +181,145 @@ impl Generator {
     /// reports then fold into the aggregate via [`GenReport::merge`] in
     /// prompt order. Output and counters are identical at any `--threads`
     /// setting.
+    ///
+    /// Panics if a model boundary fails outright — impossible under a clean
+    /// or eventual-success fault profile; use [`Generator::try_run`] when
+    /// running against a profile that can exhaust retries.
     pub fn run(&self, selected: &[SelectedPrompt]) -> (PairDataset, GenReport) {
-        let results = pas_par::par_map(selected, |_, sp| self.generate_one(sp));
-        let mut dataset = PairDataset::new();
-        let mut report = GenReport::default();
-        for (pair, item_report) in results {
-            dataset.pairs.push(pair);
-            report.merge(&item_report);
+        match self.try_run(selected) {
+            Ok((dataset, report, _faults)) => (dataset, report),
+            Err(e) => panic!("generation failed: {e}"),
         }
-        (dataset, report)
     }
 
-    /// One prompt's pass through Algorithm 1, with its own report.
-    fn generate_one(&self, sp: &SelectedPrompt) -> (PairRecord, GenReport) {
+    /// [`Generator::run`] with failure made explicit, plus the fault-layer
+    /// accounting.
+    pub fn try_run(
+        &self,
+        selected: &[SelectedPrompt],
+    ) -> Result<(PairDataset, GenReport, FaultReport), GenError> {
+        self.try_run_journaled(selected, None)
+    }
+
+    /// [`Generator::try_run`] with checkpoint/resume: finished prompts are
+    /// committed to `journal` as they complete, and prompts already in the
+    /// journal are loaded instead of recomputed. Because every per-prompt
+    /// result is a pure function of the configuration, a killed-and-resumed
+    /// run produces a dataset and reports bit-identical to an uninterrupted
+    /// one.
+    pub fn try_run_journaled(
+        &self,
+        selected: &[SelectedPrompt],
+        journal: Option<&Journal>,
+    ) -> Result<(PairDataset, GenReport, FaultReport), GenError> {
+        let mut slots: Vec<Option<PairEntry>> = (0..selected.len())
+            .map(|i| {
+                journal
+                    .and_then(|j| j.get(&format!("pair:{i}")))
+                    .and_then(|payload| serde_json::from_str(&payload).ok())
+            })
+            .collect();
+        let missing: Vec<usize> =
+            slots.iter().enumerate().filter(|(_, s)| s.is_none()).map(|(i, _)| i).collect();
+        let computed = pas_par::par_map(&missing, |_, &i| -> Result<PairEntry, GenError> {
+            let entry = self.generate_one(i, &selected[i])?;
+            if let Some(j) = journal {
+                let payload = serde_json::to_string(&entry).expect("pair entry serializes");
+                j.commit(&format!("pair:{i}"), &payload)
+                    .map_err(|e| GenError::Journal(e.to_string()))?;
+            }
+            Ok(entry)
+        });
+        // `missing` ascends, so the surfaced error is the lowest failing
+        // prompt index — deterministic at any thread count.
+        for (&i, result) in missing.iter().zip(computed) {
+            slots[i] = Some(result?);
+        }
+        let mut dataset = PairDataset::new();
         let mut report = GenReport::default();
+        let mut faults = FaultReport::default();
+        for entry in slots.into_iter().map(|s| s.expect("every slot filled")) {
+            dataset.pairs.push(entry.pair);
+            report.merge(&entry.report);
+            faults.merge(&entry.faults);
+        }
+        Ok((dataset, report, faults))
+    }
+
+    /// One teacher call through the fault layer. The logical call key is
+    /// derived from the prompt text and the Algorithm 1 attempt number, so
+    /// regeneration attempts see independent fault schedules.
+    fn teacher_call(
+        &self,
+        index: usize,
+        prompt: &str,
+        golden: &[(String, String)],
+        attempt: u64,
+        faults: &mut FaultReport,
+    ) -> Result<GeneratedComplement, GenError> {
+        let call = derive_seed(fx_hash_str(prompt), attempt);
+        self.engine
+            .call(derive_seed(streams::TEACHER, call), faults, |retry| {
+                self.injector.check(streams::TEACHER, call, retry)?;
+                Ok(self.teacher.generate(prompt, golden, attempt))
+            })
+            .map_err(|error| GenError::Backend { prompt_index: index, stage: "teacher", error })
+    }
+
+    /// One critic call through the fault layer, keyed on the pair content.
+    fn critic_call(
+        &self,
+        index: usize,
+        prompt: &str,
+        ape: &str,
+        faults: &mut FaultReport,
+    ) -> Result<CriticVerdict, GenError> {
+        let call = derive_seed(fx_hash_str(prompt), fx_hash_str(ape));
+        self.engine
+            .call(derive_seed(streams::CRITIC, call), faults, |retry| {
+                self.injector.check(streams::CRITIC, call, retry)?;
+                Ok(self.critic.judge(prompt, ape))
+            })
+            .map_err(|error| GenError::Backend { prompt_index: index, stage: "critic", error })
+    }
+
+    /// One prompt's pass through Algorithm 1, with its own reports.
+    fn generate_one(&self, index: usize, sp: &SelectedPrompt) -> Result<PairEntry, GenError> {
+        let mut report = GenReport::default();
+        let mut faults = FaultReport::default();
         let golden = golden_for(sp.predicted);
         let golden_tokens: usize = golden.iter().map(|(p, c)| tokens(p) + tokens(c)).sum();
         // Data generation phase (Algorithm 1 lines 2–4).
-        let mut gen = self.teacher.generate(&sp.record.text, &golden, 0);
+        let mut gen = self.teacher_call(index, &sp.record.text, &golden, 0, &mut faults)?;
         report.teacher_tokens += tokens(&sp.record.text) + golden_tokens + tokens(&gen.text);
 
         // Data selection and regeneration phase (lines 5–10).
         if self.config.selection_enabled {
             report.critic_tokens += tokens(&sp.record.text) + tokens(&gen.text);
-        }
-        if self.config.selection_enabled && !self.critic.is_correct_pair(&sp.record.text, &gen.text)
-        {
-            report.rejected_first_draw += 1;
-            let mut attempt = 1;
-            loop {
-                if attempt > self.config.max_attempts {
-                    // Fall back to the critic's own repaired APE.
-                    let verdict = self.critic.judge(&sp.record.text, &gen.text);
-                    gen.text = verdict.final_ape;
-                    gen.injected_flaw = None;
-                    report.repairs += 1;
-                    break;
+            let mut verdict = self.critic_call(index, &sp.record.text, &gen.text, &mut faults)?;
+            if !verdict.accepted() {
+                report.rejected_first_draw += 1;
+                let mut attempt = 1;
+                loop {
+                    if attempt > self.config.max_attempts {
+                        // Fall back to the critic's own repaired APE.
+                        gen.text = verdict.final_ape;
+                        gen.injected_flaw = None;
+                        report.repairs += 1;
+                        break;
+                    }
+                    report.regenerations += 1;
+                    gen =
+                        self.teacher_call(index, &sp.record.text, &golden, attempt, &mut faults)?;
+                    report.teacher_tokens +=
+                        tokens(&sp.record.text) + golden_tokens + tokens(&gen.text);
+                    report.critic_tokens += tokens(&sp.record.text) + tokens(&gen.text);
+                    verdict = self.critic_call(index, &sp.record.text, &gen.text, &mut faults)?;
+                    if verdict.accepted() {
+                        break;
+                    }
+                    attempt += 1;
                 }
-                report.regenerations += 1;
-                gen = self.teacher.generate(&sp.record.text, &golden, attempt);
-                report.teacher_tokens +=
-                    tokens(&sp.record.text) + golden_tokens + tokens(&gen.text);
-                report.critic_tokens += tokens(&sp.record.text) + tokens(&gen.text);
-                if self.critic.is_correct_pair(&sp.record.text, &gen.text) {
-                    break;
-                }
-                attempt += 1;
             }
         }
 
@@ -170,7 +332,7 @@ impl Generator {
             complement: gen.text,
             category: sp.predicted,
         };
-        (pair, report)
+        Ok(PairEntry { pair, report, faults })
     }
 }
 
@@ -179,6 +341,8 @@ mod tests {
     use super::*;
     use crate::corpus::{Corpus, CorpusConfig};
     use crate::select::{SelectionConfig, SelectionPipeline};
+    use pas_fault::FaultProfile;
+    use proptest::prelude::*;
 
     fn selected(n: usize, seed: u64) -> (Vec<SelectedPrompt>, Arc<World>) {
         let corpus = Corpus::generate(&CorpusConfig { size: n, seed, ..CorpusConfig::default() });
@@ -189,6 +353,13 @@ mod tests {
         })
         .run(&corpus.records);
         (sel, world)
+    }
+
+    fn faulted_config(profile: FaultProfile) -> GenConfig {
+        GenConfig {
+            fault: FaultConfig { profile, ..FaultConfig::default() },
+            ..GenConfig::default()
+        }
     }
 
     #[test]
@@ -280,50 +451,75 @@ mod tests {
     }
 
     #[test]
-    fn report_merge_is_associative_with_default_identity() {
-        let r = |g: usize, rej: usize, reg: u64, tt: usize| GenReport {
-            generated: g,
-            rejected_first_draw: rej,
-            regenerations: reg,
-            repairs: g / 5,
-            residual_flaws: rej / 2,
-            teacher_tokens: tt,
-            critic_tokens: tt / 3,
-        };
-        let (a, b, c) = (r(3, 1, 7, 100), r(5, 2, 11, 250), r(2, 0, 1, 40));
-        let fold = |parts: &[&GenReport]| {
-            let mut acc = GenReport::default();
-            for p in parts {
-                acc.merge(p);
+    fn eventual_success_faults_do_not_change_the_dataset() {
+        let (sel, world) = selected(200, 6);
+        let clean = Generator::new(GenConfig::default(), Arc::clone(&world)).try_run(&sel).unwrap();
+        let chaotic =
+            Generator::new(faulted_config(FaultProfile::chaos()), world).try_run(&sel).unwrap();
+        assert_eq!(clean.0.pairs, chaotic.0.pairs, "faults must not leak into the dataset");
+        assert_eq!(clean.1, chaotic.1, "GenReport must be fault-invariant");
+        assert!(chaotic.2.total_faults() > 0, "chaos must actually inject");
+        assert_eq!(chaotic.2.failed, 0, "eventual-success schedule never fails a call");
+        assert!(clean.2.is_clean());
+    }
+
+    #[test]
+    fn permanent_outage_surfaces_the_first_failing_prompt() {
+        let (sel, world) = selected(120, 7);
+        let gen = Generator::new(faulted_config(FaultProfile::outage()), world);
+        let err = gen.try_run(&sel).unwrap_err();
+        match err {
+            GenError::Backend { prompt_index, stage, error } => {
+                assert_eq!(prompt_index, 0, "lowest failing index wins");
+                assert_eq!(stage, "teacher");
+                assert_eq!(error, ChatError::Unavailable);
             }
-            acc
-        };
-        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
-        let left = {
-            let mut ab = fold(&[&a, &b]);
-            ab.merge(&c);
-            ab
-        };
-        let right = {
-            let bc = fold(&[&b, &c]);
-            let mut out = a.clone();
-            out.merge(&bc);
-            out
-        };
-        assert_eq!(left.generated, right.generated);
-        assert_eq!(left.rejected_first_draw, right.rejected_first_draw);
-        assert_eq!(left.regenerations, right.regenerations);
-        assert_eq!(left.repairs, right.repairs);
-        assert_eq!(left.residual_flaws, right.residual_flaws);
-        assert_eq!(left.teacher_tokens, right.teacher_tokens);
-        assert_eq!(left.critic_tokens, right.critic_tokens);
-        assert_eq!(left.generated, 10);
-        assert_eq!(left.total_tokens(), left.teacher_tokens + left.critic_tokens);
-        // Default is the identity.
-        let mut with_identity = GenReport::default();
-        with_identity.merge(&a);
-        assert_eq!(with_identity.generated, a.generated);
-        assert_eq!(with_identity.teacher_tokens, a.teacher_tokens);
+            other => panic!("expected backend error, got {other}"),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        // The property `pas_par` ordered reduction silently relies on:
+        // merging per-item reports is associative and `Default` is the
+        // identity, so any fold shape over any partition agrees.
+        #[test]
+        fn report_merge_is_associative_with_default_identity(
+            xs in prop::collection::vec(0u64..5_000, 3)
+        ) {
+            let r = |s: u64| GenReport {
+                generated: (s % 97) as usize,
+                rejected_first_draw: (s % 13) as usize,
+                regenerations: s % 71,
+                repairs: (s % 5) as usize,
+                residual_flaws: (s % 7) as usize,
+                teacher_tokens: (s % 1009) as usize,
+                critic_tokens: (s % 503) as usize,
+            };
+            let (a, b, c) = (r(xs[0]), r(xs[1]), r(xs[2]));
+            let left = {
+                let mut ab = a.clone();
+                ab.merge(&b);
+                ab.merge(&c);
+                ab
+            };
+            let right = {
+                let mut bc = b.clone();
+                bc.merge(&c);
+                let mut out = a.clone();
+                out.merge(&bc);
+                out
+            };
+            prop_assert_eq!(&left, &right);
+            // Default is the identity on both sides.
+            let mut from_identity = GenReport::default();
+            from_identity.merge(&a);
+            prop_assert_eq!(&from_identity, &a);
+            let mut onto_identity = a.clone();
+            onto_identity.merge(&GenReport::default());
+            prop_assert_eq!(&onto_identity, &a);
+        }
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod stats;
 
 pub use corpus::{Corpus, CorpusConfig};
 pub use features::{aspect_features, hashed_features, prompt_features, FEATURE_DIM};
-pub use genpipe::{GenConfig, GenReport, Generator};
+pub use genpipe::{GenConfig, GenError, GenReport, Generator};
 pub use golden::golden_for;
 pub use schema::{PairDataset, PairRecord, PromptRecord, Source};
 pub use select::{

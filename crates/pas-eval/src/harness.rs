@@ -8,7 +8,7 @@
 //! the item, so credits come back bit-identical at any thread count.
 
 use pas_core::PromptOptimizer;
-use pas_llm::{ChatModel, SimLlm};
+use pas_llm::ChatModel;
 
 use crate::judge::Judge;
 use crate::suite::BenchSuite;
@@ -23,12 +23,14 @@ pub struct BenchScore {
 }
 
 /// Runs `suite` for `model` with `optimizer` in front, judged by `judge`
-/// against the suite's reference model.
-pub fn evaluate_suite<O: PromptOptimizer>(
-    model: &SimLlm,
+/// against the suite's reference model. Generic over the [`ChatModel`]s so
+/// fault-wrapped or degrading models (see `pas-core::serve`) drop in
+/// without changing the harness.
+pub fn evaluate_suite<M: ChatModel, R: ChatModel, O: PromptOptimizer>(
+    model: &M,
     optimizer: &O,
     suite: &BenchSuite,
-    reference: &SimLlm,
+    reference: &R,
     judge: &Judge,
 ) -> BenchScore {
     let credits = per_item_credits(model, optimizer, suite, reference, judge);
@@ -43,11 +45,11 @@ pub fn evaluate_suite<O: PromptOptimizer>(
 
 /// Per-item win credits (1.0 / 0.5 / 0.0) in suite item order — the raw
 /// material for bootstrap significance testing.
-pub fn per_item_credits<O: PromptOptimizer>(
-    model: &SimLlm,
+pub fn per_item_credits<M: ChatModel, R: ChatModel, O: PromptOptimizer>(
+    model: &M,
     optimizer: &O,
     suite: &BenchSuite,
-    reference: &SimLlm,
+    reference: &R,
     judge: &Judge,
 ) -> Vec<f64> {
     if suite.is_empty() {
@@ -115,6 +117,7 @@ mod tests {
     use super::*;
     use crate::suite::{EvalEnv, EvalEnvConfig};
     use pas_core::NoOptimizer;
+    use pas_llm::SimLlm;
 
     fn env() -> EvalEnv {
         EvalEnv::build(&EvalEnvConfig { arena_items: 60, alpaca_items: 60, seed: 3 })

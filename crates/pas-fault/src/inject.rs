@@ -1,0 +1,224 @@
+//! The fault-injection boundary: deterministic perturbation of chat calls.
+//!
+//! A [`FaultInjector`] evaluates a [`FaultProfile`] at `(stream, call,
+//! attempt)` coordinates and turns scheduled faults into [`ChatError`]s.
+//! [`FaultyModel`] wraps any infallible [`ChatModel`] into an
+//! [`AttemptChat`] boundary that fails exactly where the schedule says —
+//! the simulated stand-in for a real network client in front of a real
+//! backend.
+//!
+//! Call identity is **content-derived**: the logical call key is the hash
+//! of the input text, never a global counter. A counter would make the
+//! schedule depend on the order workers happen to issue calls; the hash
+//! makes it a pure function of the work item, which is what lets a faulted
+//! parallel run, a faulted serial run, and a resumed run all see the same
+//! faults in the same places.
+
+use pas_llm::{ChatError, ChatModel, TryChatModel};
+use pas_text::fx_hash_str;
+
+use crate::profile::{FaultKind, FaultProfile};
+
+/// Stable stream identifiers for the pipeline's model boundaries, so each
+/// boundary sees an independent fault schedule under one base seed.
+pub mod streams {
+    /// The Algorithm 1 teacher boundary.
+    pub const TEACHER: u64 = 1;
+    /// The Algorithm 1 critic boundary.
+    pub const CRITIC: u64 = 2;
+    /// The serve-time `M_p` (prompt-complement model) boundary.
+    pub const SERVE_MP: u64 = 3;
+    /// Generic/main boundary for callers outside the named ones.
+    pub const MAIN: u64 = 4;
+}
+
+/// A fallible chat boundary that knows which retry attempt it is serving —
+/// the contract between the injector (which decides per-attempt faults) and
+/// the retry engine (which drives attempts).
+pub trait AttemptChat: Send + Sync {
+    /// Stable model identifier.
+    fn name(&self) -> &str;
+
+    /// One attempt at answering `input`.
+    fn chat_attempt(&self, input: &str, attempt: u64) -> Result<String, ChatError>;
+}
+
+/// Every fallible model is an [`AttemptChat`] whose attempts are
+/// indistinguishable (real backends don't know your retry count either).
+impl<T: TryChatModel> AttemptChat for T {
+    fn name(&self) -> &str {
+        TryChatModel::name(self)
+    }
+
+    fn chat_attempt(&self, input: &str, _attempt: u64) -> Result<String, ChatError> {
+        self.try_chat(input)
+    }
+}
+
+/// Evaluates a seeded [`FaultProfile`] and renders scheduled faults as
+/// [`ChatError`]s.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    profile: FaultProfile,
+    seed: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector for `profile` under `seed`.
+    pub fn new(profile: FaultProfile, seed: u64) -> Self {
+        FaultInjector { profile, seed }
+    }
+
+    /// The profile being injected.
+    pub fn profile(&self) -> &FaultProfile {
+        &self.profile
+    }
+
+    /// True when this injector can never fault anything.
+    pub fn is_clean(&self) -> bool {
+        self.profile.is_clean()
+    }
+
+    /// Passes or fails attempt `attempt` of logical call `call` on
+    /// `stream`, per the schedule.
+    pub fn check(&self, stream: u64, call: u64, attempt: u64) -> Result<(), ChatError> {
+        match self.profile.decide(self.seed, stream, call, attempt) {
+            None => Ok(()),
+            Some(kind) => Err(self.error_for(kind)),
+        }
+    }
+
+    fn error_for(&self, kind: FaultKind) -> ChatError {
+        if self.profile.permanent {
+            // A hard outage is unretryable; tell callers to degrade.
+            return ChatError::Unavailable;
+        }
+        match kind {
+            FaultKind::Transient => ChatError::Transient,
+            FaultKind::Timeout => ChatError::Timeout { elapsed_ms: self.profile.timeout_ms },
+            FaultKind::RateLimit => {
+                ChatError::RateLimited { retry_after_ms: self.profile.retry_after_ms }
+            }
+            FaultKind::Garble => ChatError::Garbled,
+        }
+    }
+}
+
+/// An infallible [`ChatModel`] seen through a deterministic fault injector:
+/// attempts fail exactly where the schedule says, succeed with the inner
+/// model's answer everywhere else.
+pub struct FaultyModel<M: ChatModel> {
+    inner: M,
+    injector: FaultInjector,
+    stream: u64,
+}
+
+impl<M: ChatModel> FaultyModel<M> {
+    /// Wraps `inner` with `injector` on fault stream `stream` (see
+    /// [`streams`]).
+    pub fn new(inner: M, injector: FaultInjector, stream: u64) -> Self {
+        FaultyModel { inner, injector, stream }
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// The injector in front of it.
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+}
+
+impl<M: ChatModel> AttemptChat for FaultyModel<M> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn chat_attempt(&self, input: &str, attempt: u64) -> Result<String, ChatError> {
+        self.injector.check(self.stream, fx_hash_str(input), attempt)?;
+        Ok(self.inner.chat(input))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+
+    impl ChatModel for Echo {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn chat(&self, input: &str) -> String {
+            input.to_string()
+        }
+    }
+
+    #[test]
+    fn clean_injector_passes_everything() {
+        let model = FaultyModel::new(Echo, FaultInjector::new(FaultProfile::none(), 1), 0);
+        for attempt in 0..5 {
+            assert_eq!(model.chat_attempt("hello", attempt).as_deref(), Ok("hello"));
+        }
+    }
+
+    #[test]
+    fn outage_maps_to_unavailable() {
+        let inj = FaultInjector::new(FaultProfile::outage(), 2);
+        assert_eq!(inj.check(0, 0, 0), Err(ChatError::Unavailable));
+        assert_eq!(inj.check(9, 9, 1_000), Err(ChatError::Unavailable));
+    }
+
+    #[test]
+    fn faults_are_content_keyed_not_order_keyed() {
+        let model = FaultyModel::new(Echo, FaultInjector::new(FaultProfile::chaos(), 3), 1);
+        // The schedule for a given input is identical no matter how many
+        // other calls happened in between.
+        let first: Vec<_> = (0..4).map(|a| model.chat_attempt("prompt A", a)).collect();
+        for other in 0..50 {
+            let _ = model.chat_attempt(&format!("noise {other}"), 0);
+        }
+        let again: Vec<_> = (0..4).map(|a| model.chat_attempt("prompt A", a)).collect();
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn chaos_attempts_eventually_pass() {
+        let profile = FaultProfile::chaos();
+        let cap = u64::from(profile.max_consecutive);
+        let model = FaultyModel::new(Echo, FaultInjector::new(profile, 4), streams::TEACHER);
+        for i in 0..40 {
+            let input = format!("prompt {i}");
+            let ok = (0..=cap).any(|a| model.chat_attempt(&input, a).is_ok());
+            assert!(ok, "call for {input:?} never succeeded within the cap");
+        }
+    }
+
+    #[test]
+    fn fault_kinds_map_to_matching_errors() {
+        let profile = FaultProfile::chaos();
+        let inj = FaultInjector::new(profile.clone(), 5);
+        let mut seen = std::collections::HashSet::new();
+        for call in 0..500u64 {
+            for attempt in 0..u64::from(profile.max_consecutive) {
+                if let Err(e) = inj.check(streams::MAIN, call, attempt) {
+                    seen.insert(std::mem::discriminant(&e));
+                    match e {
+                        ChatError::Timeout { elapsed_ms } => {
+                            assert_eq!(elapsed_ms, profile.timeout_ms)
+                        }
+                        ChatError::RateLimited { retry_after_ms } => {
+                            assert_eq!(retry_after_ms, profile.retry_after_ms)
+                        }
+                        ChatError::Transient | ChatError::Garbled => {}
+                        ChatError::Unavailable => panic!("chaos is not permanent"),
+                    }
+                }
+            }
+        }
+        assert!(seen.len() >= 3, "chaos should produce several fault kinds, saw {}", seen.len());
+    }
+}

@@ -1,0 +1,274 @@
+//! Append-only checkpoint journal for long pipeline runs.
+//!
+//! A [`Journal`] is a JSONL file: a header line binding the journal to a
+//! configuration fingerprint, then one line per committed work item keyed
+//! by a caller-chosen string (`"pair:17"`, `"sft:3"`). Workers commit
+//! finished items as they complete; a killed run reopens the journal and
+//! recomputes **only** the missing keys. Because every item's result is a
+//! pure function of the configuration (that's the pipeline determinism
+//! contract), resumed output is bit-identical to an uninterrupted run.
+//!
+//! Crash tolerance: a process killed mid-write leaves at most one torn
+//! final line. On open, complete entries are kept, the torn tail is
+//! dropped, and the file is rewritten clean before appending resumes. A
+//! fingerprint mismatch (journal from a different configuration) is an
+//! error — resuming someone else's checkpoints would silently corrupt the
+//! run.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize)]
+struct HeaderLine {
+    journal: String,
+    fingerprint: u64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct EntryLine {
+    key: String,
+    payload: String,
+}
+
+struct JournalState {
+    entries: HashMap<String, String>,
+    writer: BufWriter<File>,
+}
+
+/// A keyed, crash-tolerant checkpoint journal (see module docs).
+pub struct Journal {
+    path: PathBuf,
+    fingerprint: u64,
+    preloaded: usize,
+    state: Mutex<JournalState>,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("path", &self.path)
+            .field("fingerprint", &self.fingerprint)
+            .field("preloaded", &self.preloaded)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl Journal {
+    /// Opens (or creates) the journal at `path` for a run whose
+    /// configuration hashes to `fingerprint`.
+    pub fn open(path: impl AsRef<Path>, fingerprint: u64) -> io::Result<Journal> {
+        let path = path.as_ref().to_path_buf();
+        let mut entries = HashMap::new();
+        if path.exists() {
+            let text = std::fs::read_to_string(&path)?;
+            let mut lines = text.lines().filter(|l| !l.trim().is_empty()).peekable();
+            let header: HeaderLine = match lines.next() {
+                None => HeaderLine { journal: "pas".into(), fingerprint },
+                Some(first) => serde_json::from_str(first).map_err(|e| {
+                    io::Error::new(io::ErrorKind::InvalidData, format!("bad journal header: {e}"))
+                })?,
+            };
+            if header.fingerprint != fingerprint {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "journal {} was written by a different configuration \
+                         (fingerprint {:#x}, expected {:#x})",
+                        path.display(),
+                        header.fingerprint,
+                        fingerprint
+                    ),
+                ));
+            }
+            while let Some(line) = lines.next() {
+                match serde_json::from_str::<EntryLine>(line) {
+                    Ok(entry) => {
+                        entries.insert(entry.key, entry.payload);
+                    }
+                    // A torn final line is the expected signature of a kill
+                    // mid-commit; anywhere else it is corruption.
+                    Err(e) if lines.peek().is_none() => {
+                        let _ = e;
+                        break;
+                    }
+                    Err(e) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("corrupt journal entry in {}: {e}", path.display()),
+                        ));
+                    }
+                }
+            }
+        }
+        // Rewrite clean (atomically via temp + rename) so a dropped torn
+        // tail can never prefix-corrupt the next appended line.
+        let tmp = path.with_extension("journal.tmp");
+        {
+            let mut out = BufWriter::new(File::create(&tmp)?);
+            let header = HeaderLine { journal: "pas".into(), fingerprint };
+            writeln!(out, "{}", serde_json::to_string(&header).expect("header serializes"))?;
+            let mut sorted: Vec<(&String, &String)> = entries.iter().collect();
+            sorted.sort();
+            for (key, payload) in sorted {
+                let line = EntryLine { key: key.clone(), payload: payload.clone() };
+                writeln!(out, "{}", serde_json::to_string(&line).expect("entry serializes"))?;
+            }
+            out.flush()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        let writer = BufWriter::new(OpenOptions::new().append(true).open(&path)?);
+        let preloaded = entries.len();
+        Ok(Journal {
+            path,
+            fingerprint,
+            preloaded,
+            state: Mutex::new(JournalState { entries, writer }),
+        })
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The configuration fingerprint this journal is bound to.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Number of committed entries found on open — how much work the
+    /// resumed run gets to skip.
+    pub fn preloaded(&self) -> usize {
+        self.preloaded
+    }
+
+    /// Total committed entries (preloaded + committed this run).
+    pub fn len(&self) -> usize {
+        self.state.lock().entries.len()
+    }
+
+    /// True when nothing has been committed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The committed payload for `key`, if present.
+    pub fn get(&self, key: &str) -> Option<String> {
+        self.state.lock().entries.get(key).cloned()
+    }
+
+    /// Commits `payload` under `key`, flushed to disk before returning so a
+    /// kill after this call can never lose the entry. First commit wins;
+    /// re-commits of an existing key are ignored.
+    pub fn commit(&self, key: &str, payload: &str) -> io::Result<()> {
+        let mut state = self.state.lock();
+        if state.entries.contains_key(key) {
+            return Ok(());
+        }
+        let line = EntryLine { key: key.to_string(), payload: payload.to_string() };
+        writeln!(state.writer, "{}", serde_json::to_string(&line).expect("entry serializes"))?;
+        state.writer.flush()?;
+        state.entries.insert(key.to_string(), payload.to_string());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("pas-fault-journal-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn commits_survive_reopen() {
+        let path = tmp("reopen");
+        let _ = std::fs::remove_file(&path);
+        {
+            let j = Journal::open(&path, 0xabc).unwrap();
+            assert_eq!(j.preloaded(), 0);
+            j.commit("pair:0", "zero").unwrap();
+            j.commit("pair:1", "one").unwrap();
+        }
+        let j = Journal::open(&path, 0xabc).unwrap();
+        assert_eq!(j.preloaded(), 2);
+        assert_eq!(j.get("pair:0").as_deref(), Some("zero"));
+        assert_eq!(j.get("pair:1").as_deref(), Some("one"));
+        assert_eq!(j.get("pair:2"), None);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn first_commit_wins() {
+        let path = tmp("first-wins");
+        let _ = std::fs::remove_file(&path);
+        let j = Journal::open(&path, 1).unwrap();
+        j.commit("k", "original").unwrap();
+        j.commit("k", "overwrite attempt").unwrap();
+        assert_eq!(j.get("k").as_deref(), Some("original"));
+        assert_eq!(j.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let j = Journal::open(&path, 7).unwrap();
+            j.commit("a", "1").unwrap();
+            j.commit("b", "2").unwrap();
+        }
+        // Simulate a kill mid-write: append half a JSON line.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"key\":\"c\",\"pay");
+        std::fs::write(&path, text).unwrap();
+        let j = Journal::open(&path, 7).unwrap();
+        assert_eq!(j.preloaded(), 2);
+        assert_eq!(j.get("c"), None);
+        // And the file is clean again: committing after the torn tail works.
+        j.commit("c", "3").unwrap();
+        drop(j);
+        let j = Journal::open(&path, 7).unwrap();
+        assert_eq!(j.preloaded(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corruption_in_the_middle_is_an_error() {
+        let path = tmp("corrupt");
+        let _ = std::fs::remove_file(&path);
+        {
+            let j = Journal::open(&path, 7).unwrap();
+            j.commit("a", "1").unwrap();
+        }
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("not json at all\n");
+        text.push_str("{\"key\":\"b\",\"payload\":\"2\"}\n");
+        std::fs::write(&path, text).unwrap();
+        let err = Journal::open(&path, 7).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_refused() {
+        let path = tmp("fingerprint");
+        let _ = std::fs::remove_file(&path);
+        {
+            let j = Journal::open(&path, 100).unwrap();
+            j.commit("a", "1").unwrap();
+        }
+        let err = Journal::open(&path, 200).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("different configuration"));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

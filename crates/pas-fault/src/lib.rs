@@ -1,0 +1,104 @@
+//! Fault-tolerant runtime for the PAS pipeline.
+//!
+//! Every LLM boundary in the workspace (teacher, critic, serve-time `M_p`)
+//! is, in production, a network call that can fail. This crate makes the
+//! pipeline survive that without giving up the workspace's determinism
+//! contract:
+//!
+//! - [`profile`] — seeded [`FaultProfile`] schedules: which `(stream,
+//!   call, attempt)` coordinates fault, and how, as a pure function of a
+//!   base seed (the same derived-stream discipline as `pas_par`).
+//! - [`inject`] — [`FaultInjector`] / [`FaultyModel`]: wrap any
+//!   [`pas_llm::ChatModel`] so its attempts fail exactly on schedule. Call
+//!   identity is content-derived (input-text hash), never a counter, so
+//!   the schedule is independent of thread interleaving.
+//! - [`retry`] — [`RetryEngine`]: retries with seeded exponential backoff
+//!   and jitter, per-call simulated-time deadline budgets, and a
+//!   [`CircuitBreaker`]; all accounting lands in a [`FaultReport`].
+//! - [`resilient`] — [`Resilient<M>`]: the retrying wrapper, exposing the
+//!   fallible [`pas_llm::TryChatModel`] boundary.
+//! - [`journal`] — [`Journal`]: a crash-tolerant JSONL checkpoint log so a
+//!   killed generation or SFT run resumes bit-identically.
+//! - [`report`] — [`FaultReport`]: merge-able counters (associative, with
+//!   `Default` as identity) for ordered reduction after parallel regions.
+//!
+//! The headline property, pinned by `tests/chaos.rs` at the workspace
+//! root: under any fault schedule in which every call eventually succeeds,
+//! pipeline output is **bit-identical** to the fault-free run at any
+//! thread count; under a permanent serve-time outage the system degrades
+//! to passthrough prompts (the plug-and-play guarantee) instead of
+//! erroring.
+
+pub mod inject;
+pub mod journal;
+pub mod profile;
+pub mod report;
+pub mod resilient;
+pub mod retry;
+
+pub use inject::{streams, AttemptChat, FaultInjector, FaultyModel};
+pub use journal::Journal;
+pub use profile::{FaultKind, FaultProfile};
+pub use report::FaultReport;
+pub use resilient::Resilient;
+pub use retry::{CircuitBreaker, RetryEngine, RetryPolicy};
+
+/// Everything a pipeline stage needs to stand up its fault-tolerance
+/// layer: which faults to inject (none, in production), under which seed,
+/// and how hard to retry.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// The fault schedule to inject (default: [`FaultProfile::none`]).
+    pub profile: FaultProfile,
+    /// Base seed for the fault schedule and backoff jitter streams.
+    pub seed: u64,
+    /// Retry/backoff/deadline/breaker parameters.
+    pub policy: RetryPolicy,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig { profile: FaultProfile::none(), seed: 0xfa17, policy: RetryPolicy::default() }
+    }
+}
+
+impl FaultConfig {
+    /// A config injecting the named profile (see [`FaultProfile::named`]).
+    pub fn named(profile: &str) -> Option<FaultConfig> {
+        Some(FaultConfig { profile: FaultProfile::named(profile)?, ..FaultConfig::default() })
+    }
+
+    /// True when this config can never inject a fault.
+    pub fn is_clean(&self) -> bool {
+        self.profile.is_clean()
+    }
+
+    /// The injector this config describes.
+    pub fn injector(&self) -> FaultInjector {
+        FaultInjector::new(self.profile.clone(), self.seed)
+    }
+
+    /// A fresh retry engine under this config's policy and seed.
+    pub fn engine(&self) -> RetryEngine {
+        RetryEngine::new(self.policy.clone(), self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_clean() {
+        let c = FaultConfig::default();
+        assert!(c.is_clean());
+        assert!(c.injector().is_clean());
+    }
+
+    #[test]
+    fn named_configs_resolve() {
+        assert!(FaultConfig::named("chaos").is_some_and(|c| !c.is_clean()));
+        assert!(FaultConfig::named("none").is_some_and(|c| c.is_clean()));
+        assert!(FaultConfig::named("bogus").is_none());
+    }
+}

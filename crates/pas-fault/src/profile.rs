@@ -1,0 +1,272 @@
+//! Deterministic fault schedules.
+//!
+//! A [`FaultProfile`] decides, for every `(stream, call, attempt)`
+//! coordinate under a base seed, whether that attempt is perturbed and how
+//! — a pure function, following the same derived-stream discipline as
+//! `pas_par::derive_seed`. Because the schedule depends only on the
+//! coordinates and never on wall-clock time or thread interleaving, a
+//! faulted run is exactly reproducible: same seed, same faults, at any
+//! thread count.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use pas_par::derive_seed_path;
+
+/// The fault classes the injector can impose on one call attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Transient transport error — the call never reaches the model.
+    Transient,
+    /// The call hangs until the deadline fires; consumes simulated time.
+    Timeout,
+    /// A rate-limit rejection (429); part of a burst covering consecutive
+    /// attempts.
+    RateLimit,
+    /// The model responds, but the completion arrives truncated/garbled.
+    Garble,
+}
+
+/// A seeded, named fault schedule.
+///
+/// Rates are per-attempt probabilities; `rate_limit_rate` is the
+/// probability that a *call* starts inside a rate-limit burst, in which
+/// case its first `burst_len` attempts are all rejected. Unless
+/// `permanent` is set, no call sees more than `max_consecutive` faulted
+/// attempts — the "every call eventually succeeds" guarantee the chaos
+/// determinism property relies on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultProfile {
+    /// Profile name (the CLI's `--fault-profile` argument).
+    pub name: &'static str,
+    /// Per-attempt probability of a transient error.
+    pub transient_rate: f32,
+    /// Per-attempt probability of a timeout.
+    pub timeout_rate: f32,
+    /// Per-attempt probability of a garbled completion.
+    pub garble_rate: f32,
+    /// Per-call probability of starting inside a rate-limit burst.
+    pub rate_limit_rate: f32,
+    /// Consecutive attempts rejected when a burst hits.
+    pub burst_len: u32,
+    /// Hard cap on consecutive faulted attempts per call (eventual-success
+    /// guarantee). Ignored when `permanent` is set.
+    pub max_consecutive: u32,
+    /// When true every attempt faults forever — a hard outage.
+    pub permanent: bool,
+    /// Simulated milliseconds one timeout consumes.
+    pub timeout_ms: u64,
+    /// Simulated `Retry-After` milliseconds a rate-limit rejection carries.
+    pub retry_after_ms: u64,
+}
+
+impl FaultProfile {
+    /// The clean profile: no faults ever.
+    pub fn none() -> FaultProfile {
+        FaultProfile {
+            name: "none",
+            transient_rate: 0.0,
+            timeout_rate: 0.0,
+            garble_rate: 0.0,
+            rate_limit_rate: 0.0,
+            burst_len: 0,
+            max_consecutive: 0,
+            permanent: false,
+            timeout_ms: 1000,
+            retry_after_ms: 400,
+        }
+    }
+
+    /// Occasional transient errors, timeouts, and garbled completions.
+    pub fn transient() -> FaultProfile {
+        FaultProfile {
+            name: "transient",
+            transient_rate: 0.20,
+            timeout_rate: 0.05,
+            garble_rate: 0.05,
+            rate_limit_rate: 0.0,
+            burst_len: 0,
+            max_consecutive: 4,
+            ..FaultProfile::none()
+        }
+    }
+
+    /// Rate-limit bursts on top of transient noise.
+    pub fn bursty() -> FaultProfile {
+        FaultProfile {
+            name: "bursty",
+            transient_rate: 0.12,
+            timeout_rate: 0.05,
+            garble_rate: 0.05,
+            rate_limit_rate: 0.20,
+            burst_len: 3,
+            max_consecutive: 6,
+            ..FaultProfile::none()
+        }
+    }
+
+    /// Everything at once, as hard as it can hit while every call still
+    /// eventually succeeds.
+    pub fn chaos() -> FaultProfile {
+        FaultProfile {
+            name: "chaos",
+            transient_rate: 0.30,
+            timeout_rate: 0.12,
+            garble_rate: 0.15,
+            rate_limit_rate: 0.25,
+            burst_len: 4,
+            max_consecutive: 8,
+            ..FaultProfile::none()
+        }
+    }
+
+    /// Hard permanent outage: every attempt fails, forever. The profile
+    /// that exercises the degraded-mode serving guarantee.
+    pub fn outage() -> FaultProfile {
+        FaultProfile { name: "outage", permanent: true, ..FaultProfile::none() }
+    }
+
+    /// All named profiles, for CLI help text.
+    pub const NAMES: [&'static str; 5] = ["none", "transient", "bursty", "chaos", "outage"];
+
+    /// Looks a profile up by name.
+    pub fn named(name: &str) -> Option<FaultProfile> {
+        match name {
+            "none" => Some(FaultProfile::none()),
+            "transient" => Some(FaultProfile::transient()),
+            "bursty" => Some(FaultProfile::bursty()),
+            "chaos" => Some(FaultProfile::chaos()),
+            "outage" => Some(FaultProfile::outage()),
+            _ => None,
+        }
+    }
+
+    /// True when this profile can never inject anything.
+    pub fn is_clean(&self) -> bool {
+        !self.permanent
+            && self.transient_rate <= 0.0
+            && self.timeout_rate <= 0.0
+            && self.garble_rate <= 0.0
+            && self.rate_limit_rate <= 0.0
+    }
+
+    /// The fault (if any) injected into attempt `attempt` of logical call
+    /// `call` on stream `stream`, under `base` — a pure function of its
+    /// arguments, which is the whole determinism story: retries, thread
+    /// counts, and resumed runs all see the identical schedule.
+    pub fn decide(&self, base: u64, stream: u64, call: u64, attempt: u64) -> Option<FaultKind> {
+        if self.permanent {
+            return Some(FaultKind::Transient);
+        }
+        if self.is_clean() || attempt >= u64::from(self.max_consecutive) {
+            return None;
+        }
+        // One draw per call decides whether it sits inside a rate-limit
+        // burst; burst rejections cover the first `burst_len` attempts.
+        if self.rate_limit_rate > 0.0 && attempt < u64::from(self.burst_len) {
+            let mut call_rng =
+                StdRng::seed_from_u64(derive_seed_path(base, &[stream, call, u64::MAX]));
+            if call_rng.random::<f32>() < self.rate_limit_rate {
+                return Some(FaultKind::RateLimit);
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(derive_seed_path(base, &[stream, call, attempt]));
+        let u: f32 = rng.random();
+        if u < self.transient_rate {
+            Some(FaultKind::Transient)
+        } else if u < self.transient_rate + self.timeout_rate {
+            Some(FaultKind::Timeout)
+        } else if u < self.transient_rate + self.timeout_rate + self.garble_rate {
+            Some(FaultKind::Garble)
+        } else {
+            None
+        }
+    }
+
+    /// Smallest attempt index guaranteed to succeed for this profile
+    /// (`None` under a permanent outage). Retry budgets must exceed this
+    /// for the eventual-success property to hold.
+    pub fn worst_case_faults(&self) -> Option<u32> {
+        if self.permanent {
+            None
+        } else if self.is_clean() {
+            Some(0)
+        } else {
+            Some(self.max_consecutive)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_profiles_round_trip() {
+        for name in FaultProfile::NAMES {
+            let p = FaultProfile::named(name).expect(name);
+            assert_eq!(p.name, name);
+        }
+        assert!(FaultProfile::named("nope").is_none());
+    }
+
+    #[test]
+    fn decide_is_a_pure_function() {
+        let p = FaultProfile::chaos();
+        for stream in 0..5u64 {
+            for call in 0..5u64 {
+                for attempt in 0..10u64 {
+                    assert_eq!(
+                        p.decide(42, stream, call, attempt),
+                        p.decide(42, stream, call, attempt)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_call_eventually_succeeds_unless_permanent() {
+        let p = FaultProfile::chaos();
+        for stream in 0..50u64 {
+            for call in 0..20u64 {
+                let cap = u64::from(p.max_consecutive);
+                assert_eq!(p.decide(7, stream, call, cap), None, "stream {stream} call {call}");
+            }
+        }
+    }
+
+    #[test]
+    fn outage_never_succeeds() {
+        let p = FaultProfile::outage();
+        for attempt in [0u64, 1, 100, 1_000_000] {
+            assert_eq!(p.decide(1, 0, 0, attempt), Some(FaultKind::Transient));
+        }
+        assert_eq!(p.worst_case_faults(), None);
+    }
+
+    #[test]
+    fn clean_profile_injects_nothing() {
+        let p = FaultProfile::none();
+        assert!(p.is_clean());
+        for i in 0..100u64 {
+            assert_eq!(p.decide(9, i, i, 0), None);
+        }
+        assert_eq!(p.worst_case_faults(), Some(0));
+    }
+
+    #[test]
+    fn chaos_actually_injects_faults() {
+        let p = FaultProfile::chaos();
+        let injected = (0..200u64).filter(|&stream| p.decide(3, stream, 0, 0).is_some()).count();
+        assert!(injected > 40, "only {injected}/200 first attempts faulted");
+    }
+
+    #[test]
+    fn bursts_reject_consecutive_attempts() {
+        let p = FaultProfile { rate_limit_rate: 1.0, ..FaultProfile::bursty() };
+        for attempt in 0..u64::from(p.burst_len) {
+            assert_eq!(p.decide(5, 1, 2, attempt), Some(FaultKind::RateLimit));
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Merge-able accounting of what the fault-tolerance layer did.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters describing every fault seen, retry spent, and degradation taken
+/// across one region of work.
+///
+/// Like `GenReport` in `pas-data`, the report is designed for *ordered
+/// reduction*: per-item reports come back from `pas_par::par_map` in item
+/// order and fold into an aggregate via [`FaultReport::merge`], which is
+/// associative with [`FaultReport::default`] as the identity — so aggregate
+/// counts never depend on worker scheduling.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Logical calls issued through the resilience layer.
+    pub calls: u64,
+    /// Calls that ultimately returned a value.
+    pub succeeded: u64,
+    /// Calls that failed after exhausting their retry/deadline budget (or
+    /// were fast-failed by an open circuit breaker).
+    pub failed: u64,
+    /// Individual attempts, including the first try of every call.
+    pub attempts: u64,
+    /// Retries — attempts beyond each call's first.
+    pub retries: u64,
+    /// Transient errors observed.
+    pub transient: u64,
+    /// Timeouts observed.
+    pub timeouts: u64,
+    /// Rate-limit rejections observed.
+    pub rate_limited: u64,
+    /// Truncated/garbled completions observed.
+    pub garbled: u64,
+    /// Hard "backend unavailable" errors observed.
+    pub unavailable: u64,
+    /// Simulated milliseconds spent waiting in backoff.
+    pub backoff_ms: u64,
+    /// Total simulated milliseconds consumed (attempt costs + backoff).
+    pub simulated_ms: u64,
+    /// Calls abandoned because their simulated deadline budget ran out.
+    pub deadline_exceeded: u64,
+    /// Times the circuit breaker tripped open.
+    pub breaker_trips: u64,
+    /// Calls rejected immediately by an open breaker (no attempt made).
+    pub breaker_fast_fails: u64,
+    /// Serve-time degradations: requests answered with the passthrough
+    /// prompt because the optimizer boundary was exhausted.
+    pub degraded: u64,
+}
+
+impl FaultReport {
+    /// True when nothing at all went wrong.
+    pub fn is_clean(&self) -> bool {
+        self.failed == 0
+            && self.retries == 0
+            && self.degraded == 0
+            && self.breaker_trips == 0
+            && self.calls == self.succeeded
+    }
+
+    /// Total injected faults of any kind.
+    pub fn total_faults(&self) -> u64 {
+        self.transient + self.timeouts + self.rate_limited + self.garbled + self.unavailable
+    }
+
+    /// Folds `other`'s counters into `self`. Associative, with
+    /// [`FaultReport::default`] as the identity — every counter is a plain
+    /// sum, so any fold order over any partition of the work produces the
+    /// same aggregate.
+    pub fn merge(&mut self, other: &FaultReport) {
+        self.calls += other.calls;
+        self.succeeded += other.succeeded;
+        self.failed += other.failed;
+        self.attempts += other.attempts;
+        self.retries += other.retries;
+        self.transient += other.transient;
+        self.timeouts += other.timeouts;
+        self.rate_limited += other.rate_limited;
+        self.garbled += other.garbled;
+        self.unavailable += other.unavailable;
+        self.backoff_ms += other.backoff_ms;
+        self.simulated_ms += other.simulated_ms;
+        self.deadline_exceeded += other.deadline_exceeded;
+        self.breaker_trips += other.breaker_trips;
+        self.breaker_fast_fails += other.breaker_fast_fails;
+        self.degraded += other.degraded;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_report(seed: u64) -> FaultReport {
+        // A deterministic pseudo-arbitrary report; proptest drives `seed`.
+        let f = |k: u64| (seed.rotate_left(k as u32).wrapping_mul(k + 3)) % 1000;
+        FaultReport {
+            calls: f(1),
+            succeeded: f(2),
+            failed: f(3),
+            attempts: f(4),
+            retries: f(5),
+            transient: f(6),
+            timeouts: f(7),
+            rate_limited: f(8),
+            garbled: f(9),
+            unavailable: f(10),
+            backoff_ms: f(11),
+            simulated_ms: f(12),
+            deadline_exceeded: f(13),
+            breaker_trips: f(14),
+            breaker_fast_fails: f(15),
+            degraded: f(16),
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn merge_is_associative(a in 0u64..10_000, b in 0u64..10_000, c in 0u64..10_000) {
+            let (a, b, c) = (arb_report(a), arb_report(b), arb_report(c));
+            let left = {
+                let mut ab = a.clone();
+                ab.merge(&b);
+                ab.merge(&c);
+                ab
+            };
+            let right = {
+                let mut bc = b.clone();
+                bc.merge(&c);
+                let mut out = a.clone();
+                out.merge(&bc);
+                out
+            };
+            prop_assert_eq!(left, right);
+        }
+
+        #[test]
+        fn default_is_the_identity(s in 0u64..10_000) {
+            let r = arb_report(s);
+            let mut left = FaultReport::default();
+            left.merge(&r);
+            prop_assert_eq!(&left, &r);
+            let mut right = r.clone();
+            right.merge(&FaultReport::default());
+            prop_assert_eq!(&right, &r);
+        }
+    }
+
+    #[test]
+    fn clean_report_is_clean() {
+        let mut r = FaultReport::default();
+        assert!(r.is_clean());
+        r.calls = 3;
+        r.succeeded = 3;
+        assert!(r.is_clean());
+        r.retries = 1;
+        assert!(!r.is_clean());
+        assert_eq!(r.total_faults(), 0);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = arb_report(17);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: FaultReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,122 @@
+//! `Resilient<M>` — the retrying wrapper around a fallible chat boundary.
+
+use parking_lot::Mutex;
+
+use pas_llm::{ChatError, TryChatModel};
+use pas_text::fx_hash_str;
+
+use crate::inject::AttemptChat;
+use crate::report::FaultReport;
+use crate::retry::RetryEngine;
+
+/// A fallible chat boundary with retries, seeded backoff, deadline budgets,
+/// and a circuit breaker in front of it. `try_chat` either returns the
+/// inner model's answer — bit-identical to what a fault-free call would
+/// have produced — or a final [`ChatError`] after the budget is spent.
+///
+/// Accounting accumulates in an internal [`FaultReport`]. Every counter is
+/// an order-independent sum, so the aggregate is deterministic wherever the
+/// set of calls is (which, with content-keyed call identity, it is).
+pub struct Resilient<M: AttemptChat> {
+    inner: M,
+    engine: RetryEngine,
+    report: Mutex<FaultReport>,
+}
+
+impl<M: AttemptChat> Resilient<M> {
+    /// Wraps `inner` behind `engine`.
+    pub fn new(inner: M, engine: RetryEngine) -> Self {
+        Resilient { inner, engine, report: Mutex::new(FaultReport::default()) }
+    }
+
+    /// The wrapped boundary.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// The retry engine (policy + breaker).
+    pub fn engine(&self) -> &RetryEngine {
+        &self.engine
+    }
+
+    /// A snapshot of the accumulated accounting.
+    pub fn report(&self) -> FaultReport {
+        self.report.lock().clone()
+    }
+}
+
+impl<M: AttemptChat> TryChatModel for Resilient<M> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn try_chat(&self, input: &str) -> Result<String, ChatError> {
+        let call_key = fx_hash_str(input);
+        let mut local = FaultReport::default();
+        let out = self
+            .engine
+            .call(call_key, &mut local, |attempt| self.inner.chat_attempt(input, attempt));
+        self.report.lock().merge(&local);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inject::{streams, FaultInjector, FaultyModel};
+    use crate::profile::FaultProfile;
+    use crate::retry::RetryPolicy;
+    use pas_llm::ChatModel;
+
+    struct Upper;
+
+    impl ChatModel for Upper {
+        fn name(&self) -> &str {
+            "upper"
+        }
+        fn chat(&self, input: &str) -> String {
+            input.to_uppercase()
+        }
+    }
+
+    fn resilient(profile: FaultProfile, seed: u64) -> Resilient<FaultyModel<Upper>> {
+        let model = FaultyModel::new(Upper, FaultInjector::new(profile, seed), streams::MAIN);
+        Resilient::new(model, RetryEngine::new(RetryPolicy::default(), seed))
+    }
+
+    #[test]
+    fn chaos_answers_match_the_fault_free_model() {
+        let clean = resilient(FaultProfile::none(), 11);
+        let chaotic = resilient(FaultProfile::chaos(), 11);
+        for i in 0..60 {
+            let input = format!("prompt number {i}");
+            assert_eq!(chaotic.try_chat(&input), clean.try_chat(&input));
+        }
+        let r = chaotic.report();
+        assert_eq!(r.failed, 0, "eventual-success schedule must never fail a call");
+        assert!(r.total_faults() > 0, "chaos must actually have injected faults");
+        assert!(r.retries > 0);
+        assert!(clean.report().is_clean());
+    }
+
+    #[test]
+    fn outage_fails_with_unavailable() {
+        let down = resilient(FaultProfile::outage(), 12);
+        assert_eq!(down.try_chat("anything"), Err(ChatError::Unavailable));
+        let r = down.report();
+        assert_eq!(r.failed, 1);
+        assert_eq!(r.retries, 0, "unavailable is unretryable");
+    }
+
+    #[test]
+    fn report_accumulates_across_calls() {
+        let m = resilient(FaultProfile::none(), 13);
+        for i in 0..5 {
+            let _ = m.try_chat(&format!("p{i}"));
+        }
+        let r = m.report();
+        assert_eq!((r.calls, r.succeeded), (5, 5));
+        assert_eq!(TryChatModel::name(&m), "upper");
+    }
+}

@@ -1,0 +1,369 @@
+//! Retry with seeded exponential backoff, deadline budgets, and a circuit
+//! breaker.
+//!
+//! Time here is **simulated**: attempts and backoff waits consume
+//! milliseconds of a per-call budget without ever sleeping, so a faulted run
+//! is exactly as fast as a clean one and — more importantly — completely
+//! deterministic. Backoff jitter is drawn from a seed derived from
+//! `(engine seed, call key, attempt)`, never from wall-clock entropy, so the
+//! retry schedule of any call is a pure function of its identity.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use pas_llm::ChatError;
+use pas_par::derive_seed_path;
+
+use crate::report::FaultReport;
+
+/// Jitter draws live on their own derived lane so they never collide with
+/// fault-schedule draws keyed on the same call.
+const JITTER_LANE: u64 = 0x00ba_c0ff;
+
+/// Retry/backoff/deadline/breaker parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Attempts per call before giving up (first try included).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_backoff_ms: u64,
+    /// Backoff ceiling.
+    pub max_backoff_ms: u64,
+    /// Jitter fraction in `[0, 1]`: each wait is scaled by a seeded factor
+    /// in `[1 − jitter, 1]` (decorrelates retry storms without losing
+    /// determinism).
+    pub jitter: f64,
+    /// Simulated-milliseconds budget per call; exceeding it abandons the
+    /// call with a timeout.
+    pub deadline_ms: u64,
+    /// Simulated cost of one non-timeout attempt.
+    pub attempt_cost_ms: u64,
+    /// Consecutive *call* failures (not attempt failures) that trip the
+    /// breaker open.
+    pub breaker_threshold: u32,
+    /// While open, every Nth blocked call probes the backend instead of
+    /// fast-failing; a successful probe closes the breaker.
+    pub breaker_probe_interval: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 12,
+            base_backoff_ms: 50,
+            max_backoff_ms: 2_000,
+            jitter: 0.5,
+            deadline_ms: 60_000,
+            attempt_cost_ms: 5,
+            breaker_threshold: 3,
+            breaker_probe_interval: 8,
+        }
+    }
+}
+
+/// A count-based circuit breaker shared by all calls through one engine.
+///
+/// The breaker can only engage when calls *fail outright* — which, under an
+/// eventual-success fault schedule, never happens (the retry budget exceeds
+/// the schedule's consecutive-fault cap). So in every run whose output the
+/// determinism contract covers, the breaker is inert; under a permanent
+/// outage it bounds wasted attempts, where every call fails identically
+/// whether probed or fast-failed.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    probe_interval: u64,
+    consecutive_failures: AtomicU32,
+    open: AtomicBool,
+    blocked: AtomicU64,
+}
+
+impl CircuitBreaker {
+    fn new(threshold: u32, probe_interval: u64) -> Self {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            probe_interval: probe_interval.max(1),
+            consecutive_failures: AtomicU32::new(0),
+            open: AtomicBool::new(false),
+            blocked: AtomicU64::new(0),
+        }
+    }
+
+    /// True while the breaker is open (backend presumed down).
+    pub fn is_open(&self) -> bool {
+        self.open.load(Ordering::Relaxed)
+    }
+
+    /// Whether a new call may proceed. While open, every
+    /// `probe_interval`-th blocked call passes through as a probe.
+    fn try_pass(&self) -> bool {
+        if !self.is_open() {
+            return true;
+        }
+        let n = self.blocked.fetch_add(1, Ordering::Relaxed);
+        n % self.probe_interval == self.probe_interval - 1
+    }
+
+    fn on_success(&self) {
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+        self.open.store(false, Ordering::Relaxed);
+    }
+
+    /// Records a call failure; returns true when this failure tripped the
+    /// breaker open.
+    fn on_failure(&self) -> bool {
+        let failures = self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        failures >= self.threshold && !self.open.swap(true, Ordering::Relaxed)
+    }
+}
+
+/// Executes calls under a [`RetryPolicy`] with seeded backoff and a shared
+/// [`CircuitBreaker`], accounting everything into a [`FaultReport`].
+#[derive(Debug)]
+pub struct RetryEngine {
+    policy: RetryPolicy,
+    seed: u64,
+    breaker: CircuitBreaker,
+}
+
+impl RetryEngine {
+    /// Creates an engine; `seed` keys the jitter streams.
+    pub fn new(policy: RetryPolicy, seed: u64) -> Self {
+        let breaker = CircuitBreaker::new(policy.breaker_threshold, policy.breaker_probe_interval);
+        RetryEngine { policy, seed, breaker }
+    }
+
+    /// The engine's policy.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// The shared breaker.
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// The seeded, jittered wait before retry number `attempt` (1-based) of
+    /// the call identified by `call_key`. Pure function of its arguments
+    /// plus the engine seed.
+    pub fn backoff_ms(&self, call_key: u64, attempt: u32) -> u64 {
+        let doublings = attempt.saturating_sub(1).min(20);
+        let exp = self
+            .policy
+            .base_backoff_ms
+            .saturating_mul(1u64 << doublings)
+            .min(self.policy.max_backoff_ms);
+        if self.policy.jitter <= 0.0 || exp == 0 {
+            return exp;
+        }
+        let mut rng = StdRng::seed_from_u64(derive_seed_path(
+            self.seed,
+            &[JITTER_LANE, call_key, u64::from(attempt)],
+        ));
+        let factor = 1.0 - self.policy.jitter.min(1.0) * rng.random::<f64>();
+        ((exp as f64) * factor).round() as u64
+    }
+
+    /// Runs `f` (which receives the attempt index) until it succeeds, the
+    /// retry/deadline budget runs out, or it reports an unretryable error.
+    /// All accounting lands in `report`.
+    pub fn call<T>(
+        &self,
+        call_key: u64,
+        report: &mut FaultReport,
+        mut f: impl FnMut(u64) -> Result<T, ChatError>,
+    ) -> Result<T, ChatError> {
+        report.calls += 1;
+        if !self.breaker.try_pass() {
+            report.breaker_fast_fails += 1;
+            report.failed += 1;
+            return Err(ChatError::Unavailable);
+        }
+        let mut elapsed = 0u64;
+        let mut attempt: u32 = 0;
+        let err = loop {
+            report.attempts += 1;
+            match f(u64::from(attempt)) {
+                Ok(value) => {
+                    report.succeeded += 1;
+                    report.simulated_ms += elapsed + self.policy.attempt_cost_ms;
+                    self.breaker.on_success();
+                    return Ok(value);
+                }
+                Err(e) => {
+                    match e {
+                        ChatError::Transient => {
+                            report.transient += 1;
+                            elapsed += self.policy.attempt_cost_ms;
+                        }
+                        ChatError::Timeout { elapsed_ms } => {
+                            report.timeouts += 1;
+                            elapsed += elapsed_ms;
+                        }
+                        ChatError::RateLimited { .. } => {
+                            report.rate_limited += 1;
+                            elapsed += self.policy.attempt_cost_ms;
+                        }
+                        ChatError::Garbled => {
+                            report.garbled += 1;
+                            elapsed += self.policy.attempt_cost_ms;
+                        }
+                        ChatError::Unavailable => {
+                            // Unretryable by contract: the backend said so.
+                            report.unavailable += 1;
+                            break e;
+                        }
+                    }
+                    attempt += 1;
+                    if attempt >= self.policy.max_attempts {
+                        break e;
+                    }
+                    let mut wait = self.backoff_ms(call_key, attempt);
+                    if let ChatError::RateLimited { retry_after_ms } = e {
+                        wait = wait.max(retry_after_ms);
+                    }
+                    elapsed += wait;
+                    report.backoff_ms += wait;
+                    if elapsed > self.policy.deadline_ms {
+                        report.deadline_exceeded += 1;
+                        break ChatError::Timeout { elapsed_ms: elapsed };
+                    }
+                    report.retries += 1;
+                }
+            }
+        };
+        report.failed += 1;
+        report.simulated_ms += elapsed;
+        if self.breaker.on_failure() {
+            report.breaker_trips += 1;
+        }
+        Err(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> RetryEngine {
+        RetryEngine::new(RetryPolicy::default(), 42)
+    }
+
+    #[test]
+    fn first_try_success_costs_one_attempt() {
+        let e = engine();
+        let mut r = FaultReport::default();
+        let out = e.call(1, &mut r, |_| Ok::<_, ChatError>(7));
+        assert_eq!(out, Ok(7));
+        assert_eq!((r.calls, r.attempts, r.succeeded, r.retries), (1, 1, 1, 0));
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn transient_errors_are_retried_until_success() {
+        let e = engine();
+        let mut r = FaultReport::default();
+        let out =
+            e.call(
+                2,
+                &mut r,
+                |attempt| {
+                    if attempt < 3 {
+                        Err(ChatError::Transient)
+                    } else {
+                        Ok(attempt)
+                    }
+                },
+            );
+        assert_eq!(out, Ok(3));
+        assert_eq!((r.attempts, r.retries, r.transient, r.succeeded), (4, 3, 3, 1));
+        assert!(r.backoff_ms > 0, "retries must consume simulated backoff");
+        assert_eq!(r.failed, 0);
+    }
+
+    #[test]
+    fn unavailable_is_never_retried() {
+        let e = engine();
+        let mut r = FaultReport::default();
+        let out: Result<(), _> = e.call(3, &mut r, |_| Err(ChatError::Unavailable));
+        assert_eq!(out, Err(ChatError::Unavailable));
+        assert_eq!((r.attempts, r.retries, r.failed), (1, 0, 1));
+    }
+
+    #[test]
+    fn retry_budget_is_bounded() {
+        let e = engine();
+        let mut r = FaultReport::default();
+        let out: Result<(), _> = e.call(4, &mut r, |_| Err(ChatError::Transient));
+        assert_eq!(out, Err(ChatError::Transient));
+        assert_eq!(r.attempts, u64::from(e.policy().max_attempts));
+        assert_eq!(r.failed, 1);
+    }
+
+    #[test]
+    fn deadline_abandons_slow_calls() {
+        let policy = RetryPolicy { deadline_ms: 100, ..RetryPolicy::default() };
+        let e = RetryEngine::new(policy, 5);
+        let mut r = FaultReport::default();
+        let out: Result<(), _> = e.call(5, &mut r, |_| Err(ChatError::Timeout { elapsed_ms: 80 }));
+        assert!(matches!(out, Err(ChatError::Timeout { .. })));
+        assert_eq!(r.deadline_exceeded, 1);
+        assert!(r.attempts < u64::from(e.policy().max_attempts));
+    }
+
+    #[test]
+    fn rate_limit_waits_at_least_retry_after() {
+        let e = RetryEngine::new(RetryPolicy { jitter: 0.0, ..RetryPolicy::default() }, 6);
+        let mut r = FaultReport::default();
+        let _ = e.call(6, &mut r, |attempt| {
+            if attempt == 0 {
+                Err(ChatError::RateLimited { retry_after_ms: 5_000 })
+            } else {
+                Ok(())
+            }
+        });
+        assert!(r.backoff_ms >= 5_000, "backoff {} must honour Retry-After", r.backoff_ms);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_grows() {
+        let a = engine();
+        let b = engine();
+        for attempt in 1..8 {
+            assert_eq!(a.backoff_ms(9, attempt), b.backoff_ms(9, attempt));
+        }
+        let early = a.backoff_ms(9, 1);
+        let late = a.backoff_ms(9, 6);
+        assert!(late > early, "backoff must grow: {early} → {late}");
+        assert!(late <= a.policy().max_backoff_ms);
+    }
+
+    #[test]
+    fn breaker_trips_then_probes_then_recovers() {
+        let policy = RetryPolicy {
+            breaker_threshold: 2,
+            breaker_probe_interval: 3,
+            ..RetryPolicy::default()
+        };
+        let e = RetryEngine::new(policy, 7);
+        let mut r = FaultReport::default();
+        // Two outright failures trip the breaker.
+        for _ in 0..2 {
+            let _: Result<(), _> = e.call(1, &mut r, |_| Err(ChatError::Unavailable));
+        }
+        assert!(e.breaker().is_open());
+        assert_eq!(r.breaker_trips, 1);
+        // While open, most calls fast-fail without an attempt...
+        let before = r.attempts;
+        let _: Result<(), _> = e.call(2, &mut r, |_| Ok(()));
+        let _: Result<(), _> = e.call(3, &mut r, |_| Ok(()));
+        assert_eq!(r.attempts, before, "fast-fails must not reach the backend");
+        assert_eq!(r.breaker_fast_fails, 2);
+        // ...until the probe slot comes around; a successful probe closes it.
+        let ok = e.call(4, &mut r, |_| Ok::<_, ChatError>(1));
+        assert_eq!(ok, Ok(1));
+        assert!(!e.breaker().is_open());
+    }
+}

@@ -42,6 +42,73 @@ pub trait ChatModel: Send + Sync {
     }
 }
 
+/// Why a chat call failed at the model boundary. Real backends surface
+/// exactly these classes (connection resets, deadline overruns, 429 bursts,
+/// truncated streams); the simulated fault injector in `pas-fault` produces
+/// them deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChatError {
+    /// Transient transport failure (connection reset, 5xx); retryable.
+    Transient,
+    /// The call exceeded its deadline after `elapsed_ms`.
+    Timeout {
+        /// Milliseconds spent before the deadline fired.
+        elapsed_ms: u64,
+    },
+    /// The backend asked us to back off for `retry_after_ms`.
+    RateLimited {
+        /// Backend-suggested wait before retrying.
+        retry_after_ms: u64,
+    },
+    /// A response arrived but was truncated or garbled; retryable.
+    Garbled,
+    /// The backend is down and retrying is pointless (circuit open,
+    /// permanent outage). Callers must degrade, not retry.
+    Unavailable,
+}
+
+impl std::fmt::Display for ChatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChatError::Transient => write!(f, "transient backend error"),
+            ChatError::Timeout { elapsed_ms } => write!(f, "call timed out after {elapsed_ms}ms"),
+            ChatError::RateLimited { retry_after_ms } => {
+                write!(f, "rate limited (retry after {retry_after_ms}ms)")
+            }
+            ChatError::Garbled => write!(f, "truncated or garbled completion"),
+            ChatError::Unavailable => write!(f, "backend unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for ChatError {}
+
+/// The *fallible* chat boundary: what a production client actually sees.
+///
+/// [`ChatModel`] keeps the paper's idealized text-in/text-out contract;
+/// `TryChatModel` is the same boundary with failure made explicit. Every
+/// infallible model is trivially a `TryChatModel` (blanket impl below), and
+/// the fault-tolerance layer (`pas-fault`) both produces implementations
+/// that fail (the injector) and consumes them (retry/backoff wrappers).
+pub trait TryChatModel: Send + Sync {
+    /// Stable model identifier.
+    fn name(&self) -> &str;
+
+    /// Produces a response to `input`, or a [`ChatError`].
+    fn try_chat(&self, input: &str) -> Result<String, ChatError>;
+}
+
+/// Every infallible [`ChatModel`] is a [`TryChatModel`] that never fails.
+impl<T: ChatModel> TryChatModel for T {
+    fn name(&self) -> &str {
+        ChatModel::name(self)
+    }
+
+    fn try_chat(&self, input: &str) -> Result<String, ChatError> {
+        Ok(self.chat(input))
+    }
+}
+
 /// Blanket implementation so `Box<dyn ChatModel>` and `&T` compose.
 impl<T: ChatModel + ?Sized> ChatModel for &T {
     fn name(&self) -> &str {
@@ -90,8 +157,21 @@ mod tests {
     #[test]
     fn trait_objects_compose() {
         let boxed: Box<dyn ChatModel> = Box::new(Echo);
-        assert_eq!(boxed.name(), "echo");
+        assert_eq!(ChatModel::name(&boxed), "echo");
         let by_ref: &dyn ChatModel = &Echo;
         assert!(by_ref.chat("x").contains('x'));
+    }
+
+    #[test]
+    fn infallible_models_are_trivially_fallible() {
+        assert_eq!(Echo.try_chat("hi").as_deref(), Ok("you said: hi"));
+        assert_eq!(TryChatModel::name(&Echo), "echo");
+    }
+
+    #[test]
+    fn chat_errors_render() {
+        assert!(ChatError::Timeout { elapsed_ms: 40 }.to_string().contains("40ms"));
+        assert!(ChatError::RateLimited { retry_after_ms: 9 }.to_string().contains("9ms"));
+        assert!(!ChatError::Unavailable.to_string().is_empty());
     }
 }

@@ -30,10 +30,10 @@ pub mod simllm;
 pub mod teacher;
 pub mod world;
 
-pub use chat::{ChatModel, TokenUsage};
+pub use chat::{ChatError, ChatModel, TokenUsage, TryChatModel};
 pub use critic::{Critic, CriticConfig, CriticVerdict};
 pub use profile::ModelProfile;
 pub use registry::ModelRegistry;
 pub use simllm::SimLlm;
-pub use teacher::{FlawKind, Teacher, TeacherConfig};
+pub use teacher::{FlawKind, GeneratedComplement, Teacher, TeacherConfig};
 pub use world::{Aspect, AspectSet, Category, PromptMeta, World};

@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 use crate::layers::Linear;
 use crate::loss::{bce_with_logits, sigmoid, softmax, softmax_cross_entropy};
 use crate::matrix::Matrix;
-use crate::optim::{Adam, AdamConfig};
+use crate::optim::{Adam, AdamConfig, AdamState};
 
 /// Shared training parameters.
 #[derive(Debug, Clone)]
@@ -134,6 +134,26 @@ impl SoftmaxClassifier {
     }
 }
 
+/// A completed-epoch snapshot of an in-progress [`MultiLabelClassifier`]
+/// training run: model weights, optimizer moments, and the shuffling RNG
+/// state. Feeding it back into
+/// [`MultiLabelClassifier::train_resumable`] continues training
+/// bit-identically to a run that was never interrupted — every remaining
+/// shuffle, gradient, and Adam update replays exactly.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SftCheckpoint {
+    /// Epochs fully completed.
+    pub epochs_done: usize,
+    /// Model weights after `epochs_done` epochs.
+    pub model: MultiLabelClassifier,
+    /// Optimizer state after `epochs_done` epochs.
+    pub adam: AdamState,
+    /// Shuffling-RNG state after `epochs_done` epochs.
+    pub rng: [u64; 4],
+    /// Mean loss of the last completed epoch.
+    pub last_epoch_loss: f32,
+}
+
 /// Multi-label linear classifier with independent sigmoids.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MultiLabelClassifier {
@@ -167,15 +187,58 @@ impl MultiLabelClassifier {
         targets: &[Vec<f32>],
         params: &TrainParams,
     ) -> f32 {
+        self.train_resumable(features, targets, params, None, None)
+    }
+
+    /// [`MultiLabelClassifier::train`] with checkpoint/resume.
+    ///
+    /// With `resume`, training restarts *after* the checkpoint's completed
+    /// epoch: weights, Adam moments, and the shuffle RNG are restored, so
+    /// the remaining epochs replay bit-identically to an uninterrupted run.
+    /// `on_epoch` (if given) receives a [`SftCheckpoint`] after every
+    /// completed epoch — commit it to a journal to make the run killable.
+    /// The fresh-start path consumes RNG and optimizer state in exactly the
+    /// order [`MultiLabelClassifier::train`] always has, so existing
+    /// seed-pinned results are unchanged.
+    pub fn train_resumable(
+        &mut self,
+        features: &[Vec<f32>],
+        targets: &[Vec<f32>],
+        params: &TrainParams,
+        resume: Option<SftCheckpoint>,
+        mut on_epoch: Option<&mut dyn FnMut(&SftCheckpoint)>,
+    ) -> f32 {
         assert_eq!(features.len(), targets.len(), "features/targets length mismatch");
         if features.is_empty() {
             return 0.0;
         }
+        let adam_config = AdamConfig { lr: params.lr, ..AdamConfig::default() };
+        let (mut rng, mut adam, start_epoch, mut epoch_loss) = match resume {
+            None => (StdRng::seed_from_u64(params.seed), Adam::new(adam_config), 0, 0.0),
+            Some(cp) => {
+                assert_eq!(
+                    cp.model.feature_dim(),
+                    self.feature_dim(),
+                    "checkpoint feature_dim mismatch"
+                );
+                assert_eq!(cp.model.label_count(), self.labels, "checkpoint label count mismatch");
+                assert!(
+                    cp.epochs_done <= params.epochs,
+                    "checkpoint has more epochs ({}) than requested ({})",
+                    cp.epochs_done,
+                    params.epochs
+                );
+                *self = cp.model;
+                (
+                    StdRng::from_state(cp.rng),
+                    Adam::restore(adam_config, cp.adam),
+                    cp.epochs_done,
+                    cp.last_epoch_loss,
+                )
+            }
+        };
         let dim = self.feature_dim();
-        let mut rng = StdRng::seed_from_u64(params.seed);
-        let mut adam = Adam::new(AdamConfig { lr: params.lr, ..AdamConfig::default() });
-        let mut epoch_loss = 0.0;
-        for _ in 0..params.epochs {
+        for epoch in start_epoch..params.epochs {
             let mut total = 0.0f32;
             let mut count = 0usize;
             for batch in batches(features.len(), params.batch_size, &mut rng) {
@@ -195,6 +258,15 @@ impl MultiLabelClassifier {
                 count += batch.len();
             }
             epoch_loss = total / count as f32;
+            if let Some(cb) = on_epoch.as_deref_mut() {
+                cb(&SftCheckpoint {
+                    epochs_done: epoch + 1,
+                    model: self.clone(),
+                    adam: adam.state(),
+                    rng: rng.state(),
+                    last_epoch_loss: epoch_loss,
+                });
+            }
         }
         epoch_loss
     }
@@ -295,6 +367,87 @@ mod tests {
         clf.train(&xs, &ts, &TrainParams { epochs: 30, ..TrainParams::default() });
         let f1 = clf.micro_f1(&xs, &ts, 0.5);
         assert!(f1 > 0.95, "micro-F1 {f1}");
+    }
+
+    /// Toy multi-label set shared by the resume tests.
+    fn toy_multilabel(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ts = Vec::new();
+        for _ in 0..n {
+            let v: Vec<f32> =
+                (0..4).map(|_| if rng.random::<f32>() > 0.5 { 1.0 } else { 0.0 }).collect();
+            ts.push(v.clone());
+            xs.push(v);
+        }
+        (xs, ts)
+    }
+
+    #[test]
+    fn resumable_matches_plain_train_bit_for_bit() {
+        let (xs, ts) = toy_multilabel(200, 31);
+        let params = TrainParams { epochs: 10, ..TrainParams::default() };
+        let mut plain = MultiLabelClassifier::new(4, 4, 5);
+        let plain_loss = plain.train(&xs, &ts, &params);
+        let mut observed = MultiLabelClassifier::new(4, 4, 5);
+        let mut checkpoints: Vec<SftCheckpoint> = Vec::new();
+        let mut record = |cp: &SftCheckpoint| checkpoints.push(cp.clone());
+        let observed_loss = observed.train_resumable(&xs, &ts, &params, None, Some(&mut record));
+        assert_eq!(plain_loss.to_bits(), observed_loss.to_bits());
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&observed).unwrap(),
+            "checkpoint callback must not perturb training"
+        );
+        assert_eq!(checkpoints.len(), params.epochs);
+        assert_eq!(checkpoints.last().unwrap().epochs_done, params.epochs);
+    }
+
+    #[test]
+    fn resuming_mid_run_reproduces_the_uninterrupted_model() {
+        let (xs, ts) = toy_multilabel(200, 32);
+        let params = TrainParams { epochs: 12, ..TrainParams::default() };
+        let mut uninterrupted = MultiLabelClassifier::new(4, 4, 6);
+        let full_loss = uninterrupted.train(&xs, &ts, &params);
+        // "Kill" the run after epoch 5: keep only that checkpoint.
+        let mut killed = MultiLabelClassifier::new(4, 4, 6);
+        let mut at_five: Option<SftCheckpoint> = None;
+        let mut grab = |cp: &SftCheckpoint| {
+            if cp.epochs_done == 5 {
+                at_five = Some(cp.clone());
+            }
+        };
+        killed.train_resumable(&xs, &ts, &params, None, Some(&mut grab));
+        let checkpoint = at_five.expect("epoch 5 checkpoint");
+        // Round-trip through JSON, as a journal would store it.
+        let thawed: SftCheckpoint =
+            serde_json::from_str(&serde_json::to_string(&checkpoint).unwrap()).unwrap();
+        let mut resumed = MultiLabelClassifier::new(4, 4, 6);
+        let resumed_loss = resumed.train_resumable(&xs, &ts, &params, Some(thawed), None);
+        assert_eq!(full_loss.to_bits(), resumed_loss.to_bits());
+        assert_eq!(
+            serde_json::to_string(&uninterrupted).unwrap(),
+            serde_json::to_string(&resumed).unwrap(),
+            "resumed weights must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn resume_from_final_epoch_is_a_noop() {
+        let (xs, ts) = toy_multilabel(100, 33);
+        let params = TrainParams { epochs: 6, ..TrainParams::default() };
+        let mut trained = MultiLabelClassifier::new(4, 4, 7);
+        let mut last: Option<SftCheckpoint> = None;
+        let mut grab = |cp: &SftCheckpoint| last = Some(cp.clone());
+        let loss = trained.train_resumable(&xs, &ts, &params, None, Some(&mut grab));
+        let cp = last.unwrap();
+        let mut resumed = MultiLabelClassifier::new(4, 4, 7);
+        let resumed_loss = resumed.train_resumable(&xs, &ts, &params, Some(cp), None);
+        assert_eq!(loss.to_bits(), resumed_loss.to_bits());
+        assert_eq!(
+            serde_json::to_string(&trained).unwrap(),
+            serde_json::to_string(&resumed).unwrap()
+        );
     }
 
     #[test]

@@ -28,12 +28,12 @@ pub mod matrix;
 pub mod optim;
 
 pub use attn::{AttnLm, AttnLmConfig};
-pub use classifier::{MultiLabelClassifier, SoftmaxClassifier, TrainParams};
+pub use classifier::{MultiLabelClassifier, SftCheckpoint, SoftmaxClassifier, TrainParams};
 pub use layers::{Embedding, Linear};
 pub use lm::{FfnLm, GenerateConfig, LmConfig};
 pub use loss::{bce_with_logits, softmax_cross_entropy};
 pub use matrix::Matrix;
-pub use optim::{Adam, AdamConfig, Sgd};
+pub use optim::{Adam, AdamConfig, AdamState, Sgd};
 
 #[cfg(test)]
 mod tests {

@@ -72,6 +72,16 @@ pub fn rng_for(base: u64, index: u64) -> StdRng {
     StdRng::seed_from_u64(derive_seed(base, index))
 }
 
+/// Derives a seed for a *nested* stream: [`derive_seed`] folded over a
+/// coordinate path, e.g. `(stream, call, attempt)`. Used wherever one item
+/// owns a whole family of independent draws (the fault-injection layer keys
+/// its schedule on `(base, stream, call, attempt)` this way), so every
+/// coordinate combination sees a statistically independent stream that is
+/// still a pure function of its path.
+pub fn derive_seed_path(base: u64, path: &[u64]) -> u64 {
+    path.iter().fold(base, |acc, &p| derive_seed(acc, p))
+}
+
 /// Maps `f` over `items` in parallel, returning results in item order.
 ///
 /// `f` receives `(index, &item)`. Results are identical to the serial
@@ -216,6 +226,20 @@ mod tests {
             })
         };
         assert_eq!(run(8), run(1));
+    }
+
+    #[test]
+    fn derive_seed_path_folds_derive_seed() {
+        assert_eq!(derive_seed_path(7, &[]), 7);
+        assert_eq!(derive_seed_path(7, &[3]), derive_seed(7, 3));
+        assert_eq!(derive_seed_path(7, &[3, 9]), derive_seed(derive_seed(7, 3), 9));
+        // Distinct paths land on distinct seeds.
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..20u64 {
+            for b in 0..20u64 {
+                assert!(seen.insert(derive_seed_path(1, &[a, b])), "collision at ({a}, {b})");
+            }
+        }
     }
 
     #[test]

@@ -2,30 +2,56 @@
 //!
 //! ```text
 //! pas-cli build   [--corpus-size N] [--seed S] [--dataset out.jsonl] [--model out.json]
+//!                 [--fault-profile NAME] [--fault-seed S] [--resume journal.jsonl]
 //! pas-cli augment --model pas.json [--prompt "…"]          # or prompts on stdin
 //! pas-cli stats   --dataset data.jsonl                      # Figure 6 distribution
 //! pas-cli eval    --model pas.json [--items N] [--seed S]   # quick Arena-style check
+//!                 [--fault-profile NAME] [--fault-seed S]   # …under serve-time faults
 //! ```
+//!
+//! Pipeline failures (including panics from deep inside a stage) exit
+//! non-zero with an error message — the CLI never reports success for a
+//! build that did not finish.
 
 use std::collections::HashMap;
 use std::io::BufRead;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-use pas::core::{NoOptimizer, Pas, PasSystem, PromptOptimizer, SystemConfig};
+use pas::core::{
+    BuildOptions, DegradingServer, NoOptimizer, Pas, PasSystem, PromptOptimizer, SystemConfig,
+};
 use pas::data::{CorpusConfig, DatasetStats, PairDataset};
 use pas::eval::harness::evaluate_suite;
 use pas::eval::judge::Judge;
 use pas::eval::suite::{EvalEnv, EvalEnvConfig};
+use pas::fault::{FaultConfig, FaultProfile};
 use pas::llm::SimLlm;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // A panic anywhere in the pipeline must become a clean non-zero exit,
+    // not an ambiguous abort: scripts and CI gate on the exit code.
+    match catch_unwind(AssertUnwindSafe(|| run(&args))) {
+        Ok(Ok(())) => ExitCode::SUCCESS,
+        Ok(Err(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+        Err(_) => {
+            eprintln!("error: the pipeline panicked (details above)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
     let Some(command) = args.first() else {
-        eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
+        return Err(USAGE.to_string());
     };
     let flags = parse_flags(&args[1..]);
-    let result = match command.as_str() {
+    match command.as_str() {
         "build" => cmd_build(&flags),
         "augment" => cmd_augment(&flags),
         "stats" => cmd_stats(&flags),
@@ -35,21 +61,18 @@ fn main() -> ExitCode {
             Ok(())
         }
         other => Err(format!("unknown command '{other}'\n{USAGE}")),
-    };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
-        }
     }
 }
 
 const USAGE: &str = "usage:
   pas-cli build   [--corpus-size N] [--seed S] [--dataset FILE] [--model FILE]
+                  [--fault-profile NAME] [--fault-seed S] [--resume JOURNAL]
   pas-cli augment --model FILE [--prompt TEXT]
   pas-cli stats   --dataset FILE
-  pas-cli eval    --model FILE [--items N] [--seed S]";
+  pas-cli eval    --model FILE [--items N] [--seed S]
+                  [--fault-profile NAME] [--fault-seed S]
+
+fault profiles: none, transient, bursty, chaos, outage";
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut flags = HashMap::new();
@@ -81,14 +104,37 @@ fn u64_flag(flags: &HashMap<String, String>, name: &str, default: u64) -> Result
     }
 }
 
+/// `--fault-profile NAME [--fault-seed S]` → a fault configuration, or
+/// `None` when no profile was requested.
+fn fault_config(flags: &HashMap<String, String>) -> Result<Option<FaultConfig>, String> {
+    let Some(name) = flags.get("fault-profile") else {
+        return Ok(None);
+    };
+    let profile = FaultProfile::named(name).ok_or_else(|| {
+        format!("unknown fault profile '{name}' (known: {})", FaultProfile::NAMES.join(", "))
+    })?;
+    let mut config = FaultConfig { profile, ..FaultConfig::default() };
+    config.seed = u64_flag(flags, "fault-seed", config.seed)?;
+    Ok(Some(config))
+}
+
 fn cmd_build(flags: &HashMap<String, String>) -> Result<(), String> {
     let size = usize_flag(flags, "corpus-size", 4000)?;
     let seed = u64_flag(flags, "seed", 42)?;
     eprintln!("building PAS from a {size}-prompt corpus (seed {seed})…");
-    let system = PasSystem::build(&SystemConfig {
+    let mut config = SystemConfig {
         corpus: CorpusConfig { size, seed, ..CorpusConfig::default() },
         ..SystemConfig::default()
-    });
+    };
+    if let Some(fault) = fault_config(flags)? {
+        eprintln!("fault profile '{}' (seed {:#x})", fault.profile.name, fault.seed);
+        config.generation.fault = fault;
+    }
+    let options = BuildOptions { journal: flags.get("resume").map(PathBuf::from) };
+    if let Some(path) = &options.journal {
+        eprintln!("checkpoint journal: {}", path.display());
+    }
+    let system = PasSystem::try_build(&config, &options).map_err(|e| e.to_string())?;
     eprintln!(
         "selection {} → {} → {}; generated {} pairs ({} regenerations); SFT loss {:.4}",
         system.selection_report.input,
@@ -98,6 +144,15 @@ fn cmd_build(flags: &HashMap<String, String>) -> Result<(), String> {
         system.generation_report.regenerations,
         system.sft_loss,
     );
+    if !system.fault_report.is_clean() {
+        eprintln!(
+            "fault layer: {} faults absorbed over {} calls ({} retries, {} failed)",
+            system.fault_report.total_faults(),
+            system.fault_report.calls,
+            system.fault_report.retries,
+            system.fault_report.failed,
+        );
+    }
     if let Some(path) = flags.get("dataset") {
         system.dataset.save_jsonl_path(path).map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("dataset → {path}");
@@ -155,7 +210,24 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
     let model = SimLlm::named("gpt-4-0613", env.world.clone());
     let reference = SimLlm::named(&env.arena.reference_model, env.world.clone());
     let baseline = evaluate_suite(&model, &NoOptimizer, &env.arena, &reference, &judge);
-    let with_pas = evaluate_suite(&model, &pas, &env.arena, &reference, &judge);
+    let with_pas = match fault_config(flags)? {
+        // Serve through the degrading boundary: faults are absorbed and a
+        // hard outage falls back to the bare prompt instead of erroring.
+        Some(fault) => {
+            let server = DegradingServer::new(pas, &fault);
+            let score = evaluate_suite(&model, &server, &env.arena, &reference, &judge);
+            let report = server.fault_report();
+            eprintln!(
+                "fault profile '{}': {} faults absorbed, {} of {} requests degraded to passthrough",
+                fault.profile.name,
+                report.total_faults(),
+                report.degraded,
+                items,
+            );
+            score
+        }
+        None => evaluate_suite(&model, &pas, &env.arena, &reference, &judge),
+    };
     println!(
         "Arena-style check on {} items (gpt-4-0613): baseline {:.2} → with PAS {:.2} ({:+.2})",
         items,

@@ -12,6 +12,9 @@
 //! - [`eval`] — Arena-Hard / AlpacaEval 2.0 / AlpacaEval 2.0 (LC) harnesses,
 //!   judge models, the human-evaluation panel and experiment runners.
 //! - [`baselines`] — BPO, PPO/DPO surrogates, OPRO, ProTeGi and zero-shot CoT.
+//! - [`fault`] — fault-tolerant runtime: deterministic fault injection,
+//!   retry/backoff with circuit breaking, checkpoint journals, and the
+//!   degraded-mode accounting the serve path uses.
 //! - substrates: [`text`], [`tokenizer`], [`embed`], [`ann`], [`nn`].
 
 pub use pas_ann as ann;
@@ -20,6 +23,7 @@ pub use pas_core as core;
 pub use pas_data as data;
 pub use pas_embed as embed;
 pub use pas_eval as eval;
+pub use pas_fault as fault;
 pub use pas_llm as llm;
 pub use pas_nn as nn;
 pub use pas_text as text;

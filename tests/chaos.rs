@@ -1,0 +1,207 @@
+//! The fault-tolerance contract, enforced end-to-end (DESIGN.md §7):
+//!
+//! 1. **Fault invisibility** — any fault schedule with eventual success
+//!    produces a dataset, reports, and trained model bit-identical to the
+//!    fault-free run, at `--threads 1` and `--threads 8` alike.
+//! 2. **Kill-and-resume** — a run killed mid-generation or mid-SFT and
+//!    resumed from its checkpoint journal (even with a torn final line)
+//!    finishes bit-identically to an uninterrupted run.
+//! 3. **Graceful degradation** — a permanent `M_p` outage at serve time
+//!    degrades to passthrough (the bare prompt) with every degradation
+//!    counted; it never fails a request.
+//!
+//! Properties 1–2 live in one test function because the thread count is
+//! process-global and the harness runs tests concurrently (same pattern as
+//! `tests/parallel_determinism.rs`).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use pas::core::{
+    BuildOptions, DegradingServer, NoOptimizer, Pas, PasConfig, PasSystem, SystemConfig,
+};
+use pas::data::{Corpus, CorpusConfig, GenConfig, Generator, SelectionConfig, SelectionPipeline};
+use pas::eval::harness::evaluate_suite;
+use pas::eval::judge::Judge;
+use pas::eval::suite::{EvalEnv, EvalEnvConfig};
+use pas::fault::{FaultConfig, FaultProfile, Journal};
+use pas::llm::SimLlm;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pas-chaos-{}-{name}.jsonl", std::process::id()))
+}
+
+fn small_config(fault_profile: FaultProfile) -> SystemConfig {
+    SystemConfig {
+        corpus: CorpusConfig { size: 350, seed: 11, ..CorpusConfig::default() },
+        selection: SelectionConfig { labeled_size: 500, ..SelectionConfig::default() },
+        generation: GenConfig {
+            fault: FaultConfig { profile: fault_profile, ..FaultConfig::default() },
+            ..GenConfig::default()
+        },
+        pas: PasConfig::default(),
+    }
+}
+
+/// Everything a build run produces, flattened to comparable bits.
+#[derive(Debug, PartialEq)]
+struct BuildOutcome {
+    pairs: Vec<(String, String)>,
+    generation_report: String,
+    sft_loss: u32,
+    model_json: String,
+}
+
+fn build_outcome(profile: FaultProfile, threads: usize) -> (BuildOutcome, pas::fault::FaultReport) {
+    pas_par::with_threads(threads, || {
+        let system = PasSystem::try_build(&small_config(profile), &BuildOptions::default())
+            .expect("eventual-success profiles must never fail the build");
+        let outcome = BuildOutcome {
+            pairs: system
+                .dataset
+                .pairs
+                .iter()
+                .map(|p| (p.prompt.clone(), p.complement.clone()))
+                .collect(),
+            generation_report: format!("{:?}", system.generation_report),
+            sft_loss: system.sft_loss.to_bits(),
+            model_json: serde_json::to_string(&system.pas).expect("model serializes"),
+        };
+        (outcome, system.fault_report)
+    })
+}
+
+#[test]
+fn eventual_success_faults_and_kills_are_invisible() {
+    // ── Property 1: fault invisibility across thread counts ──────────────
+    let (clean, clean_faults) = build_outcome(FaultProfile::none(), 1);
+    let (chaos_serial, faults_serial) = build_outcome(FaultProfile::chaos(), 1);
+    let (chaos_parallel, faults_parallel) = build_outcome(FaultProfile::chaos(), 8);
+
+    assert!(clean_faults.is_clean(), "clean profile must inject nothing: {clean_faults:?}");
+    assert!(faults_serial.total_faults() > 0, "chaos must actually inject faults");
+    assert_eq!(faults_serial.failed, 0, "chaos (eventual success) must never fail a call");
+    assert!(faults_serial.retries > 0, "absorbed faults imply retries");
+    assert_eq!(
+        faults_serial, faults_parallel,
+        "the fault schedule itself must be thread-invariant"
+    );
+    assert_eq!(clean, chaos_serial, "a chaos build must be bit-identical to the clean build");
+    assert_eq!(clean, chaos_parallel, "…at any thread count");
+    assert!(clean.pairs.len() > 100, "degenerate pipeline: {} pairs", clean.pairs.len());
+
+    // ── Property 2a: kill-and-resume for Algorithm 1 generation ──────────
+    let config = small_config(FaultProfile::bursty());
+    let corpus = Corpus::generate(&config.corpus);
+    let world = Arc::new(corpus.world.clone());
+    let (selected, _) = SelectionPipeline::new(config.selection.clone()).run(&corpus.records);
+    let generator = Generator::new(config.generation.clone(), Arc::clone(&world));
+    let fingerprint = PasSystem::config_fingerprint(&config);
+
+    let (full_dataset, full_report, full_faults) =
+        generator.try_run(&selected).expect("bursty profile eventually succeeds");
+
+    // "Kill" a journaled run after 40% of the prompts: running the prefix
+    // commits exactly the pairs a process dying at that point would have.
+    let path = tmp("genpipe");
+    let _ = std::fs::remove_file(&path);
+    let killed_after = 2 * selected.len() / 5;
+    {
+        let journal = Journal::open(&path, fingerprint).expect("fresh journal opens");
+        generator
+            .try_run_journaled(&selected[..killed_after], Some(&journal))
+            .expect("prefix run succeeds");
+        assert_eq!(journal.len(), killed_after, "one committed entry per finished pair");
+    }
+    // A real crash can also tear the final line mid-write; the reopened
+    // journal must drop it and recompute only that pair.
+    {
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        write!(file, "{{\"key\":\"pair:{killed_after}\",\"payl").unwrap();
+    }
+    let journal = Journal::open(&path, fingerprint).expect("journal survives a torn final line");
+    assert_eq!(journal.preloaded(), killed_after, "torn line must be dropped, not kept");
+    let (resumed_dataset, resumed_report, resumed_faults) =
+        generator.try_run_journaled(&selected, Some(&journal)).expect("resumed run succeeds");
+    assert_eq!(
+        resumed_dataset.pairs, full_dataset.pairs,
+        "resumed dataset must equal the uninterrupted one"
+    );
+    assert_eq!(resumed_report, full_report);
+    assert_eq!(resumed_faults, full_faults, "replayed pairs must replay their fault accounting");
+    let _ = std::fs::remove_file(&path);
+
+    // ── Property 2b: kill-and-resume for SFT epochs ──────────────────────
+    let pas_config = config.pas.clone();
+    let (uninterrupted, full_loss) = Pas::sft(&pas_config, &full_dataset);
+
+    let path = tmp("sft");
+    let _ = std::fs::remove_file(&path);
+    {
+        // "Kill" after 5 of the configured epochs by training a 5-epoch run
+        // against the same journal: it commits sft:1..=sft:5 and dies.
+        let journal = Journal::open(&path, fingerprint).expect("fresh journal opens");
+        let mut short = pas_config.clone();
+        short.trainer.epochs = 5;
+        Pas::sft_with_journal(&short, &full_dataset, Some(&journal)).expect("short run trains");
+        assert_eq!(journal.len(), 5);
+    }
+    let journal = Journal::open(&path, fingerprint).expect("journal reopens");
+    assert_eq!(journal.preloaded(), 5);
+    let (resumed, resumed_loss) =
+        Pas::sft_with_journal(&pas_config, &full_dataset, Some(&journal)).expect("resume trains");
+    assert_eq!(
+        serde_json::to_string(&resumed).unwrap(),
+        serde_json::to_string(&uninterrupted).unwrap(),
+        "SFT resumed from epoch 5 must reproduce the uninterrupted model bit-for-bit"
+    );
+    assert_eq!(resumed_loss.to_bits(), full_loss.to_bits());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn permanent_outage_degrades_to_passthrough_and_chaos_serving_is_exact() {
+    let env = EvalEnv::build(&EvalEnvConfig { arena_items: 60, alpaca_items: 10, seed: 0x0a7 });
+    let judge = Judge::default();
+    let model = SimLlm::named("gpt-4-0613", env.world.clone());
+    let reference = SimLlm::named(&env.arena.reference_model, env.world.clone());
+
+    let system =
+        PasSystem::try_build(&small_config(FaultProfile::none()), &BuildOptions::default())
+            .expect("clean build succeeds");
+
+    // A permanently unreachable M_p: serving must fall back to the bare
+    // prompt for every request — bit-identical to running no optimizer at
+    // all — and count each degradation rather than surface an error.
+    let outage = FaultConfig { profile: FaultProfile::outage(), ..FaultConfig::default() };
+    let down = DegradingServer::new(system.pas.clone(), &outage);
+    let degraded_score = evaluate_suite(&model, &down, &env.arena, &reference, &judge);
+    let baseline = evaluate_suite(&model, &NoOptimizer, &env.arena, &reference, &judge);
+    assert_eq!(
+        degraded_score.win_rate.to_bits(),
+        baseline.win_rate.to_bits(),
+        "degraded serving must equal the no-optimizer baseline: {} vs {}",
+        degraded_score.win_rate,
+        baseline.win_rate
+    );
+    let report = down.fault_report();
+    assert_eq!(report.degraded as usize, degraded_score.items, "every request degrades");
+    assert!(report.breaker_trips >= 1, "a hard outage must trip the circuit breaker");
+
+    // A chaotic-but-recovering M_p: serving must be bit-identical to the
+    // healthy optimizer, with zero degradations.
+    let chaos = FaultConfig { profile: FaultProfile::chaos(), ..FaultConfig::default() };
+    let flaky = DegradingServer::new(system.pas.clone(), &chaos);
+    let flaky_score = evaluate_suite(&model, &flaky, &env.arena, &reference, &judge);
+    let healthy_score = evaluate_suite(&model, &system.pas, &env.arena, &reference, &judge);
+    assert_eq!(flaky_score.win_rate.to_bits(), healthy_score.win_rate.to_bits());
+    let flaky_report = flaky.fault_report();
+    assert_eq!(flaky_report.degraded, 0, "eventual-success faults must never degrade");
+    assert!(flaky_report.total_faults() > 0, "chaos must actually inject at serve time");
+    // Non-vacuity: the healthy optimizer really transforms prompts, so
+    // "degraded == baseline" and "flaky == healthy" compare different paths.
+    use pas::core::PromptOptimizer;
+    let probe = &env.arena.items[0].prompt;
+    assert_ne!(&system.pas.optimize(probe), probe, "PAS must augment, not pass through");
+}

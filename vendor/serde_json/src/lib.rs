@@ -252,14 +252,28 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so valid).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
-                        .map_err(|_| Error::new("invalid utf-8 in string"))?;
-                    let c = s.chars().next().expect("non-empty by peek");
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Consume one UTF-8 scalar. Validate only this scalar's
+                    // bytes — validating the whole remaining input per char
+                    // would make string parsing quadratic (journal resume
+                    // reads multi-hundred-KB checkpoint payloads).
+                    let width = match b {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let scalar = self
+                        .bytes
+                        .get(self.pos..self.pos + width)
+                        .and_then(|chunk| std::str::from_utf8(chunk).ok())
+                        .ok_or_else(|| Error::new("invalid utf-8 in string"))?;
+                    let c = scalar.chars().next().expect("non-empty by width");
                     out.push(c);
-                    self.pos += c.len_utf8();
+                    self.pos += width;
                 }
             }
         }
