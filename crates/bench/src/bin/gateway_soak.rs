@@ -1,0 +1,97 @@
+//! Gateway soak harness: a seeded open-loop load test against a real
+//! (quick-scale) PAS complement model, printing the full mergeable
+//! `GatewayReport` as JSON on stdout and a human summary on stderr.
+//!
+//! ```text
+//! gateway_soak [--requests N] [--universe N] [--zipf S] [--near-dup F]
+//!              [--replicas N] [--cache-capacity N] [--tau F] [--shards N]
+//!              [--fault-profile NAME] [--seed S] [--threads N]
+//! ```
+//!
+//! With `--shards N` the workload is split into N contiguous shards, each
+//! served by its own gateway (a fleet of cold caches), and the per-shard
+//! reports are folded with `GatewayReport::merge` — the aggregation path a
+//! real fleet's metric collector would use. Everything is deterministic:
+//! the same flags produce the same JSON on any machine at any thread
+//! count (clean and eventual-success profiles).
+
+use pas_core::{BuildOptions, PasSystem, SystemConfig};
+use pas_data::{CorpusConfig, SelectionConfig};
+use pas_fault::{FaultConfig, FaultProfile};
+use pas_gateway::{
+    generate, Gateway, GatewayConfig, GatewayReport, SemanticCacheConfig, WorkloadConfig,
+};
+
+fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    match args.iter().position(|a| a == name) {
+        None => default,
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("{name} requires a value")),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    pas_par::set_threads(flag(&args, "--threads", 0usize));
+
+    let workload = WorkloadConfig {
+        requests: flag(&args, "--requests", 3000usize),
+        universe: flag(&args, "--universe", 150usize),
+        zipf_s: flag(&args, "--zipf", 1.1f64),
+        near_dup_rate: flag(&args, "--near-dup", 0.15f64),
+        seed: flag(&args, "--seed", 0x90a7u64),
+        ..WorkloadConfig::default()
+    };
+    let mut fault = FaultConfig::default();
+    if let Some(i) = args.iter().position(|a| a == "--fault-profile") {
+        let name = args.get(i + 1).expect("--fault-profile requires a name");
+        fault.profile =
+            FaultProfile::named(name).unwrap_or_else(|| panic!("unknown fault profile '{name}'"));
+    }
+    let config = GatewayConfig {
+        replicas: flag(&args, "--replicas", 2usize),
+        fault,
+        cache: SemanticCacheConfig {
+            capacity: flag(&args, "--cache-capacity", 4096usize),
+            tau: flag(&args, "--tau", 0.15f32),
+            ..SemanticCacheConfig::default()
+        },
+        ..GatewayConfig::default()
+    };
+    let shards = flag(&args, "--shards", 1usize).max(1);
+
+    eprintln!(
+        "soaking {} requests (universe {}, zipf {}) through {} shard(s) × {} replica(s), \
+         cache {} τ {}, profile '{}'…",
+        workload.requests,
+        workload.universe,
+        workload.zipf_s,
+        shards,
+        config.replicas,
+        config.cache.capacity,
+        config.cache.tau,
+        config.fault.profile.name,
+    );
+    let system = SystemConfig {
+        corpus: CorpusConfig { size: 350, seed: 11, ..CorpusConfig::default() },
+        selection: SelectionConfig { labeled_size: 500, ..SelectionConfig::default() },
+        ..SystemConfig::default()
+    };
+    let pas = PasSystem::try_build(&system, &BuildOptions::default())
+        .expect("quick-scale build succeeds")
+        .pas;
+
+    let requests = generate(&workload);
+    let chunk = requests.len().div_ceil(shards);
+    let mut fleet = GatewayReport::default();
+    for shard in requests.chunks(chunk.max(1)) {
+        let replicas = (0..config.replicas).map(|_| pas.clone()).collect();
+        let mut gateway = Gateway::new(config.clone(), replicas);
+        let (_, report) = gateway.run(shard);
+        fleet.merge(&report);
+    }
+    eprintln!("{}", fleet.render_summary());
+    println!("{}", serde_json::to_string(&fleet).expect("report serializes"));
+}

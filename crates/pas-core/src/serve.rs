@@ -16,7 +16,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use pas_fault::{streams, FaultConfig, FaultReport, FaultyModel, Resilient};
-use pas_llm::{ChatModel, TryChatModel};
+use pas_llm::{ChatError, ChatModel, TryChatModel};
 
 use crate::optimizer::PromptOptimizer;
 
@@ -89,6 +89,23 @@ impl<O: PromptOptimizer> DegradingServer<O> {
         report.degraded = self.degraded();
         report
     }
+
+    /// True while the boundary's circuit breaker is open — the serve-level
+    /// health signal a replica pool routes around. An open breaker is not
+    /// final: every `breaker_probe_interval`-th call probes the backend, and
+    /// a successful probe closes it again (half-open → closed).
+    pub fn breaker_open(&self) -> bool {
+        self.boundary.engine().breaker().is_open()
+    }
+
+    /// Drives one request through the fault stack *without* the passthrough
+    /// fallback: the augmented prompt on success, the final [`ChatError`]
+    /// when the boundary is exhausted. Callers that own a failover story (a
+    /// replica pool trying the next replica) use this; [`DegradingServer::
+    /// optimize`] is this plus passthrough-and-count on error.
+    pub fn try_optimize(&self, prompt: &str) -> Result<String, ChatError> {
+        self.boundary.try_chat(prompt)
+    }
 }
 
 impl<O: PromptOptimizer> PromptOptimizer for DegradingServer<O> {
@@ -99,7 +116,7 @@ impl<O: PromptOptimizer> PromptOptimizer for DegradingServer<O> {
     /// The plug-and-play guarantee: the optimizer's output when the
     /// boundary holds, the bare prompt when it doesn't — never an error.
     fn optimize(&self, prompt: &str) -> String {
-        match self.boundary.try_chat(prompt) {
+        match self.try_optimize(prompt) {
             Ok(augmented) => augmented,
             Err(_) => {
                 self.degraded.fetch_add(1, Ordering::Relaxed);
@@ -197,6 +214,20 @@ mod tests {
             report.breaker_fast_fails > 0,
             "open breaker must shed most attempts during an outage"
         );
+    }
+
+    #[test]
+    fn try_optimize_surfaces_the_error_without_degrading() {
+        let healthy = DegradingServer::new(Suffix, &FaultConfig::default());
+        assert_eq!(healthy.try_optimize("x").as_deref(), Ok("x [augmented]"));
+        assert!(!healthy.breaker_open());
+
+        let down = DegradingServer::new(Suffix, &config(FaultProfile::outage()));
+        for _ in 0..10 {
+            assert!(down.try_optimize("x").is_err());
+        }
+        assert_eq!(down.degraded(), 0, "failover callers own the degradation decision");
+        assert!(down.breaker_open(), "a hard outage must open the breaker");
     }
 
     #[test]

@@ -7,31 +7,112 @@
 //! batch embedding scales; misses are computed *outside* any lock (the
 //! inner embedder is pure, so racing computations of the same text agree)
 //! and inserted under a short write lock.
+//!
+//! The cache is **unbounded by default** — exactly the behaviour every
+//! pipeline caller relies on. Serving traffic, where the set of distinct
+//! prompts grows without bound, uses [`EmbeddingCache::bounded`] instead:
+//! a least-recently-used capacity limit with eviction counting. Because the
+//! inner embedder is a pure function of the text, eviction can never change
+//! an answer — a bounded cache returns byte-identical embeddings to the
+//! unbounded one, it just recomputes evicted texts (pinned by proptest in
+//! `tests/properties.rs`). Recency updates on the bounded path take the
+//! write lock, so bounded caches are meant for serial serve loops, not the
+//! parallel batch pipeline.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::RwLock;
 
 use crate::embedder::Embedder;
 
-/// A read-through cache over an [`Embedder`].
+/// Map state behind the lock: values plus (when bounded) LRU bookkeeping.
+///
+/// Recency is a monotone `clock` stamp per entry; `stamps` mirrors
+/// `entries` keyed by stamp so the least-recently-used entry is always the
+/// first stamp. Stamps are unique (the clock only moves forward), so the
+/// `BTreeMap` is a faithful recency queue.
+struct LruState {
+    entries: HashMap<String, (Vec<f32>, u64)>,
+    stamps: BTreeMap<u64, String>,
+    clock: u64,
+}
+
+impl LruState {
+    fn new() -> Self {
+        LruState { entries: HashMap::new(), stamps: BTreeMap::new(), clock: 0 }
+    }
+
+    /// Bumps `text` to most-recently-used. No-op when absent.
+    fn touch(&mut self, text: &str) {
+        let Some((_, stamp)) = self.entries.get_mut(text) else { return };
+        self.stamps.remove(stamp);
+        self.clock += 1;
+        *stamp = self.clock;
+        self.stamps.insert(self.clock, text.to_string());
+    }
+
+    /// Inserts `text` as most-recently-used; returns false when it was
+    /// already present (the existing value is kept, recency untouched —
+    /// matching the unbounded path's `or_insert_with`).
+    fn insert(&mut self, text: &str, value: Vec<f32>) -> bool {
+        if self.entries.contains_key(text) {
+            return false;
+        }
+        self.clock += 1;
+        self.entries.insert(text.to_string(), (value, self.clock));
+        self.stamps.insert(self.clock, text.to_string());
+        true
+    }
+
+    /// Evicts least-recently-used entries until `len ≤ capacity`, returning
+    /// how many were dropped.
+    fn enforce(&mut self, capacity: usize) -> u64 {
+        let mut evicted = 0;
+        while self.entries.len() > capacity {
+            let (&stamp, _) = self.stamps.iter().next().expect("stamps mirror entries");
+            let text = self.stamps.remove(&stamp).expect("stamp present");
+            self.entries.remove(&text);
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// A read-through cache over an [`Embedder`], unbounded by default with an
+/// optional LRU capacity (see [`EmbeddingCache::bounded`]).
 pub struct EmbeddingCache<E> {
     inner: E,
-    map: RwLock<HashMap<String, Vec<f32>>>,
+    map: RwLock<LruState>,
+    /// `None` = unbounded (the pipeline default).
+    capacity: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl<E: Embedder + Sync> EmbeddingCache<E> {
-    /// Wraps `inner` with an empty cache.
+    /// Wraps `inner` with an empty, unbounded cache.
     pub fn new(inner: E) -> Self {
         EmbeddingCache {
             inner,
-            map: RwLock::new(HashMap::new()),
+            map: RwLock::new(LruState::new()),
+            capacity: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
+    }
+
+    /// Wraps `inner` with an empty cache holding at most `capacity` entries
+    /// (least-recently-used eviction).
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero — a cache that can hold nothing is a
+    /// configuration error, not a degenerate mode.
+    pub fn bounded(inner: E, capacity: usize) -> Self {
+        assert!(capacity > 0, "embedding cache capacity must be positive");
+        EmbeddingCache { capacity: Some(capacity), ..EmbeddingCache::new(inner) }
     }
 
     /// The wrapped embedder.
@@ -39,14 +120,19 @@ impl<E: Embedder + Sync> EmbeddingCache<E> {
         &self.inner
     }
 
+    /// The capacity bound, `None` when unbounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
     /// Number of distinct texts cached.
     pub fn len(&self) -> usize {
-        self.map.read().len()
+        self.map.read().entries.len()
     }
 
     /// True when nothing has been cached yet.
     pub fn is_empty(&self) -> bool {
-        self.map.read().is_empty()
+        self.map.read().entries.is_empty()
     }
 
     /// Cache hits served so far.
@@ -58,6 +144,12 @@ impl<E: Embedder + Sync> EmbeddingCache<E> {
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
+
+    /// Entries evicted by the capacity bound so far (always 0 when
+    /// unbounded).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
 }
 
 impl<E: Embedder + Sync> Embedder for EmbeddingCache<E> {
@@ -66,27 +158,67 @@ impl<E: Embedder + Sync> Embedder for EmbeddingCache<E> {
     }
 
     fn embed(&self, text: &str) -> Vec<f32> {
-        if let Some(v) = self.map.read().get(text) {
+        if let Some(capacity) = self.capacity {
+            // Bounded: a hit must refresh recency, so even the hit path
+            // takes the write lock.
+            if let Some(v) = {
+                let mut map = self.map.write();
+                let v = map.entries.get(text).map(|(v, _)| v.clone());
+                if v.is_some() {
+                    map.touch(text);
+                }
+                v
+            } {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return v;
+            }
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let v = self.inner.embed(text);
+            let mut map = self.map.write();
+            map.insert(text, v.clone());
+            let evicted = map.enforce(capacity);
+            drop(map);
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            return v;
+        }
+        if let Some((v, _)) = self.map.read().entries.get(text) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return v.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let v = self.inner.embed(text);
-        self.map.write().entry(text.to_string()).or_insert_with(|| v.clone());
+        let mut map = self.map.write();
+        if !map.entries.contains_key(text) {
+            map.insert(text, v.clone());
+        }
         v
     }
 
     /// Batch embed: cached texts are served from the map; misses are
     /// computed in parallel through `pas_par` (deterministic because the
-    /// inner embedder is a pure function of the text).
+    /// inner embedder is a pure function of the text). On a bounded cache,
+    /// hit recencies are refreshed in item order and misses are inserted in
+    /// item order, so eviction order is a pure function of the request
+    /// sequence.
     fn embed_batch(&self, texts: &[&str]) -> Vec<Vec<f32>> {
         let mut out: Vec<Option<Vec<f32>>> = vec![None; texts.len()];
         let mut miss_indices: Vec<usize> = Vec::new();
-        {
+        if self.capacity.is_some() {
+            let mut map = self.map.write();
+            for (i, t) in texts.iter().enumerate() {
+                match map.entries.get(*t).map(|(v, _)| v.clone()) {
+                    Some(v) => {
+                        map.touch(t);
+                        out[i] = Some(v);
+                    }
+                    None => miss_indices.push(i),
+                }
+            }
+        } else {
             let map = self.map.read();
             for (i, t) in texts.iter().enumerate() {
-                match map.get(*t) {
-                    Some(v) => out[i] = Some(v.clone()),
+                match map.entries.get(*t) {
+                    Some((v, _)) => out[i] = Some(v.clone()),
                     None => miss_indices.push(i),
                 }
             }
@@ -99,7 +231,11 @@ impl<E: Embedder + Sync> Embedder for EmbeddingCache<E> {
         {
             let mut map = self.map.write();
             for (&i, v) in miss_indices.iter().zip(&computed) {
-                map.entry(texts[i].to_string()).or_insert_with(|| v.clone());
+                map.insert(texts[i], v.clone());
+            }
+            if let Some(capacity) = self.capacity {
+                let evicted = map.enforce(capacity);
+                self.evictions.fetch_add(evicted, Ordering::Relaxed);
             }
         }
         for (&i, v) in miss_indices.iter().zip(computed) {
@@ -123,6 +259,8 @@ mod tests {
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.capacity(), None);
     }
 
     #[test]
@@ -150,5 +288,54 @@ mod tests {
             })
         };
         assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let cache = EmbeddingCache::bounded(NgramEmbedder::default(), 2);
+        cache.embed("a");
+        cache.embed("b");
+        cache.embed("a"); // refresh "a": "b" is now least recently used
+        cache.embed("c"); // evicts "b"
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!((cache.hits(), cache.misses()), (1, 3));
+        // "a" survived the eviction, "b" did not.
+        cache.embed("a");
+        assert_eq!(cache.hits(), 2);
+        cache.embed("b");
+        assert_eq!(cache.misses(), 4, "evicted text must recompute");
+    }
+
+    #[test]
+    fn bounded_cache_matches_unbounded_values() {
+        let bounded = EmbeddingCache::bounded(NgramEmbedder::default(), 3);
+        let unbounded = EmbeddingCache::new(NgramEmbedder::default());
+        for i in 0..40 {
+            let text = format!("text {}", i % 7);
+            assert_eq!(bounded.embed(&text), unbounded.embed(&text), "{text}");
+            assert!(bounded.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn bounded_batch_counts_and_caps() {
+        let cache = EmbeddingCache::bounded(NgramEmbedder::default(), 4);
+        let texts: Vec<String> = (0..10).map(|i| format!("t{i}")).collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let batch = cache.embed_batch(&refs);
+        assert_eq!(batch.len(), 10);
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.evictions(), 6);
+        assert_eq!(cache.misses(), 10);
+        // The last 4 texts (most recently inserted) survived.
+        cache.embed("t9");
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = EmbeddingCache::bounded(NgramEmbedder::default(), 0);
     }
 }

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 
-use pas_embed::{cosine, feature_bag, l2_norm, Embedder, IdfModel, NgramEmbedder};
+use pas_embed::{cosine, feature_bag, l2_norm, Embedder, EmbeddingCache, IdfModel, NgramEmbedder};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -49,6 +49,47 @@ proptest! {
         sorted.dedup();
         prop_assert_eq!(hashes, sorted);
         prop_assert!(bag.entries().iter().all(|&(_, w)| w > 0.0));
+    }
+
+    // Cache accounting invariants (DESIGN.md §9): for any request
+    // sequence, every lookup is exactly one hit or one miss, a bounded
+    // cache never exceeds its capacity, and — because the inner embedder
+    // is pure — a bounded cache returns byte-identical embeddings to the
+    // unbounded one no matter what it evicted along the way.
+    #[test]
+    fn cache_accounting_invariants(
+        // Each draw encodes (key = r % 12, as_batch = r >= 12).
+        requests in prop::collection::vec(0usize..24, 1..80),
+        capacity in 1usize..6,
+    ) {
+        let bounded = EmbeddingCache::bounded(NgramEmbedder::default(), capacity);
+        let unbounded = EmbeddingCache::new(NgramEmbedder::default());
+        let mut issued = 0u64;
+        // Interleave single lookups and mini-batches, like serve traffic.
+        for r in &requests {
+            let (key, as_batch) = (r % 12, *r >= 12);
+            let text = format!("prompt {key}");
+            if as_batch {
+                let pair = format!("prompt {}", (key + 1) % 12);
+                let got = bounded.embed_batch(&[&text, &pair]);
+                let want = unbounded.embed_batch(&[&text, &pair]);
+                prop_assert_eq!(got, want);
+                issued += 2;
+            } else {
+                let got = bounded.embed(&text);
+                let want = unbounded.embed(&text);
+                prop_assert_eq!(got.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                                want.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                                "bounded and unbounded caches must agree bit-for-bit");
+                issued += 1;
+            }
+            prop_assert!(bounded.len() <= capacity, "len {} > capacity {capacity}", bounded.len());
+            prop_assert_eq!(bounded.hits() + bounded.misses(), issued);
+            prop_assert_eq!(unbounded.hits() + unbounded.misses(), issued);
+            prop_assert_eq!(unbounded.evictions(), 0);
+        }
+        // Every eviction was a real entry that left the map.
+        prop_assert_eq!(bounded.misses(), bounded.evictions() + bounded.len() as u64);
     }
 
     #[test]

@@ -1,0 +1,378 @@
+//! The semantic complement cache: exact-match LRU in front of an ANN
+//! near-duplicate tier.
+//!
+//! Prompt traffic is dominated by repeats and near-repeats (Zhang & Khan
+//! document heavy near-duplicate mass in real prompt datasets), so the
+//! cheapest way to serve `p → cat(p, p_c)` at scale is to not recompute
+//! `p_c` at all:
+//!
+//! 1. **Exact tier** — a hash map from the prompt string to its cached
+//!    complement. Free of caveats: an exact hit returns bit-identically
+//!    what the optimizer would have produced.
+//! 2. **Near tier** — the prompt is embedded (`pas-embed`) and probed
+//!    against a cosine [`Hnsw`] (`pas-ann`) over the cached prompts; a
+//!    neighbour within distance `τ` serves *its* cached response. This is a
+//!    deliberate behaviour change gated behind `τ` — at the default
+//!    `τ = 0` the tier is off and the cache is exact-only.
+//!
+//! Both tiers share one LRU capacity bound. The HNSW graph supports no
+//! deletion, so evicted entries become *tombstones*: the exact map and LRU
+//! order drop them immediately, and near-tier probes filter dead ids. The
+//! graph itself is rebuilt from the live entries whenever tombstones
+//! outnumber them (amortized O(1) per insert), keeping probe cost
+//! proportional to the live set.
+//!
+//! The cache is a plain `&mut self` structure: the gateway's event loop is
+//! serial (that is what makes runs bit-reproducible), so no interior
+//! locking is needed.
+
+use std::collections::HashMap;
+
+use pas_ann::{CosineDistance, Hnsw, HnswConfig};
+use pas_embed::Embedder;
+
+/// Configuration for [`SemanticCache`].
+#[derive(Debug, Clone)]
+pub struct SemanticCacheConfig {
+    /// Maximum live entries (LRU-evicted beyond this). `0` disables the
+    /// cache entirely: every lookup misses and nothing is stored.
+    pub capacity: usize,
+    /// Near-duplicate distance threshold in cosine-distance space
+    /// (`1 − cos`). `0.0` (the default) disables the near tier: only exact
+    /// string matches hit.
+    pub tau: f32,
+    /// Beam width for near-tier probes.
+    pub ef: usize,
+    /// Construction parameters for the ANN index over cached prompts.
+    pub hnsw: HnswConfig,
+}
+
+impl Default for SemanticCacheConfig {
+    fn default() -> Self {
+        SemanticCacheConfig {
+            capacity: 4096,
+            tau: 0.0,
+            ef: 32,
+            hnsw: HnswConfig { m: 8, ef_construction: 48, seed: 0x9a7e }, // small serving index
+        }
+    }
+}
+
+/// What a cache lookup found.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheOutcome {
+    /// The exact prompt was cached; its own complement is returned.
+    ExactHit(String),
+    /// A near-duplicate neighbour within τ was cached; the *neighbour's*
+    /// complement is returned (τ-gated behaviour change, see module docs).
+    NearHit {
+        /// The neighbour's cached response.
+        response: String,
+        /// Cosine distance between the query and the neighbour prompt.
+        distance: f32,
+    },
+    /// Nothing usable cached; the request must go to the replica pool.
+    Miss,
+}
+
+struct Entry {
+    prompt: String,
+    response: String,
+    alive: bool,
+    /// Recency stamp; larger = more recently used.
+    stamp: u64,
+}
+
+/// Exact-match LRU map + tombstoned ANN near-duplicate tier (module docs).
+pub struct SemanticCache<E> {
+    config: SemanticCacheConfig,
+    embedder: E,
+    /// prompt → entry id, live entries only.
+    exact: HashMap<String, usize>,
+    /// All entries ever inserted, id-aligned with the ANN index; dead ones
+    /// are tombstones until the next rebuild.
+    entries: Vec<Entry>,
+    /// stamp → entry id, live entries only (stamps are unique).
+    lru: std::collections::BTreeMap<u64, usize>,
+    index: Hnsw<CosineDistance>,
+    clock: u64,
+    hits: u64,
+    near_hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<E: Embedder> SemanticCache<E> {
+    /// Creates an empty cache that embeds with `embedder` (only used when
+    /// `config.tau > 0`).
+    pub fn new(config: SemanticCacheConfig, embedder: E) -> Self {
+        let index = Hnsw::new(config.hnsw.clone(), CosineDistance);
+        SemanticCache {
+            config,
+            embedder,
+            exact: HashMap::new(),
+            entries: Vec::new(),
+            lru: std::collections::BTreeMap::new(),
+            index,
+            clock: 0,
+            hits: 0,
+            near_hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Live cached entries.
+    pub fn len(&self) -> usize {
+        self.exact.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.exact.is_empty()
+    }
+
+    /// Exact-tier hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Near-tier hits so far.
+    pub fn near_hits(&self) -> u64 {
+        self.near_hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// LRU evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn touch(&mut self, id: usize) {
+        self.lru.remove(&self.entries[id].stamp);
+        self.clock += 1;
+        self.entries[id].stamp = self.clock;
+        self.lru.insert(self.clock, id);
+    }
+
+    /// Looks `prompt` up in both tiers, updating recency and counters.
+    pub fn lookup(&mut self, prompt: &str) -> CacheOutcome {
+        if self.config.capacity == 0 {
+            self.misses += 1;
+            return CacheOutcome::Miss;
+        }
+        if let Some(&id) = self.exact.get(prompt) {
+            self.hits += 1;
+            self.touch(id);
+            return CacheOutcome::ExactHit(self.entries[id].response.clone());
+        }
+        if self.config.tau > 0.0 && !self.exact.is_empty() {
+            let query = self.embedder.embed(prompt);
+            // Over-fetch a little so a tombstoned nearest neighbour does
+            // not hide a live one right behind it.
+            let neighbors = self.index.search(&query, 4, self.config.ef);
+            if let Some(n) = neighbors.into_iter().find(|n| self.entries[n.id].alive) {
+                if n.distance <= self.config.tau {
+                    self.near_hits += 1;
+                    self.touch(n.id);
+                    return CacheOutcome::NearHit {
+                        response: self.entries[n.id].response.clone(),
+                        distance: n.distance,
+                    };
+                }
+            }
+        }
+        self.misses += 1;
+        CacheOutcome::Miss
+    }
+
+    /// Caches `response` for `prompt`, evicting the least-recently-used
+    /// entries beyond capacity. A prompt already cached keeps its existing
+    /// entry (complements are deterministic, so re-insertion is a no-op).
+    pub fn insert(&mut self, prompt: &str, response: &str) {
+        if self.config.capacity == 0 || self.exact.contains_key(prompt) {
+            return;
+        }
+        while self.exact.len() >= self.config.capacity {
+            let (&stamp, &victim) = self.lru.iter().next().expect("LRU mirrors exact map");
+            self.lru.remove(&stamp);
+            self.exact.remove(&self.entries[victim].prompt);
+            self.entries[victim].alive = false;
+            self.evictions += 1;
+        }
+        self.clock += 1;
+        let id = if self.config.tau > 0.0 {
+            self.index.insert(self.embedder.embed(prompt))
+        } else {
+            // Exact-only mode never probes the ANN tier; skip the index
+            // entirely and keep ids aligned with `entries` alone.
+            self.entries.len()
+        };
+        debug_assert_eq!(id, self.entries.len(), "index ids must align with entries");
+        self.entries.push(Entry {
+            prompt: prompt.to_string(),
+            response: response.to_string(),
+            alive: true,
+            stamp: self.clock,
+        });
+        self.exact.insert(prompt.to_string(), id);
+        self.lru.insert(self.clock, id);
+        self.maybe_compact();
+    }
+
+    /// Rebuilds the ANN index from live entries once tombstones outnumber
+    /// them, so probe cost tracks the live set instead of total history.
+    fn maybe_compact(&mut self) {
+        let dead = self.entries.len() - self.exact.len();
+        if dead <= self.exact.len() || dead < 8 {
+            return;
+        }
+        let live: Vec<Entry> =
+            std::mem::take(&mut self.entries).into_iter().filter(|e| e.alive).collect();
+        self.index = Hnsw::new(self.config.hnsw.clone(), CosineDistance);
+        self.exact.clear();
+        self.lru.clear();
+        for (id, entry) in live.iter().enumerate() {
+            if self.config.tau > 0.0 {
+                let got = self.index.insert(self.embedder.embed(&entry.prompt));
+                debug_assert_eq!(got, id);
+            }
+            self.exact.insert(entry.prompt.clone(), id);
+            self.lru.insert(entry.stamp, id);
+        }
+        self.entries = live;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_embed::NgramEmbedder;
+
+    fn cache(capacity: usize, tau: f32) -> SemanticCache<NgramEmbedder> {
+        let config = SemanticCacheConfig { capacity, tau, ..SemanticCacheConfig::default() };
+        SemanticCache::new(config, NgramEmbedder::default())
+    }
+
+    #[test]
+    fn exact_tier_round_trips() {
+        let mut c = cache(8, 0.0);
+        assert_eq!(c.lookup("how do I sort a vec"), CacheOutcome::Miss);
+        c.insert("how do I sort a vec", "how do I sort a vec [c]");
+        assert_eq!(
+            c.lookup("how do I sort a vec"),
+            CacheOutcome::ExactHit("how do I sort a vec [c]".into())
+        );
+        assert_eq!((c.hits(), c.misses(), c.len()), (1, 1, 1));
+    }
+
+    #[test]
+    fn tau_zero_never_near_hits() {
+        let mut c = cache(8, 0.0);
+        c.insert("please sort this list of numbers", "r1");
+        assert_eq!(c.lookup("please sort this list of numbers!"), CacheOutcome::Miss);
+        assert_eq!(c.near_hits(), 0);
+    }
+
+    #[test]
+    fn near_tier_serves_close_neighbors_only() {
+        let mut c = cache(8, 0.2);
+        c.insert("please sort this list of numbers for me", "r1");
+        match c.lookup("please sort this list of numbers for me!") {
+            CacheOutcome::NearHit { response, distance } => {
+                assert_eq!(response, "r1");
+                // NB: the ngram featurizer strips punctuation, so the "!"
+                // variant can land at distance exactly 0.
+                assert!((0.0..=0.2).contains(&distance), "distance {distance}");
+            }
+            other => panic!("expected a near hit, got {other:?}"),
+        }
+        assert_eq!(c.lookup("write a poem about the autumn moon"), CacheOutcome::Miss);
+        assert_eq!((c.near_hits(), c.misses()), (1, 1));
+    }
+
+    #[test]
+    fn capacity_evicts_lru_and_tombstones_hide_from_near_tier() {
+        let mut c = cache(2, 0.2);
+        c.insert("alpha prompt one about databases", "r-alpha");
+        c.insert("beta prompt two about compilers", "r-beta");
+        assert!(matches!(c.lookup("alpha prompt one about databases"), CacheOutcome::ExactHit(_)));
+        // beta is now LRU; inserting gamma evicts it.
+        c.insert("gamma prompt three about gardening", "r-gamma");
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 1);
+        assert_eq!(c.lookup("beta prompt two about compilers"), CacheOutcome::Miss);
+        // The evicted entry must not be served by the near tier either.
+        assert_eq!(c.lookup("beta prompt two about compilers!"), CacheOutcome::Miss);
+        // Survivors still hit.
+        assert!(matches!(c.lookup("alpha prompt one about databases"), CacheOutcome::ExactHit(_)));
+        assert!(matches!(
+            c.lookup("gamma prompt three about gardening"),
+            CacheOutcome::ExactHit(_)
+        ));
+    }
+
+    #[test]
+    fn disabled_cache_never_stores() {
+        let mut c = cache(0, 0.5);
+        c.insert("a prompt", "a response");
+        assert_eq!(c.lookup("a prompt"), CacheOutcome::Miss);
+        assert!(c.is_empty());
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn reinsert_keeps_the_existing_entry() {
+        let mut c = cache(4, 0.0);
+        c.insert("p", "r1");
+        c.insert("p", "r2-should-be-ignored");
+        assert_eq!(c.lookup("p"), CacheOutcome::ExactHit("r1".into()));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn compaction_preserves_behavior_under_churn() {
+        let mut c = cache(4, 0.25);
+        // Insert far more distinct prompts than capacity so tombstones pile
+        // up and compaction triggers repeatedly.
+        for i in 0..60 {
+            let prompt = format!("distinct request number {i} about topic {}", i % 13);
+            c.insert(&prompt, &format!("resp-{i}"));
+        }
+        assert_eq!(c.len(), 4);
+        assert!(c.evictions() >= 56);
+        // The four most recent entries are live and exactly retrievable.
+        for i in 56..60 {
+            let prompt = format!("distinct request number {i} about topic {}", i % 13);
+            assert_eq!(c.lookup(&prompt), CacheOutcome::ExactHit(format!("resp-{i}")), "{i}");
+        }
+        // Near probes only ever see live entries.
+        match c.lookup("distinct request number 59 about topic 7!") {
+            CacheOutcome::NearHit { response, .. } => assert_eq!(response, "resp-59"),
+            CacheOutcome::ExactHit(_) => panic!("punctuated variant cannot exact-hit"),
+            CacheOutcome::Miss => {} // acceptable: τ may exclude the variant
+        }
+    }
+
+    #[test]
+    fn lookup_sequences_are_deterministic() {
+        let run = || {
+            let mut c = cache(8, 0.3);
+            let mut log = Vec::new();
+            for i in 0..40 {
+                let p = format!("prompt {} about thing {}", i % 11, i % 5);
+                let out = c.lookup(&p);
+                if matches!(out, CacheOutcome::Miss) {
+                    c.insert(&p, &format!("resp {}", i % 11));
+                }
+                log.push(format!("{out:?}"));
+            }
+            (log, c.hits(), c.near_hits(), c.misses(), c.evictions())
+        };
+        assert_eq!(run(), run());
+    }
+}

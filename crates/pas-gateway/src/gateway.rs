@@ -1,0 +1,494 @@
+//! The gateway proper: a deterministic discrete-event serving loop.
+//!
+//! The gateway is simulated rather than clocked: every request carries a
+//! simulated arrival time, service costs are fixed per-operation
+//! millisecond charges, and the loop pops events off a heap ordered by
+//! `(time, seq)` where `seq` is assigned at scheduling time. No wall
+//! clock, no OS timer, no thread ever touches the loop state — so a
+//! seeded load test produces bit-identical responses, ordering, and
+//! [`GatewayReport`] on every machine and at every `pas_par` thread
+//! count. Parallelism lives in exactly one place: a dispatched batch's
+//! unique prompts are served through [`pas_par::par_map`], whose results
+//! come back in item order regardless of interleaving.
+//!
+//! Request path: arrival → semantic cache lookup (exact, then τ-gated
+//! near tier) → on miss, admission control into a bounded queue → micro-
+//! batch dispatch (when `batch_max` prompts wait, or `batch_linger_ms`
+//! after an enqueue) → replica pool with failover → completion responds,
+//! installs fresh complements into the cache, and accounts latency.
+//! Degraded results (full-pool exhaustion) are served as passthrough but
+//! *never cached* — caching one would keep poisoning hits after the pool
+//! recovers.
+
+use std::collections::{BinaryHeap, VecDeque};
+
+use pas_core::PromptOptimizer;
+use pas_embed::{EmbeddingCache, NgramEmbedder};
+use pas_fault::{FaultConfig, FaultProfile};
+
+use crate::cache::{CacheOutcome, SemanticCache, SemanticCacheConfig};
+use crate::pool::{ReplicaPool, ServeOutcome};
+use crate::report::{GatewayReport, ReplicaReport};
+use crate::workload::Request;
+
+/// What to do with a cache-miss arrival when the queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Turn the *new* request away: it is served passthrough immediately.
+    Reject,
+    /// Shed the *oldest* queued request (served passthrough) to make room
+    /// — freshest-first, the usual choice when staleness is the cost.
+    ShedOldest,
+}
+
+/// Gateway tuning knobs. Service costs are simulated-milliseconds charges,
+/// not measurements.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Replica count for the pool.
+    pub replicas: usize,
+    /// Base fault config; per-replica seeds are derived from its seed.
+    pub fault: FaultConfig,
+    /// Per-replica profile overrides (index-aligned; missing entries use
+    /// `fault.profile`).
+    pub replica_profiles: Vec<FaultProfile>,
+    /// Semantic cache parameters.
+    pub cache: SemanticCacheConfig,
+    /// Bound on queued (admitted, undispatched) requests.
+    pub queue_capacity: usize,
+    /// Full-queue behaviour.
+    pub admission: AdmissionPolicy,
+    /// Dispatch as soon as this many prompts wait.
+    pub batch_max: usize,
+    /// … or this long after a prompt was enqueued, whichever first.
+    pub batch_linger_ms: u64,
+    /// Simulated cost of answering from the cache.
+    pub cache_hit_cost_ms: u64,
+    /// Simulated fixed cost of dispatching a batch to `M_p`.
+    pub batch_overhead_ms: u64,
+    /// Simulated marginal cost per unique prompt in a batch.
+    pub per_prompt_cost_ms: u64,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            replicas: 2,
+            fault: FaultConfig::default(),
+            replica_profiles: Vec::new(),
+            cache: SemanticCacheConfig::default(),
+            queue_capacity: 64,
+            admission: AdmissionPolicy::ShedOldest,
+            batch_max: 8,
+            batch_linger_ms: 6,
+            cache_hit_cost_ms: 1,
+            batch_overhead_ms: 10,
+            per_prompt_cost_ms: 5,
+        }
+    }
+}
+
+enum Event {
+    /// Request `i` of the workload arrives.
+    Arrival(usize),
+    /// The linger timer armed when request `i` was enqueued fires.
+    LingerFire(usize),
+    /// A dispatched batch completes on `replica`. `members` are the
+    /// requests it answers, `outcomes` one per unique prompt, and
+    /// `unique_of[k]` maps member `k` to its outcome index.
+    Completion {
+        replica: usize,
+        members: Vec<usize>,
+        unique_of: Vec<usize>,
+        outcomes: Vec<ServeOutcome>,
+    },
+}
+
+/// Heap entry ordered by `(time, seq)`; `seq` is unique, making the order
+/// total and independent of anything but the schedule itself.
+struct Scheduled {
+    time: u64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Per-request lifecycle marker, driving linger-timer validation.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ReqState {
+    Pending,
+    Queued,
+    Dispatched,
+    Done,
+}
+
+/// The deterministic serving gateway (module docs). Build one per load
+/// test; [`Gateway::run`] consumes a workload and yields every response
+/// plus the aggregate [`GatewayReport`].
+pub struct Gateway<O: PromptOptimizer> {
+    config: GatewayConfig,
+    pool: ReplicaPool<O>,
+    cache: SemanticCache<EmbeddingCache<NgramEmbedder>>,
+}
+
+impl<O: PromptOptimizer> Gateway<O> {
+    /// Builds a gateway over `optimizers` (one per replica; the length
+    /// overrides `config.replicas`). The cache embeds through a *bounded*
+    /// [`EmbeddingCache`] sized to the semantic cache, so repeated probes
+    /// of hot prompts skip re-embedding too.
+    pub fn new(config: GatewayConfig, optimizers: Vec<O>) -> Self {
+        assert!(!optimizers.is_empty(), "gateway needs at least one replica");
+        assert!(config.batch_max > 0, "batch_max must be positive");
+        let pool = ReplicaPool::new(optimizers, &config.fault, &config.replica_profiles);
+        let embedder =
+            EmbeddingCache::bounded(NgramEmbedder::default(), config.cache.capacity.max(1) * 2);
+        let cache = SemanticCache::new(config.cache.clone(), embedder);
+        Gateway { config, pool, cache }
+    }
+
+    /// Runs the full workload to completion. Returns the response for each
+    /// request (index-aligned with `requests`) and the aggregate report.
+    pub fn run(&mut self, requests: &[Request]) -> (Vec<String>, GatewayReport) {
+        let mut heap: BinaryHeap<Scheduled> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut schedule = |heap: &mut BinaryHeap<Scheduled>, time: u64, event: Event| {
+            let s = Scheduled { time, seq, event };
+            seq += 1;
+            heap.push(s);
+        };
+        // Index by position in the slice, not `Request::id` — a workload
+        // shard keeps its global ids but is served as a self-contained run.
+        for (i, r) in requests.iter().enumerate() {
+            schedule(&mut heap, r.arrival_ms, Event::Arrival(i));
+        }
+
+        let mut state = vec![ReqState::Pending; requests.len()];
+        let mut responses: Vec<Option<String>> = vec![None; requests.len()];
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut report = GatewayReport {
+            requests: requests.len() as u64,
+            per_replica: vec![ReplicaReport::default(); self.pool.len()],
+            ..GatewayReport::default()
+        };
+        let mut now = 0u64;
+
+        while let Some(Scheduled { time, event, .. }) = heap.pop() {
+            now = now.max(time);
+            match event {
+                Event::Arrival(i) => match self.cache.lookup(&requests[i].prompt) {
+                    CacheOutcome::ExactHit(response) | CacheOutcome::NearHit { response, .. } => {
+                        state[i] = ReqState::Done;
+                        responses[i] = Some(response);
+                        report.completed += 1;
+                        report.latency.record(self.config.cache_hit_cost_ms);
+                    }
+                    CacheOutcome::Miss => {
+                        if queue.len() >= self.config.queue_capacity {
+                            match self.config.admission {
+                                AdmissionPolicy::Reject => {
+                                    state[i] = ReqState::Done;
+                                    responses[i] = Some(requests[i].prompt.clone());
+                                    report.rejected += 1;
+                                    report.completed += 1;
+                                    report.latency.record(0);
+                                    continue;
+                                }
+                                AdmissionPolicy::ShedOldest => {
+                                    let oldest = queue.pop_front().expect("full queue");
+                                    state[oldest] = ReqState::Done;
+                                    responses[oldest] = Some(requests[oldest].prompt.clone());
+                                    report.shed += 1;
+                                    report.completed += 1;
+                                    report.latency.record(now - requests[oldest].arrival_ms);
+                                }
+                            }
+                        }
+                        state[i] = ReqState::Queued;
+                        queue.push_back(i);
+                        if queue.len() >= self.config.batch_max {
+                            self.dispatch(
+                                &mut queue,
+                                &mut state,
+                                requests,
+                                now,
+                                &mut report,
+                                |t, e| schedule(&mut heap, t, e),
+                            );
+                        } else {
+                            schedule(
+                                &mut heap,
+                                now + self.config.batch_linger_ms,
+                                Event::LingerFire(i),
+                            );
+                        }
+                    }
+                },
+                Event::LingerFire(i) => {
+                    // Stale once its request was dispatched or shed; a live
+                    // fire flushes the whole (sub-batch_max) queue.
+                    if state[i] == ReqState::Queued {
+                        self.dispatch(
+                            &mut queue,
+                            &mut state,
+                            requests,
+                            now,
+                            &mut report,
+                            |t, e| schedule(&mut heap, t, e),
+                        );
+                    }
+                }
+                Event::Completion { replica, members, unique_of, outcomes } => {
+                    self.pool.finish(replica, outcomes.len() as u64);
+                    // Cache and replica accounting go per unique prompt…
+                    for (u, outcome) in outcomes.iter().enumerate() {
+                        let owner = members[unique_of.iter().position(|&x| x == u).expect("owner")];
+                        match outcome {
+                            ServeOutcome::Served { response, replica: served_by, failovers } => {
+                                self.cache.insert(&requests[owner].prompt, response);
+                                report.failovers += failovers;
+                                let r = &mut report.per_replica[*served_by];
+                                r.served += 1;
+                                if *failovers > 0 {
+                                    r.failover_served += 1;
+                                }
+                            }
+                            ServeOutcome::Degraded => {}
+                        }
+                    }
+                    // …responses and latency per member request.
+                    for (k, &i) in members.iter().enumerate() {
+                        let outcome = &outcomes[unique_of[k]];
+                        if *outcome == ServeOutcome::Degraded {
+                            report.degraded += 1;
+                        }
+                        state[i] = ReqState::Done;
+                        responses[i] = Some(outcome.response_for(&requests[i].prompt));
+                        report.completed += 1;
+                        report.latency.record(now - requests[i].arrival_ms);
+                    }
+                }
+            }
+        }
+
+        debug_assert!(queue.is_empty(), "linger fires must drain the queue");
+        report.exact_hits = self.cache.hits();
+        report.near_hits = self.cache.near_hits();
+        report.misses = self.cache.misses();
+        report.evictions = self.cache.evictions();
+        report.sim_duration_ms = now;
+        for (r, faults) in report.per_replica.iter_mut().zip(self.pool.fault_reports()) {
+            r.faults = faults;
+        }
+        let responses = responses.into_iter().map(|r| r.expect("every request answered")).collect();
+        (responses, report)
+    }
+
+    /// Pops up to `batch_max` queued requests, dedupes their prompts
+    /// (first-occurrence order), serves the unique prompts through the
+    /// pool in parallel, and schedules the batch's completion.
+    fn dispatch(
+        &mut self,
+        queue: &mut VecDeque<usize>,
+        state: &mut [ReqState],
+        requests: &[Request],
+        now: u64,
+        report: &mut GatewayReport,
+        mut schedule: impl FnMut(u64, Event),
+    ) {
+        let take = queue.len().min(self.config.batch_max);
+        let members: Vec<usize> = queue.drain(..take).collect();
+        let mut unique: Vec<&str> = Vec::new();
+        let unique_of: Vec<usize> = members
+            .iter()
+            .map(|&i| {
+                let p = requests[i].prompt.as_str();
+                match unique.iter().position(|&q| q == p) {
+                    Some(u) => u,
+                    None => {
+                        unique.push(p);
+                        unique.len() - 1
+                    }
+                }
+            })
+            .collect();
+        for &i in &members {
+            state[i] = ReqState::Dispatched;
+        }
+        let replica = self.pool.route();
+        self.pool.begin(replica, unique.len() as u64);
+        // The only parallel region in the gateway: item-ordered results,
+        // content-derived fault coordinates → thread-count invariant.
+        let outcomes = pas_par::par_map(&unique, |_, p| self.pool.try_serve(replica, p));
+        report.batches += 1;
+        report.batched_prompts += unique.len() as u64;
+        let cost =
+            self.config.batch_overhead_ms + self.config.per_prompt_cost_ms * unique.len() as u64;
+        schedule(now + cost, Event::Completion { replica, members, unique_of, outcomes });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{generate, WorkloadConfig};
+    use pas_core::NoOptimizer;
+
+    /// A toy optimizer with visible, prompt-derived output.
+    struct Suffix;
+
+    impl PromptOptimizer for Suffix {
+        fn name(&self) -> &str {
+            "suffix"
+        }
+        fn optimize(&self, prompt: &str) -> String {
+            format!("{prompt} [augmented]")
+        }
+        fn requires_human_labels(&self) -> bool {
+            false
+        }
+        fn llm_agnostic(&self) -> bool {
+            true
+        }
+        fn task_agnostic(&self) -> bool {
+            true
+        }
+        fn training_pairs(&self) -> Option<usize> {
+            None
+        }
+    }
+
+    fn gateway_with(config: GatewayConfig) -> Gateway<Suffix> {
+        let n = config.replicas;
+        Gateway::new(config, (0..n).map(|_| Suffix).collect())
+    }
+
+    fn small_workload() -> Vec<Request> {
+        generate(&WorkloadConfig {
+            requests: 300,
+            universe: 25,
+            near_dup_rate: 0.2,
+            ..WorkloadConfig::default()
+        })
+    }
+
+    #[test]
+    fn every_request_is_answered_with_the_augmentation() {
+        let requests = small_workload();
+        let (responses, report) = gateway_with(GatewayConfig::default()).run(&requests);
+        assert_eq!(responses.len(), requests.len());
+        for (r, resp) in requests.iter().zip(&responses) {
+            assert_eq!(resp, &format!("{} [augmented]", r.prompt));
+        }
+        assert_eq!(report.completed, report.requests);
+        assert_eq!(report.degraded + report.shed + report.rejected, 0);
+        assert_eq!(report.latency.count(), report.requests);
+    }
+
+    #[test]
+    fn hot_prompts_hit_the_cache() {
+        let requests = small_workload();
+        let (_, report) = gateway_with(GatewayConfig::default()).run(&requests);
+        assert!(report.exact_hits > 0, "Zipf head must repeat: {report:?}");
+        assert!(report.hit_rate() > 0.3, "hit rate {}", report.hit_rate());
+        // Every miss flowed through a batch (or was shed); in-batch
+        // dedup can only shrink the dispatched-prompt count.
+        assert!(report.batched_prompts + report.shed + report.rejected <= report.misses);
+        assert!(report.batches > 0);
+    }
+
+    #[test]
+    fn tau_enables_the_near_tier() {
+        let requests = small_workload();
+        let exact_only = gateway_with(GatewayConfig::default()).run(&requests).1;
+        assert_eq!(exact_only.near_hits, 0, "τ=0 must keep the near tier off");
+        let config = GatewayConfig {
+            cache: SemanticCacheConfig { tau: 0.25, ..SemanticCacheConfig::default() },
+            ..GatewayConfig::default()
+        };
+        let near = gateway_with(config).run(&requests).1;
+        assert!(near.near_hits > 0, "τ=0.25 must catch workload near-dups: {near:?}");
+        assert!(near.hit_rate() > exact_only.hit_rate());
+    }
+
+    #[test]
+    fn tiny_queue_sheds_or_rejects_but_answers_everyone() {
+        let requests = generate(&WorkloadConfig {
+            requests: 400,
+            universe: 380,
+            zipf_s: 0.0,
+            near_dup_rate: 0.0,
+            mean_interarrival_ms: 1.0,
+            ..WorkloadConfig::default()
+        });
+        for admission in [AdmissionPolicy::ShedOldest, AdmissionPolicy::Reject] {
+            let config = GatewayConfig {
+                queue_capacity: 2,
+                batch_max: 16,
+                batch_linger_ms: 40,
+                admission,
+                ..GatewayConfig::default()
+            };
+            let (responses, report) = gateway_with(config).run(&requests);
+            assert_eq!(report.completed, report.requests);
+            assert_eq!(responses.len(), requests.len());
+            match admission {
+                AdmissionPolicy::ShedOldest => {
+                    assert!(report.shed > 0, "tiny queue must shed: {report:?}");
+                    assert_eq!(report.rejected, 0);
+                }
+                AdmissionPolicy::Reject => {
+                    assert!(report.rejected > 0, "tiny queue must reject: {report:?}");
+                    assert_eq!(report.shed, 0);
+                }
+            }
+            // Shed/rejected requests still get the passthrough answer.
+            for (r, resp) in requests.iter().zip(&responses) {
+                assert!(
+                    resp == &format!("{} [augmented]", r.prompt)
+                        || resp == &NoOptimizer.optimize(&r.prompt)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batching_dedupes_identical_prompts() {
+        // Ten identical prompts arriving together: one unique prompt serves
+        // the whole batch.
+        let requests: Vec<Request> = (0..10)
+            .map(|id| Request { id, arrival_ms: 0, prompt: "the same question".into() })
+            .collect();
+        let config = GatewayConfig { batch_max: 10, ..GatewayConfig::default() };
+        let (responses, report) = gateway_with(config).run(&requests);
+        assert!(responses.iter().all(|r| r == "the same question [augmented]"));
+        assert_eq!(report.batches, 1);
+        assert_eq!(report.batched_prompts, 1, "duplicates must be deduped in-batch");
+    }
+
+    #[test]
+    fn small_capacity_cache_evicts() {
+        let config = GatewayConfig {
+            cache: SemanticCacheConfig { capacity: 4, ..SemanticCacheConfig::default() },
+            ..GatewayConfig::default()
+        };
+        let (_, report) = gateway_with(config).run(&small_workload());
+        assert!(report.evictions > 0, "capacity 4 must churn: {report:?}");
+    }
+}

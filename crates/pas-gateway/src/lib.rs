@@ -1,0 +1,33 @@
+//! Deterministic high-throughput serving gateway for PAS.
+//!
+//! The paper's deployment story (PAS "serves heavy traffic from millions
+//! of users") needs more than a single serve-time optimizer: it needs a
+//! cache in front of `M_p`, batching behind it, and replicas around it.
+//! This crate is that serving tier, built as a *deterministic discrete-
+//! event simulation* so load tests are bit-reproducible — the same seeded
+//! workload produces identical responses, identical ordering, and an
+//! identical [`GatewayReport`] on any machine at any thread count.
+//!
+//! - [`cache`] — [`SemanticCache`]: exact-match LRU complement cache with
+//!   a τ-gated ANN near-duplicate tier (off by default; a near hit serves
+//!   the *neighbour's* complement).
+//! - [`pool`] — [`ReplicaPool`]: N `DegradingServer` replicas with
+//!   decorrelated fault seeds, deterministic least-loaded routing, and
+//!   failover; a full-pool outage degrades every request to passthrough.
+//! - [`gateway`] — [`Gateway`]: the event loop tying admission control,
+//!   micro-batching, cache, and pool together.
+//! - [`workload`] — seeded Zipf-skewed open-loop request generation.
+//! - [`report`] — mergeable [`GatewayReport`] with a log₂-bucketed
+//!   latency histogram.
+
+pub mod cache;
+pub mod gateway;
+pub mod pool;
+pub mod report;
+pub mod workload;
+
+pub use cache::{CacheOutcome, SemanticCache, SemanticCacheConfig};
+pub use gateway::{AdmissionPolicy, Gateway, GatewayConfig};
+pub use pool::{ReplicaPool, ServeOutcome};
+pub use report::{GatewayReport, LatencyHistogram, ReplicaReport};
+pub use workload::{base_prompt, generate, Request, WorkloadConfig};

@@ -1,0 +1,207 @@
+//! Seeded open-loop workload generation for gateway soak tests.
+//!
+//! Production prompt traffic has two properties the cache design banks on:
+//! popularity is heavy-tailed (a small head of prompts dominates) and a
+//! meaningful slice of requests are *near*-duplicates of popular prompts —
+//! the same question with different whitespace, punctuation, or trailing
+//! pleasantries. The generator models both: prompt identities are drawn
+//! Zipf(s) from a fixed universe, a seeded coin turns some draws into
+//! surface variants of their base prompt, and arrivals are open-loop
+//! (exponential inter-arrival times, independent of service capacity —
+//! the regime where queues actually build).
+//!
+//! Everything is a pure function of [`WorkloadConfig`]: request `i` draws
+//! from an RNG seeded `derive_seed(seed, i)`, so the workload is
+//! bit-reproducible and any request can be regenerated in isolation.
+
+use rand::{RngExt, SeedableRng, StdRng};
+
+/// Parameters for a generated request stream.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Total requests to generate.
+    pub requests: usize,
+    /// Distinct base prompts in the universe.
+    pub universe: usize,
+    /// Zipf skew exponent `s` (weights `1/rank^s`); `0` is uniform,
+    /// `~1.1` matches heavy-tailed prompt traffic.
+    pub zipf_s: f64,
+    /// Probability that a draw is a surface variant (near-duplicate) of
+    /// its base prompt instead of the base prompt verbatim.
+    pub near_dup_rate: f64,
+    /// Mean exponential inter-arrival gap in simulated milliseconds.
+    pub mean_interarrival_ms: f64,
+    /// Base seed for all draws.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            requests: 2000,
+            universe: 150,
+            zipf_s: 1.1,
+            near_dup_rate: 0.15,
+            mean_interarrival_ms: 4.0,
+            seed: 0x90a7,
+        }
+    }
+}
+
+/// One generated request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Sequential id, also the tie-break key in the event loop.
+    pub id: usize,
+    /// Simulated arrival time.
+    pub arrival_ms: u64,
+    /// The prompt text.
+    pub prompt: String,
+}
+
+/// Topic vocabulary for templated prompts; fixed so prompt text — and with
+/// it ngram-embedding geometry — is stable across runs and machines.
+const TOPICS: &[&str] = &[
+    "sorting a vector of structs by key",
+    "streaming a csv file without loading it",
+    "writing a binary search over sorted ranks",
+    "profiling a slow sql join",
+    "batching requests to a rate limited api",
+    "parsing dates across time zones",
+    "sharding a key value store",
+    "retrying failed uploads with backoff",
+    "caching query results safely",
+    "debugging a deadlock between two mutexes",
+    "compressing log files on rotation",
+    "validating user input in a web form",
+];
+
+const STYLES: &[&str] = &["explain", "give me code for", "what is the best way of", "summarize"];
+
+/// Surface mutations applied to build near-duplicate variants. Chosen to
+/// move the prompt only slightly in character-ngram space so a reasonable
+/// τ (≈0.1–0.3) catches them.
+const VARIANTS: &[&str] = &["?", " please", " thanks", "!", " asap"];
+
+/// The `rank`-th base prompt (0 = most popular) of a `universe`-sized
+/// world. Pure function, so tests can name prompts without a generator.
+pub fn base_prompt(rank: usize, universe: usize) -> String {
+    debug_assert!(rank < universe);
+    let style = STYLES[rank % STYLES.len()];
+    let topic = TOPICS[rank % TOPICS.len()];
+    // The rank suffix keeps prompts distinct once style×topic combinations
+    // are exhausted, without dominating the ngram profile.
+    format!("{style} {topic} v{}", rank / (STYLES.len() * TOPICS.len()))
+}
+
+/// Cumulative Zipf weights over ranks `0..universe`, normalized to end at
+/// `1.0`. Fixed left-to-right summation order keeps the table (and every
+/// draw made through it) bit-stable.
+fn zipf_cdf(universe: usize, s: f64) -> Vec<f64> {
+    let mut acc = 0.0;
+    let mut cdf: Vec<f64> = (0..universe)
+        .map(|rank| {
+            acc += 1.0 / ((rank + 1) as f64).powf(s);
+            acc
+        })
+        .collect();
+    let total = acc;
+    for w in &mut cdf {
+        *w /= total;
+    }
+    cdf
+}
+
+/// Generates the full request stream described by `config`.
+pub fn generate(config: &WorkloadConfig) -> Vec<Request> {
+    let cdf = zipf_cdf(config.universe.max(1), config.zipf_s);
+    let mut arrival = 0.0f64;
+    let mut clock_rng = StdRng::seed_from_u64(pas_par::derive_seed(config.seed, u64::MAX));
+    (0..config.requests)
+        .map(|i| {
+            // Per-request derived stream: prompt identity and variant are a
+            // function of (seed, i) alone.
+            let mut rng = StdRng::seed_from_u64(pas_par::derive_seed(config.seed, i as u64));
+            let u: f64 = rng.random();
+            let rank = cdf.partition_point(|&c| c < u).min(cdf.len() - 1);
+            let mut prompt = base_prompt(rank, config.universe.max(1));
+            if rng.random_bool(config.near_dup_rate) {
+                prompt.push_str(VARIANTS[rng.random_range(0..VARIANTS.len())]);
+            }
+            // Arrivals use their own stream so adding per-request draws
+            // never shifts the arrival process.
+            let u: f64 = clock_rng.random();
+            arrival += -u.max(1e-12).ln() * config.mean_interarrival_ms;
+            Request { id: i, arrival_ms: arrival as u64, prompt }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn generation_is_bit_reproducible() {
+        let config = WorkloadConfig::default();
+        assert_eq!(generate(&config), generate(&config));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&WorkloadConfig::default());
+        let b = generate(&WorkloadConfig { seed: 1, ..WorkloadConfig::default() });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn arrivals_are_nondecreasing_and_ids_sequential() {
+        let requests = generate(&WorkloadConfig::default());
+        for (i, pair) in requests.windows(2).enumerate() {
+            assert!(pair[1].arrival_ms >= pair[0].arrival_ms, "arrival order broke at {i}");
+        }
+        assert!(requests.iter().enumerate().all(|(i, r)| r.id == i));
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_mass_on_the_head() {
+        let config = WorkloadConfig { requests: 4000, near_dup_rate: 0.0, ..Default::default() };
+        let requests = generate(&config);
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for r in &requests {
+            *counts.entry(r.prompt.as_str()).or_default() += 1;
+        }
+        let top = base_prompt(0, config.universe);
+        let head = counts.get(top.as_str()).copied().unwrap_or(0);
+        // Under s=1.1 over 150 ranks the top prompt holds ~16% of mass.
+        assert!(head > requests.len() / 10, "head prompt got only {head}/{}", requests.len());
+        assert!(counts.len() > 30, "tail collapsed: {} distinct prompts", counts.len());
+    }
+
+    #[test]
+    fn near_dup_rate_controls_variant_share() {
+        let base = WorkloadConfig { requests: 3000, ..Default::default() };
+        let none = generate(&WorkloadConfig { near_dup_rate: 0.0, ..base.clone() });
+        let half = generate(&WorkloadConfig { near_dup_rate: 0.5, ..base.clone() });
+        // Base prompts always end in the rank suffix ("v0", "v1", …), so a
+        // variant ending can only come from the variant pass.
+        let is_variant = |r: &Request| VARIANTS.iter().any(|v| r.prompt.ends_with(v));
+        assert_eq!(none.iter().filter(|r| is_variant(r)).count(), 0);
+        let share = half.iter().filter(|r| is_variant(r)).count() as f64 / half.len() as f64;
+        assert!((0.4..0.6).contains(&share), "variant share {share}");
+    }
+
+    #[test]
+    fn variants_stay_near_their_base_in_embedding_space() {
+        use pas_embed::{cosine, Embedder, NgramEmbedder};
+        let e = NgramEmbedder::default();
+        for rank in 0..8 {
+            let base = base_prompt(rank, 150);
+            for v in VARIANTS {
+                let sim = cosine(&e.embed(&base), &e.embed(&format!("{base}{v}")));
+                assert!(sim > 0.85, "variant {v:?} drifted: cos {sim}");
+            }
+        }
+    }
+}

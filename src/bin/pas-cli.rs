@@ -7,6 +7,9 @@
 //! pas-cli stats   --dataset data.jsonl                      # Figure 6 distribution
 //! pas-cli eval    --model pas.json [--items N] [--seed S]   # quick Arena-style check
 //!                 [--fault-profile NAME] [--fault-seed S]   # …under serve-time faults
+//! pas-cli serve   --model pas.json [--replicas N] [--cache-capacity N] [--tau F]
+//!                 [--queue N] [--batch N] [--rate-ms MS]    # gateway over stdin prompts
+//!                 [--fault-profile NAME] [--fault-seed S]
 //! ```
 //!
 //! Pipeline failures (including panics from deep inside a stage) exit
@@ -27,6 +30,7 @@ use pas::eval::harness::evaluate_suite;
 use pas::eval::judge::Judge;
 use pas::eval::suite::{EvalEnv, EvalEnvConfig};
 use pas::fault::{FaultConfig, FaultProfile};
+use pas::gateway::{Gateway, GatewayConfig, Request, SemanticCacheConfig};
 use pas::llm::SimLlm;
 
 fn main() -> ExitCode {
@@ -56,6 +60,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "augment" => cmd_augment(&flags),
         "stats" => cmd_stats(&flags),
         "eval" => cmd_eval(&flags),
+        "serve" => cmd_serve(&flags),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -70,6 +75,9 @@ const USAGE: &str = "usage:
   pas-cli augment --model FILE [--prompt TEXT]
   pas-cli stats   --dataset FILE
   pas-cli eval    --model FILE [--items N] [--seed S]
+                  [--fault-profile NAME] [--fault-seed S]
+  pas-cli serve   --model FILE [--replicas N] [--cache-capacity N] [--tau F]
+                  [--queue N] [--batch N] [--rate-ms MS]
                   [--fault-profile NAME] [--fault-seed S]
 
 fault profiles: none, transient, bursty, chaos, outage";
@@ -101,6 +109,13 @@ fn u64_flag(flags: &HashMap<String, String>, name: &str, default: u64) -> Result
     match flags.get(name) {
         None => Ok(default),
         Some(v) => v.parse().map_err(|_| format!("--{name} expects an integer, got {v:?}")),
+    }
+}
+
+fn f32_flag(flags: &HashMap<String, String>, name: &str, default: f32) -> Result<f32, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name} expects a number, got {v:?}")),
     }
 }
 
@@ -235,5 +250,62 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
         with_pas.win_rate,
         with_pas.win_rate - baseline.win_rate
     );
+    Ok(())
+}
+
+/// `serve`: drive stdin prompts through the full gateway — semantic cache,
+/// admission control, micro-batching, replica pool — and print one
+/// augmented prompt per line (order preserved), with the run's
+/// `GatewayReport` summary on stderr.
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let pas = load_model(flags)?;
+    let replicas = usize_flag(flags, "replicas", 2)?;
+    if replicas == 0 {
+        return Err("--replicas must be positive".into());
+    }
+    let capacity = usize_flag(flags, "cache-capacity", 4096)?;
+    let tau = f32_flag(flags, "tau", 0.0)?;
+    if !(0.0..=2.0).contains(&tau) {
+        return Err(format!("--tau must be a cosine distance in [0, 2], got {tau}"));
+    }
+    let batch = usize_flag(flags, "batch", 8)?;
+    if batch == 0 {
+        return Err("--batch must be positive".into());
+    }
+    let mut config = GatewayConfig {
+        replicas,
+        cache: SemanticCacheConfig { capacity, tau, ..SemanticCacheConfig::default() },
+        queue_capacity: usize_flag(flags, "queue", 64)?,
+        batch_max: batch,
+        ..GatewayConfig::default()
+    };
+    if let Some(fault) = fault_config(flags)? {
+        eprintln!("fault profile '{}' (seed {:#x})", fault.profile.name, fault.seed);
+        config.fault = fault;
+    }
+
+    // Stdin lines arrive with fixed --rate-ms spacing in simulated time, so
+    // identical input always produces the identical report.
+    let rate_ms = u64_flag(flags, "rate-ms", 2)?;
+    let stdin = std::io::stdin();
+    let mut requests = Vec::new();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let id = requests.len();
+        requests.push(Request { id, arrival_ms: id as u64 * rate_ms, prompt: line });
+    }
+
+    let mut gateway = Gateway::new(config, (0..replicas).map(|_| pas.clone()).collect());
+    let (responses, report) = gateway.run(&requests);
+    let mut out = String::with_capacity(responses.iter().map(|r| r.len() + 1).sum());
+    for response in &responses {
+        out.push_str(response);
+        out.push('\n');
+    }
+    print!("{out}");
+    eprintln!("{}", report.render_summary());
     Ok(())
 }

@@ -15,6 +15,9 @@
 //! - [`fault`] — fault-tolerant runtime: deterministic fault injection,
 //!   retry/backoff with circuit breaking, checkpoint journals, and the
 //!   degraded-mode accounting the serve path uses.
+//! - [`gateway`] — deterministic serving gateway: semantic complement
+//!   caching, admission control, micro-batching, and a fault-isolated
+//!   replica pool, all under a discrete-event simulator.
 //! - substrates: [`text`], [`tokenizer`], [`embed`], [`ann`], [`nn`].
 
 pub use pas_ann as ann;
@@ -24,6 +27,7 @@ pub use pas_data as data;
 pub use pas_embed as embed;
 pub use pas_eval as eval;
 pub use pas_fault as fault;
+pub use pas_gateway as gateway;
 pub use pas_llm as llm;
 pub use pas_nn as nn;
 pub use pas_text as text;

@@ -205,3 +205,99 @@ fn permanent_outage_degrades_to_passthrough_and_chaos_serving_is_exact() {
     let probe = &env.arena.items[0].prompt;
     assert_ne!(&system.pas.optimize(probe), probe, "PAS must augment, not pass through");
 }
+
+#[test]
+fn transient_outage_trips_breaker_then_recovers() {
+    use pas::core::PromptOptimizer;
+    use pas::fault::{streams, RetryPolicy};
+    use pas::text::fx_hash_str;
+
+    // A toy optimizer with visible output, so recovery is observable.
+    struct Suffix;
+    impl PromptOptimizer for Suffix {
+        fn name(&self) -> &str {
+            "suffix"
+        }
+        fn optimize(&self, prompt: &str) -> String {
+            format!("{prompt} [augmented]")
+        }
+        fn requires_human_labels(&self) -> bool {
+            false
+        }
+        fn llm_agnostic(&self) -> bool {
+            true
+        }
+        fn task_agnostic(&self) -> bool {
+            true
+        }
+        fn training_pairs(&self) -> Option<usize> {
+            None
+        }
+    }
+
+    // A *transient* outage, as opposed to the permanent one above: 90%
+    // per-attempt transient errors with failure runs up to 6 deep, far
+    // beyond the 2-attempt retry budget below, so most calls fail outright
+    // — while calls whose schedule clears attempt 0 model the backend
+    // coming back and give the breaker's probes something to succeed on.
+    let profile = FaultProfile {
+        name: "flapping",
+        transient_rate: 0.9,
+        max_consecutive: 6,
+        ..FaultProfile::none()
+    };
+    let policy = RetryPolicy {
+        max_attempts: 2,
+        breaker_threshold: 3,
+        breaker_probe_interval: 4,
+        ..RetryPolicy::default()
+    };
+    let fault = FaultConfig { profile, policy, ..FaultConfig::default() };
+    let server = DegradingServer::new(Suffix, &fault);
+
+    // Read the (pure) fault schedule to pick prompts by fate.
+    let injector = fault.injector();
+    let fails_outright =
+        |p: &str| (0..2).all(|a| injector.check(streams::SERVE_MP, fx_hash_str(p), a).is_err());
+    let clears_first = |p: &str| injector.check(streams::SERVE_MP, fx_hash_str(p), 0).is_ok();
+    let candidates: Vec<String> = (0..200).map(|i| format!("serve request {i}")).collect();
+    let failing: Vec<&String> = candidates.iter().filter(|p| fails_outright(p)).take(3).collect();
+    assert_eq!(failing.len(), 3, "the schedule must fail some calls outright");
+    let mut survivors = candidates.iter().filter(|p| clears_first(p));
+    let recovery = survivors.next().expect("some call clears its first attempt");
+    let after = survivors.next().expect("a second call clears its first attempt");
+
+    // Outage phase: three consecutive exhausted calls serve passthrough
+    // and the third trips the breaker.
+    for p in &failing {
+        assert_eq!(&server.optimize(p), *p, "an exhausted call must pass through");
+        assert!(server.fault_report().failed > 0);
+    }
+    assert!(server.breaker_open(), "three consecutive call failures must trip the breaker");
+    assert_eq!(server.degraded(), 3);
+
+    // While open, requests shed fast (passthrough, no backend attempts)
+    // until the scheduled probe slot comes around; the probe reaches the
+    // recovered backend, succeeds, and closes the breaker (half-open →
+    // closed), returning the exact augmented output mid-recovery.
+    let mut shed = 0u64;
+    loop {
+        let out = server.optimize(recovery);
+        if out == format!("{recovery} [augmented]") {
+            break;
+        }
+        assert_eq!(&out, recovery, "while open, requests pass through");
+        shed += 1;
+        assert!(shed < 8, "the probe slot never arrived");
+    }
+    assert_eq!(shed, 3, "exactly probe_interval − 1 requests shed before the probe");
+    assert!(!server.breaker_open(), "a successful probe must close the breaker");
+
+    // Recovered phase: subsequent requests get exact augmentation again.
+    assert_eq!(server.optimize(after), format!("{after} [augmented]"));
+    assert_eq!(server.optimize(recovery), format!("{recovery} [augmented]"));
+    let report = server.fault_report();
+    assert_eq!(report.breaker_trips, 1);
+    assert_eq!(report.breaker_fast_fails, shed);
+    assert_eq!(server.degraded(), 3 + shed);
+}

@@ -1,0 +1,149 @@
+//! The serving-gateway contract, enforced end-to-end (DESIGN.md §9):
+//!
+//! 1. **Bit-reproducible load tests** — the same seeded workload produces
+//!    identical responses, identical ordering, and an identical
+//!    `GatewayReport` (compared as serialized JSON) at `--threads 1` and
+//!    `--threads 8`, with a clean pool and with an eventual-success chaos
+//!    profile on one replica alike — and the chaos run's *responses* are
+//!    bit-identical to the clean run's (fault invisibility at the gateway
+//!    level).
+//! 2. **Pool-level plug-and-play guarantee** — a full-pool permanent
+//!    outage serves every request as passthrough, exactly what
+//!    `NoOptimizer` would produce, with zero errors and zero unanswered
+//!    requests.
+//! 3. **Semantic cache contract** — the near tier is dead at τ=0, alive at
+//!    τ>0 on a near-duplicate-bearing workload, and capacity bounds are
+//!    enforced by LRU eviction.
+//!
+//! Property 1 lives in one test function because the `pas_par` thread
+//! count is process-global and the harness runs tests concurrently (same
+//! pattern as `tests/chaos.rs`).
+
+use pas::core::{NoOptimizer, PromptOptimizer};
+use pas::fault::FaultProfile;
+use pas::gateway::{
+    generate, Gateway, GatewayConfig, Request, SemanticCacheConfig, WorkloadConfig,
+};
+
+/// A toy deterministic optimizer with visible, prompt-derived output.
+struct Suffix;
+
+impl PromptOptimizer for Suffix {
+    fn name(&self) -> &str {
+        "suffix"
+    }
+    fn optimize(&self, prompt: &str) -> String {
+        format!("{prompt} [augmented]")
+    }
+    fn requires_human_labels(&self) -> bool {
+        false
+    }
+    fn llm_agnostic(&self) -> bool {
+        true
+    }
+    fn task_agnostic(&self) -> bool {
+        true
+    }
+    fn training_pairs(&self) -> Option<usize> {
+        None
+    }
+}
+
+fn workload() -> Vec<Request> {
+    generate(&WorkloadConfig {
+        requests: 600,
+        universe: 60,
+        near_dup_rate: 0.2,
+        ..WorkloadConfig::default()
+    })
+}
+
+fn config_with(profiles: Vec<FaultProfile>, tau: f32) -> GatewayConfig {
+    GatewayConfig {
+        replicas: 3,
+        replica_profiles: profiles,
+        cache: SemanticCacheConfig { tau, ..SemanticCacheConfig::default() },
+        ..GatewayConfig::default()
+    }
+}
+
+/// Runs the canonical workload and flattens the outcome to comparable
+/// bits: every response in order, plus the full report as JSON.
+fn run_gateway(config: GatewayConfig) -> (Vec<String>, String) {
+    let replicas = config.replicas;
+    let mut gateway = Gateway::new(config, (0..replicas).map(|_| Suffix).collect());
+    let (responses, report) = gateway.run(&workload());
+    (responses, serde_json::to_string(&report).expect("report serializes"))
+}
+
+#[test]
+fn seeded_load_tests_are_bit_identical_across_thread_counts() {
+    // Clean pool, and an eventual-success chaos profile on replica 1: both
+    // must be thread-count invariant down to the serialized report.
+    let clean = |tau| config_with(Vec::new(), tau);
+    let chaotic = |tau| {
+        config_with(vec![FaultProfile::none(), FaultProfile::chaos(), FaultProfile::none()], tau)
+    };
+
+    let clean_serial = pas_par::with_threads(1, || run_gateway(clean(0.2)));
+    let clean_parallel = pas_par::with_threads(8, || run_gateway(clean(0.2)));
+    assert_eq!(clean_serial.0, clean_parallel.0, "clean responses must be thread-invariant");
+    assert_eq!(clean_serial.1, clean_parallel.1, "clean report must be thread-invariant");
+
+    let chaos_serial = pas_par::with_threads(1, || run_gateway(chaotic(0.2)));
+    let chaos_parallel = pas_par::with_threads(8, || run_gateway(chaotic(0.2)));
+    assert_eq!(chaos_serial.0, chaos_parallel.0, "chaos responses must be thread-invariant");
+    assert_eq!(chaos_serial.1, chaos_parallel.1, "chaos report must be thread-invariant");
+
+    // Fault invisibility: eventual-success faults never change what the
+    // user sees, only the fault-layer accounting.
+    assert_eq!(clean_serial.0, chaos_serial.0, "chaos must not alter any response");
+    let report: pas::gateway::GatewayReport =
+        serde_json::from_str(&chaos_serial.1).expect("report round-trips");
+    assert_eq!(report.degraded, 0, "eventual-success faults must never degrade");
+    let injected: u64 = report.per_replica.iter().map(|r| r.faults.total_faults()).sum();
+    assert!(injected > 0, "the chaos replica must actually inject faults");
+    assert!(report.per_replica[1].faults.total_faults() > 0, "replica 1 carries the chaos profile");
+}
+
+#[test]
+fn full_pool_outage_serves_everything_as_passthrough() {
+    let profiles = vec![FaultProfile::outage(); 3];
+    let (responses, report_json) = run_gateway(config_with(profiles, 0.2));
+    let requests = workload();
+    assert_eq!(responses.len(), requests.len());
+    for (request, response) in requests.iter().zip(&responses) {
+        assert_eq!(
+            response,
+            &NoOptimizer.optimize(&request.prompt),
+            "a dead pool must serve the bare prompt, never an error"
+        );
+    }
+    let report: pas::gateway::GatewayReport =
+        serde_json::from_str(&report_json).expect("report round-trips");
+    assert_eq!(report.completed, report.requests, "every request must be answered");
+    assert!(report.degraded > 0, "a dead pool degrades batched requests");
+    assert_eq!(report.exact_hits + report.near_hits, 0, "degraded results must never be cached");
+    assert!(report.per_replica.iter().all(|r| r.served == 0));
+}
+
+#[test]
+fn near_tier_is_tau_gated_and_capacity_is_enforced() {
+    let (_, exact_json) = run_gateway(config_with(Vec::new(), 0.0));
+    let exact: pas::gateway::GatewayReport = serde_json::from_str(&exact_json).unwrap();
+    assert_eq!(exact.near_hits, 0, "τ=0 must keep the near tier off");
+    assert!(exact.exact_hits > 0, "the Zipf head must repeat verbatim");
+
+    let (_, near_json) = run_gateway(config_with(Vec::new(), 0.25));
+    let near: pas::gateway::GatewayReport = serde_json::from_str(&near_json).unwrap();
+    assert!(near.near_hits > 0, "τ=0.25 must catch workload near-duplicates");
+    assert!(near.hit_rate() > exact.hit_rate(), "the near tier must add hits");
+
+    let tiny = GatewayConfig {
+        cache: SemanticCacheConfig { capacity: 4, tau: 0.25, ..SemanticCacheConfig::default() },
+        ..config_with(Vec::new(), 0.25)
+    };
+    let (_, tiny_json) = run_gateway(tiny);
+    let tiny: pas::gateway::GatewayReport = serde_json::from_str(&tiny_json).unwrap();
+    assert!(tiny.evictions > 0, "capacity 4 must churn under a 60-prompt universe");
+}
