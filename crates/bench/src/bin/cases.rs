@@ -9,4 +9,5 @@ fn main() {
         println!("{}", case.render());
         println!("improved: {}\n", if case.improved() { "yes" } else { "no" });
     }
+    opts.write_metrics();
 }

@@ -10,4 +10,5 @@ fn main() {
     let f = fig1b(&t4);
     println!("{}", f.render());
     println!("net-positive scenarios: {}/8", f.net_positive());
+    opts.write_metrics();
 }

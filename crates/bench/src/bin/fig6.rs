@@ -11,4 +11,5 @@ fn main() {
         "mean prompt words: {:.1}; mean complement words: {:.1}",
         stats.mean_prompt_words, stats.mean_complement_words
     );
+    opts.write_metrics();
 }

@@ -6,4 +6,5 @@ fn main() {
     let opts = bench::Options::from_env();
     let ctx = opts.build_context();
     println!("{}", fig7(&ctx).render());
+    opts.write_metrics();
 }

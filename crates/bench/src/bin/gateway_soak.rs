@@ -6,6 +6,7 @@
 //! gateway_soak [--requests N] [--universe N] [--zipf S] [--near-dup F]
 //!              [--replicas N] [--cache-capacity N] [--tau F] [--shards N]
 //!              [--fault-profile NAME] [--seed S] [--threads N]
+//!              [--metrics-out FILE] [--metrics-jsonl FILE]
 //! ```
 //!
 //! With `--shards N` the workload is split into N contiguous shards, each
@@ -14,6 +15,12 @@
 //! real fleet's metric collector would use. Everything is deterministic:
 //! the same flags produce the same JSON on any machine at any thread
 //! count (clean and eventual-success profiles).
+//!
+//! `--metrics-out FILE` writes the fleet-merged `pas-obs` snapshot as one
+//! JSON object; `--metrics-jsonl FILE` additionally appends one snapshot
+//! line per shard (the registry is snapshotted and reset between shards,
+//! and the per-shard snapshots fold with `MetricsSnapshot::merge` — the
+//! same collector path, at the metrics layer).
 
 use pas_core::{BuildOptions, PasSystem, SystemConfig};
 use pas_data::{CorpusConfig, SelectionConfig};
@@ -32,9 +39,18 @@ fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
     }
 }
 
+fn path_flag(args: &[String], name: &str) -> Option<std::path::PathBuf> {
+    args.iter()
+        .position(|a| a == name)
+        .map(|i| args.get(i + 1).unwrap_or_else(|| panic!("{name} requires a path")).into())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     pas_par::set_threads(flag(&args, "--threads", 0usize));
+    let metrics_out = path_flag(&args, "--metrics-out");
+    let metrics_jsonl = path_flag(&args, "--metrics-jsonl");
+    pas_obs::set_enabled(metrics_out.is_some() || metrics_jsonl.is_some());
 
     let workload = WorkloadConfig {
         requests: flag(&args, "--requests", 3000usize),
@@ -86,11 +102,31 @@ fn main() {
     let requests = generate(&workload);
     let chunk = requests.len().div_ceil(shards);
     let mut fleet = GatewayReport::default();
+    // Snapshot the build-phase metrics out of the way so the per-shard
+    // lines cover serving only, then fold shard snapshots like a fleet
+    // metrics collector would.
+    let mut fleet_metrics = pas_obs::snapshot();
+    pas_obs::reset();
     for shard in requests.chunks(chunk.max(1)) {
         let replicas = (0..config.replicas).map(|_| pas.clone()).collect();
         let mut gateway = Gateway::new(config.clone(), replicas);
         let (_, report) = gateway.run(shard);
         fleet.merge(&report);
+        if pas_obs::enabled() {
+            let snap = pas_obs::snapshot();
+            pas_obs::reset();
+            if let Some(path) = &metrics_jsonl {
+                snap.append_jsonl(path)
+                    .unwrap_or_else(|e| panic!("appending {}: {e}", path.display()));
+            }
+            fleet_metrics.merge(&snap);
+        }
+    }
+    if let Some(path) = &metrics_out {
+        fleet_metrics
+            .write_json(path)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        eprintln!("metrics → {}", path.display());
     }
     eprintln!("{}", fleet.render_summary());
     println!("{}", serde_json::to_string(&fleet).expect("report serializes"));

@@ -13,4 +13,5 @@ fn main() {
     if let Some(n) = curve.pairs_to_reach(0.95) {
         println!("pairs to reach 95% of final score: {n}");
     }
+    opts.write_metrics();
 }

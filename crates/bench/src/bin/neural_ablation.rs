@@ -8,4 +8,5 @@ fn main() {
     let cmp = neural_vs_factored(&ctx);
     println!("{}", cmp.render());
     println!("neural PAS held-in token NLL: {:.3}", cmp.neural_nll);
+    opts.write_metrics();
 }

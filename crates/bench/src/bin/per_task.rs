@@ -8,4 +8,5 @@ fn main() {
     let ctx = opts.build_context();
     let result = per_task(&ctx, Category::Analysis);
     println!("{}", result.render());
+    opts.write_metrics();
 }

@@ -17,4 +17,5 @@ fn main() {
         "all seeds preserve orderings (PAS > baseline, PAS > BPO): {}",
         result.all_seeds_preserve_orderings()
     );
+    opts.write_metrics();
 }

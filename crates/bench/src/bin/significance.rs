@@ -35,4 +35,5 @@ fn main() {
         }
     }
     println!("\n* = 95% CI excludes zero in PAS's favour");
+    opts.write_metrics();
 }

@@ -9,4 +9,5 @@ fn main() {
     println!("{}", t1.render());
     println!("PAS vs baseline (paper: +8.00): {:+.2}", t1.pas_vs_baseline());
     println!("PAS vs BPO      (paper: +6.09): {:+.2}", t1.pas_vs_bpo());
+    opts.write_metrics();
 }

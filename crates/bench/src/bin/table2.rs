@@ -8,4 +8,5 @@ fn main() {
     let t2 = table2(&ctx);
     println!("{}", t2.render());
     println!("PAS vs BPO, same base (paper: +3.41): {:+.2}", t2.pas_vs_bpo());
+    opts.write_metrics();
 }

@@ -8,4 +8,5 @@ fn main() {
     let t3 = table3(&ctx);
     println!("{}", t3.render());
     println!("fully flexible methods: {:?}", t3.fully_flexible());
+    opts.write_metrics();
 }

@@ -9,4 +9,5 @@ fn main() {
     let t4 = table4(&ctx, &HumanEvalConfig::default());
     println!("{}", t4.render());
     println!("average grade gain (paper: +0.41): {:+.2}", t4.average_gain());
+    opts.write_metrics();
 }

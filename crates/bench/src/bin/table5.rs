@@ -8,4 +8,5 @@ fn main() {
     let t5 = table5(&ctx);
     println!("{}", t5.render());
     println!("ablation drop (paper: -3.80): {:+.2}", -t5.ablation_drop());
+    opts.write_metrics();
 }

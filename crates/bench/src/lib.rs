@@ -6,7 +6,10 @@
 //! - `--quick` — run at test scale instead of paper scale;
 //! - `--threads <n>` — worker count for the deterministic parallel runtime
 //!   (default: available parallelism; outputs are bit-identical at any
-//!   setting).
+//!   setting);
+//! - `--metrics-out <file>` — enable the `pas-obs` observability layer and
+//!   write its deterministic [`pas_obs::MetricsSnapshot`] as JSON when the
+//!   binary finishes (call [`Options::write_metrics`] at the end of main).
 //!
 //! The heavy [`ExperimentContext`] is built once per process.
 
@@ -26,7 +29,7 @@ pub fn host_json() -> String {
 }
 
 /// Parsed command-line options.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Options {
     /// Experiment seed.
     pub seed: u64,
@@ -34,15 +37,20 @@ pub struct Options {
     pub scale: Scale,
     /// Worker threads for `pas_par` (`None` = available parallelism).
     pub threads: Option<usize>,
+    /// Where to write the metrics snapshot (`None` = observability off).
+    pub metrics_out: Option<std::path::PathBuf>,
 }
 
 impl Options {
-    /// Parses `--seed <n>`, `--quick`, and `--threads <n>` from an argument
-    /// iterator, and applies the thread count to the parallel runtime.
+    /// Parses `--seed <n>`, `--quick`, `--threads <n>`, and
+    /// `--metrics-out <file>` from an argument iterator, applies the thread
+    /// count to the parallel runtime, and enables metrics recording when an
+    /// output path was given.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Options {
         let mut seed = 42u64;
         let mut scale = Scale::Paper;
         let mut threads = None;
+        let mut metrics_out = None;
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -59,11 +67,28 @@ impl Options {
                     assert!(n > 0, "--threads requires a positive integer");
                     threads = Some(n);
                 }
+                "--metrics-out" => {
+                    metrics_out = Some(std::path::PathBuf::from(
+                        it.next().expect("--metrics-out requires a path"),
+                    ));
+                }
                 _ => {}
             }
         }
         pas_par::set_threads(threads.unwrap_or(0));
-        Options { seed, scale, threads }
+        pas_obs::set_enabled(metrics_out.is_some());
+        Options { seed, scale, threads, metrics_out }
+    }
+
+    /// Writes the accumulated metrics snapshot to `--metrics-out`, if one
+    /// was requested. Call at the end of main; a no-op otherwise.
+    pub fn write_metrics(&self) {
+        if let Some(path) = &self.metrics_out {
+            pas_obs::snapshot()
+                .write_json(path)
+                .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+            eprintln!("metrics → {}", path.display());
+        }
     }
 
     /// Parses from the process arguments.

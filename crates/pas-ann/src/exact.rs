@@ -12,6 +12,12 @@
 use crate::metric::Metric;
 use crate::Neighbor;
 
+// Observability counters: a brute-force scan probes every stored vector,
+// so the tallies are exact functions of the collection size and query
+// count regardless of the parallel chunking.
+static OBS_SEARCHES: pas_obs::Counter = pas_obs::Counter::new("ann.exact.searches");
+static OBS_PROBES: pas_obs::Counter = pas_obs::Counter::new("ann.exact.probes");
+
 /// Exhaustive-scan index over the inserted vectors.
 pub struct ExactIndex<M: Metric> {
     metric: M,
@@ -72,6 +78,8 @@ impl<M: Metric> ExactIndex<M> {
     /// the ordered partial results merge sequentially — so the output is
     /// identical at any `--threads` setting.
     pub fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        OBS_SEARCHES.incr();
+        OBS_PROBES.add(self.vectors.len() as u64);
         let query = self.prepared_query(query);
         let chunk_starts: Vec<usize> = (0..self.vectors.len()).step_by(Self::SCAN_CHUNK).collect();
         let mut hits: Vec<Neighbor> = if chunk_starts.len() <= 1 {
@@ -115,6 +123,8 @@ impl<M: Metric> ExactIndex<M> {
     /// `k` nearest neighbours for every query, computed in parallel (one
     /// work item per query). Results are in query order.
     pub fn search_batch(&self, queries: &[Vec<f32>], k: usize) -> Vec<Vec<Neighbor>> {
+        OBS_SEARCHES.add(queries.len() as u64);
+        OBS_PROBES.add((queries.len() * self.vectors.len()) as u64);
         pas_par::par_map(queries, |_, q| {
             self.scan_range(&self.prepared_query(q), 0, self.vectors.len(), k)
         })
@@ -122,6 +132,8 @@ impl<M: Metric> ExactIndex<M> {
 
     /// All ids whose distance to `query` is at most `radius`.
     pub fn search_radius(&self, query: &[f32], radius: f32) -> Vec<Neighbor> {
+        OBS_SEARCHES.incr();
+        OBS_PROBES.add(self.vectors.len() as u64);
         let query = self.prepared_query(query);
         let mut hits: Vec<Neighbor> = self
             .vectors

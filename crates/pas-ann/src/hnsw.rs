@@ -20,6 +20,13 @@ use serde::{Deserialize, Serialize};
 use crate::metric::Metric;
 use crate::Neighbor;
 
+// Observability counters. Probe counts (distance evaluations) per
+// `search_layer` call are a pure function of the graph and query, and the
+// parallel build plans against a frozen wave graph, so the totals are
+// thread-count invariant even though the adds happen inside `par_map`.
+static OBS_SEARCHES: pas_obs::Counter = pas_obs::Counter::new("ann.hnsw.searches");
+static OBS_PROBES: pas_obs::Counter = pas_obs::Counter::new("ann.hnsw.probes");
+
 /// HNSW construction parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HnswConfig {
@@ -151,6 +158,7 @@ impl<M: Metric> Hnsw<M> {
     fn search_layer(&self, query: &[f32], entry: usize, ef: usize, layer: usize) -> Vec<Candidate> {
         let mut visited = vec![false; self.nodes.len()];
         visited[entry] = true;
+        let mut probes = 1u64;
         let entry_cand = Candidate { distance: self.dist(entry, query), id: entry };
 
         // `candidates`: min-heap (via Reverse) of nodes to expand.
@@ -170,6 +178,7 @@ impl<M: Metric> Hnsw<M> {
                     continue;
                 }
                 visited[next] = true;
+                probes += 1;
                 let d = self.dist(next, query);
                 let worst = results.peek().expect("non-empty").distance;
                 if results.len() < ef || d < worst {
@@ -182,6 +191,7 @@ impl<M: Metric> Hnsw<M> {
                 }
             }
         }
+        OBS_PROBES.add(probes);
         results.into_vec()
     }
 
@@ -389,6 +399,7 @@ impl<M: Metric> Hnsw<M> {
     /// once (one normalization under cosine); every probe after that is a
     /// prepared-form distance.
     pub fn search(&self, query: &[f32], k: usize, ef: usize) -> Vec<Neighbor> {
+        OBS_SEARCHES.incr();
         let Some(mut entry) = self.entry else {
             return Vec::new();
         };

@@ -20,6 +20,11 @@ use pas_llm::{ChatError, ChatModel, TryChatModel};
 
 use crate::optimizer::PromptOptimizer;
 
+// Passthrough fallbacks served because the optimizer boundary was down.
+// A plain commutative add — safe from any context, including the gateway's
+// parallel batch dispatch.
+static OBS_DEGRADED: pas_obs::Counter = pas_obs::Counter::new("serve.degraded");
+
 /// A [`PromptOptimizer`] viewed as a [`ChatModel`]: "chat" is the prompt
 /// transformation `p → cat(p, p_c)`. This is the adapter that lets the
 /// serve-time `M_p` boundary reuse the whole chat-level fault stack.
@@ -120,6 +125,7 @@ impl<O: PromptOptimizer> PromptOptimizer for DegradingServer<O> {
             Ok(augmented) => augmented,
             Err(_) => {
                 self.degraded.fetch_add(1, Ordering::Relaxed);
+                OBS_DEGRADED.incr();
                 prompt.to_string()
             }
         }

@@ -126,16 +126,30 @@ impl PasSystem {
                     .map_err(BuildError::Journal)?,
             ),
         };
+        // Stage spans open and close on this (serial) driving thread; the
+        // parallelism lives inside each stage, so the trace order is fixed.
+        let mut stage = pas_obs::span("pipeline.corpus");
         let corpus = Corpus::generate(&config.corpus);
+        stage.items(corpus.records.len() as u64);
+        stage.finish();
         let world = Arc::new(corpus.world.clone());
+        let mut stage = pas_obs::span("pipeline.select");
         let (selected, selection_report) =
             SelectionPipeline::new(config.selection.clone()).run(&corpus.records);
+        stage.items(selected.len() as u64);
+        stage.finish();
+        let mut stage = pas_obs::span("pipeline.generate");
         let (dataset, generation_report, fault_report) =
             Generator::new(config.generation.clone(), Arc::clone(&world))
                 .try_run_journaled(&selected, journal.as_ref())
                 .map_err(BuildError::Generation)?;
+        stage.items(dataset.len() as u64);
+        stage.finish();
+        let mut stage = pas_obs::span("pipeline.sft");
         let (pas, sft_loss) = Pas::sft_with_journal(&config.pas, &dataset, journal.as_ref())
             .map_err(BuildError::Journal)?;
+        stage.items(dataset.len() as u64);
+        stage.finish();
         Ok(PasSystem {
             pas,
             dataset,

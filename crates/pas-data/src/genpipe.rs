@@ -35,6 +35,18 @@ use crate::golden::golden_for;
 use crate::schema::{PairDataset, PairRecord};
 use crate::select::SelectedPrompt;
 
+// Observability counters, recorded serially after the parallel per-prompt
+// phase from the already-deterministic merged report — so the tallies are
+// thread-count-invariant by construction.
+static OBS_PROMPTS: pas_obs::Counter = pas_obs::Counter::new("gen.prompts");
+static OBS_JOURNAL_HITS: pas_obs::Counter = pas_obs::Counter::new("gen.journal_hits");
+static OBS_GENERATED: pas_obs::Counter = pas_obs::Counter::new("gen.generated");
+static OBS_REJECTED: pas_obs::Counter = pas_obs::Counter::new("gen.rejected_first_draw");
+static OBS_REGENERATIONS: pas_obs::Counter = pas_obs::Counter::new("gen.regenerations");
+static OBS_REPAIRS: pas_obs::Counter = pas_obs::Counter::new("gen.repairs");
+static OBS_TEACHER_TOKENS: pas_obs::Counter = pas_obs::Counter::new("gen.teacher_tokens");
+static OBS_CRITIC_TOKENS: pas_obs::Counter = pas_obs::Counter::new("gen.critic_tokens");
+
 /// Generation-pipeline parameters.
 #[derive(Debug, Clone)]
 pub struct GenConfig {
@@ -221,6 +233,8 @@ impl Generator {
             .collect();
         let missing: Vec<usize> =
             slots.iter().enumerate().filter(|(_, s)| s.is_none()).map(|(i, _)| i).collect();
+        OBS_PROMPTS.add(selected.len() as u64);
+        OBS_JOURNAL_HITS.add((selected.len() - missing.len()) as u64);
         let computed = pas_par::par_map(&missing, |_, &i| -> Result<PairEntry, GenError> {
             let entry = self.generate_one(i, &selected[i])?;
             if let Some(j) = journal {
@@ -243,6 +257,12 @@ impl Generator {
             report.merge(&entry.report);
             faults.merge(&entry.faults);
         }
+        OBS_GENERATED.add(report.generated as u64);
+        OBS_REJECTED.add(report.rejected_first_draw as u64);
+        OBS_REGENERATIONS.add(report.regenerations);
+        OBS_REPAIRS.add(report.repairs as u64);
+        OBS_TEACHER_TOKENS.add(report.teacher_tokens as u64);
+        OBS_CRITIC_TOKENS.add(report.critic_tokens as u64);
         Ok((dataset, report, faults))
     }
 

@@ -26,6 +26,16 @@ use parking_lot::RwLock;
 
 use crate::embedder::Embedder;
 
+// Observability counters. Recorded only where the tallies are
+// deterministic: the batch path (hits/misses are counted from the map
+// state before the parallel region) and the bounded single path (meant
+// for serial serve loops). The unbounded single path stays uncounted —
+// racing misses on the same text would make its tallies scheduling-
+// dependent, breaking snapshot thread-invariance.
+static OBS_HITS: pas_obs::Counter = pas_obs::Counter::new("embed.cache.hits");
+static OBS_MISSES: pas_obs::Counter = pas_obs::Counter::new("embed.cache.misses");
+static OBS_EVICTIONS: pas_obs::Counter = pas_obs::Counter::new("embed.cache.evictions");
+
 /// Map state behind the lock: values plus (when bounded) LRU bookkeeping.
 ///
 /// Recency is a monotone `clock` stamp per entry; `stamps` mirrors
@@ -170,15 +180,18 @@ impl<E: Embedder + Sync> Embedder for EmbeddingCache<E> {
                 v
             } {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                OBS_HITS.incr();
                 return v;
             }
             self.misses.fetch_add(1, Ordering::Relaxed);
+            OBS_MISSES.incr();
             let v = self.inner.embed(text);
             let mut map = self.map.write();
             map.insert(text, v.clone());
             let evicted = map.enforce(capacity);
             drop(map);
             self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            OBS_EVICTIONS.add(evicted);
             return v;
         }
         if let Some((v, _)) = self.map.read().entries.get(text) {
@@ -225,6 +238,8 @@ impl<E: Embedder + Sync> Embedder for EmbeddingCache<E> {
         }
         self.hits.fetch_add((texts.len() - miss_indices.len()) as u64, Ordering::Relaxed);
         self.misses.fetch_add(miss_indices.len() as u64, Ordering::Relaxed);
+        OBS_HITS.add((texts.len() - miss_indices.len()) as u64);
+        OBS_MISSES.add(miss_indices.len() as u64);
 
         let computed: Vec<Vec<f32>> =
             pas_par::par_map(&miss_indices, |_, &i| self.inner.embed(texts[i]));
@@ -236,6 +251,7 @@ impl<E: Embedder + Sync> Embedder for EmbeddingCache<E> {
             if let Some(capacity) = self.capacity {
                 let evicted = map.enforce(capacity);
                 self.evictions.fetch_add(evicted, Ordering::Relaxed);
+                OBS_EVICTIONS.add(evicted);
             }
         }
         for (&i, v) in miss_indices.iter().zip(computed) {

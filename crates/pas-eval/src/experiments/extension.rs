@@ -71,14 +71,25 @@ fn split_suite(suite: &BenchSuite, category: Category) -> (BenchSuite, BenchSuit
 /// Runs the per-task comparison on the Alpaca suite against one mid-tier
 /// model.
 pub fn per_task(ctx: &ExperimentContext, category: Category) -> PerTaskResult {
-    let model = ctx.model("gpt-4-0613");
-    let reference = ctx.reference(&ctx.env.alpaca);
-    let (in_suite, out_suite) = split_suite(&ctx.env.alpaca, category);
+    per_task_in_env(ctx, category, &ctx.env)
+}
+
+/// [`per_task`] over an explicit evaluation environment — the same trained
+/// optimizers scored against a different seeded suite draw. This is what
+/// lets a seed-sweep test re-run the comparison across environment seeds
+/// without rebuilding the (expensive) context.
+pub fn per_task_in_env(
+    ctx: &ExperimentContext,
+    category: Category,
+    env: &crate::suite::EvalEnv,
+) -> PerTaskResult {
+    let model = pas_llm::SimLlm::named("gpt-4-0613", env.world.clone());
+    let reference = pas_llm::SimLlm::named(&env.alpaca.reference_model, env.world.clone());
+    let (in_suite, out_suite) = split_suite(&env.alpaca, category);
 
     // Train split for the iterative optimizers: arena items of the target
     // category (disjoint from the alpaca eval items).
-    let train: Vec<(String, PromptMeta)> = ctx
-        .env
+    let train: Vec<(String, PromptMeta)> = env
         .arena
         .items
         .iter()
@@ -162,22 +173,31 @@ mod tests {
     use super::*;
 
     #[test]
-    fn per_task_optimizers_win_in_task_but_pas_generalizes() {
+    fn per_task_comparison_is_structurally_sound() {
+        // Structural checks only: the statistically tight claim (PAS beats
+        // the baseline out of task) lives in the root `seed_sweep` test,
+        // which asserts the margin across several environment seeds rather
+        // than gambling on a single draw.
         let ctx = super::super::context::shared_quick();
         let result = per_task(ctx, Category::Analysis);
         assert_eq!(result.rows.len(), 5);
-        let get = |n: &str| result.rows.iter().find(|r| r.method == n).unwrap();
-        let baseline = get("None");
-        let pas = get("PAS");
-        // PAS must beat the baseline out of task; the per-task optimizers
-        // need not (that is the point of the comparison).
-        assert!(
-            pas.out_of_task > baseline.out_of_task,
-            "PAS out-of-task {} vs baseline {}",
-            pas.out_of_task,
-            baseline.out_of_task
-        );
+        for row in &result.rows {
+            assert!((0.0..=100.0).contains(&row.in_task), "{}: {}", row.method, row.in_task);
+            assert!(
+                (0.0..=100.0).contains(&row.out_of_task),
+                "{}: {}",
+                row.method,
+                row.out_of_task
+            );
+        }
         assert!(result.render().contains("OPRO"));
+        // The env-override entry point scores the same suite identically.
+        let in_env = per_task_in_env(ctx, Category::Analysis, &ctx.env);
+        for (a, b) in result.rows.iter().zip(&in_env.rows) {
+            assert_eq!(a.method, b.method);
+            assert_eq!(a.in_task.to_bits(), b.in_task.to_bits());
+            assert_eq!(a.out_of_task.to_bits(), b.out_of_task.to_bits());
+        }
     }
 
     #[test]

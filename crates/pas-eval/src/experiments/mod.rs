@@ -15,7 +15,9 @@ pub mod table3;
 pub mod table45;
 
 pub use context::{ExperimentContext, Scale};
-pub use extension::{neural_vs_factored, per_task, NeuralVsFactored, PerTaskResult};
+pub use extension::{
+    neural_vs_factored, per_task, per_task_in_env, NeuralVsFactored, PerTaskResult,
+};
 pub use figures::{fig6, fig7, Fig7Result, LearningCurve};
 pub use robustness::{robustness, RobustnessResult, Spread};
 pub use table1::{table1, Table1Result};

@@ -13,6 +13,11 @@ use pas_llm::ChatModel;
 use crate::judge::Judge;
 use crate::suite::BenchSuite;
 
+// Observability counters, recorded before the parallel judging region —
+// the tallies are functions of the suite alone, never of scheduling.
+static OBS_RUNS: pas_obs::Counter = pas_obs::Counter::new("eval.suite.runs");
+static OBS_ITEMS: pas_obs::Counter = pas_obs::Counter::new("eval.suite.items");
+
 /// A benchmark score: win rate in percent, as the paper reports.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BenchScore {
@@ -55,6 +60,8 @@ pub fn per_item_credits<M: ChatModel, R: ChatModel, O: PromptOptimizer>(
     if suite.is_empty() {
         return Vec::new();
     }
+    OBS_RUNS.incr();
+    OBS_ITEMS.add(suite.items.len() as u64);
     let lc = suite.length_controlled;
     pas_par::par_map(&suite.items, |_, item| {
         let candidate = model.chat(&optimizer.optimize(&item.prompt));

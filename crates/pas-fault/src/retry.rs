@@ -18,6 +18,23 @@ use pas_par::derive_seed_path;
 
 use crate::report::FaultReport;
 
+// Observability mirrors of the `FaultReport` counters. Calls run inside
+// `par_map` workers, but every increment is a commutative saturating add
+// over a content-keyed call set, so the totals are thread-count invariant
+// (see the `fault.*` section of DESIGN.md §10).
+static OBS_CALLS: pas_obs::Counter = pas_obs::Counter::new("fault.calls");
+static OBS_ATTEMPTS: pas_obs::Counter = pas_obs::Counter::new("fault.attempts");
+static OBS_RETRIES: pas_obs::Counter = pas_obs::Counter::new("fault.retries");
+static OBS_SUCCEEDED: pas_obs::Counter = pas_obs::Counter::new("fault.succeeded");
+static OBS_FAILED: pas_obs::Counter = pas_obs::Counter::new("fault.failed");
+static OBS_BACKOFF_MS: pas_obs::Counter = pas_obs::Counter::new("fault.backoff_ms");
+static OBS_DEADLINE: pas_obs::Counter = pas_obs::Counter::new("fault.deadline_exceeded");
+static OBS_BREAKER_TRIPS: pas_obs::Counter = pas_obs::Counter::new("fault.breaker_trips");
+static OBS_BREAKER_CLOSES: pas_obs::Counter = pas_obs::Counter::new("fault.breaker_closes");
+static OBS_FAST_FAILS: pas_obs::Counter = pas_obs::Counter::new("fault.breaker_fast_fails");
+/// Simulated milliseconds each call consumed (attempt costs + backoff).
+static OBS_CALL_SIM_MS: pas_obs::Histogram = pas_obs::Histogram::new("fault.call_sim_ms");
+
 /// Jitter draws live on their own derived lane so they never collide with
 /// fault-schedule draws keyed on the same call.
 const JITTER_LANE: u64 = 0x00ba_c0ff;
@@ -108,7 +125,9 @@ impl CircuitBreaker {
 
     fn on_success(&self) {
         self.consecutive_failures.store(0, Ordering::Relaxed);
-        self.open.store(false, Ordering::Relaxed);
+        if self.open.swap(false, Ordering::Relaxed) {
+            OBS_BREAKER_CLOSES.incr();
+        }
     }
 
     /// Records a call failure; returns true when this failure tripped the
@@ -176,19 +195,25 @@ impl RetryEngine {
         mut f: impl FnMut(u64) -> Result<T, ChatError>,
     ) -> Result<T, ChatError> {
         report.calls += 1;
+        OBS_CALLS.incr();
         if !self.breaker.try_pass() {
             report.breaker_fast_fails += 1;
             report.failed += 1;
+            OBS_FAST_FAILS.incr();
+            OBS_FAILED.incr();
             return Err(ChatError::Unavailable);
         }
         let mut elapsed = 0u64;
         let mut attempt: u32 = 0;
         let err = loop {
             report.attempts += 1;
+            OBS_ATTEMPTS.incr();
             match f(u64::from(attempt)) {
                 Ok(value) => {
                     report.succeeded += 1;
                     report.simulated_ms += elapsed + self.policy.attempt_cost_ms;
+                    OBS_SUCCEEDED.incr();
+                    OBS_CALL_SIM_MS.record(elapsed + self.policy.attempt_cost_ms);
                     self.breaker.on_success();
                     return Ok(value);
                 }
@@ -226,18 +251,24 @@ impl RetryEngine {
                     }
                     elapsed += wait;
                     report.backoff_ms += wait;
+                    OBS_BACKOFF_MS.add(wait);
                     if elapsed > self.policy.deadline_ms {
                         report.deadline_exceeded += 1;
+                        OBS_DEADLINE.incr();
                         break ChatError::Timeout { elapsed_ms: elapsed };
                     }
                     report.retries += 1;
+                    OBS_RETRIES.incr();
                 }
             }
         };
         report.failed += 1;
         report.simulated_ms += elapsed;
+        OBS_FAILED.incr();
+        OBS_CALL_SIM_MS.record(elapsed);
         if self.breaker.on_failure() {
             report.breaker_trips += 1;
+            OBS_BREAKER_TRIPS.incr();
         }
         Err(err)
     }

@@ -31,6 +31,28 @@ use crate::pool::{ReplicaPool, ServeOutcome};
 use crate::report::{GatewayReport, ReplicaReport};
 use crate::workload::Request;
 
+// Observability. Every recording below happens on the (serial) event-loop
+// thread — the only parallel region is `ReplicaPool::try_serve` inside
+// `dispatch`, which records nothing — so gauges are safe and the metrics
+// are as deterministic as the loop itself. Aggregate counters are charged
+// once per run from the finished report rather than per event.
+static OBS_REQUESTS: pas_obs::Counter = pas_obs::Counter::new("gateway.requests");
+static OBS_COMPLETED: pas_obs::Counter = pas_obs::Counter::new("gateway.completed");
+static OBS_EXACT_HITS: pas_obs::Counter = pas_obs::Counter::new("gateway.cache.exact_hits");
+static OBS_NEAR_HITS: pas_obs::Counter = pas_obs::Counter::new("gateway.cache.near_hits");
+static OBS_MISSES: pas_obs::Counter = pas_obs::Counter::new("gateway.cache.misses");
+static OBS_EVICTIONS: pas_obs::Counter = pas_obs::Counter::new("gateway.cache.evictions");
+static OBS_SHED: pas_obs::Counter = pas_obs::Counter::new("gateway.shed");
+static OBS_REJECTED: pas_obs::Counter = pas_obs::Counter::new("gateway.rejected");
+static OBS_DEGRADED: pas_obs::Counter = pas_obs::Counter::new("gateway.degraded");
+static OBS_FAILOVERS: pas_obs::Counter = pas_obs::Counter::new("gateway.failovers");
+static OBS_BATCHES: pas_obs::Counter = pas_obs::Counter::new("gateway.batches");
+static OBS_BATCHED_PROMPTS: pas_obs::Counter = pas_obs::Counter::new("gateway.batched_prompts");
+static OBS_BATCH_SIZE: pas_obs::Histogram = pas_obs::Histogram::new("gateway.batch.size");
+static OBS_LATENCY: pas_obs::Histogram = pas_obs::Histogram::new("gateway.latency_ms");
+static OBS_QUEUE_DEPTH: pas_obs::Gauge = pas_obs::Gauge::new("gateway.queue.depth");
+static OBS_POOL_HEALTHY: pas_obs::Gauge = pas_obs::Gauge::new("gateway.pool.healthy");
+
 /// What to do with a cache-miss arrival when the queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AdmissionPolicy {
@@ -166,6 +188,14 @@ impl<O: PromptOptimizer> Gateway<O> {
     /// Runs the full workload to completion. Returns the response for each
     /// request (index-aligned with `requests`) and the aggregate report.
     pub fn run(&mut self, requests: &[Request]) -> (Vec<String>, GatewayReport) {
+        let mut span = pas_obs::span("gateway.run");
+        span.items(requests.len() as u64);
+        // Cache counters are cumulative per gateway; charge this run's
+        // delta so back-to-back runs don't double count.
+        let base_hits = self.cache.hits();
+        let base_near = self.cache.near_hits();
+        let base_misses = self.cache.misses();
+        let base_evictions = self.cache.evictions();
         let mut heap: BinaryHeap<Scheduled> = BinaryHeap::new();
         let mut seq = 0u64;
         let mut schedule = |heap: &mut BinaryHeap<Scheduled>, time: u64, event: Event| {
@@ -198,6 +228,7 @@ impl<O: PromptOptimizer> Gateway<O> {
                         responses[i] = Some(response);
                         report.completed += 1;
                         report.latency.record(self.config.cache_hit_cost_ms);
+                        OBS_LATENCY.record(self.config.cache_hit_cost_ms);
                     }
                     CacheOutcome::Miss => {
                         if queue.len() >= self.config.queue_capacity {
@@ -208,6 +239,7 @@ impl<O: PromptOptimizer> Gateway<O> {
                                     report.rejected += 1;
                                     report.completed += 1;
                                     report.latency.record(0);
+                                    OBS_LATENCY.record(0);
                                     continue;
                                 }
                                 AdmissionPolicy::ShedOldest => {
@@ -217,11 +249,13 @@ impl<O: PromptOptimizer> Gateway<O> {
                                     report.shed += 1;
                                     report.completed += 1;
                                     report.latency.record(now - requests[oldest].arrival_ms);
+                                    OBS_LATENCY.record(now - requests[oldest].arrival_ms);
                                 }
                             }
                         }
                         state[i] = ReqState::Queued;
                         queue.push_back(i);
+                        OBS_QUEUE_DEPTH.set(queue.len() as u64);
                         if queue.len() >= self.config.batch_max {
                             self.dispatch(
                                 &mut queue,
@@ -256,6 +290,7 @@ impl<O: PromptOptimizer> Gateway<O> {
                 }
                 Event::Completion { replica, members, unique_of, outcomes } => {
                     self.pool.finish(replica, outcomes.len() as u64);
+                    OBS_POOL_HEALTHY.set(self.pool.healthy() as u64);
                     // Cache and replica accounting go per unique prompt…
                     for (u, outcome) in outcomes.iter().enumerate() {
                         let owner = members[unique_of.iter().position(|&x| x == u).expect("owner")];
@@ -282,6 +317,7 @@ impl<O: PromptOptimizer> Gateway<O> {
                         responses[i] = Some(outcome.response_for(&requests[i].prompt));
                         report.completed += 1;
                         report.latency.record(now - requests[i].arrival_ms);
+                        OBS_LATENCY.record(now - requests[i].arrival_ms);
                     }
                 }
             }
@@ -296,6 +332,25 @@ impl<O: PromptOptimizer> Gateway<O> {
         for (r, faults) in report.per_replica.iter_mut().zip(self.pool.fault_reports()) {
             r.faults = faults;
         }
+        OBS_REQUESTS.add(report.requests);
+        OBS_COMPLETED.add(report.completed);
+        OBS_EXACT_HITS.add(report.exact_hits - base_hits);
+        OBS_NEAR_HITS.add(report.near_hits - base_near);
+        OBS_MISSES.add(report.misses - base_misses);
+        OBS_EVICTIONS.add(report.evictions - base_evictions);
+        OBS_SHED.add(report.shed);
+        OBS_REJECTED.add(report.rejected);
+        OBS_DEGRADED.add(report.degraded);
+        OBS_FAILOVERS.add(report.failovers);
+        OBS_BATCHES.add(report.batches);
+        OBS_BATCHED_PROMPTS.add(report.batched_prompts);
+        if pas_obs::enabled() {
+            for (idx, r) in report.per_replica.iter().enumerate() {
+                pas_obs::counter_add(&format!("gateway.replica{idx}.served"), r.served);
+            }
+        }
+        span.sim_ms(now);
+        span.finish();
         let responses = responses.into_iter().map(|r| r.expect("every request answered")).collect();
         (responses, report)
     }
@@ -338,6 +393,8 @@ impl<O: PromptOptimizer> Gateway<O> {
         let outcomes = pas_par::par_map(&unique, |_, p| self.pool.try_serve(replica, p));
         report.batches += 1;
         report.batched_prompts += unique.len() as u64;
+        OBS_BATCH_SIZE.record(unique.len() as u64);
+        OBS_QUEUE_DEPTH.set(queue.len() as u64);
         let cost =
             self.config.batch_overhead_ms + self.config.per_prompt_cost_ms * unique.len() as u64;
         schedule(now + cost, Event::Completion { replica, members, unique_of, outcomes });

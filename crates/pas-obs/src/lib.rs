@@ -1,0 +1,168 @@
+//! Deterministic observability for the PAS workspace.
+//!
+//! Wall-clock metrics would make every instrumented run unique; this crate
+//! instead measures the quantities the workspace already keeps
+//! deterministic — item counts, simulated milliseconds, cache tiers, queue
+//! depths — through three primitives:
+//!
+//! - **Counters** — saturating atomic sums. Safe anywhere, including
+//!   inside `pas_par::par_map` closures: addition commutes, so totals are
+//!   thread-count invariant whenever the work set is.
+//! - **Gauges** — last-writer values (queue depth, healthy replicas).
+//!   Serial contexts only; the gateway's event loop is the canonical
+//!   writer.
+//! - **Histograms** — fixed power-of-two buckets (the same layout as
+//!   `pas-gateway`'s latency histogram), recording simulated-time
+//!   distributions bucket-exactly.
+//!
+//! [`snapshot()`] exports everything as a [`MetricsSnapshot`]:
+//! canonically ordered, integer-only, with an associative
+//! [`MetricsSnapshot::merge`] so sharded soak runs reduce like the
+//! existing report types. A snapshot of a seeded run is **bit-identical
+//! at any thread count**, which makes committed snapshots stable golden
+//! test fixtures (`tests/snapshots/` at the workspace root).
+//!
+//! Collection is off by default (`set_enabled(true)` opts in; a disabled
+//! call is one relaxed atomic load). Building with `--features noop`
+//! compiles every recording call out entirely while keeping the snapshot
+//! data model available.
+
+pub mod snapshot;
+
+#[cfg(not(feature = "noop"))]
+mod registry;
+#[cfg(not(feature = "noop"))]
+use registry::trace_push;
+#[cfg(not(feature = "noop"))]
+pub use registry::{
+    counter_add, enabled, gauge_set, observe, reset, set_enabled, snapshot, take_trace, Counter,
+    Gauge, Histogram, SpanRecord,
+};
+
+#[cfg(feature = "noop")]
+mod noop;
+#[cfg(feature = "noop")]
+use noop::trace_push;
+#[cfg(feature = "noop")]
+pub use noop::{
+    counter_add, enabled, gauge_set, observe, reset, set_enabled, snapshot, take_trace, Counter,
+    Gauge, Histogram, SpanRecord,
+};
+
+mod span;
+pub use span::{span, Span};
+
+pub use snapshot::{
+    bucket_edge, bucket_for, GaugeSnapshot, HistogramSnapshot, MetricsSnapshot, BUCKETS,
+};
+
+#[cfg(all(test, not(feature = "noop")))]
+mod tests {
+    use super::*;
+
+    // The registry (and its enabled flag) is process-global and libtest
+    // runs tests concurrently, so every test serializes on this lock and
+    // uses its own metric names.
+    static LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+
+    static T1_HITS: Counter = Counter::new("t1.hits");
+
+    #[test]
+    fn disabled_registry_collects_nothing() {
+        let _guard = LOCK.lock();
+        static OFF: Counter = Counter::new("t0.off");
+        set_enabled(false);
+        OFF.add(5);
+        counter_add("t0.off_dyn", 2);
+        gauge_set("t0.gauge", 1);
+        observe("t0.hist", 1);
+        let snap = snapshot();
+        assert_eq!(snap.counter("t0.off"), 0);
+        assert_eq!(snap.counter("t0.off_dyn"), 0);
+        assert!(!snap.gauges.contains_key("t0.gauge"));
+        assert!(!snap.histograms.contains_key("t0.hist"));
+    }
+
+    #[test]
+    fn enabled_counters_accumulate_and_reset_in_place() {
+        let _guard = LOCK.lock();
+        set_enabled(true);
+        T1_HITS.add(2);
+        T1_HITS.incr();
+        assert_eq!(snapshot().counter("t1.hits"), 3);
+        reset();
+        assert_eq!(snapshot().counter("t1.hits"), 0);
+        // The static handle must survive a reset (zeroed, not detached).
+        T1_HITS.incr();
+        assert_eq!(snapshot().counter("t1.hits"), 1);
+    }
+
+    #[test]
+    fn gauges_and_histograms_export() {
+        let _guard = LOCK.lock();
+        set_enabled(true);
+        static DEPTH: Gauge = Gauge::new("t2.depth");
+        static LAT: Histogram = Histogram::new("t2.lat");
+        DEPTH.set(4);
+        DEPTH.set(9);
+        DEPTH.set(2);
+        LAT.record(0);
+        LAT.record(5);
+        LAT.record(5000);
+        let snap = snapshot();
+        let g = &snap.gauges["t2.depth"];
+        assert_eq!((g.last, g.max, g.updates), (2, 9, 3));
+        let h = &snap.histograms["t2.lat"];
+        assert_eq!((h.count, h.sum, h.max), (3, 5005, 5000));
+        assert_eq!(h.buckets[bucket_for(0)], 1);
+        assert_eq!(h.buckets[bucket_for(5)], 1);
+        assert_eq!(h.buckets[bucket_for(5000)], 1);
+    }
+
+    #[test]
+    fn spans_record_calls_items_and_trace() {
+        let _guard = LOCK.lock();
+        set_enabled(true);
+        {
+            let mut s = span("t3.stage");
+            s.items(10);
+            s.sim_ms(42);
+        }
+        let snap = snapshot();
+        assert_eq!(snap.counter("t3.stage.calls"), 1);
+        assert_eq!(snap.counter("t3.stage.items"), 10);
+        assert_eq!(snap.histograms["t3.stage.sim_ms"].sum, 42);
+        let trace = take_trace();
+        assert!(trace.contains(&SpanRecord { name: "t3.stage", items: 10, sim_ms: Some(42) }));
+    }
+
+    #[test]
+    fn counter_adds_saturate() {
+        let _guard = LOCK.lock();
+        set_enabled(true);
+        static SAT: Counter = Counter::new("t4.sat");
+        SAT.add(u64::MAX - 1);
+        SAT.add(5);
+        assert_eq!(snapshot().counter("t4.sat"), u64::MAX);
+    }
+
+    #[test]
+    fn parallel_counter_totals_are_exact() {
+        let _guard = LOCK.lock();
+        set_enabled(true);
+        static PAR: Counter = Counter::new("t5.par");
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..1000 {
+                        PAR.incr();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(snapshot().counter("t5.par"), 8000);
+    }
+}

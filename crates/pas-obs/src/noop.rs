@@ -1,0 +1,111 @@
+//! Compile-out backend (`--features noop`): the full recording API with
+//! empty inline bodies, so instrumented crates build unchanged while every
+//! collection call vanishes at compile time. [`snapshot`] always returns
+//! the merge identity, proving byte-identical output against
+//! un-instrumented builds.
+
+use crate::snapshot::MetricsSnapshot;
+
+/// No-op: collection cannot be enabled in a `noop` build.
+#[inline(always)]
+pub fn set_enabled(_on: bool) {}
+
+/// Always false in a `noop` build.
+#[inline(always)]
+pub fn enabled() -> bool {
+    false
+}
+
+/// See [`crate::registry`]; compiled out here.
+#[inline(always)]
+pub fn counter_add(_name: &str, _n: u64) {}
+
+/// See [`crate::registry`]; compiled out here.
+#[inline(always)]
+pub fn gauge_set(_name: &str, _value: u64) {}
+
+/// See [`crate::registry`]; compiled out here.
+#[inline(always)]
+pub fn observe(_name: &str, _value: u64) {}
+
+/// A span record; never produced in a `noop` build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span (stage) name.
+    pub name: &'static str,
+    /// Items the span reported processing.
+    pub items: u64,
+    /// Simulated milliseconds, when the span's domain owns a clock.
+    pub sim_ms: Option<u64>,
+}
+
+#[inline(always)]
+pub(crate) fn trace_push(_record: SpanRecord) {}
+
+/// Always empty in a `noop` build.
+#[inline(always)]
+pub fn take_trace() -> Vec<SpanRecord> {
+    Vec::new()
+}
+
+/// Always the merge identity in a `noop` build.
+#[inline(always)]
+pub fn snapshot() -> MetricsSnapshot {
+    MetricsSnapshot::default()
+}
+
+/// No-op: nothing is ever collected.
+#[inline(always)]
+pub fn reset() {}
+
+/// Compiled-out counter handle (see [`crate::registry::Counter`]).
+pub struct Counter {
+    _name: &'static str,
+}
+
+impl Counter {
+    /// Declares a counter; never registered.
+    pub const fn new(name: &'static str) -> Self {
+        Counter { _name: name }
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn incr(&self) {}
+}
+
+/// Compiled-out gauge handle (see [`crate::registry::Gauge`]).
+pub struct Gauge {
+    _name: &'static str,
+}
+
+impl Gauge {
+    /// Declares a gauge; never registered.
+    pub const fn new(name: &'static str) -> Self {
+        Gauge { _name: name }
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn set(&self, _value: u64) {}
+}
+
+/// Compiled-out histogram handle (see [`crate::registry::Histogram`]).
+pub struct Histogram {
+    _name: &'static str,
+}
+
+impl Histogram {
+    /// Declares a histogram; never registered.
+    pub const fn new(name: &'static str) -> Self {
+        Histogram { _name: name }
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn record(&self, _value: u64) {}
+}

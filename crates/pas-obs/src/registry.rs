@@ -1,0 +1,325 @@
+//! The global metrics registry and the handle types instrumentation sites
+//! hold.
+//!
+//! Determinism contract: every counter and histogram write is a
+//! *commutative* saturating add, so totals are independent of thread
+//! interleaving whenever the multiset of recorded values is (which the
+//! workspace's `pas_par` discipline guarantees). Gauges are last-writer
+//! state and therefore **must only be written from serial contexts** — in
+//! this workspace that means the gateway's discrete-event loop and the
+//! single-threaded pipeline driver, never inside a `par_map` closure.
+//!
+//! Collection is off by default: a disabled registry costs one relaxed
+//! atomic load per call and registers nothing, so un-instrumented runs
+//! snapshot to the empty (merge-identity) [`MetricsSnapshot`].
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+
+use crate::snapshot::{GaugeSnapshot, HistogramSnapshot, MetricsSnapshot, BUCKETS};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns metric collection on or off (default: off). Spans and handles
+/// become no-ops while disabled; already-collected values are kept.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// True while the registry is collecting.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Saturating atomic add — the counter write primitive. Saturation (rather
+/// than wrap) keeps `merge` laws exact at the ceiling.
+fn saturating_add(cell: &AtomicU64, n: u64) {
+    if n == 0 {
+        return;
+    }
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let next = current.saturating_add(n);
+        match cell.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => current = seen,
+        }
+    }
+}
+
+#[derive(Default)]
+struct GaugeState {
+    last: u64,
+    max: u64,
+    updates: u64,
+}
+
+struct HistogramState {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramState {
+    fn new() -> Self {
+        HistogramState {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, value: u64) {
+        saturating_add(&self.buckets[crate::snapshot::bucket_for(value)], 1);
+        saturating_add(&self.count, 1);
+        saturating_add(&self.sum, value);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    fn export(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A span record appended to the trace buffer when a [`crate::Span`]
+/// completes. Spans close in program order on the driving thread, so the
+/// trace is deterministic as long as spans wrap serial phases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span (stage) name.
+    pub name: &'static str,
+    /// Items the span reported processing.
+    pub items: u64,
+    /// Simulated milliseconds, when the span's domain owns a clock.
+    pub sim_ms: Option<u64>,
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Mutex<GaugeState>>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramState>>>,
+    trace: Mutex<Vec<SpanRecord>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+fn counter_cell(name: &str) -> Arc<AtomicU64> {
+    let mut map = registry().counters.lock();
+    match map.get(name) {
+        Some(cell) => Arc::clone(cell),
+        None => {
+            let cell = Arc::new(AtomicU64::new(0));
+            map.insert(name.to_string(), Arc::clone(&cell));
+            cell
+        }
+    }
+}
+
+fn gauge_cell(name: &str) -> Arc<Mutex<GaugeState>> {
+    let mut map = registry().gauges.lock();
+    match map.get(name) {
+        Some(cell) => Arc::clone(cell),
+        None => {
+            let cell = Arc::new(Mutex::new(GaugeState::default()));
+            map.insert(name.to_string(), Arc::clone(&cell));
+            cell
+        }
+    }
+}
+
+fn histogram_cell(name: &str) -> Arc<HistogramState> {
+    let mut map = registry().histograms.lock();
+    match map.get(name) {
+        Some(cell) => Arc::clone(cell),
+        None => {
+            let cell = Arc::new(HistogramState::new());
+            map.insert(name.to_string(), Arc::clone(&cell));
+            cell
+        }
+    }
+}
+
+/// Adds `n` to the named counter (dynamic-name form; prefer a static
+/// [`Counter`] on hot paths).
+pub fn counter_add(name: &str, n: u64) {
+    if !enabled() || n == 0 {
+        return;
+    }
+    saturating_add(&counter_cell(name), n);
+}
+
+/// Sets the named gauge. Serial contexts only (module docs).
+pub fn gauge_set(name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    let cell = gauge_cell(name);
+    let mut g = cell.lock();
+    g.last = value;
+    g.max = g.max.max(value);
+    g.updates = g.updates.saturating_add(1);
+}
+
+/// Records one observation into the named histogram.
+pub fn observe(name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    histogram_cell(name).record(value);
+}
+
+/// Appends a completed span to the trace buffer.
+pub(crate) fn trace_push(record: SpanRecord) {
+    registry().trace.lock().push(record);
+}
+
+/// Drains and returns the span trace collected so far.
+pub fn take_trace() -> Vec<SpanRecord> {
+    std::mem::take(&mut *registry().trace.lock())
+}
+
+/// Exports every non-zero metric as a canonically-ordered
+/// [`MetricsSnapshot`]. Call from a quiesced point (no in-flight
+/// `par_map`) for an exact cut.
+pub fn snapshot() -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::default();
+    for (name, cell) in registry().counters.lock().iter() {
+        let v = cell.load(Ordering::Relaxed);
+        if v > 0 {
+            snap.counters.insert(name.clone(), v);
+        }
+    }
+    for (name, cell) in registry().gauges.lock().iter() {
+        let g = cell.lock();
+        if g.updates > 0 {
+            snap.gauges.insert(
+                name.clone(),
+                GaugeSnapshot { last: g.last, max: g.max, updates: g.updates },
+            );
+        }
+    }
+    for (name, cell) in registry().histograms.lock().iter() {
+        let h = cell.export();
+        if !h.is_empty() {
+            snap.histograms.insert(name.clone(), h);
+        }
+    }
+    snap
+}
+
+/// Zeroes every metric **in place** and clears the trace. Entries are
+/// never removed: static handles cache their cells, and dropping an entry
+/// would silently detach them.
+pub fn reset() {
+    for cell in registry().counters.lock().values() {
+        cell.store(0, Ordering::Relaxed);
+    }
+    for cell in registry().gauges.lock().values() {
+        *cell.lock() = GaugeState::default();
+    }
+    for cell in registry().histograms.lock().values() {
+        cell.reset();
+    }
+    registry().trace.lock().clear();
+}
+
+/// A statically-named counter handle. `const`-constructible, so
+/// instrumentation sites declare `static X: Counter = Counter::new("…")`
+/// and pay one lazy registry lookup ever.
+pub struct Counter {
+    name: &'static str,
+    cell: OnceLock<Arc<AtomicU64>>,
+}
+
+impl Counter {
+    /// Declares a counter named `name` (registered on first use).
+    pub const fn new(name: &'static str) -> Self {
+        Counter { name, cell: OnceLock::new() }
+    }
+
+    /// Adds `n` (saturating); no-op while collection is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !enabled() || n == 0 {
+            return;
+        }
+        saturating_add(self.cell.get_or_init(|| counter_cell(self.name)), n);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+}
+
+/// A statically-named gauge handle. Serial contexts only (module docs).
+pub struct Gauge {
+    name: &'static str,
+    cell: OnceLock<Arc<Mutex<GaugeState>>>,
+}
+
+impl Gauge {
+    /// Declares a gauge named `name` (registered on first use).
+    pub const fn new(name: &'static str) -> Self {
+        Gauge { name, cell: OnceLock::new() }
+    }
+
+    /// Sets the gauge; no-op while collection is disabled.
+    #[inline]
+    pub fn set(&self, value: u64) {
+        if !enabled() {
+            return;
+        }
+        let mut g = self.cell.get_or_init(|| gauge_cell(self.name)).lock();
+        g.last = value;
+        g.max = g.max.max(value);
+        g.updates = g.updates.saturating_add(1);
+    }
+}
+
+/// A statically-named histogram handle.
+pub struct Histogram {
+    name: &'static str,
+    cell: OnceLock<Arc<HistogramState>>,
+}
+
+impl Histogram {
+    /// Declares a histogram named `name` (registered on first use).
+    pub const fn new(name: &'static str) -> Self {
+        Histogram { name, cell: OnceLock::new() }
+    }
+
+    /// Records one observation; no-op while collection is disabled.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if !enabled() {
+            return;
+        }
+        self.cell.get_or_init(|| histogram_cell(self.name)).record(value);
+    }
+}

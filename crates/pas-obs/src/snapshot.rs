@@ -1,0 +1,263 @@
+//! The exported data model: a point-in-time, order-canonical view of every
+//! metric, with an associative [`MetricsSnapshot::merge`] so sharded runs
+//! reduce to one snapshot exactly like the existing report types
+//! (`GenReport`, `FaultReport`, `GatewayReport`) do.
+//!
+//! Everything in a snapshot is an integer in simulated units (counts,
+//! simulated milliseconds). No wall-clock readings, no floats — that is
+//! what makes a committed snapshot a stable cross-machine test fixture.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Histogram bucket count, matching `pas-gateway`'s latency histogram: 40
+/// power-of-two buckets cover `0 ms` (bucket 0) through `[2^38, ∞)`.
+pub const BUCKETS: usize = 40;
+
+/// The bucket a value lands in: bucket 0 holds exactly 0, bucket `i ≥ 1`
+/// holds `[2^(i−1), 2^i)`, and the last bucket absorbs overflow.
+pub fn bucket_for(value: u64) -> usize {
+    if value == 0 {
+        return 0;
+    }
+    (64 - value.leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+/// The inclusive upper edge of bucket `i` (`u64::MAX` for the overflow
+/// bucket).
+pub fn bucket_edge(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A gauge's exported state. Gauges are last-writer values (queue depth,
+/// healthy-replica count) and are only ever written from serial event
+/// loops, so `last` is well-defined.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// Most recently set value.
+    pub last: u64,
+    /// Maximum value ever set.
+    pub max: u64,
+    /// Number of `set` calls folded in.
+    pub updates: u64,
+}
+
+impl GaugeSnapshot {
+    /// Folds `other` in as the *later* of the two windows: `last` follows
+    /// the right operand whenever it saw any update. Associative with
+    /// `Default` as identity (not commutative — gauges are ordered state).
+    pub fn merge(&mut self, other: &GaugeSnapshot) {
+        if other.updates > 0 {
+            self.last = other.last;
+        }
+        self.max = self.max.max(other.max);
+        self.updates = self.updates.saturating_add(other.updates);
+    }
+}
+
+/// A histogram's exported state: fixed power-of-two buckets plus the exact
+/// count/sum/max of the observations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`bucket_for`]); always
+    /// [`BUCKETS`] long.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (saturating).
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot { buckets: vec![0; BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Records one observation (used by tests and the registry backend).
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_for(value)] = self.buckets[bucket_for(value)].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Bucket-wise sum with `other`. Commutative and associative, with
+    /// `Default` as identity.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        assert_eq!(self.buckets.len(), other.buckets.len(), "histogram shapes must agree");
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Upper-edge estimate of quantile `q ∈ [0, 1]`, clamped to the true
+    /// max; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(n);
+            if seen >= rank {
+                return bucket_edge(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// True when nothing was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0 && self.buckets.iter().all(|&b| b == 0)
+    }
+}
+
+/// A complete, canonically-ordered export of the registry. `BTreeMap`
+/// keys make serialization order a pure function of the metric names, and
+/// zero-valued entries are never emitted, so a fresh registry snapshots to
+/// the merge identity.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Monotone counters (saturating sums).
+    pub counters: BTreeMap<String, u64>,
+    /// Last-writer gauges.
+    pub gauges: BTreeMap<String, GaugeSnapshot>,
+    /// Fixed-bucket histograms.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Folds `other` into `self`: counters and histograms add, gauges
+    /// follow the later window. Associative, with `Default` as identity —
+    /// the ordered-reduction primitive for sharded soak runs.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, &value) in &other.counters {
+            let mine = self.counters.entry(name.clone()).or_insert(0);
+            *mine = mine.saturating_add(value);
+        }
+        for (name, gauge) in &other.gauges {
+            self.gauges.entry(name.clone()).or_default().merge(gauge);
+        }
+        for (name, hist) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(hist);
+        }
+    }
+
+    /// True when nothing was recorded (the merge identity).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// One counter's value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Canonical single-line JSON rendering (stable across machines and
+    /// thread counts for deterministic workloads).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serialization is infallible")
+    }
+
+    /// Parses a snapshot back from [`MetricsSnapshot::to_json`] output.
+    pub fn from_json(text: &str) -> Result<MetricsSnapshot, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+
+    /// Writes the snapshot as pretty-stable JSON (single line + trailing
+    /// newline) to `path`, creating parent directories.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, format!("{}\n", self.to_json()))
+    }
+
+    /// Appends the snapshot as one JSONL record to `path`, creating parent
+    /// directories (the per-shard export format of sharded soak runs).
+    pub fn append_jsonl(&self, path: &std::path::Path) -> std::io::Result<()> {
+        use std::io::Write as _;
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        writeln!(f, "{}", self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_matches_the_gateway_histogram() {
+        assert_eq!(bucket_for(0), 0);
+        assert_eq!(bucket_for(1), 1);
+        assert_eq!(bucket_for(2), 2);
+        assert_eq!(bucket_for(3), 2);
+        assert_eq!(bucket_for(4), 3);
+        assert_eq!(bucket_for(u64::MAX), BUCKETS - 1);
+        for i in 1..BUCKETS - 1 {
+            assert_eq!(bucket_for(bucket_edge(i)), i, "upper edge of bucket {i}");
+            assert_eq!(bucket_for(bucket_edge(i) + 1), i + 1);
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_quantiles() {
+        let mut h = HistogramSnapshot::default();
+        for v in [0, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 1106);
+        assert_eq!(h.max, 1000);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 1000, "p100 clamps to the true max");
+        assert!(h.quantile(0.5) <= h.quantile(0.99));
+    }
+
+    #[test]
+    fn merge_identity_and_round_trip() {
+        let mut a = MetricsSnapshot::default();
+        a.counters.insert("x.calls".into(), 3);
+        a.gauges.insert("q.depth".into(), GaugeSnapshot { last: 2, max: 9, updates: 4 });
+        let mut h = HistogramSnapshot::default();
+        h.record(7);
+        a.histograms.insert("lat".into(), h);
+
+        let mut merged = MetricsSnapshot::default();
+        merged.merge(&a);
+        assert_eq!(merged, a, "default is the left identity");
+        let mut b = a.clone();
+        b.merge(&MetricsSnapshot::default());
+        assert_eq!(b, a, "default is the right identity");
+
+        let parsed = MetricsSnapshot::from_json(&a.to_json()).unwrap();
+        assert_eq!(parsed, a);
+    }
+
+    #[test]
+    fn gauge_merge_takes_the_later_window() {
+        let mut g = GaugeSnapshot { last: 5, max: 5, updates: 1 };
+        g.merge(&GaugeSnapshot { last: 2, max: 8, updates: 3 });
+        assert_eq!(g, GaugeSnapshot { last: 2, max: 8, updates: 4 });
+        g.merge(&GaugeSnapshot::default());
+        assert_eq!(g.last, 2, "an empty window must not clobber `last`");
+    }
+}

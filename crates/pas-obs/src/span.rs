@@ -1,0 +1,76 @@
+//! Span-based tracing over the recording API.
+//!
+//! A [`Span`] wraps one pipeline stage or simulated-time phase. On
+//! completion it records three metrics under its name — `<name>.calls`
+//! (counter), `<name>.items` (counter, when items were reported), and
+//! `<name>.sim_ms` (histogram, when the span's domain owns a simulated
+//! clock) — and appends a [`SpanRecord`] to the trace buffer.
+//!
+//! Spans carry **simulated** durations supplied by the caller, never
+//! wall-clock readings: stages without a clock (the batch pipeline) simply
+//! record call/item throughput, and stages with one (fault retries, the
+//! gateway event loop) report their simulated elapsed milliseconds. That
+//! is what keeps span output bit-identical across machines and thread
+//! counts.
+//!
+//! Determinism contract: open and close spans on the driving thread (any
+//! serial context), not inside `par_map` closures — the trace is an
+//! ordered log.
+
+use crate::{counter_add, enabled, observe, trace_push, SpanRecord};
+
+/// An in-progress span; records its metrics when dropped (or explicitly
+/// via [`Span::finish`]).
+#[must_use = "a span records on drop; binding it to `_` closes it immediately"]
+pub struct Span {
+    name: &'static str,
+    items: u64,
+    sim_ms: Option<u64>,
+    closed: bool,
+}
+
+/// Opens a span named `name`.
+pub fn span(name: &'static str) -> Span {
+    Span { name, items: 0, sim_ms: None, closed: false }
+}
+
+impl Span {
+    /// Reports `n` items processed under this span (accumulates).
+    pub fn items(&mut self, n: u64) {
+        self.items = self.items.saturating_add(n);
+    }
+
+    /// Reports the span's simulated duration (last write wins).
+    pub fn sim_ms(&mut self, ms: u64) {
+        self.sim_ms = Some(ms);
+    }
+
+    /// Closes the span now instead of at scope end.
+    pub fn finish(mut self) {
+        self.close();
+    }
+
+    fn close(&mut self) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        if !enabled() {
+            return;
+        }
+        counter_add(&format!("{}.calls", self.name), 1);
+        if self.items > 0 {
+            counter_add(&format!("{}.items", self.name), self.items);
+        }
+        if let Some(ms) = self.sim_ms {
+            observe(&format!("{}.sim_ms", self.name), ms);
+        }
+        trace_push(SpanRecord { name: self.name, items: self.items, sim_ms: self.sim_ms });
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.close();
+    }
+}

@@ -1,0 +1,153 @@
+//! Property tests for the `pas-obs` snapshot algebra: histogram merge
+//! laws, counter saturation, and bucket-boundary invariants — the same
+//! shape as the `GenReport`/`FaultReport`/`GatewayReport` merge proptests.
+
+use proptest::prelude::*;
+
+use pas_obs::{
+    bucket_edge, bucket_for, GaugeSnapshot, HistogramSnapshot, MetricsSnapshot, BUCKETS,
+};
+
+/// A deterministic pseudo-arbitrary snapshot; proptest drives `seed`.
+fn arb_snapshot(seed: u64) -> MetricsSnapshot {
+    let f = |k: u64| (seed.rotate_left(k as u32).wrapping_mul(k + 3)) % 1000;
+    let mut snap = MetricsSnapshot::default();
+    for k in 0..(seed % 5) {
+        snap.counters.insert(format!("c{}", f(k) % 7), f(k + 10).max(1));
+    }
+    for k in 0..(seed % 3) {
+        snap.gauges.insert(
+            format!("g{}", f(k) % 3),
+            GaugeSnapshot { last: f(k + 20), max: f(k + 21), updates: f(k + 22).max(1) },
+        );
+    }
+    for k in 0..(seed % 4) {
+        let mut h = HistogramSnapshot::default();
+        for j in 0..(f(k + 30) % 50) {
+            h.record(seed.rotate_right(j as u32) % 100_000);
+        }
+        snap.histograms.insert(format!("h{}", f(k) % 4), h);
+    }
+    snap
+}
+
+fn arb_histogram(seed: u64) -> HistogramSnapshot {
+    let mut h = HistogramSnapshot::default();
+    for j in 0..(seed % 80) {
+        h.record(seed.rotate_right(j as u32).wrapping_mul(j + 1) % 1_000_000);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn histogram_merge_is_commutative(a in 0u64..10_000, b in 0u64..10_000) {
+        let (a, b) = (arb_histogram(a), arb_histogram(b));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn histogram_merge_is_associative_with_identity(
+        a in 0u64..10_000, b in 0u64..10_000, c in 0u64..10_000
+    ) {
+        let (a, b, c) = (arb_histogram(a), arb_histogram(b), arb_histogram(c));
+        let left = {
+            let mut ab = a.clone();
+            ab.merge(&b);
+            ab.merge(&c);
+            ab
+        };
+        let right = {
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut out = a.clone();
+            out.merge(&bc);
+            out
+        };
+        prop_assert_eq!(left, right);
+
+        let mut id = HistogramSnapshot::default();
+        id.merge(&a);
+        prop_assert_eq!(&id, &a);
+        let mut back = a.clone();
+        back.merge(&HistogramSnapshot::default());
+        prop_assert_eq!(&back, &a);
+    }
+
+    #[test]
+    fn snapshot_merge_is_associative_with_identity(
+        a in 0u64..10_000, b in 0u64..10_000, c in 0u64..10_000
+    ) {
+        let (a, b, c) = (arb_snapshot(a), arb_snapshot(b), arb_snapshot(c));
+        let left = {
+            let mut ab = a.clone();
+            ab.merge(&b);
+            ab.merge(&c);
+            ab
+        };
+        let right = {
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut out = a.clone();
+            out.merge(&bc);
+            out
+        };
+        prop_assert_eq!(left, right);
+
+        let mut id = MetricsSnapshot::default();
+        id.merge(&a);
+        prop_assert_eq!(&id, &a);
+        let mut back = a.clone();
+        back.merge(&MetricsSnapshot::default());
+        prop_assert_eq!(&back, &a);
+    }
+
+    #[test]
+    fn snapshot_counter_merge_saturates(a in 0u64..10_000) {
+        let mut big = MetricsSnapshot::default();
+        big.counters.insert("c".to_string(), u64::MAX - a);
+        let mut add = MetricsSnapshot::default();
+        add.counters.insert("c".to_string(), a.saturating_add(17));
+        big.merge(&add);
+        prop_assert_eq!(big.counter("c"), u64::MAX, "counter sums must saturate, not wrap");
+    }
+
+    #[test]
+    fn bucket_boundaries_partition_the_domain(v in 0u64..u64::MAX) {
+        let b = bucket_for(v);
+        prop_assert!(b < BUCKETS);
+        // The value must lie within its bucket's edges: above the previous
+        // bucket's inclusive upper edge, at or below its own.
+        if b > 0 {
+            prop_assert!(v > bucket_edge(b - 1), "{v} vs lower edge of bucket {b}");
+        }
+        prop_assert!(v <= bucket_edge(b), "{v} vs upper edge of bucket {b}");
+        // Buckets are monotone: larger values never land in smaller buckets.
+        prop_assert!(bucket_for(v.saturating_add(1)) >= b);
+    }
+
+    #[test]
+    fn histogram_record_preserves_count_and_bounds(seed in 0u64..10_000) {
+        let h = arb_histogram(seed);
+        let total: u64 = h.buckets.iter().sum();
+        prop_assert_eq!(total, h.count, "bucket mass must equal the observation count");
+        prop_assert!(h.quantile(0.0) <= h.quantile(0.5));
+        prop_assert!(h.quantile(0.5) <= h.quantile(1.0));
+        prop_assert!(h.quantile(1.0) <= h.max);
+        prop_assert!(h.max <= h.sum, "the max is one of the summands");
+    }
+
+    #[test]
+    fn snapshot_json_round_trips(seed in 0u64..10_000) {
+        let snap = arb_snapshot(seed);
+        let json = snap.to_json();
+        let back = MetricsSnapshot::from_json(&json).unwrap();
+        prop_assert_eq!(&back, &snap);
+        // Canonical: re-serializing the parse is byte-identical.
+        prop_assert_eq!(back.to_json(), json);
+    }
+}

@@ -55,7 +55,13 @@ fn run(args: &[String]) -> Result<(), String> {
         return Err(USAGE.to_string());
     };
     let flags = parse_flags(&args[1..]);
-    match command.as_str() {
+    // `--metrics-out FILE` works on every command: turn recording on before
+    // the command runs, write the snapshot after it succeeds.
+    let metrics_out = flags.get("metrics-out").cloned();
+    if metrics_out.is_some() {
+        pas::obs::set_enabled(true);
+    }
+    let result = match command.as_str() {
         "build" => cmd_build(&flags),
         "augment" => cmd_augment(&flags),
         "stats" => cmd_stats(&flags),
@@ -66,7 +72,14 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    if let (Ok(()), Some(path)) = (&result, &metrics_out) {
+        pas::obs::snapshot()
+            .write_json(std::path::Path::new(path))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("metrics → {path}");
     }
+    result
 }
 
 const USAGE: &str = "usage:
@@ -79,6 +92,9 @@ const USAGE: &str = "usage:
   pas-cli serve   --model FILE [--replicas N] [--cache-capacity N] [--tau F]
                   [--queue N] [--batch N] [--rate-ms MS]
                   [--fault-profile NAME] [--fault-seed S]
+
+every command also accepts --metrics-out FILE to dump a deterministic
+metrics snapshot (JSON) of the run.
 
 fault profiles: none, transient, bursty, chaos, outage";
 

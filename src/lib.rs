@@ -18,6 +18,9 @@
 //! - [`gateway`] — deterministic serving gateway: semantic complement
 //!   caching, admission control, micro-batching, and a fault-isolated
 //!   replica pool, all under a discrete-event simulator.
+//! - [`obs`] — deterministic observability: counters, gauges, fixed-bucket
+//!   histograms and spans over simulated time, with mergeable JSON
+//!   snapshots (off by default; `--metrics-out` turns it on).
 //! - substrates: [`text`], [`tokenizer`], [`embed`], [`ann`], [`nn`].
 
 pub use pas_ann as ann;
@@ -30,5 +33,6 @@ pub use pas_fault as fault;
 pub use pas_gateway as gateway;
 pub use pas_llm as llm;
 pub use pas_nn as nn;
+pub use pas_obs as obs;
 pub use pas_text as text;
 pub use pas_tokenizer as tokenizer;

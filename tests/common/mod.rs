@@ -1,0 +1,4 @@
+//! Shared helpers for the root integration tests. Not a test target
+//! itself — each `tests/*.rs` binary pulls this in with `mod common;`.
+
+pub mod seed_sweep;

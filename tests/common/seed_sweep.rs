@@ -1,0 +1,33 @@
+//! Seed-sweep assertion helper for statistically tight claims.
+//!
+//! A win-rate comparison on one seeded suite draw is a sample, not a
+//! theorem: a single unlucky evaluation seed can flip a true effect under
+//! the asserted margin and make the test flaky without any code being
+//! wrong. The honest phrasing is distributional — *the margin holds on
+//! most environment seeds* — which is what [`assert_margin_on_most`]
+//! checks: it evaluates the margin under every seed in the sweep and
+//! requires at least `k` of them to clear the threshold, printing every
+//! per-seed margin on failure so a genuine regression is easy to read off.
+
+/// Evaluates `margin(seed)` for every seed in `seeds` and asserts the
+/// result exceeds `min_margin` on at least `k` of them.
+///
+/// `name` labels the claim in the failure message. Panics (test failure)
+/// listing every `(seed, margin)` pair when fewer than `k` seeds pass.
+pub fn assert_margin_on_most(
+    name: &str,
+    seeds: &[u64],
+    min_margin: f64,
+    k: usize,
+    mut margin: impl FnMut(u64) -> f64,
+) {
+    assert!(k >= 1 && k <= seeds.len(), "need 1 <= k <= {} seeds, got k = {k}", seeds.len());
+    let margins: Vec<(u64, f64)> = seeds.iter().map(|&s| (s, margin(s))).collect();
+    let passing = margins.iter().filter(|(_, m)| *m > min_margin).count();
+    assert!(
+        passing >= k,
+        "{name}: margin > {min_margin} on only {passing}/{} env seeds (need {k}); \
+         per-seed margins: {margins:?}",
+        seeds.len(),
+    );
+}

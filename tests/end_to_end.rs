@@ -2,6 +2,8 @@
 //!
 //! These tests span every crate in the workspace through the public facade.
 
+mod common;
+
 use pas::core::{NoOptimizer, PasSystem, SystemConfig};
 use pas::data::CorpusConfig;
 use pas::eval::harness::evaluate_suite;
@@ -18,19 +20,34 @@ fn small_system(seed: u64) -> PasSystem {
 
 #[test]
 fn trained_pas_improves_a_mid_tier_model() {
+    // The claim is statistical, so it is asserted as a seed sweep rather
+    // than on one lucky draw (see tests/common/seed_sweep.rs): PAS must
+    // improve the win rate on *every* evaluation-environment seed, and by
+    // more than 2 points on a majority of them.
     let system = small_system(42);
-    let env = EvalEnv::build(&EvalEnvConfig { arena_items: 120, alpaca_items: 40, seed: 0x11 });
     let judge = Judge::default();
-    let model = SimLlm::named("gpt-4-0613", env.world.clone());
-    let reference = SimLlm::named("reference-arena", env.world.clone());
-
-    let baseline = evaluate_suite(&model, &NoOptimizer, &env.arena, &reference, &judge);
-    let with_pas = evaluate_suite(&model, &system.pas, &env.arena, &reference, &judge);
-    assert!(
-        with_pas.win_rate > baseline.win_rate + 2.0,
-        "PAS must clearly improve Arena-Hard: {} vs {}",
-        with_pas.win_rate,
-        baseline.win_rate
+    let seeds = [0x11, 0x12, 0x13, 0x14, 0x15];
+    let margin = |seed| {
+        let env = EvalEnv::build(&EvalEnvConfig { arena_items: 120, alpaca_items: 40, seed });
+        let model = SimLlm::named("gpt-4-0613", env.world.clone());
+        let reference = SimLlm::named("reference-arena", env.world.clone());
+        let baseline = evaluate_suite(&model, &NoOptimizer, &env.arena, &reference, &judge);
+        let with_pas = evaluate_suite(&model, &system.pas, &env.arena, &reference, &judge);
+        with_pas.win_rate - baseline.win_rate
+    };
+    common::seed_sweep::assert_margin_on_most(
+        "PAS improves over no-optimizer on Arena-Hard (gpt-4-0613)",
+        &seeds,
+        0.0,
+        seeds.len(),
+        margin,
+    );
+    common::seed_sweep::assert_margin_on_most(
+        "PAS beats no-optimizer by > 2 points on Arena-Hard (gpt-4-0613)",
+        &seeds,
+        2.0,
+        3,
+        margin,
     );
 }
 

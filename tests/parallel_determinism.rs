@@ -110,4 +110,28 @@ fn full_pipeline_is_identical_at_1_and_8_threads() {
     };
     let store_serial = build(1);
     assert_eq!(build(8), store_serial, "normalized store diverged across thread counts");
+
+    // Observability must be a pure observer. Re-running the identical
+    // pipeline with every counter, gauge, histogram, and span recording
+    // must not perturb a single output bit relative to the metrics-off
+    // runs above — and the metrics themselves must come back bit-identical
+    // at 1 and 8 threads. (Same function again: both the thread count and
+    // the metrics registry are process-global.)
+    pas::obs::set_enabled(true);
+    pas::obs::reset();
+    let observed_parallel = run(8);
+    let metrics_parallel = pas::obs::snapshot();
+    pas::obs::reset();
+    let observed_serial = run(1);
+    let metrics_serial = pas::obs::snapshot();
+    pas::obs::reset();
+    pas::obs::set_enabled(false);
+    assert_eq!(observed_serial, serial, "enabling metrics must not perturb serial outputs");
+    assert_eq!(observed_parallel, serial, "enabling metrics must not perturb parallel outputs");
+    assert!(!metrics_serial.is_empty(), "an instrumented pipeline run must record something");
+    assert_eq!(
+        metrics_serial.to_json(),
+        metrics_parallel.to_json(),
+        "metrics must be bit-identical across thread counts"
+    );
 }

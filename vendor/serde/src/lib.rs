@@ -400,6 +400,28 @@ impl<K: MapKey + std::hash::Hash + Eq, V: Deserialize, S: std::hash::BuildHasher
     }
 }
 
+impl<K: MapKey, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        // BTreeMap iterates in key order, but rendered keys may sort
+        // differently than the native ordering (e.g. integer keys render
+        // as strings), so re-sort by rendered key like HashMap does.
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.to_key(), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let entries = match v {
+            Value::Map(entries) => entries,
+            other => return type_error("map", other),
+        };
+        entries.iter().map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?))).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -432,6 +454,22 @@ mod tests {
         let keys: Vec<&str> = v.as_map().unwrap().iter().map(|(k, _)| k.as_str()).collect();
         assert_eq!(keys, ["10", "2"]);
         assert_eq!(HashMap::<u64, u64>::from_value(&v).unwrap(), m);
+    }
+
+    #[test]
+    fn btreemap_round_trips_sorted_by_rendered_key() {
+        use std::collections::BTreeMap;
+        let mut m: BTreeMap<u64, String> = BTreeMap::new();
+        m.insert(10, "ten".into());
+        m.insert(2, "two".into());
+        let v = m.to_value();
+        let keys: Vec<&str> = v.as_map().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["10", "2"], "rendered-key order, same as HashMap");
+        assert_eq!(BTreeMap::<u64, String>::from_value(&v).unwrap(), m);
+        let mut s: BTreeMap<String, u64> = BTreeMap::new();
+        s.insert("b".into(), 1);
+        s.insert("a".into(), 2);
+        assert_eq!(BTreeMap::<String, u64>::from_value(&s.to_value()).unwrap(), s);
     }
 
     #[test]
