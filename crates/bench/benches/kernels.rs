@@ -1,17 +1,26 @@
 //! Scalar-reference vs kernel ns/op for the compute primitives the pipeline
-//! leans on: dot products and cosine probes at the embedding dimension the
-//! selection pipeline actually uses (64), and matmuls at the LM-inference
-//! shapes.
+//! leans on, now with one row **per kernel backend**: `scalar` is the
+//! pre-kernel implementation (sequential single-accumulator sums, per-probe
+//! norm recomputation, naive i-k-j matmul), `striped` is the portable
+//! 8-lane-striped kernel backend, and `simd` is the widest `core::arch`
+//! backend the host supports (AVX2/SSE2; the row is absent on hosts without
+//! one). The striped and simd rows compute bit-identical results — the rows
+//! measure the speed of the *same* arithmetic.
 //!
-//! "Scalar" is the pre-kernel implementation (sequential single-accumulator
-//! sums, per-probe norm recomputation, naive i-k-j matmul) — the code these
-//! kernels replaced, kept here as the baseline. After the Criterion runs a
-//! hand-written `main` computes per-workload speedups and writes a
-//! machine-readable summary to `BENCH_kernels.json` at the workspace root.
+//! Two ANN-level workloads ride along: the int8-quantized probe path (f32
+//! panel scan vs integer-dot panel scan at the same 64-dim shape, with the
+//! stored probe bytes per vector for both), and `Hnsw::search_batch` vs a
+//! sequential search loop over the same micro-batch.
+//!
+//! After the Criterion runs a hand-written `main` computes per-workload
+//! speedups and writes a machine-readable summary to `BENCH_kernels.json`
+//! at the workspace root.
 
 use criterion::Criterion;
 use std::hint::black_box;
 
+use pas_ann::{CosineDistance, Hnsw, HnswConfig, Metric, QuantStore};
+use pas_kernels::Backend;
 use pas_nn::Matrix;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -20,6 +29,11 @@ use rand::{RngExt, SeedableRng};
 const EMBED_DIM: usize = 64;
 /// Stored vectors probed per iteration in the dot/cosine workloads.
 const PROBES: usize = 256;
+/// Rows in the quantized-probe panel (one ExactIndex scan chunk's worth).
+const QUANT_ROWS: usize = 1024;
+/// Index size and micro-batch width for the `search_batch` workload.
+const BATCH_INDEX: usize = 2000;
+const BATCH_QUERIES: usize = 16;
 
 /// Pre-kernel scalar implementations, verbatim from the replaced code.
 mod scalar {
@@ -70,20 +84,52 @@ fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
     (0..n).map(|_| (0..dim).map(|_| rng.random::<f32>() * 2.0 - 1.0).collect()).collect()
 }
 
-/// Benches `scalar` and `kernel` bodies under `group/scalar` and
-/// `group/kernel`.
-fn bench_pair<R, F: Fn() -> R, G: Fn() -> R>(c: &mut Criterion, group: &str, scalar: F, kernel: G) {
+fn prepare_unit(v: &[f32]) -> Vec<f32> {
+    let mut u = v.to_vec();
+    CosineDistance.prepare(&mut u);
+    u
+}
+
+/// Benches `scalar` under `group/scalar` and `kernel` under both
+/// `group/striped` (backend pinned to the portable stripes) and
+/// `group/simd` (widest supported backend; skipped on scalar-only hosts).
+/// Leaves the process on the best backend.
+fn bench_rows<R, F: Fn() -> R, G: Fn() -> R>(c: &mut Criterion, group: &str, scalar: F, kernel: G) {
     let mut g = c.benchmark_group(group);
     g.sample_size(20);
     g.bench_function("scalar", |b| b.iter(|| black_box(scalar())));
-    g.bench_function("kernel", |b| b.iter(|| black_box(kernel())));
+    pas_kernels::set_backend(Backend::Scalar);
+    g.bench_function("striped", |b| b.iter(|| black_box(kernel())));
+    if pas_kernels::simd_available() {
+        pas_kernels::set_backend(pas_kernels::best_supported());
+        g.bench_function("simd", |b| b.iter(|| black_box(kernel())));
+    }
+    pas_kernels::set_backend(pas_kernels::best_supported());
+    g.finish();
+}
+
+/// Benches two bodies under fixed row names, on the best backend.
+fn bench_pair<R, F: Fn() -> R, G: Fn() -> R>(
+    c: &mut Criterion,
+    group: &str,
+    rows: [&str; 2],
+    first: F,
+    second: G,
+) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(20);
+    g.bench_function(rows[0], |b| b.iter(|| black_box(first())));
+    g.bench_function(rows[1], |b| b.iter(|| black_box(second())));
     g.finish();
 }
 
 fn bench_dot(c: &mut Criterion) {
+    // Pairwise dots are latency-bound (one dependent accumulator chain), so
+    // the simd row here shows parity, not speedup — the panel workloads
+    // below are where the independent-chain backends pull ahead.
     let stored = random_vectors(PROBES, EMBED_DIM, 101);
     let query = &random_vectors(1, EMBED_DIM, 103)[0];
-    bench_pair(
+    bench_rows(
         c,
         "kernels_dot_64",
         || stored.iter().map(|v| scalar::dot(query, v)).sum::<f32>(),
@@ -93,27 +139,22 @@ fn bench_dot(c: &mut Criterion) {
 
 fn bench_cosine_probe(c: &mut Criterion) {
     // Scalar side probes raw vectors, recomputing both norms each time (the
-    // old per-probe path). Kernel side probes the pre-normalized store:
-    // unit vectors prepared once at insert, each probe a single 1 − dot.
+    // old per-probe path). Kernel side is the production probe: unit vectors
+    // prepared once at insert and packed into a panel, one
+    // `prepared_distance_block` per sweep.
     let raw = random_vectors(PROBES, EMBED_DIM, 107);
     let raw_query = &random_vectors(1, EMBED_DIM, 109)[0];
-    let unit: Vec<Vec<f32>> = raw
-        .iter()
-        .map(|v| {
-            let mut u = v.clone();
-            let n = pas_kernels::sum_sq(&u).sqrt();
-            pas_kernels::scale(&mut u, 1.0 / n);
-            u
-        })
-        .collect();
-    let mut unit_query = raw_query.clone();
-    let query_norm = pas_kernels::sum_sq(&unit_query).sqrt();
-    pas_kernels::scale(&mut unit_query, 1.0 / query_norm);
-    bench_pair(
+    let panel: Vec<f32> = raw.iter().flat_map(|v| prepare_unit(v)).collect();
+    let unit_query = prepare_unit(raw_query);
+    bench_rows(
         c,
         "kernels_cosine_probe_64",
         || raw.iter().map(|v| scalar::cosine_distance(raw_query, v)).sum::<f32>(),
-        || unit.iter().map(|v| (1.0 - pas_kernels::dot(&unit_query, v)).max(0.0)).sum::<f32>(),
+        || {
+            let mut out = vec![0.0f32; PROBES];
+            CosineDistance.prepared_distance_block(&unit_query, &panel, &mut out);
+            out.iter().sum::<f32>()
+        },
     );
 }
 
@@ -122,10 +163,78 @@ fn bench_matmul(c: &mut Criterion, group: &'static str, m: usize, k: usize, n: u
     let b = random_vectors(1, k * n, 127 + (k * n) as u64)[0].clone();
     let ma = Matrix::from_vec(m, k, a.clone());
     let mb = Matrix::from_vec(k, n, b.clone());
-    bench_pair(c, group, || scalar::matmul(m, k, n, &a, &b)[0], || ma.matmul(&mb).data()[0]);
+    bench_rows(c, group, || scalar::matmul(m, k, n, &a, &b)[0], || ma.matmul(&mb).data()[0]);
 }
 
-/// One workload's summary line in `BENCH_kernels.json`.
+fn bench_quantized_probe(c: &mut Criterion) {
+    // The ExactIndex/HNSW probe path at chunk scale: one query against a
+    // packed 1024-row panel, f32 block probe vs int8 integer-dot block
+    // probe. Both run on the best backend; the bytes each path reads per
+    // stored vector go into the summary.
+    let raw = random_vectors(QUANT_ROWS, EMBED_DIM, 131);
+    let unit: Vec<Vec<f32>> = raw.iter().map(|v| prepare_unit(v)).collect();
+    let panel: Vec<f32> = unit.concat();
+    let mut store = QuantStore::new();
+    for u in &unit {
+        store.push(&CosineDistance, u);
+    }
+    let unit_query = prepare_unit(&random_vectors(1, EMBED_DIM, 137)[0]);
+    let (qcodes, qscale) = CosineDistance.quantize(&unit_query).expect("cosine quantizes");
+    let (codes, scales) = store.rows(0, QUANT_ROWS);
+    bench_pair(
+        c,
+        "ann_quant_probe_1024x64",
+        ["f32", "int8"],
+        || {
+            let mut out = vec![0.0f32; QUANT_ROWS];
+            CosineDistance.prepared_distance_block(&unit_query, &panel, &mut out);
+            out.iter().sum::<f32>()
+        },
+        || {
+            let mut out = vec![0.0f32; QUANT_ROWS];
+            CosineDistance.quantized_distance_block(&qcodes, qscale, codes, scales, &mut out);
+            out.iter().sum::<f32>()
+        },
+    );
+}
+
+fn bench_search_batch(c: &mut Criterion) {
+    // A gateway micro-batch against the HNSW index: sequential per-query
+    // `search` vs the lock-step `search_batch` that packs shared neighbor
+    // panels. Run twice — on the f32 index and on its int8-quantized twin.
+    // Queries cluster around a few bases, like the near-duplicate prompts a
+    // linger window actually collects — that overlap is what the shared
+    // panels amortize.
+    let vecs = random_vectors(BATCH_INDEX, EMBED_DIM, 139);
+    let bases = random_vectors(3, EMBED_DIM, 149);
+    let noise = random_vectors(BATCH_QUERIES, EMBED_DIM, 151);
+    let queries: Vec<Vec<f32>> = (0..BATCH_QUERIES)
+        .map(|i| {
+            let base = &bases[i % bases.len()];
+            base.iter().zip(&noise[i]).map(|(b, n)| b + 0.02 * n).collect()
+        })
+        .collect();
+    let mut index = Hnsw::new(HnswConfig::default(), CosineDistance);
+    for v in &vecs {
+        index.insert(v.clone());
+    }
+    let mut quant = Hnsw::new(HnswConfig::default(), CosineDistance);
+    quant.set_quantization(true);
+    for v in &vecs {
+        quant.insert(v.clone());
+    }
+    for (group, idx) in [("ann_search_batch_f32", &index), ("ann_search_batch_int8", &quant)] {
+        bench_pair(
+            c,
+            group,
+            ["sequential", "batched"],
+            || queries.iter().map(|q| idx.search(q, 8, 48).len()).sum::<usize>(),
+            || idx.search_batch(&queries, 8, 48).iter().map(|r| r.len()).sum::<usize>(),
+        );
+    }
+}
+
+/// One kernel workload's summary line in `BENCH_kernels.json`.
 struct Workload {
     name: &'static str,
     group: &'static str,
@@ -141,39 +250,87 @@ const WORKLOADS: [Workload; 5] = [
 ];
 
 fn median_ns(c: &Criterion, name: &str) -> f64 {
-    c.results()
-        .iter()
-        .find(|r| r.name == name)
-        .unwrap_or_else(|| panic!("no bench result named {name}"))
-        .median_ns
+    maybe_median_ns(c, name).unwrap_or_else(|| panic!("no bench result named {name}"))
+}
+
+fn maybe_median_ns(c: &Criterion, name: &str) -> Option<f64> {
+    c.results().iter().find(|r| r.name == name).map(|r| r.median_ns)
+}
+
+fn json_ratio(num: f64, denom: Option<f64>) -> String {
+    match denom {
+        Some(d) => format!("{:.2}", num / d),
+        None => "null".into(),
+    }
 }
 
 fn write_summary(c: &Criterion) {
-    let mut lines = Vec::new();
+    let mut kernel_lines = Vec::new();
     for w in &WORKLOADS {
         let scalar_ns = median_ns(c, &format!("{}/scalar", w.group));
-        let kernel_ns = median_ns(c, &format!("{}/kernel", w.group));
-        lines.push(format!(
+        let striped_ns = median_ns(c, &format!("{}/striped", w.group));
+        let simd_ns = maybe_median_ns(c, &format!("{}/simd", w.group));
+        kernel_lines.push(format!(
             concat!(
                 "    {{\"name\": \"{}\", \"elements\": {}, ",
-                "\"scalar_ns\": {:.0}, \"kernel_ns\": {:.0}, ",
-                "\"scalar_ns_per_element\": {:.1}, ",
-                "\"kernel_ns_per_element\": {:.1}, ",
-                "\"speedup\": {:.2}}}"
+                "\"scalar_ns\": {:.0}, \"striped_ns\": {:.0}, \"simd_ns\": {}, ",
+                "\"striped_vs_scalar\": {:.2}, \"simd_vs_striped\": {}}}"
             ),
             w.name,
             w.elements,
             scalar_ns,
-            kernel_ns,
-            scalar_ns / w.elements as f64,
-            kernel_ns / w.elements as f64,
-            scalar_ns / kernel_ns,
+            striped_ns,
+            simd_ns.map(|v| format!("{v:.0}")).unwrap_or_else(|| "null".into()),
+            scalar_ns / striped_ns,
+            json_ratio(striped_ns, simd_ns),
         ));
     }
+
+    let f32_ns = median_ns(c, "ann_quant_probe_1024x64/f32");
+    let int8_ns = median_ns(c, "ann_quant_probe_1024x64/int8");
+    let bytes_f32 = EMBED_DIM * 4;
+    let bytes_int8 = EMBED_DIM + 4;
+    let mut ann_lines = vec![format!(
+        concat!(
+            "    {{\"name\": \"quantized_probe_1024x64\", \"rows\": {}, ",
+            "\"f32_ns\": {:.0}, \"int8_ns\": {:.0}, \"speedup\": {:.2}, ",
+            "\"probe_bytes_f32\": {}, \"probe_bytes_int8\": {}, ",
+            "\"bytes_ratio\": {:.2}}}"
+        ),
+        QUANT_ROWS,
+        f32_ns,
+        int8_ns,
+        f32_ns / int8_ns,
+        bytes_f32,
+        bytes_int8,
+        bytes_f32 as f64 / bytes_int8 as f64,
+    )];
+    for group in ["ann_search_batch_f32", "ann_search_batch_int8"] {
+        let seq_ns = median_ns(c, &format!("{group}/sequential"));
+        let bat_ns = median_ns(c, &format!("{group}/batched"));
+        ann_lines.push(format!(
+            concat!(
+                "    {{\"name\": \"{}_{}x{}\", \"sequential_ns\": {:.0}, ",
+                "\"batched_ns\": {:.0}, \"speedup\": {:.2}}}"
+            ),
+            group.trim_start_matches("ann_"),
+            BATCH_QUERIES,
+            BATCH_INDEX,
+            seq_ns,
+            bat_ns,
+            seq_ns / bat_ns,
+        ));
+    }
+
     let json = format!(
-        "{{\n  \"host\": {},\n  \"kernels\": [\n{}\n  ]\n}}\n",
+        concat!(
+            "{{\n  \"host\": {},\n  \"backend\": \"{}\",\n",
+            "  \"kernels\": [\n{}\n  ],\n  \"ann\": [\n{}\n  ]\n}}\n"
+        ),
         bench::host_json(),
-        lines.join(",\n"),
+        pas_kernels::backend().name(),
+        kernel_lines.join(",\n"),
+        ann_lines.join(",\n"),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
     std::fs::write(path, &json).expect("write BENCH_kernels.json");
@@ -187,5 +344,7 @@ fn main() {
     bench_matmul(&mut c, "kernels_matmul_32x64x32", 32, 64, 32);
     bench_matmul(&mut c, "kernels_matmul_32x32x256", 32, 32, 256);
     bench_matmul(&mut c, "kernels_matmul_64x64x64", 64, 64, 64);
+    bench_quantized_probe(&mut c);
+    bench_search_batch(&mut c);
     write_summary(&c);
 }

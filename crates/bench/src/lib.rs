@@ -15,6 +15,14 @@
 
 use pas_eval::experiments::{ExperimentContext, Scale};
 
+/// Which kernel backend this process selected, as the
+/// [`pas_kernels::Backend`] index (0 scalar, 1 sse2, 2 avx2). Recorded at
+/// option-parse time by the regenerator binaries (and by `pas-cli`), so a
+/// metrics snapshot always says which arithmetic path produced it. The
+/// golden-snapshot test harnesses never record it — their fixtures must stay
+/// byte-identical across backends.
+static OBS_BACKEND: pas_obs::Gauge = pas_obs::Gauge::new("kernels.backend");
+
 /// Host metadata as a JSON object fragment, embedded in every `BENCH_*.json`
 /// summary so numbers from different machines are never compared blind —
 /// in particular, `nproc` records whether parallel speedups were even
@@ -77,6 +85,7 @@ impl Options {
         }
         pas_par::set_threads(threads.unwrap_or(0));
         pas_obs::set_enabled(metrics_out.is_some());
+        OBS_BACKEND.set(pas_kernels::backend().index() as u64);
         Options { seed, scale, threads, metrics_out }
     }
 

@@ -5,11 +5,20 @@
 //! as the baseline in the ANN benchmarks.
 //!
 //! Like the HNSW index, vectors are stored in the metric's *prepared* form
-//! plus their original L2 norm ([`crate::Metric::prepare`]): under cosine
-//! the scan evaluates `1 − dot` per element instead of recomputing three
-//! norms per probe.
+//! plus their original L2 norm ([`crate::Metric::prepare`]) — and they are
+//! stored **flat**: one contiguous row-major buffer, so a scan range is
+//! already the packed panel [`crate::Metric::prepared_distance_block`]
+//! wants. Under cosine a scan is then a handful of block dots instead of a
+//! per-element `1 − dot` loop.
+//!
+//! With [`ExactIndex::set_quantization`] the index additionally keeps int8
+//! codes ([`crate::quant::QuantStore`]) and probes through the integer path:
+//! approximate-scan everything, keep [`crate::quant::rerank_overfetch`]`(k)`
+//! candidates, exactly re-rank those in f32. Results stay deterministic at
+//! every thread count and kernel backend.
 
 use crate::metric::Metric;
+use crate::quant::{rerank_overfetch, QuantStore, OBS_QUANTIZED, OBS_RERANK};
 use crate::Neighbor;
 
 // Observability counters: a brute-force scan probes every stored vector,
@@ -21,41 +30,93 @@ static OBS_PROBES: pas_obs::Counter = pas_obs::Counter::new("ann.exact.probes");
 /// Exhaustive-scan index over the inserted vectors.
 pub struct ExactIndex<M: Metric> {
     metric: M,
-    /// Prepared (e.g. unit-normalized) vectors.
-    vectors: Vec<Vec<f32>>,
+    /// Row length; 0 until the first insert locks it in.
+    dim: usize,
+    /// Prepared (e.g. unit-normalized) vectors, flat row-major.
+    data: Vec<f32>,
     /// Original L2 norm of each vector, recorded at insert.
     norms: Vec<f32>,
+    /// int8 codes + scales when quantized probing is on.
+    quant: Option<QuantStore>,
 }
 
 impl<M: Metric> ExactIndex<M> {
     /// Creates an empty index with the given metric.
     pub fn new(metric: M) -> Self {
-        ExactIndex { metric, vectors: Vec::new(), norms: Vec::new() }
+        ExactIndex { metric, dim: 0, data: Vec::new(), norms: Vec::new(), quant: None }
     }
 
     /// Inserts a vector, returning its id (insertion order).
+    ///
+    /// # Panics
+    /// Panics when the dimension differs from previously inserted vectors.
     pub fn insert(&mut self, mut vector: Vec<f32>) -> usize {
-        let id = self.vectors.len();
+        let id = self.norms.len();
+        if id == 0 {
+            self.dim = vector.len();
+        }
+        assert_eq!(vector.len(), self.dim, "dimension mismatch at insert");
         self.norms.push(self.metric.prepare(&mut vector));
-        self.vectors.push(vector);
+        if let Some(quant) = &mut self.quant {
+            quant.push(&self.metric, &vector);
+        }
+        self.data.extend_from_slice(&vector);
         id
+    }
+
+    /// Turns int8 quantized probing on or off. Enabling quantizes every
+    /// stored vector (and all future inserts); disabling drops the codes.
+    /// Searches stay exact either way — the quantized path re-ranks an
+    /// over-fetched candidate set with f32 distances.
+    ///
+    /// # Panics
+    /// Panics when the metric does not support quantization
+    /// ([`Metric::quantize`] returns `None`).
+    pub fn set_quantization(&mut self, enabled: bool) {
+        if !enabled {
+            self.quant = None;
+            return;
+        }
+        if self.quant.is_some() {
+            return;
+        }
+        assert!(self.metric.quantize(&[]).is_some(), "metric has no quantized probe path");
+        let mut store = QuantStore::new();
+        for id in 0..self.norms.len() {
+            store.push(&self.metric, self.vector(id));
+        }
+        self.quant = Some(store);
+    }
+
+    /// True when the int8 probe path is active.
+    pub fn quantized(&self) -> bool {
+        self.quant.is_some()
+    }
+
+    /// Bytes per vector the probe path touches: `dim + 4` when quantized
+    /// (codes + scale), `4·dim` for the f32 scan.
+    pub fn probe_bytes_per_vector(&self) -> usize {
+        match &self.quant {
+            Some(q) if !q.is_empty() => q.bytes_per_vector(),
+            _ => self.dim * std::mem::size_of::<f32>(),
+        }
     }
 
     /// Number of stored vectors.
     pub fn len(&self) -> usize {
-        self.vectors.len()
+        self.norms.len()
     }
 
     /// True when no vectors are stored.
     pub fn is_empty(&self) -> bool {
-        self.vectors.is_empty()
+        self.norms.is_empty()
     }
 
     /// Returns the stored vector for `id`, in the metric's prepared form
     /// (under cosine: the unit vector — multiply by [`ExactIndex::norm`] to
     /// recover the original magnitude).
     pub fn vector(&self, id: usize) -> &[f32] {
-        &self.vectors[id]
+        &self.data[id * self.dim..(id + 1) * self.dim]
     }
 
     /// Original L2 norm of the vector inserted as `id`.
@@ -79,39 +140,65 @@ impl<M: Metric> ExactIndex<M> {
     /// identical at any `--threads` setting.
     pub fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
         OBS_SEARCHES.incr();
-        OBS_PROBES.add(self.vectors.len() as u64);
+        OBS_PROBES.add(self.len() as u64);
         let query = self.prepared_query(query);
-        let chunk_starts: Vec<usize> = (0..self.vectors.len()).step_by(Self::SCAN_CHUNK).collect();
-        let mut hits: Vec<Neighbor> = if chunk_starts.len() <= 1 {
-            self.scan_range(&query, 0, self.vectors.len(), usize::MAX)
-        } else {
-            pas_par::par_map(&chunk_starts, |_, &start| {
-                let end = (start + Self::SCAN_CHUNK).min(self.vectors.len());
-                self.scan_range(&query, start, end, k)
-            })
-            .into_iter()
-            .flatten()
-            .collect()
-        };
-        hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then_with(|| a.id.cmp(&b.id)));
-        hits.truncate(k);
-        hits
+        self.search_prepared(&query, k)
     }
 
     /// Vectors scanned per parallel work item in [`ExactIndex::search`] and
     /// [`ExactIndex::search_batch`].
     const SCAN_CHUNK: usize = 2048;
 
-    /// Distances for ids in `start..end` against an already-prepared query,
-    /// sorted, truncated to `k`.
-    fn scan_range(&self, query: &[f32], start: usize, end: usize, k: usize) -> Vec<Neighbor> {
-        let mut hits: Vec<Neighbor> = self.vectors[start..end]
-            .iter()
-            .enumerate()
-            .map(|(off, v)| Neighbor {
-                id: start + off,
-                distance: self.metric.prepared_distance(query, v),
+    /// Search body for an already-prepared query (no counters).
+    fn search_prepared(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        if let Some(quant) = &self.quant {
+            return self.search_quantized(query, quant, k);
+        }
+        let mut hits = self.top_by(k, |start, end, cap| self.scan_range(query, start, end, cap));
+        hits.truncate(k);
+        hits
+    }
+
+    /// Chunked parallel scan skeleton: every `SCAN_CHUNK` range reduces to a
+    /// local top-`cap`, partial results merge in chunk order and re-sort.
+    /// The chunk size is fixed (never thread-count dependent), so the merged
+    /// list is identical at any `--threads` setting.
+    fn top_by(
+        &self,
+        cap: usize,
+        scan: impl Fn(usize, usize, usize) -> Vec<Neighbor> + Send + Sync,
+    ) -> Vec<Neighbor> {
+        let n = self.len();
+        let chunk_starts: Vec<usize> = (0..n).step_by(Self::SCAN_CHUNK).collect();
+        let mut hits: Vec<Neighbor> = if chunk_starts.len() <= 1 {
+            scan(0, n, usize::MAX)
+        } else {
+            pas_par::par_map(&chunk_starts, |_, &start| {
+                let end = (start + Self::SCAN_CHUNK).min(n);
+                scan(start, end, cap)
             })
+            .into_iter()
+            .flatten()
+            .collect()
+        };
+        hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then_with(|| a.id.cmp(&b.id)));
+        hits
+    }
+
+    /// Distances for ids in `start..end` against an already-prepared query,
+    /// sorted, truncated to `k`. The flat store makes `start..end` a packed
+    /// panel, so this is one block probe.
+    fn scan_range(&self, query: &[f32], start: usize, end: usize, k: usize) -> Vec<Neighbor> {
+        let mut distances = vec![0.0f32; end - start];
+        self.metric.prepared_distance_block(
+            query,
+            &self.data[start * self.dim..end * self.dim],
+            &mut distances,
+        );
+        let mut hits: Vec<Neighbor> = distances
+            .into_iter()
+            .enumerate()
+            .map(|(off, distance)| Neighbor { id: start + off, distance })
             .collect();
         hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then_with(|| a.id.cmp(&b.id)));
         if k != usize::MAX {
@@ -120,29 +207,70 @@ impl<M: Metric> ExactIndex<M> {
         hits
     }
 
+    /// int8 probe: approximate-scan all code rows, keep the
+    /// `rerank_overfetch(k)` best by `(approx distance, id)`, then compute
+    /// exact f32 distances for just those and return the true top-`k`.
+    fn search_quantized(&self, query: &[f32], quant: &QuantStore, k: usize) -> Vec<Neighbor> {
+        let (qcodes, qscale) =
+            self.metric.quantize(query).expect("metric has no quantized probe path");
+        let fetch = rerank_overfetch(k);
+        OBS_QUANTIZED.add(self.len() as u64);
+        let mut approx = self.top_by(fetch, |start, end, cap| {
+            let (panel, scales) = quant.rows(start, end);
+            let mut distances = vec![0.0f32; end - start];
+            self.metric.quantized_distance_block(&qcodes, qscale, panel, scales, &mut distances);
+            let mut hits: Vec<Neighbor> = distances
+                .into_iter()
+                .enumerate()
+                .map(|(off, distance)| Neighbor { id: start + off, distance })
+                .collect();
+            hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then_with(|| a.id.cmp(&b.id)));
+            if cap != usize::MAX {
+                hits.truncate(cap);
+            }
+            hits
+        });
+        approx.truncate(fetch);
+        OBS_RERANK.add(approx.len() as u64);
+        let mut exact: Vec<Neighbor> = approx
+            .into_iter()
+            .map(|h| Neighbor {
+                id: h.id,
+                distance: self.metric.prepared_distance(query, self.vector(h.id)),
+            })
+            .collect();
+        exact.sort_by(|a, b| a.distance.total_cmp(&b.distance).then_with(|| a.id.cmp(&b.id)));
+        exact.truncate(k);
+        exact
+    }
+
     /// `k` nearest neighbours for every query, computed in parallel (one
     /// work item per query). Results are in query order.
     pub fn search_batch(&self, queries: &[Vec<f32>], k: usize) -> Vec<Vec<Neighbor>> {
         OBS_SEARCHES.add(queries.len() as u64);
-        OBS_PROBES.add((queries.len() * self.vectors.len()) as u64);
+        OBS_PROBES.add((queries.len() * self.len()) as u64);
         pas_par::par_map(queries, |_, q| {
-            self.scan_range(&self.prepared_query(q), 0, self.vectors.len(), k)
+            let query = self.prepared_query(q);
+            if let Some(quant) = &self.quant {
+                self.search_quantized(&query, quant, k)
+            } else {
+                self.scan_range(&query, 0, self.len(), k)
+            }
         })
     }
 
-    /// All ids whose distance to `query` is at most `radius`.
+    /// All ids whose distance to `query` is at most `radius`. Always the
+    /// exact f32 path — a radius cut cannot tolerate approximation.
     pub fn search_radius(&self, query: &[f32], radius: f32) -> Vec<Neighbor> {
         OBS_SEARCHES.incr();
-        OBS_PROBES.add(self.vectors.len() as u64);
+        OBS_PROBES.add(self.len() as u64);
         let query = self.prepared_query(query);
-        let mut hits: Vec<Neighbor> = self
-            .vectors
-            .iter()
+        let mut distances = vec![0.0f32; self.len()];
+        self.metric.prepared_distance_block(&query, &self.data, &mut distances);
+        let mut hits: Vec<Neighbor> = distances
+            .into_iter()
             .enumerate()
-            .filter_map(|(id, v)| {
-                let distance = self.metric.prepared_distance(&query, v);
-                (distance <= radius).then_some(Neighbor { id, distance })
-            })
+            .filter_map(|(id, distance)| (distance <= radius).then_some(Neighbor { id, distance }))
             .collect();
         hits.sort_by(|a, b| {
             a.distance
@@ -246,5 +374,80 @@ mod tests {
         assert_eq!(hits[0].id, 0);
         assert!(hits[0].distance < 1e-6);
         assert!((hits[1].distance - 1.0).abs() < 1e-6);
+    }
+
+    /// Unit vectors on a ring, dense enough that int8 rounding error could
+    /// flip neighbors without the re-rank.
+    fn ring(n: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| {
+                let x = i as f32 * 0.113;
+                vec![x.sin(), x.cos(), (x * 0.7).sin(), (x * 1.3).cos()]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quantized_search_matches_f32_search_exactly() {
+        let mut plain = ExactIndex::new(CosineDistance);
+        let mut quant = ExactIndex::new(CosineDistance);
+        quant.set_quantization(true);
+        for v in ring(400) {
+            plain.insert(v.clone());
+            quant.insert(v);
+        }
+        assert!(quant.quantized());
+        assert_eq!(quant.probe_bytes_per_vector(), 4 + 4); // dim i8 + scale
+        assert_eq!(plain.probe_bytes_per_vector(), 16); // dim f32
+        for (qi, q) in ring(400).into_iter().step_by(29).enumerate() {
+            let want = plain.search(&q, 5);
+            let got = quant.search(&q, 5);
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.id, w.id, "query {qi}");
+                // Re-ranked distances are the exact f32 ones, bit for bit.
+                assert_eq!(g.distance.to_bits(), w.distance.to_bits(), "query {qi}");
+            }
+        }
+        // Enabling after the fact quantizes retroactively and matches too.
+        let mut late = ExactIndex::new(CosineDistance);
+        for v in ring(400) {
+            late.insert(v);
+        }
+        late.set_quantization(true);
+        let q = vec![0.4, 0.6, -0.2, 0.1];
+        assert_eq!(late.search(&q, 3), quant.search(&q, 3));
+        // And switching off drops back to the plain path.
+        late.set_quantization(false);
+        assert!(!late.quantized());
+        assert_eq!(late.search(&q, 3), plain.search(&q, 3));
+    }
+
+    #[test]
+    fn quantized_scan_is_thread_invariant() {
+        let mut idx = ExactIndex::new(CosineDistance);
+        idx.set_quantization(true);
+        for i in 0..(super::ExactIndex::<CosineDistance>::SCAN_CHUNK * 2 + 31) {
+            let x = i as f32 * 0.0371;
+            idx.insert(vec![x.sin(), x.cos(), (x * 0.9).sin(), (x * 1.7).cos()]);
+        }
+        let query = [0.2, -0.4, 0.6, 0.1];
+        let run = |threads| pas_par::with_threads(threads, || idx.search(&query, 9));
+        assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "no quantized probe path")]
+    fn quantization_rejects_unsupported_metric() {
+        let mut idx = ExactIndex::new(EuclideanDistance);
+        idx.set_quantization(true);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn insert_rejects_mixed_dims() {
+        let mut idx = ExactIndex::new(EuclideanDistance);
+        idx.insert(vec![1.0, 2.0]);
+        idx.insert(vec![1.0]);
     }
 }

@@ -9,6 +9,22 @@
 //! assignment, id-ordered tie-breaks) over micro-optimization; the exact
 //! scanner in [`crate::exact`] provides the correctness oracle in tests and
 //! the speed baseline in benches.
+//!
+//! Three speed layers sit on top of the textbook algorithm, none of which
+//! changes a single output bit relative to the baseline paths they replace:
+//!
+//! - **int8 quantized traversal** ([`Hnsw::set_quantization`]): graph
+//!   construction stays f32 (the graph is identical either way), but search
+//!   probes run on int8 codes and an over-fetched candidate set is re-ranked
+//!   with exact f32 distances (see [`crate::quant`]).
+//! - **Batched multi-query search** ([`Hnsw::search_batch`]): a micro-batch
+//!   of queries walks layer 0 in lock-step; queries expanding the same node
+//!   share one packed neighbor panel and probe it with block kernels. Each
+//!   query's heap trajectory is exactly its sequential one, so the results
+//!   equal per-query [`Hnsw::search`] bit-for-bit.
+//! - **Incremental removal** ([`Hnsw::remove`]): unlink a node and re-link
+//!   its peers through the diversity heuristic, instead of tombstoning and
+//!   rebuilding the live set.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -18,6 +34,7 @@ use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::metric::Metric;
+use crate::quant::{rerank_overfetch, QuantStore, OBS_QUANTIZED, OBS_RERANK};
 use crate::Neighbor;
 
 // Observability counters. Probe counts (distance evaluations) per
@@ -26,6 +43,9 @@ use crate::Neighbor;
 // thread-count invariant even though the adds happen inside `par_map`.
 static OBS_SEARCHES: pas_obs::Counter = pas_obs::Counter::new("ann.hnsw.searches");
 static OBS_PROBES: pas_obs::Counter = pas_obs::Counter::new("ann.hnsw.probes");
+// Batched-probe counters: micro-batches dispatched and queries they carried.
+static OBS_BATCHES: pas_obs::Counter = pas_obs::Counter::new("ann.search_batch.batches");
+static OBS_BATCH_QUERIES: pas_obs::Counter = pas_obs::Counter::new("ann.search_batch.queries");
 
 /// HNSW construction parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -79,6 +99,46 @@ impl Node {
     }
 }
 
+/// Per-query layer-0 state inside [`Hnsw::search_batch`]: the same two heaps
+/// plus visited set that `search_layer` keeps on its stack, promoted to a
+/// struct so a micro-batch of beams can advance in lock-step.
+struct Beam {
+    candidates: BinaryHeap<std::cmp::Reverse<Candidate>>,
+    results: BinaryHeap<Candidate>,
+    visited: Vec<bool>,
+    active: bool,
+    probes: u64,
+}
+
+impl Beam {
+    /// The accept/evict step of `search_layer`'s inner loop, verbatim.
+    fn offer(&mut self, d: f32, id: usize, ef: usize) {
+        let worst = self.results.peek().expect("results never empty").distance;
+        if self.results.len() < ef || d < worst {
+            let cand = Candidate { distance: d, id };
+            self.candidates.push(std::cmp::Reverse(cand));
+            self.results.push(cand);
+            if self.results.len() > ef {
+                self.results.pop();
+            }
+        }
+    }
+
+    /// Consumes one expansion's precomputed neighbor distances. Unvisited
+    /// rows are taken in adjacency order, exactly like the lazy path; rows
+    /// already visited are skipped without counting a probe.
+    fn absorb_block(&mut self, neighbors: &[usize], dvec: &[f32], ef: usize) {
+        for (j, &next) in neighbors.iter().enumerate() {
+            if self.visited[next] {
+                continue;
+            }
+            self.visited[next] = true;
+            self.probes += 1;
+            self.offer(dvec[j], next, ef);
+        }
+    }
+}
+
 /// The HNSW index. Generic over the distance [`Metric`].
 ///
 /// Vectors are stored in the metric's *prepared* form ([`Metric::prepare`])
@@ -89,7 +149,8 @@ impl Node {
 pub struct Hnsw<M: Metric> {
     config: HnswConfig,
     metric: M,
-    /// Prepared (e.g. unit-normalized) vectors, one per node.
+    /// Prepared (e.g. unit-normalized) vectors, one per node. Removed slots
+    /// hold an empty vector (the id is never probed again).
     vectors: Vec<Vec<f32>>,
     /// Original L2 norm of each vector, recorded at insert.
     norms: Vec<f32>,
@@ -97,6 +158,15 @@ pub struct Hnsw<M: Metric> {
     entry: Option<usize>,
     rng: StdRng,
     level_norm: f64,
+    /// Vector dimension, locked at the first insert (0 = not yet known).
+    dim: usize,
+    /// `dead[id]` once [`Hnsw::remove`] unlinked `id`. Ids are positional
+    /// and never reused.
+    dead: Vec<bool>,
+    /// Count of live (not removed) nodes.
+    live: usize,
+    /// int8 codes for the quantized probe path, row-aligned with ids.
+    quant: Option<QuantStore>,
 }
 
 impl<M: Metric> Hnsw<M> {
@@ -118,10 +188,15 @@ impl<M: Metric> Hnsw<M> {
             entry: None,
             rng,
             level_norm,
+            dim: 0,
+            dead: Vec::new(),
+            live: 0,
+            quant: None,
         }
     }
 
-    /// Number of stored vectors.
+    /// Number of stored vector slots, including removed ones (ids are
+    /// positional). See [`Hnsw::live_len`] for the live count.
     pub fn len(&self) -> usize {
         self.vectors.len()
     }
@@ -129,6 +204,16 @@ impl<M: Metric> Hnsw<M> {
     /// True when no vectors are stored.
     pub fn is_empty(&self) -> bool {
         self.vectors.is_empty()
+    }
+
+    /// Number of live (not removed) vectors.
+    pub fn live_len(&self) -> usize {
+        self.live
+    }
+
+    /// True when `id` has been removed from the graph.
+    pub fn is_removed(&self, id: usize) -> bool {
+        self.dead[id]
     }
 
     /// The stored vector for `id`, in the metric's prepared form (under
@@ -156,10 +241,25 @@ impl<M: Metric> Hnsw<M> {
     /// Best-first search at one layer. `query` must already be in prepared
     /// form. Returns up to `ef` closest candidates, unsorted.
     fn search_layer(&self, query: &[f32], entry: usize, ef: usize, layer: usize) -> Vec<Candidate> {
+        let (found, probes) = self.search_layer_with(&|id| self.dist(id, query), entry, ef, layer);
+        OBS_PROBES.add(probes);
+        found
+    }
+
+    /// `search_layer` over an arbitrary per-id distance (f32 or quantized).
+    /// Returns the candidates plus the probe count so callers attribute the
+    /// probes to the right counters.
+    fn search_layer_with(
+        &self,
+        dist: &dyn Fn(usize) -> f32,
+        entry: usize,
+        ef: usize,
+        layer: usize,
+    ) -> (Vec<Candidate>, u64) {
         let mut visited = vec![false; self.nodes.len()];
         visited[entry] = true;
         let mut probes = 1u64;
-        let entry_cand = Candidate { distance: self.dist(entry, query), id: entry };
+        let entry_cand = Candidate { distance: dist(entry), id: entry };
 
         // `candidates`: min-heap (via Reverse) of nodes to expand.
         let mut candidates: BinaryHeap<std::cmp::Reverse<Candidate>> = BinaryHeap::new();
@@ -179,7 +279,7 @@ impl<M: Metric> Hnsw<M> {
                 }
                 visited[next] = true;
                 probes += 1;
-                let d = self.dist(next, query);
+                let d = dist(next);
                 let worst = results.peek().expect("non-empty").distance;
                 if results.len() < ef || d < worst {
                     let cand = Candidate { distance: d, id: next };
@@ -191,17 +291,26 @@ impl<M: Metric> Hnsw<M> {
                 }
             }
         }
-        OBS_PROBES.add(probes);
-        results.into_vec()
+        (results.into_vec(), probes)
     }
 
     /// Greedy descent to the closest node at `layer`, starting from `entry`.
-    fn greedy_step(&self, query: &[f32], mut entry: usize, layer: usize) -> usize {
-        let mut best = self.dist(entry, query);
+    fn greedy_step(&self, query: &[f32], entry: usize, layer: usize) -> usize {
+        self.greedy_step_with(&|id| self.dist(id, query), entry, layer)
+    }
+
+    /// `greedy_step` over an arbitrary per-id distance.
+    fn greedy_step_with(
+        &self,
+        dist: &dyn Fn(usize) -> f32,
+        mut entry: usize,
+        layer: usize,
+    ) -> usize {
+        let mut best = dist(entry);
         loop {
             let mut improved = false;
             for &next in &self.nodes[entry].neighbors[layer] {
-                let d = self.dist(next, query);
+                let d = dist(next);
                 if d < best {
                     best = d;
                     entry = next;
@@ -211,6 +320,18 @@ impl<M: Metric> Hnsw<M> {
             if !improved {
                 return entry;
             }
+        }
+    }
+
+    /// Layer-0 beam width for a `(k, ef)` request: `max(ef, k, 1)`, widened
+    /// to at least [`rerank_overfetch`]`(k)` when the quantized probe path is
+    /// on so the exact re-rank has enough candidates to pin recall.
+    fn beam_width(&self, k: usize, ef: usize) -> usize {
+        let base = ef.max(k).max(1);
+        if self.quant.is_some() {
+            base.max(rerank_overfetch(k))
+        } else {
+            base
         }
     }
 
@@ -277,9 +398,19 @@ impl<M: Metric> Hnsw<M> {
         links: Vec<Vec<usize>>,
     ) -> usize {
         let id = self.vectors.len();
+        if self.dim == 0 {
+            self.dim = vector.len();
+        } else {
+            assert_eq!(vector.len(), self.dim, "vector dimension mismatch at insert");
+        }
         let prev_top = self.entry.map(|e| self.nodes[e].level());
+        if let Some(store) = self.quant.as_mut() {
+            store.push(&self.metric, &vector);
+        }
         self.vectors.push(vector);
         self.norms.push(norm);
+        self.dead.push(false);
+        self.live += 1;
         self.nodes.push(Node { neighbors: vec![Vec::new(); level + 1] });
         for (layer, peers) in links.iter().enumerate() {
             for &peer in peers {
@@ -394,10 +525,69 @@ impl<M: Metric> Hnsw<M> {
         self.nodes[node].neighbors[layer] = selected.into_iter().map(|c| c.id).collect();
     }
 
+    /// Switches the int8 quantized probe path on or off.
+    ///
+    /// When on, every stored vector gets an int8 code row ([`QuantStore`]);
+    /// searches traverse the graph on integer dots and finish with an exact
+    /// f32 re-rank of an over-fetched candidate set ([`rerank_overfetch`]).
+    /// Graph construction stays f32 either way, so toggling quantization
+    /// never changes the graph — only the probe arithmetic. Integer dots are
+    /// exact, so quantized traversal is invariant across kernel backends.
+    ///
+    /// # Panics
+    /// Panics when the metric has no quantized probe path
+    /// ([`Metric::quantize`] returns `None`).
+    pub fn set_quantization(&mut self, enabled: bool) {
+        if !enabled {
+            self.quant = None;
+            return;
+        }
+        if self.quant.is_some() {
+            return;
+        }
+        assert!(self.metric.quantize(&[]).is_some(), "metric has no quantized probe path");
+        let mut store = QuantStore::new();
+        for id in 0..self.vectors.len() {
+            if self.dead[id] {
+                store.push_placeholder(self.dim);
+            } else {
+                store.push(&self.metric, &self.vectors[id]);
+            }
+        }
+        self.quant = Some(store);
+    }
+
+    /// True when the int8 quantized probe path is active.
+    pub fn quantized(&self) -> bool {
+        self.quant.is_some()
+    }
+
+    /// Bytes the traversal touches per stored vector: `dim + 4` with
+    /// quantization on, `4 * dim` for the f32 path.
+    pub fn probe_bytes_per_vector(&self) -> usize {
+        match &self.quant {
+            Some(store) => store.bytes_per_vector(),
+            None => self.dim * std::mem::size_of::<f32>(),
+        }
+    }
+
+    /// Exact-f32 re-rank of a quantized candidate set: recompute true
+    /// distances for every candidate the beam returned, sort, keep `k`.
+    fn rerank_exact(&self, query: &[f32], found: Vec<Candidate>, k: usize) -> Vec<Neighbor> {
+        OBS_RERANK.add(found.len() as u64);
+        let mut exact: Vec<Candidate> = found
+            .into_iter()
+            .map(|c| Candidate { distance: self.dist(c.id, query), id: c.id })
+            .collect();
+        exact.sort();
+        exact.into_iter().take(k).map(|c| Neighbor { id: c.id, distance: c.distance }).collect()
+    }
+
     /// Searches the `k` nearest neighbours of `query` with beam width `ef`
     /// (clamped up to `k`). Closest first; ties by id. The query is prepared
     /// once (one normalization under cosine); every probe after that is a
-    /// prepared-form distance.
+    /// prepared-form distance — or an integer dot when quantization is on,
+    /// followed by an exact f32 re-rank of the over-fetched beam.
     pub fn search(&self, query: &[f32], k: usize, ef: usize) -> Vec<Neighbor> {
         OBS_SEARCHES.incr();
         let Some(mut entry) = self.entry else {
@@ -407,12 +597,334 @@ impl<M: Metric> Hnsw<M> {
         self.metric.prepare(&mut prepared);
         let query = prepared.as_slice();
         let top_level = self.nodes[entry].level();
-        for layer in (1..=top_level).rev() {
-            entry = self.greedy_step(query, entry, layer);
+        let ef0 = self.beam_width(k, ef);
+        if let Some(store) = &self.quant {
+            let (qcodes, qscale) =
+                self.metric.quantize(query).expect("quantized index requires a quantizing metric");
+            let qd = |id: usize| {
+                let (codes, scale) = store.row(id);
+                self.metric.quantized_distance(&qcodes, qscale, codes, scale)
+            };
+            for layer in (1..=top_level).rev() {
+                entry = self.greedy_step_with(&qd, entry, layer);
+            }
+            let (found, probes) = self.search_layer_with(&qd, entry, ef0, 0);
+            OBS_PROBES.add(probes);
+            OBS_QUANTIZED.add(probes);
+            self.rerank_exact(query, found, k)
+        } else {
+            for layer in (1..=top_level).rev() {
+                entry = self.greedy_step(query, entry, layer);
+            }
+            let mut found = self.search_layer(query, entry, ef0, 0);
+            found.sort();
+            found.into_iter().take(k).map(|c| Neighbor { id: c.id, distance: c.distance }).collect()
         }
-        let mut found = self.search_layer(query, entry, ef.max(k).max(1), 0);
-        found.sort();
-        found.into_iter().take(k).map(|c| Neighbor { id: c.id, distance: c.distance }).collect()
+    }
+
+    /// Searches a micro-batch of queries, bit-identical to mapping
+    /// [`Hnsw::search`] over them one by one.
+    ///
+    /// All queries descend the upper layers independently, then walk layer 0
+    /// in lock-step rounds: each round every still-active beam pops its next
+    /// expansion node, the round's expansions are grouped by node id, and
+    /// each group's neighbor rows are packed once into a contiguous panel
+    /// that every grouped query probes with one block-kernel call
+    /// ([`Metric::prepared_distance_block`] / int8 when quantized). Block
+    /// rows are bit-identical to pairwise probes and each beam consumes them
+    /// in adjacency order, so every query's heap trajectory — and therefore
+    /// its result — is exactly the sequential one.
+    pub fn search_batch(&self, queries: &[Vec<f32>], k: usize, ef: usize) -> Vec<Vec<Neighbor>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        OBS_BATCHES.incr();
+        OBS_BATCH_QUERIES.add(queries.len() as u64);
+        OBS_SEARCHES.add(queries.len() as u64);
+        let Some(entry0) = self.entry else {
+            return queries.iter().map(|_| Vec::new()).collect();
+        };
+        let prepared: Vec<Vec<f32>> = queries
+            .iter()
+            .map(|q| {
+                let mut p = q.clone();
+                self.metric.prepare(&mut p);
+                p
+            })
+            .collect();
+        let quantized: Option<Vec<(Vec<i8>, f32)>> = self.quant.as_ref().map(|_| {
+            prepared
+                .iter()
+                .map(|p| {
+                    self.metric.quantize(p).expect("quantized index requires a quantizing metric")
+                })
+                .collect()
+        });
+        let dist_for = |qi: usize, id: usize| -> f32 {
+            match (&self.quant, &quantized) {
+                (Some(store), Some(q)) => {
+                    let (codes, scale) = store.row(id);
+                    self.metric.quantized_distance(&q[qi].0, q[qi].1, codes, scale)
+                }
+                _ => self.dist(id, &prepared[qi]),
+            }
+        };
+        let ef0 = self.beam_width(k, ef);
+        let top_level = self.nodes[entry0].level();
+
+        // Upper-layer descent per query, then a layer-0 beam primed exactly
+        // like `search_layer`'s prologue.
+        let mut beams: Vec<Beam> = (0..queries.len())
+            .map(|qi| {
+                let mut entry = entry0;
+                for layer in (1..=top_level).rev() {
+                    entry = self.greedy_step_with(&|id| dist_for(qi, id), entry, layer);
+                }
+                let mut visited = vec![false; self.nodes.len()];
+                visited[entry] = true;
+                let entry_cand = Candidate { distance: dist_for(qi, entry), id: entry };
+                let mut candidates = BinaryHeap::new();
+                candidates.push(std::cmp::Reverse(entry_cand));
+                let mut results = BinaryHeap::new();
+                results.push(entry_cand);
+                Beam { candidates, results, visited, active: true, probes: 1 }
+            })
+            .collect();
+
+        let mut panel_f32: Vec<f32> = Vec::new();
+        let mut panel_i8: Vec<i8> = Vec::new();
+        let mut panel_scales: Vec<f32> = Vec::new();
+        let mut dvec: Vec<f32> = Vec::new();
+        let mut sub: Vec<usize> = Vec::new();
+        // Expansions of one round as (node, query) pairs; sorted, equal-node
+        // runs form the groups. Reused across rounds — no per-round allocs.
+        let mut expansions: Vec<(usize, usize)> = Vec::new();
+        // Below this many panel rows a block-kernel call costs more than it
+        // saves; probe lazily instead. Size-based only, so deterministic.
+        const MIN_PANEL_ROWS: usize = 8;
+        loop {
+            // Each active beam pops one expansion; group them by node id.
+            // A beam contributes at most one expansion per round, so group
+            // processing order cannot affect any single beam's trajectory.
+            expansions.clear();
+            for (qi, beam) in beams.iter_mut().enumerate() {
+                if !beam.active {
+                    continue;
+                }
+                match beam.candidates.pop() {
+                    None => beam.active = false,
+                    Some(std::cmp::Reverse(current)) => {
+                        let worst = beam.results.peek().expect("results never empty").distance;
+                        if current.distance > worst && beam.results.len() >= ef0 {
+                            beam.active = false;
+                        } else {
+                            expansions.push((current.id, qi));
+                        }
+                    }
+                }
+            }
+            if expansions.is_empty() {
+                break;
+            }
+            // Pairs are unique (one pop per beam), so the unstable sort is a
+            // deterministic total order: ascending node, then query.
+            expansions.sort_unstable();
+            let mut start = 0;
+            while start < expansions.len() {
+                let node = expansions[start].0;
+                let mut end = start + 1;
+                while end < expansions.len() && expansions[end].0 == node {
+                    end += 1;
+                }
+                let group = &expansions[start..end];
+                start = end;
+                let neighbors = self.nodes[node].neighbors[0].as_slice();
+                if neighbors.is_empty() {
+                    continue;
+                }
+                if group.len() == 1 {
+                    // Lone beam at this node: evaluate lazily, skipping
+                    // visited neighbors before probing, like `search_layer`.
+                    let qi = group[0].1;
+                    let beam = &mut beams[qi];
+                    for &next in neighbors {
+                        if beam.visited[next] {
+                            continue;
+                        }
+                        beam.visited[next] = true;
+                        beam.probes += 1;
+                        let d = dist_for(qi, next);
+                        beam.offer(d, next, ef0);
+                    }
+                    continue;
+                }
+                // The rows at least one grouped beam still needs, in
+                // adjacency order — converged beams have visited most
+                // neighbors already, so this stays tight.
+                sub.clear();
+                sub.extend(
+                    neighbors
+                        .iter()
+                        .copied()
+                        .filter(|&next| group.iter().any(|&(_, qi)| !beams[qi].visited[next])),
+                );
+                if sub.is_empty() {
+                    continue;
+                }
+                if sub.len() < MIN_PANEL_ROWS {
+                    // Panel too small to amortize a block call per query:
+                    // probe lazily. The cutoff depends only on sizes, so the
+                    // choice — and the per-row arithmetic — is identical on
+                    // every run.
+                    for &(_, qi) in group {
+                        let beam = &mut beams[qi];
+                        for &next in &sub {
+                            if beam.visited[next] {
+                                continue;
+                            }
+                            beam.visited[next] = true;
+                            beam.probes += 1;
+                            let d = dist_for(qi, next);
+                            beam.offer(d, next, ef0);
+                        }
+                    }
+                    continue;
+                }
+                // Shared expansion: pack the panel once, then probe it with
+                // one block-kernel call per grouped query. `absorb_block`
+                // still skips each beam's own visited rows, so trajectories
+                // stay sequential-exact.
+                dvec.resize(sub.len(), 0.0);
+                match (&self.quant, &quantized) {
+                    (Some(store), Some(q)) => {
+                        store.gather(&sub, &mut panel_i8, &mut panel_scales);
+                        for &(_, qi) in group {
+                            self.metric.quantized_distance_block(
+                                &q[qi].0,
+                                q[qi].1,
+                                &panel_i8,
+                                &panel_scales,
+                                &mut dvec,
+                            );
+                            beams[qi].absorb_block(&sub, &dvec, ef0);
+                        }
+                    }
+                    _ => {
+                        panel_f32.clear();
+                        for &next in &sub {
+                            panel_f32.extend_from_slice(&self.vectors[next]);
+                        }
+                        for &(_, qi) in group {
+                            self.metric.prepared_distance_block(
+                                &prepared[qi],
+                                &panel_f32,
+                                &mut dvec,
+                            );
+                            beams[qi].absorb_block(&sub, &dvec, ef0);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut probes = 0u64;
+        let out = beams
+            .into_iter()
+            .enumerate()
+            .map(|(qi, beam)| {
+                probes += beam.probes;
+                let found = beam.results.into_vec();
+                if self.quant.is_some() {
+                    self.rerank_exact(&prepared[qi], found, k)
+                } else {
+                    let mut found = found;
+                    found.sort();
+                    found
+                        .into_iter()
+                        .take(k)
+                        .map(|c| Neighbor { id: c.id, distance: c.distance })
+                        .collect()
+                }
+            })
+            .collect();
+        OBS_PROBES.add(probes);
+        if self.quant.is_some() {
+            OBS_QUANTIZED.add(probes);
+        }
+        out
+    }
+
+    /// Removes `id` from the graph, returning whether it was live.
+    ///
+    /// The node is unlinked from every peer, and on each layer its peers are
+    /// offered the removed node's other peers as replacement link candidates
+    /// (then trimmed by the usual diversity heuristic), so the neighborhood
+    /// stays connected without a rebuild. Ids are positional and never
+    /// reused; the freed slot keeps its id but drops its vector storage.
+    /// When `id` was the entry point, the entry moves to the highest-level
+    /// live node (smallest id on ties).
+    pub fn remove(&mut self, id: usize) -> bool {
+        if id >= self.nodes.len() || self.dead[id] {
+            return false;
+        }
+        let top = self.nodes[id].level();
+        for layer in 0..=top {
+            let mut peers = std::mem::take(&mut self.nodes[id].neighbors[layer]);
+            // Links are wired bidirectionally but `shrink_links` trims each
+            // side independently, so nodes outside `id`'s own adjacency may
+            // still hold an inbound edge — sweep them all, and offer the
+            // holders re-links too.
+            for n in 0..self.nodes.len() {
+                if n == id || self.dead[n] || self.nodes[n].neighbors.len() <= layer {
+                    continue;
+                }
+                let list = &mut self.nodes[n].neighbors[layer];
+                let before = list.len();
+                list.retain(|&x| x != id);
+                if list.len() != before && !peers.contains(&n) {
+                    peers.push(n);
+                }
+            }
+            for &p in &peers {
+                let mut changed = false;
+                for &q in &peers {
+                    if q == p || self.nodes[p].neighbors[layer].contains(&q) {
+                        continue;
+                    }
+                    self.nodes[p].neighbors[layer].push(q);
+                    changed = true;
+                }
+                if changed {
+                    self.shrink_links(p, layer);
+                }
+            }
+        }
+        self.dead[id] = true;
+        self.live -= 1;
+        self.vectors[id] = Vec::new();
+        if self.entry == Some(id) {
+            self.entry = self.pick_entry();
+        }
+        true
+    }
+
+    /// Deterministic entry repair: highest-level live node, smallest id on
+    /// ties. O(n), but removal of the entry point is rare.
+    fn pick_entry(&self) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, node) in self.nodes.iter().enumerate() {
+            if self.dead[i] {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some(b) => node.level() > self.nodes[b].level(),
+            };
+            if better {
+                best = Some(i);
+            }
+        }
+        best
     }
 
     /// All neighbours within `radius` of `query`, found by running an
@@ -431,6 +943,7 @@ impl<M: Metric> Hnsw<M> {
             norms: self.norms.clone(),
             nodes: self.nodes.clone(),
             entry: self.entry,
+            removed: (0..self.nodes.len()).filter(|&i| self.dead[i]).collect(),
         }
     }
 
@@ -443,6 +956,14 @@ impl<M: Metric> Hnsw<M> {
         let rng = StdRng::seed_from_u64(
             snapshot.config.seed ^ (snapshot.nodes.len() as u64).rotate_left(21),
         );
+        let mut dead = vec![false; snapshot.nodes.len()];
+        for &id in &snapshot.removed {
+            dead[id] = true;
+        }
+        let live = snapshot.nodes.len() - snapshot.removed.len();
+        // Removed slots store empty vectors, so the dimension comes from the
+        // first live row (0 when none are left — relocked at next insert).
+        let dim = snapshot.vectors.iter().find(|v| !v.is_empty()).map_or(0, |v| v.len());
         Hnsw {
             config: snapshot.config,
             metric,
@@ -452,12 +973,19 @@ impl<M: Metric> Hnsw<M> {
             entry: snapshot.entry,
             rng,
             level_norm,
+            dim,
+            dead,
+            live,
+            quant: None,
         }
     }
 }
 
 /// Serializable state of an [`Hnsw`] index: graph, prepared vectors and
-/// their original norms, entry point.
+/// their original norms, entry point, removed ids. The quantized codes are
+/// not part of the snapshot — re-enable with [`Hnsw::set_quantization`]
+/// after restore (requantization is deterministic, so the codes come back
+/// bit-identical).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HnswSnapshot {
     config: HnswConfig,
@@ -465,6 +993,7 @@ pub struct HnswSnapshot {
     norms: Vec<f32>,
     nodes: Vec<Node>,
     entry: Option<usize>,
+    removed: Vec<usize>,
 }
 
 #[cfg(test)]
@@ -729,5 +1258,121 @@ mod tests {
         let mut idx = Hnsw::new(HnswConfig::default(), EuclideanDistance);
         assert!(idx.build_batch(Vec::new()).is_empty());
         assert!(idx.is_empty());
+    }
+
+    fn cosine_index(n: usize, dim: usize, seed: u64) -> (Hnsw<CosineDistance>, Vec<Vec<f32>>) {
+        let vecs = random_vectors(n, dim, seed);
+        let mut idx = Hnsw::new(HnswConfig::default(), CosineDistance);
+        idx.build_batch(vecs.clone());
+        (idx, vecs)
+    }
+
+    fn ids_and_bits(hits: &[Neighbor]) -> Vec<(usize, u32)> {
+        hits.iter().map(|n| (n.id, n.distance.to_bits())).collect()
+    }
+
+    #[test]
+    fn quantized_search_matches_f32_search_exactly() {
+        let (mut idx, _vecs) = cosine_index(300, 24, 43);
+        let queries = random_vectors(12, 24, 101);
+        let plain: Vec<_> = queries.iter().map(|q| ids_and_bits(&idx.search(q, 5, 48))).collect();
+        idx.set_quantization(true);
+        assert!(idx.quantized());
+        // ~4x fewer probe-path bytes than the 4*dim f32 rows.
+        assert_eq!(idx.probe_bytes_per_vector(), 24 + 4);
+        let quant: Vec<_> = queries.iter().map(|q| ids_and_bits(&idx.search(q, 5, 48))).collect();
+        assert_eq!(plain, quant, "quantized+rerank results must match pure f32");
+        idx.set_quantization(false);
+        let back: Vec<_> = queries.iter().map(|q| ids_and_bits(&idx.search(q, 5, 48))).collect();
+        assert_eq!(plain, back);
+    }
+
+    #[test]
+    fn quantized_insert_after_enabling_keeps_rows_aligned() {
+        let (mut idx, _vecs) = cosine_index(60, 8, 47);
+        idx.set_quantization(true);
+        let extra = random_vectors(20, 8, 48);
+        for v in &extra {
+            idx.insert(v.clone());
+        }
+        let hits = idx.search(&extra[7], 1, 32);
+        assert_eq!(hits[0].id, 60 + 7);
+        assert!(hits[0].distance < 1e-6);
+    }
+
+    #[test]
+    fn search_batch_matches_sequential_search() {
+        let (mut idx, vecs) = cosine_index(250, 16, 53);
+        let queries: Vec<Vec<f32>> = random_vectors(9, 16, 202)
+            .into_iter()
+            .chain([vecs[3].clone(), vecs[3].clone()]) // duplicates share panels
+            .collect();
+        for quantize in [false, true] {
+            idx.set_quantization(quantize);
+            let sequential: Vec<_> =
+                queries.iter().map(|q| ids_and_bits(&idx.search(q, 6, 40))).collect();
+            let batched: Vec<_> =
+                idx.search_batch(&queries, 6, 40).iter().map(|hits| ids_and_bits(hits)).collect();
+            assert_eq!(sequential, batched, "quantize={quantize}");
+        }
+        assert!(idx.search_batch(&[], 4, 16).is_empty());
+        let empty = Hnsw::new(HnswConfig::default(), CosineDistance);
+        assert_eq!(empty.search_batch(&queries, 4, 16), vec![Vec::new(); queries.len()]);
+    }
+
+    #[test]
+    fn remove_unlinks_and_searches_skip_removed() {
+        let (mut idx, vecs) = cosine_index(200, 8, 59);
+        for id in (0..200).step_by(4) {
+            assert!(idx.remove(id));
+            assert!(!idx.remove(id), "second remove is a no-op");
+        }
+        assert_eq!(idx.len(), 200);
+        assert_eq!(idx.live_len(), 150);
+        for (qi, q) in vecs.iter().enumerate().step_by(7) {
+            let hits = idx.search(q, 5, 64);
+            assert!(!hits.is_empty());
+            for hit in &hits {
+                assert!(!idx.is_removed(hit.id), "query {qi} returned removed id {}", hit.id);
+            }
+            // A live query vector must still find itself through the
+            // re-linked graph.
+            if qi % 4 != 0 {
+                assert_eq!(hits[0].id, qi, "query {qi} lost itself after removals");
+                assert!(hits[0].distance < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn remove_everything_then_reinsert() {
+        let (mut idx, vecs) = cosine_index(40, 6, 61);
+        for id in 0..40 {
+            idx.remove(id);
+        }
+        assert_eq!(idx.live_len(), 0);
+        assert!(idx.search(&vecs[0], 3, 16).is_empty());
+        let id = idx.insert(vecs[1].clone());
+        assert_eq!(id, 40, "ids stay positional after removals");
+        let hits = idx.search(&vecs[1], 1, 16);
+        assert_eq!(hits[0].id, 40);
+    }
+
+    #[test]
+    fn remove_survives_snapshot_round_trip() {
+        let (mut idx, vecs) = cosine_index(120, 8, 67);
+        for id in (0..120).step_by(3) {
+            idx.remove(id);
+        }
+        let json = serde_json::to_string(&idx.snapshot()).unwrap();
+        let snapshot: HnswSnapshot = serde_json::from_str(&json).unwrap();
+        let mut restored = Hnsw::from_snapshot(snapshot, CosineDistance);
+        assert_eq!(restored.live_len(), idx.live_len());
+        restored.set_quantization(true);
+        for q in vecs.iter().step_by(11) {
+            let a: Vec<usize> = idx.search(q, 5, 48).into_iter().map(|n| n.id).collect();
+            let b: Vec<usize> = restored.search(q, 5, 48).into_iter().map(|n| n.id).collect();
+            assert_eq!(a, b);
+        }
     }
 }

@@ -21,6 +21,7 @@ pub mod hnsw;
 pub mod kmeans;
 pub mod metric;
 pub mod minhash;
+pub mod quant;
 
 pub use dedup::{DedupConfig, DedupOutcome, Deduplicator};
 pub use exact::ExactIndex;
@@ -28,6 +29,7 @@ pub use hnsw::{Hnsw, HnswConfig};
 pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
 pub use metric::{CosineDistance, EuclideanDistance, Metric};
 pub use minhash::{LshIndex, MinHashConfig, MinHashDeduplicator, MinHasher, Signature};
+pub use quant::QuantStore;
 
 /// A search hit: item id plus its distance to the query (smaller = closer).
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -6,6 +6,20 @@
 //! and [`Metric::prepared_distance`] compares two prepared vectors.
 //! [`CosineDistance`] uses this to store unit vectors, turning every probe
 //! into `1 − dot` — no per-probe norms, no square roots.
+//!
+//! Two further refinements feed the raw-speed layer:
+//!
+//! - **Block probes** ([`Metric::prepared_distance_block`]): one query
+//!   against a packed panel of stored rows. Each output must be
+//!   bit-identical to the pairwise [`Metric::prepared_distance`] — cosine
+//!   routes through [`pas_kernels::dot_block`], whose per-row accumulation
+//!   *is* the striped [`pas_kernels::dot`].
+//! - **int8 quantization** ([`Metric::quantize`]): an optional compressed
+//!   form of a prepared vector (codes + one `f32` scale) with an approximate
+//!   integer-dot distance ([`Metric::quantized_distance`]). Integer dots are
+//!   exact on every backend, so the approximation is deterministic; indexes
+//!   use it for traversal and re-rank an over-fetched top-k with the exact
+//!   f32 path (see [`crate::quant`]).
 
 use pas_kernels as kernels;
 
@@ -26,6 +40,53 @@ pub trait Metric: Send + Sync {
     /// default is the identity-prepared case.
     fn prepared_distance(&self, a: &[f32], b: &[f32]) -> f32 {
         self.distance(a, b)
+    }
+
+    /// [`Metric::prepared_distance`] of `query` against every row of a
+    /// packed panel (`out.len()` rows of `query.len()` elements). Outputs
+    /// must be **bit-identical** to the pairwise calls — overrides may only
+    /// change speed, never bits. The default loops.
+    fn prepared_distance_block(&self, query: &[f32], panel: &[f32], out: &mut [f32]) {
+        let d = query.len();
+        assert_eq!(panel.len(), d * out.len(), "panel/rows mismatch");
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = self.prepared_distance(query, &panel[r * d..(r + 1) * d]);
+        }
+    }
+
+    /// int8-quantizes a *prepared* vector into `(codes, scale)`, or `None`
+    /// when the metric has no integer probe path (the default). The indexes
+    /// gate their quantized storage on this.
+    fn quantize(&self, prepared: &[f32]) -> Option<(Vec<i8>, f32)> {
+        let _ = prepared;
+        None
+    }
+
+    /// Approximate distance between two quantized vectors. Only called when
+    /// [`Metric::quantize`] returns `Some`; must be deterministic across
+    /// machines and kernel backends (integer dots are, by construction).
+    fn quantized_distance(&self, a: &[i8], sa: f32, b: &[i8], sb: f32) -> f32 {
+        let _ = (a, sa, b, sb);
+        unimplemented!("metric has no quantized probe path")
+    }
+
+    /// [`Metric::quantized_distance`] of one quantized query against a
+    /// packed panel of code rows. Bit-identical to the pairwise calls; the
+    /// default loops.
+    fn quantized_distance_block(
+        &self,
+        query: &[i8],
+        qscale: f32,
+        panel: &[i8],
+        scales: &[f32],
+        out: &mut [f32],
+    ) {
+        let d = query.len();
+        assert_eq!(panel.len(), d * out.len(), "panel/rows mismatch");
+        assert_eq!(scales.len(), out.len(), "scales/rows mismatch");
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = self.quantized_distance(query, qscale, &panel[r * d..(r + 1) * d], scales[r]);
+        }
     }
 }
 
@@ -58,6 +119,57 @@ impl Metric for CosineDistance {
         // Unit vectors: cos = dot. A zero vector stays zero when prepared,
         // so dot = 0 and the distance is 1 — same convention as the raw path.
         (1.0 - kernels::dot(a, b)).max(0.0)
+    }
+
+    fn prepared_distance_block(&self, query: &[f32], panel: &[f32], out: &mut [f32]) {
+        // dot_block's per-row accumulation is exactly `dot`, so each output
+        // is bit-identical to the pairwise prepared_distance.
+        kernels::dot_block(query, panel, out);
+        for o in out.iter_mut() {
+            *o = (1.0 - *o).max(0.0);
+        }
+    }
+
+    /// Symmetric per-vector scaling: `scale = max|v| / 127`, codes are
+    /// `round(v / scale)` in `[-127, 127]`. A zero vector quantizes to all
+    /// zeros with scale 0, and the integer probe then reports distance 1 —
+    /// the same zero-vector convention as the f32 path.
+    fn quantize(&self, prepared: &[f32]) -> Option<(Vec<i8>, f32)> {
+        let max_abs = prepared.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        if max_abs == 0.0 {
+            return Some((vec![0; prepared.len()], 0.0));
+        }
+        let scale = max_abs / 127.0;
+        let inv = 127.0 / max_abs;
+        let codes =
+            prepared.iter().map(|&x| (x * inv).round().clamp(-127.0, 127.0) as i8).collect();
+        Some((codes, scale))
+    }
+
+    #[inline]
+    fn quantized_distance(&self, a: &[i8], sa: f32, b: &[i8], sb: f32) -> f32 {
+        // Approximate `1 − a·b` with the exact integer dot of the codes
+        // rescaled once. Deterministic on every backend: the i32 dot is
+        // exact, and the float rescale is two muls and a sub in fixed order.
+        (1.0 - kernels::dot_i8(a, b) as f32 * (sa * sb)).max(0.0)
+    }
+
+    fn quantized_distance_block(
+        &self,
+        query: &[i8],
+        qscale: f32,
+        panel: &[i8],
+        scales: &[f32],
+        out: &mut [f32],
+    ) {
+        let d = query.len();
+        assert_eq!(panel.len(), d * out.len(), "panel/rows mismatch");
+        assert_eq!(scales.len(), out.len(), "scales/rows mismatch");
+        let mut dots = vec![0i32; out.len()];
+        kernels::dot_i8_block(query, panel, &mut dots);
+        for ((o, &idot), &s) in out.iter_mut().zip(&dots).zip(scales) {
+            *o = (1.0 - idot as f32 * (qscale * s)).max(0.0);
+        }
     }
 }
 
@@ -141,6 +253,65 @@ mod tests {
     fn euclidean_known_value() {
         let d = EuclideanDistance.distance(&[0.0, 0.0], &[3.0, 4.0]);
         assert!((d - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn block_distance_bit_matches_pairwise() {
+        let query = {
+            let mut q = vec![0.2f32, -0.5, 0.7, 0.1, 0.4];
+            CosineDistance.prepare(&mut q);
+            q
+        };
+        let rows: Vec<Vec<f32>> = (0..7)
+            .map(|r| {
+                let mut v: Vec<f32> = (0..5).map(|i| ((r * 5 + i) as f32 * 0.37).sin()).collect();
+                CosineDistance.prepare(&mut v);
+                v
+            })
+            .collect();
+        let panel: Vec<f32> = rows.iter().flatten().copied().collect();
+        let mut out = vec![0.0f32; rows.len()];
+        CosineDistance.prepared_distance_block(&query, &panel, &mut out);
+        for (r, v) in rows.iter().enumerate() {
+            assert_eq!(
+                out[r].to_bits(),
+                CosineDistance.prepared_distance(&query, v).to_bits(),
+                "row {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantization_approximates_and_keeps_conventions() {
+        // Euclidean opts out.
+        assert!(EuclideanDistance.quantize(&[1.0, 2.0]).is_none());
+        // Cosine quantizes prepared (unit) vectors with small error.
+        for seed in 0..5 {
+            let mut v: Vec<f32> = (0..48).map(|i| ((i + seed * 31) as f32 * 0.23).sin()).collect();
+            let mut w: Vec<f32> = (0..48).map(|i| ((i + seed * 17) as f32 * 0.41).cos()).collect();
+            CosineDistance.prepare(&mut v);
+            CosineDistance.prepare(&mut w);
+            let (cv, sv) = CosineDistance.quantize(&v).unwrap();
+            let (cw, sw) = CosineDistance.quantize(&w).unwrap();
+            let exact = CosineDistance.prepared_distance(&v, &w);
+            let approx = CosineDistance.quantized_distance(&cv, sv, &cw, sw);
+            assert!((exact - approx).abs() < 0.02, "seed {seed}: exact {exact} vs approx {approx}");
+        }
+        // Zero vector: scale 0, all-zero codes, distance 1 — the shared
+        // convention survives quantization.
+        let (cz, sz) = CosineDistance.quantize(&[0.0; 8]).unwrap();
+        assert_eq!(sz, 0.0);
+        let mut u = vec![1.0f32, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        CosineDistance.prepare(&mut u);
+        let (cu, su) = CosineDistance.quantize(&u).unwrap();
+        assert_eq!(CosineDistance.quantized_distance(&cz, sz, &cu, su), 1.0);
+        // Block form is bit-identical to pairwise.
+        let panel: Vec<i8> = cz.iter().chain(&cu).copied().collect();
+        let mut out = vec![0.0f32; 2];
+        CosineDistance.quantized_distance_block(&cu, su, &panel, &[sz, su], &mut out);
+        assert_eq!(out[0].to_bits(), CosineDistance.quantized_distance(&cu, su, &cz, sz).to_bits());
+        assert_eq!(out[1].to_bits(), CosineDistance.quantized_distance(&cu, su, &cu, su).to_bits());
+        assert!(out[1] < 1e-3, "self distance after quantization: {}", out[1]);
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Shared int8 quantized-vector storage for the indexes.
+//!
+//! A [`QuantStore`] holds one int8 code row plus one `f32` scale per stored
+//! vector, flat and contiguous so block probes ([`pas_kernels::dot_i8_block`]
+//! via [`crate::Metric::quantized_distance_block`]) scan it without
+//! gathering. The traversal-resident working set per vector drops from
+//! `4·dim` bytes (f32) to `dim + 4` bytes — the ~4× cut the bench reports —
+//! while the exact f32 rows stay out-of-band for the re-rank pass.
+//!
+//! The re-rank contract: a quantized probe first selects
+//! [`rerank_overfetch`]`(k)` candidates by approximate integer distance,
+//! then recomputes exact f32 distances for just those and returns the true
+//! top-`k`. The property tests pin recall@k == 1.0 against the pure-f32
+//! index at this over-fetch on unit-vector workloads.
+
+use crate::metric::Metric;
+
+// Observability counters shared by both indexes' quantized probe paths:
+// vectors probed through int8 codes, and candidates exactly re-ranked.
+pub(crate) static OBS_QUANTIZED: pas_obs::Counter = pas_obs::Counter::new("ann.probe.quantized");
+pub(crate) static OBS_RERANK: pas_obs::Counter = pas_obs::Counter::new("ann.probe.rerank");
+
+/// How many candidates a quantized probe over-fetches before the exact f32
+/// re-rank keeps `k`. Generous on purpose: int8 cosine error on unit vectors
+/// is ~1e-2, so a 4k+32 margin makes the re-ranked top-k match the pure-f32
+/// top-k on every workload the property tests throw at it.
+pub fn rerank_overfetch(k: usize) -> usize {
+    k * 4 + 32
+}
+
+/// Flat per-vector int8 codes + scales, aligned with index ids.
+#[derive(Debug, Clone, Default)]
+pub struct QuantStore {
+    dim: usize,
+    codes: Vec<i8>,
+    scales: Vec<f32>,
+}
+
+impl QuantStore {
+    /// Empty store; the dimension locks in at the first [`QuantStore::push`].
+    pub fn new() -> Self {
+        QuantStore::default()
+    }
+
+    /// Quantizes a prepared vector via the metric and appends it.
+    ///
+    /// # Panics
+    /// Panics when the metric does not support quantization or the
+    /// dimension differs from earlier rows.
+    pub fn push<M: Metric>(&mut self, metric: &M, prepared: &[f32]) {
+        let (codes, scale) = metric.quantize(prepared).expect("metric has no quantized probe path");
+        if self.scales.is_empty() {
+            self.dim = codes.len();
+        }
+        assert_eq!(codes.len(), self.dim, "quantized row dimension mismatch");
+        self.codes.extend_from_slice(&codes);
+        self.scales.push(scale);
+    }
+
+    /// Appends an all-zero placeholder row (scale 0) for a removed slot, so
+    /// row indices stay aligned with positional ids.
+    pub fn push_placeholder(&mut self, dim: usize) {
+        if self.scales.is_empty() {
+            self.dim = dim;
+        }
+        assert_eq!(dim, self.dim, "quantized row dimension mismatch");
+        self.codes.resize(self.codes.len() + self.dim, 0);
+        self.scales.push(0.0);
+    }
+
+    /// Number of stored rows.
+    pub fn len(&self) -> usize {
+        self.scales.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.scales.is_empty()
+    }
+
+    /// Code row and scale for `id`.
+    pub fn row(&self, id: usize) -> (&[i8], f32) {
+        (&self.codes[id * self.dim..(id + 1) * self.dim], self.scales[id])
+    }
+
+    /// Contiguous code rows for `start..end` plus their scales — the panel
+    /// form the block probes consume.
+    pub fn rows(&self, start: usize, end: usize) -> (&[i8], &[f32]) {
+        (&self.codes[start * self.dim..end * self.dim], &self.scales[start..end])
+    }
+
+    /// Gathers the code rows for `ids` into caller-owned panel buffers
+    /// (cleared first). For the batched HNSW expansions, whose neighbor ids
+    /// are not contiguous.
+    pub fn gather(&self, ids: &[usize], panel: &mut Vec<i8>, scales: &mut Vec<f32>) {
+        panel.clear();
+        scales.clear();
+        for &id in ids {
+            let (codes, scale) = self.row(id);
+            panel.extend_from_slice(codes);
+            scales.push(scale);
+        }
+    }
+
+    /// Probe-path bytes per stored vector (codes + scale) — what a
+    /// traversal actually touches, vs `4·dim` for f32 rows.
+    pub fn bytes_per_vector(&self) -> usize {
+        self.dim + std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::CosineDistance;
+
+    fn prepared(seed: usize) -> Vec<f32> {
+        let mut v: Vec<f32> = (0..16).map(|i| ((i + seed * 7) as f32 * 0.29).sin()).collect();
+        CosineDistance.prepare(&mut v);
+        v
+    }
+
+    #[test]
+    fn rows_round_trip_and_pack() {
+        let mut store = QuantStore::new();
+        let vecs: Vec<Vec<f32>> = (0..5).map(prepared).collect();
+        for v in &vecs {
+            store.push(&CosineDistance, v);
+        }
+        assert_eq!(store.len(), 5);
+        assert_eq!(store.bytes_per_vector(), 16 + 4);
+        for (id, v) in vecs.iter().enumerate() {
+            let (codes, scale) = store.row(id);
+            let (want_codes, want_scale) = CosineDistance.quantize(v).unwrap();
+            assert_eq!(codes, &want_codes[..], "row {id}");
+            assert_eq!(scale.to_bits(), want_scale.to_bits(), "row {id}");
+        }
+        let (panel, scales) = store.rows(1, 4);
+        assert_eq!(panel.len(), 3 * 16);
+        assert_eq!(scales.len(), 3);
+        let mut gathered = Vec::new();
+        let mut gscales = Vec::new();
+        store.gather(&[4, 0, 2], &mut gathered, &mut gscales);
+        assert_eq!(&gathered[..16], store.row(4).0);
+        assert_eq!(gscales[1].to_bits(), store.row(0).1.to_bits());
+    }
+
+    #[test]
+    fn overfetch_grows_with_k() {
+        assert!(rerank_overfetch(1) >= 32);
+        assert!(rerank_overfetch(10) > rerank_overfetch(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "no quantized probe path")]
+    fn push_rejects_unquantizable_metric() {
+        let mut store = QuantStore::new();
+        store.push(&crate::metric::EuclideanDistance, &[1.0, 2.0]);
+    }
+}

@@ -111,4 +111,65 @@ proptest! {
         prop_assert!((0.0..=2.0 + 1e-5).contains(&d));
         prop_assert!((CosineDistance.distance(&b, &a) - d).abs() < 1e-6);
     }
+
+    #[test]
+    fn quantized_exact_topk_after_rerank_matches_f32(vs in vectors(30..120, 16)) {
+        // recall@k == 1.0, and stronger: the exact f32 re-rank over the
+        // over-fetched int8 scan returns the plain index's top-k with
+        // bit-identical distances.
+        let mut plain = ExactIndex::new(CosineDistance);
+        let mut quant = ExactIndex::new(CosineDistance);
+        quant.set_quantization(true);
+        for v in &vs {
+            plain.insert(v.clone());
+            quant.insert(v.clone());
+        }
+        for (i, v) in vs.iter().enumerate().step_by(9) {
+            let want: Vec<(usize, u32)> =
+                plain.search(v, 5).into_iter().map(|n| (n.id, n.distance.to_bits())).collect();
+            let got: Vec<(usize, u32)> =
+                quant.search(v, 5).into_iter().map(|n| (n.id, n.distance.to_bits())).collect();
+            prop_assert_eq!(&got, &want, "exact query {}", i);
+        }
+    }
+
+    #[test]
+    fn quantized_hnsw_topk_after_rerank_matches_f32(vs in vectors(40..120, 12)) {
+        // Graph construction always runs in f32, so both indexes hold the
+        // same graph; the int8 traversal plus over-fetched f32 re-rank must
+        // land on the f32 search's top-k exactly (recall@k == 1.0).
+        let mut plain = Hnsw::new(HnswConfig::default(), CosineDistance);
+        let mut quant = Hnsw::new(HnswConfig::default(), CosineDistance);
+        quant.set_quantization(true);
+        for v in &vs {
+            plain.insert(v.clone());
+            quant.insert(v.clone());
+        }
+        for (i, v) in vs.iter().enumerate().step_by(7) {
+            let want: Vec<(usize, u32)> =
+                plain.search(v, 5, 48).into_iter().map(|n| (n.id, n.distance.to_bits())).collect();
+            let got: Vec<(usize, u32)> =
+                quant.search(v, 5, 48).into_iter().map(|n| (n.id, n.distance.to_bits())).collect();
+            prop_assert_eq!(&got, &want, "hnsw query {}", i);
+        }
+    }
+
+    #[test]
+    fn search_batch_equals_sequential_searches(vs in vectors(20..90, 8)) {
+        let mut hnsw = Hnsw::new(HnswConfig::default(), CosineDistance);
+        for v in &vs {
+            hnsw.insert(v.clone());
+        }
+        let queries: Vec<Vec<f32>> = vs.iter().step_by(5).cloned().collect();
+        let batch = hnsw.search_batch(&queries, 4, 32);
+        prop_assert_eq!(batch.len(), queries.len());
+        for (qi, (q, got)) in queries.iter().zip(&batch).enumerate() {
+            let want = hnsw.search(q, 4, 32);
+            prop_assert_eq!(got.len(), want.len(), "query {}", qi);
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert_eq!(g.id, w.id, "query {}", qi);
+                prop_assert_eq!(g.distance.to_bits(), w.distance.to_bits(), "query {}", qi);
+            }
+        }
+    }
 }

@@ -15,12 +15,14 @@
 //!    deliberate behaviour change gated behind `τ` — at the default
 //!    `τ = 0` the tier is off and the cache is exact-only.
 //!
-//! Both tiers share one LRU capacity bound. The HNSW graph supports no
-//! deletion, so evicted entries become *tombstones*: the exact map and LRU
-//! order drop them immediately, and near-tier probes filter dead ids. The
-//! graph itself is rebuilt from the live entries whenever tombstones
-//! outnumber them (amortized O(1) per insert), keeping probe cost
-//! proportional to the live set.
+//! Both tiers share one LRU capacity bound. Evicted entries are unlinked
+//! from the HNSW graph incrementally ([`Hnsw::remove`] re-links the
+//! victim's neighborhood in place), so probe cost tracks the live set
+//! without rebuild pauses. A full rebuild survives as a rare fallback that
+//! reclaims the dead entries' string storage once they heavily outnumber
+//! the live set. The near tier can additionally run its graph traversal on
+//! int8-quantized codes ([`SemanticCacheConfig::quantized`]) — the exact
+//! f32 re-rank inside `pas-ann` keeps the served neighbors bit-identical.
 //!
 //! The cache is a plain `&mut self` structure: the gateway's event loop is
 //! serial (that is what makes runs bit-reproducible), so no interior
@@ -45,6 +47,9 @@ pub struct SemanticCacheConfig {
     pub ef: usize,
     /// Construction parameters for the ANN index over cached prompts.
     pub hnsw: HnswConfig,
+    /// Run near-tier graph traversal on int8-quantized codes with exact
+    /// f32 re-rank (identical results, ~4x smaller probe working set).
+    pub quantized: bool,
 }
 
 impl Default for SemanticCacheConfig {
@@ -54,6 +59,7 @@ impl Default for SemanticCacheConfig {
             tau: 0.0,
             ef: 32,
             hnsw: HnswConfig { m: 8, ef_construction: 48, seed: 0x9a7e }, // small serving index
+            quantized: false,
         }
     }
 }
@@ -106,7 +112,10 @@ impl<E: Embedder> SemanticCache<E> {
     /// Creates an empty cache that embeds with `embedder` (only used when
     /// `config.tau > 0`).
     pub fn new(config: SemanticCacheConfig, embedder: E) -> Self {
-        let index = Hnsw::new(config.hnsw.clone(), CosineDistance);
+        let mut index = Hnsw::new(config.hnsw.clone(), CosineDistance);
+        if config.quantized {
+            index.set_quantization(true);
+        }
         SemanticCache {
             config,
             embedder,
@@ -190,6 +199,46 @@ impl<E: Embedder> SemanticCache<E> {
         CacheOutcome::Miss
     }
 
+    /// Probes both tiers for a whole micro-batch at dispatch time, *without*
+    /// the per-arrival hit/miss accounting — [`SemanticCache::lookup`]
+    /// already counted these prompts when they arrived; this is the second
+    /// chance an enqueued request gets after earlier batches completed and
+    /// installed fresh complements. All near-tier probes of the batch run
+    /// through one [`Hnsw::search_batch`] call, sharing packed neighbor
+    /// panels across the queries. Hits refresh recency.
+    pub fn lookup_batch(&mut self, prompts: &[&str]) -> Vec<Option<String>> {
+        if self.config.capacity == 0 {
+            return vec![None; prompts.len()];
+        }
+        let mut out: Vec<Option<String>> = Vec::with_capacity(prompts.len());
+        let mut pending: Vec<usize> = Vec::new();
+        for &p in prompts {
+            if let Some(&id) = self.exact.get(p) {
+                self.touch(id);
+                out.push(Some(self.entries[id].response.clone()));
+            } else {
+                if self.config.tau > 0.0 && !self.exact.is_empty() {
+                    pending.push(out.len());
+                }
+                out.push(None);
+            }
+        }
+        if !pending.is_empty() {
+            let queries: Vec<Vec<f32>> =
+                pending.iter().map(|&pi| self.embedder.embed(prompts[pi])).collect();
+            let results = self.index.search_batch(&queries, 4, self.config.ef);
+            for (&pi, neighbors) in pending.iter().zip(&results) {
+                if let Some(n) = neighbors.iter().find(|n| self.entries[n.id].alive) {
+                    if n.distance <= self.config.tau {
+                        self.touch(n.id);
+                        out[pi] = Some(self.entries[n.id].response.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Caches `response` for `prompt`, evicting the least-recently-used
     /// entries beyond capacity. A prompt already cached keeps its existing
     /// entry (complements are deterministic, so re-insertion is a no-op).
@@ -202,6 +251,11 @@ impl<E: Embedder> SemanticCache<E> {
             self.lru.remove(&stamp);
             self.exact.remove(&self.entries[victim].prompt);
             self.entries[victim].alive = false;
+            if self.config.tau > 0.0 {
+                // Unlink the victim from the ANN graph in place; probe cost
+                // stays proportional to the live set without a rebuild.
+                self.index.remove(victim);
+            }
             self.evictions += 1;
         }
         self.clock += 1;
@@ -224,16 +278,22 @@ impl<E: Embedder> SemanticCache<E> {
         self.maybe_compact();
     }
 
-    /// Rebuilds the ANN index from live entries once tombstones outnumber
-    /// them, so probe cost tracks the live set instead of total history.
+    /// Fallback compaction: evicted ids are already unlinked from the graph
+    /// incrementally, but dead `entries` slots still pin their prompt and
+    /// response strings (and empty graph slots). Once the dead heavily
+    /// outnumber the live set, rebuild everything from the live entries to
+    /// reclaim that storage.
     fn maybe_compact(&mut self) {
         let dead = self.entries.len() - self.exact.len();
-        if dead <= self.exact.len() || dead < 8 {
+        if dead <= 8 * self.exact.len().max(1) || dead < 64 {
             return;
         }
         let live: Vec<Entry> =
             std::mem::take(&mut self.entries).into_iter().filter(|e| e.alive).collect();
         self.index = Hnsw::new(self.config.hnsw.clone(), CosineDistance);
+        if self.config.quantized {
+            self.index.set_quantization(true);
+        }
         self.exact.clear();
         self.lru.clear();
         for (id, entry) in live.iter().enumerate() {
@@ -337,25 +397,79 @@ mod tests {
     #[test]
     fn compaction_preserves_behavior_under_churn() {
         let mut c = cache(4, 0.25);
-        // Insert far more distinct prompts than capacity so tombstones pile
-        // up and compaction triggers repeatedly.
-        for i in 0..60 {
+        // Insert far more distinct prompts than capacity: every eviction
+        // unlinks its victim from the graph incrementally, and the dead
+        // entries pile high enough to cross the fallback-rebuild threshold.
+        for i in 0..150 {
             let prompt = format!("distinct request number {i} about topic {}", i % 13);
             c.insert(&prompt, &format!("resp-{i}"));
         }
         assert_eq!(c.len(), 4);
-        assert!(c.evictions() >= 56);
+        assert!(c.evictions() >= 146);
         // The four most recent entries are live and exactly retrievable.
-        for i in 56..60 {
+        for i in 146..150 {
             let prompt = format!("distinct request number {i} about topic {}", i % 13);
             assert_eq!(c.lookup(&prompt), CacheOutcome::ExactHit(format!("resp-{i}")), "{i}");
         }
         // Near probes only ever see live entries.
-        match c.lookup("distinct request number 59 about topic 7!") {
-            CacheOutcome::NearHit { response, .. } => assert_eq!(response, "resp-59"),
+        match c.lookup("distinct request number 149 about topic 6!") {
+            CacheOutcome::NearHit { response, .. } => assert_eq!(response, "resp-149"),
             CacheOutcome::ExactHit(_) => panic!("punctuated variant cannot exact-hit"),
             CacheOutcome::Miss => {} // acceptable: τ may exclude the variant
         }
+    }
+
+    #[test]
+    fn quantized_near_tier_serves_identical_results() {
+        let prompts: Vec<String> = (0..40)
+            .map(|i| format!("request number {i} about subject {} in style {}", i % 7, i % 3))
+            .collect();
+        let run = |quantized: bool| {
+            let config = SemanticCacheConfig {
+                capacity: 16,
+                tau: 0.3,
+                quantized,
+                ..SemanticCacheConfig::default()
+            };
+            let mut c = SemanticCache::new(config, NgramEmbedder::default());
+            let mut log = Vec::new();
+            for p in &prompts {
+                let out = c.lookup(p);
+                if matches!(out, CacheOutcome::Miss) {
+                    c.insert(p, &format!("{p} [c]"));
+                }
+                log.push(format!("{out:?}"));
+                log.push(format!("{:?}", c.lookup(&format!("{p}!"))));
+            }
+            (log, c.hits(), c.near_hits(), c.misses(), c.evictions())
+        };
+        assert_eq!(run(false), run(true), "int8 probe path must not change served results");
+    }
+
+    #[test]
+    fn lookup_batch_hits_both_tiers_without_miss_accounting() {
+        let mut c = cache(8, 0.2);
+        c.insert("explain the borrow checker to me", "r-borrow");
+        c.insert("what is a lifetime annotation", "r-lifetime");
+        let misses_before = c.misses();
+        let got = c.lookup_batch(&[
+            "explain the borrow checker to me",     // exact hit
+            "explain the borrow checker to me!",    // near hit (punctuation)
+            "write a haiku about compilers please", // miss
+        ]);
+        assert_eq!(got[0].as_deref(), Some("r-borrow"));
+        assert_eq!(got[1].as_deref(), Some("r-borrow"));
+        assert_eq!(got[2], None);
+        assert_eq!(c.misses(), misses_before, "dispatch probes must not recount misses");
+        // Recency was refreshed: inserting two more prompts must evict the
+        // untouched entry first, not the batch-hit one.
+        let mut c2 = cache(2, 0.0);
+        c2.insert("keep me", "r1");
+        c2.insert("evict me", "r2");
+        let _ = c2.lookup_batch(&["keep me"]);
+        c2.insert("newcomer", "r3");
+        assert!(matches!(c2.lookup("keep me"), CacheOutcome::ExactHit(_)));
+        assert_eq!(c2.lookup("evict me"), CacheOutcome::Miss);
     }
 
     #[test]

@@ -41,6 +41,7 @@ static OBS_COMPLETED: pas_obs::Counter = pas_obs::Counter::new("gateway.complete
 static OBS_EXACT_HITS: pas_obs::Counter = pas_obs::Counter::new("gateway.cache.exact_hits");
 static OBS_NEAR_HITS: pas_obs::Counter = pas_obs::Counter::new("gateway.cache.near_hits");
 static OBS_MISSES: pas_obs::Counter = pas_obs::Counter::new("gateway.cache.misses");
+static OBS_BATCH_HITS: pas_obs::Counter = pas_obs::Counter::new("gateway.cache.batch_hits");
 static OBS_EVICTIONS: pas_obs::Counter = pas_obs::Counter::new("gateway.cache.evictions");
 static OBS_SHED: pas_obs::Counter = pas_obs::Counter::new("gateway.shed");
 static OBS_REJECTED: pas_obs::Counter = pas_obs::Counter::new("gateway.rejected");
@@ -115,6 +116,9 @@ enum Event {
     Arrival(usize),
     /// The linger timer armed when request `i` was enqueued fires.
     LingerFire(usize),
+    /// Batch members whose prompt turned out cached by dispatch time
+    /// (second-chance hits) complete without touching the pool.
+    CacheServe { members: Vec<usize>, responses: Vec<String> },
     /// A dispatched batch completes on `replica`. `members` are the
     /// requests it answers, `outcomes` one per unique prompt, and
     /// `unique_of[k]` maps member `k` to its outcome index.
@@ -288,6 +292,15 @@ impl<O: PromptOptimizer> Gateway<O> {
                         );
                     }
                 }
+                Event::CacheServe { members, responses: served } => {
+                    for (&i, r) in members.iter().zip(served) {
+                        state[i] = ReqState::Done;
+                        responses[i] = Some(r);
+                        report.completed += 1;
+                        report.latency.record(now - requests[i].arrival_ms);
+                        OBS_LATENCY.record(now - requests[i].arrival_ms);
+                    }
+                }
                 Event::Completion { replica, members, unique_of, outcomes } => {
                     self.pool.finish(replica, outcomes.len() as u64);
                     OBS_POOL_HEALTHY.set(self.pool.healthy() as u64);
@@ -337,6 +350,7 @@ impl<O: PromptOptimizer> Gateway<O> {
         OBS_EXACT_HITS.add(report.exact_hits - base_hits);
         OBS_NEAR_HITS.add(report.near_hits - base_near);
         OBS_MISSES.add(report.misses - base_misses);
+        OBS_BATCH_HITS.add(report.batch_hits);
         OBS_EVICTIONS.add(report.evictions - base_evictions);
         OBS_SHED.add(report.shed);
         OBS_REJECTED.add(report.rejected);
@@ -356,8 +370,11 @@ impl<O: PromptOptimizer> Gateway<O> {
     }
 
     /// Pops up to `batch_max` queued requests, dedupes their prompts
-    /// (first-occurrence order), serves the unique prompts through the
-    /// pool in parallel, and schedules the batch's completion.
+    /// (first-occurrence order), gives every unique prompt a second-chance
+    /// cache probe (batched through [`SemanticCache::lookup_batch`] — an
+    /// earlier batch may have completed and cached it while these requests
+    /// queued), then serves the remaining unique prompts through the pool
+    /// in parallel and schedules the batch's completion.
     fn dispatch(
         &mut self,
         queue: &mut VecDeque<usize>,
@@ -386,18 +403,70 @@ impl<O: PromptOptimizer> Gateway<O> {
         for &i in &members {
             state[i] = ReqState::Dispatched;
         }
+        OBS_QUEUE_DEPTH.set(queue.len() as u64);
+
+        // Second-chance probe. Misses were already counted at arrival; this
+        // only harvests prompts cached since then.
+        let cached = self.cache.lookup_batch(&unique);
+        let mut live_unique: Vec<&str> = Vec::new();
+        let remap: Vec<Option<usize>> = cached
+            .iter()
+            .enumerate()
+            .map(|(u, c)| {
+                if c.is_none() {
+                    live_unique.push(unique[u]);
+                    Some(live_unique.len() - 1)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let mut hit_members = Vec::new();
+        let mut hit_responses = Vec::new();
+        let mut live_members = Vec::new();
+        let mut live_unique_of = Vec::new();
+        for (k, &i) in members.iter().enumerate() {
+            match &cached[unique_of[k]] {
+                Some(response) => {
+                    hit_members.push(i);
+                    hit_responses.push(response.clone());
+                }
+                None => {
+                    live_members.push(i);
+                    live_unique_of.push(remap[unique_of[k]].expect("missed uniques are live"));
+                }
+            }
+        }
+        if !hit_members.is_empty() {
+            report.batch_hits += hit_members.len() as u64;
+            schedule(
+                now + self.config.cache_hit_cost_ms,
+                Event::CacheServe { members: hit_members, responses: hit_responses },
+            );
+        }
+        if live_unique.is_empty() {
+            return;
+        }
+
         let replica = self.pool.route();
-        self.pool.begin(replica, unique.len() as u64);
+        self.pool.begin(replica, live_unique.len() as u64);
         // The only parallel region in the gateway: item-ordered results,
         // content-derived fault coordinates → thread-count invariant.
-        let outcomes = pas_par::par_map(&unique, |_, p| self.pool.try_serve(replica, p));
+        let outcomes = pas_par::par_map(&live_unique, |_, p| self.pool.try_serve(replica, p));
         report.batches += 1;
-        report.batched_prompts += unique.len() as u64;
-        OBS_BATCH_SIZE.record(unique.len() as u64);
-        OBS_QUEUE_DEPTH.set(queue.len() as u64);
-        let cost =
-            self.config.batch_overhead_ms + self.config.per_prompt_cost_ms * unique.len() as u64;
-        schedule(now + cost, Event::Completion { replica, members, unique_of, outcomes });
+        report.batched_prompts += live_unique.len() as u64;
+        OBS_BATCH_SIZE.record(live_unique.len() as u64);
+        let cost = self.config.batch_overhead_ms
+            + self.config.per_prompt_cost_ms * live_unique.len() as u64;
+        schedule(
+            now + cost,
+            Event::Completion {
+                replica,
+                members: live_members,
+                unique_of: live_unique_of,
+                outcomes,
+            },
+        );
     }
 }
 
@@ -537,6 +606,54 @@ mod tests {
         assert!(responses.iter().all(|r| r == "the same question [augmented]"));
         assert_eq!(report.batches, 1);
         assert_eq!(report.batched_prompts, 1, "duplicates must be deduped in-batch");
+    }
+
+    #[test]
+    fn queued_duplicates_get_second_chance_cache_hits() {
+        // P is dispatched alone at t=15 (linger) and its complement lands in
+        // the cache at t=30. The second P arrives at t=20 — after the first
+        // dispatch, before the completion — so it misses at arrival, queues,
+        // and its own dispatch at t=35 finds the prompt cached: served
+        // without a second pool trip.
+        let requests = vec![
+            Request { id: 0, arrival_ms: 0, prompt: "the recurring question".into() },
+            Request { id: 1, arrival_ms: 20, prompt: "the recurring question".into() },
+        ];
+        let config = GatewayConfig {
+            batch_max: 8,
+            batch_linger_ms: 15,
+            batch_overhead_ms: 10,
+            per_prompt_cost_ms: 5,
+            ..GatewayConfig::default()
+        };
+        let (responses, report) = gateway_with(config).run(&requests);
+        assert!(responses.iter().all(|r| r == "the recurring question [augmented]"));
+        assert_eq!(report.misses, 2, "both arrivals miss at arrival time");
+        assert_eq!(report.batch_hits, 1, "the queued duplicate must hit at dispatch");
+        assert_eq!(report.batches, 1, "only the first request reaches the pool");
+        assert_eq!(report.batched_prompts, 1);
+        assert_eq!(report.completed, 2);
+    }
+
+    #[test]
+    fn quantized_cache_serves_identical_traffic() {
+        let requests = small_workload();
+        let run = |quantized: bool| {
+            let config = GatewayConfig {
+                cache: SemanticCacheConfig {
+                    tau: 0.25,
+                    capacity: 32,
+                    quantized,
+                    ..SemanticCacheConfig::default()
+                },
+                ..GatewayConfig::default()
+            };
+            gateway_with(config).run(&requests)
+        };
+        let (resp_f32, report_f32) = run(false);
+        let (resp_q, report_q) = run(true);
+        assert_eq!(resp_f32, resp_q, "int8 probe path must not change responses");
+        assert_eq!(report_f32, report_q);
     }
 
     #[test]

@@ -146,6 +146,12 @@ pub struct GatewayReport {
     pub near_hits: u64,
     /// Requests that missed the cache and went to the scheduler.
     pub misses: u64,
+    /// Second-chance hits: requests that missed at arrival but found their
+    /// prompt cached by dispatch time (an earlier batch completed and
+    /// installed it while they sat in the queue), so they never reached the
+    /// pool. Counted *in addition to* `misses` — the arrival-time miss
+    /// accounting is not rewritten.
+    pub batch_hits: u64,
     /// Complement-cache entries evicted by the LRU capacity bound.
     pub evictions: u64,
     /// Requests shed (oldest-dropped) by admission control; served
@@ -216,6 +222,7 @@ impl GatewayReport {
         self.exact_hits += other.exact_hits;
         self.near_hits += other.near_hits;
         self.misses += other.misses;
+        self.batch_hits += other.batch_hits;
         self.evictions += other.evictions;
         self.shed += other.shed;
         self.rejected += other.rejected;
@@ -239,7 +246,7 @@ impl GatewayReport {
             concat!(
                 "{} requests in {} simulated ms ({:.1} req/s): ",
                 "{} exact hits, {} near hits, {} misses (hit rate {:.1}%); ",
-                "{} batches ({} prompts), {} evictions; ",
+                "{} batches ({} prompts), {} second-chance hits, {} evictions; ",
                 "latency p50 {} ms, p99 {} ms, max {} ms; ",
                 "passthroughs: {} shed, {} rejected, {} degraded"
             ),
@@ -252,6 +259,7 @@ impl GatewayReport {
             self.hit_rate() * 100.0,
             self.batches,
             self.batched_prompts,
+            self.batch_hits,
             self.evictions,
             self.p50_ms(),
             self.p99_ms(),
@@ -311,6 +319,7 @@ mod tests {
             exact_hits: f(4),
             near_hits: f(5),
             misses: f(6),
+            batch_hits: f(20),
             evictions: f(7),
             shed: f(8),
             rejected: f(9),

@@ -4,9 +4,10 @@
 //! lives in [`pas_kernels`]: `matmul` is the blocked/packed
 //! [`pas_kernels::gemm`] (bit-identical to the naive i-k-j loop — blocking
 //! reorders memory traffic, not the per-element additions), `t_matmul`
-//! accumulates through [`pas_kernels::axpy`] rows, and `matmul_t` reduces
-//! row pairs with the 8-lane striped [`pas_kernels::dot`]. Shapes are
-//! asserted aggressively — a shape mismatch is always a bug.
+//! accumulates through [`pas_kernels::axpy`] rows, and `matmul_t` computes
+//! each output row with one [`pas_kernels::dot_block`] panel probe (every
+//! element still the 8-lane striped dot, bit for bit). Shapes are asserted
+//! aggressively — a shape mismatch is always a bug.
 
 use serde::{Deserialize, Serialize};
 
@@ -112,17 +113,21 @@ impl Matrix {
     }
 
     /// `self · otherᵀ` — (m×k)·(n×k)ᵀ → m×n. Used for input gradients.
-    /// Each element is one 8-lane striped [`pas_kernels::dot`] of two
-    /// contiguous rows.
+    /// `other`'s row-major buffer *is* a packed panel of `n` contiguous
+    /// rows, so each output row is one [`pas_kernels::dot_block`] call —
+    /// the SIMD backends keep several dot accumulator chains in flight per
+    /// panel, with every row still bit-identical to the striped
+    /// [`pas_kernels::dot`] it replaces.
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
         let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = Matrix::zeros(m, n);
+        if n == 0 {
+            return out;
+        }
         for i in 0..m {
             let arow = &self.data[i * k..(i + 1) * k];
-            for j in 0..n {
-                out.data[i * n + j] = pas_kernels::dot(arow, &other.data[j * k..(j + 1) * k]);
-            }
+            pas_kernels::dot_block(arow, &other.data, &mut out.data[i * n..(i + 1) * n]);
         }
         out
     }

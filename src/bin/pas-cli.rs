@@ -60,6 +60,10 @@ fn run(args: &[String]) -> Result<(), String> {
     let metrics_out = flags.get("metrics-out").cloned();
     if metrics_out.is_some() {
         pas::obs::set_enabled(true);
+        // Which arithmetic path produced this snapshot (backend index:
+        // 0 scalar, 1 sse2, 2 avx2).
+        static OBS_BACKEND: pas::obs::Gauge = pas::obs::Gauge::new("kernels.backend");
+        OBS_BACKEND.set(pas::kernels::backend().index() as u64);
     }
     let result = match command.as_str() {
         "build" => cmd_build(&flags),

@@ -31,6 +31,7 @@ pub use pas_embed as embed;
 pub use pas_eval as eval;
 pub use pas_fault as fault;
 pub use pas_gateway as gateway;
+pub use pas_kernels as kernels;
 pub use pas_llm as llm;
 pub use pas_nn as nn;
 pub use pas_obs as obs;

@@ -116,7 +116,13 @@ fn soak_snapshot(threads: usize) -> (MetricsSnapshot, Vec<String>) {
         });
         let config = GatewayConfig {
             replicas: 2,
-            cache: SemanticCacheConfig { tau: 0.15, ..SemanticCacheConfig::default() },
+            cache: SemanticCacheConfig {
+                tau: 0.15,
+                // int8 probe tier on: its distances are integer dots, so the
+                // snapshot stays byte-identical across kernel backends.
+                quantized: true,
+                ..SemanticCacheConfig::default()
+            },
             ..GatewayConfig::default()
         };
         let mut merged = MetricsSnapshot::default();

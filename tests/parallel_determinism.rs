@@ -105,7 +105,30 @@ fn full_pipeline_is_identical_at_1_and_8_threads() {
                     idx.search(q, 5, 48).into_iter().map(|n| (n.id, n.distance.to_bits())).collect()
                 })
                 .collect();
-            (snapshot, norms, probes)
+            // The int8 probe tier and the lock-step batched probes obey the
+            // same contract: quantized re-ranked results and `search_batch`
+            // results are bit-identical at any thread count.
+            let mut quant = Hnsw::new(HnswConfig::default(), CosineDistance);
+            quant.set_quantization(true);
+            quant.build_batch(vectors.clone());
+            let quant_probes: Vec<Vec<(usize, u32)>> = vectors
+                .iter()
+                .step_by(13)
+                .map(|q| {
+                    quant
+                        .search(q, 5, 48)
+                        .into_iter()
+                        .map(|n| (n.id, n.distance.to_bits()))
+                        .collect()
+                })
+                .collect();
+            let queries: Vec<Vec<f32>> = vectors.iter().step_by(29).cloned().collect();
+            let batched: Vec<Vec<(usize, u32)>> = idx
+                .search_batch(&queries, 5, 48)
+                .into_iter()
+                .map(|r| r.into_iter().map(|n| (n.id, n.distance.to_bits())).collect())
+                .collect();
+            (snapshot, norms, probes, quant_probes, batched)
         })
     };
     let store_serial = build(1);
