@@ -7,10 +7,14 @@
 //! one). The striped and simd rows compute bit-identical results — the rows
 //! measure the speed of the *same* arithmetic.
 //!
-//! Two ANN-level workloads ride along: the int8-quantized probe path (f32
-//! panel scan vs integer-dot panel scan at the same 64-dim shape, with the
-//! stored probe bytes per vector for both), and `Hnsw::search_batch` vs a
-//! sequential search loop over the same micro-batch.
+//! ANN-level workloads ride along: the quantized probe paths (f32 panel
+//! scan vs int8 integer-dot scan vs product-quantized ADC scan at the same
+//! 64-dim shape, with the stored probe bytes per vector for each), PQ
+//! codebook training, a 100k-entry `ExactIndex` probe across all three
+//! tiers, and `Hnsw::search_batch` vs a sequential search loop over the
+//! same micro-batch on every tier. The summary asserts the int8 and PQ
+//! batched paths are no slower than their sequential loops — the committed
+//! `BENCH_kernels.json` is the regression fence.
 //!
 //! After the Criterion runs a hand-written `main` computes per-workload
 //! speedups and writes a machine-readable summary to `BENCH_kernels.json`
@@ -19,7 +23,9 @@
 use criterion::Criterion;
 use std::hint::black_box;
 
-use pas_ann::{CosineDistance, Hnsw, HnswConfig, Metric, QuantStore};
+use pas_ann::{
+    CosineDistance, ExactIndex, Hnsw, HnswConfig, Metric, PqConfig, PqStore, QuantStore,
+};
 use pas_kernels::Backend;
 use pas_nn::Matrix;
 use rand::rngs::StdRng;
@@ -168,9 +174,11 @@ fn bench_matmul(c: &mut Criterion, group: &'static str, m: usize, k: usize, n: u
 
 fn bench_quantized_probe(c: &mut Criterion) {
     // The ExactIndex/HNSW probe path at chunk scale: one query against a
-    // packed 1024-row panel, f32 block probe vs int8 integer-dot block
-    // probe. Both run on the best backend; the bytes each path reads per
-    // stored vector go into the summary.
+    // packed 1024-row panel — f32 block probe vs int8 integer-dot block
+    // probe vs product-quantized ADC block probe. All run on the best
+    // backend; the bytes each path reads per stored vector go into the
+    // summary. Per-query prep is excluded uniformly (the unit query, its
+    // int8 codes, and the ADC table are built once outside the timed body).
     let raw = random_vectors(QUANT_ROWS, EMBED_DIM, 131);
     let unit: Vec<Vec<f32>> = raw.iter().map(|v| prepare_unit(v)).collect();
     let panel: Vec<f32> = unit.concat();
@@ -178,33 +186,93 @@ fn bench_quantized_probe(c: &mut Criterion) {
     for u in &unit {
         store.push(&CosineDistance, u);
     }
+    let rows: Vec<&[f32]> = unit.iter().map(|v| v.as_slice()).collect();
+    let mut pq = PqStore::new(PqConfig::default());
+    pq.train_encode(&rows, EMBED_DIM);
     let unit_query = prepare_unit(&random_vectors(1, EMBED_DIM, 137)[0]);
     let (qcodes, qscale) = CosineDistance.quantize(&unit_query).expect("cosine quantizes");
     let (codes, scales) = store.rows(0, QUANT_ROWS);
-    bench_pair(
-        c,
-        "ann_quant_probe_1024x64",
-        ["f32", "int8"],
-        || {
+    let table = pq.table(&unit_query);
+    let mut g = c.benchmark_group("ann_quant_probe_1024x64");
+    g.sample_size(20);
+    g.bench_function("f32", |b| {
+        b.iter(|| {
             let mut out = vec![0.0f32; QUANT_ROWS];
             CosineDistance.prepared_distance_block(&unit_query, &panel, &mut out);
-            out.iter().sum::<f32>()
-        },
-        || {
+            black_box(out.iter().sum::<f32>())
+        })
+    });
+    g.bench_function("int8", |b| {
+        b.iter(|| {
             let mut out = vec![0.0f32; QUANT_ROWS];
             CosineDistance.quantized_distance_block(&qcodes, qscale, codes, scales, &mut out);
-            out.iter().sum::<f32>()
-        },
-    );
+            black_box(out.iter().sum::<f32>())
+        })
+    });
+    g.bench_function("pq", |b| {
+        b.iter(|| {
+            let mut sums = Vec::new();
+            let mut out = Vec::new();
+            table.distance_block(pq.rows(0, QUANT_ROWS), &mut sums, &mut out);
+            black_box(out.iter().sum::<f32>())
+        })
+    });
+    g.finish();
+}
+
+fn bench_pq_train(c: &mut Criterion) {
+    // Codebook training + bulk encoding at index scale: seeded per-subspace
+    // k-means over the training sample, then one encode pass over all rows.
+    // This is the one-off cost the lazy-training threshold amortizes.
+    let raw = random_vectors(QUANT_ROWS, EMBED_DIM, 131);
+    let unit: Vec<Vec<f32>> = raw.iter().map(|v| prepare_unit(v)).collect();
+    let rows: Vec<&[f32]> = unit.iter().map(|v| v.as_slice()).collect();
+    let mut g = c.benchmark_group("ann_pq_train_1024x64");
+    g.sample_size(10);
+    g.bench_function("train", |b| {
+        b.iter(|| {
+            let mut store = PqStore::new(PqConfig::default());
+            store.train_encode(&rows, EMBED_DIM);
+            black_box(store.len())
+        })
+    });
+    g.finish();
+}
+
+/// Index size for the large-index probe workload.
+const BIG_ROWS: usize = 100_000;
+
+fn bench_big_index_probe(c: &mut Criterion) {
+    // End-to-end `ExactIndex::search` (scan + over-fetch + exact re-rank)
+    // at 100k entries, where the probe tier's memory traffic dominates:
+    // 25.6 MB of f32 panels vs 6.8 MB of int8 codes vs 0.8 MB of PQ codes.
+    let raw = random_vectors(BIG_ROWS, EMBED_DIM, 157);
+    let mut plain = ExactIndex::new(CosineDistance);
+    let mut int8 = ExactIndex::new(CosineDistance);
+    int8.set_quantization(true);
+    let mut pq = ExactIndex::new(CosineDistance);
+    pq.set_product_quantization(true);
+    for v in &raw {
+        plain.insert(v.clone());
+        int8.insert(v.clone());
+        pq.insert(v.clone());
+    }
+    let query = &random_vectors(1, EMBED_DIM, 163)[0];
+    let mut g = c.benchmark_group("ann_exact_probe_100000x64");
+    g.sample_size(10);
+    for (row, idx) in [("f32", &plain), ("int8", &int8), ("pq", &pq)] {
+        g.bench_function(row, |b| b.iter(|| black_box(idx.search(query, 8).len())));
+    }
+    g.finish();
 }
 
 fn bench_search_batch(c: &mut Criterion) {
     // A gateway micro-batch against the HNSW index: sequential per-query
     // `search` vs the lock-step `search_batch` that packs shared neighbor
-    // panels. Run twice — on the f32 index and on its int8-quantized twin.
-    // Queries cluster around a few bases, like the near-duplicate prompts a
-    // linger window actually collects — that overlap is what the shared
-    // panels amortize.
+    // panels and reuses them across rounds. Run on the f32 index and on its
+    // int8- and product-quantized twins. Queries cluster around a few
+    // bases, like the near-duplicate prompts a linger window actually
+    // collects — that overlap is what the shared panels amortize.
     let vecs = random_vectors(BATCH_INDEX, EMBED_DIM, 139);
     let bases = random_vectors(3, EMBED_DIM, 149);
     let noise = random_vectors(BATCH_QUERIES, EMBED_DIM, 151);
@@ -223,7 +291,16 @@ fn bench_search_batch(c: &mut Criterion) {
     for v in &vecs {
         quant.insert(v.clone());
     }
-    for (group, idx) in [("ann_search_batch_f32", &index), ("ann_search_batch_int8", &quant)] {
+    let mut pq = Hnsw::new(HnswConfig::default(), CosineDistance);
+    pq.set_product_quantization(true);
+    for v in &vecs {
+        pq.insert(v.clone());
+    }
+    for (group, idx) in [
+        ("ann_search_batch_f32", &index),
+        ("ann_search_batch_int8", &quant),
+        ("ann_search_batch_pq", &pq),
+    ] {
         bench_pair(
             c,
             group,
@@ -288,8 +365,11 @@ fn write_summary(c: &Criterion) {
 
     let f32_ns = median_ns(c, "ann_quant_probe_1024x64/f32");
     let int8_ns = median_ns(c, "ann_quant_probe_1024x64/int8");
+    let pq_ns = median_ns(c, "ann_quant_probe_1024x64/pq");
     let bytes_f32 = EMBED_DIM * 4;
     let bytes_int8 = EMBED_DIM + 4;
+    // PQ stores one code byte per subspace: dim 64 / subspace width 8.
+    let bytes_pq = EMBED_DIM / 8;
     let mut ann_lines = vec![format!(
         concat!(
             "    {{\"name\": \"quantized_probe_1024x64\", \"rows\": {}, ",
@@ -305,9 +385,68 @@ fn write_summary(c: &Criterion) {
         bytes_int8,
         bytes_f32 as f64 / bytes_int8 as f64,
     )];
-    for group in ["ann_search_batch_f32", "ann_search_batch_int8"] {
+    ann_lines.push(format!(
+        concat!(
+            "    {{\"name\": \"pq_probe_{}x{}\", \"rows\": {}, \"m\": {}, ",
+            "\"f32_ns\": {:.0}, \"int8_ns\": {:.0}, \"pq_ns\": {:.0}, ",
+            "\"pq_vs_f32\": {:.2}, \"pq_vs_int8\": {:.2}, ",
+            "\"probe_bytes_f32\": {}, \"probe_bytes_pq\": {}, ",
+            "\"bytes_ratio\": {:.2}}}"
+        ),
+        bytes_pq,
+        QUANT_ROWS,
+        QUANT_ROWS,
+        bytes_pq,
+        f32_ns,
+        int8_ns,
+        pq_ns,
+        f32_ns / pq_ns,
+        int8_ns / pq_ns,
+        bytes_f32,
+        bytes_pq,
+        bytes_f32 as f64 / bytes_pq as f64,
+    ));
+    let train_ns = median_ns(c, "ann_pq_train_1024x64/train");
+    ann_lines.push(format!(
+        "    {{\"name\": \"pq_train_1024x64\", \"rows\": {}, \"train_ns\": {:.0}, \"train_ms\": {:.2}}}",
+        QUANT_ROWS,
+        train_ns,
+        train_ns / 1e6,
+    ));
+    // Wall-clock training time is a bench-only metric, recorded here and
+    // never by library code: it would break the byte-identical golden
+    // fixtures (same rule as `kernels.backend`).
+    let obs_was_on = pas_obs::enabled();
+    pas_obs::set_enabled(true);
+    pas_obs::counter_add("ann.pq.train_ms", (train_ns / 1e6).round() as u64);
+    pas_obs::set_enabled(obs_was_on);
+    ann_lines.push(format!(
+        concat!(
+            "    {{\"name\": \"exact_probe_100000x64\", \"rows\": {}, ",
+            "\"f32_ns\": {:.0}, \"int8_ns\": {:.0}, \"pq_ns\": {:.0}, ",
+            "\"int8_vs_f32\": {:.2}, \"pq_vs_f32\": {:.2}}}"
+        ),
+        BIG_ROWS,
+        median_ns(c, "ann_exact_probe_100000x64/f32"),
+        median_ns(c, "ann_exact_probe_100000x64/int8"),
+        median_ns(c, "ann_exact_probe_100000x64/pq"),
+        median_ns(c, "ann_exact_probe_100000x64/f32")
+            / median_ns(c, "ann_exact_probe_100000x64/int8"),
+        median_ns(c, "ann_exact_probe_100000x64/f32")
+            / median_ns(c, "ann_exact_probe_100000x64/pq"),
+    ));
+    for group in ["ann_search_batch_f32", "ann_search_batch_int8", "ann_search_batch_pq"] {
         let seq_ns = median_ns(c, &format!("{group}/sequential"));
         let bat_ns = median_ns(c, &format!("{group}/batched"));
+        let speedup = seq_ns / bat_ns;
+        // The regression fence from the batch-probe rework: batching the
+        // quantized tiers must never be slower than the sequential loop.
+        if group != "ann_search_batch_f32" {
+            assert!(
+                speedup >= 1.0,
+                "{group}: batched ({bat_ns:.0} ns) slower than sequential ({seq_ns:.0} ns)"
+            );
+        }
         ann_lines.push(format!(
             concat!(
                 "    {{\"name\": \"{}_{}x{}\", \"sequential_ns\": {:.0}, ",
@@ -318,7 +457,7 @@ fn write_summary(c: &Criterion) {
             BATCH_INDEX,
             seq_ns,
             bat_ns,
-            seq_ns / bat_ns,
+            speedup,
         ));
     }
 
@@ -345,6 +484,8 @@ fn main() {
     bench_matmul(&mut c, "kernels_matmul_32x32x256", 32, 32, 256);
     bench_matmul(&mut c, "kernels_matmul_64x64x64", 64, 64, 64);
     bench_quantized_probe(&mut c);
+    bench_pq_train(&mut c);
+    bench_big_index_probe(&mut c);
     bench_search_batch(&mut c);
     write_summary(&c);
 }

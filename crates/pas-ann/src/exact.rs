@@ -16,9 +16,19 @@
 //! approximate-scan everything, keep [`crate::quant::rerank_overfetch`]`(k)`
 //! candidates, exactly re-rank those in f32. Results stay deterministic at
 //! every thread count and kernel backend.
+//!
+//! [`ExactIndex::set_product_quantization`] swaps the int8 tier for PQ codes
+//! ([`crate::quant::PqStore`], `dim/8` bytes per vector): each scan builds
+//! one fixed-point ADC table and ranks every row with pure integer adds,
+//! over-fetching [`crate::quant::pq_rerank_overfetch`]`(k)` before the same
+//! exact f32 re-rank. The codebook trains lazily once
+//! [`crate::quant::PQ_TRAIN_MIN`] rows exist; until then scans stay f32.
 
 use crate::metric::Metric;
-use crate::quant::{rerank_overfetch, QuantStore, OBS_QUANTIZED, OBS_RERANK};
+use crate::quant::{
+    pq_rerank_overfetch, rerank_overfetch, PqConfig, PqStore, QuantStore, OBS_PQ, OBS_QUANTIZED,
+    OBS_RERANK, PQ_TRAIN_MIN,
+};
 use crate::Neighbor;
 
 // Observability counters: a brute-force scan probes every stored vector,
@@ -38,12 +48,14 @@ pub struct ExactIndex<M: Metric> {
     norms: Vec<f32>,
     /// int8 codes + scales when quantized probing is on.
     quant: Option<QuantStore>,
+    /// PQ codes when product-quantized probing is on (possibly untrained).
+    pq: Option<PqStore>,
 }
 
 impl<M: Metric> ExactIndex<M> {
     /// Creates an empty index with the given metric.
     pub fn new(metric: M) -> Self {
-        ExactIndex { metric, dim: 0, data: Vec::new(), norms: Vec::new(), quant: None }
+        ExactIndex { metric, dim: 0, data: Vec::new(), norms: Vec::new(), quant: None, pq: None }
     }
 
     /// Inserts a vector, returning its id (insertion order).
@@ -61,13 +73,28 @@ impl<M: Metric> ExactIndex<M> {
             quant.push(&self.metric, &vector);
         }
         self.data.extend_from_slice(&vector);
+        let (dim, len) = (self.dim, self.norms.len());
+        if let Some(pq) = &mut self.pq {
+            if pq.ready() {
+                pq.push(&self.data[id * dim..(id + 1) * dim]);
+            } else if len >= PQ_TRAIN_MIN {
+                Self::train_pq(pq, &self.data, dim, len);
+            }
+        }
         id
     }
 
+    /// Trains `pq` over all currently stored rows and encodes them.
+    fn train_pq(pq: &mut PqStore, data: &[f32], dim: usize, len: usize) {
+        let rows: Vec<&[f32]> = (0..len).map(|id| &data[id * dim..(id + 1) * dim]).collect();
+        pq.train_encode(&rows, dim);
+    }
+
     /// Turns int8 quantized probing on or off. Enabling quantizes every
-    /// stored vector (and all future inserts); disabling drops the codes.
-    /// Searches stay exact either way — the quantized path re-ranks an
-    /// over-fetched candidate set with f32 distances.
+    /// stored vector (and all future inserts) and drops any PQ tier;
+    /// disabling drops the codes. Searches stay exact either way — the
+    /// quantized path re-ranks an over-fetched candidate set with f32
+    /// distances.
     ///
     /// # Panics
     /// Panics when the metric does not support quantization
@@ -77,6 +104,7 @@ impl<M: Metric> ExactIndex<M> {
             self.quant = None;
             return;
         }
+        self.pq = None;
         if self.quant.is_some() {
             return;
         }
@@ -88,14 +116,48 @@ impl<M: Metric> ExactIndex<M> {
         self.quant = Some(store);
     }
 
+    /// Turns product-quantized probing on or off. Enabling drops any int8
+    /// tier (the tiers are mutually exclusive) and trains the codebook over
+    /// the stored rows — immediately if at least [`PQ_TRAIN_MIN`] exist,
+    /// otherwise lazily at the insert that reaches the threshold; scans fall
+    /// back to exact f32 until then. Searches stay exact either way thanks
+    /// to the f32 re-rank.
+    pub fn set_product_quantization(&mut self, enabled: bool) {
+        if !enabled {
+            self.pq = None;
+            return;
+        }
+        self.quant = None;
+        if self.pq.is_some() {
+            return;
+        }
+        let mut pq = PqStore::new(PqConfig::default());
+        if self.norms.len() >= PQ_TRAIN_MIN {
+            Self::train_pq(&mut pq, &self.data, self.dim, self.norms.len());
+        }
+        self.pq = Some(pq);
+    }
+
     /// True when the int8 probe path is active.
     pub fn quantized(&self) -> bool {
         self.quant.is_some()
     }
 
-    /// Bytes per vector the probe path touches: `dim + 4` when quantized
-    /// (codes + scale), `4·dim` for the f32 scan.
+    /// True when the PQ probe path is active (codebook may still be
+    /// untrained — see [`ExactIndex::set_product_quantization`]).
+    pub fn product_quantized(&self) -> bool {
+        self.pq.is_some()
+    }
+
+    /// Bytes per vector the probe path touches: `m` (≈ dim/8) when a trained
+    /// PQ tier is active, `dim + 4` when int8-quantized (codes + scale),
+    /// `4·dim` for the f32 scan.
     pub fn probe_bytes_per_vector(&self) -> usize {
+        if let Some(pq) = &self.pq {
+            if pq.ready() {
+                return pq.bytes_per_vector();
+            }
+        }
         match &self.quant {
             Some(q) if !q.is_empty() => q.bytes_per_vector(),
             _ => self.dim * std::mem::size_of::<f32>(),
@@ -151,6 +213,11 @@ impl<M: Metric> ExactIndex<M> {
 
     /// Search body for an already-prepared query (no counters).
     fn search_prepared(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        if let Some(pq) = &self.pq {
+            if pq.ready() {
+                return self.search_pq(query, pq, k);
+            }
+        }
         if let Some(quant) = &self.quant {
             return self.search_quantized(query, quant, k);
         }
@@ -244,6 +311,43 @@ impl<M: Metric> ExactIndex<M> {
         exact
     }
 
+    /// PQ probe: build one ADC table for the query, approximate-scan all
+    /// code rows with integer LUT adds, keep the `pq_rerank_overfetch(k)`
+    /// best by `(approx distance, id)`, then compute exact f32 distances for
+    /// just those and return the true top-`k`.
+    fn search_pq(&self, query: &[f32], pq: &PqStore, k: usize) -> Vec<Neighbor> {
+        let table = pq.table(query);
+        let fetch = pq_rerank_overfetch(k);
+        OBS_PQ.add(self.len() as u64);
+        let mut approx = self.top_by(fetch, |start, end, cap| {
+            let mut sums = Vec::new();
+            let mut distances = Vec::new();
+            table.distance_block(pq.rows(start, end), &mut sums, &mut distances);
+            let mut hits: Vec<Neighbor> = distances
+                .into_iter()
+                .enumerate()
+                .map(|(off, distance)| Neighbor { id: start + off, distance })
+                .collect();
+            hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then_with(|| a.id.cmp(&b.id)));
+            if cap != usize::MAX {
+                hits.truncate(cap);
+            }
+            hits
+        });
+        approx.truncate(fetch);
+        OBS_RERANK.add(approx.len() as u64);
+        let mut exact: Vec<Neighbor> = approx
+            .into_iter()
+            .map(|h| Neighbor {
+                id: h.id,
+                distance: self.metric.prepared_distance(query, self.vector(h.id)),
+            })
+            .collect();
+        exact.sort_by(|a, b| a.distance.total_cmp(&b.distance).then_with(|| a.id.cmp(&b.id)));
+        exact.truncate(k);
+        exact
+    }
+
     /// `k` nearest neighbours for every query, computed in parallel (one
     /// work item per query). Results are in query order.
     pub fn search_batch(&self, queries: &[Vec<f32>], k: usize) -> Vec<Vec<Neighbor>> {
@@ -251,11 +355,7 @@ impl<M: Metric> ExactIndex<M> {
         OBS_PROBES.add((queries.len() * self.len()) as u64);
         pas_par::par_map(queries, |_, q| {
             let query = self.prepared_query(q);
-            if let Some(quant) = &self.quant {
-                self.search_quantized(&query, quant, k)
-            } else {
-                self.scan_range(&query, 0, self.len(), k)
-            }
+            self.search_prepared(&query, k)
         })
     }
 
@@ -441,6 +541,85 @@ mod tests {
     fn quantization_rejects_unsupported_metric() {
         let mut idx = ExactIndex::new(EuclideanDistance);
         idx.set_quantization(true);
+    }
+
+    /// Clustered unit vectors: `n` points around `clusters` smooth anchors.
+    fn clustered(n: usize, clusters: usize, dim: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| {
+                let c = (i % clusters) as f32;
+                (0..dim)
+                    .map(|d| (d as f32 * 0.61 + c * 2.3).sin() + (i as f32 * 0.013).sin() * 0.05)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pq_search_recall_and_lazy_training() {
+        let mut plain = ExactIndex::new(CosineDistance);
+        let mut pq = ExactIndex::new(CosineDistance);
+        pq.set_product_quantization(true);
+        assert!(pq.product_quantized());
+        let vecs = clustered(500, 13, 16);
+        for (i, v) in vecs.iter().enumerate() {
+            plain.insert(v.clone());
+            pq.insert(v.clone());
+            if i + 1 < PQ_TRAIN_MIN {
+                // Below the training floor the probe path is still f32.
+                assert_eq!(pq.probe_bytes_per_vector(), 16 * 4);
+            }
+        }
+        // Trained: dim 16 → 2 bytes per vector, ≥ 8x below int8's dim+4.
+        assert_eq!(pq.probe_bytes_per_vector(), 2);
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for q in vecs.iter().step_by(17) {
+            let want = plain.search(q, 10);
+            let got = pq.search(q, 10);
+            assert_eq!(got.len(), want.len());
+            let want_ids: Vec<usize> = want.iter().map(|h| h.id).collect();
+            hit += got.iter().filter(|h| want_ids.contains(&h.id)).count();
+            total += want.len();
+            // Whatever PQ returns carries exact f32 distances.
+            for g in &got {
+                let exact = plain.search_radius(&vecs[g.id], 0.0);
+                assert!(!exact.is_empty() || g.distance >= 0.0);
+            }
+        }
+        assert!(hit as f64 >= total as f64 * 0.95, "recall {hit}/{total} below 0.95");
+        // Disabling falls back to the plain scan, bit-identical.
+        pq.set_product_quantization(false);
+        let q = &vecs[3];
+        assert_eq!(pq.search(q, 5), plain.search(q, 5));
+    }
+
+    #[test]
+    fn pq_and_int8_tiers_are_mutually_exclusive() {
+        let mut idx = ExactIndex::new(CosineDistance);
+        for v in clustered(PQ_TRAIN_MIN + 10, 7, 8) {
+            idx.insert(v);
+        }
+        idx.set_quantization(true);
+        assert!(idx.quantized());
+        idx.set_product_quantization(true);
+        assert!(idx.product_quantized() && !idx.quantized());
+        assert_eq!(idx.probe_bytes_per_vector(), 1); // dim 8 → m 1
+        idx.set_quantization(true);
+        assert!(idx.quantized() && !idx.product_quantized());
+        assert_eq!(idx.probe_bytes_per_vector(), 8 + 4);
+    }
+
+    #[test]
+    fn pq_search_is_thread_invariant() {
+        let mut idx = ExactIndex::new(CosineDistance);
+        idx.set_product_quantization(true);
+        for v in clustered(super::ExactIndex::<CosineDistance>::SCAN_CHUNK * 2 + 31, 11, 8) {
+            idx.insert(v);
+        }
+        let query = clustered(1, 5, 8).pop().unwrap();
+        let run = |threads| pas_par::with_threads(threads, || idx.search(&query, 9));
+        assert_eq!(run(1), run(8));
     }
 
     #[test]

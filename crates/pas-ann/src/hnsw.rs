@@ -13,28 +13,34 @@
 //! Three speed layers sit on top of the textbook algorithm, none of which
 //! changes a single output bit relative to the baseline paths they replace:
 //!
-//! - **int8 quantized traversal** ([`Hnsw::set_quantization`]): graph
-//!   construction stays f32 (the graph is identical either way), but search
-//!   probes run on int8 codes and an over-fetched candidate set is re-ranked
-//!   with exact f32 distances (see [`crate::quant`]).
+//! - **Quantized traversal** ([`Hnsw::set_quantization`] for int8,
+//!   [`Hnsw::set_product_quantization`] for PQ codes): graph construction
+//!   stays f32 (the graph is identical either way), but search probes run on
+//!   integer codes and an over-fetched candidate set is re-ranked with exact
+//!   f32 distances (see [`crate::quant`]).
 //! - **Batched multi-query search** ([`Hnsw::search_batch`]): a micro-batch
-//!   of queries walks layer 0 in lock-step; queries expanding the same node
-//!   share one packed neighbor panel and probe it with block kernels. Each
-//!   query's heap trajectory is exactly its sequential one, so the results
-//!   equal per-query [`Hnsw::search`] bit-for-bit.
+//!   of queries walks layer 0 in lock-step; packed neighbor panels are built
+//!   once per expanded node, cached across rounds, and probed with block
+//!   kernels by every query that reaches the node. Each query's heap
+//!   trajectory is exactly its sequential one, so the results equal
+//!   per-query [`Hnsw::search`] bit-for-bit.
 //! - **Incremental removal** ([`Hnsw::remove`]): unlink a node and re-link
 //!   its peers through the diversity heuristic, instead of tombstoning and
 //!   rebuilding the live set.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::metric::Metric;
-use crate::quant::{rerank_overfetch, QuantStore, OBS_QUANTIZED, OBS_RERANK};
+use crate::quant::{
+    pq_rerank_overfetch, rerank_overfetch, PqConfig, PqStore, PqTable, QuantStore, OBS_PQ,
+    OBS_QUANTIZED, OBS_RERANK, PQ_TRAIN_MIN,
+};
 use crate::Neighbor;
 
 // Observability counters. Probe counts (distance evaluations) per
@@ -46,6 +52,11 @@ static OBS_PROBES: pas_obs::Counter = pas_obs::Counter::new("ann.hnsw.probes");
 // Batched-probe counters: micro-batches dispatched and queries they carried.
 static OBS_BATCHES: pas_obs::Counter = pas_obs::Counter::new("ann.search_batch.batches");
 static OBS_BATCH_QUERIES: pas_obs::Counter = pas_obs::Counter::new("ann.search_batch.queries");
+
+/// Below this many rows a row-indexed block-kernel call costs more than its
+/// quad-row sharing saves (the quads are 4 wide); probe lazily instead.
+/// Size-based only, so deterministic.
+const MIN_ROW_BLOCK: usize = 4;
 
 /// HNSW construction parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -167,6 +178,9 @@ pub struct Hnsw<M: Metric> {
     live: usize,
     /// int8 codes for the quantized probe path, row-aligned with ids.
     quant: Option<QuantStore>,
+    /// PQ codes for the product-quantized probe path, row-aligned with ids
+    /// (possibly untrained — probes stay f32 until it is ready).
+    pq: Option<PqStore>,
 }
 
 impl<M: Metric> Hnsw<M> {
@@ -192,6 +206,7 @@ impl<M: Metric> Hnsw<M> {
             dead: Vec::new(),
             live: 0,
             quant: None,
+            pq: None,
         }
     }
 
@@ -294,6 +309,70 @@ impl<M: Metric> Hnsw<M> {
         (results.into_vec(), probes)
     }
 
+    /// [`Hnsw::search_layer_with`] at layer 0 with the probes computed in
+    /// row-indexed blocks: each expansion collects the current node's
+    /// unvisited neighbors (marking them, in adjacency order) and hands them
+    /// to `distn` four-plus rows per kernel call instead of one `dist` call
+    /// per row. The offer sequence — order and values — is exactly the lazy
+    /// walk's, so the returned candidate set is bit-identical; only the
+    /// speed differs. The quantized tiers of [`Hnsw::search_batch`] walk
+    /// each query through this.
+    fn search_layer0_blocked(
+        &self,
+        dist: &dyn Fn(usize) -> f32,
+        distn: &mut dyn FnMut(&[usize], &mut Vec<f32>),
+        entry: usize,
+        ef: usize,
+    ) -> (Vec<Candidate>, u64) {
+        let mut visited = vec![false; self.nodes.len()];
+        visited[entry] = true;
+        let mut probes = 1u64;
+        let entry_cand = Candidate { distance: dist(entry), id: entry };
+        let mut candidates: BinaryHeap<std::cmp::Reverse<Candidate>> = BinaryHeap::new();
+        candidates.push(std::cmp::Reverse(entry_cand));
+        let mut results: BinaryHeap<Candidate> = BinaryHeap::new();
+        results.push(entry_cand);
+        let mut sub: Vec<usize> = Vec::new();
+        let mut dvec: Vec<f32> = Vec::new();
+
+        while let Some(std::cmp::Reverse(current)) = candidates.pop() {
+            let worst = results.peek().expect("results never empty").distance;
+            if current.distance > worst && results.len() >= ef {
+                break;
+            }
+            sub.clear();
+            for &next in &self.nodes[current.id].neighbors[0] {
+                if !visited[next] {
+                    visited[next] = true;
+                    sub.push(next);
+                }
+            }
+            if sub.is_empty() {
+                continue;
+            }
+            probes += sub.len() as u64;
+            if sub.len() < MIN_ROW_BLOCK {
+                dvec.clear();
+                dvec.extend(sub.iter().map(|&next| dist(next)));
+            } else {
+                distn(&sub, &mut dvec);
+            }
+            for (j, &next) in sub.iter().enumerate() {
+                let d = dvec[j];
+                let worst = results.peek().expect("non-empty").distance;
+                if results.len() < ef || d < worst {
+                    let cand = Candidate { distance: d, id: next };
+                    candidates.push(std::cmp::Reverse(cand));
+                    results.push(cand);
+                    if results.len() > ef {
+                        results.pop();
+                    }
+                }
+            }
+        }
+        (results.into_vec(), probes)
+    }
+
     /// Greedy descent to the closest node at `layer`, starting from `entry`.
     fn greedy_step(&self, query: &[f32], entry: usize, layer: usize) -> usize {
         self.greedy_step_with(&|id| self.dist(id, query), entry, layer)
@@ -324,15 +403,30 @@ impl<M: Metric> Hnsw<M> {
     }
 
     /// Layer-0 beam width for a `(k, ef)` request: `max(ef, k, 1)`, widened
-    /// to at least [`rerank_overfetch`]`(k)` when the quantized probe path is
-    /// on so the exact re-rank has enough candidates to pin recall.
+    /// to at least [`rerank_overfetch`]`(k)` when the int8 probe path is on —
+    /// or [`pq_rerank_overfetch`]`(k)` when a trained PQ tier is — so the
+    /// exact re-rank has enough candidates to pin recall.
     fn beam_width(&self, k: usize, ef: usize) -> usize {
         let base = ef.max(k).max(1);
-        if self.quant.is_some() {
+        if self.pq_ready().is_some() {
+            base.max(pq_rerank_overfetch(k))
+        } else if self.quant.is_some() {
             base.max(rerank_overfetch(k))
         } else {
             base
         }
+    }
+
+    /// The PQ store, when present *and* trained (the probe-path switch).
+    fn pq_ready(&self) -> Option<&PqStore> {
+        self.pq.as_ref().filter(|pq| pq.ready())
+    }
+
+    /// Trains the PQ codebook over all current rows (removed slots become
+    /// placeholders) and encodes them.
+    fn train_pq(&mut self) {
+        let rows: Vec<&[f32]> = self.vectors.iter().map(|v| v.as_slice()).collect();
+        self.pq.as_mut().expect("train_pq without a PQ store").train_encode(&rows, self.dim);
     }
 
     fn max_links(&self, layer: usize) -> usize {
@@ -407,10 +501,18 @@ impl<M: Metric> Hnsw<M> {
         if let Some(store) = self.quant.as_mut() {
             store.push(&self.metric, &vector);
         }
+        if let Some(pq) = self.pq.as_mut() {
+            if pq.ready() {
+                pq.push(&vector);
+            }
+        }
         self.vectors.push(vector);
         self.norms.push(norm);
         self.dead.push(false);
         self.live += 1;
+        if self.pq.as_ref().is_some_and(|pq| !pq.ready()) && self.live >= PQ_TRAIN_MIN {
+            self.train_pq();
+        }
         self.nodes.push(Node { neighbors: vec![Vec::new(); level + 1] });
         for (layer, peers) in links.iter().enumerate() {
             for &peer in peers {
@@ -542,6 +644,7 @@ impl<M: Metric> Hnsw<M> {
             self.quant = None;
             return;
         }
+        self.pq = None;
         if self.quant.is_some() {
             return;
         }
@@ -562,9 +665,47 @@ impl<M: Metric> Hnsw<M> {
         self.quant.is_some()
     }
 
-    /// Bytes the traversal touches per stored vector: `dim + 4` with
-    /// quantization on, `4 * dim` for the f32 path.
+    /// Switches the product-quantized probe path on or off.
+    ///
+    /// When on, stored vectors get `m ≈ dim/8`-byte PQ code rows
+    /// ([`PqStore`]) and searches traverse the graph on fixed-point ADC
+    /// table adds, finishing with an exact f32 re-rank of a
+    /// [`pq_rerank_overfetch`]-widened candidate set. Enabling drops any
+    /// int8 tier (the tiers are mutually exclusive). The codebook trains
+    /// over the stored rows — immediately when at least [`PQ_TRAIN_MIN`]
+    /// live vectors exist, otherwise lazily at the insert that reaches the
+    /// threshold; probes stay f32 until then. Graph construction stays f32
+    /// either way, so toggling PQ never changes the graph — only the probe
+    /// arithmetic, which is pure integer adds and therefore invariant
+    /// across kernel backends and thread counts.
+    pub fn set_product_quantization(&mut self, enabled: bool) {
+        if !enabled {
+            self.pq = None;
+            return;
+        }
+        self.quant = None;
+        if self.pq.is_some() {
+            return;
+        }
+        self.pq = Some(PqStore::new(PqConfig::default()));
+        if self.live >= PQ_TRAIN_MIN {
+            self.train_pq();
+        }
+    }
+
+    /// True when the PQ probe path is active (the codebook may still be
+    /// untrained — see [`Hnsw::set_product_quantization`]).
+    pub fn product_quantized(&self) -> bool {
+        self.pq.is_some()
+    }
+
+    /// Bytes the traversal touches per stored vector: `m` (≈ dim/8) with a
+    /// trained PQ tier, `dim + 4` with int8 quantization on, `4 * dim` for
+    /// the f32 path.
     pub fn probe_bytes_per_vector(&self) -> usize {
+        if let Some(pq) = self.pq_ready() {
+            return pq.bytes_per_vector();
+        }
         match &self.quant {
             Some(store) => store.bytes_per_vector(),
             None => self.dim * std::mem::size_of::<f32>(),
@@ -598,6 +739,17 @@ impl<M: Metric> Hnsw<M> {
         let query = prepared.as_slice();
         let top_level = self.nodes[entry].level();
         let ef0 = self.beam_width(k, ef);
+        if let Some(pq) = self.pq_ready() {
+            let table = pq.table(query);
+            let qd = |id: usize| table.distance(pq.row(id));
+            for layer in (1..=top_level).rev() {
+                entry = self.greedy_step_with(&qd, entry, layer);
+            }
+            let (found, probes) = self.search_layer_with(&qd, entry, ef0, 0);
+            OBS_PROBES.add(probes);
+            OBS_PQ.add(probes);
+            return self.rerank_exact(query, found, k);
+        }
         if let Some(store) = &self.quant {
             let (qcodes, qscale) =
                 self.metric.quantize(query).expect("quantized index requires a quantizing metric");
@@ -660,7 +812,16 @@ impl<M: Metric> Hnsw<M> {
                 })
                 .collect()
         });
+        // One ADC table per query, built up front and shared by every
+        // lock-step round (and the upper-layer descents) of the whole
+        // micro-batch.
+        let pq_store = self.pq_ready();
+        let tables: Option<Vec<PqTable>> =
+            pq_store.map(|pq| prepared.iter().map(|p| pq.table(p)).collect());
         let dist_for = |qi: usize, id: usize| -> f32 {
+            if let (Some(pq), Some(tables)) = (pq_store, &tables) {
+                return tables[qi].distance(pq.row(id));
+            }
             match (&self.quant, &quantized) {
                 (Some(store), Some(q)) => {
                     let (codes, scale) = store.row(id);
@@ -672,8 +833,54 @@ impl<M: Metric> Hnsw<M> {
         let ef0 = self.beam_width(k, ef);
         let top_level = self.nodes[entry0].level();
 
-        // Upper-layer descent per query, then a layer-0 beam primed exactly
-        // like `search_layer`'s prologue.
+        // Quantized tiers: walk the queries one after another, each through
+        // the row-blocked layer-0 walk. Their code stores are small enough
+        // to stay cache-resident, so there is no memory traffic for
+        // lock-stepped queries to share — and lock-stepping actively hurts
+        // the PQ tier, whose per-query 8 KB ADC tables would thrash L1 if
+        // interleaved. Per-query blocking keeps one query's table (and int8
+        // codes) hot while the quad-row kernels deliver the batch speedup.
+        if self.quant.is_some() || pq_store.is_some() {
+            let mut sums: Vec<u32> = Vec::new();
+            let mut idots: Vec<i32> = Vec::new();
+            let mut probes = 0u64;
+            let mut out = Vec::with_capacity(queries.len());
+            for qi in 0..queries.len() {
+                let mut entry = entry0;
+                for layer in (1..=top_level).rev() {
+                    entry = self.greedy_step_with(&|id| dist_for(qi, id), entry, layer);
+                }
+                let (found, p) = if let (Some(pq), Some(tables)) = (pq_store, &tables) {
+                    let mut distn = |rows: &[usize], dv: &mut Vec<f32>| {
+                        tables[qi].distance_rows(pq.flat(), rows, &mut sums, dv)
+                    };
+                    self.search_layer0_blocked(&|id| dist_for(qi, id), &mut distn, entry, ef0)
+                } else {
+                    let store = self.quant.as_ref().expect("int8 tier");
+                    let q = quantized.as_ref().expect("int8 tier");
+                    let (codes, scales) = store.flat();
+                    let mut distn = |rows: &[usize], dv: &mut Vec<f32>| {
+                        self.metric.quantized_distance_rows(
+                            &q[qi].0, q[qi].1, codes, scales, rows, &mut idots, dv,
+                        )
+                    };
+                    self.search_layer0_blocked(&|id| dist_for(qi, id), &mut distn, entry, ef0)
+                };
+                probes += p;
+                out.push(self.rerank_exact(&prepared[qi], found, k));
+            }
+            OBS_PROBES.add(probes);
+            if pq_store.is_some() {
+                OBS_PQ.add(probes);
+            } else {
+                OBS_QUANTIZED.add(probes);
+            }
+            return out;
+        }
+
+        // f32 tier: upper-layer descent per query, then a layer-0 beam
+        // primed exactly like `search_layer`'s prologue, advanced in
+        // lock-step rounds that share packed panels.
         let mut beams: Vec<Beam> = (0..queries.len())
             .map(|qi| {
                 let mut entry = entry0;
@@ -691,15 +898,25 @@ impl<M: Metric> Hnsw<M> {
             })
             .collect();
 
+        // Shared-node neighbor rows are packed into panels: a scratch panel
+        // per group plus an append-only arena of packed *full-adjacency*
+        // panels. A full panel is cached the first time a group needs every
+        // row of a node's adjacency and reused — zero packing cost, zero
+        // wasted rows — by any later round (including lone beams) whose
+        // needed rows are again the full adjacency. Partially-needed panels
+        // are never cached: probing a stale full panel would compute
+        // distances for rows every beam has already visited, which costs
+        // more than the packing it saves.
         let mut panel_f32: Vec<f32> = Vec::new();
-        let mut panel_i8: Vec<i8> = Vec::new();
-        let mut panel_scales: Vec<f32> = Vec::new();
+        let mut arena_f32: Vec<f32> = Vec::new();
+        let mut arena_rows: HashMap<usize, usize> = HashMap::new();
+        let mut next_arena_row = 0usize;
         let mut dvec: Vec<f32> = Vec::new();
         let mut sub: Vec<usize> = Vec::new();
         // Expansions of one round as (node, query) pairs; sorted, equal-node
         // runs form the groups. Reused across rounds — no per-round allocs.
         let mut expansions: Vec<(usize, usize)> = Vec::new();
-        // Below this many panel rows a block-kernel call costs more than it
+        // Below this many panel rows a pack + block call costs more than it
         // saves; probe lazily instead. Size-based only, so deterministic.
         const MIN_PANEL_ROWS: usize = 8;
         loop {
@@ -742,9 +959,14 @@ impl<M: Metric> Hnsw<M> {
                 if neighbors.is_empty() {
                     continue;
                 }
-                if group.len() == 1 {
-                    // Lone beam at this node: evaluate lazily, skipping
-                    // visited neighbors before probing, like `search_layer`.
+                // Lone beam: the sequential inner loop verbatim — no row
+                // collection, no pack, no block call — unless the arena
+                // already holds this node's packed panel (then the block
+                // kernel is worth probing even a single query with). Every
+                // branch condition depends only on sizes and the —
+                // deterministic — expansion history, so the per-row
+                // arithmetic path is identical on every run.
+                if group.len() == 1 && !arena_rows.contains_key(&node) {
                     let qi = group[0].1;
                     let beam = &mut beams[qi];
                     for &next in neighbors {
@@ -771,11 +993,17 @@ impl<M: Metric> Hnsw<M> {
                 if sub.is_empty() {
                     continue;
                 }
-                if sub.len() < MIN_PANEL_ROWS {
-                    // Panel too small to amortize a block call per query:
-                    // probe lazily. The cutoff depends only on sizes, so the
-                    // choice — and the per-row arithmetic — is identical on
-                    // every run.
+                // f32 tier: pack the needed rows once (or fetch the node's
+                // cached full panel), then probe with one block-kernel call
+                // per grouped query. `absorb_block` skips each beam's own
+                // visited rows, so trajectories stay sequential-exact. Lazy
+                // when the rows are too few to amortize a pack + block
+                // call, or when a lone beam expands a node whose full panel
+                // is not already in the arena (packing for one consumer is
+                // pure overhead).
+                let full = sub.len() == neighbors.len();
+                let cached = if full { arena_rows.get(&node).copied() } else { None };
+                if sub.len() < MIN_PANEL_ROWS || (group.len() == 1 && cached.is_none()) {
                     for &(_, qi) in group {
                         let beam = &mut beams[qi];
                         for &next in &sub {
@@ -790,39 +1018,39 @@ impl<M: Metric> Hnsw<M> {
                     }
                     continue;
                 }
-                // Shared expansion: pack the panel once, then probe it with
-                // one block-kernel call per grouped query. `absorb_block`
-                // still skips each beam's own visited rows, so trajectories
-                // stay sequential-exact.
-                dvec.resize(sub.len(), 0.0);
-                match (&self.quant, &quantized) {
-                    (Some(store), Some(q)) => {
-                        store.gather(&sub, &mut panel_i8, &mut panel_scales);
-                        for &(_, qi) in group {
-                            self.metric.quantized_distance_block(
-                                &q[qi].0,
-                                q[qi].1,
-                                &panel_i8,
-                                &panel_scales,
-                                &mut dvec,
-                            );
-                            beams[qi].absorb_block(&sub, &dvec, ef0);
-                        }
+                let rows = sub.len();
+                // A full panel enters the arena on first pack so later
+                // rounds reuse it for free; partial panels live in scratch.
+                let row0 = match (full, cached) {
+                    (true, Some(row0)) => Some(row0),
+                    (true, None) => {
+                        arena_rows.insert(node, next_arena_row);
+                        next_arena_row += rows;
+                        None
                     }
-                    _ => {
+                    (false, _) => None,
+                };
+                let panel: &[f32] = match row0 {
+                    Some(row0) => &arena_f32[row0 * self.dim..(row0 + rows) * self.dim],
+                    None if full => {
+                        let at = arena_f32.len();
+                        for &next in &sub {
+                            arena_f32.extend_from_slice(&self.vectors[next]);
+                        }
+                        &arena_f32[at..]
+                    }
+                    None => {
                         panel_f32.clear();
                         for &next in &sub {
                             panel_f32.extend_from_slice(&self.vectors[next]);
                         }
-                        for &(_, qi) in group {
-                            self.metric.prepared_distance_block(
-                                &prepared[qi],
-                                &panel_f32,
-                                &mut dvec,
-                            );
-                            beams[qi].absorb_block(&sub, &dvec, ef0);
-                        }
+                        &panel_f32
                     }
+                };
+                dvec.resize(rows, 0.0);
+                for &(_, qi) in group {
+                    self.metric.prepared_distance_block(&prepared[qi], panel, &mut dvec);
+                    beams[qi].absorb_block(&sub, &dvec, ef0);
                 }
             }
         }
@@ -830,27 +1058,18 @@ impl<M: Metric> Hnsw<M> {
         let mut probes = 0u64;
         let out = beams
             .into_iter()
-            .enumerate()
-            .map(|(qi, beam)| {
+            .map(|beam| {
                 probes += beam.probes;
-                let found = beam.results.into_vec();
-                if self.quant.is_some() {
-                    self.rerank_exact(&prepared[qi], found, k)
-                } else {
-                    let mut found = found;
-                    found.sort();
-                    found
-                        .into_iter()
-                        .take(k)
-                        .map(|c| Neighbor { id: c.id, distance: c.distance })
-                        .collect()
-                }
+                let mut found = beam.results.into_vec();
+                found.sort();
+                found
+                    .into_iter()
+                    .take(k)
+                    .map(|c| Neighbor { id: c.id, distance: c.distance })
+                    .collect()
             })
             .collect();
         OBS_PROBES.add(probes);
-        if self.quant.is_some() {
-            OBS_QUANTIZED.add(probes);
-        }
         out
     }
 
@@ -977,6 +1196,7 @@ impl<M: Metric> Hnsw<M> {
             dead,
             live,
             quant: None,
+            pq: None,
         }
     }
 }
@@ -1307,17 +1527,127 @@ mod tests {
             .into_iter()
             .chain([vecs[3].clone(), vecs[3].clone()]) // duplicates share panels
             .collect();
-        for quantize in [false, true] {
-            idx.set_quantization(quantize);
+        for tier in ["f32", "int8", "pq"] {
+            match tier {
+                "int8" => idx.set_quantization(true),
+                "pq" => idx.set_product_quantization(true),
+                _ => idx.set_quantization(false),
+            }
             let sequential: Vec<_> =
                 queries.iter().map(|q| ids_and_bits(&idx.search(q, 6, 40))).collect();
             let batched: Vec<_> =
                 idx.search_batch(&queries, 6, 40).iter().map(|hits| ids_and_bits(hits)).collect();
-            assert_eq!(sequential, batched, "quantize={quantize}");
+            assert_eq!(sequential, batched, "tier={tier}");
+            // Single-query batches stay equal too (all-lazy path).
+            let lone = idx.search_batch(&queries[..1], 6, 40);
+            assert_eq!(ids_and_bits(&lone[0]), sequential[0], "tier={tier} single-query");
         }
+        idx.set_product_quantization(false);
         assert!(idx.search_batch(&[], 4, 16).is_empty());
         let empty = Hnsw::new(HnswConfig::default(), CosineDistance);
         assert_eq!(empty.search_batch(&queries, 4, 16), vec![Vec::new(); queries.len()]);
+    }
+
+    /// Clustered unit-ish vectors: points around `clusters` smooth anchors.
+    fn clustered_vectors(n: usize, clusters: usize, dim: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| {
+                let c = (i % clusters) as f32;
+                (0..dim)
+                    .map(|d| (d as f32 * 0.61 + c * 2.3).sin() + (i as f32 * 0.013).sin() * 0.05)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pq_search_recall_vs_f32_search() {
+        let vecs = clustered_vectors(400, 11, 32);
+        let mut idx = Hnsw::new(HnswConfig { m: 8, ef_construction: 48, seed: 7 }, CosineDistance);
+        idx.build_batch(vecs.clone());
+        let plain: Vec<_> = vecs.iter().step_by(23).map(|q| idx.search(q, 10, 48)).collect();
+        idx.set_product_quantization(true);
+        assert!(idx.product_quantized());
+        // dim 32 → 4 bytes per vector, 8x+ below the int8 tier's dim+4.
+        assert_eq!(idx.probe_bytes_per_vector(), 4);
+        let (mut hit, mut total) = (0usize, 0usize);
+        for (want, q) in plain.iter().zip(vecs.iter().step_by(23)) {
+            let got = idx.search(q, 10, 48);
+            let want_ids: Vec<usize> = want.iter().map(|h| h.id).collect();
+            hit += got.iter().filter(|h| want_ids.contains(&h.id)).count();
+            total += want.len();
+            // PQ results carry exact f32 distances (re-ranked).
+            for g in &got {
+                let exact = CosineDistance.prepared_distance(
+                    &{
+                        let mut p = q.clone();
+                        CosineDistance.prepare(&mut p);
+                        p
+                    },
+                    idx.vector(g.id),
+                );
+                assert_eq!(g.distance.to_bits(), exact.to_bits());
+            }
+        }
+        assert!(hit as f64 >= total as f64 * 0.95, "recall {hit}/{total} below 0.95");
+    }
+
+    #[test]
+    fn pq_lazy_training_and_tier_exclusivity() {
+        let mut idx = Hnsw::new(HnswConfig::default(), CosineDistance);
+        idx.set_product_quantization(true);
+        let vecs = clustered_vectors(PQ_TRAIN_MIN + 20, 5, 8);
+        for (i, v) in vecs.iter().enumerate() {
+            idx.insert(v.clone());
+            if i + 1 < PQ_TRAIN_MIN {
+                // Below the floor the probe path is still f32.
+                assert_eq!(idx.probe_bytes_per_vector(), 8 * 4, "insert {i}");
+            }
+        }
+        // Trained at the threshold; later inserts encode on the fly.
+        assert_eq!(idx.probe_bytes_per_vector(), 1);
+        let hits = idx.search(&vecs[70], 1, 32);
+        assert_eq!(hits[0].id, 70);
+        assert!(hits[0].distance < 1e-6);
+        // Enabling int8 drops PQ and vice versa.
+        idx.set_quantization(true);
+        assert!(idx.quantized() && !idx.product_quantized());
+        idx.set_product_quantization(true);
+        assert!(idx.product_quantized() && !idx.quantized());
+    }
+
+    #[test]
+    fn pq_training_is_thread_count_invariant() {
+        let vecs = clustered_vectors(150, 9, 16);
+        let build = |threads: usize| {
+            pas_par::with_threads(threads, || {
+                let mut idx =
+                    Hnsw::new(HnswConfig { m: 8, ef_construction: 32, seed: 3 }, CosineDistance);
+                idx.build_batch(vecs.clone());
+                idx.set_product_quantization(true);
+                vecs.iter()
+                    .step_by(13)
+                    .map(|q| ids_and_bits(&idx.search(q, 5, 32)))
+                    .collect::<Vec<_>>()
+            })
+        };
+        assert_eq!(build(1), build(8));
+    }
+
+    #[test]
+    fn pq_search_skips_removed_nodes() {
+        let vecs = clustered_vectors(160, 7, 16);
+        let mut idx = Hnsw::new(HnswConfig::default(), CosineDistance);
+        idx.build_batch(vecs.clone());
+        idx.set_product_quantization(true);
+        for id in (0..160).step_by(5) {
+            idx.remove(id);
+        }
+        for (qi, q) in vecs.iter().enumerate().step_by(11) {
+            for hit in idx.search(q, 5, 48) {
+                assert!(!idx.is_removed(hit.id), "query {qi} returned removed id {}", hit.id);
+            }
+        }
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub use hnsw::{Hnsw, HnswConfig};
 pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
 pub use metric::{CosineDistance, EuclideanDistance, Metric};
 pub use minhash::{LshIndex, MinHashConfig, MinHashDeduplicator, MinHasher, Signature};
-pub use quant::QuantStore;
+pub use quant::{PqCodebook, PqConfig, PqStore, PqTable, QuantStore, PQ_TRAIN_MIN};
 
 /// A search hit: item id plus its distance to the query (smaller = closer).
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -88,6 +88,29 @@ pub trait Metric: Send + Sync {
             *o = self.quantized_distance(query, qscale, &panel[r * d..(r + 1) * d], scales[r]);
         }
     }
+
+    /// Row-indexed [`Metric::quantized_distance_block`]: probe the rows
+    /// `rows[j]` of a flat code store directly — no packed panel. `idots`
+    /// is caller-owned integer scratch (so steady-state probes allocate
+    /// nothing). Bit-identical to the pairwise calls; the default loops.
+    #[allow(clippy::too_many_arguments)]
+    fn quantized_distance_rows(
+        &self,
+        query: &[i8],
+        qscale: f32,
+        codes: &[i8],
+        scales: &[f32],
+        rows: &[usize],
+        idots: &mut Vec<i32>,
+        out: &mut Vec<f32>,
+    ) {
+        let d = query.len();
+        let _ = idots;
+        out.clear();
+        out.extend(rows.iter().map(|&r| {
+            self.quantized_distance(query, qscale, &codes[r * d..(r + 1) * d], scales[r])
+        }));
+    }
 }
 
 /// Cosine distance `1 − cos(a, b)`, in `[0, 2]`. Zero vectors are treated as
@@ -170,6 +193,31 @@ impl Metric for CosineDistance {
         for ((o, &idot), &s) in out.iter_mut().zip(&dots).zip(scales) {
             *o = (1.0 - idot as f32 * (qscale * s)).max(0.0);
         }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn quantized_distance_rows(
+        &self,
+        query: &[i8],
+        qscale: f32,
+        codes: &[i8],
+        scales: &[f32],
+        rows: &[usize],
+        idots: &mut Vec<i32>,
+        out: &mut Vec<f32>,
+    ) {
+        // The row-indexed kernel computes the same exact integer dots as the
+        // pairwise path; the decode is the identical two-mul-one-sub chain.
+        idots.clear();
+        idots.resize(rows.len(), 0);
+        kernels::dot_i8_rows(query, codes, rows, idots);
+        out.clear();
+        out.extend(
+            idots
+                .iter()
+                .zip(rows)
+                .map(|(&idot, &r)| (1.0 - idot as f32 * (qscale * scales[r])).max(0.0)),
+        );
     }
 }
 

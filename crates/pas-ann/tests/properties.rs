@@ -155,6 +155,95 @@ proptest! {
     }
 
     #[test]
+    fn pq_rerank_recall_at_5_on_clustered_data(
+        centers in prop::collection::vec(prop::collection::vec(-1.0f32..1.0, 16..=16), 3..8),
+        jitters in prop::collection::vec(prop::collection::vec(-0.05f32..0.05, 16..=16), 80..150),
+    ) {
+        // PQ is lossy (no recall == 1.0 guarantee like int8), but on
+        // clusterable data — the regime the codebook k-means is built for —
+        // the over-fetched ADC scan plus exact f32 re-rank must keep
+        // recall@5 at 0.95 or better against the pure-f32 oracle.
+        let vs: Vec<Vec<f32>> = jitters
+            .iter()
+            .enumerate()
+            .map(|(i, j)| {
+                let c = &centers[i % centers.len()];
+                c.iter().zip(j).map(|(a, b)| a + b).collect()
+            })
+            .collect();
+        let mut plain = ExactIndex::new(CosineDistance);
+        let mut pq = ExactIndex::new(CosineDistance);
+        pq.set_product_quantization(true);
+        for v in &vs {
+            plain.insert(v.clone());
+            pq.insert(v.clone());
+        }
+        // Enough rows to cross the lazy-training threshold: 2 code bytes
+        // per vector at dim 16, not the 64-byte f32 fallback.
+        prop_assert_eq!(pq.probe_bytes_per_vector(), 2);
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for v in vs.iter().step_by(7) {
+            let truth: std::collections::HashSet<usize> =
+                plain.search(v, 5).into_iter().map(|n| n.id).collect();
+            for n in pq.search(v, 5) {
+                total += 1;
+                if truth.contains(&n.id) {
+                    hits += 1;
+                }
+            }
+        }
+        prop_assert!(hits * 100 >= total * 95, "PQ recall@5 {}/{}", hits, total);
+    }
+
+    #[test]
+    fn pq_index_is_bit_identical_across_kernel_backends(vs in vectors(70..120, 8)) {
+        // Codebook training (f32 striped kernels), encoding (integer
+        // argmin), ADC tables (fixed-point), and the re-ranked probes must
+        // all agree bit-for-bit on every backend this CPU has: the whole
+        // index is rebuilt under each backend and every probe compared.
+        use pas_kernels::Backend;
+        let backends: &[Backend] = if pas_kernels::best_supported() == Backend::Avx2 {
+            &[Backend::Scalar, Backend::Sse2, Backend::Avx2]
+        } else if cfg!(target_arch = "x86_64") {
+            &[Backend::Scalar, Backend::Sse2]
+        } else {
+            &[Backend::Scalar]
+        };
+        let restore = pas_kernels::backend();
+        let runs: Vec<Vec<Vec<(usize, u32)>>> = backends
+            .iter()
+            .map(|&be| {
+                pas_kernels::set_backend(be);
+                let mut pq = Hnsw::new(HnswConfig::default(), CosineDistance);
+                pq.set_product_quantization(true);
+                for v in &vs {
+                    pq.insert(v.clone());
+                }
+                vs.iter()
+                    .step_by(9)
+                    .map(|q| {
+                        pq.search(q, 5, 48)
+                            .into_iter()
+                            .map(|n| (n.id, n.distance.to_bits()))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        pas_kernels::set_backend(restore);
+        for (bi, r) in runs.iter().enumerate().skip(1) {
+            prop_assert_eq!(
+                r,
+                &runs[0],
+                "PQ probes diverged: {} vs {}",
+                backends[bi].name(),
+                backends[0].name()
+            );
+        }
+    }
+
+    #[test]
     fn search_batch_equals_sequential_searches(vs in vectors(20..90, 8)) {
         let mut hnsw = Hnsw::new(HnswConfig::default(), CosineDistance);
         for v in &vs {

@@ -50,6 +50,11 @@ pub struct SemanticCacheConfig {
     /// Run near-tier graph traversal on int8-quantized codes with exact
     /// f32 re-rank (identical results, ~4x smaller probe working set).
     pub quantized: bool,
+    /// Run near-tier graph traversal on product-quantized codes (~dim/8
+    /// bytes per cached prompt, ~32x below f32) with exact f32 re-rank.
+    /// Wins over `quantized` when both are set; the codebook trains lazily
+    /// once enough prompts are cached (probes stay f32 before that).
+    pub pq: bool,
 }
 
 impl Default for SemanticCacheConfig {
@@ -60,6 +65,7 @@ impl Default for SemanticCacheConfig {
             ef: 32,
             hnsw: HnswConfig { m: 8, ef_construction: 48, seed: 0x9a7e }, // small serving index
             quantized: false,
+            pq: false,
         }
     }
 }
@@ -113,7 +119,9 @@ impl<E: Embedder> SemanticCache<E> {
     /// `config.tau > 0`).
     pub fn new(config: SemanticCacheConfig, embedder: E) -> Self {
         let mut index = Hnsw::new(config.hnsw.clone(), CosineDistance);
-        if config.quantized {
+        if config.pq {
+            index.set_product_quantization(true);
+        } else if config.quantized {
             index.set_quantization(true);
         }
         SemanticCache {
@@ -291,7 +299,9 @@ impl<E: Embedder> SemanticCache<E> {
         let live: Vec<Entry> =
             std::mem::take(&mut self.entries).into_iter().filter(|e| e.alive).collect();
         self.index = Hnsw::new(self.config.hnsw.clone(), CosineDistance);
-        if self.config.quantized {
+        if self.config.pq {
+            self.index.set_product_quantization(true);
+        } else if self.config.quantized {
             self.index.set_quantization(true);
         }
         self.exact.clear();
@@ -444,6 +454,35 @@ mod tests {
             (log, c.hits(), c.near_hits(), c.misses(), c.evictions())
         };
         assert_eq!(run(false), run(true), "int8 probe path must not change served results");
+    }
+
+    #[test]
+    fn pq_near_tier_serves_identical_results() {
+        // Enough traffic that the PQ codebook actually trains (the lazy
+        // threshold is PQ_TRAIN_MIN inserts) and evictions churn the index.
+        let prompts: Vec<String> = (0..160)
+            .map(|i| format!("request number {i} about subject {} in style {}", i % 7, i % 3))
+            .collect();
+        let run = |pq: bool| {
+            let config = SemanticCacheConfig {
+                capacity: 96,
+                tau: 0.3,
+                pq,
+                ..SemanticCacheConfig::default()
+            };
+            let mut c = SemanticCache::new(config, NgramEmbedder::default());
+            let mut log = Vec::new();
+            for p in &prompts {
+                let out = c.lookup(p);
+                if matches!(out, CacheOutcome::Miss) {
+                    c.insert(p, &format!("{p} [c]"));
+                }
+                log.push(format!("{out:?}"));
+                log.push(format!("{:?}", c.lookup(&format!("{p}!"))));
+            }
+            (log, c.hits(), c.near_hits(), c.misses(), c.evictions())
+        };
+        assert_eq!(run(false), run(true), "PQ probe path must not change served results");
     }
 
     #[test]

@@ -107,9 +107,13 @@ fn pipeline_snapshot(threads: usize) -> MetricsSnapshot {
 fn soak_snapshot(threads: usize) -> (MetricsSnapshot, Vec<String>) {
     pas_par::with_threads(threads, || {
         pas::obs::reset();
+        // A universe wide enough that each shard's cache accumulates more
+        // than `PQ_TRAIN_MIN` live entries, so the PQ tier actually trains
+        // and the fixture pins its probe/table counters (not the f32
+        // fallback).
         let requests = generate(&WorkloadConfig {
             requests: 600,
-            universe: 40,
+            universe: 320,
             near_dup_rate: 0.2,
             seed: 0x90a7,
             ..WorkloadConfig::default()
@@ -117,10 +121,16 @@ fn soak_snapshot(threads: usize) -> (MetricsSnapshot, Vec<String>) {
         let config = GatewayConfig {
             replicas: 2,
             cache: SemanticCacheConfig {
-                tau: 0.15,
-                // int8 probe tier on: its distances are integer dots, so the
-                // snapshot stays byte-identical across kernel backends.
-                quantized: true,
+                // Tight tau so distinct universe prompts miss (and get
+                // inserted) rather than near-hitting each other; the cache
+                // then crosses the PQ training threshold within each shard.
+                tau: 0.05,
+                // PQ probe tier on: ADC distances are integer LUT sums and
+                // training is seeded, so the snapshot stays byte-identical
+                // across kernel backends and thread counts. This also pins
+                // the lazy-training path (the cache starts on f32 probes and
+                // flips to PQ once enough entries are live).
+                pq: true,
                 ..SemanticCacheConfig::default()
             },
             ..GatewayConfig::default()

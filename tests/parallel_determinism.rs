@@ -122,13 +122,32 @@ fn full_pipeline_is_identical_at_1_and_8_threads() {
                         .collect()
                 })
                 .collect();
+            // The PQ tier too: seeded codebook training, integer ADC probes,
+            // and the exact re-rank are all bit-identical at any thread
+            // count (training k-means fans out per subspace via pas_par).
+            let mut pq = Hnsw::new(HnswConfig::default(), CosineDistance);
+            pq.set_product_quantization(true);
+            pq.build_batch(vectors.clone());
+            assert!(pq.probe_bytes_per_vector() < 4, "PQ tier must have trained");
+            let pq_probes: Vec<Vec<(usize, u32)>> = vectors
+                .iter()
+                .step_by(13)
+                .map(|q| {
+                    pq.search(q, 5, 48).into_iter().map(|n| (n.id, n.distance.to_bits())).collect()
+                })
+                .collect();
             let queries: Vec<Vec<f32>> = vectors.iter().step_by(29).cloned().collect();
             let batched: Vec<Vec<(usize, u32)>> = idx
                 .search_batch(&queries, 5, 48)
                 .into_iter()
                 .map(|r| r.into_iter().map(|n| (n.id, n.distance.to_bits())).collect())
                 .collect();
-            (snapshot, norms, probes, quant_probes, batched)
+            let pq_batched: Vec<Vec<(usize, u32)>> = pq
+                .search_batch(&queries, 5, 48)
+                .into_iter()
+                .map(|r| r.into_iter().map(|n| (n.id, n.distance.to_bits())).collect())
+                .collect();
+            (snapshot, norms, probes, quant_probes, batched, pq_probes, pq_batched)
         })
     };
     let store_serial = build(1);
