@@ -6,6 +6,7 @@
 //! gateway_soak [--requests N] [--universe N] [--zipf S] [--near-dup F]
 //!              [--replicas N] [--cache-capacity N] [--tau F] [--shards N]
 //!              [--cache-mode plain|int8|pq] [--fault-profile NAME]
+//!              [--store-dir DIR] [--restart warm|cold|reembed] [--carry-cache]
 //!              [--seed S] [--threads N]
 //!              [--metrics-out FILE] [--metrics-jsonl FILE]
 //! ```
@@ -22,6 +23,17 @@
 //! the same flags produce the same JSON on any machine at any thread
 //! count (clean and eventual-success profiles).
 //!
+//! `--store-dir DIR` backs the semantic cache with a `pas-store` segment
+//! log in DIR and restarts the gateway *between shards*: each shard's
+//! cache is reopened from the store (`--restart warm` checkpoints and
+//! warm-opens; `cold` drops the cache without a checkpoint — a kill — and
+//! replays the log; `reembed` replays while re-embedding every prompt,
+//! the pre-store restart cost). `--carry-cache` instead threads one
+//! in-memory cache through every shard — the uninterrupted baseline the
+//! CI crash-recovery job byte-diffs the restarted runs against: because
+//! per-run report counters are deltas and the store replays the cache
+//! bit-exactly, all four variants print identical JSON.
+//!
 //! `--metrics-out FILE` writes the fleet-merged `pas-obs` snapshot as one
 //! JSON object; `--metrics-jsonl FILE` additionally appends one snapshot
 //! line per shard (the registry is snapshotted and reset between shards,
@@ -32,7 +44,8 @@ use pas_core::{BuildOptions, PasSystem, SystemConfig};
 use pas_data::{CorpusConfig, SelectionConfig};
 use pas_fault::{FaultConfig, FaultProfile};
 use pas_gateway::{
-    generate, Gateway, GatewayConfig, GatewayReport, SemanticCacheConfig, WorkloadConfig,
+    cache_embedder, generate, Gateway, GatewayCache, GatewayConfig, GatewayReport, OpenMode,
+    SemanticCache, SemanticCacheConfig, WorkloadConfig,
 };
 
 fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
@@ -93,6 +106,18 @@ fn main() {
         ..GatewayConfig::default()
     };
     let shards = flag(&args, "--shards", 1usize).max(1);
+    let store_dir = path_flag(&args, "--store-dir");
+    let restart: String = flag(&args, "--restart", "warm".to_string());
+    assert!(
+        matches!(restart.as_str(), "warm" | "cold" | "reembed"),
+        "unknown restart mode '{restart}' (expected warm|cold|reembed)"
+    );
+    let carry = args.iter().any(|a| a == "--carry-cache");
+    assert!(
+        !(carry && store_dir.is_some()),
+        "--carry-cache (uninterrupted baseline) and --store-dir (restart between shards) \
+         are mutually exclusive"
+    );
 
     eprintln!(
         "soaking {} requests (universe {}, zipf {}) through {} shard(s) × {} replica(s), \
@@ -107,6 +132,11 @@ fn main() {
         cache_mode,
         config.fault.profile.name,
     );
+    if let Some(dir) = &store_dir {
+        eprintln!("cache store → {} ({restart} restart between shards)", dir.display());
+    } else if carry {
+        eprintln!("carrying one in-memory cache across shards (uninterrupted baseline)");
+    }
     let system = SystemConfig {
         corpus: CorpusConfig { size: 350, seed: 11, ..CorpusConfig::default() },
         selection: SelectionConfig { labeled_size: 500, ..SelectionConfig::default() },
@@ -124,11 +154,48 @@ fn main() {
     // metrics collector would.
     let mut fleet_metrics = pas_obs::snapshot();
     pas_obs::reset();
+    let mut carried: Option<GatewayCache> = None;
     for shard in requests.chunks(chunk.max(1)) {
         let replicas = (0..config.replicas).map(|_| pas.clone()).collect();
-        let mut gateway = Gateway::new(config.clone(), replicas);
+        let mut gateway = if let Some(cache) = carried.take() {
+            Gateway::with_cache(config.clone(), replicas, cache)
+        } else if let Some(dir) = &store_dir {
+            // A restart boundary: this shard's gateway reopens the cache
+            // from whatever the previous shard left in the store.
+            let mode = match restart.as_str() {
+                "warm" => OpenMode::Warm,
+                "cold" => OpenMode::Replay,
+                _ => OpenMode::Reembed,
+            };
+            let cache = SemanticCache::open_from(
+                config.cache.clone(),
+                cache_embedder(&config.cache),
+                dir,
+                mode,
+            )
+            .unwrap_or_else(|e| panic!("opening cache store {}: {e}", dir.display()));
+            Gateway::with_cache(config.clone(), replicas, cache)
+        } else {
+            Gateway::new(config.clone(), replicas)
+        };
         let (_, report) = gateway.run(shard);
         fleet.merge(&report);
+        if carry {
+            carried = Some(gateway.into_cache());
+        } else if let Some(dir) = &store_dir {
+            let mut cache = gateway.into_cache();
+            if let Some(e) = cache.store_error() {
+                panic!("cache store write failed mid-soak: {e}");
+            }
+            // Warm restarts checkpoint before "dying"; cold/reembed just
+            // drop the cache — a kill. Every append is already durable, so
+            // the next shard's reopen replays the full log.
+            if restart == "warm" {
+                cache
+                    .persist_to(dir)
+                    .unwrap_or_else(|e| panic!("checkpointing cache store {}: {e}", dir.display()));
+            }
+        }
         if pas_obs::enabled() {
             let snap = pas_obs::snapshot();
             pas_obs::reset();

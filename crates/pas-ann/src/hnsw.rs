@@ -38,8 +38,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::metric::Metric;
 use crate::quant::{
-    pq_rerank_overfetch, rerank_overfetch, PqConfig, PqStore, PqTable, QuantStore, OBS_PQ,
-    OBS_QUANTIZED, OBS_RERANK, PQ_TRAIN_MIN,
+    pq_rerank_overfetch, rerank_overfetch, PqCodebook, PqConfig, PqStore, PqTable, QuantStore,
+    OBS_PQ, OBS_QUANTIZED, OBS_RERANK, PQ_TRAIN_MIN,
 };
 use crate::Neighbor;
 
@@ -1199,6 +1199,305 @@ impl<M: Metric> Hnsw<M> {
             pq: None,
         }
     }
+
+    /// Serializes the complete index state — graph, vectors, removed-id
+    /// set, int8/PQ code stores — to a compact binary blob for the
+    /// persistence layer.
+    ///
+    /// Unlike [`Hnsw::snapshot`], a dump carries the quantized tiers
+    /// verbatim and preserves RNG continuity: the level RNG draws exactly
+    /// one `f64` per stored vector (ids are positional and never reused),
+    /// so [`Hnsw::load`] reseeds from `config.seed` and fast-forwards
+    /// `len()` draws. A loaded index therefore not only probes
+    /// bit-identically to the never-closed one — its *future inserts* draw
+    /// the same level sequence too.
+    ///
+    /// All scalars are little-endian; `f32`s travel as raw bits, so the
+    /// round trip is bit-exact on every platform.
+    pub fn dump(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(DUMP_MAGIC);
+        wire::put_u64(&mut out, self.config.m as u64);
+        wire::put_u64(&mut out, self.config.ef_construction as u64);
+        wire::put_u64(&mut out, self.config.seed);
+        wire::put_u64(&mut out, self.dim as u64);
+        let n = self.vectors.len();
+        wire::put_u64(&mut out, n as u64);
+        wire::put_u64(&mut out, self.entry.map_or(u64::MAX, |e| e as u64));
+        wire::put_u64(&mut out, self.live as u64);
+        for &norm in &self.norms {
+            wire::put_f32(&mut out, norm);
+        }
+        for &d in &self.dead {
+            out.push(d as u8);
+        }
+        for v in &self.vectors {
+            wire::put_u32(&mut out, v.len() as u32);
+            for &x in v {
+                wire::put_f32(&mut out, x);
+            }
+        }
+        for node in &self.nodes {
+            wire::put_u32(&mut out, node.neighbors.len() as u32);
+            for layer in &node.neighbors {
+                wire::put_u32(&mut out, layer.len() as u32);
+                for &peer in layer {
+                    wire::put_u32(&mut out, peer as u32);
+                }
+            }
+        }
+        match (&self.quant, &self.pq) {
+            (Some(store), _) => {
+                out.push(1);
+                let (qdim, codes, scales) = store.to_parts();
+                wire::put_u64(&mut out, qdim as u64);
+                wire::put_u64(&mut out, scales.len() as u64);
+                out.extend(codes.iter().map(|&c| c as u8));
+                for &s in scales {
+                    wire::put_f32(&mut out, s);
+                }
+            }
+            (None, Some(pq)) => {
+                out.push(2);
+                let (cfg, codebook, codes, rows) = pq.to_parts();
+                wire::put_u64(&mut out, cfg.train_cap as u64);
+                wire::put_u64(&mut out, cfg.max_iters as u64);
+                wire::put_u64(&mut out, cfg.seed);
+                wire::put_u64(&mut out, rows as u64);
+                match codebook {
+                    None => out.push(0),
+                    Some(cb) => {
+                        out.push(1);
+                        let (cdim, sub, m, kc, centroids) = cb.to_parts();
+                        wire::put_u64(&mut out, cdim as u64);
+                        wire::put_u64(&mut out, sub as u64);
+                        wire::put_u64(&mut out, m as u64);
+                        wire::put_u64(&mut out, kc as u64);
+                        wire::put_u64(&mut out, centroids.len() as u64);
+                        for &c in centroids {
+                            wire::put_f32(&mut out, c);
+                        }
+                    }
+                }
+                wire::put_u64(&mut out, codes.len() as u64);
+                out.extend_from_slice(codes);
+            }
+            (None, None) => out.push(0),
+        }
+        out
+    }
+
+    /// Restores an index from [`Hnsw::dump`] bytes. The metric is not part
+    /// of the dump — supply the same one that built the index.
+    ///
+    /// Errors describe the first structural problem found (bad magic,
+    /// truncated buffer, out-of-range id, shape mismatch); the caller
+    /// (`pas-store`) guards the bytes with a CRC, so an error here means
+    /// the snapshot file lied about its own integrity.
+    pub fn load(bytes: &[u8], metric: M) -> Result<Self, String> {
+        let mut r = wire::Reader::new(bytes);
+        if r.take(DUMP_MAGIC.len())? != DUMP_MAGIC {
+            return Err("bad dump magic".into());
+        }
+        let config =
+            HnswConfig { m: r.u64()? as usize, ef_construction: r.u64()? as usize, seed: r.u64()? };
+        if config.m < 2 || config.ef_construction == 0 {
+            return Err("dump config out of range".into());
+        }
+        let dim = r.u64()? as usize;
+        let n = r.u64()? as usize;
+        if n > bytes.len() {
+            return Err("dump node count exceeds buffer".into());
+        }
+        let entry = match r.u64()? {
+            u64::MAX => None,
+            e if (e as usize) < n => Some(e as usize),
+            _ => return Err("dump entry id out of range".into()),
+        };
+        let live = r.u64()? as usize;
+        let mut norms = Vec::with_capacity(n);
+        for _ in 0..n {
+            norms.push(r.f32()?);
+        }
+        let mut dead = Vec::with_capacity(n);
+        for _ in 0..n {
+            dead.push(r.u8()? != 0);
+        }
+        if dead.iter().filter(|&&d| !d).count() != live {
+            return Err("dump live count mismatch".into());
+        }
+        let mut vectors = Vec::with_capacity(n);
+        for id in 0..n {
+            let len = r.u32()? as usize;
+            if len != 0 && len != dim {
+                return Err(format!("dump vector {id} has wrong dimension"));
+            }
+            let mut v = Vec::with_capacity(len);
+            for _ in 0..len {
+                v.push(r.f32()?);
+            }
+            vectors.push(v);
+        }
+        let mut nodes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let layers = r.u32()? as usize;
+            if layers == 0 {
+                return Err("dump node has no layers".into());
+            }
+            let mut neighbors = Vec::with_capacity(layers);
+            for _ in 0..layers {
+                let cnt = r.u32()? as usize;
+                let mut layer = Vec::with_capacity(cnt);
+                for _ in 0..cnt {
+                    let peer = r.u32()? as usize;
+                    if peer >= n {
+                        return Err("dump neighbor id out of range".into());
+                    }
+                    layer.push(peer);
+                }
+                neighbors.push(layer);
+            }
+            nodes.push(Node { neighbors });
+        }
+        let mut quant = None;
+        let mut pq = None;
+        match r.u8()? {
+            0 => {}
+            1 => {
+                let qdim = r.u64()? as usize;
+                let rows = r.u64()? as usize;
+                if rows != n {
+                    return Err("dump int8 row count mismatch".into());
+                }
+                let codes: Vec<i8> = r.take(rows * qdim)?.iter().map(|&b| b as i8).collect();
+                let mut scales = Vec::with_capacity(rows);
+                for _ in 0..rows {
+                    scales.push(r.f32()?);
+                }
+                quant = Some(QuantStore::from_parts(qdim, codes, scales));
+            }
+            2 => {
+                let cfg = PqConfig {
+                    train_cap: r.u64()? as usize,
+                    max_iters: r.u64()? as usize,
+                    seed: r.u64()?,
+                };
+                let rows = r.u64()? as usize;
+                let codebook = match r.u8()? {
+                    0 => None,
+                    _ => {
+                        let cdim = r.u64()? as usize;
+                        let sub = r.u64()? as usize;
+                        let m = r.u64()? as usize;
+                        let kc = r.u64()? as usize;
+                        let clen = r.u64()? as usize;
+                        if cdim != m.checked_mul(sub).ok_or("dump codebook overflow")? {
+                            return Err("dump codebook shape mismatch".into());
+                        }
+                        let mut centroids = Vec::with_capacity(clen);
+                        for _ in 0..clen {
+                            centroids.push(r.f32()?);
+                        }
+                        Some(PqCodebook::from_parts(cdim, sub, m, kc, centroids))
+                    }
+                };
+                let clen = r.u64()? as usize;
+                let codes = r.take(clen)?.to_vec();
+                if rows != 0 && rows != n {
+                    return Err("dump PQ row count mismatch".into());
+                }
+                pq = Some(PqStore::from_parts(cfg, codebook, codes, rows));
+            }
+            _ => return Err("dump has unknown tier tag".into()),
+        }
+        if !r.is_empty() {
+            return Err("dump has trailing bytes".into());
+        }
+        // RNG continuity: one f64 level draw was consumed per stored vector
+        // (insert and build_batch both draw exactly once per id, and ids are
+        // never reused), so fast-forwarding n draws reproduces the live
+        // index's RNG state exactly.
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        for _ in 0..n {
+            let _: f64 = rng.random();
+        }
+        let level_norm = 1.0 / (config.m as f64).ln();
+        Ok(Hnsw {
+            config,
+            metric,
+            vectors,
+            norms,
+            nodes,
+            entry,
+            rng,
+            level_norm,
+            dim,
+            dead,
+            live,
+            quant,
+            pq,
+        })
+    }
+}
+
+/// Magic prefix of an [`Hnsw::dump`] blob.
+const DUMP_MAGIC: &[u8] = b"PASHNSW1";
+
+/// Little-endian scalar codec for the dump format. `f32`s travel as raw
+/// bits so round trips are bit-exact.
+mod wire {
+    pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_f32(out: &mut Vec<u8>, v: f32) {
+        put_u32(out, v.to_bits());
+    }
+
+    /// Bounds-checked cursor over a dump buffer.
+    pub struct Reader<'a> {
+        buf: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Reader<'a> {
+        pub fn new(buf: &'a [u8]) -> Reader<'a> {
+            Reader { buf, pos: 0 }
+        }
+
+        pub fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+            if self.buf.len() - self.pos < n {
+                return Err("dump truncated".into());
+            }
+            let s = &self.buf[self.pos..self.pos + n];
+            self.pos += n;
+            Ok(s)
+        }
+
+        pub fn u8(&mut self) -> Result<u8, String> {
+            Ok(self.take(1)?[0])
+        }
+
+        pub fn u32(&mut self) -> Result<u32, String> {
+            Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        }
+
+        pub fn u64(&mut self) -> Result<u64, String> {
+            Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        }
+
+        pub fn f32(&mut self) -> Result<f32, String> {
+            Ok(f32::from_bits(self.u32()?))
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.pos == self.buf.len()
+        }
+    }
 }
 
 /// Serializable state of an [`Hnsw`] index: graph, prepared vectors and
@@ -1704,5 +2003,84 @@ mod tests {
             let b: Vec<usize> = restored.search(q, 5, 48).into_iter().map(|n| n.id).collect();
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn dump_load_round_trip_is_bit_identical_on_every_tier() {
+        for tier in ["f32", "int8", "pq"] {
+            let (mut idx, vecs) = cosine_index(150, 16, 71);
+            for id in (0..150).step_by(7) {
+                idx.remove(id);
+            }
+            match tier {
+                "int8" => idx.set_quantization(true),
+                "pq" => idx.set_product_quantization(true),
+                _ => {}
+            }
+            let loaded = Hnsw::load(&idx.dump(), CosineDistance).unwrap();
+            assert_eq!(loaded.len(), idx.len());
+            assert_eq!(loaded.live_len(), idx.live_len());
+            assert_eq!(loaded.quantized(), idx.quantized());
+            assert_eq!(loaded.product_quantized(), idx.product_quantized());
+            for q in vecs.iter().step_by(9) {
+                assert_eq!(
+                    ids_and_bits(&idx.search(q, 5, 48)),
+                    ids_and_bits(&loaded.search(q, 5, 48)),
+                    "tier {tier}"
+                );
+            }
+            // The dump itself round-trips bit-exactly.
+            assert_eq!(idx.dump(), loaded.dump(), "tier {tier}");
+        }
+    }
+
+    #[test]
+    fn loaded_index_inserts_bit_identically_to_never_closed() {
+        let vecs = random_vectors(120, 12, 73);
+        let mut live = Hnsw::new(HnswConfig::default(), CosineDistance);
+        for v in &vecs[..80] {
+            live.insert(v.clone());
+        }
+        live.remove(10);
+        live.remove(33);
+        let mut loaded = Hnsw::load(&live.dump(), CosineDistance).unwrap();
+        // Same subsequent inserts on both sides: the loaded index must draw
+        // the same levels (RNG fast-forward) and build the same graph.
+        for v in &vecs[80..] {
+            assert_eq!(live.insert(v.clone()), loaded.insert(v.clone()));
+        }
+        assert_eq!(live.dump(), loaded.dump());
+        for q in vecs.iter().step_by(13) {
+            assert_eq!(
+                ids_and_bits(&live.search(q, 5, 32)),
+                ids_and_bits(&loaded.search(q, 5, 32))
+            );
+        }
+    }
+
+    #[test]
+    fn dump_load_empty_and_untrained_pq() {
+        let mut idx: Hnsw<CosineDistance> = Hnsw::new(HnswConfig::default(), CosineDistance);
+        let loaded = Hnsw::load(&idx.dump(), CosineDistance).unwrap();
+        assert!(loaded.is_empty());
+        // PQ enabled but below the training threshold: tier survives untrained.
+        idx.set_product_quantization(true);
+        for v in random_vectors(10, 8, 79) {
+            idx.insert(v);
+        }
+        let loaded = Hnsw::load(&idx.dump(), CosineDistance).unwrap();
+        assert!(loaded.product_quantized());
+        assert_eq!(loaded.dump(), idx.dump());
+    }
+
+    #[test]
+    fn load_rejects_corrupt_dumps() {
+        let (idx, _vecs) = cosine_index(20, 8, 83);
+        let bytes = idx.dump();
+        assert!(Hnsw::<CosineDistance>::load(&bytes[..bytes.len() - 1], CosineDistance).is_err());
+        assert!(Hnsw::<CosineDistance>::load(b"PASWRONG", CosineDistance).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(Hnsw::<CosineDistance>::load(&trailing, CosineDistance).is_err());
     }
 }

@@ -141,6 +141,20 @@ impl QuantStore {
     pub fn bytes_per_vector(&self) -> usize {
         self.dim + std::mem::size_of::<f32>()
     }
+
+    /// Raw parts for the dump codec: `(dim, codes, scales)`.
+    pub(crate) fn to_parts(&self) -> (usize, &[i8], &[f32]) {
+        (self.dim, &self.codes, &self.scales)
+    }
+
+    /// Rebuilds a store from dumped parts.
+    ///
+    /// # Panics
+    /// Panics when the code length is not `dim * scales.len()`.
+    pub(crate) fn from_parts(dim: usize, codes: Vec<i8>, scales: Vec<f32>) -> QuantStore {
+        assert_eq!(codes.len(), dim * scales.len(), "quantized parts shape mismatch");
+        QuantStore { dim, codes, scales }
+    }
 }
 
 /// How many candidates a PQ probe over-fetches before the exact f32 re-rank
@@ -262,6 +276,28 @@ impl PqCodebook {
     /// The `PQ_KC × sub` centroid panel for subspace `s`.
     fn panel(&self, s: usize) -> &[f32] {
         &self.centroids[s * PQ_KC * self.sub..(s + 1) * PQ_KC * self.sub]
+    }
+
+    /// Raw parts for the dump codec: `(dim, sub, m, kc, centroids)`.
+    pub(crate) fn to_parts(&self) -> (usize, usize, usize, usize, &[f32]) {
+        (self.dim, self.sub, self.m, self.kc, &self.centroids)
+    }
+
+    /// Rebuilds a codebook from dumped parts.
+    ///
+    /// # Panics
+    /// Panics when the panel shape is inconsistent with `(m, sub)`.
+    pub(crate) fn from_parts(
+        dim: usize,
+        sub: usize,
+        m: usize,
+        kc: usize,
+        centroids: Vec<f32>,
+    ) -> PqCodebook {
+        assert_eq!(dim, m * sub, "codebook dim mismatch");
+        assert_eq!(centroids.len(), m * PQ_KC * sub, "codebook panel shape mismatch");
+        assert!(kc <= PQ_KC, "codebook kc out of range");
+        PqCodebook { dim, sub, m, kc, centroids }
     }
 
     /// Encodes a vector as `m` centroid ids (per-subspace nearest centroid,
@@ -493,6 +529,27 @@ impl PqStore {
     /// Panics when the store is not [`PqStore::ready`].
     pub fn table(&self, query: &[f32]) -> PqTable {
         self.codebook.as_ref().expect("PqStore::table before train_encode").table(query)
+    }
+
+    /// Raw parts for the dump codec: `(cfg, codebook, codes, rows)`.
+    pub(crate) fn to_parts(&self) -> (&PqConfig, Option<&PqCodebook>, &[u8], usize) {
+        (&self.cfg, self.codebook.as_ref(), &self.codes, self.rows)
+    }
+
+    /// Rebuilds a store from dumped parts.
+    ///
+    /// # Panics
+    /// Panics when the code length is not `rows * m` (or non-empty while
+    /// untrained).
+    pub(crate) fn from_parts(
+        cfg: PqConfig,
+        codebook: Option<PqCodebook>,
+        codes: Vec<u8>,
+        rows: usize,
+    ) -> PqStore {
+        let m = codebook.as_ref().map_or(0, |cb| cb.m);
+        assert_eq!(codes.len(), rows * m, "PQ parts shape mismatch");
+        PqStore { cfg, codebook, codes, rows }
     }
 }
 

@@ -244,6 +244,58 @@ proptest! {
     }
 
     #[test]
+    fn hnsw_dump_load_round_trip_is_bit_identical_across_tiers(
+        vs in vectors(70..120, 8),
+        removes in prop::collection::vec(0usize..1000, 0..12),
+    ) {
+        // The persistence contract (pas-store warm opens): a graph
+        // serialized mid-life — after arbitrary inserts and removes, on
+        // every probe tier — must deserialize into an index whose probes
+        // AND whose future are bit-identical to the original's. 70+ rows
+        // keeps the PQ tier above its lazy-training threshold.
+        for tier in 0..3u8 {
+            let mut live = Hnsw::new(HnswConfig::default(), CosineDistance);
+            match tier {
+                1 => live.set_quantization(true),
+                2 => live.set_product_quantization(true),
+                _ => {}
+            }
+            for v in &vs {
+                live.insert(v.clone());
+            }
+            for &r in &removes {
+                live.remove(r % vs.len());
+            }
+            let bytes = live.dump();
+            let loaded = Hnsw::load(&bytes, CosineDistance);
+            prop_assert!(loaded.is_ok(), "tier {} load failed: {:?}", tier, loaded.err());
+            let mut loaded = loaded.unwrap();
+            // Re-serializing the loaded graph reproduces the dump exactly.
+            prop_assert_eq!(loaded.dump(), bytes, "tier {} dump drifted through load", tier);
+            for (qi, q) in vs.iter().enumerate().step_by(9) {
+                let want: Vec<(usize, u32)> =
+                    live.search(q, 5, 48).into_iter().map(|n| (n.id, n.distance.to_bits())).collect();
+                let got: Vec<(usize, u32)> =
+                    loaded.search(q, 5, 48).into_iter().map(|n| (n.id, n.distance.to_bits())).collect();
+                prop_assert_eq!(got, want, "tier {} query {} diverged after load", tier, qi);
+            }
+            // RNG continuity: the loaded graph's *future* matches too — the
+            // same inserts land on the same levels and links.
+            for v in vs.iter().take(7) {
+                let grown: Vec<f32> = v.iter().map(|x| x * 0.9 + 0.05).collect();
+                prop_assert_eq!(live.insert(grown.clone()), loaded.insert(grown));
+            }
+            for (qi, q) in vs.iter().enumerate().step_by(13) {
+                let want: Vec<(usize, u32)> =
+                    live.search(q, 5, 48).into_iter().map(|n| (n.id, n.distance.to_bits())).collect();
+                let got: Vec<(usize, u32)> =
+                    loaded.search(q, 5, 48).into_iter().map(|n| (n.id, n.distance.to_bits())).collect();
+                prop_assert_eq!(got, want, "tier {} query {} diverged post-load insert", tier, qi);
+            }
+        }
+    }
+
+    #[test]
     fn search_batch_equals_sequential_searches(vs in vectors(20..90, 8)) {
         let mut hnsw = Hnsw::new(HnswConfig::default(), CosineDistance);
         for v in &vs {

@@ -1,0 +1,192 @@
+//! Seeded disk-fault injection for the persistence layer.
+//!
+//! `pas-store` labels every durability boundary it crosses — each record
+//! append, flush, segment roll, compaction step, and snapshot step — and
+//! asks its [`DiskFaults`] handle for permission before performing it.
+//! The handle counts boundaries in execution order, and when the counter
+//! reaches the configured crash point it fires exactly one [`DiskFault`]
+//! whose kind is a pure function of `(seed, op)`:
+//!
+//! - [`DiskFaultKind::CleanCrash`] — the process dies before any byte of
+//!   the operation lands. Nothing is written.
+//! - [`DiskFaultKind::ShortWrite`] — a seeded prefix of the operation's
+//!   bytes lands before the crash (a torn record / torn file).
+//! - [`DiskFaultKind::FlushFail`] — every byte is handed to the OS but the
+//!   flush reports failure, so the writer must treat the operation as
+//!   not-durable even though a reopen may see it complete.
+//!
+//! Because the schedule depends only on the boundary counter — never on
+//! wall-clock time or thread interleaving — a crash-point sweep
+//! (`crash_at(0), crash_at(1), …`) deterministically kills the store at
+//! *every* reachable boundary, and the chaos suite proves reopen recovers
+//! a prefix-consistent state from each one. A counting pass
+//! ([`DiskFaults::counting`]) first runs the workload fault-free to learn
+//! how many boundaries it crosses.
+
+use std::cell::Cell;
+use std::io;
+
+use pas_par::derive_seed_path;
+
+/// Stream tag separating disk-fault decisions from every other seeded
+/// stream in the workspace.
+const DISK_STREAM: u64 = 0xd15c;
+
+/// What happens to the I/O operation at a fired crash point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiskFaultKind {
+    /// Crash before any byte of the operation is written.
+    CleanCrash,
+    /// Crash after a seeded proper prefix of the operation's bytes lands.
+    ShortWrite,
+    /// All bytes are written but the flush/sync reports failure.
+    FlushFail,
+}
+
+/// One fired crash point: where the store died and how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskFault {
+    /// The boundary counter value at which the fault fired.
+    pub op: u64,
+    /// The boundary label the store passed (e.g. `"append"`,
+    /// `"compact.rename"`).
+    pub label: &'static str,
+    /// How the operation is perturbed.
+    pub kind: DiskFaultKind,
+}
+
+impl DiskFault {
+    /// This fault as an `io::Error`, for surfacing through `Result` I/O
+    /// paths. The message carries the coordinates so sweep tests can
+    /// assert which point fired.
+    pub fn to_io(&self) -> io::Error {
+        io::Error::other(format!(
+            "injected disk fault at op {} ({}): {:?}",
+            self.op, self.label, self.kind
+        ))
+    }
+}
+
+/// A seeded disk-fault schedule: counts durability boundaries and fires
+/// one fault when the counter reaches the configured crash point.
+///
+/// Uses interior mutability so read-path and write-path store code can
+/// share one handle; the store is single-writer, so no synchronization is
+/// needed.
+#[derive(Debug)]
+pub struct DiskFaults {
+    seed: u64,
+    crash_at: Option<u64>,
+    ops: Cell<u64>,
+    fired: Cell<bool>,
+}
+
+impl DiskFaults {
+    /// A schedule that never faults — used to count how many boundaries a
+    /// workload crosses before sweeping `crash_at` over them.
+    pub fn counting(seed: u64) -> DiskFaults {
+        DiskFaults { seed, crash_at: None, ops: Cell::new(0), fired: Cell::new(false) }
+    }
+
+    /// A schedule that fires exactly one fault at boundary `op` (0-based).
+    pub fn crash_at(seed: u64, op: u64) -> DiskFaults {
+        DiskFaults { seed, crash_at: Some(op), ops: Cell::new(0), fired: Cell::new(false) }
+    }
+
+    /// Boundaries crossed so far.
+    pub fn ops(&self) -> u64 {
+        self.ops.get()
+    }
+
+    /// True once the schedule's crash point has fired.
+    pub fn fired(&self) -> bool {
+        self.fired.get()
+    }
+
+    /// Cross one labeled durability boundary: returns `Err(DiskFault)`
+    /// exactly when the boundary counter hits the crash point.
+    pub fn check(&self, label: &'static str) -> Result<(), DiskFault> {
+        let op = self.ops.get();
+        self.ops.set(op + 1);
+        if self.crash_at == Some(op) {
+            self.fired.set(true);
+            Err(DiskFault { op, label, kind: DiskFaults::kind_at(self.seed, op) })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The fault kind fired at `(seed, op)` — a pure function, so sweep
+    /// tests can predict the schedule without running it.
+    pub fn kind_at(seed: u64, op: u64) -> DiskFaultKind {
+        match derive_seed_path(seed, &[DISK_STREAM, op]) % 3 {
+            0 => DiskFaultKind::CleanCrash,
+            1 => DiskFaultKind::ShortWrite,
+            _ => DiskFaultKind::FlushFail,
+        }
+    }
+
+    /// Instance form of [`DiskFaults::short_len`] for a fault this handle
+    /// fired.
+    pub fn short_len_at(&self, op: u64, full: usize) -> usize {
+        DiskFaults::short_len(self.seed, op, full)
+    }
+
+    /// How many of `full` bytes a [`DiskFaultKind::ShortWrite`] at
+    /// `(seed, op)` lands: a seeded proper prefix (`0 <= n < full`).
+    pub fn short_len(seed: u64, op: u64, full: usize) -> usize {
+        if full == 0 {
+            return 0;
+        }
+        (derive_seed_path(seed, &[DISK_STREAM, op, 0x5074]) % full as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_never_fires() {
+        let f = DiskFaults::counting(7);
+        for _ in 0..100 {
+            f.check("append").unwrap();
+        }
+        assert_eq!(f.ops(), 100);
+        assert!(!f.fired());
+    }
+
+    #[test]
+    fn crash_at_fires_exactly_once_at_the_point() {
+        let f = DiskFaults::crash_at(7, 3);
+        for op in 0..10u64 {
+            let r = f.check("append");
+            if op == 3 {
+                let fault = r.unwrap_err();
+                assert_eq!(fault.op, 3);
+                assert_eq!(fault.kind, DiskFaults::kind_at(7, 3));
+            } else {
+                assert!(r.is_ok(), "unexpected fault at op {op}");
+            }
+        }
+        assert!(f.fired());
+    }
+
+    #[test]
+    fn kinds_cover_all_variants_across_ops() {
+        let mut seen = std::collections::HashSet::new();
+        for op in 0..64 {
+            seen.insert(DiskFaults::kind_at(0xfa17, op));
+        }
+        assert_eq!(seen.len(), 3, "seeded kinds should cover all variants");
+    }
+
+    #[test]
+    fn short_len_is_a_proper_prefix() {
+        for op in 0..64 {
+            let n = DiskFaults::short_len(0xfa17, op, 37);
+            assert!(n < 37);
+        }
+        assert_eq!(DiskFaults::short_len(1, 2, 0), 0);
+    }
+}

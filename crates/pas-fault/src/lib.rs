@@ -19,6 +19,9 @@
 //!   fallible [`pas_llm::TryChatModel`] boundary.
 //! - [`journal`] — [`Journal`]: a crash-tolerant JSONL checkpoint log so a
 //!   killed generation or SFT run resumes bit-identically.
+//! - [`disk`] — [`DiskFaults`]: seeded crash-point injection at the
+//!   persistence layer's durability boundaries (short writes, flush
+//!   failures, clean crashes) for `pas-store` recovery sweeps.
 //! - [`report`] — [`FaultReport`]: merge-able counters (associative, with
 //!   `Default` as identity) for ordered reduction after parallel regions.
 //!
@@ -29,6 +32,7 @@
 //! to passthrough prompts (the plug-and-play guarantee) instead of
 //! erroring.
 
+pub mod disk;
 pub mod inject;
 pub mod journal;
 pub mod profile;
@@ -36,6 +40,7 @@ pub mod report;
 pub mod resilient;
 pub mod retry;
 
+pub use disk::{DiskFault, DiskFaultKind, DiskFaults};
 pub use inject::{streams, AttemptChat, FaultInjector, FaultyModel};
 pub use journal::Journal;
 pub use profile::{FaultKind, FaultProfile};

@@ -27,11 +27,28 @@
 //! The cache is a plain `&mut self` structure: the gateway's event loop is
 //! serial (that is what makes runs bit-reproducible), so no interior
 //! locking is needed.
+//!
+//! **Persistence** (optional): [`SemanticCache::open_from`] backs the cache
+//! with a `pas-store` segment log in a directory and write-through-logs
+//! every state change — entry insertions (meta + raw-embedding vector
+//! records), recency touches, and evictions (tombstones) — so a reopened
+//! cache reconstructs the live one *bit-identically*: same LRU order, same
+//! HNSW graph, same future probes. [`SemanticCache::persist_to`] adds a
+//! checkpoint so the next open skips replay (warm restart). Every append
+//! is flushed before the serving path continues, which is what makes a
+//! kill-without-checkpoint recoverable: a cold reopen replays the full log
+//! and lands exactly where the killed process was.
 
 use std::collections::HashMap;
+use std::io;
+use std::path::Path;
 
 use pas_ann::{CosineDistance, Hnsw, HnswConfig};
 use pas_embed::Embedder;
+use pas_fault::DiskFaults;
+use pas_store::{
+    read_snapshot, wire, write_snapshot, Record, RecordMeta, SegmentLog, SnapshotData, StoreConfig,
+};
 
 /// Configuration for [`SemanticCache`].
 #[derive(Debug, Clone)]
@@ -68,6 +85,76 @@ impl Default for SemanticCacheConfig {
             pq: false,
         }
     }
+}
+
+/// How [`SemanticCache::open_from`] rebuilds state from a store directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpenMode {
+    /// Restore from the checkpoint snapshot when one matches the log head,
+    /// then replay only the log suffix. Falls back to a full replay when
+    /// the checkpoint is missing, torn, or stale.
+    Warm,
+    /// Ignore any checkpoint and replay the whole log, re-inserting the
+    /// *logged* raw embeddings (no re-embedding).
+    Replay,
+    /// Replay the whole log but re-embed every prompt instead of using the
+    /// logged vectors — the pre-`pas-store` restart cost, kept as the
+    /// benchmark baseline. Bit-identical to `Replay` (embedding is
+    /// deterministic), just slow.
+    Reembed,
+}
+
+/// Record-category tag for committed cache entries.
+const META_ENTRY: &str = "cache";
+/// Record-category tag for recency touches (stamp-only meta records).
+const META_TOUCH: &str = "touch";
+/// Meta field key holding the prompt text.
+const FIELD_PROMPT: &str = "p";
+/// Meta field key holding the cached response.
+const FIELD_RESPONSE: &str = "r";
+/// Magic prefix of the checkpoint payload.
+const SNAP_PAYLOAD_MAGIC: &[u8] = b"PASCSNP1";
+
+/// FNV-1a over the fields that determine how a replayed log drives the
+/// cache: the index geometry and probe tier, plus whether the near tier
+/// exists at all. Two configs with the same fingerprint replay a log to
+/// the same state; anything else is a hard error at open.
+fn config_fingerprint(config: &SemanticCacheConfig) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for x in [
+        u64::from_le_bytes(*b"PASCACHE"),
+        (config.tau > 0.0) as u64,
+        config.quantized as u64,
+        config.pq as u64,
+        config.hnsw.m as u64,
+        config.hnsw.ef_construction as u64,
+        config.hnsw.seed,
+    ] {
+        h ^= x;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn entry_meta(prompt: &str, response: &str, stamp: u64) -> RecordMeta {
+    RecordMeta {
+        category: META_ENTRY.to_string(),
+        degraded: false,
+        stamp,
+        fields: vec![
+            (FIELD_PROMPT.to_string(), prompt.to_string()),
+            (FIELD_RESPONSE.to_string(), response.to_string()),
+        ],
+    }
+}
+
+/// The write-through log behind a persistent cache. The first failed write
+/// freezes it (`error` goes sticky): the cache keeps serving from memory,
+/// nothing further is logged, and the durable state stays a consistent
+/// prefix — exactly what a reopen recovers.
+struct CacheStore {
+    log: SegmentLog,
+    error: Option<io::Error>,
 }
 
 /// What a cache lookup found.
@@ -112,6 +199,8 @@ pub struct SemanticCache<E> {
     near_hits: u64,
     misses: u64,
     evictions: u64,
+    /// Write-through segment log; `None` for a purely in-memory cache.
+    store: Option<CacheStore>,
 }
 
 impl<E: Embedder> SemanticCache<E> {
@@ -136,7 +225,253 @@ impl<E: Embedder> SemanticCache<E> {
             near_hits: 0,
             misses: 0,
             evictions: 0,
+            store: None,
         }
+    }
+
+    /// Opens (or creates) a persistent cache backed by the segment log in
+    /// `dir`, rebuilding state per `mode`. The directory must have been
+    /// written under the same [`config_fingerprint`]-relevant config
+    /// (τ on/off, probe tier, HNSW geometry) — a mismatch is a hard error.
+    /// All subsequent state changes are write-through-logged.
+    pub fn open_from(
+        config: SemanticCacheConfig,
+        embedder: E,
+        dir: &Path,
+        mode: OpenMode,
+    ) -> io::Result<Self> {
+        Self::open_from_with(config, embedder, dir, mode, None)
+    }
+
+    /// [`SemanticCache::open_from`] with an optional disk-fault schedule
+    /// threaded into the log, so chaos tests can kill the cache's store at
+    /// any append/compact boundary.
+    pub fn open_from_with(
+        config: SemanticCacheConfig,
+        embedder: E,
+        dir: &Path,
+        mode: OpenMode,
+        faults: Option<DiskFaults>,
+    ) -> io::Result<Self> {
+        let fingerprint = config_fingerprint(&config);
+        let store_config = StoreConfig { fingerprint, ..StoreConfig::default() };
+        let (log, records) = SegmentLog::open(dir, store_config, faults)?;
+        let mut cache = SemanticCache::new(config, embedder);
+        let mut start = 0usize;
+        if mode == OpenMode::Warm {
+            if let Some(snap) = read_snapshot(dir, fingerprint)? {
+                // A checkpoint is only usable when it pins a prefix of the
+                // *current* generation; anything else (pre-compaction, or
+                // ahead of a log that lost a torn tail) replays cold.
+                if snap.generation == log.generation() && snap.op_count <= records.len() as u64 {
+                    cache.restore_snapshot(&snap.payload)?;
+                    start = snap.op_count as usize;
+                }
+            }
+        }
+        let reembed = mode == OpenMode::Reembed;
+        let mut pending: HashMap<u64, RecordMeta> = HashMap::new();
+        for record in &records[start..] {
+            cache.apply_record(record, reembed, &mut pending)?;
+        }
+        // A meta left in `pending` is a crash between an insert's meta and
+        // vector records: an invisible orphan, dropped by design.
+        cache.store = Some(CacheStore { log, error: None });
+        Ok(cache)
+    }
+
+    /// Writes a checkpoint pinning the full cache state to the current log
+    /// position, so the next [`OpenMode::Warm`] open restores it without
+    /// replay. On a cache that is not yet persistent, first attaches a
+    /// fresh store in `dir` (the directory must not already hold a log);
+    /// adoption runs a compaction, so for `τ > 0` the graph is rebuilt
+    /// exactly as the fallback compaction would.
+    pub fn persist_to(&mut self, dir: &Path) -> io::Result<()> {
+        if let Some(store) = &self.store {
+            if store.log.dir() != dir {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("pas-gateway: cache already persists to {}", store.log.dir().display()),
+                ));
+            }
+        } else {
+            let fingerprint = config_fingerprint(&self.config);
+            let store_config = StoreConfig { fingerprint, ..StoreConfig::default() };
+            let (log, records) = SegmentLog::open(dir, store_config, None)?;
+            if !records.is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "pas-gateway: directory already holds a cache log; reopen it with open_from",
+                ));
+            }
+            self.store = Some(CacheStore { log, error: None });
+            self.compact_now();
+        }
+        let store = self.store.as_ref().expect("store attached above");
+        if let Some(e) = &store.error {
+            return Err(io::Error::new(
+                e.kind(),
+                format!("pas-gateway: cache store frozen by earlier write error: {e}"),
+            ));
+        }
+        let data = SnapshotData {
+            generation: store.log.generation(),
+            op_count: store.log.op_count(),
+            payload: self.snapshot_payload(),
+        };
+        write_snapshot(dir, config_fingerprint(&self.config), &data, store.log.faults())
+    }
+
+    /// The directory this cache persists to, if any.
+    pub fn store_dir(&self) -> Option<&Path> {
+        self.store.as_ref().map(|s| s.log.dir())
+    }
+
+    /// The sticky store error, if a write-through append ever failed. The
+    /// cache keeps serving from memory past a store error; the durable
+    /// state is frozen at the last successful write.
+    pub fn store_error(&self) -> Option<&io::Error> {
+        self.store.as_ref().and_then(|s| s.error.as_ref())
+    }
+
+    /// Appends `record` to the attached log, if any; the first failure
+    /// freezes the store (sticky error) instead of surfacing mid-serve.
+    fn log_record(&mut self, record: Record) {
+        if let Some(store) = &mut self.store {
+            if store.error.is_none() {
+                if let Err(e) = store.log.append(&record) {
+                    store.error = Some(e);
+                }
+            }
+        }
+    }
+
+    /// Applies one replayed log record. Mirrors the live mutation paths
+    /// (insert / touch / evict) exactly, minus counters and logging.
+    fn apply_record(
+        &mut self,
+        record: &Record,
+        reembed: bool,
+        pending: &mut HashMap<u64, RecordMeta>,
+    ) -> io::Result<()> {
+        match record {
+            Record::Meta { id, meta } if meta.category == META_TOUCH => {
+                let id = *id as usize;
+                let Some(e) = self.entries.get_mut(id) else {
+                    return Err(wire::corrupt("cache log: touch of unknown id"));
+                };
+                if e.alive {
+                    self.lru.remove(&e.stamp);
+                    e.stamp = meta.stamp;
+                    self.lru.insert(meta.stamp, id);
+                }
+                self.clock = self.clock.max(meta.stamp);
+            }
+            Record::Meta { id, meta } => {
+                pending.insert(*id, meta.clone());
+            }
+            Record::Vector { id, vector } => {
+                let meta = pending
+                    .remove(id)
+                    .ok_or_else(|| wire::corrupt("cache log: vector record without meta"))?;
+                let id = *id as usize;
+                if id != self.entries.len() {
+                    return Err(wire::corrupt("cache log: out-of-order entry id"));
+                }
+                let prompt = meta.field(FIELD_PROMPT).unwrap_or_default().to_string();
+                let response = meta.field(FIELD_RESPONSE).unwrap_or_default().to_string();
+                if self.config.tau > 0.0 {
+                    let v = if reembed { self.embedder.embed(&prompt) } else { vector.clone() };
+                    let got = self.index.insert(v);
+                    debug_assert_eq!(got, id, "replayed ids must align with entries");
+                }
+                self.clock = self.clock.max(meta.stamp);
+                self.exact.insert(prompt.clone(), id);
+                self.lru.insert(meta.stamp, id);
+                self.entries.push(Entry { prompt, response, alive: true, stamp: meta.stamp });
+            }
+            Record::Tombstone { id } => {
+                let id = *id as usize;
+                let Some(e) = self.entries.get_mut(id) else {
+                    return Err(wire::corrupt("cache log: tombstone for unknown id"));
+                };
+                if e.alive {
+                    e.alive = false;
+                    self.lru.remove(&e.stamp);
+                    self.exact.remove(&e.prompt);
+                    if self.config.tau > 0.0 {
+                        self.index.remove(id);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the full cache state: clock, every entry slot (dead ones
+    /// as stamp-only placeholders — replay just needs their count), and
+    /// the HNSW graph dump when the near tier is on.
+    fn snapshot_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(SNAP_PAYLOAD_MAGIC);
+        wire::put_u64(&mut out, self.clock);
+        wire::put_u64(&mut out, self.entries.len() as u64);
+        for e in &self.entries {
+            out.push(e.alive as u8);
+            wire::put_u64(&mut out, e.stamp);
+            let (p, r) = if e.alive { (e.prompt.as_str(), e.response.as_str()) } else { ("", "") };
+            wire::put_str(&mut out, p);
+            wire::put_str(&mut out, r);
+        }
+        if self.config.tau > 0.0 {
+            let dump = self.index.dump();
+            wire::put_u64(&mut out, dump.len() as u64);
+            out.extend_from_slice(&dump);
+        } else {
+            wire::put_u64(&mut out, 0);
+        }
+        out
+    }
+
+    /// Restores the state serialized by [`SemanticCache::snapshot_payload`].
+    fn restore_snapshot(&mut self, payload: &[u8]) -> io::Result<()> {
+        let mut r = wire::Reader::new(payload);
+        if r.take(SNAP_PAYLOAD_MAGIC.len())? != SNAP_PAYLOAD_MAGIC {
+            return Err(wire::corrupt("cache snapshot: bad magic"));
+        }
+        self.clock = r.u64()?;
+        let n = r.u64()? as usize;
+        if n > payload.len() {
+            return Err(wire::corrupt("cache snapshot: entry count exceeds payload"));
+        }
+        self.entries = Vec::with_capacity(n);
+        self.exact.clear();
+        self.lru.clear();
+        for id in 0..n {
+            let alive = r.u8()? != 0;
+            let stamp = r.u64()?;
+            let prompt = r.str()?;
+            let response = r.str()?;
+            if alive {
+                self.exact.insert(prompt.clone(), id);
+                self.lru.insert(stamp, id);
+            }
+            self.entries.push(Entry { prompt, response, alive, stamp });
+        }
+        let dump_len = r.u64()? as usize;
+        let dump = r.take(dump_len)?;
+        if !r.is_empty() {
+            return Err(wire::corrupt("cache snapshot: trailing bytes"));
+        }
+        if self.config.tau > 0.0 {
+            self.index = Hnsw::load(dump, CosineDistance).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("pas-gateway: cache snapshot graph: {e}"),
+                )
+            })?;
+        }
+        Ok(())
     }
 
     /// Live cached entries.
@@ -174,6 +509,19 @@ impl<E: Embedder> SemanticCache<E> {
         self.clock += 1;
         self.entries[id].stamp = self.clock;
         self.lru.insert(self.clock, id);
+        if self.store.is_some() {
+            // Touches are logged so a replayed cache reproduces the live
+            // LRU order exactly — that is what makes a kill + cold reopen
+            // byte-identical to never restarting, not just prefix-correct.
+            self.log_record(Record::Meta {
+                id: id as u64,
+                meta: RecordMeta {
+                    category: META_TOUCH.to_string(),
+                    stamp: self.clock,
+                    ..RecordMeta::default()
+                },
+            });
+        }
     }
 
     /// Looks `prompt` up in both tiers, updating recency and counters.
@@ -264,17 +612,31 @@ impl<E: Embedder> SemanticCache<E> {
                 // stays proportional to the live set without a rebuild.
                 self.index.remove(victim);
             }
+            self.log_record(Record::Tombstone { id: victim as u64 });
             self.evictions += 1;
         }
         self.clock += 1;
-        let id = if self.config.tau > 0.0 {
-            self.index.insert(self.embedder.embed(prompt))
-        } else {
-            // Exact-only mode never probes the ANN tier; skip the index
-            // entirely and keep ids aligned with `entries` alone.
-            self.entries.len()
-        };
-        debug_assert_eq!(id, self.entries.len(), "index ids must align with entries");
+        let id = self.entries.len();
+        // Exact-only mode never probes the ANN tier: skip embedding and the
+        // index entirely and keep ids aligned with `entries` alone. The raw
+        // (unprepared) embedding is what gets logged — `Hnsw::insert`
+        // prepares internally, so replaying the logged bits reproduces the
+        // graph bit-exactly.
+        let raw = if self.config.tau > 0.0 { self.embedder.embed(prompt) } else { Vec::new() };
+        if self.store.is_some() {
+            // Meta first, vector second: the vector record is the commit
+            // point, so a crash between the two leaves an invisible orphan
+            // rather than a half-materialized entry.
+            self.log_record(Record::Meta {
+                id: id as u64,
+                meta: entry_meta(prompt, response, self.clock),
+            });
+            self.log_record(Record::Vector { id: id as u64, vector: raw.clone() });
+        }
+        if self.config.tau > 0.0 {
+            let got = self.index.insert(raw);
+            debug_assert_eq!(got, id, "index ids must align with entries");
+        }
         self.entries.push(Entry {
             prompt: prompt.to_string(),
             response: response.to_string(),
@@ -296,8 +658,38 @@ impl<E: Embedder> SemanticCache<E> {
         if dead <= 8 * self.exact.len().max(1) || dead < 64 {
             return;
         }
+        self.compact_now();
+    }
+
+    /// The rebuild itself, shared by the fallback trigger and store
+    /// adoption ([`SemanticCache::persist_to`] on an unpersisted cache).
+    fn compact_now(&mut self) {
         let live: Vec<Entry> =
             std::mem::take(&mut self.entries).into_iter().filter(|e| e.alive).collect();
+        // Sync the log first: compact it down to exactly the records whose
+        // replay reproduces the rebuilt state below (renumbered ids, same
+        // stamps, re-embedded raw vectors — embedding is deterministic, so
+        // the bits match what the rebuild inserts).
+        if let Some(store) = &mut self.store {
+            if store.error.is_none() {
+                let mut records = Vec::with_capacity(live.len() * 2);
+                for (id, entry) in live.iter().enumerate() {
+                    let vector = if self.config.tau > 0.0 {
+                        self.embedder.embed(&entry.prompt)
+                    } else {
+                        Vec::new()
+                    };
+                    records.push(Record::Meta {
+                        id: id as u64,
+                        meta: entry_meta(&entry.prompt, &entry.response, entry.stamp),
+                    });
+                    records.push(Record::Vector { id: id as u64, vector });
+                }
+                if let Err(e) = store.log.compact(&records) {
+                    store.error = Some(e);
+                }
+            }
+        }
         self.index = Hnsw::new(self.config.hnsw.clone(), CosineDistance);
         if self.config.pq {
             self.index.set_product_quantization(true);
@@ -509,6 +901,236 @@ mod tests {
         c2.insert("newcomer", "r3");
         assert!(matches!(c2.lookup("keep me"), CacheOutcome::ExactHit(_)));
         assert_eq!(c2.lookup("evict me"), CacheOutcome::Miss);
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("pas-cache-store-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Drives `c` through a deterministic lookup/insert script and returns
+    /// a byte-comparable trace of everything it served and counted.
+    fn drive(c: &mut SemanticCache<NgramEmbedder>, lo: usize, hi: usize) -> Vec<String> {
+        let mut log = Vec::new();
+        for i in lo..hi {
+            let p = format!("prompt {} about thing {}", i % 23, i % 7);
+            let out = c.lookup(&p);
+            if matches!(out, CacheOutcome::Miss) {
+                c.insert(&p, &format!("resp {}", i % 23));
+            }
+            log.push(format!("{out:?}"));
+        }
+        log
+    }
+
+    #[test]
+    fn persistent_cache_restarts_bit_identically_in_every_mode() {
+        let config =
+            SemanticCacheConfig { capacity: 8, tau: 0.3, ..SemanticCacheConfig::default() };
+        // Uninterrupted baseline: one cache serves the whole script.
+        let base_dir = tmp("base");
+        let mut base = SemanticCache::open_from(
+            config.clone(),
+            NgramEmbedder::default(),
+            &base_dir,
+            OpenMode::Replay,
+        )
+        .unwrap();
+        let first = drive(&mut base, 0, 60);
+        let rest = drive(&mut base, 60, 120);
+        assert!(base.store_error().is_none());
+
+        for mode in [OpenMode::Warm, OpenMode::Replay, OpenMode::Reembed] {
+            let dir = tmp(&format!("{mode:?}"));
+            let mut c = SemanticCache::open_from(
+                config.clone(),
+                NgramEmbedder::default(),
+                &dir,
+                OpenMode::Replay,
+            )
+            .unwrap();
+            assert_eq!(drive(&mut c, 0, 60), first, "{mode:?}");
+            if mode == OpenMode::Warm {
+                c.persist_to(&dir).unwrap();
+            }
+            // Drop without checkpoint for Replay/Reembed: a kill. Every
+            // append was flushed, so the log holds the full history.
+            drop(c);
+            let mut c =
+                SemanticCache::open_from(config.clone(), NgramEmbedder::default(), &dir, mode)
+                    .unwrap();
+            assert_eq!(
+                drive(&mut c, 60, 120),
+                rest,
+                "{mode:?} restart must serve byte-identically to never restarting"
+            );
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+        std::fs::remove_dir_all(&base_dir).unwrap();
+    }
+
+    #[test]
+    fn exact_only_cache_persists_lru_order() {
+        let dir = tmp("exact");
+        let config = SemanticCacheConfig { capacity: 2, ..SemanticCacheConfig::default() };
+        let mut c = SemanticCache::open_from(
+            config.clone(),
+            NgramEmbedder::default(),
+            &dir,
+            OpenMode::Replay,
+        )
+        .unwrap();
+        c.insert("keep me", "r1");
+        c.insert("evict me", "r2");
+        // Touch "keep me" so it is the most recent — the touch must be
+        // durable for the restart to evict the right victim.
+        assert!(matches!(c.lookup("keep me"), CacheOutcome::ExactHit(_)));
+        drop(c);
+        let mut c =
+            SemanticCache::open_from(config, NgramEmbedder::default(), &dir, OpenMode::Replay)
+                .unwrap();
+        assert_eq!(c.len(), 2);
+        c.insert("newcomer", "r3");
+        assert!(matches!(c.lookup("keep me"), CacheOutcome::ExactHit(_)));
+        assert_eq!(c.lookup("evict me"), CacheOutcome::Miss);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn persist_to_adopts_an_unpersisted_cache() {
+        let dir = tmp("adopt");
+        let mut c = cache(8, 0.0);
+        c.insert("alpha", "r-alpha");
+        c.insert("beta", "r-beta");
+        assert_eq!(c.store_dir(), None);
+        c.persist_to(&dir).unwrap();
+        assert_eq!(c.store_dir(), Some(dir.as_path()));
+        // Post-adoption writes are logged too.
+        c.insert("gamma", "r-gamma");
+        drop(c);
+        let mut c = SemanticCache::open_from(
+            SemanticCacheConfig { capacity: 8, ..SemanticCacheConfig::default() },
+            NgramEmbedder::default(),
+            &dir,
+            OpenMode::Warm,
+        )
+        .unwrap();
+        assert_eq!(c.len(), 3);
+        for (p, r) in [("alpha", "r-alpha"), ("beta", "r-beta"), ("gamma", "r-gamma")] {
+            assert_eq!(c.lookup(p), CacheOutcome::ExactHit(r.into()), "{p}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mismatched_config_refuses_the_log() {
+        let dir = tmp("fingerprint");
+        let config =
+            SemanticCacheConfig { capacity: 8, tau: 0.2, ..SemanticCacheConfig::default() };
+        let mut c = SemanticCache::open_from(
+            config.clone(),
+            NgramEmbedder::default(),
+            &dir,
+            OpenMode::Replay,
+        )
+        .unwrap();
+        c.insert("a prompt", "a response");
+        drop(c);
+        let other = SemanticCacheConfig {
+            hnsw: HnswConfig { seed: 0xdead, ..config.hnsw.clone() },
+            ..config
+        };
+        let err = SemanticCache::open_from(other, NgramEmbedder::default(), &dir, OpenMode::Replay)
+            .err()
+            .expect("mismatched config must refuse the log");
+        assert!(err.to_string().contains("fingerprint"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn store_error_freezes_the_log_but_the_cache_keeps_serving() {
+        let dir = tmp("freeze");
+        let config = SemanticCacheConfig { capacity: 16, ..SemanticCacheConfig::default() };
+        // Crash the 5th disk op; the short-write/flush-fail shape is seeded.
+        let faults = pas_fault::DiskFaults::crash_at(0x5eed, 5);
+        let mut c = SemanticCache::open_from_with(
+            config.clone(),
+            NgramEmbedder::default(),
+            &dir,
+            OpenMode::Replay,
+            Some(faults),
+        )
+        .unwrap();
+        for i in 0..12 {
+            c.insert(&format!("prompt {i}"), &format!("resp {i}"));
+        }
+        assert!(c.store_error().is_some(), "the injected fault must freeze the store");
+        // In-memory serving is unaffected…
+        assert_eq!(c.len(), 12);
+        assert_eq!(c.lookup("prompt 11"), CacheOutcome::ExactHit("resp 11".into()));
+        // …and a checkpoint on a frozen store is refused.
+        assert!(c.persist_to(&dir).is_err());
+        drop(c);
+        // Reopen (no faults): the recovered entries are a prefix of the
+        // inserted sequence, each with its correct response.
+        let mut c =
+            SemanticCache::open_from(config, NgramEmbedder::default(), &dir, OpenMode::Replay)
+                .unwrap();
+        assert!(c.len() < 12, "the crash must have cut the durable prefix short");
+        for i in 0..c.len() {
+            assert_eq!(
+                c.lookup(&format!("prompt {i}")),
+                CacheOutcome::ExactHit(format!("resp {i}")),
+                "entry {i} of the durable prefix"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_syncs_the_log() {
+        let dir = tmp("compact-sync");
+        let config =
+            SemanticCacheConfig { capacity: 4, tau: 0.25, ..SemanticCacheConfig::default() };
+        let mut c = SemanticCache::open_from(
+            config.clone(),
+            NgramEmbedder::default(),
+            &dir,
+            OpenMode::Replay,
+        )
+        .unwrap();
+        // Cross the fallback-rebuild threshold (compaction_preserves_
+        // behavior_under_churn shape) so the log compacts at least once.
+        for i in 0..150 {
+            let prompt = format!("distinct request number {i} about topic {}", i % 13);
+            c.insert(&prompt, &format!("resp-{i}"));
+        }
+        assert!(c.store_error().is_none());
+        let live: Vec<String> = (146..150)
+            .map(|i| {
+                format!(
+                    "{:?}",
+                    c.lookup(&format!("distinct request number {i} about topic {}", i % 13))
+                )
+            })
+            .collect();
+        drop(c);
+        let mut c =
+            SemanticCache::open_from(config, NgramEmbedder::default(), &dir, OpenMode::Replay)
+                .unwrap();
+        assert_eq!(c.len(), 4);
+        let reopened: Vec<String> = (146..150)
+            .map(|i| {
+                format!(
+                    "{:?}",
+                    c.lookup(&format!("distinct request number {i} about topic {}", i % 13))
+                )
+            })
+            .collect();
+        assert_eq!(reopened, live, "replay of the compacted log must reproduce the live cache");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

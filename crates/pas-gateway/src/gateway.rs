@@ -165,28 +165,62 @@ enum ReqState {
     Done,
 }
 
+/// The embedder-plus-memo stack the gateway's cache runs on: repeated
+/// probes of hot prompts skip re-embedding through a *bounded*
+/// [`EmbeddingCache`] sized to the semantic cache.
+pub type GatewayCache = SemanticCache<EmbeddingCache<NgramEmbedder>>;
+
+/// Builds the embedder stack [`Gateway::new`] gives its cache — callers
+/// reopening a persisted cache ([`SemanticCache::open_from`]) use this to
+/// reproduce the exact same embedding pipeline.
+pub fn cache_embedder(cache: &SemanticCacheConfig) -> EmbeddingCache<NgramEmbedder> {
+    EmbeddingCache::bounded(NgramEmbedder::default(), cache.capacity.max(1) * 2)
+}
+
 /// The deterministic serving gateway (module docs). Build one per load
 /// test; [`Gateway::run`] consumes a workload and yields every response
 /// plus the aggregate [`GatewayReport`].
 pub struct Gateway<O: PromptOptimizer> {
     config: GatewayConfig,
     pool: ReplicaPool<O>,
-    cache: SemanticCache<EmbeddingCache<NgramEmbedder>>,
+    cache: GatewayCache,
 }
 
 impl<O: PromptOptimizer> Gateway<O> {
     /// Builds a gateway over `optimizers` (one per replica; the length
-    /// overrides `config.replicas`). The cache embeds through a *bounded*
-    /// [`EmbeddingCache`] sized to the semantic cache, so repeated probes
-    /// of hot prompts skip re-embedding too.
+    /// overrides `config.replicas`) with a fresh, empty cache.
     pub fn new(config: GatewayConfig, optimizers: Vec<O>) -> Self {
+        let embedder = cache_embedder(&config.cache);
+        let cache = SemanticCache::new(config.cache.clone(), embedder);
+        Self::with_cache(config, optimizers, cache)
+    }
+
+    /// Builds a gateway around an existing cache — one carried over from a
+    /// previous gateway ([`Gateway::into_cache`]) or reopened from a store
+    /// directory ([`SemanticCache::open_from`]) for a warm restart. The
+    /// cache's own construction-time config governs its behaviour;
+    /// `config.cache` is not re-applied.
+    pub fn with_cache(config: GatewayConfig, optimizers: Vec<O>, cache: GatewayCache) -> Self {
         assert!(!optimizers.is_empty(), "gateway needs at least one replica");
         assert!(config.batch_max > 0, "batch_max must be positive");
         let pool = ReplicaPool::new(optimizers, &config.fault, &config.replica_profiles);
-        let embedder =
-            EmbeddingCache::bounded(NgramEmbedder::default(), config.cache.capacity.max(1) * 2);
-        let cache = SemanticCache::new(config.cache.clone(), embedder);
         Gateway { config, pool, cache }
+    }
+
+    /// Consumes the gateway and hands back its cache, for a checkpoint
+    /// ([`SemanticCache::persist_to`]) or a carry into the next gateway.
+    pub fn into_cache(self) -> GatewayCache {
+        self.cache
+    }
+
+    /// The live cache.
+    pub fn cache(&self) -> &GatewayCache {
+        &self.cache
+    }
+
+    /// Mutable access to the live cache (e.g. to checkpoint mid-soak).
+    pub fn cache_mut(&mut self) -> &mut GatewayCache {
+        &mut self.cache
     }
 
     /// Runs the full workload to completion. Returns the response for each
@@ -194,8 +228,9 @@ impl<O: PromptOptimizer> Gateway<O> {
     pub fn run(&mut self, requests: &[Request]) -> (Vec<String>, GatewayReport) {
         let mut span = pas_obs::span("gateway.run");
         span.items(requests.len() as u64);
-        // Cache counters are cumulative per gateway; charge this run's
-        // delta so back-to-back runs don't double count.
+        // Cache counters are cumulative per *cache*, which may be carried
+        // across gateways or reopened from a store; the report holds this
+        // run's delta so per-run reports fold correctly with `merge`.
         let base_hits = self.cache.hits();
         let base_near = self.cache.near_hits();
         let base_misses = self.cache.misses();
@@ -337,21 +372,21 @@ impl<O: PromptOptimizer> Gateway<O> {
         }
 
         debug_assert!(queue.is_empty(), "linger fires must drain the queue");
-        report.exact_hits = self.cache.hits();
-        report.near_hits = self.cache.near_hits();
-        report.misses = self.cache.misses();
-        report.evictions = self.cache.evictions();
+        report.exact_hits = self.cache.hits() - base_hits;
+        report.near_hits = self.cache.near_hits() - base_near;
+        report.misses = self.cache.misses() - base_misses;
+        report.evictions = self.cache.evictions() - base_evictions;
         report.sim_duration_ms = now;
         for (r, faults) in report.per_replica.iter_mut().zip(self.pool.fault_reports()) {
             r.faults = faults;
         }
         OBS_REQUESTS.add(report.requests);
         OBS_COMPLETED.add(report.completed);
-        OBS_EXACT_HITS.add(report.exact_hits - base_hits);
-        OBS_NEAR_HITS.add(report.near_hits - base_near);
-        OBS_MISSES.add(report.misses - base_misses);
+        OBS_EXACT_HITS.add(report.exact_hits);
+        OBS_NEAR_HITS.add(report.near_hits);
+        OBS_MISSES.add(report.misses);
         OBS_BATCH_HITS.add(report.batch_hits);
-        OBS_EVICTIONS.add(report.evictions - base_evictions);
+        OBS_EVICTIONS.add(report.evictions);
         OBS_SHED.add(report.shed);
         OBS_REJECTED.add(report.rejected);
         OBS_DEGRADED.add(report.degraded);

@@ -10,7 +10,9 @@
 //!
 //! - [`cache`] — [`SemanticCache`]: exact-match LRU complement cache with
 //!   a τ-gated ANN near-duplicate tier (off by default; a near hit serves
-//!   the *neighbour's* complement).
+//!   the *neighbour's* complement), optionally backed by a `pas-store`
+//!   segment log for crash-safe warm restarts
+//!   ([`SemanticCache::open_from`] / [`SemanticCache::persist_to`]).
 //! - [`pool`] — [`ReplicaPool`]: N `DegradingServer` replicas with
 //!   decorrelated fault seeds, deterministic least-loaded routing, and
 //!   failover; a full-pool outage degrades every request to passthrough.
@@ -26,8 +28,8 @@ pub mod pool;
 pub mod report;
 pub mod workload;
 
-pub use cache::{CacheOutcome, SemanticCache, SemanticCacheConfig};
-pub use gateway::{AdmissionPolicy, Gateway, GatewayConfig};
+pub use cache::{CacheOutcome, OpenMode, SemanticCache, SemanticCacheConfig};
+pub use gateway::{cache_embedder, AdmissionPolicy, Gateway, GatewayCache, GatewayConfig};
 pub use pool::{ReplicaPool, ServeOutcome};
 pub use report::{GatewayReport, LatencyHistogram, ReplicaReport};
 pub use workload::{base_prompt, generate, Request, WorkloadConfig};

@@ -1,0 +1,57 @@
+//! CRC-32 (IEEE 802.3 polynomial, reflected) — the per-record and
+//! per-header integrity check of the segment format.
+//!
+//! Implemented in-crate (table-driven, one 256-entry table built at compile
+//! time) so the store has no external dependency; speed is irrelevant next
+//! to the I/O it guards.
+
+/// Reflected IEEE polynomial.
+const POLY: u32 = 0xedb8_8320;
+
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `bytes` (standard init/final XOR with `0xffff_ffff`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xff) as usize];
+    }
+    crc ^ 0xffff_ffff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The classic check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xe8b7_be43);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let base = crc32(b"pas-store segment record");
+        let mut flipped = b"pas-store segment record".to_vec();
+        flipped[7] ^= 0x01;
+        assert_ne!(base, crc32(&flipped));
+    }
+}

@@ -1,0 +1,52 @@
+//! Crash-safe persistent vector store.
+//!
+//! PAS's serving stack derives expensive state from cheap inputs —
+//! embeddings, an HNSW graph, int8/PQ code stores, semantic-cache entries
+//! — and before this crate it all died with the process. `pas-store`
+//! persists it behind one deterministic, crash-safe abstraction:
+//!
+//! - [`segment`] — [`SegmentLog`]: an append-only log of `vec:{id}` /
+//!   `meta:{id}` / tombstone records ([`Record`]), per-record CRC-32,
+//!   config-fingerprinted headers, torn-tail recovery, and atomic
+//!   generation-based compaction. The design generalizes
+//!   `pas_fault::Journal` from JSONL lines to binary frames.
+//! - [`snapshot`] — an atomically-replaced checkpoint file holding an
+//!   opaque payload (e.g. an [`pas_ann::Hnsw`] `dump()`) pinned to a log
+//!   position, so a warm open restores the graph and replays only the log
+//!   suffix.
+//! - [`store`] — [`VectorStore`]: the materialized view — an HNSW index
+//!   plus metadata ([`RecordMeta`]) with stable external ids, write-ahead
+//!   logging, checkpointing, and metadata-filtered search.
+//!
+//! **Determinism contract:** replaying a log's records into a fresh index
+//! reproduces the live index bit-exactly (the graph dump preserves RNG
+//! continuity — see [`pas_ann::Hnsw::load`]), so a warm open, a cold
+//! rebuild, and a never-closed store all probe identically. Crash safety
+//! is proven by sweep: `pas_fault::DiskFaults` can kill the store at
+//! every durability boundary, and `tests/chaos.rs` reopens after each and
+//! checks the recovered state is a prefix of the attempted ops — no
+//! duplicates, no ghosts, no torn frames surviving.
+
+pub mod crc;
+pub mod record;
+pub mod segment;
+pub mod snapshot;
+pub mod store;
+pub mod wire;
+
+pub use record::{Record, RecordMeta};
+pub use segment::{SegmentLog, StoreConfig};
+pub use snapshot::{read_snapshot, write_snapshot, SnapshotData};
+pub use store::{Hit, VectorStore, VectorStoreConfig};
+
+// Observability: segment files opened/created, compactions run, records
+// replayed at open, torn tails truncated at open, and bytes across the
+// current generation's files. Recovery counters depend on where a run was
+// killed, so they are bench/CLI-recorded only — keep them out of golden
+// fixtures.
+pub(crate) static OBS_SEGMENTS: pas_obs::Counter = pas_obs::Counter::new("store.segments");
+pub(crate) static OBS_COMPACTIONS: pas_obs::Counter = pas_obs::Counter::new("store.compactions");
+pub(crate) static OBS_RECOVERED: pas_obs::Counter =
+    pas_obs::Counter::new("store.recovered_records");
+pub(crate) static OBS_TORN_TAILS: pas_obs::Counter = pas_obs::Counter::new("store.torn_tails");
+pub(crate) static OBS_BYTES: pas_obs::Gauge = pas_obs::Gauge::new("store.bytes");

@@ -1,0 +1,611 @@
+//! The materialized store: an HNSW index over the log's live records,
+//! with stable external ids and metadata-filtered search.
+//!
+//! [`VectorStore`] is write-ahead: every mutation appends its records
+//! (meta before vector — the vector record is the commit point; a
+//! tombstone is one record) and flushes before the in-memory state
+//! changes, so the log is never behind what a caller has seen
+//! acknowledged. External ids are monotonically assigned `u64`s and
+//! survive compaction; internally the HNSW index uses positional ids, and
+//! the store keeps the two aligned.
+//!
+//! **Replay semantics** (what recovery, cold opens, and compaction all
+//! share): records apply in log order; the first vector record for an id
+//! wins; a tombstone kills its id permanently — later records for that id
+//! are ignored, so a crashed compaction can never resurrect a ghost. A
+//! meta record parks in a pending map until its vector record commits the
+//! id, which makes the meta+vector pair atomic under crashes: tearing
+//! between the two leaves an invisible orphan, not a half-entry.
+//!
+//! **Compaction** rewrites live entries (in internal order — insertion
+//! order, which replay preserves) into a fresh generation *and* rebuilds
+//! the in-memory index the same way, so the invariant "live state ==
+//! replay of the log" survives. Raw (unprepared) vectors are what the log
+//! stores and the store retains: re-preparing a prepared vector is not
+//! bit-stable, raw round trips are.
+
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::path::Path;
+
+use pas_ann::{CosineDistance, Hnsw, HnswConfig};
+use pas_fault::DiskFaults;
+
+use crate::record::{Record, RecordMeta};
+use crate::segment::{SegmentLog, StoreConfig};
+use crate::snapshot::{read_snapshot, write_snapshot, SnapshotData};
+use crate::wire::{self, Reader};
+
+/// Store configuration: log tuning plus the index parameters. The
+/// effective on-disk fingerprint mixes [`StoreConfig::fingerprint`] with
+/// the HNSW parameters, so reopening under a different index geometry
+/// fails loudly instead of replaying into a different graph.
+#[derive(Debug, Clone, Default)]
+pub struct VectorStoreConfig {
+    /// Segment-log knobs (fingerprint, roll size, compaction trigger).
+    pub store: StoreConfig,
+    /// Index geometry for the materialized HNSW graph.
+    pub hnsw: HnswConfig,
+}
+
+impl VectorStoreConfig {
+    /// The fingerprint actually stamped on disk.
+    pub fn fingerprint(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(32);
+        wire::put_u64(&mut bytes, self.store.fingerprint);
+        wire::put_u64(&mut bytes, self.hnsw.m as u64);
+        wire::put_u64(&mut bytes, self.hnsw.ef_construction as u64);
+        wire::put_u64(&mut bytes, self.hnsw.seed);
+        fnv64(&bytes)
+    }
+}
+
+/// FNV-1a, for folding config fields into a 64-bit fingerprint.
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One search result: external id and distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// Stable external id.
+    pub id: u64,
+    /// Metric distance to the query.
+    pub distance: f32,
+}
+
+/// How many candidates a filtered search over-fetches before applying the
+/// metadata predicate. Matches the spirit of the quantized re-rank
+/// margins: generous enough that moderately selective filters still fill
+/// `k`.
+fn filter_overfetch(k: usize) -> usize {
+    k * 4 + 16
+}
+
+/// The persistent vector store. See the module docs for the replay and
+/// compaction invariants.
+pub struct VectorStore {
+    config: VectorStoreConfig,
+    fingerprint: u64,
+    log: SegmentLog,
+    index: Hnsw<CosineDistance>,
+    /// Internal (positional) id → external id.
+    ids: Vec<u64>,
+    /// Internal id → raw vector as logged (empty once removed).
+    raw: Vec<Vec<f32>>,
+    /// Internal id → metadata (stale once removed, never read).
+    metas: Vec<RecordMeta>,
+    /// Live external id → internal id.
+    by_ext: HashMap<u64, usize>,
+    /// Tombstoned external ids (ghost prevention until compaction).
+    dead_ext: HashSet<u64>,
+    next_ext: u64,
+}
+
+impl VectorStore {
+    /// Opens (or creates) the store in `dir`, warm when a usable
+    /// checkpoint exists.
+    pub fn open(dir: &Path, config: VectorStoreConfig) -> io::Result<VectorStore> {
+        VectorStore::open_with(dir, config, None, true)
+    }
+
+    /// Opens ignoring any checkpoint — a full cold replay of the log.
+    pub fn open_cold(dir: &Path, config: VectorStoreConfig) -> io::Result<VectorStore> {
+        VectorStore::open_with(dir, config, None, false)
+    }
+
+    /// Full-control open: optional fault schedule, warm/cold selection.
+    pub fn open_with(
+        dir: &Path,
+        config: VectorStoreConfig,
+        faults: Option<DiskFaults>,
+        warm: bool,
+    ) -> io::Result<VectorStore> {
+        let fingerprint = config.fingerprint();
+        let log_config = StoreConfig { fingerprint, ..config.store.clone() };
+        let (log, records) = SegmentLog::open(dir, log_config, faults)?;
+        let snapshot = if warm { read_snapshot(dir, fingerprint)? } else { None };
+        let mut store = VectorStore {
+            index: Hnsw::new(config.hnsw.clone(), CosineDistance),
+            config,
+            fingerprint,
+            log,
+            ids: Vec::new(),
+            raw: Vec::new(),
+            metas: Vec::new(),
+            by_ext: HashMap::new(),
+            dead_ext: HashSet::new(),
+            next_ext: 0,
+        };
+        let mut replay_from = 0usize;
+        if let Some(snap) = snapshot {
+            // A snapshot from another generation or ahead of the log (its
+            // records were lost to a crash) is stale: ignore it and
+            // replay everything — the log alone is the source of truth.
+            if snap.generation == store.log.generation()
+                && snap.op_count <= store.log.op_count()
+                && store.restore_snapshot(&snap.payload).is_ok()
+            {
+                replay_from = snap.op_count as usize;
+            }
+        }
+        let mut pending: HashMap<u64, RecordMeta> = HashMap::new();
+        for rec in &records[replay_from.min(records.len())..] {
+            store.apply(rec, &mut pending);
+        }
+        Ok(store)
+    }
+
+    /// Applies one log record to the in-memory state (the shared replay
+    /// state machine).
+    fn apply(&mut self, rec: &Record, pending: &mut HashMap<u64, RecordMeta>) {
+        match rec {
+            Record::Meta { id, meta } => {
+                if !self.dead_ext.contains(id) && !self.by_ext.contains_key(id) {
+                    pending.insert(*id, meta.clone());
+                }
+            }
+            Record::Vector { id, vector } => {
+                if self.dead_ext.contains(id) || self.by_ext.contains_key(id) {
+                    return;
+                }
+                let meta = pending.remove(id).unwrap_or_default();
+                self.commit(*id, vector.clone(), meta);
+            }
+            Record::Tombstone { id } => {
+                pending.remove(id);
+                if let Some(int) = self.by_ext.remove(id) {
+                    self.index.remove(int);
+                    self.raw[int] = Vec::new();
+                }
+                self.dead_ext.insert(*id);
+            }
+        }
+    }
+
+    /// Registers a committed entry in the index and sidecar tables.
+    fn commit(&mut self, ext: u64, vector: Vec<f32>, meta: RecordMeta) {
+        let int = self.index.insert(vector.clone());
+        debug_assert_eq!(int, self.ids.len());
+        self.ids.push(ext);
+        self.raw.push(vector);
+        self.metas.push(meta);
+        self.by_ext.insert(ext, int);
+        self.next_ext = self.next_ext.max(ext + 1);
+    }
+
+    /// Inserts a vector with its metadata; returns the external id. The
+    /// records are durable before the index sees the entry.
+    pub fn insert(&mut self, vector: Vec<f32>, meta: RecordMeta) -> io::Result<u64> {
+        let ext = self.next_ext;
+        self.log.append(&Record::Meta { id: ext, meta: meta.clone() })?;
+        self.log.append(&Record::Vector { id: ext, vector: vector.clone() })?;
+        self.commit(ext, vector, meta);
+        self.maybe_compact()?;
+        Ok(ext)
+    }
+
+    /// Removes an entry; false when the id is unknown or already dead.
+    pub fn remove(&mut self, ext: u64) -> io::Result<bool> {
+        if !self.by_ext.contains_key(&ext) {
+            return Ok(false);
+        }
+        self.log.append(&Record::Tombstone { id: ext })?;
+        let int = self.by_ext.remove(&ext).expect("checked above");
+        self.index.remove(int);
+        self.raw[int] = Vec::new();
+        self.dead_ext.insert(ext);
+        self.maybe_compact()?;
+        Ok(true)
+    }
+
+    /// Compacts when the log's tombstone pressure asks for it.
+    fn maybe_compact(&mut self) -> io::Result<()> {
+        if self.log.wants_compaction() {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Rewrites the log to the live entries and rebuilds the index the
+    /// same way, preserving the "state == replay of log" invariant.
+    pub fn compact(&mut self) -> io::Result<()> {
+        let mut live = Vec::new();
+        let mut keep: Vec<usize> = Vec::new();
+        for int in 0..self.ids.len() {
+            if self.index.is_removed(int) {
+                continue;
+            }
+            let ext = self.ids[int];
+            live.push(Record::Meta { id: ext, meta: self.metas[int].clone() });
+            live.push(Record::Vector { id: ext, vector: self.raw[int].clone() });
+            keep.push(int);
+        }
+        self.log.compact(&live)?;
+        // Rebuild the in-memory view exactly as a replay of the compacted
+        // log would: live entries re-inserted in order into a fresh index.
+        let mut index = Hnsw::new(self.config.hnsw.clone(), CosineDistance);
+        let mut ids = Vec::with_capacity(keep.len());
+        let mut raw = Vec::with_capacity(keep.len());
+        let mut metas = Vec::with_capacity(keep.len());
+        let mut by_ext = HashMap::with_capacity(keep.len());
+        for &int in &keep {
+            let new_int = index.insert(self.raw[int].clone());
+            by_ext.insert(self.ids[int], new_int);
+            ids.push(self.ids[int]);
+            raw.push(std::mem::take(&mut self.raw[int]));
+            metas.push(std::mem::take(&mut self.metas[int]));
+        }
+        self.index = index;
+        self.ids = ids;
+        self.raw = raw;
+        self.metas = metas;
+        self.by_ext = by_ext;
+        self.dead_ext.clear();
+        Ok(())
+    }
+
+    /// Writes a checkpoint of the current state pinned to the current log
+    /// position, so the next open is warm.
+    pub fn checkpoint(&mut self) -> io::Result<()> {
+        let data = SnapshotData {
+            generation: self.log.generation(),
+            op_count: self.log.op_count(),
+            payload: self.snapshot_payload(),
+        };
+        write_snapshot(self.log.dir(), self.fingerprint, &data, self.log.faults())
+    }
+
+    fn snapshot_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        wire::put_u64(&mut out, self.next_ext);
+        wire::put_u64(&mut out, self.ids.len() as u64);
+        for int in 0..self.ids.len() {
+            wire::put_u64(&mut out, self.ids[int]);
+            wire::put_u32(&mut out, self.raw[int].len() as u32);
+            for &x in &self.raw[int] {
+                wire::put_f32(&mut out, x);
+            }
+            let m = &self.metas[int];
+            wire::put_str(&mut out, &m.category);
+            out.push(m.degraded as u8);
+            wire::put_u64(&mut out, m.stamp);
+            wire::put_u32(&mut out, m.fields.len() as u32);
+            for (k, v) in &m.fields {
+                wire::put_str(&mut out, k);
+                wire::put_str(&mut out, v);
+            }
+        }
+        let mut dead: Vec<u64> = self.dead_ext.iter().copied().collect();
+        dead.sort_unstable();
+        wire::put_u64(&mut out, dead.len() as u64);
+        for d in dead {
+            wire::put_u64(&mut out, d);
+        }
+        let graph = self.index.dump();
+        wire::put_u64(&mut out, graph.len() as u64);
+        out.extend_from_slice(&graph);
+        out
+    }
+
+    fn restore_snapshot(&mut self, payload: &[u8]) -> io::Result<()> {
+        let mut r = Reader::new(payload);
+        let next_ext = r.u64()?;
+        let n = r.u64()? as usize;
+        if n > payload.len() {
+            return Err(wire::corrupt("snapshot: slot count"));
+        }
+        let mut ids = Vec::with_capacity(n);
+        let mut raw = Vec::with_capacity(n);
+        let mut metas = Vec::with_capacity(n);
+        for _ in 0..n {
+            ids.push(r.u64()?);
+            let len = r.u32()? as usize;
+            let mut v = Vec::with_capacity(len);
+            for _ in 0..len {
+                v.push(r.f32()?);
+            }
+            raw.push(v);
+            let category = r.str()?;
+            let degraded = r.u8()? != 0;
+            let stamp = r.u64()?;
+            let nf = r.u32()? as usize;
+            let mut fields = Vec::with_capacity(nf);
+            for _ in 0..nf {
+                let k = r.str()?;
+                let v = r.str()?;
+                fields.push((k, v));
+            }
+            metas.push(RecordMeta { category, degraded, stamp, fields });
+        }
+        let nd = r.u64()? as usize;
+        let mut dead_ext = HashSet::with_capacity(nd);
+        for _ in 0..nd {
+            dead_ext.insert(r.u64()?);
+        }
+        let glen = r.u64()? as usize;
+        let graph = r.take(glen)?;
+        if !r.is_empty() {
+            return Err(wire::corrupt("snapshot: trailing bytes"));
+        }
+        let index = Hnsw::load(graph, CosineDistance)
+            .map_err(|e| wire::corrupt(&format!("snapshot graph: {e}")))?;
+        if index.len() != n {
+            return Err(wire::corrupt("snapshot: graph/sidecar mismatch"));
+        }
+        let mut by_ext = HashMap::new();
+        for (int, &ext) in ids.iter().enumerate() {
+            if !index.is_removed(int) {
+                by_ext.insert(ext, int);
+            }
+        }
+        self.index = index;
+        self.ids = ids;
+        self.raw = raw;
+        self.metas = metas;
+        self.by_ext = by_ext;
+        self.dead_ext = dead_ext;
+        self.next_ext = next_ext;
+        Ok(())
+    }
+
+    /// Nearest neighbours by external id.
+    pub fn search(&self, query: &[f32], k: usize, ef: usize) -> Vec<Hit> {
+        self.index
+            .search(query, k, ef)
+            .into_iter()
+            .map(|n| Hit { id: self.ids[n.id], distance: n.distance })
+            .collect()
+    }
+
+    /// Nearest neighbours whose metadata satisfies `pred`. Over-fetches
+    /// [`filter_overfetch`]`(k)` candidates before filtering, so highly
+    /// selective predicates may return fewer than `k` even when matches
+    /// exist further out.
+    pub fn search_filtered(
+        &self,
+        query: &[f32],
+        k: usize,
+        ef: usize,
+        pred: impl Fn(&RecordMeta) -> bool,
+    ) -> Vec<Hit> {
+        let fetch = filter_overfetch(k);
+        self.index
+            .search(query, fetch, ef.max(fetch))
+            .into_iter()
+            .filter(|n| pred(&self.metas[n.id]))
+            .take(k)
+            .map(|n| Hit { id: self.ids[n.id], distance: n.distance })
+            .collect()
+    }
+
+    /// Nearest neighbours in `category`, excluding degraded entries.
+    pub fn search_category(&self, query: &[f32], k: usize, ef: usize, category: &str) -> Vec<Hit> {
+        self.search_filtered(query, k, ef, |m| !m.degraded && m.category == category)
+    }
+
+    /// Metadata for a live external id.
+    pub fn meta(&self, ext: u64) -> Option<&RecordMeta> {
+        self.by_ext.get(&ext).map(|&int| &self.metas[int])
+    }
+
+    /// Raw vector for a live external id.
+    pub fn vector(&self, ext: u64) -> Option<&[f32]> {
+        self.by_ext.get(&ext).map(|&int| self.raw[int].as_slice())
+    }
+
+    /// True when `ext` is live.
+    pub fn contains(&self, ext: u64) -> bool {
+        self.by_ext.contains_key(&ext)
+    }
+
+    /// Live entry count.
+    pub fn live_len(&self) -> usize {
+        self.by_ext.len()
+    }
+
+    /// True when no live entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.by_ext.is_empty()
+    }
+
+    /// Live external ids, ascending.
+    pub fn live_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.by_ext.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Current log generation.
+    pub fn generation(&self) -> u64 {
+        self.log.generation()
+    }
+
+    /// Records in the current log generation.
+    pub fn op_count(&self) -> u64 {
+        self.log.op_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::env::temp_dir;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = temp_dir().join(format!("pas-store-store-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn vector(seed: u64, dim: usize) -> Vec<f32> {
+        (0..dim).map(|i| ((seed * 31 + i as u64 * 7) as f32 * 0.13).sin()).collect()
+    }
+
+    fn meta(seed: u64) -> RecordMeta {
+        RecordMeta {
+            category: format!("cat{}", seed % 3),
+            degraded: seed.is_multiple_of(5),
+            stamp: seed,
+            fields: vec![("k".into(), format!("v{seed}"))],
+        }
+    }
+
+    fn config() -> VectorStoreConfig {
+        VectorStoreConfig {
+            store: StoreConfig { compact_min_dead: 8, ..Default::default() },
+            hnsw: HnswConfig { m: 8, ef_construction: 32, seed: 0x5707e },
+        }
+    }
+
+    fn fill(store: &mut VectorStore, n: u64) -> Vec<u64> {
+        (0..n).map(|s| store.insert(vector(s, 12), meta(s)).unwrap()).collect()
+    }
+
+    #[test]
+    fn insert_search_remove_round_trip() {
+        let dir = tmp("basic");
+        let mut store = VectorStore::open(&dir, config()).unwrap();
+        let ids = fill(&mut store, 40);
+        assert_eq!(store.live_len(), 40);
+        let hits = store.search(&vector(7, 12), 3, 32);
+        assert_eq!(hits[0].id, ids[7]);
+        assert!(store.remove(ids[7]).unwrap());
+        assert!(!store.remove(ids[7]).unwrap());
+        assert_ne!(store.search(&vector(7, 12), 3, 32)[0].id, ids[7]);
+        assert_eq!(store.meta(ids[8]).unwrap().stamp, 8);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_cold_matches_live_state_bit_exactly() {
+        let dir = tmp("reopen");
+        let (live_hits, live_ids) = {
+            let mut store = VectorStore::open(&dir, config()).unwrap();
+            let ids = fill(&mut store, 60);
+            for &id in ids.iter().step_by(4) {
+                store.remove(id).unwrap();
+            }
+            (store.search(&vector(3, 12), 5, 48), store.live_ids())
+        };
+        let reopened = VectorStore::open_cold(&dir, config()).unwrap();
+        assert_eq!(reopened.live_ids(), live_ids);
+        let hits = reopened.search(&vector(3, 12), 5, 48);
+        assert_eq!(hits.len(), live_hits.len());
+        for (a, b) in live_hits.iter().zip(&hits) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn warm_open_equals_cold_open() {
+        let dir = tmp("warm");
+        {
+            let mut store = VectorStore::open(&dir, config()).unwrap();
+            fill(&mut store, 50);
+            store.checkpoint().unwrap();
+            // More ops after the checkpoint: the warm path must replay them.
+            store.insert(vector(100, 12), meta(100)).unwrap();
+            store.remove(3).unwrap();
+        }
+        let warm = VectorStore::open(&dir, config()).unwrap();
+        let cold = VectorStore::open_cold(&dir, config()).unwrap();
+        assert_eq!(warm.live_ids(), cold.live_ids());
+        for q in [1u64, 9, 33] {
+            let a = warm.search(&vector(q, 12), 5, 48);
+            let b = cold.search(&vector(q, 12), 5, 48);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.id, y.id);
+                assert_eq!(x.distance.to_bits(), y.distance.to_bits());
+            }
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_preserves_external_ids_and_blocks_ghosts() {
+        let dir = tmp("compactids");
+        let mut store = VectorStore::open(&dir, config()).unwrap();
+        let ids = fill(&mut store, 30);
+        let before_gen = store.generation();
+        for &id in &ids[..20] {
+            store.remove(id).unwrap();
+        }
+        assert!(store.generation() > before_gen, "tombstone pressure should compact");
+        // Survivors keep their ids and vectors.
+        for &id in &ids[20..] {
+            assert!(store.contains(id));
+        }
+        for &id in &ids[..20] {
+            assert!(!store.contains(id));
+        }
+        // New inserts continue above every id ever assigned.
+        let fresh = store.insert(vector(999, 12), meta(999)).unwrap();
+        assert!(fresh >= 30);
+        drop(store);
+        let reopened = VectorStore::open_cold(&dir, config()).unwrap();
+        assert_eq!(reopened.live_ids().len(), 11);
+        assert!(!reopened.contains(ids[0]), "ghost id resurrected");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn filtered_search_honors_metadata() {
+        let dir = tmp("filter");
+        let mut store = VectorStore::open(&dir, config()).unwrap();
+        fill(&mut store, 45);
+        let hits = store.search_category(&vector(6, 12), 4, 48, "cat0");
+        assert!(!hits.is_empty());
+        for h in &hits {
+            let m = store.meta(h.id).unwrap();
+            assert_eq!(m.category, "cat0");
+            assert!(!m.degraded);
+        }
+        let none = store.search_filtered(&vector(6, 12), 4, 48, |_| false);
+        assert!(none.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn different_hnsw_geometry_refuses_to_open() {
+        let dir = tmp("geometry");
+        {
+            let mut store = VectorStore::open(&dir, config()).unwrap();
+            fill(&mut store, 5);
+        }
+        let mut other = config();
+        other.hnsw.m = 16;
+        assert!(VectorStore::open(&dir, other).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

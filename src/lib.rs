@@ -21,6 +21,9 @@
 //! - [`obs`] — deterministic observability: counters, gauges, fixed-bucket
 //!   histograms and spans over simulated time, with mergeable JSON
 //!   snapshots (off by default; `--metrics-out` turns it on).
+//! - [`store`] — crash-safe persistence: CRC'd append-only segment log,
+//!   deterministic compaction, warm HNSW graph snapshots, and the
+//!   gateway's warm-restart substrate.
 //! - substrates: [`text`], [`tokenizer`], [`embed`], [`ann`], [`nn`].
 
 pub use pas_ann as ann;
@@ -35,5 +38,6 @@ pub use pas_kernels as kernels;
 pub use pas_llm as llm;
 pub use pas_nn as nn;
 pub use pas_obs as obs;
+pub use pas_store as store;
 pub use pas_text as text;
 pub use pas_tokenizer as tokenizer;

@@ -17,6 +17,7 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
+use pas::ann::HnswConfig;
 use pas::core::{
     BuildOptions, DegradingServer, NoOptimizer, Pas, PasConfig, PasSystem, SystemConfig,
 };
@@ -24,8 +25,9 @@ use pas::data::{Corpus, CorpusConfig, GenConfig, Generator, SelectionConfig, Sel
 use pas::eval::harness::evaluate_suite;
 use pas::eval::judge::Judge;
 use pas::eval::suite::{EvalEnv, EvalEnvConfig};
-use pas::fault::{FaultConfig, FaultProfile, Journal};
+use pas::fault::{DiskFaults, FaultConfig, FaultProfile, Journal};
 use pas::llm::SimLlm;
+use pas::store::{RecordMeta, StoreConfig, VectorStore, VectorStoreConfig};
 
 fn tmp(name: &str) -> PathBuf {
     std::env::temp_dir().join(format!("pas-chaos-{}-{name}.jsonl", std::process::id()))
@@ -158,6 +160,235 @@ fn eventual_success_faults_and_kills_are_invisible() {
     );
     assert_eq!(resumed_loss.to_bits(), full_loss.to_bits());
     let _ = std::fs::remove_file(&path);
+}
+
+// ── Property 4: disk-fault crash-point sweep over the persistent store ──
+//
+// `pas-store` asks its `DiskFaults` handle for permission at every
+// durability boundary (record appends, segment rolls, each compaction
+// step, each snapshot step). The sweep below kills the store at *every*
+// reachable boundary of a fixed workload and proves that a clean reopen
+// recovers exactly the state after some prefix of the attempted ops —
+// never a duplicate, never a ghost, never a torn frame — and that warm
+// (snapshot + suffix replay) and cold (full replay) reopens are
+// bit-identical and immediately usable.
+
+/// One scripted store operation.
+#[derive(Debug, Clone, Copy)]
+enum StoreOp {
+    Insert(u64),
+    Remove(u64),
+    Checkpoint,
+}
+
+/// Deterministic workload crossing every fault-point family: enough
+/// inserts to roll segments (256-byte cap), enough removes to trigger a
+/// compaction (`compact_min_dead: 4`), and checkpoints for the snapshot
+/// path.
+fn store_script() -> Vec<StoreOp> {
+    let mut script = Vec::new();
+    for seed in 0..12 {
+        script.push(StoreOp::Insert(seed));
+    }
+    script.push(StoreOp::Checkpoint);
+    for id in [0, 2, 4, 6, 8] {
+        script.push(StoreOp::Remove(id));
+    }
+    for seed in 12..18 {
+        script.push(StoreOp::Insert(seed));
+    }
+    script.push(StoreOp::Checkpoint);
+    for id in [10, 12, 1] {
+        script.push(StoreOp::Remove(id));
+    }
+    for seed in 18..22 {
+        script.push(StoreOp::Insert(seed));
+    }
+    script
+}
+
+fn store_vector(seed: u64) -> Vec<f32> {
+    (0..8).map(|i| (((seed * 31 + i * 7) as f32) * 0.13).sin()).collect()
+}
+
+fn store_meta(seed: u64) -> RecordMeta {
+    RecordMeta {
+        category: format!("cat{}", seed % 3),
+        degraded: seed.is_multiple_of(5),
+        stamp: seed,
+        fields: vec![("v".to_string(), format!("payload-{seed}"))],
+    }
+}
+
+fn store_config() -> VectorStoreConfig {
+    VectorStoreConfig {
+        store: StoreConfig {
+            segment_max_bytes: 256,
+            compact_min_dead: 4,
+            ..StoreConfig::default()
+        },
+        hnsw: HnswConfig { m: 6, ef_construction: 24, seed: 0xc4a5 },
+    }
+}
+
+fn apply_store_op(store: &mut VectorStore, op: StoreOp) -> std::io::Result<()> {
+    match op {
+        StoreOp::Insert(seed) => store.insert(store_vector(seed), store_meta(seed)).map(|_| ()),
+        StoreOp::Remove(id) => store.remove(id).map(|_| ()),
+        StoreOp::Checkpoint => store.checkpoint(),
+    }
+}
+
+/// The store's logical state, flattened to comparable bits: sorted live
+/// external ids with their exact vector bits and metadata.
+type StoreState = Vec<(u64, Vec<u32>, String)>;
+
+fn observe_store(store: &VectorStore) -> StoreState {
+    store
+        .live_ids()
+        .into_iter()
+        .map(|id| {
+            (
+                id,
+                store
+                    .vector(id)
+                    .expect("live id has a vector")
+                    .iter()
+                    .map(|f| f.to_bits())
+                    .collect(),
+                format!("{:?}", store.meta(id).expect("live id has metadata")),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn disk_fault_sweep_recovers_a_consistent_prefix_at_every_crash_point() {
+    let base = std::env::temp_dir().join(format!("pas-chaos-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let script = store_script();
+
+    // Fault-free baseline: the expected logical state after every prefix
+    // of the script. `states[k]` is the state once `k` ops completed.
+    let mut states: Vec<StoreState> = Vec::with_capacity(script.len() + 1);
+    {
+        let dir = base.join("baseline");
+        let mut store = VectorStore::open(&dir, store_config()).expect("baseline opens");
+        states.push(observe_store(&store));
+        for &op in &script {
+            apply_store_op(&mut store, op).expect("baseline op succeeds");
+            states.push(observe_store(&store));
+        }
+        // Non-vacuity: the workload really exercised every fault family.
+        assert!(store.generation() > 0, "workload must trigger a compaction");
+        assert_eq!(store.live_len(), 14, "22 inserts minus 8 removes survive");
+    }
+
+    // Sweep: kill the store at boundary 0, 1, 2, … until a run completes
+    // without firing (the crash point lies beyond every boundary).
+    let seed = 0xd00d;
+    let probe = store_vector(777);
+    let mut labels_hit = std::collections::BTreeSet::new();
+    let mut crash_points = 0u64;
+    for crash_at in 0..400u64 {
+        let dir = base.join(format!("crash-{crash_at:03}"));
+        let faults = DiskFaults::crash_at(seed, crash_at);
+        let mut completed = 0usize;
+        let mut open_failed = false;
+        let mut failure: Option<String> = None;
+        match VectorStore::open_with(&dir, store_config(), Some(faults), true) {
+            Err(e) => {
+                open_failed = true;
+                failure = Some(e.to_string());
+            }
+            Ok(mut store) => {
+                for &op in &script {
+                    match apply_store_op(&mut store, op) {
+                        Ok(()) => completed += 1,
+                        Err(e) => {
+                            failure = Some(e.to_string());
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        let Some(message) = failure else {
+            // No boundary left to kill: the sweep covered all of them.
+            assert!(crash_at >= 40, "suspiciously few boundaries: {crash_at}");
+            break;
+        };
+        crash_points += 1;
+        assert!(message.contains("injected disk fault"), "crash {crash_at}: {message}");
+        if let Some((_, tail)) = message.split_once('(') {
+            if let Some((label, _)) = tail.split_once(')') {
+                labels_hit.insert(label.to_string());
+            }
+        }
+
+        // The process "died" mid-boundary. Reopen from whatever the crash
+        // left on disk — cold (full replay) and warm (snapshot + suffix).
+        let cold = VectorStore::open_cold(&dir, store_config())
+            .unwrap_or_else(|e| panic!("cold reopen after crash {crash_at} ({message}): {e}"));
+        let warm = VectorStore::open(&dir, store_config())
+            .unwrap_or_else(|e| panic!("warm reopen after crash {crash_at} ({message}): {e}"));
+        let got = observe_store(&cold);
+
+        // No duplicate ids, regardless of which prefix was recovered.
+        let ids: Vec<u64> = got.iter().map(|(id, _, _)| *id).collect();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "duplicate ids after crash {crash_at}");
+
+        // Prefix consistency: exactly the state after `completed` ops, or
+        // after one more when the failing op's bytes all landed before the
+        // crash (e.g. a failed flush). Anything else — a ghost surviving
+        // its tombstone, a half-applied insert, a state from the future —
+        // fails. A crash during open itself must recover the empty store.
+        let next_ok = !open_failed && completed + 1 < states.len();
+        let consistent = got == states[completed] || (next_ok && got == states[completed + 1]);
+        assert!(
+            consistent,
+            "crash {crash_at} ({message}): recovered {} live ids, expected the state after \
+             {completed}{} completed ops",
+            got.len(),
+            if next_ok { " or +1" } else { "" },
+        );
+
+        // Warm and cold reopens agree bit-for-bit, probes included.
+        assert_eq!(got, observe_store(&warm), "warm/cold state diverged after crash {crash_at}");
+        let cold_hits = cold.search(&probe, 5, 32);
+        let warm_hits = warm.search(&probe, 5, 32);
+        assert_eq!(cold_hits.len(), warm_hits.len());
+        for (c, w) in cold_hits.iter().zip(&warm_hits) {
+            assert_eq!(c.id, w.id, "warm/cold probe diverged after crash {crash_at}");
+            assert_eq!(c.distance.to_bits(), w.distance.to_bits());
+        }
+
+        // The recovered store is fully usable: insert, search, checkpoint.
+        let mut revived = warm;
+        let fresh = 9_000 + crash_at;
+        let ext = revived
+            .insert(store_vector(fresh), store_meta(fresh))
+            .unwrap_or_else(|e| panic!("insert after crash {crash_at}: {e}"));
+        assert!(revived.contains(ext));
+        assert!(!revived.search(&store_vector(fresh), 1, 32).is_empty());
+        revived.checkpoint().unwrap_or_else(|e| panic!("checkpoint after crash {crash_at}: {e}"));
+    }
+
+    // Every fault-point family was actually swept.
+    for label in [
+        "append",
+        "segment.roll",
+        "compact.begin",
+        "compact.write",
+        "compact.rename",
+        "compact.cleanup",
+        "snapshot.write",
+        "snapshot.rename",
+    ] {
+        assert!(labels_hit.contains(label), "sweep never crashed at {label}: {labels_hit:?}");
+    }
+    assert!(crash_points >= 40, "sweep must cover many boundaries, got {crash_points}");
+    let _ = std::fs::remove_dir_all(&base);
 }
 
 #[test]
