@@ -1,0 +1,185 @@
+//! Fleet scaling and chaos-resilience of the cluster simulation.
+//!
+//! Criterion-times cluster runs at 1, 2, 4, and 8 nodes (each node gets
+//! its own decorrelated workload slice of the same per-node size, so the
+//! fleet's total offered load scales with the node count), then replays
+//! each size once for its deterministic `ClusterReport` and writes
+//! `BENCH_cluster.json` at the workspace root with:
+//!
+//! - *simulated* fleet throughput (completed requests per simulated
+//!   second) per size — the scaling headline, asserted ≥ 6x at 8 nodes
+//!   vs 1 (near-linear: nodes serve their shards concurrently in
+//!   simulated time, paying only cross-shard forwarding latency);
+//! - wall-clock medians per size (the cost of *running* the simulation,
+//!   which is serial per event — expected to grow with fleet size);
+//! - a partition+heal chaos scenario (lossy net, node 3 isolated for a
+//!   window, a leave and a rejoin) asserted to complete every request —
+//!   the zero-error degradation contract under chaos;
+//! - host metadata (`nproc`, arch, os) so numbers from different machines
+//!   are never compared blind.
+
+use criterion::Criterion;
+use std::hint::black_box;
+
+use pas_cluster::{fleet_workloads, Cluster, ClusterConfig, ClusterReport, Membership};
+use pas_core::{BuildOptions, Pas, PasSystem, SystemConfig};
+use pas_data::{CorpusConfig, SelectionConfig};
+use pas_fault::NetFaultProfile;
+use pas_gateway::{GatewayConfig, SemanticCacheConfig, WorkloadConfig};
+
+const REQUESTS_PER_NODE: usize = 1200;
+const UNIVERSE: usize = 120;
+const SIZES: [usize; 4] = [1, 2, 4, 8];
+
+fn build_pas() -> Pas {
+    let config = SystemConfig {
+        corpus: CorpusConfig { size: 350, seed: 11, ..CorpusConfig::default() },
+        selection: SelectionConfig { labeled_size: 500, ..SelectionConfig::default() },
+        ..SystemConfig::default()
+    };
+    PasSystem::try_build(&config, &BuildOptions::default()).expect("clean build succeeds").pas
+}
+
+fn base_workload() -> WorkloadConfig {
+    WorkloadConfig {
+        requests: REQUESTS_PER_NODE,
+        universe: UNIVERSE,
+        zipf_s: 1.1,
+        near_dup_rate: 0.15,
+        ..WorkloadConfig::default()
+    }
+}
+
+fn config(nodes: usize, net: NetFaultProfile, script: Vec<(u64, Membership)>) -> ClusterConfig {
+    ClusterConfig {
+        nodes,
+        replication: 2,
+        gateway: GatewayConfig {
+            replicas: 2,
+            cache: SemanticCacheConfig {
+                capacity: 2048,
+                tau: 0.15,
+                ..SemanticCacheConfig::default()
+            },
+            ..GatewayConfig::default()
+        },
+        net,
+        script,
+        ..ClusterConfig::default()
+    }
+}
+
+fn soak(pas: &Pas, cfg: ClusterConfig) -> ClusterReport {
+    let workloads = fleet_workloads(&base_workload(), cfg.nodes);
+    let mut cluster = Cluster::new(cfg, |_, _| pas.clone());
+    let (responses, report) = cluster.run(&workloads);
+    black_box(responses);
+    report
+}
+
+/// The chaos scenario: lossy wide-area net, node 3 partitioned off for
+/// [400, 1200) sim-ms, node 1 leaves at 800 and rejoins at 1600.
+fn chaos_config() -> ClusterConfig {
+    config(
+        8,
+        NetFaultProfile::lossy().with_partition(400, 1200, vec![3]),
+        vec![(800, Membership::Leave(1)), (1600, Membership::Join(1))],
+    )
+}
+
+fn bench_cluster(c: &mut Criterion, pas: &Pas) {
+    let mut g = c.benchmark_group("cluster");
+    g.sample_size(10);
+    for nodes in SIZES {
+        g.bench_function(format!("nodes_{nodes}"), |b| {
+            b.iter(|| soak(pas, config(nodes, NetFaultProfile::lan(), Vec::new())))
+        });
+    }
+    g.bench_function("partition_heal_8", |b| b.iter(|| soak(pas, chaos_config())));
+    g.finish();
+}
+
+fn median_ns(c: &Criterion, name: &str) -> f64 {
+    c.results()
+        .iter()
+        .find(|r| r.name == name)
+        .unwrap_or_else(|| panic!("no bench result named {name}"))
+        .median_ns
+}
+
+fn write_summary(c: &Criterion, pas: &Pas) {
+    // Replay each size once for its (deterministic) report.
+    let mut sizes_json = Vec::new();
+    let mut sim_rps = std::collections::BTreeMap::new();
+    for nodes in SIZES {
+        let report = soak(pas, config(nodes, NetFaultProfile::lan(), Vec::new()));
+        assert_eq!(report.errors(), 0, "{nodes}-node soak must answer everything");
+        assert_eq!(report.fleet.requests, (nodes * REQUESTS_PER_NODE) as u64);
+        let rps = report.throughput_rps();
+        sim_rps.insert(nodes, rps);
+        sizes_json.push(format!(
+            concat!(
+                "    {{\"nodes\": {}, \"requests\": {}, \"wall_median_ns\": {:.0}, ",
+                "\"sim_duration_ms\": {}, \"sim_requests_per_sec\": {:.1}, ",
+                "\"forwards\": {}, \"hedges_fired\": {}, \"hit_rate\": {:.3}}}"
+            ),
+            nodes,
+            report.fleet.requests,
+            median_ns(c, &format!("cluster/nodes_{nodes}")),
+            report.fleet.sim_duration_ms,
+            rps,
+            report.forwards,
+            report.hedges_fired,
+            report.fleet.hit_rate(),
+        ));
+    }
+    let scaling = sim_rps[&8] / sim_rps[&1];
+    assert!(
+        scaling >= 6.0,
+        "8-node fleet must scale ≥6x over 1 node in simulated throughput, got {scaling:.2}x"
+    );
+
+    let chaos = soak(pas, chaos_config());
+    assert_eq!(chaos.errors(), 0, "partition+heal must answer everything");
+    assert!(chaos.net_cut > 0 && chaos.net_drops > 0, "chaos must actually bite");
+    assert!(chaos.hedges_fired > 0, "lossy links must trigger hedges");
+
+    let json = format!(
+        concat!(
+            "{{\n  \"host\": {},\n  \"threads\": {},\n",
+            "  \"workload\": {{\"requests_per_node\": {}, \"universe\": {}, ",
+            "\"zipf_s\": 1.1, \"near_dup_rate\": 0.15}},\n",
+            "  \"sizes\": [\n{}\n  ],\n",
+            "  \"sim_scaling_8x_vs_1x\": {:.2},\n",
+            "  \"partition_heal\": {{\"nodes\": 8, \"wall_median_ns\": {:.0}, ",
+            "\"errors\": {}, \"net_cut\": {}, \"net_drops\": {}, ",
+            "\"hedges_fired\": {}, \"hedges_won\": {}, \"rescues\": {}, ",
+            "\"local_fallbacks\": {}, \"rebalance_moved\": {}}}\n}}\n"
+        ),
+        bench::host_json(),
+        pas_par::threads(),
+        REQUESTS_PER_NODE,
+        UNIVERSE,
+        sizes_json.join(",\n"),
+        scaling,
+        median_ns(c, "cluster/partition_heal_8"),
+        chaos.errors(),
+        chaos.net_cut,
+        chaos.net_drops,
+        chaos.hedges_fired,
+        chaos.hedges_won,
+        chaos.rescues,
+        chaos.local_fallbacks,
+        chaos.rebalance_moved,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cluster.json");
+    std::fs::write(path, &json).expect("write BENCH_cluster.json");
+    println!("\nwrote {path}:\n{json}");
+}
+
+fn main() {
+    let pas = build_pas();
+    let mut c = Criterion::default();
+    bench_cluster(&mut c, &pas);
+    write_summary(&c, &pas);
+}

@@ -1,0 +1,686 @@
+//! The multi-node discrete-event loop: HRW-sharded routing, hedged
+//! cross-shard forwards, seeded network chaos, membership changes with
+//! state hand-off, and fleet accounting.
+//!
+//! One [`EventHeap`] drives the whole fleet. Requests arrive at their
+//! workload's node (the *ingress*); the key's HRW candidate list decides
+//! where they are served:
+//!
+//! - ingress ∈ candidates → served locally (lookup, queue, batch — the
+//!   single-node path from `pas-gateway`, now per node).
+//! - otherwise → *forwarded* to the first reachable candidate. A hedge
+//!   timer arms: if no response lands within `hedge_ms`, a backup probe
+//!   goes to the next candidate (first response wins, losers are
+//!   discarded on arrival). When the candidate chain is exhausted, a
+//!   rescue timer serves the request locally as passthrough — so every
+//!   request completes even if the network eats every message.
+//! - every candidate link partitioned → immediate *local fallback*
+//!   (served through the local pool, not cached locally): the
+//!   full-partition degradation analogue of the plug-and-play guarantee.
+//!
+//! Membership changes are scripted, simulated-time events. A leave drains
+//! the node's queue (graceful decommission), then hands the keys it
+//! *primaries* to their new owners; a join pulls primaries over the same
+//! way. Hand-off travels through real `pas-store` segment logs when
+//! [`ClusterConfig::handoff_dir`] is set — written, closed, reopened, and
+//! replayed — and the resulting cluster state is identical to the
+//! in-memory path.
+//!
+//! Determinism: the loop is serial; parallelism exists only inside a
+//! node's batch dispatch (`pas_par::par_map`, item-ordered). Network
+//! fates are pure functions of `(net_seed, src, dst, msg)` with `msg`
+//! assigned serially, and all tie-breaks go through the `(time, seq)`
+//! heap — so responses and the folded [`ClusterReport`] are bit-identical
+//! at any worker-thread count.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use pas_core::PromptOptimizer;
+use pas_fault::{NetFaultProfile, NetFaults};
+use pas_gateway::{
+    AdmissionPolicy, CacheOutcome, EventHeap, GatewayConfig, GatewayReport, Request, ServeOutcome,
+    WorkloadConfig,
+};
+use pas_store::{Record, RecordMeta, SegmentLog, StoreConfig};
+
+use crate::hrw;
+use crate::node::{Item, Node};
+use crate::report::ClusterReport;
+
+// Aggregate counters are charged once per run from the finished report,
+// following the gateway convention; golden metrics fixtures never run a
+// cluster, so these names stay out of them.
+static OBS_REQUESTS: pas_obs::Counter = pas_obs::Counter::new("cluster.requests");
+static OBS_COMPLETED: pas_obs::Counter = pas_obs::Counter::new("cluster.completed");
+static OBS_FORWARDS: pas_obs::Counter = pas_obs::Counter::new("cluster.forwards");
+static OBS_HEDGES_FIRED: pas_obs::Counter = pas_obs::Counter::new("cluster.hedges.fired");
+static OBS_HEDGES_WON: pas_obs::Counter = pas_obs::Counter::new("cluster.hedges.won");
+static OBS_RESCUES: pas_obs::Counter = pas_obs::Counter::new("cluster.rescues");
+static OBS_LOCAL_FALLBACKS: pas_obs::Counter = pas_obs::Counter::new("cluster.local_fallbacks");
+static OBS_REBALANCE_MOVED: pas_obs::Counter = pas_obs::Counter::new("cluster.rebalance.moved");
+
+/// Fingerprint stamped on hand-off segment logs so a stray log from some
+/// other producer is rejected at open.
+const HANDOFF_FINGERPRINT: u64 = 0x4a0f_f10a_d0ff_0001;
+
+/// A scripted membership change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Membership {
+    /// Node joins (or rejoins) the fleet and receives its primaries.
+    Join(u32),
+    /// Node drains its queue, hands its primaries off, and departs.
+    Leave(u32),
+}
+
+/// Cluster tuning knobs on top of the per-node [`GatewayConfig`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Simulated gateway nodes (ids `0..nodes`).
+    pub nodes: usize,
+    /// HRW candidate-set size per key (primary + replicas).
+    pub replication: usize,
+    /// Per-node serving knobs; each node derives its own fault seed.
+    pub gateway: GatewayConfig,
+    /// Simulated network behaviour (latency, loss, partitions).
+    pub net: NetFaultProfile,
+    /// Seed for the network schedule.
+    pub net_seed: u64,
+    /// Delay before a backup probe goes to the next candidate.
+    pub hedge_ms: u64,
+    /// Delay before an exhausted hedge chain serves locally.
+    pub rescue_ms: u64,
+    /// Nodes built dead (they come up through a scripted `Join`).
+    pub start_dead: Vec<u32>,
+    /// Scripted membership changes as `(at_ms, change)` pairs.
+    pub script: Vec<(u64, Membership)>,
+    /// When set, rebalance hand-off is written to and replayed from
+    /// `pas-store` segment logs under this directory; when `None` the
+    /// same entries move in memory (identical resulting state).
+    pub handoff_dir: Option<PathBuf>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 4,
+            replication: 2,
+            gateway: GatewayConfig::default(),
+            net: NetFaultProfile::none(),
+            net_seed: 0x4e72,
+            hedge_ms: 12,
+            rescue_ms: 40,
+            start_dead: Vec::new(),
+            script: Vec::new(),
+            handoff_dir: None,
+        }
+    }
+}
+
+/// Per-node workloads for a fleet soak: node `n` gets `base.for_node(n)`
+/// traffic — decorrelated streams, one fleet seed.
+pub fn fleet_workloads(base: &WorkloadConfig, nodes: usize) -> Vec<Vec<Request>> {
+    (0..nodes).map(|n| pas_gateway::generate(&base.for_node(n as u32))).collect()
+}
+
+/// Per-request simulation state.
+pub(crate) struct ReqCtx {
+    /// Workload coordinates (node index, position) for the response slot.
+    node: usize,
+    slot: usize,
+    pub prompt: String,
+    arrival_ms: u64,
+    /// The node that accounts this request (workload node, or the primary
+    /// owner when the workload node is dead).
+    ingress: u32,
+    candidates: Vec<u32>,
+    /// The first forward target, when the request was forwarded at all.
+    primary: Option<u32>,
+    done: bool,
+}
+
+/// A message on the simulated network.
+#[derive(Clone)]
+pub(crate) enum Msg {
+    /// Serve `req` here (the receiver is a candidate for its key).
+    Forward { req: usize },
+    /// `server`'s answer for `req`, returning to the ingress.
+    Response { req: usize, text: String, server: u32 },
+}
+
+/// Cluster loop events (see module docs for the flow).
+pub(crate) enum Ev {
+    Arrival(usize),
+    Deliver {
+        dst: u32,
+        msg: Msg,
+    },
+    Linger {
+        node: u32,
+        req: usize,
+    },
+    CacheServe {
+        node: u32,
+        members: Vec<(usize, String)>,
+    },
+    BatchDone {
+        node: u32,
+        replica: usize,
+        members: Vec<Item>,
+        unique_of: Vec<usize>,
+        outcomes: Vec<ServeOutcome>,
+    },
+    Hedge {
+        req: usize,
+        next: usize,
+    },
+    Rescue {
+        req: usize,
+    },
+    Membership(usize),
+}
+
+/// The simulated fleet. Build once, [`Cluster::run`] per soak; node
+/// caches stay warm across runs.
+pub struct Cluster<O: PromptOptimizer> {
+    config: ClusterConfig,
+    nodes: Vec<Node<O>>,
+}
+
+impl<O: PromptOptimizer> Cluster<O> {
+    /// Builds the fleet; `optimizer(node, replica)` supplies each node's
+    /// pool members.
+    pub fn new(config: ClusterConfig, mut optimizer: impl FnMut(u32, usize) -> O) -> Self {
+        assert!(config.nodes > 0, "cluster needs at least one node");
+        assert!(config.replication > 0, "replication must be positive");
+        let nodes = (0..config.nodes as u32)
+            .map(|n| {
+                let opts = (0..config.gateway.replicas.max(1)).map(|r| optimizer(n, r)).collect();
+                let mut node = Node::new(n, &config.gateway, opts);
+                node.live = !config.start_dead.contains(&n);
+                node
+            })
+            .collect();
+        Cluster { config, nodes }
+    }
+
+    /// Number of nodes (live or not).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for a node-less cluster (never constructed; the type permits
+    /// it).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether `node` is currently part of the fleet.
+    pub fn is_live(&self, node: u32) -> bool {
+        self.nodes[node as usize].live
+    }
+
+    /// Live entries in `node`'s semantic cache.
+    pub fn cache_len(&self, node: u32) -> usize {
+        self.nodes[node as usize].cache.len()
+    }
+
+    /// Runs one workload per node to completion. Returns the responses
+    /// (index-aligned with each node's workload) and the fleet report.
+    pub fn run(&mut self, workloads: &[Vec<Request>]) -> (Vec<Vec<String>>, ClusterReport) {
+        assert_eq!(workloads.len(), self.nodes.len(), "one workload per node");
+        let mut span = pas_obs::span("cluster.run");
+        span.items(workloads.iter().map(|w| w.len() as u64).sum());
+        for node in self.nodes.iter_mut() {
+            node.begin_run();
+        }
+
+        let config = &self.config;
+        let mut sim = Sim {
+            cfg: config,
+            nodes: &mut self.nodes,
+            reqs: Vec::new(),
+            events: EventHeap::new(),
+            net: NetFaults::new(config.net.clone(), config.net_seed),
+            msg_seq: 0,
+            responses: workloads.iter().map(|w| vec![None; w.len()]).collect(),
+            stats: ClusterReport::default(),
+            handoff_changes: 0,
+        };
+        // Arrivals node-major: same-time ties fire lowest-node-first, a
+        // pure function of the workloads.
+        for (ni, workload) in workloads.iter().enumerate() {
+            for (si, r) in workload.iter().enumerate() {
+                let id = sim.reqs.len();
+                sim.reqs.push(ReqCtx {
+                    node: ni,
+                    slot: si,
+                    prompt: r.prompt.clone(),
+                    arrival_ms: r.arrival_ms,
+                    ingress: 0,
+                    candidates: Vec::new(),
+                    primary: None,
+                    done: false,
+                });
+                sim.events.push(r.arrival_ms, Ev::Arrival(id));
+            }
+        }
+        for (k, (at_ms, _)) in config.script.iter().enumerate() {
+            sim.events.push(*at_ms, Ev::Membership(k));
+        }
+
+        while let Some((now, ev)) = sim.events.pop() {
+            sim.handle(ev, now);
+        }
+
+        let Sim { events, responses, stats: mut report, .. } = sim;
+        let now = events.now();
+        report.nodes = self.nodes.len() as u64;
+        for node in self.nodes.iter_mut() {
+            node.end_run(now);
+            report.per_node.push(node.report.clone());
+        }
+        let mut fleet = GatewayReport::default();
+        for r in &report.per_node {
+            fleet.merge(r);
+        }
+        report.fleet = fleet;
+
+        OBS_REQUESTS.add(report.fleet.requests);
+        OBS_COMPLETED.add(report.fleet.completed);
+        OBS_FORWARDS.add(report.forwards);
+        OBS_HEDGES_FIRED.add(report.hedges_fired);
+        OBS_HEDGES_WON.add(report.hedges_won);
+        OBS_RESCUES.add(report.rescues);
+        OBS_LOCAL_FALLBACKS.add(report.local_fallbacks);
+        OBS_REBALANCE_MOVED.add(report.rebalance_moved);
+        span.sim_ms(now);
+        span.finish();
+
+        let responses = responses
+            .into_iter()
+            .map(|node| node.into_iter().map(|r| r.expect("every request answered")).collect())
+            .collect();
+        (responses, report)
+    }
+}
+
+/// Loop state for one run (borrows the cluster's nodes).
+struct Sim<'a, O: PromptOptimizer> {
+    cfg: &'a ClusterConfig,
+    nodes: &'a mut Vec<Node<O>>,
+    reqs: Vec<ReqCtx>,
+    events: EventHeap<Ev>,
+    net: NetFaults,
+    /// Serial message counter — the network schedule's third coordinate.
+    msg_seq: u64,
+    responses: Vec<Vec<Option<String>>>,
+    stats: ClusterReport,
+    handoff_changes: u64,
+}
+
+impl<O: PromptOptimizer> Sim<'_, O> {
+    fn live_ids(&self) -> Vec<u32> {
+        self.nodes.iter().filter(|n| n.live).map(|n| n.id).collect()
+    }
+
+    fn handle(&mut self, ev: Ev, now: u64) {
+        match ev {
+            Ev::Arrival(req) => self.arrival(req, now),
+            Ev::Deliver { dst, msg } => self.deliver(dst, msg, now),
+            Ev::Linger { node, req } => {
+                // Stale once the item left the queue (dispatched, shed, or
+                // completed elsewhere); a live fire flushes the queue.
+                if !self.reqs[req].done
+                    && self.nodes[node as usize].queue.iter().any(|it| it.req == req)
+                {
+                    self.dispatch_node(node, now);
+                }
+            }
+            Ev::CacheServe { node, members } => {
+                for (req, text) in members {
+                    self.complete_at(node, req, text, now);
+                }
+            }
+            Ev::BatchDone { node, replica, members, unique_of, outcomes } => {
+                self.batch_done(node, replica, members, unique_of, outcomes, now)
+            }
+            Ev::Hedge { req, next } => self.hedge(req, next, now),
+            Ev::Rescue { req } => self.rescue(req, now),
+            Ev::Membership(k) => self.membership(k, now),
+        }
+    }
+
+    fn arrival(&mut self, req: usize, now: u64) {
+        let live = self.live_ids();
+        if live.is_empty() {
+            // Whole fleet down: the workload node answers passthrough.
+            let ingress = self.reqs[req].node as u32;
+            self.reqs[req].ingress = ingress;
+            self.nodes[ingress as usize].report.requests += 1;
+            self.stats.local_fallbacks += 1;
+            self.serve_local(ingress, req, false, now);
+            return;
+        }
+        let candidates = hrw::candidates(&self.reqs[req].prompt, &live, self.cfg.replication);
+        let mut ingress = self.reqs[req].node as u32;
+        if !self.nodes[ingress as usize].live {
+            // Dead ingress: its clients reconnect straight to the primary.
+            ingress = candidates[0];
+            self.stats.redirects += 1;
+        }
+        self.reqs[req].ingress = ingress;
+        self.reqs[req].candidates = candidates.clone();
+        self.nodes[ingress as usize].report.requests += 1;
+
+        if candidates.contains(&ingress) {
+            self.serve_local(ingress, req, true, now);
+        } else if let Some(pos) =
+            candidates.iter().position(|&c| !self.net.partitioned(now, ingress, c))
+        {
+            let target = candidates[pos];
+            self.reqs[req].primary = Some(target);
+            self.stats.forwards += 1;
+            self.send(now, ingress, target, Msg::Forward { req });
+            self.events.push(now + self.cfg.hedge_ms, Ev::Hedge { req, next: pos + 1 });
+        } else {
+            // Every candidate unreachable: full-partition degradation.
+            self.stats.local_fallbacks += 1;
+            self.serve_local(ingress, req, false, now);
+        }
+    }
+
+    /// Runs `req` through node `n`'s local serving path: cache lookup,
+    /// admission control, queue, batch timers.
+    fn serve_local(&mut self, n: u32, req: usize, cacheable: bool, now: u64) {
+        let cfg = &self.cfg.gateway;
+        match self.nodes[n as usize].cache.lookup(&self.reqs[req].prompt) {
+            CacheOutcome::ExactHit(response) | CacheOutcome::NearHit { response, .. } => {
+                self.events.push(
+                    now + cfg.cache_hit_cost_ms,
+                    Ev::CacheServe { node: n, members: vec![(req, response)] },
+                );
+            }
+            CacheOutcome::Miss => {
+                let node = &mut self.nodes[n as usize];
+                if node.queue.len() >= cfg.queue_capacity {
+                    match cfg.admission {
+                        AdmissionPolicy::Reject => {
+                            node.report.rejected += 1;
+                            let text = self.reqs[req].prompt.clone();
+                            self.complete_at(n, req, text, now);
+                            return;
+                        }
+                        AdmissionPolicy::ShedOldest => {
+                            let oldest = node.queue.pop_front().expect("full queue");
+                            node.report.shed += 1;
+                            let text = self.reqs[oldest.req].prompt.clone();
+                            self.complete_at(n, oldest.req, text, now);
+                        }
+                    }
+                }
+                let node = &mut self.nodes[n as usize];
+                node.queue.push_back(Item { req, cacheable });
+                if node.queue.len() >= cfg.batch_max {
+                    self.dispatch_node(n, now);
+                } else {
+                    self.events.push(now + cfg.batch_linger_ms, Ev::Linger { node: n, req });
+                }
+            }
+        }
+    }
+
+    fn dispatch_node(&mut self, n: u32, now: u64) {
+        self.nodes[n as usize].dispatch(&self.reqs, &self.cfg.gateway, now, &mut self.events);
+    }
+
+    fn batch_done(
+        &mut self,
+        n: u32,
+        replica: usize,
+        members: Vec<Item>,
+        unique_of: Vec<usize>,
+        outcomes: Vec<ServeOutcome>,
+        now: u64,
+    ) {
+        let node = &mut self.nodes[n as usize];
+        node.pool.finish(replica, outcomes.len() as u64);
+        // Cache and replica accounting go per unique prompt…
+        for (u, outcome) in outcomes.iter().enumerate() {
+            let k = unique_of.iter().position(|&x| x == u).expect("owner");
+            if let ServeOutcome::Served { response, replica: served_by, failovers } = outcome {
+                // Install only entries this node owns (any cacheable
+                // member) and only while it is part of the fleet.
+                let owned = members.iter().zip(&unique_of).any(|(it, &uu)| uu == u && it.cacheable);
+                if owned && node.live {
+                    node.cache.insert(&self.reqs[members[k].req].prompt, response);
+                }
+                node.report.failovers += failovers;
+                let r = &mut node.report.per_replica[*served_by];
+                r.served += 1;
+                if *failovers > 0 {
+                    r.failover_served += 1;
+                }
+            }
+        }
+        // …responses per member request.
+        for (k, it) in members.iter().enumerate() {
+            let outcome = &outcomes[unique_of[k]];
+            if *outcome == ServeOutcome::Degraded {
+                self.nodes[n as usize].report.degraded += 1;
+            }
+            let text = outcome.response_for(&self.reqs[it.req].prompt);
+            self.complete_at(n, it.req, text, now);
+        }
+    }
+
+    /// Node `n` finished serving `req`: answer locally or send the
+    /// response back to the ingress over the network.
+    fn complete_at(&mut self, n: u32, req: usize, text: String, now: u64) {
+        if self.reqs[req].done {
+            return; // a faster path (hedge winner, rescue) got there first
+        }
+        let ingress = self.reqs[req].ingress;
+        if n == ingress {
+            self.finish(req, text, now, n);
+        } else {
+            self.send(now, n, ingress, Msg::Response { req, text, server: n });
+        }
+    }
+
+    /// Delivers the final answer at the ingress: response slot, completion
+    /// and latency accounting, hedge-win attribution.
+    fn finish(&mut self, req: usize, text: String, now: u64, server: u32) {
+        let (node, slot, ingress, arrival, primary) = {
+            let r = &self.reqs[req];
+            (r.node, r.slot, r.ingress, r.arrival_ms, r.primary)
+        };
+        self.reqs[req].done = true;
+        self.responses[node][slot] = Some(text);
+        let report = &mut self.nodes[ingress as usize].report;
+        report.completed += 1;
+        report.latency.record(now - arrival);
+        if primary.is_some_and(|p| server != p && server != ingress) {
+            self.stats.hedges_won += 1;
+        }
+    }
+
+    /// Commits a message to the network: refused on a partitioned link,
+    /// otherwise delivered per the seeded schedule (possibly dropped or
+    /// duplicated, each copy with its own latency).
+    fn send(&mut self, now: u64, src: u32, dst: u32, msg: Msg) {
+        if self.net.partitioned(now, src, dst) {
+            self.stats.net_cut += 1;
+            return;
+        }
+        let copies = self.net.deliveries(src, dst, self.msg_seq);
+        self.msg_seq += 1;
+        match copies.len() {
+            0 => self.stats.net_drops += 1,
+            1 => {}
+            _ => self.stats.net_duplicates += 1,
+        }
+        for latency in copies {
+            self.events.push(now + latency, Ev::Deliver { dst, msg: msg.clone() });
+        }
+    }
+
+    fn deliver(&mut self, dst: u32, msg: Msg, now: u64) {
+        match msg {
+            Msg::Forward { req } => {
+                // Late or duplicated copies for settled requests — and
+                // anything addressed to a departed node — evaporate; the
+                // ingress hedge/rescue chain covers the loss.
+                if self.reqs[req].done || !self.nodes[dst as usize].live {
+                    return;
+                }
+                self.serve_local(dst, req, true, now);
+            }
+            Msg::Response { req, text, server } => {
+                if self.reqs[req].done {
+                    return;
+                }
+                self.finish(req, text, now, server);
+            }
+        }
+    }
+
+    fn hedge(&mut self, req: usize, next: usize, now: u64) {
+        if self.reqs[req].done {
+            return;
+        }
+        let ingress = self.reqs[req].ingress;
+        let candidates = self.reqs[req].candidates.clone();
+        let found = candidates
+            .iter()
+            .enumerate()
+            .skip(next)
+            .find(|&(_, &c)| self.nodes[c as usize].live && !self.net.partitioned(now, ingress, c))
+            .map(|(pos, &c)| (pos, c));
+        match found {
+            Some((pos, c)) => {
+                self.stats.hedges_fired += 1;
+                self.send(now, ingress, c, Msg::Forward { req });
+                self.events.push(now + self.cfg.hedge_ms, Ev::Hedge { req, next: pos + 1 });
+            }
+            // Chain exhausted: the rescue timer guarantees completion.
+            None => self.events.push(now + self.cfg.rescue_ms, Ev::Rescue { req }),
+        }
+    }
+
+    fn rescue(&mut self, req: usize, now: u64) {
+        if self.reqs[req].done {
+            return;
+        }
+        self.stats.rescues += 1;
+        let ingress = self.reqs[req].ingress;
+        let cacheable = self.reqs[req].candidates.contains(&ingress);
+        self.serve_local(ingress, req, cacheable, now);
+    }
+
+    fn membership(&mut self, k: usize, now: u64) {
+        let (_, change) = self.cfg.script[k];
+        match change {
+            Membership::Join(n) => {
+                if self.nodes[n as usize].live {
+                    return;
+                }
+                let old_live = self.live_ids();
+                self.nodes[n as usize].live = true;
+                let new_live = self.live_ids();
+                self.rebalance(&old_live, &new_live);
+            }
+            Membership::Leave(n) => {
+                if !self.nodes[n as usize].live {
+                    return;
+                }
+                // Graceful decommission: flush queued work (its batches
+                // complete in flight; responses still travel), then hand
+                // primaries off and depart.
+                while !self.nodes[n as usize].queue.is_empty() {
+                    self.dispatch_node(n, now);
+                }
+                let old_live = self.live_ids();
+                self.nodes[n as usize].live = false;
+                let new_live = self.live_ids();
+                self.rebalance(&old_live, &new_live);
+            }
+        }
+    }
+
+    /// Moves every key whose *primary* changed between the memberships to
+    /// its new primary — HRW guarantees that is the minimal set. Donors
+    /// keep their (now stale) copies; LRU ages them out.
+    fn rebalance(&mut self, old_live: &[u32], new_live: &[u32]) {
+        self.stats.rebalances += 1;
+        if new_live.is_empty() {
+            return;
+        }
+        // Deterministic move set: donors in id order, entries in LRU
+        // order, grouped per (src, dst) link.
+        let mut moves: BTreeMap<(u32, u32), Vec<(String, String)>> = BTreeMap::new();
+        for &s in old_live {
+            for (prompt, response) in self.nodes[s as usize].cache.live_entries_lru() {
+                if hrw::owner(prompt, old_live) != Some(s) {
+                    continue;
+                }
+                let new_primary = hrw::owner(prompt, new_live).expect("non-empty membership");
+                if new_primary != s {
+                    moves
+                        .entry((s, new_primary))
+                        .or_default()
+                        .push((prompt.to_string(), response.to_string()));
+                }
+            }
+        }
+        let change = self.handoff_changes;
+        self.handoff_changes += 1;
+        for ((src, dst), entries) in &moves {
+            let entries = match &self.cfg.handoff_dir {
+                // Real hand-off: the donor writes a segment log, the
+                // receiver reopens and replays it. Same bytes discipline
+                // as any pas-store producer; crash legs apply.
+                Some(dir) => {
+                    let path = dir.join(format!("change{change:03}-n{src}-to-n{dst}"));
+                    let sc =
+                        StoreConfig { fingerprint: HANDOFF_FINGERPRINT, ..StoreConfig::default() };
+                    let (mut log, existing) =
+                        SegmentLog::open(&path, sc.clone(), None).expect("handoff log open");
+                    assert!(existing.is_empty(), "handoff log must start fresh");
+                    for (i, (prompt, response)) in entries.iter().enumerate() {
+                        let record = Record::Meta {
+                            id: i as u64,
+                            meta: RecordMeta {
+                                category: "handoff".into(),
+                                degraded: false,
+                                stamp: i as u64,
+                                fields: vec![
+                                    ("p".into(), prompt.clone()),
+                                    ("r".into(), response.clone()),
+                                ],
+                            },
+                        };
+                        log.append(&record).expect("handoff append");
+                    }
+                    drop(log);
+                    let (_, records) = SegmentLog::open(&path, sc, None).expect("handoff replay");
+                    records
+                        .iter()
+                        .filter_map(|rec| match rec {
+                            Record::Meta { meta, .. } => {
+                                Some((meta.field("p")?.to_string(), meta.field("r")?.to_string()))
+                            }
+                            _ => None,
+                        })
+                        .collect()
+                }
+                None => entries.clone(),
+            };
+            let receiver = &mut self.nodes[*dst as usize];
+            for (prompt, response) in &entries {
+                receiver.cache.insert(prompt, response);
+            }
+            self.stats.rebalance_moved += entries.len() as u64;
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Rendezvous (highest-random-weight) hashing for shard placement.
+//!
+//! Every `(node, key)` pair gets a deterministic 64-bit score; a key's
+//! *candidate list* is the live nodes sorted by score, best first, and its
+//! *primary owner* is the head of that list. Because each node's score for
+//! a key never depends on which other nodes exist, membership changes are
+//! minimally disruptive by construction: joining node `j` only inserts `j`
+//! into lists at its own score position (every other relative order is
+//! unchanged), and a leave only promotes the next-best candidate for the
+//! keys the leaver held. The proptests in `tests/properties.rs` pin both
+//! facts plus a load-balance bound across 1–16 nodes.
+//!
+//! Hashing is plain integer arithmetic (FNV-1a over the key bytes, a
+//! splitmix64 finalizer over the pair), so placement is bit-identical on
+//! every platform — part of the cluster determinism contract.
+
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit permutation.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over the key bytes — stable, allocation-free, endian-agnostic.
+pub fn key_hash(key: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The rendezvous score of `node` for a pre-hashed key. Higher wins.
+pub fn score(node: u32, key_hash: u64) -> u64 {
+    mix(key_hash ^ mix(u64::from(node) ^ 0x4852_5748)) // "HRWH"
+}
+
+/// The top-`r` candidate nodes for `key` among `live`, best first. Ties
+/// (astronomically unlikely) break toward the lower node id, keeping the
+/// order total. Returns fewer than `r` nodes when fewer are live, and an
+/// empty vec for an empty membership.
+pub fn candidates(key: &str, live: &[u32], r: usize) -> Vec<u32> {
+    let kh = key_hash(key);
+    let mut ranked: Vec<u32> = live.to_vec();
+    ranked.sort_by_key(|&n| (std::cmp::Reverse(score(n, kh)), n));
+    ranked.truncate(r);
+    ranked
+}
+
+/// The primary owner of `key` among `live` (`None` for an empty
+/// membership).
+pub fn owner(key: &str, live: &[u32]) -> Option<u32> {
+    let kh = key_hash(key);
+    live.iter().copied().min_by_key(|&n| (std::cmp::Reverse(score(n, kh)), n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_matches_candidate_head() {
+        let live = [0u32, 1, 2, 3, 4];
+        for i in 0..200 {
+            let key = format!("prompt {i}");
+            assert_eq!(owner(&key, &live), Some(candidates(&key, &live, 3)[0]));
+        }
+        assert_eq!(owner("x", &[]), None);
+        assert!(candidates("x", &[], 2).is_empty());
+    }
+
+    #[test]
+    fn candidates_are_distinct_live_nodes() {
+        let live = [3u32, 7, 9];
+        let c = candidates("some key", &live, 5);
+        assert_eq!(c.len(), 3, "r beyond membership clamps");
+        let mut sorted = c.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), c.len());
+        assert!(c.iter().all(|n| live.contains(n)));
+    }
+
+    #[test]
+    fn placement_is_stable_and_membership_order_independent() {
+        let a = candidates("k", &[0, 1, 2, 3], 2);
+        let b = candidates("k", &[3, 1, 0, 2], 2);
+        assert_eq!(a, b, "candidate order is a function of scores, not input order");
+        assert_eq!(a, candidates("k", &[0, 1, 2, 3], 2));
+    }
+}

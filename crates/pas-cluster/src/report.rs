@@ -1,0 +1,183 @@
+//! Fleet-level accounting: per-node [`GatewayReport`]s folded through the
+//! existing associative merge, plus cluster-only counters for routing,
+//! hedging, network chaos, and rebalancing.
+//!
+//! Like every report in the workspace, [`ClusterReport::merge`] is
+//! associative with `Default` as the identity — shard/window reports fold
+//! into one fleet report in any grouping, which is what lets the CI job
+//! byte-diff folded reports across worker-thread counts.
+
+use serde::{Deserialize, Serialize};
+
+use pas_gateway::GatewayReport;
+
+/// Everything one cluster run did. `fleet` is the fold of `per_node`;
+/// both are kept so dashboards can show the fleet headline *and* per-node
+/// skew.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// Nodes configured (max under merge).
+    pub nodes: u64,
+    /// Per-node gateway reports folded into one (the associative
+    /// [`GatewayReport::merge`]).
+    pub fleet: GatewayReport,
+    /// Per-node gateway reports, indexed by node id.
+    pub per_node: Vec<GatewayReport>,
+    /// Requests whose ingress was not a candidate and were sent to one.
+    pub forwards: u64,
+    /// Backup probes fired after the hedge delay elapsed unanswered.
+    pub hedges_fired: u64,
+    /// Requests whose winning response came from a hedge target rather
+    /// than the primary forward.
+    pub hedges_won: u64,
+    /// Requests completed by the local rescue timer after the hedge chain
+    /// exhausted every candidate.
+    pub rescues: u64,
+    /// Requests served locally because every candidate link was
+    /// partitioned at arrival (full-partition degradation).
+    pub local_fallbacks: u64,
+    /// Arrivals at a dead ingress redirected to the key's primary owner.
+    pub redirects: u64,
+    /// Messages refused at send time because the link was partitioned.
+    pub net_cut: u64,
+    /// Messages dropped in flight by the network schedule.
+    pub net_drops: u64,
+    /// Messages duplicated in flight by the network schedule.
+    pub net_duplicates: u64,
+    /// Membership changes processed (joins + leaves).
+    pub rebalances: u64,
+    /// Cache entries handed to a new primary owner across all rebalances.
+    pub rebalance_moved: u64,
+}
+
+impl ClusterReport {
+    /// Requests that arrived but were never answered. The cluster's
+    /// zero-error guarantee pins this to 0 at the end of every run —
+    /// partitions, drops, and node departures included.
+    pub fn errors(&self) -> u64 {
+        self.fleet.requests.saturating_sub(self.fleet.completed)
+    }
+
+    /// Fleet-wide completed requests per simulated second.
+    pub fn throughput_rps(&self) -> f64 {
+        self.fleet.throughput_rps()
+    }
+
+    /// Folds `other` into `self`: gateway reports merge (fleet whole,
+    /// per-node index-wise), counters sum, node counts max. Associative,
+    /// with [`ClusterReport::default`] as the identity.
+    pub fn merge(&mut self, other: &ClusterReport) {
+        self.nodes = self.nodes.max(other.nodes);
+        self.fleet.merge(&other.fleet);
+        if self.per_node.len() < other.per_node.len() {
+            self.per_node.resize(other.per_node.len(), GatewayReport::default());
+        }
+        for (mine, theirs) in self.per_node.iter_mut().zip(&other.per_node) {
+            mine.merge(theirs);
+        }
+        self.forwards += other.forwards;
+        self.hedges_fired += other.hedges_fired;
+        self.hedges_won += other.hedges_won;
+        self.rescues += other.rescues;
+        self.local_fallbacks += other.local_fallbacks;
+        self.redirects += other.redirects;
+        self.net_cut += other.net_cut;
+        self.net_drops += other.net_drops;
+        self.net_duplicates += other.net_duplicates;
+        self.rebalances += other.rebalances;
+        self.rebalance_moved += other.rebalance_moved;
+    }
+
+    /// Two-paragraph human summary for CLI/bin output.
+    pub fn render_summary(&self) -> String {
+        format!(
+            concat!(
+                "fleet of {} nodes: {}\n",
+                "cluster: {} forwards, {} hedges fired ({} won), {} rescues, ",
+                "{} local fallbacks, {} redirects; ",
+                "net: {} cut, {} dropped, {} duplicated; ",
+                "{} rebalances moved {} entries; {} errors"
+            ),
+            self.nodes,
+            self.fleet.render_summary(),
+            self.forwards,
+            self.hedges_fired,
+            self.hedges_won,
+            self.rescues,
+            self.local_fallbacks,
+            self.redirects,
+            self.net_cut,
+            self.net_drops,
+            self.net_duplicates,
+            self.rebalances,
+            self.rebalance_moved,
+            self.errors(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arb(seed: u64) -> ClusterReport {
+        let f = |k: u64| (seed.rotate_left(k as u32).wrapping_mul(k + 3)) % 300;
+        let mut node =
+            GatewayReport { requests: f(1), completed: f(1), ..GatewayReport::default() };
+        node.latency.record(f(2));
+        ClusterReport {
+            nodes: 1 + seed % 4,
+            fleet: node.clone(),
+            per_node: vec![node],
+            forwards: f(3),
+            hedges_fired: f(4),
+            hedges_won: f(5),
+            rescues: f(6),
+            local_fallbacks: f(7),
+            redirects: f(8),
+            net_cut: f(9),
+            net_drops: f(10),
+            net_duplicates: f(11),
+            rebalances: f(12),
+            rebalance_moved: f(13),
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_with_identity() {
+        for seed in [2u64, 77, 0xbeef] {
+            let (a, b, c) = (arb(seed), arb(seed ^ 5), arb(seed ^ 999));
+            let mut left = a.clone();
+            left.merge(&b);
+            left.merge(&c);
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut right = a.clone();
+            right.merge(&bc);
+            assert_eq!(left, right);
+
+            let mut id = ClusterReport::default();
+            id.merge(&a);
+            assert_eq!(id, a);
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = arb(11);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ClusterReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn errors_counts_the_completion_gap() {
+        let mut r = ClusterReport::default();
+        r.fleet.requests = 10;
+        r.fleet.completed = 10;
+        assert_eq!(r.errors(), 0);
+        r.fleet.completed = 7;
+        assert_eq!(r.errors(), 3);
+        assert!(r.render_summary().contains("3 errors"));
+    }
+}

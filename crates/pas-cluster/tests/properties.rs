@@ -1,0 +1,93 @@
+//! Property tests for rendezvous-hash placement: load balance stays
+//! within a bound, and membership changes disturb only the minimal set
+//! of keys.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use pas_cluster::hrw;
+
+fn keys(n: usize, salt: u64) -> Vec<String> {
+    (0..n).map(|i| format!("prompt {salt}-{i} about topic {}", i % 17)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    // Across 1–16 nodes, no node owns more than ~3x its fair share of a
+    // reasonably large key set (HRW balance is binomial around the
+    // mean; 3x is a comfortable bound at 600 keys).
+    #[test]
+    fn load_stays_within_bound(nodes in 1usize..=16, salt in 0u64..1000) {
+        let live: Vec<u32> = (0..nodes as u32).collect();
+        let keys = keys(600, salt);
+        let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+        for k in &keys {
+            *counts.entry(hrw::owner(k, &live).unwrap()).or_default() += 1;
+        }
+        let fair = keys.len() as f64 / nodes as f64;
+        for (&node, &count) in &counts {
+            prop_assert!(
+                (count as f64) <= fair * 3.0,
+                "node {} owns {} of {} keys (fair share {:.1})",
+                node, count, keys.len(), fair
+            );
+        }
+    }
+
+    // A join only inserts the joiner into candidate lists: every key
+    // either keeps its exact candidate list, or gains the joiner while
+    // preserving the relative order of all incumbents. Keys that change
+    // owner change it *to the joiner* only.
+    #[test]
+    fn join_disturbs_only_keys_the_joiner_wins(nodes in 2usize..=12, salt in 0u64..1000) {
+        let joiner = nodes as u32; // a node id not yet in the set
+        let before: Vec<u32> = (0..nodes as u32).collect();
+        let mut after = before.clone();
+        after.push(joiner);
+        for k in &keys(300, salt) {
+            let old = hrw::candidates(k, &before, 3);
+            let new = hrw::candidates(k, &after, 3);
+            // Incumbent relative order is preserved: `new` minus the
+            // joiner is a prefix of `old`.
+            let survivors: Vec<u32> = new.iter().copied().filter(|&n| n != joiner).collect();
+            prop_assert_eq!(&old[..survivors.len()], &survivors[..]);
+            let (old_owner, new_owner) =
+                (hrw::owner(k, &before).unwrap(), hrw::owner(k, &after).unwrap());
+            prop_assert!(
+                new_owner == old_owner || new_owner == joiner,
+                "ownership may move only to the joiner (was {}, now {})",
+                old_owner, new_owner
+            );
+        }
+    }
+
+    // A leave only reassigns the leaver's keys: every key the leaver did
+    // not own keeps its owner, and the survivors' relative candidate
+    // order never changes.
+    #[test]
+    fn leave_reassigns_only_the_leavers_keys(
+        nodes in 2usize..=12,
+        leaver_ix in 0usize..12,
+        salt in 0u64..1000,
+    ) {
+        let before: Vec<u32> = (0..nodes as u32).collect();
+        let leaver = before[leaver_ix % nodes];
+        let after: Vec<u32> = before.iter().copied().filter(|&n| n != leaver).collect();
+        for k in &keys(300, salt) {
+            let old = hrw::candidates(k, &before, 3);
+            let new = hrw::candidates(k, &after, 3);
+            // Survivor relative order is preserved.
+            let survivors: Vec<u32> = old.iter().copied().filter(|&n| n != leaver).collect();
+            prop_assert_eq!(&new[..survivors.len().min(new.len())], &survivors[..survivors.len().min(new.len())]);
+            let old_owner = hrw::owner(k, &before).unwrap();
+            if old_owner != leaver {
+                prop_assert_eq!(hrw::owner(k, &after), Some(old_owner));
+            } else {
+                // The leaver's keys go to its runner-up.
+                prop_assert_eq!(hrw::owner(k, &after), old.iter().copied().find(|&n| n != leaver).or(after.first().copied()));
+            }
+        }
+    }
+}

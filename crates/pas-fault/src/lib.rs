@@ -22,6 +22,10 @@
 //! - [`disk`] — [`DiskFaults`]: seeded crash-point injection at the
 //!   persistence layer's durability boundaries (short writes, flush
 //!   failures, clean crashes) for `pas-store` recovery sweeps.
+//! - [`net`] — [`NetFaults`]: a seeded simulated network for
+//!   `pas-cluster` — per-link latency + jitter, drops, duplicates, and
+//!   declarative partition windows, all pure functions of
+//!   `(seed, src, dst, msg)`.
 //! - [`report`] — [`FaultReport`]: merge-able counters (associative, with
 //!   `Default` as identity) for ordered reduction after parallel regions.
 //!
@@ -35,6 +39,7 @@
 pub mod disk;
 pub mod inject;
 pub mod journal;
+pub mod net;
 pub mod profile;
 pub mod report;
 pub mod resilient;
@@ -43,6 +48,7 @@ pub mod retry;
 pub use disk::{DiskFault, DiskFaultKind, DiskFaults};
 pub use inject::{streams, AttemptChat, FaultInjector, FaultyModel};
 pub use journal::Journal;
+pub use net::{NetFaultProfile, NetFaults, NetPartition};
 pub use profile::{FaultKind, FaultProfile};
 pub use report::FaultReport;
 pub use resilient::Resilient;

@@ -1,0 +1,264 @@
+//! Seeded network-fault simulation for multi-node cluster soaks.
+//!
+//! `pas-cluster` nodes exchange forward/response messages over a simulated
+//! network. [`NetFaults`] decides what happens to every message — its
+//! per-copy latencies, whether it is dropped or duplicated, and whether
+//! the link is cut by an active partition — as a **pure function** of
+//! `(seed, src, dst, msg)`, the same derived-stream discipline as
+//! [`FaultProfile::decide`](crate::FaultProfile::decide) and
+//! [`DiskFaults`](crate::DiskFaults). Message sequence numbers are
+//! assigned by the (serial) cluster event loop, so the whole chaos
+//! schedule is independent of thread count and a partition soak stays
+//! bit-identical at `--threads 1` and `--threads 8`.
+//!
+//! Partitions are declarative: a [`NetPartition`] names a simulated-time
+//! window and an *island* of node ids; while the window is open, every
+//! link crossing the island boundary is cut (messages on it are refused at
+//! send time), and when it closes the network heals with no residue.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use pas_par::derive_seed_path;
+
+/// Stream tag separating network-fault decisions from every other seeded
+/// stream in the workspace.
+const NET_STREAM: u64 = 0x4e7f;
+
+/// One declarative partition window: nodes inside `island` cannot exchange
+/// messages with nodes outside it while `start_ms <= now < end_ms`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetPartition {
+    /// Simulated time the partition opens (inclusive).
+    pub start_ms: u64,
+    /// Simulated time the partition heals (exclusive).
+    pub end_ms: u64,
+    /// Node ids on the minority side of the cut.
+    pub island: Vec<u32>,
+}
+
+impl NetPartition {
+    /// True while this window is open at `now`.
+    pub fn active(&self, now: u64) -> bool {
+        (self.start_ms..self.end_ms).contains(&now)
+    }
+
+    /// True when this window cuts the `a`↔`b` link at `now` (the link
+    /// crosses the island boundary).
+    pub fn cuts(&self, now: u64, a: u32, b: u32) -> bool {
+        self.active(now) && (self.island.contains(&a) != self.island.contains(&b))
+    }
+}
+
+/// A seeded, named network-fault schedule — the network analogue of
+/// [`FaultProfile`](crate::FaultProfile). Latency is `base + jitter` where
+/// jitter is drawn uniformly from `0..=jitter_ms` per delivered copy;
+/// rates are per-message probabilities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetFaultProfile {
+    /// Profile name (the CLI's `--net-profile` argument).
+    pub name: &'static str,
+    /// Fixed one-way latency floor in simulated milliseconds.
+    pub base_latency_ms: u64,
+    /// Seeded uniform jitter added on top (`0..=jitter_ms`).
+    pub jitter_ms: u64,
+    /// Per-message probability the message is silently dropped.
+    pub drop_rate: f32,
+    /// Per-message probability a second copy is delivered.
+    pub duplicate_rate: f32,
+    /// Declarative partition windows (see [`NetPartition`]).
+    pub partitions: Vec<NetPartition>,
+}
+
+impl NetFaultProfile {
+    /// The clean profile: instant-ish, lossless, never partitioned.
+    pub fn none() -> NetFaultProfile {
+        NetFaultProfile {
+            name: "none",
+            base_latency_ms: 1,
+            jitter_ms: 0,
+            drop_rate: 0.0,
+            duplicate_rate: 0.0,
+            partitions: Vec::new(),
+        }
+    }
+
+    /// A quiet datacenter network: low latency, mild jitter, no loss.
+    pub fn lan() -> NetFaultProfile {
+        NetFaultProfile { name: "lan", base_latency_ms: 2, jitter_ms: 3, ..NetFaultProfile::none() }
+    }
+
+    /// A lossy network: LAN latencies plus drops and duplicates — the
+    /// profile that exercises hedging and rescue timers.
+    pub fn lossy() -> NetFaultProfile {
+        NetFaultProfile {
+            name: "lossy",
+            base_latency_ms: 2,
+            jitter_ms: 6,
+            drop_rate: 0.08,
+            duplicate_rate: 0.04,
+            ..NetFaultProfile::none()
+        }
+    }
+
+    /// All named profiles, for CLI help text.
+    pub const NAMES: [&'static str; 3] = ["none", "lan", "lossy"];
+
+    /// Looks a profile up by name.
+    pub fn named(name: &str) -> Option<NetFaultProfile> {
+        match name {
+            "none" => Some(NetFaultProfile::none()),
+            "lan" => Some(NetFaultProfile::lan()),
+            "lossy" => Some(NetFaultProfile::lossy()),
+            _ => None,
+        }
+    }
+
+    /// This profile with one more partition window added.
+    pub fn with_partition(mut self, start_ms: u64, end_ms: u64, island: Vec<u32>) -> Self {
+        self.partitions.push(NetPartition { start_ms, end_ms, island });
+        self
+    }
+}
+
+/// A seeded network-fault schedule bound to a base seed. Everything it
+/// answers is a pure function of its arguments; the handle holds no
+/// mutable state at all.
+#[derive(Debug, Clone)]
+pub struct NetFaults {
+    profile: NetFaultProfile,
+    seed: u64,
+}
+
+impl NetFaults {
+    /// Binds `profile` to `seed`.
+    pub fn new(profile: NetFaultProfile, seed: u64) -> NetFaults {
+        NetFaults { profile, seed }
+    }
+
+    /// The bound profile.
+    pub fn profile(&self) -> &NetFaultProfile {
+        &self.profile
+    }
+
+    /// True when the `src`↔`dst` link is cut by any active partition
+    /// window at `now`. Senders consult this *before* committing a
+    /// message; a cut link refuses the send outright.
+    pub fn partitioned(&self, now: u64, src: u32, dst: u32) -> bool {
+        self.profile.partitions.iter().any(|p| p.cuts(now, src, dst))
+    }
+
+    /// True when *every* pairing of `src` with `dsts` is cut at `now` —
+    /// the full-partition condition that triggers local-passthrough
+    /// degradation.
+    pub fn fully_partitioned(&self, now: u64, src: u32, dsts: &[u32]) -> bool {
+        !dsts.is_empty() && dsts.iter().all(|&d| self.partitioned(now, src, d))
+    }
+
+    /// The fate of message number `msg` on the `src → dst` link: one
+    /// latency per delivered copy, in delivery-schedule order. An empty
+    /// vec means the message is dropped; two entries mean it is
+    /// duplicated. Pure in `(seed, src, dst, msg)` — the caller assigns
+    /// `msg` serially, which is what keeps chaos thread-invariant.
+    pub fn deliveries(&self, src: u32, dst: u32, msg: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(derive_seed_path(
+            self.seed,
+            &[NET_STREAM, u64::from(src), u64::from(dst), msg],
+        ));
+        if self.profile.drop_rate > 0.0 && rng.random::<f32>() < self.profile.drop_rate {
+            return Vec::new();
+        }
+        let copies = if self.profile.duplicate_rate > 0.0
+            && rng.random::<f32>() < self.profile.duplicate_rate
+        {
+            2
+        } else {
+            1
+        };
+        (0..copies)
+            .map(|_| {
+                let jitter = if self.profile.jitter_ms == 0 {
+                    0
+                } else {
+                    rng.random_range(0..self.profile.jitter_ms + 1)
+                };
+                self.profile.base_latency_ms + jitter
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deliveries_are_a_pure_function() {
+        let n = NetFaults::new(NetFaultProfile::lossy(), 42);
+        for msg in 0..50u64 {
+            assert_eq!(n.deliveries(0, 1, msg), n.deliveries(0, 1, msg));
+        }
+    }
+
+    #[test]
+    fn clean_profile_delivers_exactly_one_copy() {
+        let n = NetFaults::new(NetFaultProfile::none(), 7);
+        for msg in 0..100u64 {
+            assert_eq!(n.deliveries(2, 3, msg), vec![1]);
+        }
+    }
+
+    #[test]
+    fn lossy_profile_drops_and_duplicates() {
+        let n = NetFaults::new(NetFaultProfile::lossy(), 0xc1a0);
+        let fates: Vec<usize> = (0..400u64).map(|m| n.deliveries(0, 1, m).len()).collect();
+        let drops = fates.iter().filter(|&&c| c == 0).count();
+        let dups = fates.iter().filter(|&&c| c == 2).count();
+        assert!(drops > 10, "expected ~8% drops, saw {drops}/400");
+        assert!(dups > 3, "expected ~4% duplicates, saw {dups}/400");
+    }
+
+    #[test]
+    fn jitter_stays_in_band_and_varies() {
+        let n = NetFaults::new(NetFaultProfile::lan(), 9);
+        let p = NetFaultProfile::lan();
+        let lats: Vec<u64> = (0..200u64).flat_map(|m| n.deliveries(1, 0, m)).collect();
+        assert!(lats
+            .iter()
+            .all(|&l| (p.base_latency_ms..=p.base_latency_ms + p.jitter_ms).contains(&l)));
+        assert!(lats.iter().collect::<std::collections::HashSet<_>>().len() > 1);
+    }
+
+    #[test]
+    fn links_differ_but_directions_are_independent_streams() {
+        let n = NetFaults::new(NetFaultProfile::lossy(), 3);
+        let a: Vec<_> = (0..64u64).map(|m| n.deliveries(0, 1, m)).collect();
+        let b: Vec<_> = (0..64u64).map(|m| n.deliveries(1, 0, m)).collect();
+        assert_ne!(a, b, "each directed link must draw from its own stream");
+    }
+
+    #[test]
+    fn partitions_cut_only_crossing_links_only_inside_the_window() {
+        let p = NetFaultProfile::none().with_partition(100, 200, vec![0, 1]);
+        let n = NetFaults::new(p, 1);
+        // Crossing link, window open.
+        assert!(n.partitioned(100, 0, 2));
+        assert!(n.partitioned(199, 2, 1));
+        // Same side: never cut.
+        assert!(!n.partitioned(150, 0, 1));
+        assert!(!n.partitioned(150, 2, 3));
+        // Window closed (end exclusive) or not yet open.
+        assert!(!n.partitioned(99, 0, 2));
+        assert!(!n.partitioned(200, 0, 2));
+    }
+
+    #[test]
+    fn full_partition_requires_every_candidate_cut() {
+        let p = NetFaultProfile::none().with_partition(0, 10, vec![0]);
+        let n = NetFaults::new(p, 1);
+        assert!(n.fully_partitioned(5, 0, &[1, 2, 3]));
+        assert!(!n.fully_partitioned(5, 1, &[2, 3]));
+        assert!(!n.fully_partitioned(20, 0, &[1]));
+        assert!(!n.fully_partitioned(5, 0, &[]));
+    }
+}

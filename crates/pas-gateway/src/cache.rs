@@ -479,6 +479,20 @@ impl<E: Embedder> SemanticCache<E> {
         self.exact.len()
     }
 
+    /// Live `(prompt, response)` pairs in LRU order (least recently used
+    /// first) — the deterministic export order for shard hand-off:
+    /// replaying the pairs through [`SemanticCache::insert`] on a
+    /// receiving cache reproduces the donor's relative recency.
+    pub fn live_entries_lru(&self) -> Vec<(&str, &str)> {
+        self.lru
+            .values()
+            .map(|&id| {
+                let e = &self.entries[id];
+                (e.prompt.as_str(), e.response.as_str())
+            })
+            .collect()
+    }
+
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
         self.exact.is_empty()

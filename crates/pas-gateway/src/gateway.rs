@@ -20,7 +20,7 @@
 //! *never cached* — caching one would keep poisoning hits after the pool
 //! recovers.
 
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 use pas_core::PromptOptimizer;
 use pas_embed::{EmbeddingCache, NgramEmbedder};
@@ -29,6 +29,7 @@ use pas_fault::{FaultConfig, FaultProfile};
 use crate::cache::{CacheOutcome, SemanticCache, SemanticCacheConfig};
 use crate::pool::{ReplicaPool, ServeOutcome};
 use crate::report::{GatewayReport, ReplicaReport};
+use crate::sim::EventHeap;
 use crate::workload::Request;
 
 // Observability. Every recording below happens on the (serial) event-loop
@@ -130,32 +131,6 @@ enum Event {
     },
 }
 
-/// Heap entry ordered by `(time, seq)`; `seq` is unique, making the order
-/// total and independent of anything but the schedule itself.
-struct Scheduled {
-    time: u64,
-    seq: u64,
-    event: Event,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        (self.time, self.seq) == (other.time, other.seq)
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event pops first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
-}
-
 /// Per-request lifecycle marker, driving linger-timer validation.
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum ReqState {
@@ -235,17 +210,11 @@ impl<O: PromptOptimizer> Gateway<O> {
         let base_near = self.cache.near_hits();
         let base_misses = self.cache.misses();
         let base_evictions = self.cache.evictions();
-        let mut heap: BinaryHeap<Scheduled> = BinaryHeap::new();
-        let mut seq = 0u64;
-        let mut schedule = |heap: &mut BinaryHeap<Scheduled>, time: u64, event: Event| {
-            let s = Scheduled { time, seq, event };
-            seq += 1;
-            heap.push(s);
-        };
+        let mut events: EventHeap<Event> = EventHeap::new();
         // Index by position in the slice, not `Request::id` — a workload
         // shard keeps its global ids but is served as a self-contained run.
         for (i, r) in requests.iter().enumerate() {
-            schedule(&mut heap, r.arrival_ms, Event::Arrival(i));
+            events.push(r.arrival_ms, Event::Arrival(i));
         }
 
         let mut state = vec![ReqState::Pending; requests.len()];
@@ -258,8 +227,8 @@ impl<O: PromptOptimizer> Gateway<O> {
         };
         let mut now = 0u64;
 
-        while let Some(Scheduled { time, event, .. }) = heap.pop() {
-            now = now.max(time);
+        while let Some((time, event)) = events.pop() {
+            now = time;
             match event {
                 Event::Arrival(i) => match self.cache.lookup(&requests[i].prompt) {
                     CacheOutcome::ExactHit(response) | CacheOutcome::NearHit { response, .. } => {
@@ -302,14 +271,10 @@ impl<O: PromptOptimizer> Gateway<O> {
                                 requests,
                                 now,
                                 &mut report,
-                                |t, e| schedule(&mut heap, t, e),
+                                &mut events,
                             );
                         } else {
-                            schedule(
-                                &mut heap,
-                                now + self.config.batch_linger_ms,
-                                Event::LingerFire(i),
-                            );
+                            events.push(now + self.config.batch_linger_ms, Event::LingerFire(i));
                         }
                     }
                 },
@@ -323,7 +288,7 @@ impl<O: PromptOptimizer> Gateway<O> {
                             requests,
                             now,
                             &mut report,
-                            |t, e| schedule(&mut heap, t, e),
+                            &mut events,
                         );
                     }
                 }
@@ -417,7 +382,7 @@ impl<O: PromptOptimizer> Gateway<O> {
         requests: &[Request],
         now: u64,
         report: &mut GatewayReport,
-        mut schedule: impl FnMut(u64, Event),
+        events: &mut EventHeap<Event>,
     ) {
         let take = queue.len().min(self.config.batch_max);
         let members: Vec<usize> = queue.drain(..take).collect();
@@ -474,7 +439,7 @@ impl<O: PromptOptimizer> Gateway<O> {
         }
         if !hit_members.is_empty() {
             report.batch_hits += hit_members.len() as u64;
-            schedule(
+            events.push(
                 now + self.config.cache_hit_cost_ms,
                 Event::CacheServe { members: hit_members, responses: hit_responses },
             );
@@ -493,7 +458,7 @@ impl<O: PromptOptimizer> Gateway<O> {
         OBS_BATCH_SIZE.record(live_unique.len() as u64);
         let cost = self.config.batch_overhead_ms
             + self.config.per_prompt_cost_ms * live_unique.len() as u64;
-        schedule(
+        events.push(
             now + cost,
             Event::Completion {
                 replica,

@@ -18,6 +18,9 @@
 //!   failover; a full-pool outage degrades every request to passthrough.
 //! - [`gateway`] — [`Gateway`]: the event loop tying admission control,
 //!   micro-batching, cache, and pool together.
+//! - [`sim`] — [`EventHeap`]: the `(time, seq)`-ordered future-event list
+//!   the gateway loop runs on, shared with `pas-cluster`'s multi-node
+//!   loop.
 //! - [`workload`] — seeded Zipf-skewed open-loop request generation.
 //! - [`report`] — mergeable [`GatewayReport`] with a log₂-bucketed
 //!   latency histogram.
@@ -26,10 +29,12 @@ pub mod cache;
 pub mod gateway;
 pub mod pool;
 pub mod report;
+pub mod sim;
 pub mod workload;
 
 pub use cache::{CacheOutcome, OpenMode, SemanticCache, SemanticCacheConfig};
 pub use gateway::{cache_embedder, AdmissionPolicy, Gateway, GatewayCache, GatewayConfig};
 pub use pool::{ReplicaPool, ServeOutcome};
 pub use report::{GatewayReport, LatencyHistogram, ReplicaReport};
+pub use sim::EventHeap;
 pub use workload::{base_prompt, generate, Request, WorkloadConfig};

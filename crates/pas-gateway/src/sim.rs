@@ -1,0 +1,118 @@
+//! The discrete-event scheduling core shared by [`Gateway`](crate::Gateway)
+//! and `pas-cluster`.
+//!
+//! [`EventHeap`] is a future-event list ordered by `(time, seq)`: `seq` is
+//! assigned at push time, making the order total and a pure function of
+//! the schedule itself — never of wall-clock time, thread interleaving, or
+//! heap internals. Popping advances a monotone simulated clock. Both the
+//! single-node gateway loop and the multi-node cluster loop drain one of
+//! these serially; parallelism lives only *inside* individual events
+//! (batch dispatch through `pas_par::par_map`), which is the workspace's
+//! whole determinism story.
+
+use std::collections::BinaryHeap;
+
+/// Heap entry ordered by `(time, seq)`; `seq` is unique, making the order
+/// total and independent of anything but the schedule itself.
+struct Scheduled<E> {
+    time: u64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic future-event list with a monotone simulated clock.
+pub struct EventHeap<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    now: u64,
+}
+
+impl<E> Default for EventHeap<E> {
+    fn default() -> Self {
+        EventHeap::new()
+    }
+}
+
+impl<E> EventHeap<E> {
+    /// An empty schedule at simulated time zero.
+    pub fn new() -> EventHeap<E> {
+        EventHeap { heap: BinaryHeap::new(), seq: 0, now: 0 }
+    }
+
+    /// Schedules `event` at absolute simulated time `time`. Events sharing
+    /// a time fire in push order.
+    pub fn push(&mut self, time: u64, event: E) {
+        let s = Scheduled { time, seq: self.seq, event };
+        self.seq += 1;
+        self.heap.push(s);
+    }
+
+    /// Pops the earliest event, advancing the clock to its time (the clock
+    /// never runs backwards, even for events scheduled in the past).
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        let Scheduled { time, event, .. } = self.heap.pop()?;
+        self.now = self.now.max(time);
+        Some((self.now, event))
+    }
+
+    /// The current simulated time: the timestamp of the latest pop.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Events still scheduled.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing remains scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order_with_push_order_tiebreak() {
+        let mut h = EventHeap::new();
+        h.push(5, "c");
+        h.push(1, "a");
+        h.push(5, "d");
+        h.push(3, "b");
+        let order: Vec<_> = std::iter::from_fn(|| h.pop()).collect();
+        assert_eq!(order, vec![(1, "a"), (3, "b"), (5, "c"), (5, "d")]);
+    }
+
+    #[test]
+    fn clock_is_monotone_even_for_late_pushes() {
+        let mut h = EventHeap::new();
+        h.push(10, "late");
+        assert_eq!(h.pop(), Some((10, "late")));
+        // An event scheduled "in the past" fires at the current clock.
+        h.push(4, "stale");
+        assert_eq!(h.pop(), Some((10, "stale")));
+        assert_eq!(h.now(), 10);
+        assert!(h.is_empty());
+    }
+}

@@ -209,6 +209,12 @@ impl SegmentLog {
         is_last: bool,
         records: &mut Vec<Record>,
     ) -> io::Result<bool> {
+        // Read-path crash legs: a process can die mid-replay too. Nothing
+        // is written on a read, so every kind degenerates to "crash before
+        // the step" — reopen simply starts replay over from the top.
+        if let Some(f) = &self.faults {
+            f.check("replay.segment").map_err(|fault| fault.to_io())?;
+        }
         let mut bytes = Vec::new();
         File::open(path)?.read_to_end(&mut bytes)?;
         let header = match decode_header(&bytes) {
@@ -242,6 +248,9 @@ impl SegmentLog {
         loop {
             if pos == bytes.len() {
                 break;
+            }
+            if let Some(f) = &self.faults {
+                f.check("replay.record").map_err(|fault| fault.to_io())?;
             }
             match Self::read_frame(&bytes[pos..]) {
                 Frame::Rec(rec, used) => {

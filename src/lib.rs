@@ -21,6 +21,10 @@
 //! - [`obs`] — deterministic observability: counters, gauges, fixed-bucket
 //!   histograms and spans over simulated time, with mergeable JSON
 //!   snapshots (off by default; `--metrics-out` turns it on).
+//! - [`cluster`] — sharded multi-node gateway simulation: rendezvous-hash
+//!   placement, seeded network chaos, hedged cross-shard routing, and
+//!   rebalancing with `pas-store` hand-off — bit-identical at any thread
+//!   count.
 //! - [`store`] — crash-safe persistence: CRC'd append-only segment log,
 //!   deterministic compaction, warm HNSW graph snapshots, and the
 //!   gateway's warm-restart substrate.
@@ -28,6 +32,7 @@
 
 pub use pas_ann as ann;
 pub use pas_baselines as baselines;
+pub use pas_cluster as cluster;
 pub use pas_core as core;
 pub use pas_data as data;
 pub use pas_embed as embed;

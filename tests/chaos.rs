@@ -532,3 +532,80 @@ fn transient_outage_trips_breaker_then_recovers() {
     assert_eq!(report.breaker_fast_fails, shed);
     assert_eq!(server.degraded(), 3 + shed);
 }
+
+/// Replay-mode cache opens must survive disk faults fired *mid-replay*
+/// (the read path: one boundary per segment open plus one per record).
+/// Every crash point inside the replay window fails the open cleanly —
+/// no partial cache escapes — and a clean reopen recovers the full
+/// state. Closes the gap where only append/compact boundaries had fault
+/// legs.
+#[test]
+fn cache_replay_open_survives_mid_replay_disk_faults() {
+    use pas::embed::NgramEmbedder;
+    use pas::gateway::{CacheOutcome, OpenMode, SemanticCache, SemanticCacheConfig};
+
+    let dir = std::env::temp_dir().join(format!("pas-chaos-replay-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = SemanticCacheConfig { capacity: 64, tau: 0.3, ..SemanticCacheConfig::default() };
+    let entries: Vec<(String, String)> = (0..25)
+        .map(|i| (format!("prompt {i} about thing {}", i % 7), format!("resp {i}")))
+        .collect();
+
+    // Seed the log, then kill (drop without checkpoint; appends flushed).
+    let mut seeded =
+        SemanticCache::open_from(config.clone(), NgramEmbedder::default(), &dir, OpenMode::Replay)
+            .expect("seeding open");
+    for (p, r) in &entries {
+        seeded.insert(p, r);
+    }
+    assert!(seeded.store_error().is_none());
+    drop(seeded);
+
+    // Sweep every replay boundary: faults fired during the read path must
+    // fail the open (no partially-replayed cache), after which a clean
+    // reopen still recovers everything.
+    let seed = 0x5eed;
+    let mut fired = 0u64;
+    loop {
+        let faults = DiskFaults::crash_at(seed, fired);
+        match SemanticCache::open_from_with(
+            config.clone(),
+            NgramEmbedder::default(),
+            &dir,
+            OpenMode::Replay,
+            Some(faults),
+        ) {
+            Err(e) => {
+                let message = e.to_string();
+                assert!(
+                    message.contains("injected disk fault"),
+                    "crash {fired}: unexpected error {message}"
+                );
+                assert!(
+                    message.contains("replay.segment") || message.contains("replay.record"),
+                    "crash {fired}: fault outside the replay legs: {message}"
+                );
+                fired += 1;
+            }
+            // First crash point past the replay window: the open no
+            // longer touches it. (Later write boundaries would, but this
+            // cache is dropped unused.)
+            Ok(_) => break,
+        }
+        assert!(fired < 200, "replay window implausibly large");
+    }
+    // One boundary per segment + one per replayed record: at least the
+    // record count for 25 inserts (meta + vector records each).
+    assert!(fired > 25, "expected the sweep to cover every record boundary, got {fired}");
+
+    let mut clean =
+        SemanticCache::open_from(config.clone(), NgramEmbedder::default(), &dir, OpenMode::Replay)
+            .expect("clean reopen after fault sweep");
+    for (p, r) in &entries {
+        match clean.lookup(p) {
+            CacheOutcome::ExactHit(got) => assert_eq!(&got, r),
+            other => panic!("entry {p:?} lost after fault sweep: {other:?}"),
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}

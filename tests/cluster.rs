@@ -1,0 +1,150 @@
+//! The cluster contract, enforced end-to-end (DESIGN.md §14):
+//!
+//! 1. **Bit-reproducible fleet soaks** — the same fleet seed produces
+//!    identical per-node responses and an identical `ClusterReport`
+//!    (compared as serialized JSON) at `--threads 1` and `--threads 8`,
+//!    including under a lossy network, replica chaos, and a scripted
+//!    partition+heal with membership churn.
+//! 2. **Zero-error degradation** — a full partition isolating a node,
+//!    later healed, completes every request in the run: hedges cover slow
+//!    links, rescues cover unreachable candidate sets, and the report's
+//!    `errors()` stays 0.
+//! 3. **Hedging** — under a lossy wide-area profile, backup probes fire
+//!    and some of them win.
+//! 4. **Decorrelated per-node workloads** — node workloads derived from
+//!    one fleet seed differ from N copies of the same stream, while the
+//!    fleet report stays thread-invariant (satellite: seeding).
+//! 5. **Hand-off equivalence** — rebalancing through real `pas-store`
+//!    segment logs produces bit-identical responses, report, and cache
+//!    occupancy to the in-memory hand-off path.
+//!
+//! Thread-dependent assertions share one test function because the
+//! `pas_par` thread count is process-global and the harness runs tests
+//! concurrently (same pattern as `tests/gateway.rs`).
+
+use pas::cluster::{fleet_workloads, Cluster, ClusterConfig, ClusterReport, Membership};
+use pas::core::PromptOptimizer;
+use pas::fault::{FaultProfile, NetFaultProfile};
+use pas::gateway::{GatewayConfig, Request, WorkloadConfig};
+
+/// A toy deterministic optimizer with visible, prompt-derived output.
+struct Suffix;
+
+impl PromptOptimizer for Suffix {
+    fn name(&self) -> &str {
+        "suffix"
+    }
+    fn optimize(&self, prompt: &str) -> String {
+        format!("{prompt} [augmented]")
+    }
+    fn requires_human_labels(&self) -> bool {
+        false
+    }
+    fn llm_agnostic(&self) -> bool {
+        true
+    }
+    fn task_agnostic(&self) -> bool {
+        true
+    }
+}
+
+fn base_workload() -> WorkloadConfig {
+    WorkloadConfig { requests: 220, universe: 50, near_dup_rate: 0.2, ..WorkloadConfig::default() }
+}
+
+fn chaotic_gateway() -> GatewayConfig {
+    GatewayConfig {
+        replicas: 2,
+        replica_profiles: vec![FaultProfile::none(), FaultProfile::chaos()],
+        ..GatewayConfig::default()
+    }
+}
+
+/// A 4-node fleet on a lossy network with replica chaos, a partition
+/// isolating node 3 mid-run that later heals, and membership churn
+/// (node 1 leaves, node 3's partition ends, node 1 rejoins).
+fn churn_config() -> ClusterConfig {
+    ClusterConfig {
+        nodes: 4,
+        replication: 2,
+        gateway: chaotic_gateway(),
+        net: NetFaultProfile::lossy().with_partition(300, 900, vec![3]),
+        script: vec![(500, Membership::Leave(1)), (1100, Membership::Join(1))],
+        ..ClusterConfig::default()
+    }
+}
+
+fn run_cluster(
+    config: ClusterConfig,
+    workloads: &[Vec<Request>],
+) -> (Vec<Vec<String>>, ClusterReport, String) {
+    let mut cluster = Cluster::new(config, |_, _| Suffix);
+    let (responses, report) = cluster.run(workloads);
+    let json = serde_json::to_string(&report).expect("report serializes");
+    (responses, report, json)
+}
+
+#[test]
+fn fleet_soaks_are_bit_identical_across_thread_counts() {
+    let workloads = fleet_workloads(&base_workload(), 4);
+
+    let serial = pas_par::with_threads(1, || run_cluster(churn_config(), &workloads));
+    let parallel = pas_par::with_threads(8, || run_cluster(churn_config(), &workloads));
+    assert_eq!(serial.0, parallel.0, "responses must be thread-invariant");
+    assert_eq!(serial.2, parallel.2, "folded fleet report must be thread-invariant");
+
+    // Zero-error degradation through partition, heal, leave, and rejoin.
+    let report = &serial.1;
+    assert_eq!(report.errors(), 0, "partition+heal with churn must answer everything");
+    assert_eq!(report.fleet.requests, 4 * 220);
+    assert_eq!(report.fleet.completed, 4 * 220);
+    assert!(report.net_cut > 0, "the partition window must actually cut traffic");
+    assert!(report.net_drops > 0, "the lossy profile must actually drop messages");
+    assert_eq!(report.rebalances, 2, "leave and rejoin each rebalance");
+    assert!(report.rebalance_moved > 0);
+
+    // Hedging under a lossy network: probes fire, and some win.
+    assert!(report.hedges_fired > 0, "lossy links must trigger backup probes");
+    assert!(report.hedges_won > 0, "some backup probes must win the race");
+}
+
+#[test]
+fn per_node_workloads_are_decorrelated_but_reproducible() {
+    let base = base_workload();
+    let per_node = fleet_workloads(&base, 2);
+    assert_ne!(per_node[0], per_node[1], "fleet workloads must not be N copies of one stream");
+    // Node 0's derived stream also differs from the raw fleet-seed stream,
+    // so a 1-node fleet is not secretly the old single-gateway workload.
+    assert_ne!(per_node[0], pas::gateway::generate(&base));
+
+    // And the derivation is pure: same fleet seed, same traffic.
+    assert_eq!(per_node, fleet_workloads(&base, 2));
+}
+
+#[test]
+fn store_handoff_matches_in_memory_handoff() {
+    let dir = std::env::temp_dir().join(format!("pas-cluster-handoff-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let workloads = fleet_workloads(&base_workload(), 3);
+    let script = vec![(400, Membership::Leave(2)), (900, Membership::Join(2))];
+    let config = |handoff| ClusterConfig {
+        nodes: 3,
+        gateway: GatewayConfig::default(),
+        script: script.clone(),
+        handoff_dir: handoff,
+        ..ClusterConfig::default()
+    };
+
+    let in_memory = run_cluster(config(None), &workloads);
+    let through_store = run_cluster(config(Some(dir.clone())), &workloads);
+    assert_eq!(in_memory.0, through_store.0, "hand-off path must not change responses");
+    assert_eq!(in_memory.2, through_store.2, "hand-off path must not change the report");
+    assert!(through_store.1.rebalance_moved > 0, "the equivalence must cover real moves");
+    assert!(
+        std::fs::read_dir(&dir).map(|d| d.count() > 0).unwrap_or(false),
+        "segment logs must actually have been written"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
