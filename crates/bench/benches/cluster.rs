@@ -15,17 +15,23 @@
 //! - a partition+heal chaos scenario (lossy net, node 3 isolated for a
 //!   window, a leave and a rejoin) asserted to complete every request —
 //!   the zero-error degradation contract under chaos;
+//! - a replication-plane scenario (write-fanout + anti-entropy + gossip
+//!   on a lossy partitioned net with a crash) asserted to complete every
+//!   request with zero gossip false deaths;
+//! - a replica-warmth measurement: after a primary crashes, the hit rate
+//!   its heirs serve the orphaned keys at, with write-fanout on vs off —
+//!   asserted ≥5x the cold baseline and ≥0.9 absolute;
 //! - host metadata (`nproc`, arch, os) so numbers from different machines
 //!   are never compared blind.
 
 use criterion::Criterion;
 use std::hint::black_box;
 
-use pas_cluster::{fleet_workloads, Cluster, ClusterConfig, ClusterReport, Membership};
+use pas_cluster::{fleet_workloads, hrw, Cluster, ClusterConfig, ClusterReport, Membership};
 use pas_core::{BuildOptions, Pas, PasSystem, SystemConfig};
 use pas_data::{CorpusConfig, SelectionConfig};
 use pas_fault::NetFaultProfile;
-use pas_gateway::{GatewayConfig, SemanticCacheConfig, WorkloadConfig};
+use pas_gateway::{GatewayConfig, Request, SemanticCacheConfig, WorkloadConfig};
 
 const REQUESTS_PER_NODE: usize = 1200;
 const UNIVERSE: usize = 120;
@@ -53,7 +59,7 @@ fn base_workload() -> WorkloadConfig {
 fn config(nodes: usize, net: NetFaultProfile, script: Vec<(u64, Membership)>) -> ClusterConfig {
     ClusterConfig {
         nodes,
-        replication: 2,
+        replication: 2.min(nodes),
         gateway: GatewayConfig {
             replicas: 2,
             cache: SemanticCacheConfig {
@@ -87,6 +93,77 @@ fn chaos_config() -> ClusterConfig {
     )
 }
 
+/// The replication-plane scenario: chaos plus the full round-2 stack —
+/// write-fanout, anti-entropy sweeps, the gossip failure detector, and a
+/// hard crash replacing the graceful leave.
+fn replication_config() -> ClusterConfig {
+    ClusterConfig {
+        ae_interval_ms: 40,
+        gossip_interval_ms: 30,
+        gossip_dead_rounds: 24,
+        quiet_ms: 30 * 40,
+        ..config(
+            8,
+            NetFaultProfile::lossy().with_partition(400, 1200, vec![3]),
+            vec![(800, Membership::Crash(1)), (1600, Membership::Join(1))],
+        )
+    }
+}
+
+/// Measures how warm the heirs of a crashed primary are: warms the victim
+/// with every prompt it owns, crashes it, then probes each orphaned key
+/// exactly once at its new owner. The probe window's fleet hit rate is
+/// the warmth — near 1.0 with write-fanout on, near 0.0 without.
+fn replica_warmth(pas: &Pas, fanout: bool) -> f64 {
+    let full: Vec<u32> = (0..4).collect();
+    let victim = 0u32;
+    let prompts: Vec<(String, u32)> = (0..)
+        .map(|i| format!("prompt {i} about topic {}", i % 13))
+        .filter_map(|p| {
+            let cands = hrw::candidates(&p, &full, 2);
+            (cands[0] == victim).then(|| (p.clone(), cands[1]))
+        })
+        .take(60)
+        .collect();
+
+    let mut cfg = ClusterConfig {
+        repl_fanout: fanout,
+        ..config(4, NetFaultProfile::none(), vec![(1000, Membership::Crash(victim))])
+    };
+    // Exact-match cache semantics: with a near-hit threshold, similar
+    // prompts serve off each other without installing, which blurs the
+    // warm/cold contrast this measurement pins.
+    cfg.gateway.cache.tau = 0.0;
+    let mut cluster = Cluster::new(cfg, |_, _| pas.clone());
+
+    let mut warm: Vec<Vec<Request>> = vec![Vec::new(); 4];
+    for (i, (prompt, _)) in prompts.iter().enumerate() {
+        warm[victim as usize].push(Request {
+            id: i,
+            arrival_ms: 10 * i as u64,
+            prompt: prompt.clone(),
+        });
+    }
+    let (_, warm_report) = cluster.run(&warm);
+    assert_eq!(warm_report.errors(), 0);
+    assert_eq!(warm_report.crashes, 1, "the victim must die after the warm window");
+
+    // The crash script re-fires as a no-op on the dead node; the report
+    // covers the probe window alone.
+    let mut probes: Vec<Vec<Request>> = vec![Vec::new(); 4];
+    for (i, (prompt, heir)) in prompts.iter().enumerate() {
+        probes[*heir as usize].push(Request {
+            id: i,
+            arrival_ms: 3 * i as u64,
+            prompt: prompt.clone(),
+        });
+    }
+    let (_, probe_report) = cluster.run(&probes);
+    assert_eq!(probe_report.errors(), 0);
+    assert_eq!(probe_report.fleet.requests, prompts.len() as u64);
+    probe_report.fleet.hit_rate()
+}
+
 fn bench_cluster(c: &mut Criterion, pas: &Pas) {
     let mut g = c.benchmark_group("cluster");
     g.sample_size(10);
@@ -96,6 +173,7 @@ fn bench_cluster(c: &mut Criterion, pas: &Pas) {
         });
     }
     g.bench_function("partition_heal_8", |b| b.iter(|| soak(pas, chaos_config())));
+    g.bench_function("replication_8", |b| b.iter(|| soak(pas, replication_config())));
     g.finish();
 }
 
@@ -144,6 +222,18 @@ fn write_summary(c: &Criterion, pas: &Pas) {
     assert!(chaos.net_cut > 0 && chaos.net_drops > 0, "chaos must actually bite");
     assert!(chaos.hedges_fired > 0, "lossy links must trigger hedges");
 
+    let repl = soak(pas, replication_config());
+    assert_eq!(repl.errors(), 0, "the replication-plane scenario must answer everything");
+    assert!(repl.repl_sent > 0 && repl.repl_applied > 0, "fanout must install replicas");
+    assert!(repl.ae_digests > 0 && repl.ae_repairs > 0, "anti-entropy must repair chaos damage");
+    assert!(repl.gossip_heartbeats > 0, "the failure detector must gossip");
+    assert_eq!(repl.gossip_false_deaths, 0, "no live reachable node may be declared dead");
+
+    let warm = replica_warmth(pas, true);
+    let cold = replica_warmth(pas, false);
+    assert!(warm >= 0.9, "fanout-warmed heirs must serve ≥90% from cache, got {warm:.3}");
+    assert!(warm >= 5.0 * cold, "warm rate {warm:.3} must beat the cold baseline {cold:.3} ≥5x");
+
     let json = format!(
         concat!(
             "{{\n  \"host\": {},\n  \"threads\": {},\n",
@@ -154,7 +244,15 @@ fn write_summary(c: &Criterion, pas: &Pas) {
             "  \"partition_heal\": {{\"nodes\": 8, \"wall_median_ns\": {:.0}, ",
             "\"errors\": {}, \"net_cut\": {}, \"net_drops\": {}, ",
             "\"hedges_fired\": {}, \"hedges_won\": {}, \"rescues\": {}, ",
-            "\"local_fallbacks\": {}, \"rebalance_moved\": {}}}\n}}\n"
+            "\"local_fallbacks\": {}, \"rebalance_moved\": {}}},\n",
+            "  \"replication\": {{\"nodes\": 8, \"wall_median_ns\": {:.0}, ",
+            "\"errors\": {}, \"repl_sent\": {}, \"repl_applied\": {}, ",
+            "\"repl_stale\": {}, \"ae_digests\": {}, \"ae_repairs\": {}, ",
+            "\"ae_last_repair_ms\": {}, \"gossip_heartbeats\": {}, ",
+            "\"gossip_deaths\": {}, \"gossip_false_deaths\": {}, ",
+            "\"crash_retries\": {}}},\n",
+            "  \"replica_warmth\": {{\"warm_hit_rate\": {:.3}, ",
+            "\"cold_hit_rate\": {:.3}}}\n}}\n"
         ),
         bench::host_json(),
         pas_par::threads(),
@@ -171,6 +269,20 @@ fn write_summary(c: &Criterion, pas: &Pas) {
         chaos.rescues,
         chaos.local_fallbacks,
         chaos.rebalance_moved,
+        median_ns(c, "cluster/replication_8"),
+        repl.errors(),
+        repl.repl_sent,
+        repl.repl_applied,
+        repl.repl_stale,
+        repl.ae_digests,
+        repl.ae_repairs,
+        repl.ae_last_repair_ms,
+        repl.gossip_heartbeats,
+        repl.gossip_deaths,
+        repl.gossip_false_deaths,
+        repl.crash_retries,
+        warm,
+        cold,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cluster.json");
     std::fs::write(path, &json).expect("write BENCH_cluster.json");

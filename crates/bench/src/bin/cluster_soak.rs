@@ -8,7 +8,10 @@
 //!              [--replicas N] [--cache-capacity N] [--tau F]
 //!              [--net-profile none|lan|lossy] [--hedge-ms N] [--rescue-ms N]
 //!              [--partition START:END:ID[,ID...]]
-//!              [--leave T:NODE] [--join T:NODE] [--handoff-dir DIR]
+//!              [--leave T:NODE] [--join T:NODE] [--crash T:NODE]
+//!              [--handoff-dir DIR]
+//!              [--repl-fanout on|off] [--ae-interval MS]
+//!              [--gossip-interval MS] [--gossip-fanout N] [--quiet-ms MS]
 //!              [--fault-profile NAME] [--seed S] [--threads N]
 //!              [--metrics-out FILE]
 //! ```
@@ -22,10 +25,18 @@
 //!
 //! `--partition START:END:IDS` isolates the comma-separated node ids from
 //! the rest of the fleet for `[START, END)` simulated ms (repeatable).
-//! `--leave T:NODE` / `--join T:NODE` script membership changes
-//! (repeatable); with `--handoff-dir DIR` the rebalance hand-off travels
-//! through `pas-store` segment logs under DIR instead of moving in
-//! memory — the report is identical either way.
+//! `--leave T:NODE` / `--join T:NODE` / `--crash T:NODE` script membership
+//! changes (repeatable; a crash is a hard death — no drain, no hand-off,
+//! no announcement); with `--handoff-dir DIR` the rebalance hand-off
+//! travels through `pas-store` segment logs under DIR instead of moving
+//! in memory — the report is identical either way.
+//!
+//! Round-2 replication knobs: `--repl-fanout off` disables write-fanout
+//! to candidate replicas (on by default), `--ae-interval MS` enables
+//! periodic anti-entropy digest sweeps, `--gossip-interval MS` enables
+//! the gossip failure detector (routing then uses each node's *local*
+//! view), and `--quiet-ms MS` extends the run past the last arrival so
+//! anti-entropy and gossip converge before the report is cut.
 
 use pas_cluster::{fleet_workloads, Cluster, ClusterConfig, Membership};
 use pas_core::{BuildOptions, PasSystem, SystemConfig};
@@ -116,7 +127,18 @@ fn main() {
         let (t, n) = membership_at(spec, "--join");
         script.push((t, Membership::Join(n)));
     }
+    for spec in repeated(&args, "--crash") {
+        let (t, n) = membership_at(spec, "--crash");
+        script.push((t, Membership::Crash(n)));
+    }
     script.sort_by_key(|&(t, _)| t);
+
+    let fanout_name: String = flag(&args, "--repl-fanout", "on".to_string());
+    let repl_fanout = match fanout_name.as_str() {
+        "on" => true,
+        "off" => false,
+        other => panic!("--repl-fanout expects on|off, got '{other}'"),
+    };
 
     let config = ClusterConfig {
         nodes,
@@ -136,6 +158,11 @@ fn main() {
         rescue_ms: flag(&args, "--rescue-ms", 40u64),
         script,
         handoff_dir: path_flag(&args, "--handoff-dir"),
+        repl_fanout,
+        ae_interval_ms: flag(&args, "--ae-interval", 0u64),
+        gossip_interval_ms: flag(&args, "--gossip-interval", 0u64),
+        gossip_fanout: flag(&args, "--gossip-fanout", 2usize),
+        quiet_ms: flag(&args, "--quiet-ms", 0u64),
         ..ClusterConfig::default()
     };
 

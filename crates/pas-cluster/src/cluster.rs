@@ -26,24 +26,44 @@
 //! replayed — and the resulting cluster state is identical to the
 //! in-memory path.
 //!
+//! Round 2 adds the replication plane, all riding the same heap:
+//!
+//! - *Write-fanout*: when a candidate installs a cache entry it pushes a
+//!   replication message to every other HRW candidate, so hedged reads at
+//!   replicas hit warm caches and a leave no longer goes cold.
+//! - *Anti-entropy*: periodic sweeps exchange merkle-lite digests
+//!   (`(entry_hash, version)` lists) between candidate peers in a
+//!   round-robin rotation; missing or stale entries are pushed back as
+//!   repairs, so replicas converge after drops and partitions.
+//! - *In-band rebalance*: hand-off travels as per-entry transfer messages
+//!   interleaved with serving traffic — big moves cost simulated time,
+//!   race arrivals, and lose members to drops (anti-entropy heals those).
+//! - *Gossip failure detection*: when [`ClusterConfig::gossip_interval_ms`]
+//!   is set, each node keeps its own [`crate::gossip::View`] driven by
+//!   seeded heartbeats, and candidate routing consults that *local* view —
+//!   nodes legitimately disagree while the epidemic converges. A
+//!   [`Membership::Crash`] announces nothing; peers time it out.
+//!
 //! Determinism: the loop is serial; parallelism exists only inside a
 //! node's batch dispatch (`pas_par::par_map`, item-ordered). Network
-//! fates are pure functions of `(net_seed, src, dst, msg)` with `msg`
-//! assigned serially, and all tie-breaks go through the `(time, seq)`
-//! heap — so responses and the folded [`ClusterReport`] are bit-identical
-//! at any worker-thread count.
+//! fates are pure functions of `(net_seed, lane, src, dst, msg)` with
+//! `msg` assigned serially *per lane* — serve traffic never shifts the
+//! fate of a replication or gossip message — and all tie-breaks go
+//! through the `(time, seq)` heap, so responses and the folded
+//! [`ClusterReport`] are bit-identical at any worker-thread count.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 use pas_core::PromptOptimizer;
-use pas_fault::{NetFaultProfile, NetFaults};
+use pas_fault::{MsgLane, NetFaultProfile, NetFaults};
 use pas_gateway::{
-    AdmissionPolicy, CacheOutcome, EventHeap, GatewayConfig, GatewayReport, Request, ServeOutcome,
-    WorkloadConfig,
+    entry_hash, AdmissionPolicy, CacheOutcome, EventHeap, GatewayConfig, GatewayReport, Request,
+    ServeOutcome, WorkloadConfig,
 };
 use pas_store::{Record, RecordMeta, SegmentLog, StoreConfig};
 
+use crate::gossip::{GossipTuning, NodeStatus};
 use crate::hrw;
 use crate::node::{Item, Node};
 use crate::report::ClusterReport;
@@ -59,6 +79,12 @@ static OBS_HEDGES_WON: pas_obs::Counter = pas_obs::Counter::new("cluster.hedges.
 static OBS_RESCUES: pas_obs::Counter = pas_obs::Counter::new("cluster.rescues");
 static OBS_LOCAL_FALLBACKS: pas_obs::Counter = pas_obs::Counter::new("cluster.local_fallbacks");
 static OBS_REBALANCE_MOVED: pas_obs::Counter = pas_obs::Counter::new("cluster.rebalance.moved");
+static OBS_REPL_SENT: pas_obs::Counter = pas_obs::Counter::new("cluster.repl.sent");
+static OBS_REPL_APPLIED: pas_obs::Counter = pas_obs::Counter::new("cluster.repl.applied");
+static OBS_AE_DIGESTS: pas_obs::Counter = pas_obs::Counter::new("cluster.ae.digests");
+static OBS_AE_REPAIRS: pas_obs::Counter = pas_obs::Counter::new("cluster.ae.repairs");
+static OBS_GOSSIP_HEARTBEATS: pas_obs::Counter = pas_obs::Counter::new("cluster.gossip.heartbeats");
+static OBS_GOSSIP_DEATHS: pas_obs::Counter = pas_obs::Counter::new("cluster.gossip.deaths");
 
 /// Fingerprint stamped on hand-off segment logs so a stray log from some
 /// other producer is rejected at open.
@@ -71,6 +97,10 @@ pub enum Membership {
     Join(u32),
     /// Node drains its queue, hands its primaries off, and departs.
     Leave(u32),
+    /// Node dies hard: no drain, no hand-off, no departure announcement.
+    /// Its queued and in-flight local work re-arrives by client retry;
+    /// with gossip on, peers only learn of the death by timing it out.
+    Crash(u32),
 }
 
 /// Cluster tuning knobs on top of the per-node [`GatewayConfig`].
@@ -98,6 +128,28 @@ pub struct ClusterConfig {
     /// `pas-store` segment logs under this directory; when `None` the
     /// same entries move in memory (identical resulting state).
     pub handoff_dir: Option<PathBuf>,
+    /// Fan cache installs out to the other HRW candidates so replicas
+    /// serve warm after a leave or crash.
+    pub repl_fanout: bool,
+    /// Anti-entropy sweep period per node; `0` disables sweeps.
+    pub ae_interval_ms: u64,
+    /// Gossip heartbeat period per node; `0` disables the failure
+    /// detector entirely (routing then uses scripted ground truth, the
+    /// round-1 behaviour).
+    pub gossip_interval_ms: u64,
+    /// Heartbeat targets per gossip round.
+    pub gossip_fanout: usize,
+    /// Rounds of heartbeat silence before a peer turns `Suspect`.
+    pub gossip_suspect_rounds: u64,
+    /// Rounds of heartbeat silence before a peer turns `Dead`.
+    pub gossip_dead_rounds: u64,
+    /// Extra simulated time past the last arrival/script event during
+    /// which periodic sweeps keep re-arming — the quiet period that lets
+    /// anti-entropy and gossip converge after the chaos stops.
+    pub quiet_ms: u64,
+    /// Spacing between consecutive transfer messages on one hand-off
+    /// link: a big move occupies simulated time instead of being instant.
+    pub transfer_pace_ms: u64,
 }
 
 impl Default for ClusterConfig {
@@ -113,7 +165,30 @@ impl Default for ClusterConfig {
             start_dead: Vec::new(),
             script: Vec::new(),
             handoff_dir: None,
+            repl_fanout: true,
+            ae_interval_ms: 0,
+            gossip_interval_ms: 0,
+            gossip_fanout: 2,
+            gossip_suspect_rounds: 8,
+            gossip_dead_rounds: 16,
+            quiet_ms: 0,
+            transfer_pace_ms: 1,
         }
+    }
+}
+
+impl ClusterConfig {
+    /// Detector thresholds implied by the gossip knobs, or `None` when
+    /// the detector is off.
+    fn gossip_tuning(&self) -> Option<GossipTuning> {
+        if self.gossip_interval_ms == 0 {
+            return None;
+        }
+        Some(GossipTuning {
+            fanout: self.gossip_fanout.max(1),
+            suspect_ms: self.gossip_interval_ms * self.gossip_suspect_rounds.max(1),
+            dead_ms: self.gossip_interval_ms * self.gossip_dead_rounds.max(2),
+        })
     }
 }
 
@@ -139,13 +214,42 @@ pub(crate) struct ReqCtx {
     done: bool,
 }
 
-/// A message on the simulated network.
+/// A message on the simulated network. Each variant travels on its own
+/// [`MsgLane`], with its own serial message counter, so the fault fates
+/// of one traffic class never shift another's.
 #[derive(Clone)]
 pub(crate) enum Msg {
     /// Serve `req` here (the receiver is a candidate for its key).
     Forward { req: usize },
     /// `server`'s answer for `req`, returning to the ingress.
     Response { req: usize, text: String, server: u32 },
+    /// Write-fanout: install this entry at a candidate replica.
+    Replicate { prompt: String, response: String, version: u64 },
+    /// In-band rebalance: one hand-off entry for its new primary.
+    Transfer { prompt: String, response: String, version: u64 },
+    /// Anti-entropy: `from`'s sorted `(entry_hash, version)` digest.
+    Digest { from: u32, entries: Vec<(u64, u64)> },
+    /// Anti-entropy: an entry the digest sender was missing or held stale.
+    Repair { prompt: String, response: String, version: u64 },
+    /// Gossip: the sender's full view (alive stamps + departure stamps —
+    /// the sender's own fresh stamp rides in `heard`, so no sender id is
+    /// needed).
+    Heartbeat { heard: Vec<(u32, u64)>, departed: Vec<(u32, u64)> },
+    /// Gossip: `from` announces its own graceful departure at `at`.
+    Departure { from: u32, at: u64 },
+}
+
+impl Msg {
+    /// The traffic class this message travels on.
+    fn lane(&self) -> MsgLane {
+        match self {
+            Msg::Forward { .. } | Msg::Response { .. } => MsgLane::Serve,
+            Msg::Replicate { .. } => MsgLane::Replicate,
+            Msg::Transfer { .. } => MsgLane::Transfer,
+            Msg::Digest { .. } | Msg::Repair { .. } => MsgLane::AntiEntropy,
+            Msg::Heartbeat { .. } | Msg::Departure { .. } => MsgLane::Gossip,
+        }
+    }
 }
 
 /// Cluster loop events (see module docs for the flow).
@@ -178,6 +282,15 @@ pub(crate) enum Ev {
         req: usize,
     },
     Membership(usize),
+    /// Periodic anti-entropy sweep at `node`.
+    AeSweep {
+        node: u32,
+    },
+    /// Periodic gossip round `round` at `node`.
+    GossipRound {
+        node: u32,
+        round: u64,
+    },
 }
 
 /// The simulated fleet. Build once, [`Cluster::run`] per soak; node
@@ -185,6 +298,9 @@ pub(crate) enum Ev {
 pub struct Cluster<O: PromptOptimizer> {
     config: ClusterConfig,
     nodes: Vec<Node<O>>,
+    /// Simulated clock at the end of the last run — the instant at which
+    /// [`Cluster::membership_view`] evaluates stamp ages.
+    last_now: u64,
 }
 
 impl<O: PromptOptimizer> Cluster<O> {
@@ -193,15 +309,30 @@ impl<O: PromptOptimizer> Cluster<O> {
     pub fn new(config: ClusterConfig, mut optimizer: impl FnMut(u32, usize) -> O) -> Self {
         assert!(config.nodes > 0, "cluster needs at least one node");
         assert!(config.replication > 0, "replication must be positive");
+        assert!(
+            config.replication <= config.nodes,
+            "replication factor {} exceeds the {}-node fleet: every key would need more \
+             candidate replicas than there are nodes; lower ClusterConfig::replication or \
+             grow the fleet (HRW already clamps to the live count when nodes die at runtime)",
+            config.replication,
+            config.nodes,
+        );
+        let initial_live: Vec<u32> =
+            (0..config.nodes as u32).filter(|n| !config.start_dead.contains(n)).collect();
         let nodes = (0..config.nodes as u32)
             .map(|n| {
                 let opts = (0..config.gateway.replicas.max(1)).map(|r| optimizer(n, r)).collect();
                 let mut node = Node::new(n, &config.gateway, opts);
                 node.live = !config.start_dead.contains(&n);
+                if node.live {
+                    // Live nodes boot knowing the initial roster; a
+                    // start-dead node learns the fleet when it joins.
+                    node.view.bootstrap(&initial_live, 0);
+                }
                 node
             })
             .collect();
-        Cluster { config, nodes }
+        Cluster { config, nodes, last_now: 0 }
     }
 
     /// Number of nodes (live or not).
@@ -225,6 +356,33 @@ impl<O: PromptOptimizer> Cluster<O> {
         self.nodes[node as usize].cache.len()
     }
 
+    /// Every live `(prompt, response, version)` in `node`'s cache, sorted
+    /// by prompt — the replica-convergence inspection export.
+    pub fn cache_entries(&self, node: u32) -> Vec<(String, String, u64)> {
+        let mut entries: Vec<(String, String, u64)> = self.nodes[node as usize]
+            .cache
+            .live_entries_versioned()
+            .into_iter()
+            .map(|(p, r, v)| (p.to_string(), r.to_string(), v))
+            .collect();
+        entries.sort();
+        entries
+    }
+
+    /// `node`'s membership view at the end of the last run, sorted by
+    /// peer id. With gossip on this is the node's *local* (possibly
+    /// wrong) belief; with gossip off it is scripted ground truth.
+    pub fn membership_view(&self, node: u32) -> Vec<(u32, NodeStatus)> {
+        match self.config.gossip_tuning() {
+            Some(t) => self.nodes[node as usize].view.statuses(self.last_now, &t),
+            None => self
+                .nodes
+                .iter()
+                .map(|n| (n.id, if n.live { NodeStatus::Alive } else { NodeStatus::Dead }))
+                .collect(),
+        }
+    }
+
     /// Runs one workload per node to completion. Returns the responses
     /// (index-aligned with each node's workload) and the fleet report.
     pub fn run(&mut self, workloads: &[Vec<Request>]) -> (Vec<Vec<String>>, ClusterReport) {
@@ -236,13 +394,25 @@ impl<O: PromptOptimizer> Cluster<O> {
         }
 
         let config = &self.config;
+        // Periodic sweeps re-arm only up to the horizon: the last
+        // arrival/script instant plus the configured quiet period. That
+        // keeps the heap finite while giving anti-entropy and gossip a
+        // chaos-free convergence window at the end of the run.
+        let traffic_end = workloads
+            .iter()
+            .flat_map(|w| w.iter().map(|r| r.arrival_ms))
+            .chain(config.script.iter().map(|(at, _)| *at))
+            .max()
+            .unwrap_or(0);
         let mut sim = Sim {
             cfg: config,
+            tuning: config.gossip_tuning(),
+            horizon: traffic_end + config.quiet_ms,
             nodes: &mut self.nodes,
             reqs: Vec::new(),
             events: EventHeap::new(),
             net: NetFaults::new(config.net.clone(), config.net_seed),
-            msg_seq: 0,
+            msg_seq: [0; MsgLane::ALL.len()],
             responses: workloads.iter().map(|w| vec![None; w.len()]).collect(),
             stats: ClusterReport::default(),
             handoff_changes: 0,
@@ -268,6 +438,21 @@ impl<O: PromptOptimizer> Cluster<O> {
         for (k, (at_ms, _)) in config.script.iter().enumerate() {
             sim.events.push(*at_ms, Ev::Membership(k));
         }
+        // Per-node stagger (+id) keeps same-instant sweeps ordered by
+        // node without relying on heap insertion order.
+        if config.ae_interval_ms > 0 {
+            for n in 0..config.nodes as u32 {
+                sim.events.push(config.ae_interval_ms + u64::from(n), Ev::AeSweep { node: n });
+            }
+        }
+        if config.gossip_interval_ms > 0 {
+            for n in 0..config.nodes as u32 {
+                sim.events.push(
+                    config.gossip_interval_ms + u64::from(n),
+                    Ev::GossipRound { node: n, round: 0 },
+                );
+            }
+        }
 
         while let Some((now, ev)) = sim.events.pop() {
             sim.handle(ev, now);
@@ -275,6 +460,7 @@ impl<O: PromptOptimizer> Cluster<O> {
 
         let Sim { events, responses, stats: mut report, .. } = sim;
         let now = events.now();
+        self.last_now = now;
         report.nodes = self.nodes.len() as u64;
         for node in self.nodes.iter_mut() {
             node.end_run(now);
@@ -294,6 +480,12 @@ impl<O: PromptOptimizer> Cluster<O> {
         OBS_RESCUES.add(report.rescues);
         OBS_LOCAL_FALLBACKS.add(report.local_fallbacks);
         OBS_REBALANCE_MOVED.add(report.rebalance_moved);
+        OBS_REPL_SENT.add(report.repl_sent);
+        OBS_REPL_APPLIED.add(report.repl_applied);
+        OBS_AE_DIGESTS.add(report.ae_digests);
+        OBS_AE_REPAIRS.add(report.ae_repairs);
+        OBS_GOSSIP_HEARTBEATS.add(report.gossip_heartbeats);
+        OBS_GOSSIP_DEATHS.add(report.gossip_deaths);
         span.sim_ms(now);
         span.finish();
 
@@ -308,12 +500,19 @@ impl<O: PromptOptimizer> Cluster<O> {
 /// Loop state for one run (borrows the cluster's nodes).
 struct Sim<'a, O: PromptOptimizer> {
     cfg: &'a ClusterConfig,
+    /// Detector thresholds; `None` disables gossip (ground-truth views).
+    tuning: Option<GossipTuning>,
+    /// Last instant at which periodic sweeps still re-arm.
+    horizon: u64,
     nodes: &'a mut Vec<Node<O>>,
     reqs: Vec<ReqCtx>,
     events: EventHeap<Ev>,
     net: NetFaults,
-    /// Serial message counter — the network schedule's third coordinate.
-    msg_seq: u64,
+    /// Serial message counters, one per lane — the network schedule's
+    /// final coordinate. Per-lane counters mean serve traffic volume
+    /// never shifts the fates of replication/gossip messages (and vice
+    /// versa), which is what lets chaos sweeps vary one lane at a time.
+    msg_seq: [u64; MsgLane::ALL.len()],
     responses: Vec<Vec<Option<String>>>,
     stats: ClusterReport,
     handoff_changes: u64,
@@ -322,6 +521,17 @@ struct Sim<'a, O: PromptOptimizer> {
 impl<O: PromptOptimizer> Sim<'_, O> {
     fn live_ids(&self) -> Vec<u32> {
         self.nodes.iter().filter(|n| n.live).map(|n| n.id).collect()
+    }
+
+    /// The membership node `n` routes by: its own gossip view when the
+    /// detector is on (stale beliefs and all), scripted ground truth
+    /// otherwise. Always contains `n` itself, so candidate lists derived
+    /// from it are never empty.
+    fn routing_live(&self, n: u32, now: u64) -> Vec<u32> {
+        match &self.tuning {
+            Some(t) => self.nodes[n as usize].view.routing_live(now, t),
+            None => self.live_ids(),
+        }
     }
 
     fn handle(&mut self, ev: Ev, now: u64) {
@@ -338,40 +548,92 @@ impl<O: PromptOptimizer> Sim<'_, O> {
                 }
             }
             Ev::CacheServe { node, members } => {
+                if self.nodes[node as usize].crashed {
+                    // The serve died with the node; local clients retry
+                    // (forwarded requests are covered by their ingress
+                    // hedge/rescue chain instead).
+                    for (req, _) in members {
+                        if self.reqs[req].ingress == node && !self.reqs[req].done {
+                            self.retry_after_crash(req, now);
+                        }
+                    }
+                    return;
+                }
                 for (req, text) in members {
                     self.complete_at(node, req, text, now);
                 }
             }
             Ev::BatchDone { node, replica, members, unique_of, outcomes } => {
+                if self.nodes[node as usize].crashed {
+                    for it in members {
+                        if self.reqs[it.req].ingress == node && !self.reqs[it.req].done {
+                            self.retry_after_crash(it.req, now);
+                        }
+                    }
+                    return;
+                }
                 self.batch_done(node, replica, members, unique_of, outcomes, now)
             }
             Ev::Hedge { req, next } => self.hedge(req, next, now),
             Ev::Rescue { req } => self.rescue(req, now),
             Ev::Membership(k) => self.membership(k, now),
+            Ev::AeSweep { node } => self.ae_sweep(node, now),
+            Ev::GossipRound { node, round } => self.gossip_round(node, round, now),
         }
     }
 
     fn arrival(&mut self, req: usize, now: u64) {
+        self.ingest(req, now, false)
+    }
+
+    /// Re-drives a request orphaned by its node crashing: the client
+    /// retries against the current fleet. Keeps the original arrival
+    /// stamp (the crash delay is real latency) and does not re-count the
+    /// request — the fleet saw it exactly once.
+    fn retry_after_crash(&mut self, req: usize, now: u64) {
+        self.reqs[req].primary = None;
+        self.stats.crash_retries += 1;
+        self.ingest(req, now, true);
+    }
+
+    fn ingest(&mut self, req: usize, now: u64, retry: bool) {
         let live = self.live_ids();
         if live.is_empty() {
             // Whole fleet down: the workload node answers passthrough.
             let ingress = self.reqs[req].node as u32;
             self.reqs[req].ingress = ingress;
-            self.nodes[ingress as usize].report.requests += 1;
+            if !retry {
+                self.nodes[ingress as usize].report.requests += 1;
+            }
             self.stats.local_fallbacks += 1;
-            self.serve_local(ingress, req, false, now);
+            if self.nodes[ingress as usize].crashed {
+                // Even the passthrough path died: the retry degrades to
+                // an immediate client-side passthrough answer.
+                let text = self.reqs[req].prompt.clone();
+                self.finish(req, text, now, ingress);
+            } else {
+                self.serve_local(ingress, req, false, now);
+            }
             return;
         }
-        let candidates = hrw::candidates(&self.reqs[req].prompt, &live, self.cfg.replication);
         let mut ingress = self.reqs[req].node as u32;
         if !self.nodes[ingress as usize].live {
-            // Dead ingress: its clients reconnect straight to the primary.
-            ingress = candidates[0];
+            // Dead ingress: its clients reconnect straight to the primary
+            // (ground-truth — a reconnect is a real handshake, not a
+            // gossip belief).
+            ingress = hrw::candidates(&self.reqs[req].prompt, &live, self.cfg.replication)[0];
             self.stats.redirects += 1;
         }
+        // Routing consults the ingress node's *local* membership view;
+        // with gossip on it may lag ground truth, and the hedge/rescue
+        // chain absorbs any forward sent to a node that is already gone.
+        let view = self.routing_live(ingress, now);
+        let candidates = hrw::candidates(&self.reqs[req].prompt, &view, self.cfg.replication);
         self.reqs[req].ingress = ingress;
         self.reqs[req].candidates = candidates.clone();
-        self.nodes[ingress as usize].report.requests += 1;
+        if !retry {
+            self.nodes[ingress as usize].report.requests += 1;
+        }
 
         if candidates.contains(&ingress) {
             self.serve_local(ingress, req, true, now);
@@ -446,14 +708,18 @@ impl<O: PromptOptimizer> Sim<'_, O> {
         let node = &mut self.nodes[n as usize];
         node.pool.finish(replica, outcomes.len() as u64);
         // Cache and replica accounting go per unique prompt…
+        let mut installed: Vec<(usize, String)> = Vec::new();
         for (u, outcome) in outcomes.iter().enumerate() {
             let k = unique_of.iter().position(|&x| x == u).expect("owner");
             if let ServeOutcome::Served { response, replica: served_by, failovers } = outcome {
                 // Install only entries this node owns (any cacheable
                 // member) and only while it is part of the fleet.
                 let owned = members.iter().zip(&unique_of).any(|(it, &uu)| uu == u && it.cacheable);
-                if owned && node.live {
-                    node.cache.insert(&self.reqs[members[k].req].prompt, response);
+                if owned
+                    && node.live
+                    && node.cache.insert_versioned(&self.reqs[members[k].req].prompt, response, 1)
+                {
+                    installed.push((members[k].req, response.clone()));
                 }
                 node.report.failovers += failovers;
                 let r = &mut node.report.per_replica[*served_by];
@@ -463,7 +729,7 @@ impl<O: PromptOptimizer> Sim<'_, O> {
                 }
             }
         }
-        // …responses per member request.
+        // …responses per member request…
         for (k, it) in members.iter().enumerate() {
             let outcome = &outcomes[unique_of[k]];
             if *outcome == ServeOutcome::Degraded {
@@ -471,6 +737,37 @@ impl<O: PromptOptimizer> Sim<'_, O> {
             }
             let text = outcome.response_for(&self.reqs[it.req].prompt);
             self.complete_at(n, it.req, text, now);
+        }
+        // …then freshly installed entries fan out to the other
+        // candidates, so hedged reads at replicas hit warm caches.
+        if self.cfg.repl_fanout {
+            for (req, response) in installed {
+                self.fanout(n, req, &response, now);
+            }
+        }
+    }
+
+    /// Pushes a just-installed entry to every other candidate replica
+    /// (per this node's own view) over the replication lane.
+    fn fanout(&mut self, n: u32, req: usize, response: &str, now: u64) {
+        let prompt = self.reqs[req].prompt.clone();
+        let view = self.routing_live(n, now);
+        let targets: Vec<u32> = hrw::candidates(&prompt, &view, self.cfg.replication)
+            .into_iter()
+            .filter(|&c| c != n)
+            .collect();
+        for dst in targets {
+            self.stats.repl_sent += 1;
+            self.send(
+                now,
+                n,
+                dst,
+                Msg::Replicate {
+                    prompt: prompt.clone(),
+                    response: response.to_string(),
+                    version: 1,
+                },
+            );
         }
     }
 
@@ -505,23 +802,26 @@ impl<O: PromptOptimizer> Sim<'_, O> {
         }
     }
 
-    /// Commits a message to the network: refused on a partitioned link,
-    /// otherwise delivered per the seeded schedule (possibly dropped or
-    /// duplicated, each copy with its own latency).
-    fn send(&mut self, now: u64, src: u32, dst: u32, msg: Msg) {
-        if self.net.partitioned(now, src, dst) {
+    /// Commits a message to the network at `at` (≥ now for paced
+    /// transfers): refused on a partitioned link, otherwise delivered per
+    /// the seeded schedule of its lane (possibly dropped or duplicated,
+    /// each copy with its own latency).
+    fn send(&mut self, at: u64, src: u32, dst: u32, msg: Msg) {
+        if self.net.partitioned(at, src, dst) {
             self.stats.net_cut += 1;
             return;
         }
-        let copies = self.net.deliveries(src, dst, self.msg_seq);
-        self.msg_seq += 1;
+        let lane = msg.lane();
+        let seq = self.msg_seq[lane.index()];
+        self.msg_seq[lane.index()] += 1;
+        let copies = self.net.deliveries(lane, src, dst, seq);
         match copies.len() {
             0 => self.stats.net_drops += 1,
             1 => {}
             _ => self.stats.net_duplicates += 1,
         }
         for latency in copies {
-            self.events.push(now + latency, Ev::Deliver { dst, msg: msg.clone() });
+            self.events.push(at + latency, Ev::Deliver { dst, msg: msg.clone() });
         }
     }
 
@@ -541,6 +841,67 @@ impl<O: PromptOptimizer> Sim<'_, O> {
                     return;
                 }
                 self.finish(req, text, now, server);
+            }
+            Msg::Replicate { prompt, response, version } => {
+                if !self.nodes[dst as usize].live {
+                    return;
+                }
+                // Only candidates (per the receiver's own view) hold
+                // replicas; anything else evaporates.
+                let view = self.routing_live(dst, now);
+                if !hrw::candidates(&prompt, &view, self.cfg.replication).contains(&dst) {
+                    return;
+                }
+                if self.nodes[dst as usize].cache.insert_versioned(&prompt, &response, version) {
+                    self.stats.repl_applied += 1;
+                } else {
+                    // Same or newer version already present — duplicated
+                    // replication messages are idempotent by design.
+                    self.stats.repl_stale += 1;
+                }
+            }
+            Msg::Transfer { prompt, response, version } => {
+                if !self.nodes[dst as usize].live {
+                    return;
+                }
+                // Counted at delivery: a transfer the network ate is not
+                // "moved" (anti-entropy repairs it later). Already-warm
+                // replicas still count — the entry reached its new
+                // primary, which is what the counter promises.
+                self.stats.rebalance_moved += 1;
+                let _ =
+                    self.nodes[dst as usize].cache.insert_versioned(&prompt, &response, version);
+            }
+            Msg::Digest { from, entries } => {
+                if !self.nodes[dst as usize].live {
+                    return;
+                }
+                self.ae_respond(dst, from, &entries, now);
+            }
+            Msg::Repair { prompt, response, version } => {
+                if !self.nodes[dst as usize].live {
+                    return;
+                }
+                let view = self.routing_live(dst, now);
+                if !hrw::candidates(&prompt, &view, self.cfg.replication).contains(&dst) {
+                    return;
+                }
+                if self.nodes[dst as usize].cache.insert_versioned(&prompt, &response, version) {
+                    self.stats.ae_repairs += 1;
+                    self.stats.ae_last_repair_ms = self.stats.ae_last_repair_ms.max(now);
+                }
+            }
+            Msg::Heartbeat { heard, departed } => {
+                if !self.nodes[dst as usize].live {
+                    return;
+                }
+                self.nodes[dst as usize].view.merge(&heard, &departed);
+            }
+            Msg::Departure { from, at } => {
+                if !self.nodes[dst as usize].live {
+                    return;
+                }
+                self.nodes[dst as usize].view.note_departure(from, at);
             }
         }
     }
@@ -587,8 +948,26 @@ impl<O: PromptOptimizer> Sim<'_, O> {
                 }
                 let old_live = self.live_ids();
                 self.nodes[n as usize].live = true;
+                self.nodes[n as usize].crashed = false;
                 let new_live = self.live_ids();
-                self.rebalance(&old_live, &new_live);
+                if self.tuning.is_some() {
+                    // The joiner bootstraps from the current roster (its
+                    // operator-supplied contact list) and announces
+                    // itself to every member immediately, so routing
+                    // starts sending it traffic without waiting a round.
+                    self.nodes[n as usize].view.bootstrap(&new_live, now);
+                    let (heard, departed) = self.nodes[n as usize].view.payload();
+                    for &p in new_live.iter().filter(|&&p| p != n) {
+                        self.stats.gossip_heartbeats += 1;
+                        self.send(
+                            now,
+                            n,
+                            p,
+                            Msg::Heartbeat { heard: heard.clone(), departed: departed.clone() },
+                        );
+                    }
+                }
+                self.rebalance(&old_live, &new_live, now);
             }
             Membership::Leave(n) => {
                 if !self.nodes[n as usize].live {
@@ -600,10 +979,38 @@ impl<O: PromptOptimizer> Sim<'_, O> {
                 while !self.nodes[n as usize].queue.is_empty() {
                     self.dispatch_node(n, now);
                 }
+                if self.tuning.is_some() {
+                    // Announce the departure; peers that miss it (drops,
+                    // partitions) time the leaver out instead.
+                    self.nodes[n as usize].view.note_departure(n, now);
+                    let peers: Vec<u32> = self.live_ids().into_iter().filter(|&p| p != n).collect();
+                    for p in peers {
+                        self.send(now, n, p, Msg::Departure { from: n, at: now });
+                    }
+                }
                 let old_live = self.live_ids();
                 self.nodes[n as usize].live = false;
                 let new_live = self.live_ids();
-                self.rebalance(&old_live, &new_live);
+                self.rebalance(&old_live, &new_live, now);
+            }
+            Membership::Crash(n) => {
+                if !self.nodes[n as usize].live {
+                    return;
+                }
+                self.nodes[n as usize].live = false;
+                self.nodes[n as usize].crashed = true;
+                self.stats.crashes += 1;
+                // No drain, no hand-off, no announcement. Queued work
+                // dies with the node; its clients retry against the
+                // surviving fleet (in-flight batch/cache events are
+                // similarly retried when they fire at the corpse).
+                let orphans: Vec<usize> =
+                    self.nodes[n as usize].queue.drain(..).map(|it| it.req).collect();
+                for req in orphans {
+                    if !self.reqs[req].done {
+                        self.retry_after_crash(req, now);
+                    }
+                }
             }
         }
     }
@@ -611,25 +1018,34 @@ impl<O: PromptOptimizer> Sim<'_, O> {
     /// Moves every key whose *primary* changed between the memberships to
     /// its new primary — HRW guarantees that is the minimal set. Donors
     /// keep their (now stale) copies; LRU ages them out.
-    fn rebalance(&mut self, old_live: &[u32], new_live: &[u32]) {
+    ///
+    /// The move is *in-band*: each entry becomes one [`Msg::Transfer`] on
+    /// the transfer lane, paced [`ClusterConfig::transfer_pace_ms`] apart
+    /// per link — a big hand-off occupies simulated time, races arriving
+    /// traffic, and can lose members to drops or a mid-move partition
+    /// (anti-entropy repairs the survivors' gaps afterwards).
+    fn rebalance(&mut self, old_live: &[u32], new_live: &[u32], now: u64) {
         self.stats.rebalances += 1;
         if new_live.is_empty() {
             return;
         }
         // Deterministic move set: donors in id order, entries in LRU
         // order, grouped per (src, dst) link.
-        let mut moves: BTreeMap<(u32, u32), Vec<(String, String)>> = BTreeMap::new();
+        type MoveSet = BTreeMap<(u32, u32), Vec<(String, String, u64)>>;
+        let mut moves: MoveSet = BTreeMap::new();
         for &s in old_live {
-            for (prompt, response) in self.nodes[s as usize].cache.live_entries_lru() {
+            for (prompt, response, version) in self.nodes[s as usize].cache.live_entries_versioned()
+            {
                 if hrw::owner(prompt, old_live) != Some(s) {
                     continue;
                 }
                 let new_primary = hrw::owner(prompt, new_live).expect("non-empty membership");
                 if new_primary != s {
-                    moves
-                        .entry((s, new_primary))
-                        .or_default()
-                        .push((prompt.to_string(), response.to_string()));
+                    moves.entry((s, new_primary)).or_default().push((
+                        prompt.to_string(),
+                        response.to_string(),
+                        version,
+                    ));
                 }
             }
         }
@@ -647,7 +1063,7 @@ impl<O: PromptOptimizer> Sim<'_, O> {
                     let (mut log, existing) =
                         SegmentLog::open(&path, sc.clone(), None).expect("handoff log open");
                     assert!(existing.is_empty(), "handoff log must start fresh");
-                    for (i, (prompt, response)) in entries.iter().enumerate() {
+                    for (i, (prompt, response, version)) in entries.iter().enumerate() {
                         let record = Record::Meta {
                             id: i as u64,
                             meta: RecordMeta {
@@ -657,6 +1073,7 @@ impl<O: PromptOptimizer> Sim<'_, O> {
                                 fields: vec![
                                     ("p".into(), prompt.clone()),
                                     ("r".into(), response.clone()),
+                                    ("v".into(), version.to_string()),
                                 ],
                             },
                         };
@@ -667,20 +1084,109 @@ impl<O: PromptOptimizer> Sim<'_, O> {
                     records
                         .iter()
                         .filter_map(|rec| match rec {
-                            Record::Meta { meta, .. } => {
-                                Some((meta.field("p")?.to_string(), meta.field("r")?.to_string()))
-                            }
+                            Record::Meta { meta, .. } => Some((
+                                meta.field("p")?.to_string(),
+                                meta.field("r")?.to_string(),
+                                meta.field("v").and_then(|v| v.parse().ok()).unwrap_or(1),
+                            )),
                             _ => None,
                         })
                         .collect()
                 }
                 None => entries.clone(),
             };
-            let receiver = &mut self.nodes[*dst as usize];
-            for (prompt, response) in &entries {
-                receiver.cache.insert(prompt, response);
+            for (i, (prompt, response, version)) in entries.into_iter().enumerate() {
+                let at = now + self.cfg.transfer_pace_ms * i as u64;
+                self.stats.transfers_sent += 1;
+                self.send(at, *src, *dst, Msg::Transfer { prompt, response, version });
             }
-            self.stats.rebalance_moved += entries.len() as u64;
+        }
+    }
+
+    /// One anti-entropy sweep at `n`: pick the next peer in the
+    /// round-robin rotation (full pair coverage every `peers` rounds, so
+    /// convergence needs no luck) and send it this cache's digest.
+    fn ae_sweep(&mut self, n: u32, now: u64) {
+        // Re-arm first, even while down — a rejoining node resumes
+        // sweeping on its own schedule.
+        let next = now + self.cfg.ae_interval_ms;
+        if next <= self.horizon {
+            self.events.push(next, Ev::AeSweep { node: n });
+        }
+        if !self.nodes[n as usize].live {
+            return;
+        }
+        let peers: Vec<u32> = self.routing_live(n, now).into_iter().filter(|&p| p != n).collect();
+        if peers.is_empty() {
+            return;
+        }
+        let round = self.nodes[n as usize].ae_round;
+        self.nodes[n as usize].ae_round += 1;
+        let peer = peers[(round % peers.len() as u64) as usize];
+        let entries = self.nodes[n as usize].cache.digest();
+        self.stats.ae_digests += 1;
+        self.send(now, n, peer, Msg::Digest { from: n, entries });
+    }
+
+    /// Node `b` received `a`'s digest: push back every entry `b` holds
+    /// that `a` is missing or holds stale, provided both sides are
+    /// candidates for it per `b`'s view (anti-entropy replicates
+    /// assignments, it does not spray the whole keyspace everywhere).
+    fn ae_respond(&mut self, b: u32, a: u32, digest: &[(u64, u64)], now: u64) {
+        let view = self.routing_live(b, now);
+        let mut repairs: Vec<(String, String, u64)> = Vec::new();
+        for (prompt, response, version) in self.nodes[b as usize].cache.live_entries_versioned() {
+            let h = entry_hash(prompt);
+            let theirs = digest.binary_search_by_key(&h, |e| e.0).ok().map(|i| digest[i].1);
+            if theirs.is_some_and(|v| v >= version) {
+                continue;
+            }
+            let cands = hrw::candidates(prompt, &view, self.cfg.replication);
+            if cands.contains(&a) && cands.contains(&b) {
+                repairs.push((prompt.to_string(), response.to_string(), version));
+            }
+        }
+        for (prompt, response, version) in repairs {
+            self.send(now, b, a, Msg::Repair { prompt, response, version });
+        }
+    }
+
+    /// One gossip round at `n`: stamp self, re-derive peer statuses
+    /// (counting detector transitions and false deaths), and push the
+    /// whole view to a seeded pick of fanout peers.
+    fn gossip_round(&mut self, n: u32, round: u64, now: u64) {
+        let next = now + self.cfg.gossip_interval_ms;
+        if next <= self.horizon {
+            self.events.push(next, Ev::GossipRound { node: n, round: round + 1 });
+        }
+        if !self.nodes[n as usize].live {
+            return;
+        }
+        let Some(t) = self.tuning else { return };
+        self.nodes[n as usize].view.mark_self(now);
+        let transitions = self.nodes[n as usize].view.refresh(now, &t);
+        for (peer, _, status) in transitions {
+            match status {
+                NodeStatus::Suspect => self.stats.gossip_suspects += 1,
+                NodeStatus::Dead => {
+                    self.stats.gossip_deaths += 1;
+                    if self.nodes[peer as usize].live && !self.net.partitioned(now, n, peer) {
+                        self.stats.gossip_false_deaths += 1;
+                    }
+                }
+                NodeStatus::Alive => {}
+            }
+        }
+        let targets = self.nodes[n as usize].view.gossip_targets(now, &t, self.cfg.net_seed, round);
+        let (heard, departed) = self.nodes[n as usize].view.payload();
+        for dst in targets {
+            self.stats.gossip_heartbeats += 1;
+            self.send(
+                now,
+                n,
+                dst,
+                Msg::Heartbeat { heard: heard.clone(), departed: departed.clone() },
+            );
         }
     }
 }

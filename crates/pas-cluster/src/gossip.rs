@@ -1,0 +1,328 @@
+//! The seeded gossip failure detector: per-node membership views driven
+//! by heartbeats over the simulated network.
+//!
+//! Every live node keeps a [`View`] — a map from peer id to the freshest
+//! *alive-at* stamp it has heard, directly or transitively. Each gossip
+//! round the node stamps itself, re-derives every peer's
+//! [`NodeStatus`] from stamp age (fresh → `Alive`, stale → `Suspect`,
+//! ancient → `Dead`), and pushes its whole view to a seeded pick of
+//! fanout peers. Receivers merge entry-wise by `max`, so stamps only ever
+//! move forward and views converge monotonically no matter how messages
+//! interleave, duplicate, or drop — a dropped heartbeat delays
+//! convergence, it cannot corrupt it.
+//!
+//! Graceful departures ride the same epidemic: the leaver announces a
+//! departure stamp, and a peer is `Dead` whenever its departure stamp is
+//! at least as fresh as its last alive stamp. A rejoining node's newer
+//! heartbeats resurrect it. Crashes announce nothing — peers find out by
+//! timeout, during which their views legitimately *disagree*; routing
+//! always consults the local view only.
+//!
+//! Determinism: views mutate only from the serial event loop; heartbeat
+//! payloads iterate `BTreeMap`s; fanout targets come from a seeded
+//! partial shuffle keyed by `(net_seed, node, round)`. Nothing here
+//! depends on thread count.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use pas_par::derive_seed_path;
+
+/// Derivation lane for gossip fanout target picks (disjoint from the
+/// network-fate stream, which `pas_fault::NetFaults` derives itself).
+const GOSSIP_PICK_LANE: u64 = 0x9055;
+
+/// Sorted `(peer, stamp_ms)` pairs as carried by heartbeat payloads.
+pub type Stamps = Vec<(u32, u64)>;
+
+/// What a node's local view believes about a peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize)]
+pub enum NodeStatus {
+    /// Heard from recently (or is the node itself).
+    Alive,
+    /// Stale beyond the suspect threshold — still routed around softly.
+    Suspect,
+    /// Stale beyond the dead threshold, announced departed, or never
+    /// heard of at all.
+    Dead,
+}
+
+/// Detector thresholds, resolved from the cluster config (intervals are
+/// multiples of the gossip period).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GossipTuning {
+    /// Gossip fanout: heartbeat targets per round.
+    pub fanout: usize,
+    /// Stamp age beyond which a peer turns `Suspect`.
+    pub suspect_ms: u64,
+    /// Stamp age beyond which a peer turns `Dead`.
+    pub dead_ms: u64,
+}
+
+/// One node's local membership view.
+#[derive(Debug, Clone)]
+pub(crate) struct View {
+    self_id: u32,
+    /// peer → freshest alive-at stamp learned (directly or transitively).
+    heard: BTreeMap<u32, u64>,
+    /// peer → freshest departure-announcement stamp.
+    departed: BTreeMap<u32, u64>,
+    /// Cached statuses from the last [`View::refresh`], for transition
+    /// accounting and end-of-run inspection.
+    status: BTreeMap<u32, NodeStatus>,
+}
+
+impl View {
+    /// A view that knows `peers` (the bootstrap contact list) as alive at
+    /// time 0.
+    pub fn new(self_id: u32, peers: &[u32]) -> View {
+        let mut v = View {
+            self_id,
+            heard: BTreeMap::new(),
+            departed: BTreeMap::new(),
+            status: BTreeMap::new(),
+        };
+        v.bootstrap(peers, 0);
+        v
+    }
+
+    /// Re-seeds the view with `peers` alive at `now` — what a joining
+    /// node learns from its operator-supplied contact list. Departure
+    /// stamps survive (a fresher alive stamp outranks them anyway).
+    pub fn bootstrap(&mut self, peers: &[u32], now: u64) {
+        for &p in peers {
+            let e = self.heard.entry(p).or_insert(0);
+            *e = (*e).max(now);
+            self.status.insert(p, NodeStatus::Alive);
+        }
+        let e = self.heard.entry(self.self_id).or_insert(0);
+        *e = (*e).max(now);
+        self.status.insert(self.self_id, NodeStatus::Alive);
+    }
+
+    /// Stamps this node alive at `now` (start of its own gossip round).
+    pub fn mark_self(&mut self, now: u64) {
+        let e = self.heard.entry(self.self_id).or_insert(0);
+        *e = (*e).max(now);
+    }
+
+    /// Records a departure announcement for `node` stamped `at`.
+    pub fn note_departure(&mut self, node: u32, at: u64) {
+        let e = self.departed.entry(node).or_insert(0);
+        *e = (*e).max(at);
+    }
+
+    /// Merges a received heartbeat payload entry-wise by `max` — the
+    /// commutative, idempotent step that makes convergence monotone.
+    pub fn merge(&mut self, heard: &[(u32, u64)], departed: &[(u32, u64)]) {
+        for &(p, at) in heard {
+            let e = self.heard.entry(p).or_insert(0);
+            *e = (*e).max(at);
+        }
+        for &(p, at) in departed {
+            self.note_departure(p, at);
+        }
+    }
+
+    /// The full view as a heartbeat payload (deterministic id order).
+    pub fn payload(&self) -> (Stamps, Stamps) {
+        (
+            self.heard.iter().map(|(&p, &at)| (p, at)).collect(),
+            self.departed.iter().map(|(&p, &at)| (p, at)).collect(),
+        )
+    }
+
+    /// `peer`'s status as seen from this view at `now`.
+    pub fn status_of(&self, peer: u32, now: u64, t: &GossipTuning) -> NodeStatus {
+        if peer == self.self_id {
+            return NodeStatus::Alive;
+        }
+        let Some(&heard) = self.heard.get(&peer) else {
+            return NodeStatus::Dead;
+        };
+        if self.departed.get(&peer).is_some_and(|&d| d >= heard) {
+            return NodeStatus::Dead;
+        }
+        let age = now.saturating_sub(heard);
+        if age <= t.suspect_ms {
+            NodeStatus::Alive
+        } else if age <= t.dead_ms {
+            NodeStatus::Suspect
+        } else {
+            NodeStatus::Dead
+        }
+    }
+
+    /// Re-derives every known peer's status, returning the transitions
+    /// `(peer, old, new)` since the last refresh (for detector
+    /// accounting).
+    pub fn refresh(&mut self, now: u64, t: &GossipTuning) -> Vec<(u32, NodeStatus, NodeStatus)> {
+        let peers: Vec<u32> = self.heard.keys().chain(self.departed.keys()).copied().collect();
+        let mut transitions = Vec::new();
+        for p in peers {
+            let new = self.status_of(p, now, t);
+            let old = self.status.insert(p, new).unwrap_or(NodeStatus::Alive);
+            if old != new {
+                transitions.push((p, old, new));
+            }
+        }
+        transitions
+    }
+
+    /// Every known peer's status at `now`, sorted by id — the
+    /// end-of-run inspection export.
+    pub fn statuses(&self, now: u64, t: &GossipTuning) -> Vec<(u32, NodeStatus)> {
+        self.heard
+            .keys()
+            .chain(self.departed.keys())
+            .copied()
+            .collect::<std::collections::BTreeSet<u32>>()
+            .into_iter()
+            .map(|p| (p, self.status_of(p, now, t)))
+            .collect()
+    }
+
+    /// The peers this view routes to: everything `Alive` at `now`,
+    /// including the node itself, sorted by id.
+    pub fn routing_live(&self, now: u64, t: &GossipTuning) -> Vec<u32> {
+        self.statuses(now, t)
+            .into_iter()
+            .filter(|&(p, s)| s == NodeStatus::Alive || p == self.self_id)
+            .map(|(p, _)| p)
+            .collect()
+    }
+
+    /// Seeded heartbeat targets for `round`: up to `fanout` distinct
+    /// peers that are not believed `Dead` (suspects get pinged so a wrong
+    /// suspicion can heal), via a partial Fisher–Yates shuffle keyed by
+    /// `(seed, node, round)` — deterministic, independent of thread
+    /// count, decorrelated across nodes and rounds.
+    pub fn gossip_targets(&self, now: u64, t: &GossipTuning, seed: u64, round: u64) -> Vec<u32> {
+        let mut eligible: Vec<u32> = self
+            .statuses(now, t)
+            .into_iter()
+            .filter(|&(p, s)| p != self.self_id && s != NodeStatus::Dead)
+            .map(|(p, _)| p)
+            .collect();
+        let k = t.fanout.min(eligible.len());
+        let mut rng = StdRng::seed_from_u64(derive_seed_path(
+            seed,
+            &[GOSSIP_PICK_LANE, u64::from(self.self_id), round],
+        ));
+        for i in 0..k {
+            let j = i + rng.random_range(0..eligible.len() - i);
+            eligible.swap(i, j);
+        }
+        eligible.truncate(k);
+        eligible.sort_unstable();
+        eligible
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuning() -> GossipTuning {
+        GossipTuning { fanout: 2, suspect_ms: 100, dead_ms: 200 }
+    }
+
+    #[test]
+    fn stamp_age_walks_alive_suspect_dead() {
+        let t = tuning();
+        let mut v = View::new(0, &[1, 2]);
+        v.merge(&[(1, 50)], &[]);
+        assert_eq!(v.status_of(1, 50, &t), NodeStatus::Alive);
+        assert_eq!(v.status_of(1, 150, &t), NodeStatus::Alive);
+        assert_eq!(v.status_of(1, 151, &t), NodeStatus::Suspect);
+        assert_eq!(v.status_of(1, 250, &t), NodeStatus::Suspect);
+        assert_eq!(v.status_of(1, 251, &t), NodeStatus::Dead);
+        // The node itself never ages out.
+        assert_eq!(v.status_of(0, 10_000, &t), NodeStatus::Alive);
+        // Unknown peers are dead, not suspect.
+        assert_eq!(v.status_of(9, 0, &t), NodeStatus::Dead);
+    }
+
+    #[test]
+    fn merge_is_monotone_and_order_independent() {
+        let t = tuning();
+        let payloads: [&[(u32, u64)]; 3] = [&[(1, 80), (2, 10)], &[(1, 20)], &[(2, 90)]];
+        let mut a = View::new(0, &[1, 2]);
+        let mut b = View::new(0, &[1, 2]);
+        for p in payloads {
+            a.merge(p, &[]);
+        }
+        for p in payloads.iter().rev() {
+            b.merge(p, &[]);
+        }
+        assert_eq!(a.payload(), b.payload(), "max-merge must commute");
+        assert_eq!(a.status_of(1, 100, &t), NodeStatus::Alive);
+        // A stale merge never regresses a stamp.
+        a.merge(&[(1, 5)], &[]);
+        assert_eq!(a.payload().0.iter().find(|e| e.0 == 1).unwrap().1, 80);
+    }
+
+    #[test]
+    fn departure_kills_until_a_fresher_heartbeat_resurrects() {
+        let t = tuning();
+        let mut v = View::new(0, &[1]);
+        v.merge(&[(1, 100)], &[(1, 100)]);
+        assert_eq!(v.status_of(1, 100, &t), NodeStatus::Dead, "departure at the same stamp wins");
+        v.merge(&[(1, 150)], &[]);
+        assert_eq!(v.status_of(1, 150, &t), NodeStatus::Alive, "rejoin heartbeat resurrects");
+    }
+
+    #[test]
+    fn refresh_reports_transitions_once() {
+        let t = tuning();
+        let mut v = View::new(0, &[1]);
+        v.merge(&[(1, 10)], &[]);
+        assert!(v.refresh(50, &t).is_empty());
+        let down = v.refresh(160, &t);
+        assert_eq!(down, vec![(1, NodeStatus::Alive, NodeStatus::Suspect)]);
+        assert!(v.refresh(170, &t).is_empty(), "no transition, no report");
+        let dead = v.refresh(400, &t);
+        assert_eq!(dead, vec![(1, NodeStatus::Suspect, NodeStatus::Dead)]);
+    }
+
+    #[test]
+    fn gossip_targets_are_seeded_bounded_and_skip_the_dead() {
+        let t = tuning();
+        let mut v = View::new(0, &[1, 2, 3, 4]);
+        v.merge(&[(1, 10), (2, 10), (3, 10)], &[(4, 10)]);
+        let picks = v.gossip_targets(20, &t, 0x4e72, 7);
+        assert_eq!(picks, v.gossip_targets(20, &t, 0x4e72, 7), "picks must be pure");
+        assert_eq!(picks.len(), 2);
+        assert!(picks.iter().all(|p| [1, 2, 3].contains(p)), "dead peers are never pinged");
+        // Different rounds decorrelate.
+        let across: std::collections::BTreeSet<Vec<u32>> =
+            (0..32).map(|r| v.gossip_targets(20, &t, 0x4e72, r)).collect();
+        assert!(across.len() > 1, "rounds must not all pick the same targets");
+    }
+
+    #[test]
+    fn exchanged_views_converge_to_agreement() {
+        let t = tuning();
+        let mut views: Vec<View> = (0..3).map(|n| View::new(n, &[0, 1, 2])).collect();
+        // Node 2 departs; only node 0 hears the announcement directly.
+        views[0].note_departure(2, 60);
+        for round in 0..3u64 {
+            let now = 70 + round;
+            // The departed node stays silent; the survivors exchange.
+            for n in 0..2 {
+                views[n].mark_self(now);
+                let (heard, departed) = views[n].payload();
+                for (m, view) in views.iter_mut().enumerate().take(2) {
+                    if m != n {
+                        view.merge(&heard, &departed);
+                    }
+                }
+            }
+        }
+        let statuses: Vec<_> = (0..2).map(|n| views[n].statuses(73, &t)).collect();
+        assert_eq!(statuses[0], statuses[1], "gossiped views must agree after exchange");
+        assert!(statuses[0].contains(&(2, NodeStatus::Dead)), "the departure must spread");
+    }
+}

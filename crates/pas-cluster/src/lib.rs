@@ -6,8 +6,14 @@
 //!   candidate lists, minimal-disruption reassignment on join/leave.
 //! - [`cluster`] — the fleet loop: cross-shard routing with hedged
 //!   requests, full-partition degradation to local passthrough, scripted
-//!   membership changes with state hand-off through `pas-store` segment
-//!   logs, all over the seeded `pas_fault::NetFaults` network.
+//!   membership changes with *in-band* state hand-off (per-entry transfer
+//!   messages racing serving traffic, optionally round-tripped through
+//!   `pas-store` segment logs), replica write-fanout, and periodic
+//!   anti-entropy repair, all over the seeded `pas_fault::NetFaults`
+//!   network with per-lane fault streams.
+//! - [`gossip`] — the seeded gossip failure detector: per-node membership
+//!   views with alive/suspect/dead states driven by heartbeats over the
+//!   same chaotic network; routing consults each node's *local* view.
 //! - [`report`] — per-node `GatewayReport`s folded through the existing
 //!   associative merges into one [`ClusterReport`].
 //!
@@ -17,11 +23,13 @@
 //! subsystem in this workspace honours, now across simulated machines.
 
 pub mod cluster;
+pub mod gossip;
 pub mod hrw;
 mod node;
 pub mod report;
 
 pub use cluster::{fleet_workloads, Cluster, ClusterConfig, Membership};
+pub use gossip::NodeStatus;
 pub use report::ClusterReport;
 
 #[cfg(test)]
@@ -68,8 +76,12 @@ mod tests {
 
     #[test]
     fn single_node_cluster_completes_everything_locally() {
-        let config =
-            ClusterConfig { nodes: 1, gateway: quiet_gateway(), ..ClusterConfig::default() };
+        let config = ClusterConfig {
+            nodes: 1,
+            replication: 1,
+            gateway: quiet_gateway(),
+            ..ClusterConfig::default()
+        };
         let mut cluster = Cluster::new(config, |_, _| Suffix("[augmented]"));
         let workloads = small_workloads(1, 120, 7);
         let (responses, report) = cluster.run(&workloads);

@@ -18,6 +18,7 @@ use pas_gateway::{
 };
 
 use crate::cluster::{Ev, ReqCtx};
+use crate::gossip::View;
 
 /// Derivation lane for per-node fault seeds: every node's replica pool
 /// draws its chaos from `derive(gateway.fault.seed, [NODE_FAULT_LANE,
@@ -37,6 +38,15 @@ pub(crate) struct Item {
 pub(crate) struct Node<O: PromptOptimizer> {
     pub id: u32,
     pub live: bool,
+    /// True after a `Membership::Crash` took the node down hard: pending
+    /// serve events at it are discarded (no graceful drain happened) and
+    /// orphaned local requests are re-driven by client retry.
+    pub crashed: bool,
+    /// This node's local membership view (the gossip failure detector);
+    /// routing consults it instead of ground truth when gossip is on.
+    pub view: View,
+    /// Anti-entropy round counter: drives the round-robin peer rotation.
+    pub ae_round: u64,
     pub cache: GatewayCache,
     pub pool: ReplicaPool<O>,
     pub queue: VecDeque<Item>,
@@ -63,6 +73,9 @@ impl<O: PromptOptimizer> Node<O> {
         Node {
             id,
             live: true,
+            crashed: false,
+            view: View::new(id, &[]),
+            ae_round: 0,
             cache,
             pool,
             queue: VecDeque::new(),

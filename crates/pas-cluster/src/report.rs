@@ -46,8 +46,42 @@ pub struct ClusterReport {
     pub net_duplicates: u64,
     /// Membership changes processed (joins + leaves).
     pub rebalances: u64,
-    /// Cache entries handed to a new primary owner across all rebalances.
+    /// Hand-off entries that arrived at their new primary (counted at
+    /// delivery — in-band transfers ride the simulated network and can be
+    /// dropped, in which case anti-entropy repairs them instead).
     pub rebalance_moved: u64,
+    /// Per-entry hand-off transfer messages put on the wire.
+    pub transfers_sent: u64,
+    /// Nodes taken down hard by `Membership::Crash` (no drain, no
+    /// hand-off, no departure announcement).
+    pub crashes: u64,
+    /// Requests re-driven by client retry after their node crashed with
+    /// them queued or in flight.
+    pub crash_retries: u64,
+    /// Replication messages fanned out to candidate replicas on insert.
+    pub repl_sent: u64,
+    /// Replication messages that installed or upgraded an entry.
+    pub repl_applied: u64,
+    /// Replication messages that were no-ops at the replica (already at
+    /// the same or a newer version — duplicates are idempotent).
+    pub repl_stale: u64,
+    /// Anti-entropy digests sent (one per sweep at a live node with a
+    /// live peer).
+    pub ae_digests: u64,
+    /// Entries pushed by anti-entropy repair that installed or upgraded.
+    pub ae_repairs: u64,
+    /// Simulated time of the last applied repair (max under merge): the
+    /// convergence stamp a bench compares against a partition-heal time.
+    pub ae_last_repair_ms: u64,
+    /// Gossip heartbeats put on the wire (periodic rounds + join bursts).
+    pub gossip_heartbeats: u64,
+    /// Local-view transitions into `Suspect`.
+    pub gossip_suspects: u64,
+    /// Local-view transitions into `Dead`.
+    pub gossip_deaths: u64,
+    /// `Dead` verdicts passed on nodes that were actually live and
+    /// reachable at that instant — the detector's false-positive count.
+    pub gossip_false_deaths: u64,
 }
 
 impl ClusterReport {
@@ -86,6 +120,19 @@ impl ClusterReport {
         self.net_duplicates += other.net_duplicates;
         self.rebalances += other.rebalances;
         self.rebalance_moved += other.rebalance_moved;
+        self.transfers_sent += other.transfers_sent;
+        self.crashes += other.crashes;
+        self.crash_retries += other.crash_retries;
+        self.repl_sent += other.repl_sent;
+        self.repl_applied += other.repl_applied;
+        self.repl_stale += other.repl_stale;
+        self.ae_digests += other.ae_digests;
+        self.ae_repairs += other.ae_repairs;
+        self.ae_last_repair_ms = self.ae_last_repair_ms.max(other.ae_last_repair_ms);
+        self.gossip_heartbeats += other.gossip_heartbeats;
+        self.gossip_suspects += other.gossip_suspects;
+        self.gossip_deaths += other.gossip_deaths;
+        self.gossip_false_deaths += other.gossip_false_deaths;
     }
 
     /// Two-paragraph human summary for CLI/bin output.
@@ -96,7 +143,11 @@ impl ClusterReport {
                 "cluster: {} forwards, {} hedges fired ({} won), {} rescues, ",
                 "{} local fallbacks, {} redirects; ",
                 "net: {} cut, {} dropped, {} duplicated; ",
-                "{} rebalances moved {} entries; {} errors"
+                "{} rebalances moved {}/{} entries; {} crashes ({} retries); ",
+                "repl: {} sent, {} applied, {} stale; ",
+                "ae: {} digests, {} repairs (last @{}ms); ",
+                "gossip: {} heartbeats, {} suspects, {} deaths ({} false); ",
+                "{} errors"
             ),
             self.nodes,
             self.fleet.render_summary(),
@@ -111,6 +162,19 @@ impl ClusterReport {
             self.net_duplicates,
             self.rebalances,
             self.rebalance_moved,
+            self.transfers_sent,
+            self.crashes,
+            self.crash_retries,
+            self.repl_sent,
+            self.repl_applied,
+            self.repl_stale,
+            self.ae_digests,
+            self.ae_repairs,
+            self.ae_last_repair_ms,
+            self.gossip_heartbeats,
+            self.gossip_suspects,
+            self.gossip_deaths,
+            self.gossip_false_deaths,
             self.errors(),
         )
     }
@@ -140,6 +204,19 @@ mod tests {
             net_duplicates: f(11),
             rebalances: f(12),
             rebalance_moved: f(13),
+            transfers_sent: f(14),
+            crashes: f(15),
+            crash_retries: f(16),
+            repl_sent: f(17),
+            repl_applied: f(18),
+            repl_stale: f(19),
+            ae_digests: f(20),
+            ae_repairs: f(21),
+            ae_last_repair_ms: f(22),
+            gossip_heartbeats: f(23),
+            gossip_suspects: f(24),
+            gossip_deaths: f(25),
+            gossip_false_deaths: f(26),
         }
     }
 

@@ -1,15 +1,78 @@
-//! Property tests for rendezvous-hash placement: load balance stays
-//! within a bound, and membership changes disturb only the minimal set
-//! of keys.
+//! Property tests for the cluster's distributed-state machinery.
+//!
+//! Part 1 — rendezvous-hash placement: load balance stays within a
+//! bound, and membership changes disturb only the minimal set of keys.
+//!
+//! Part 2 — the round-2 replication battery (DESIGN.md §15):
+//!
+//! (a) *anti-entropy convergence* — after any seeded drop/partition
+//!     schedule plus a quiet period, every live candidate replica of a
+//!     key holds the identical entry;
+//! (b) *write-fanout safety* — versioned inserts are idempotent and
+//!     monotone, so a replica never serves a stale version no matter how
+//!     replication messages duplicate or reorder;
+//! (c) *gossip view convergence* — all live nodes' membership views
+//!     agree with each other and with ground truth after heartbeat
+//!     quiescence, and the detector never falsely kills a live reachable
+//!     node;
+//! (d) *in-band rebalance equivalence* — final cache contents are
+//!     byte-identical whether a hand-off raced traffic through a chaotic
+//!     transfer lane or ran clean and instant.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
-use pas_cluster::hrw;
+use pas_cluster::{fleet_workloads, hrw, Cluster, ClusterConfig, Membership, NodeStatus};
+use pas_core::PromptOptimizer;
+use pas_fault::{FaultProfile, MsgLane, NetFaultProfile};
+use pas_gateway::{
+    cache_embedder, GatewayConfig, Request, SemanticCache, SemanticCacheConfig, WorkloadConfig,
+};
 
 fn keys(n: usize, salt: u64) -> Vec<String> {
     (0..n).map(|i| format!("prompt {salt}-{i} about topic {}", i % 17)).collect()
+}
+
+/// A toy deterministic optimizer: response is a pure function of the
+/// prompt, so any two correct serves of one prompt agree byte-for-byte.
+#[derive(Clone)]
+struct Suffix;
+
+impl PromptOptimizer for Suffix {
+    fn name(&self) -> &str {
+        "suffix"
+    }
+    fn optimize(&self, prompt: &str) -> String {
+        format!("{prompt} [augmented]")
+    }
+    fn requires_human_labels(&self) -> bool {
+        false
+    }
+    fn llm_agnostic(&self) -> bool {
+        true
+    }
+    fn task_agnostic(&self) -> bool {
+        true
+    }
+}
+
+fn quiet_gateway() -> GatewayConfig {
+    let mut g = GatewayConfig::default();
+    g.fault.profile = FaultProfile::none();
+    g
+}
+
+fn workloads_for(nodes: usize, per_node: usize, seed: u64) -> Vec<Vec<Request>> {
+    let base =
+        WorkloadConfig { requests: per_node, universe: 40, seed, ..WorkloadConfig::default() };
+    fleet_workloads(&base, nodes)
+}
+
+fn traffic_end(workloads: &[Vec<Request>]) -> u64 {
+    workloads.iter().flat_map(|w| w.iter().map(|r| r.arrival_ms)).max().unwrap_or(0)
 }
 
 proptest! {
@@ -88,6 +151,268 @@ proptest! {
                 // The leaver's keys go to its runner-up.
                 prop_assert_eq!(hrw::owner(k, &after), old.iter().copied().find(|&n| n != leaver).or(after.first().copied()));
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Round-2 battery: replication, anti-entropy, gossip, in-band rebalance.
+// Fleet soaks are heavier than pure HRW math, so these blocks run fewer
+// cases; every case is still fully deterministic given its inputs.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // (a) Anti-entropy convergence: under replication-lane drops, serve
+    // drops, a mid-traffic partition, and optionally a hard crash, a
+    // quiet period of AE rotations leaves every live candidate replica
+    // of every candidate-held key holding the identical entry.
+    #[test]
+    fn anti_entropy_converges_candidate_replicas(
+        nodes in 3usize..=5,
+        seed in 0u64..500,
+        net_seed in 0u64..500,
+        repl_drop in 0.0f32..0.6,
+        serve_drop in 0.0f32..0.25,
+        island in 0u32..5,
+        crash_sel in 0u32..2,
+    ) {
+        let island = island % nodes as u32;
+        let crash_one = crash_sel == 1;
+        let workloads = workloads_for(nodes, 70, seed);
+        let t_end = traffic_end(&workloads);
+        let ae = 15u64;
+        let mut cfg = ClusterConfig {
+            nodes,
+            replication: 2,
+            gateway: quiet_gateway(),
+            // The AE and transfer lanes stay clean so convergence is
+            // guaranteed by rotation, not luck; chaos hits the fanout
+            // and serve lanes plus a partition inside the traffic window.
+            net: NetFaultProfile::none()
+                .with_partition(t_end / 4, t_end / 2, vec![island])
+                .with_lane(MsgLane::Replicate, repl_drop, 0.1)
+                .with_lane(MsgLane::Serve, serve_drop, 0.0),
+            net_seed: 0x4e72 ^ net_seed,
+            ae_interval_ms: ae,
+            quiet_ms: ae * (nodes as u64 * 4 + 4),
+            ..ClusterConfig::default()
+        };
+        if crash_one {
+            let victim = (island + 1) % nodes as u32;
+            cfg.script = vec![(t_end / 2, Membership::Crash(victim))];
+        }
+        let mut cluster = Cluster::new(cfg, |_, _| Suffix);
+        let (_, report) = cluster.run(&workloads);
+        prop_assert_eq!(report.errors(), 0, "chaos must never lose a request");
+        prop_assert!(report.ae_digests > 0, "sweeps must actually run");
+
+        let live: Vec<u32> = (0..nodes as u32).filter(|&n| cluster.is_live(n)).collect();
+        let mut held: BTreeMap<String, BTreeMap<u32, (String, u64)>> = BTreeMap::new();
+        for &n in &live {
+            for (p, r, v) in cluster.cache_entries(n) {
+                held.entry(p).or_default().insert(n, (r, v));
+            }
+        }
+        for (prompt, holders) in &held {
+            let cands = hrw::candidates(prompt, &live, 2);
+            let holding: Vec<u32> =
+                cands.iter().copied().filter(|c| holders.contains_key(c)).collect();
+            if holding.is_empty() {
+                continue; // only stale non-candidate donors hold it
+            }
+            prop_assert_eq!(
+                &holding, &cands,
+                "every live candidate must hold {:?} once any does", prompt
+            );
+            let copies: BTreeSet<&(String, u64)> =
+                cands.iter().map(|c| &holders[c]).collect();
+            prop_assert_eq!(copies.len(), 1, "replica copies of {:?} must be identical", prompt);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // (b) Write-fanout safety: applying any multiset of versioned
+    // replication messages — duplicated wholesale and arbitrarily
+    // reordered — produces the same digest as the clean stream, and the
+    // served copy is always the highest version seen, never a stale one.
+    #[test]
+    fn versioned_inserts_are_idempotent_and_monotone(
+        raw_ops in proptest::collection::vec(0u64..1000, 1..40),
+        perm_seed in 0u64..1000,
+    ) {
+        // The vendored proptest has no tuple strategies; derive the
+        // (key, version) pair from one raw draw instead.
+        let ops: Vec<(usize, u64)> =
+            raw_ops.iter().map(|&r| ((r % 6) as usize, 1 + (r / 7) % 4)).collect();
+        let cfg = SemanticCacheConfig::default();
+        let mut clean = SemanticCache::new(cfg.clone(), cache_embedder(&cfg));
+        let mut chaotic = SemanticCache::new(cfg.clone(), cache_embedder(&cfg));
+
+        let msgs: Vec<(String, String, u64)> = ops
+            .iter()
+            .map(|&(k, v)| (format!("prompt {k}"), format!("resp {k} v{v}"), v))
+            .collect();
+        let mut highest: BTreeMap<String, u64> = BTreeMap::new();
+        for (p, r, v) in &msgs {
+            let applied = clean.insert_versioned(p, r, *v);
+            let best = highest.entry(p.clone()).or_insert(0);
+            prop_assert_eq!(applied, *v > *best, "apply iff strictly newer");
+            *best = (*best).max(*v);
+            // Monotone: the served version never regresses below the max.
+            prop_assert_eq!(clean.version_of(p), Some(*best));
+        }
+
+        // The chaotic replica sees every message twice, shuffled.
+        let mut storm: Vec<(String, String, u64)> =
+            msgs.iter().cloned().chain(msgs.iter().cloned()).collect();
+        let mut rng = StdRng::seed_from_u64(perm_seed);
+        for i in 0..storm.len() {
+            let j = i + rng.random_range(0..storm.len() - i);
+            storm.swap(i, j);
+        }
+        for (p, r, v) in &storm {
+            chaotic.insert_versioned(p, r, *v);
+        }
+
+        prop_assert_eq!(clean.digest(), chaotic.digest(), "digests must converge");
+        for (p, best) in &highest {
+            let want = Some((format!("resp {} v{best}", &p["prompt ".len()..]), *best));
+            prop_assert_eq!(
+                clean.peek(p).map(|(r, v)| (r.to_string(), v)),
+                want.clone(),
+                "clean replica serves the max version"
+            );
+            prop_assert_eq!(
+                chaotic.peek(p).map(|(r, v)| (r.to_string(), v)),
+                want,
+                "chaotic replica never serves a stale version"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // (c) Gossip view convergence: after heartbeat quiescence every live
+    // node's membership view agrees with every other's and with scripted
+    // ground truth — leavers and crashers are Dead everywhere, survivors
+    // Alive everywhere — and the detector never falsely kills a live,
+    // reachable node (drops only delay convergence, they cannot corrupt
+    // it).
+    #[test]
+    fn gossip_views_converge_after_quiescence(
+        nodes in 3usize..=5,
+        seed in 0u64..500,
+        net_seed in 0u64..500,
+        gossip_drop in 0.0f32..0.2,
+        churn in 0usize..3,
+    ) {
+        let workloads = workloads_for(nodes, 60, seed);
+        let t_end = traffic_end(&workloads);
+        let interval = 16u64;
+        let dead_rounds = 20u64;
+        let victim = nodes as u32 - 1;
+        let script = match churn {
+            1 => vec![(t_end / 2, Membership::Leave(victim))],
+            2 => vec![(t_end / 2, Membership::Crash(victim))],
+            _ => Vec::new(),
+        };
+        let cfg = ClusterConfig {
+            nodes,
+            replication: 2,
+            gateway: quiet_gateway(),
+            net: NetFaultProfile::none().with_lane(MsgLane::Gossip, gossip_drop, 0.05),
+            net_seed: 0x9055 ^ net_seed,
+            gossip_interval_ms: interval,
+            gossip_fanout: 2,
+            gossip_suspect_rounds: 10,
+            gossip_dead_rounds: dead_rounds,
+            quiet_ms: interval * (dead_rounds + 8),
+            script,
+            ..ClusterConfig::default()
+        };
+        let mut cluster = Cluster::new(cfg, |_, _| Suffix);
+        let (_, report) = cluster.run(&workloads);
+        prop_assert_eq!(report.errors(), 0);
+        prop_assert!(report.gossip_heartbeats > 0, "the detector must actually gossip");
+        prop_assert_eq!(
+            report.gossip_false_deaths, 0,
+            "no live reachable node may ever be marked dead"
+        );
+
+        let live: Vec<u32> = (0..nodes as u32).filter(|&n| cluster.is_live(n)).collect();
+        let views: Vec<Vec<(u32, NodeStatus)>> =
+            live.iter().map(|&n| cluster.membership_view(n)).collect();
+        for (i, v) in views.iter().enumerate().skip(1) {
+            prop_assert_eq!(v, &views[0], "node {} disagrees with node {}", live[i], live[0]);
+        }
+        for &(peer, status) in &views[0] {
+            prop_assert_eq!(
+                status == NodeStatus::Alive,
+                cluster.is_live(peer),
+                "peer {} status {:?} must match ground truth", peer, status
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // (d) In-band rebalance equivalence: a leave's hand-off racing live
+    // traffic through a chaotic transfer lane (drops, duplicates, slow
+    // pacing) ends with byte-identical responses and per-node cache
+    // contents as the same hand-off run clean and instant — fanout plus
+    // anti-entropy make the move's delivery schedule unobservable.
+    #[test]
+    fn in_band_rebalance_is_equivalent_to_quiescent_move(
+        nodes in 3usize..=5,
+        seed in 0u64..500,
+        net_seed in 0u64..500,
+        transfer_drop in 0.0f32..0.4,
+        transfer_dup in 0.0f32..0.5,
+        pace in 1u64..6,
+    ) {
+        let workloads = workloads_for(nodes, 80, seed);
+        let t_end = traffic_end(&workloads);
+        let ae = 15u64;
+        let base = |net: NetFaultProfile, pace_ms: u64| ClusterConfig {
+            nodes,
+            replication: 2,
+            gateway: quiet_gateway(),
+            net,
+            net_seed: 0x7a4e ^ net_seed,
+            ae_interval_ms: ae,
+            quiet_ms: ae * (nodes as u64 * 4 + 4),
+            transfer_pace_ms: pace_ms,
+            script: vec![(t_end / 2, Membership::Leave(1))],
+            ..ClusterConfig::default()
+        };
+        let chaotic = base(
+            NetFaultProfile::none().with_lane(MsgLane::Transfer, transfer_drop, transfer_dup),
+            pace,
+        );
+        let quiescent = base(NetFaultProfile::none(), 0);
+
+        let mut racing = Cluster::new(chaotic, |_, _| Suffix);
+        let (ra, rep_a) = racing.run(&workloads);
+        let mut clean = Cluster::new(quiescent, |_, _| Suffix);
+        let (rb, rep_b) = clean.run(&workloads);
+        prop_assert_eq!(rep_a.errors(), 0);
+        prop_assert_eq!(rep_b.errors(), 0);
+        prop_assert_eq!(ra, rb, "responses must not depend on how the move travelled");
+        for n in 0..nodes as u32 {
+            prop_assert_eq!(
+                racing.cache_entries(n),
+                clean.cache_entries(n),
+                "node {} contents must be byte-identical", n
+            );
         }
     }
 }

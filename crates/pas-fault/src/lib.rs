@@ -48,7 +48,7 @@ pub mod retry;
 pub use disk::{DiskFault, DiskFaultKind, DiskFaults};
 pub use inject::{streams, AttemptChat, FaultInjector, FaultyModel};
 pub use journal::Journal;
-pub use net::{NetFaultProfile, NetFaults, NetPartition};
+pub use net::{LaneFaults, MsgLane, NetFaultProfile, NetFaults, NetPartition};
 pub use profile::{FaultKind, FaultProfile};
 pub use report::FaultReport;
 pub use resilient::Resilient;

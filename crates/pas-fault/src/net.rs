@@ -25,6 +25,75 @@ use pas_par::derive_seed_path;
 /// stream in the workspace.
 const NET_STREAM: u64 = 0x4e7f;
 
+/// Message class on the simulated network. Every lane draws its fates
+/// from its own derived seed stream (`derive(seed, [NET_STREAM, lane,
+/// src, dst, msg])` with a per-lane serial `msg` counter), so traffic on
+/// one lane never perturbs another's chaos schedule — replication storms
+/// leave serve-path fates untouched, which is what lets equivalence tests
+/// chaos one lane while holding the others bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MsgLane {
+    /// Request forwards and responses — the serving path.
+    Serve,
+    /// Write-fanout replication pushes from a serving candidate.
+    Replicate,
+    /// Anti-entropy digests and repair pushes.
+    AntiEntropy,
+    /// Rebalance hand-off entry transfers.
+    Transfer,
+    /// Failure-detector heartbeats and departure notices.
+    Gossip,
+}
+
+impl MsgLane {
+    /// All lanes, in tag order.
+    pub const ALL: [MsgLane; 5] = [
+        MsgLane::Serve,
+        MsgLane::Replicate,
+        MsgLane::AntiEntropy,
+        MsgLane::Transfer,
+        MsgLane::Gossip,
+    ];
+
+    /// Stable lane index (also the derivation tag below).
+    pub fn index(self) -> usize {
+        match self {
+            MsgLane::Serve => 0,
+            MsgLane::Replicate => 1,
+            MsgLane::AntiEntropy => 2,
+            MsgLane::Transfer => 3,
+            MsgLane::Gossip => 4,
+        }
+    }
+
+    /// Lane name for reports and CLI output.
+    pub fn name(self) -> &'static str {
+        match self {
+            MsgLane::Serve => "serve",
+            MsgLane::Replicate => "replicate",
+            MsgLane::AntiEntropy => "anti-entropy",
+            MsgLane::Transfer => "transfer",
+            MsgLane::Gossip => "gossip",
+        }
+    }
+
+    /// Seed-derivation tag. Offset so `Serve` does not collide with the
+    /// pre-lane stream layout's `src` coordinate.
+    fn tag(self) -> u64 {
+        0x1a4e + self.index() as u64
+    }
+}
+
+/// Drop/duplicate rates overriding the profile-wide defaults for one
+/// lane (latency always follows the profile — lanes share the wire).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaneFaults {
+    /// Per-message drop probability on this lane.
+    pub drop_rate: f32,
+    /// Per-message duplicate probability on this lane.
+    pub duplicate_rate: f32,
+}
+
 /// One declarative partition window: nodes inside `island` cannot exchange
 /// messages with nodes outside it while `start_ms <= now < end_ms`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,6 +137,10 @@ pub struct NetFaultProfile {
     pub duplicate_rate: f32,
     /// Declarative partition windows (see [`NetPartition`]).
     pub partitions: Vec<NetPartition>,
+    /// Per-lane drop/duplicate overrides; lanes not listed use the
+    /// profile-wide rates. Partitions and latency cut all lanes equally —
+    /// they model the wire, not the message class.
+    pub lane_overrides: Vec<(MsgLane, LaneFaults)>,
 }
 
 impl NetFaultProfile {
@@ -80,6 +153,7 @@ impl NetFaultProfile {
             drop_rate: 0.0,
             duplicate_rate: 0.0,
             partitions: Vec::new(),
+            lane_overrides: Vec::new(),
         }
     }
 
@@ -119,6 +193,23 @@ impl NetFaultProfile {
         self.partitions.push(NetPartition { start_ms, end_ms, island });
         self
     }
+
+    /// This profile with `lane`'s drop/duplicate rates overridden
+    /// (replacing any earlier override for the same lane).
+    pub fn with_lane(mut self, lane: MsgLane, drop_rate: f32, duplicate_rate: f32) -> Self {
+        self.lane_overrides.retain(|(l, _)| *l != lane);
+        self.lane_overrides.push((lane, LaneFaults { drop_rate, duplicate_rate }));
+        self
+    }
+
+    /// The effective `(drop_rate, duplicate_rate)` for `lane`.
+    pub fn rates_for(&self, lane: MsgLane) -> (f32, f32) {
+        self.lane_overrides
+            .iter()
+            .find(|(l, _)| *l == lane)
+            .map(|(_, f)| (f.drop_rate, f.duplicate_rate))
+            .unwrap_or((self.drop_rate, self.duplicate_rate))
+    }
 }
 
 /// A seeded network-fault schedule bound to a base seed. Everything it
@@ -155,26 +246,24 @@ impl NetFaults {
         !dsts.is_empty() && dsts.iter().all(|&d| self.partitioned(now, src, d))
     }
 
-    /// The fate of message number `msg` on the `src → dst` link: one
+    /// The fate of message number `msg` on `lane`'s `src → dst` link: one
     /// latency per delivered copy, in delivery-schedule order. An empty
     /// vec means the message is dropped; two entries mean it is
-    /// duplicated. Pure in `(seed, src, dst, msg)` — the caller assigns
-    /// `msg` serially, which is what keeps chaos thread-invariant.
-    pub fn deliveries(&self, src: u32, dst: u32, msg: u64) -> Vec<u64> {
+    /// duplicated. Pure in `(seed, lane, src, dst, msg)` — the caller
+    /// assigns `msg` serially *per lane*, which keeps chaos both
+    /// thread-invariant and lane-independent (extra replication traffic
+    /// cannot shift the serve lane's schedule).
+    pub fn deliveries(&self, lane: MsgLane, src: u32, dst: u32, msg: u64) -> Vec<u64> {
         let mut rng = StdRng::seed_from_u64(derive_seed_path(
             self.seed,
-            &[NET_STREAM, u64::from(src), u64::from(dst), msg],
+            &[NET_STREAM, lane.tag(), u64::from(src), u64::from(dst), msg],
         ));
-        if self.profile.drop_rate > 0.0 && rng.random::<f32>() < self.profile.drop_rate {
+        let (drop_rate, duplicate_rate) = self.profile.rates_for(lane);
+        if drop_rate > 0.0 && rng.random::<f32>() < drop_rate {
             return Vec::new();
         }
-        let copies = if self.profile.duplicate_rate > 0.0
-            && rng.random::<f32>() < self.profile.duplicate_rate
-        {
-            2
-        } else {
-            1
-        };
+        let copies =
+            if duplicate_rate > 0.0 && rng.random::<f32>() < duplicate_rate { 2 } else { 1 };
         (0..copies)
             .map(|_| {
                 let jitter = if self.profile.jitter_ms == 0 {
@@ -195,8 +284,10 @@ mod tests {
     #[test]
     fn deliveries_are_a_pure_function() {
         let n = NetFaults::new(NetFaultProfile::lossy(), 42);
-        for msg in 0..50u64 {
-            assert_eq!(n.deliveries(0, 1, msg), n.deliveries(0, 1, msg));
+        for lane in MsgLane::ALL {
+            for msg in 0..50u64 {
+                assert_eq!(n.deliveries(lane, 0, 1, msg), n.deliveries(lane, 0, 1, msg));
+            }
         }
     }
 
@@ -204,14 +295,15 @@ mod tests {
     fn clean_profile_delivers_exactly_one_copy() {
         let n = NetFaults::new(NetFaultProfile::none(), 7);
         for msg in 0..100u64 {
-            assert_eq!(n.deliveries(2, 3, msg), vec![1]);
+            assert_eq!(n.deliveries(MsgLane::Serve, 2, 3, msg), vec![1]);
         }
     }
 
     #[test]
     fn lossy_profile_drops_and_duplicates() {
         let n = NetFaults::new(NetFaultProfile::lossy(), 0xc1a0);
-        let fates: Vec<usize> = (0..400u64).map(|m| n.deliveries(0, 1, m).len()).collect();
+        let fates: Vec<usize> =
+            (0..400u64).map(|m| n.deliveries(MsgLane::Serve, 0, 1, m).len()).collect();
         let drops = fates.iter().filter(|&&c| c == 0).count();
         let dups = fates.iter().filter(|&&c| c == 2).count();
         assert!(drops > 10, "expected ~8% drops, saw {drops}/400");
@@ -222,7 +314,8 @@ mod tests {
     fn jitter_stays_in_band_and_varies() {
         let n = NetFaults::new(NetFaultProfile::lan(), 9);
         let p = NetFaultProfile::lan();
-        let lats: Vec<u64> = (0..200u64).flat_map(|m| n.deliveries(1, 0, m)).collect();
+        let lats: Vec<u64> =
+            (0..200u64).flat_map(|m| n.deliveries(MsgLane::Serve, 1, 0, m)).collect();
         assert!(lats
             .iter()
             .all(|&l| (p.base_latency_ms..=p.base_latency_ms + p.jitter_ms).contains(&l)));
@@ -232,9 +325,50 @@ mod tests {
     #[test]
     fn links_differ_but_directions_are_independent_streams() {
         let n = NetFaults::new(NetFaultProfile::lossy(), 3);
-        let a: Vec<_> = (0..64u64).map(|m| n.deliveries(0, 1, m)).collect();
-        let b: Vec<_> = (0..64u64).map(|m| n.deliveries(1, 0, m)).collect();
+        let a: Vec<_> = (0..64u64).map(|m| n.deliveries(MsgLane::Serve, 0, 1, m)).collect();
+        let b: Vec<_> = (0..64u64).map(|m| n.deliveries(MsgLane::Serve, 1, 0, m)).collect();
         assert_ne!(a, b, "each directed link must draw from its own stream");
+    }
+
+    #[test]
+    fn lanes_are_independent_streams() {
+        let n = NetFaults::new(NetFaultProfile::lossy(), 17);
+        let mut schedules = Vec::new();
+        for lane in MsgLane::ALL {
+            schedules.push((0..64u64).map(|m| n.deliveries(lane, 0, 1, m)).collect::<Vec<_>>());
+        }
+        for i in 0..schedules.len() {
+            for j in i + 1..schedules.len() {
+                assert_ne!(
+                    schedules[i],
+                    schedules[j],
+                    "{} and {} must draw from distinct streams",
+                    MsgLane::ALL[i].name(),
+                    MsgLane::ALL[j].name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_overrides_replace_rates_without_touching_other_lanes() {
+        let base = NetFaultProfile::none();
+        let tuned = base.clone().with_lane(MsgLane::Replicate, 1.0, 0.0);
+        assert_eq!(tuned.rates_for(MsgLane::Replicate), (1.0, 0.0));
+        assert_eq!(tuned.rates_for(MsgLane::Serve), (0.0, 0.0));
+        let n = NetFaults::new(tuned, 5);
+        for msg in 0..40u64 {
+            assert!(n.deliveries(MsgLane::Replicate, 0, 1, msg).is_empty());
+            assert_eq!(n.deliveries(MsgLane::Serve, 0, 1, msg), vec![1]);
+        }
+        // A second override for the same lane replaces the first.
+        let retuned = NetFaultProfile::none().with_lane(MsgLane::Gossip, 1.0, 0.0).with_lane(
+            MsgLane::Gossip,
+            0.25,
+            0.5,
+        );
+        assert_eq!(retuned.rates_for(MsgLane::Gossip), (0.25, 0.5));
+        assert_eq!(retuned.lane_overrides.len(), 1);
     }
 
     #[test]

@@ -108,12 +108,28 @@ pub enum OpenMode {
 const META_ENTRY: &str = "cache";
 /// Record-category tag for recency touches (stamp-only meta records).
 const META_TOUCH: &str = "touch";
+/// Record-category tag for in-place version upgrades of a live entry.
+const META_UPDATE: &str = "update";
 /// Meta field key holding the prompt text.
 const FIELD_PROMPT: &str = "p";
 /// Meta field key holding the cached response.
 const FIELD_RESPONSE: &str = "r";
-/// Magic prefix of the checkpoint payload.
-const SNAP_PAYLOAD_MAGIC: &[u8] = b"PASCSNP1";
+/// Meta field key holding the entry version.
+const FIELD_VERSION: &str = "v";
+/// Magic prefix of the checkpoint payload (v2 added per-entry versions).
+const SNAP_PAYLOAD_MAGIC: &[u8] = b"PASCSNP2";
+
+/// FNV-1a over the prompt bytes — the key coordinate of
+/// [`SemanticCache::digest`]. Stable across processes and architectures,
+/// so two replicas hash the same prompt to the same digest slot.
+pub fn entry_hash(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// FNV-1a over the fields that determine how a replayed log drives the
 /// cache: the index geometry and probe tier, plus whether the near tier
@@ -136,7 +152,7 @@ fn config_fingerprint(config: &SemanticCacheConfig) -> u64 {
     h
 }
 
-fn entry_meta(prompt: &str, response: &str, stamp: u64) -> RecordMeta {
+fn entry_meta(prompt: &str, response: &str, stamp: u64, version: u64) -> RecordMeta {
     RecordMeta {
         category: META_ENTRY.to_string(),
         degraded: false,
@@ -144,6 +160,7 @@ fn entry_meta(prompt: &str, response: &str, stamp: u64) -> RecordMeta {
         fields: vec![
             (FIELD_PROMPT.to_string(), prompt.to_string()),
             (FIELD_RESPONSE.to_string(), response.to_string()),
+            (FIELD_VERSION.to_string(), version.to_string()),
         ],
     }
 }
@@ -180,6 +197,9 @@ struct Entry {
     alive: bool,
     /// Recency stamp; larger = more recently used.
     stamp: u64,
+    /// Write version; replicas only ever apply monotone upgrades, which is
+    /// what makes duplicated/reordered replication messages idempotent.
+    version: u64,
 }
 
 /// Exact-match LRU map + tombstoned ANN near-duplicate tier (module docs).
@@ -367,6 +387,20 @@ impl<E: Embedder> SemanticCache<E> {
                 }
                 self.clock = self.clock.max(meta.stamp);
             }
+            Record::Meta { id, meta } if meta.category == META_UPDATE => {
+                let id = *id as usize;
+                let Some(e) = self.entries.get_mut(id) else {
+                    return Err(wire::corrupt("cache log: update of unknown id"));
+                };
+                if e.alive {
+                    self.lru.remove(&e.stamp);
+                    e.stamp = meta.stamp;
+                    e.response = meta.field(FIELD_RESPONSE).unwrap_or_default().to_string();
+                    e.version = meta.field(FIELD_VERSION).and_then(|v| v.parse().ok()).unwrap_or(1);
+                    self.lru.insert(meta.stamp, id);
+                }
+                self.clock = self.clock.max(meta.stamp);
+            }
             Record::Meta { id, meta } => {
                 pending.insert(*id, meta.clone());
             }
@@ -380,6 +414,7 @@ impl<E: Embedder> SemanticCache<E> {
                 }
                 let prompt = meta.field(FIELD_PROMPT).unwrap_or_default().to_string();
                 let response = meta.field(FIELD_RESPONSE).unwrap_or_default().to_string();
+                let version = meta.field(FIELD_VERSION).and_then(|v| v.parse().ok()).unwrap_or(1);
                 if self.config.tau > 0.0 {
                     let v = if reembed { self.embedder.embed(&prompt) } else { vector.clone() };
                     let got = self.index.insert(v);
@@ -388,7 +423,13 @@ impl<E: Embedder> SemanticCache<E> {
                 self.clock = self.clock.max(meta.stamp);
                 self.exact.insert(prompt.clone(), id);
                 self.lru.insert(meta.stamp, id);
-                self.entries.push(Entry { prompt, response, alive: true, stamp: meta.stamp });
+                self.entries.push(Entry {
+                    prompt,
+                    response,
+                    alive: true,
+                    stamp: meta.stamp,
+                    version,
+                });
             }
             Record::Tombstone { id } => {
                 let id = *id as usize;
@@ -419,6 +460,7 @@ impl<E: Embedder> SemanticCache<E> {
         for e in &self.entries {
             out.push(e.alive as u8);
             wire::put_u64(&mut out, e.stamp);
+            wire::put_u64(&mut out, if e.alive { e.version } else { 0 });
             let (p, r) = if e.alive { (e.prompt.as_str(), e.response.as_str()) } else { ("", "") };
             wire::put_str(&mut out, p);
             wire::put_str(&mut out, r);
@@ -450,13 +492,14 @@ impl<E: Embedder> SemanticCache<E> {
         for id in 0..n {
             let alive = r.u8()? != 0;
             let stamp = r.u64()?;
+            let version = r.u64()?;
             let prompt = r.str()?;
             let response = r.str()?;
             if alive {
                 self.exact.insert(prompt.clone(), id);
                 self.lru.insert(stamp, id);
             }
-            self.entries.push(Entry { prompt, response, alive, stamp });
+            self.entries.push(Entry { prompt, response, alive, stamp, version });
         }
         let dump_len = r.u64()? as usize;
         let dump = r.take(dump_len)?;
@@ -491,6 +534,48 @@ impl<E: Embedder> SemanticCache<E> {
                 (e.prompt.as_str(), e.response.as_str())
             })
             .collect()
+    }
+
+    /// Live `(prompt, response, version)` triples in LRU order — the
+    /// versioned export replication hand-off and inspection use.
+    pub fn live_entries_versioned(&self) -> Vec<(&str, &str, u64)> {
+        self.lru
+            .values()
+            .map(|&id| {
+                let e = &self.entries[id];
+                (e.prompt.as_str(), e.response.as_str(), e.version)
+            })
+            .collect()
+    }
+
+    /// The merkle-lite digest anti-entropy exchanges: `(entry_hash(prompt),
+    /// version)` pairs over the live set, sorted by hash so two replicas'
+    /// digests are comparable with a merge walk (and binary-searchable).
+    pub fn digest(&self) -> Vec<(u64, u64)> {
+        let mut d: Vec<(u64, u64)> = self
+            .lru
+            .values()
+            .map(|&id| {
+                let e = &self.entries[id];
+                (entry_hash(&e.prompt), e.version)
+            })
+            .collect();
+        d.sort_unstable();
+        d
+    }
+
+    /// Reads `prompt`'s live `(response, version)` without touching
+    /// recency or hit counters — the inspection/repair-side read.
+    pub fn peek(&self, prompt: &str) -> Option<(&str, u64)> {
+        self.exact.get(prompt).map(|&id| {
+            let e = &self.entries[id];
+            (e.response.as_str(), e.version)
+        })
+    }
+
+    /// The live version of `prompt`, if cached.
+    pub fn version_of(&self, prompt: &str) -> Option<u64> {
+        self.exact.get(prompt).map(|&id| self.entries[id].version)
     }
 
     /// True when nothing is cached.
@@ -613,8 +698,47 @@ impl<E: Embedder> SemanticCache<E> {
     /// entries beyond capacity. A prompt already cached keeps its existing
     /// entry (complements are deterministic, so re-insertion is a no-op).
     pub fn insert(&mut self, prompt: &str, response: &str) {
-        if self.config.capacity == 0 || self.exact.contains_key(prompt) {
-            return;
+        self.insert_versioned(prompt, response, 1);
+    }
+
+    /// Versioned insert, the replication primitive: applies `(response,
+    /// version)` only when it advances the entry — a fresh prompt installs
+    /// at `version`, a live entry upgrades in place iff `version` is
+    /// strictly newer (the id and its ANN row, keyed by the prompt
+    /// embedding, stay put). Older and equal versions are no-ops, so
+    /// duplicated or reordered replication messages are idempotent and a
+    /// replica can never regress to a stale response. Returns whether the
+    /// cache changed.
+    pub fn insert_versioned(&mut self, prompt: &str, response: &str, version: u64) -> bool {
+        if self.config.capacity == 0 {
+            return false;
+        }
+        if let Some(&id) = self.exact.get(prompt) {
+            if self.entries[id].version >= version {
+                return false;
+            }
+            self.lru.remove(&self.entries[id].stamp);
+            self.clock += 1;
+            let e = &mut self.entries[id];
+            e.stamp = self.clock;
+            e.response = response.to_string();
+            e.version = version;
+            self.lru.insert(self.clock, id);
+            if self.store.is_some() {
+                self.log_record(Record::Meta {
+                    id: id as u64,
+                    meta: RecordMeta {
+                        category: META_UPDATE.to_string(),
+                        degraded: false,
+                        stamp: self.clock,
+                        fields: vec![
+                            (FIELD_RESPONSE.to_string(), response.to_string()),
+                            (FIELD_VERSION.to_string(), version.to_string()),
+                        ],
+                    },
+                });
+            }
+            return true;
         }
         while self.exact.len() >= self.config.capacity {
             let (&stamp, &victim) = self.lru.iter().next().expect("LRU mirrors exact map");
@@ -643,7 +767,7 @@ impl<E: Embedder> SemanticCache<E> {
             // rather than a half-materialized entry.
             self.log_record(Record::Meta {
                 id: id as u64,
-                meta: entry_meta(prompt, response, self.clock),
+                meta: entry_meta(prompt, response, self.clock, version),
             });
             self.log_record(Record::Vector { id: id as u64, vector: raw.clone() });
         }
@@ -656,10 +780,12 @@ impl<E: Embedder> SemanticCache<E> {
             response: response.to_string(),
             alive: true,
             stamp: self.clock,
+            version,
         });
         self.exact.insert(prompt.to_string(), id);
         self.lru.insert(self.clock, id);
         self.maybe_compact();
+        true
     }
 
     /// Fallback compaction: evicted ids are already unlinked from the graph
@@ -695,7 +821,12 @@ impl<E: Embedder> SemanticCache<E> {
                     };
                     records.push(Record::Meta {
                         id: id as u64,
-                        meta: entry_meta(&entry.prompt, &entry.response, entry.stamp),
+                        meta: entry_meta(
+                            &entry.prompt,
+                            &entry.response,
+                            entry.stamp,
+                            entry.version,
+                        ),
                     });
                     records.push(Record::Vector { id: id as u64, vector });
                 }
@@ -808,6 +939,100 @@ mod tests {
         c.insert("p", "r2-should-be-ignored");
         assert_eq!(c.lookup("p"), CacheOutcome::ExactHit("r1".into()));
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn versioned_insert_applies_only_monotone_upgrades() {
+        let mut c = cache(4, 0.0);
+        assert!(c.insert_versioned("p", "v2", 2));
+        assert_eq!(c.peek("p"), Some(("v2", 2)));
+        // Stale and duplicate versions are idempotent no-ops.
+        assert!(!c.insert_versioned("p", "v1-stale", 1));
+        assert!(!c.insert_versioned("p", "v2-dup", 2));
+        assert_eq!(c.peek("p"), Some(("v2", 2)));
+        // A strictly newer version upgrades in place: same entry count.
+        assert!(c.insert_versioned("p", "v5", 5));
+        assert_eq!(c.peek("p"), Some(("v5", 5)));
+        assert_eq!(c.version_of("p"), Some(5));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.lookup("p"), CacheOutcome::ExactHit("v5".into()));
+        // Plain inserts are version 1 and peek does not touch counters.
+        c.insert("q", "rq");
+        assert_eq!(c.version_of("q"), Some(1));
+        assert_eq!(c.version_of("absent"), None);
+    }
+
+    #[test]
+    fn versioned_upgrade_keeps_the_near_tier_row() {
+        let mut c = cache(8, 0.2);
+        c.insert_versioned("please sort this list of numbers for me", "old", 1);
+        c.insert_versioned("please sort this list of numbers for me", "new", 3);
+        match c.lookup("please sort this list of numbers for me!") {
+            CacheOutcome::NearHit { response, .. } => assert_eq!(response, "new"),
+            other => panic!("expected a near hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn digest_is_sorted_and_tracks_versions() {
+        let mut c = cache(8, 0.0);
+        c.insert_versioned("alpha", "a", 1);
+        c.insert_versioned("beta", "b", 4);
+        let d = c.digest();
+        assert_eq!(d.len(), 2);
+        assert!(d.windows(2).all(|w| w[0].0 < w[1].0), "digest must be hash-sorted");
+        let beta = d.iter().find(|&&(h, _)| h == entry_hash("beta")).unwrap();
+        assert_eq!(beta.1, 4);
+        // Upgrading bumps the digest version; identical caches agree.
+        c.insert_versioned("alpha", "a2", 7);
+        let alpha = c.digest().into_iter().find(|&(h, _)| h == entry_hash("alpha")).unwrap();
+        assert_eq!(alpha.1, 7);
+        let mut twin = cache(8, 0.0);
+        twin.insert_versioned("beta", "b", 4);
+        twin.insert_versioned("alpha", "a2", 7);
+        assert_eq!(twin.digest(), c.digest(), "digest must ignore insertion order");
+    }
+
+    #[test]
+    fn versions_survive_persistence_round_trips() {
+        let dir = std::env::temp_dir().join(format!(
+            "pas-cache-version-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = SemanticCacheConfig { capacity: 8, ..SemanticCacheConfig::default() };
+        let mut c = SemanticCache::open_from(
+            config.clone(),
+            NgramEmbedder::default(),
+            &dir,
+            OpenMode::Replay,
+        )
+        .unwrap();
+        c.insert_versioned("p", "v2", 2);
+        c.insert_versioned("p", "v6", 6);
+        c.insert_versioned("q", "q1", 1);
+        drop(c);
+        // Cold replay reapplies the insert and the in-place update.
+        let replayed = SemanticCache::open_from(
+            config.clone(),
+            NgramEmbedder::default(),
+            &dir,
+            OpenMode::Replay,
+        )
+        .unwrap();
+        assert_eq!(replayed.peek("p"), Some(("v6", 6)));
+        assert_eq!(replayed.peek("q"), Some(("q1", 1)));
+        let digest = replayed.digest();
+        // Warm restore from a checkpoint carries versions too.
+        let mut warm = replayed;
+        warm.persist_to(&dir).unwrap();
+        drop(warm);
+        let snap = SemanticCache::open_from(config, NgramEmbedder::default(), &dir, OpenMode::Warm)
+            .unwrap();
+        assert_eq!(snap.peek("p"), Some(("v6", 6)));
+        assert_eq!(snap.digest(), digest);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod report;
 pub mod sim;
 pub mod workload;
 
-pub use cache::{CacheOutcome, OpenMode, SemanticCache, SemanticCacheConfig};
+pub use cache::{entry_hash, CacheOutcome, OpenMode, SemanticCache, SemanticCacheConfig};
 pub use gateway::{cache_embedder, AdmissionPolicy, Gateway, GatewayCache, GatewayConfig};
 pub use pool::{ReplicaPool, ServeOutcome};
 pub use report::{GatewayReport, LatencyHistogram, ReplicaReport};

@@ -9,6 +9,11 @@
 //! 3. **Graceful degradation** — a permanent `M_p` outage at serve time
 //!    degrades to passthrough (the bare prompt) with every degradation
 //!    counted; it never fails a request.
+//! 4. **Per-lane cluster chaos** (DESIGN.md §15) — fault sweeps aimed at a
+//!    single cluster traffic lane: duplicated replication messages are
+//!    idempotent (identical responses and cache contents to the clean
+//!    run), and dropped gossip heartbeats only *delay* failure-detector
+//!    convergence — the settled views still match ground truth exactly.
 //!
 //! Properties 1–2 live in one test function because the thread count is
 //! process-global and the harness runs tests concurrently (same pattern as
@@ -608,4 +613,137 @@ fn cache_replay_open_survives_mid_replay_disk_faults() {
         }
     }
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ── Property 4: per-lane cluster chaos ───────────────────────────────────
+
+mod cluster_lanes {
+    use pas::cluster::{fleet_workloads, Cluster, ClusterConfig, Membership, NodeStatus};
+    use pas::core::PromptOptimizer;
+    use pas::fault::{FaultProfile, MsgLane, NetFaultProfile};
+    use pas::gateway::{GatewayConfig, WorkloadConfig};
+
+    /// Pure, visible optimizer: served output differs from passthrough, so
+    /// response comparisons catch any degradation divergence.
+    struct Suffix;
+
+    impl PromptOptimizer for Suffix {
+        fn name(&self) -> &str {
+            "suffix"
+        }
+        fn optimize(&self, prompt: &str) -> String {
+            format!("{prompt} [augmented]")
+        }
+        fn requires_human_labels(&self) -> bool {
+            false
+        }
+        fn llm_agnostic(&self) -> bool {
+            true
+        }
+        fn task_agnostic(&self) -> bool {
+            true
+        }
+    }
+
+    fn quiet_gateway() -> GatewayConfig {
+        let mut g = GatewayConfig::default();
+        g.fault.profile = FaultProfile::none();
+        g
+    }
+
+    fn lane_workloads(nodes: usize) -> Vec<Vec<pas::gateway::Request>> {
+        let base = WorkloadConfig { requests: 150, universe: 40, ..WorkloadConfig::default() };
+        fleet_workloads(&base, nodes)
+    }
+
+    /// Duplicating every message on the replication lane is invisible:
+    /// versioned inserts make the second copy a no-op, so responses and
+    /// final cache contents are byte-identical to the duplicate-free run.
+    #[test]
+    fn duplicated_replication_messages_are_idempotent() {
+        let nodes = 4;
+        let config = |net: NetFaultProfile| ClusterConfig {
+            nodes,
+            replication: 2,
+            gateway: quiet_gateway(),
+            net,
+            ae_interval_ms: 20,
+            quiet_ms: 400,
+            ..ClusterConfig::default()
+        };
+        let workloads = lane_workloads(nodes);
+        let run = |net| {
+            let mut cluster = Cluster::new(config(net), |_, _| Suffix);
+            let (responses, report) = cluster.run(&workloads);
+            let entries: Vec<_> = (0..nodes as u32).map(|n| cluster.cache_entries(n)).collect();
+            (responses, report, entries)
+        };
+
+        let clean = run(NetFaultProfile::none());
+        let duppy = run(NetFaultProfile::none().with_lane(MsgLane::Replicate, 0.0, 0.6));
+
+        assert_eq!(clean.1.errors(), 0);
+        assert_eq!(duppy.1.errors(), 0);
+        assert!(duppy.1.net_duplicates > 0, "the duplicate schedule must actually fire");
+        assert!(duppy.1.repl_stale > 0, "duplicate replication copies must be counted as no-ops");
+        // The lane chaos is invisible where it matters: reports differ
+        // (net_duplicates, repl_stale), but served text and cache state
+        // cannot.
+        assert_eq!(clean.0, duppy.0, "duplicated replication must not change responses");
+        assert_eq!(clean.2, duppy.2, "duplicated replication must not change cache contents");
+    }
+
+    /// Dropping 40% of gossip heartbeats delays suspicion and death
+    /// verdicts but cannot corrupt them: after quiescence every live
+    /// node's view matches scripted ground truth (the crashed node Dead,
+    /// everyone else Alive), with zero false deaths along the way.
+    #[test]
+    fn dropped_heartbeats_only_delay_gossip_convergence() {
+        let nodes = 4usize;
+        let victim = 3u32;
+        let interval = 20u64;
+        let dead_rounds = 12u64;
+        let config = |net: NetFaultProfile| ClusterConfig {
+            nodes,
+            replication: 2,
+            gateway: quiet_gateway(),
+            net,
+            gossip_interval_ms: interval,
+            gossip_suspect_rounds: 6,
+            gossip_dead_rounds: dead_rounds,
+            // Generous quiet window: drops stretch detection latency, so
+            // give the lossy run room to reach the same settled verdicts.
+            quiet_ms: interval * (dead_rounds + 20),
+            script: vec![(300, Membership::Crash(victim))],
+            ..ClusterConfig::default()
+        };
+        let workloads = lane_workloads(nodes);
+        let run = |net| {
+            let mut cluster = Cluster::new(config(net), |_, _| Suffix);
+            let (responses, report) = cluster.run(&workloads);
+            let views: Vec<_> = (0..nodes as u32)
+                .filter(|&n| cluster.is_live(n))
+                .map(|n| cluster.membership_view(n))
+                .collect();
+            (responses, report, views)
+        };
+
+        let clean = run(NetFaultProfile::none());
+        let droppy = run(NetFaultProfile::none().with_lane(MsgLane::Gossip, 0.4, 0.0));
+
+        for (_, report, views) in [&clean, &droppy] {
+            assert_eq!(report.errors(), 0);
+            assert_eq!(report.crashes, 1);
+            assert_eq!(report.gossip_false_deaths, 0, "drops must never fake a death");
+            let truth: Vec<(u32, NodeStatus)> = (0..nodes as u32)
+                .map(|n| (n, if n == victim { NodeStatus::Dead } else { NodeStatus::Alive }))
+                .collect();
+            for view in views {
+                assert_eq!(view, &truth, "settled views must match scripted ground truth");
+            }
+        }
+        assert!(droppy.1.net_drops > clean.1.net_drops, "the drop schedule must actually bite");
+        // Delay, not divergence: the served text is identical either way.
+        assert_eq!(clean.0, droppy.0, "gossip drops must not change responses");
+    }
 }

@@ -17,12 +17,20 @@
 //! 5. **Hand-off equivalence** — rebalancing through real `pas-store`
 //!    segment logs produces bit-identical responses, report, and cache
 //!    occupancy to the in-memory hand-off path.
+//! 6. **Round-2 replication plane** (DESIGN.md §15) — a soak with write
+//!    fanout, anti-entropy, gossip failure detection, and a hard crash
+//!    stays bit-identical across thread counts while all three planes
+//!    actually carry traffic.
+//! 7. **Replica warmth** — after a primary crashes, the keys it owned are
+//!    served warm by their new owners because write-fanout pre-installed
+//!    them: the new-owner hit rate clears a pinned floor and beats the
+//!    fanout-off cold baseline ≥5x.
 //!
 //! Thread-dependent assertions share one test function because the
 //! `pas_par` thread count is process-global and the harness runs tests
 //! concurrently (same pattern as `tests/gateway.rs`).
 
-use pas::cluster::{fleet_workloads, Cluster, ClusterConfig, ClusterReport, Membership};
+use pas::cluster::{fleet_workloads, hrw, Cluster, ClusterConfig, ClusterReport, Membership};
 use pas::core::PromptOptimizer;
 use pas::fault::{FaultProfile, NetFaultProfile};
 use pas::gateway::{GatewayConfig, Request, WorkloadConfig};
@@ -58,6 +66,12 @@ fn chaotic_gateway() -> GatewayConfig {
         replica_profiles: vec![FaultProfile::none(), FaultProfile::chaos()],
         ..GatewayConfig::default()
     }
+}
+
+fn quiet_gateway() -> GatewayConfig {
+    let mut g = GatewayConfig::default();
+    g.fault.profile = FaultProfile::none();
+    g
 }
 
 /// A 4-node fleet on a lossy network with replica chaos, a partition
@@ -106,6 +120,104 @@ fn fleet_soaks_are_bit_identical_across_thread_counts() {
     // Hedging under a lossy network: probes fire, and some win.
     assert!(report.hedges_fired > 0, "lossy links must trigger backup probes");
     assert!(report.hedges_won > 0, "some backup probes must win the race");
+
+    // ── Round-2 leg: fanout + anti-entropy + gossip + a hard crash ──────
+    // The full replication plane rides the same serial heap, so the soak
+    // stays bit-identical at 1 and 8 threads while fanout, AE, and the
+    // gossip detector all actually carry traffic.
+    let round2 = || ClusterConfig {
+        nodes: 4,
+        replication: 2,
+        gateway: chaotic_gateway(),
+        net: NetFaultProfile::lossy().with_partition(300, 900, vec![3]),
+        script: vec![(500, Membership::Leave(1)), (700, Membership::Crash(2))],
+        ae_interval_ms: 20,
+        gossip_interval_ms: 25,
+        gossip_dead_rounds: 24,
+        quiet_ms: 25 * 40,
+        ..ClusterConfig::default()
+    };
+    let serial2 = pas_par::with_threads(1, || run_cluster(round2(), &workloads));
+    let parallel2 = pas_par::with_threads(8, || run_cluster(round2(), &workloads));
+    assert_eq!(serial2.0, parallel2.0, "round-2 responses must be thread-invariant");
+    assert_eq!(serial2.2, parallel2.2, "round-2 fleet report must be thread-invariant");
+
+    let report2 = &serial2.1;
+    assert_eq!(report2.errors(), 0, "crash + partition + churn must answer everything");
+    assert_eq!(report2.crashes, 1);
+    assert!(report2.repl_sent > 0 && report2.repl_applied > 0, "fanout must install replicas");
+    assert!(report2.ae_digests > 0, "anti-entropy sweeps must run");
+    assert!(report2.gossip_heartbeats > 0, "the failure detector must gossip");
+    assert!(report2.transfers_sent > 0, "the leave must hand off in-band");
+}
+
+/// Property 7: write-fanout pre-warms the runner-up replica of every key,
+/// so when the primary crashes the new owner serves those keys from cache.
+/// The same windows with fanout disabled give the cold baseline.
+#[test]
+fn write_fanout_keeps_new_owners_warm_after_a_primary_crash() {
+    let full: Vec<u32> = (0..4).collect();
+    let victim = 0u32;
+    // Prompts the victim primaries, tagged with the runner-up candidate
+    // that inherits them when the victim dies (HRW promotes the runner-up).
+    let prompts: Vec<(String, u32)> = (0..)
+        .map(|i| format!("prompt {i} about topic {}", i % 13))
+        .filter_map(|p| {
+            let cands = hrw::candidates(&p, &full, 2);
+            (cands[0] == victim).then(|| (p.clone(), cands[1]))
+        })
+        .take(40)
+        .collect();
+
+    let probe_hit_rate = |fanout: bool| -> f64 {
+        let config = ClusterConfig {
+            nodes: 4,
+            replication: 2,
+            gateway: quiet_gateway(),
+            repl_fanout: fanout,
+            script: vec![(500, Membership::Crash(victim))],
+            ..ClusterConfig::default()
+        };
+        let mut cluster = Cluster::new(config, |_, _| Suffix);
+
+        // Window 1: every prompt arrives at the victim (its primary),
+        // which installs it — and, with fanout on, pushes it to the
+        // runner-up. The scripted crash fires after the traffic settles.
+        let mut warm: Vec<Vec<Request>> = vec![Vec::new(); 4];
+        for (i, (prompt, _)) in prompts.iter().enumerate() {
+            warm[victim as usize].push(Request {
+                id: i,
+                arrival_ms: 10 * i as u64,
+                prompt: prompt.clone(),
+            });
+        }
+        let (_, warm_report) = cluster.run(&warm);
+        assert_eq!(warm_report.errors(), 0);
+        assert_eq!(warm_report.crashes, 1);
+        assert!(!cluster.is_live(victim));
+
+        // Window 2: each orphaned key arrives exactly once at its new
+        // owner (the crash script re-fires as a no-op on the dead node).
+        // The report covers this window alone, so its hit rate is the
+        // new owners' warmth.
+        let mut probes: Vec<Vec<Request>> = vec![Vec::new(); 4];
+        for (i, (prompt, heir)) in prompts.iter().enumerate() {
+            probes[*heir as usize].push(Request {
+                id: i,
+                arrival_ms: 3 * i as u64,
+                prompt: prompt.clone(),
+            });
+        }
+        let (_, probe_report) = cluster.run(&probes);
+        assert_eq!(probe_report.errors(), 0);
+        assert_eq!(probe_report.fleet.requests, prompts.len() as u64);
+        probe_report.fleet.hit_rate()
+    };
+
+    let warm = probe_hit_rate(true);
+    let cold = probe_hit_rate(false);
+    assert!(warm >= 0.95, "fanout-warmed new owners must serve ≥95% from cache, got {warm:.3}");
+    assert!(warm >= 5.0 * cold, "warm rate {warm:.3} must beat the cold baseline {cold:.3} ≥5x");
 }
 
 #[test]
